@@ -1,0 +1,27 @@
+//! Criterion: call-dispatch cost, static vs updateable linking.
+//!
+//! The narrowest view of the paper's overhead experiment: the same
+//! call-dense kernel under direct binding and under indirection-table
+//! binding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsu_bench::kernels::{boot_kernel, kernels, run_kernel};
+use vm::LinkMode;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    for k in kernels() {
+        let mut ps = boot_kernel(&k, LinkMode::Static);
+        group.bench_function(format!("{}/static", k.name), |b| {
+            b.iter(|| run_kernel(&mut ps, &k));
+        });
+        let mut pu = boot_kernel(&k, LinkMode::Updateable);
+        group.bench_function(format!("{}/updateable", k.name), |b| {
+            b.iter(|| run_kernel(&mut pu, &k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

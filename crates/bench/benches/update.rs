@@ -1,0 +1,75 @@
+//! Criterion: dynamic-update machinery costs.
+//!
+//! * `apply/*` — end-to-end patch application per FlashEd patch (fresh
+//!   warmed server per iteration).
+//! * `verify_only` — bytecode re-verification of the largest patch.
+//! * `patchgen/*` — source-diff patch generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dsu_core::{apply_patch, PatchGen, UpdatePolicy};
+use flashed::{patch_stream, versions, Server, SimFs, Workload};
+use vm::{LinkMode, ProcessTypes};
+
+fn warmed(version_idx: usize) -> Server {
+    let all = versions::all();
+    let (name, src) = &all[version_idx];
+    let fs = SimFs::generate_fixed(16, 512, 5);
+    let mut wl = Workload::new(fs.paths(), 1.0, 100);
+    let mut server = Server::start(LinkMode::Updateable, src, name, fs).expect("boot");
+    server.push_requests(wl.batch(100));
+    server.serve().expect("warm");
+    server
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let stream = patch_stream().expect("stream");
+    let mut group = c.benchmark_group("apply");
+    group.sample_size(30);
+    for (i, gen) in stream.iter().enumerate() {
+        let label = format!("{}-to-{}", gen.patch.from_version, gen.patch.to_version);
+        group.bench_function(&label, |b| {
+            b.iter_batched(
+                || warmed(i),
+                |mut s| {
+                    apply_patch(s.process_mut(), &gen.patch, UpdatePolicy::default())
+                        .expect("apply");
+                    s
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let stream = patch_stream().expect("stream");
+    let biggest = stream
+        .iter()
+        .max_by_key(|g| g.patch.size_bytes())
+        .expect("non-empty");
+    let server = warmed(0);
+    c.bench_function("verify_only/largest_patch", |b| {
+        b.iter(|| {
+            tal::verify_module(&biggest.patch.module, &ProcessTypes(server.process()))
+                .expect("verifies")
+        });
+    });
+}
+
+fn bench_patchgen(c: &mut Criterion) {
+    let all = versions::all();
+    let mut group = c.benchmark_group("patchgen");
+    group.sample_size(20);
+    group.bench_function("v3-to-v4", |b| {
+        b.iter(|| {
+            PatchGen::new()
+                .generate(&all[2].1, &all[3].1, "v3", "v4")
+                .expect("generates")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply, bench_verify, bench_patchgen);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Figure 2 — throughput timeline across live updates.
+//!
+//! FlashEd serves a continuous request stream while the full patch stream
+//! (v1→…→v5) is applied mid-traffic. Completions are bucketed over time;
+//! update events are marked. The paper's shape: throughput dips only for
+//! the duration of the update pause, with no residual degradation after —
+//! the type-changing v3→v4 patch shows the largest pause (state
+//! transformation).
+//!
+//! Run with: `cargo run --release -p dsu-bench --bin figure2_timeline`
+
+use std::time::Duration;
+
+use dsu_bench::measure::{fmt_dur, row, rule};
+use flashed::{parse_response, patch_stream, versions, Server, SimFs, Workload};
+use vm::LinkMode;
+
+const BATCH: usize = 1200;
+const BUCKET: Duration = Duration::from_millis(2);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = SimFs::generate_fixed(48, 2048, 9);
+    let mut wl = Workload::new(fs.paths(), 1.0, 31);
+    let mut server = Server::start(LinkMode::Updateable, &versions::v1(), "v1", fs)?;
+    let stream = patch_stream()?;
+
+    // Phase 0: v1 alone, then one batch per patch with the patch applying
+    // at the first update point inside the batch.
+    let mut update_marks: Vec<(Duration, String, Duration)> = Vec::new();
+    server.push_requests(wl.batch(BATCH));
+    server.serve().map_err(|e| e.to_string())?;
+    for gen in stream {
+        let label = format!("{}->{}", gen.patch.from_version, gen.patch.to_version);
+        server.push_requests(wl.batch(BATCH));
+        server.queue_patch(gen.patch);
+        let before = server.elapsed();
+        server.serve().map_err(|e| e.to_string())?;
+        let pause = server.updater.log().last().expect("applied").timings.total();
+        update_marks.push((before, label, pause));
+    }
+
+    let completions = server.completions();
+    let ok = completions
+        .iter()
+        .filter(|c| parse_response(&c.response).map(|r| r.status == 200).unwrap_or(false))
+        .count();
+
+    // Bucket completions.
+    let end = completions.iter().map(|c| c.at).max().unwrap_or_default();
+    let buckets = (end.as_nanos() / BUCKET.as_nanos() + 1) as usize;
+    let mut counts = vec![0usize; buckets];
+    for c in &completions {
+        counts[(c.at.as_nanos() / BUCKET.as_nanos()) as usize] += 1;
+    }
+
+    println!(
+        "Figure 2: completions per {} bucket, {} requests total ({} OK)\n",
+        fmt_dur(BUCKET),
+        completions.len(),
+        ok
+    );
+    let widths = [10, 8];
+    row(&["t", "req"], &widths);
+    rule(&[10, 8, 44]);
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, n) in counts.iter().enumerate() {
+        let t = BUCKET * i as u32;
+        let bar = "#".repeat(n * 40 / max);
+        let marks: Vec<String> = update_marks
+            .iter()
+            .filter(|(at, _, _)| *at >= t && *at < t + BUCKET)
+            .map(|(_, label, pause)| format!("<- update {label} (pause {})", fmt_dur(*pause)))
+            .collect();
+        println!("{:>10}  {:>8}  {bar} {}", fmt_dur(t), n, marks.join(" "));
+    }
+
+    println!("\nupdate events:");
+    for (at, label, pause) in &update_marks {
+        println!("  {label:8} at {:>9} pause {:>9}", fmt_dur(*at), fmt_dur(*pause));
+    }
+    println!(
+        "\n(expected shape: steady buckets before and after each mark; the pause\n\
+         is orders of magnitude shorter than a stop/restart and there is no\n\
+         residual post-update slowdown — unlike proxy-based DSU designs)"
+    );
+    Ok(())
+}

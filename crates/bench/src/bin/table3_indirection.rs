@@ -1,0 +1,67 @@
+//! Table 3 — overhead of updateable compilation (indirection) on compute
+//! kernels.
+//!
+//! Each kernel runs under static linking (direct call targets) and
+//! updateable linking (every call through a Global Indirection Table
+//! slot). The overhead should track call density: call-dense kernels
+//! (`pingpong`, `fib`) pay the most, loop/array kernels the least.
+//!
+//! Run with: `cargo run --release -p dsu-bench --bin table3_indirection`
+
+use dsu_bench::kernels::{boot_kernel, kernels, run_kernel};
+use dsu_bench::measure::{fmt_dur, overhead_percent, row, rule, time_interleaved_iters};
+use vm::LinkMode;
+
+const SAMPLES: usize = 25;
+const ITERS: usize = 8;
+
+fn main() {
+    println!(
+        "Table 3: updateable-compilation overhead \
+         (min of {SAMPLES} interleaved samples x {ITERS} runs)\n"
+    );
+    let widths = [9, 11, 11, 9, 10, 11, 13];
+    row(
+        &["kernel", "static", "updateable", "overhead", "calls", "instrs", "calls/kinstr"],
+        &widths,
+    );
+    rule(&widths);
+
+    for k in kernels() {
+        let mut ps = boot_kernel(&k, LinkMode::Static);
+        let mut pu = boot_kernel(&k, LinkMode::Updateable);
+        let (t_static, t_upd) = time_interleaved_iters(
+            SAMPLES,
+            ITERS,
+            || run_kernel(&mut ps, &k),
+            || run_kernel(&mut pu, &k),
+        );
+
+        // Per-run instruction/call profile (from one clean run).
+        let mut probe = boot_kernel(&k, LinkMode::Static);
+        run_kernel(&mut probe, &k);
+        let calls = probe.stats.calls;
+        let instrs = probe.stats.instrs;
+        let density = calls as f64 / instrs as f64 * 1000.0;
+
+        row(
+            &[
+                k.name,
+                &fmt_dur(t_static),
+                &fmt_dur(t_upd),
+                &format!("{:+.1}%", overhead_percent(t_static, t_upd)),
+                &calls.to_string(),
+                &instrs.to_string(),
+                &format!("{density:.1}"),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\n(expected shape: small single-digit-percent overhead, concentrated in\n\
+         call-dense kernels — one extra dependent load per call through the\n\
+         rebindable slot. On this interpreter substrate the per-call dispatch\n\
+         cost is a few ns against ~200ns of interpretation, so call-sparse\n\
+         kernels sit at the measurement noise floor.)"
+    );
+}

@@ -1,0 +1,77 @@
+//! Table 4 — code/metadata size of static vs updateable images.
+//!
+//! A statically linked executable can strip symbol tables and type
+//! metadata after binding; an updateable program must retain them so
+//! future patches can be verified and linked. This table reports that
+//! space cost for the kernel suite and every FlashEd version.
+//!
+//! Run with: `cargo run --release -p dsu-bench --bin table4_code_size`
+
+use dsu_bench::kernels::kernels;
+use dsu_bench::measure::{row, rule};
+use flashed::versions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Table 4: image size, static vs updateable (virtual encoding, bytes)\n");
+    let widths = [12, 7, 9, 8, 7, 9, 11, 9];
+    row(
+        &["module", "code", "symbols", "strings", "types", "static", "updateable", "overhead"],
+        &widths,
+    );
+    rule(&widths);
+
+    let mut modules: Vec<(String, tal::Module)> = Vec::new();
+    for k in kernels() {
+        let m = popcorn::compile(k.src, k.name, "v1", &popcorn::Interface::new())?;
+        modules.push((k.name.to_string(), m));
+    }
+    for (name, src) in versions::all() {
+        let m = popcorn::compile(&src, "flashed", name, &popcorn::Interface::new())?;
+        modules.push((format!("flashed-{name}"), m));
+    }
+
+    for (name, m) in &modules {
+        let r = m.size_report();
+        row(
+            &[
+                name,
+                &r.code_bytes.to_string(),
+                &r.symbol_bytes.to_string(),
+                &r.string_bytes.to_string(),
+                &r.type_bytes.to_string(),
+                &r.static_total().to_string(),
+                &r.updateable_total().to_string(),
+                &format!("{:+.1}%", r.overhead_percent()),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\n(expected shape: tens of percent of retained linking metadata — the\n\
+         space price of updateability; richer interfaces cost more)"
+    );
+
+    // Companion: what the peephole optimiser recovers (it shrinks code,
+    // not metadata, so it cannot offset updateability's cost — it shifts
+    // both columns down together).
+    println!("\nTable 4b: peephole-optimised code size\n");
+    let widths = [12, 8, 8, 9, 8, 8];
+    row(&["module", "code", "opt", "shrink", "folds", "removed"], &widths);
+    rule(&widths);
+    for (name, m) in &modules {
+        let mut opt = m.clone();
+        let stats = tal::opt::optimize_module(&mut opt);
+        row(
+            &[
+                name,
+                &m.size_report().code_bytes.to_string(),
+                &opt.size_report().code_bytes.to_string(),
+                &format!("-{:.1}%", stats.shrink_percent()),
+                &stats.folds.to_string(),
+                &stats.removed.to_string(),
+            ],
+            &widths,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,202 @@
+//! Compute micro-kernels for the updateable-compilation overhead
+//! experiment (Table 3 / the paper's microbenchmarks).
+//!
+//! The kernels span the cost spectrum the paper's discussion predicts:
+//! call-dense code (`pingpong`, `fib`) pays the most for per-call
+//! indirection, loop/array code (`matmul`, `sort`) the least, string code
+//! in between.
+
+use vm::{LinkMode, Process, Value};
+
+/// One benchmark kernel: Popcorn source, entry point and argument.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Display name.
+    pub name: &'static str,
+    /// Popcorn source.
+    pub src: &'static str,
+    /// Entry function (arity 1, int argument, int result).
+    pub entry: &'static str,
+    /// Argument (problem size).
+    pub arg: i64,
+    /// Expected result, as a correctness check.
+    pub expect: i64,
+}
+
+/// The kernel suite.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "fib",
+            src: r#"
+                fun fib(n: int): int {
+                    if (n < 2) { return n; }
+                    return fib(n - 1) + fib(n - 2);
+                }
+            "#,
+            entry: "fib",
+            arg: 18,
+            expect: 2584,
+        },
+        Kernel {
+            name: "pingpong",
+            src: r#"
+                fun ping(n: int): int {
+                    if (n == 0) { return 0; }
+                    return pong(n - 1) + 1;
+                }
+                fun pong(n: int): int {
+                    if (n == 0) { return 0; }
+                    return ping(n - 1) + 1;
+                }
+            "#,
+            entry: "ping",
+            arg: 4000,
+            expect: 4000,
+        },
+        Kernel {
+            name: "matmul",
+            src: r#"
+                fun idx(i: int, j: int, n: int): int { return i * n + j; }
+                fun matmul(n: int): int {
+                    var a: [int] = new [int];
+                    var b: [int] = new [int];
+                    var c: [int] = new [int];
+                    var i: int = 0;
+                    while (i < n * n) {
+                        push(a, i % 7);
+                        push(b, i % 5);
+                        push(c, 0);
+                        i = i + 1;
+                    }
+                    i = 0;
+                    while (i < n) {
+                        var j: int = 0;
+                        while (j < n) {
+                            var acc: int = 0;
+                            var k: int = 0;
+                            while (k < n) {
+                                acc = acc + a[idx(i, k, n)] * b[idx(k, j, n)];
+                                k = k + 1;
+                            }
+                            c[idx(i, j, n)] = acc;
+                            j = j + 1;
+                        }
+                        i = i + 1;
+                    }
+                    return c[idx(n - 1, n - 1, n)];
+                }
+            "#,
+            entry: "matmul",
+            arg: 16,
+            expect: 97,
+        },
+        Kernel {
+            name: "sort",
+            src: r#"
+                fun sort(n: int): int {
+                    var a: [int] = new [int];
+                    var seed: int = 12345;
+                    var i: int = 0;
+                    while (i < n) {
+                        seed = (seed * 1103515245 + 12345) % 2147483648;
+                        push(a, seed % 1000);
+                        i = i + 1;
+                    }
+                    i = 0;
+                    while (i < n) {
+                        var j: int = 0;
+                        while (j < n - i - 1) {
+                            if (a[j] > a[j + 1]) {
+                                var t: int = a[j];
+                                a[j] = a[j + 1];
+                                a[j + 1] = t;
+                            }
+                            j = j + 1;
+                        }
+                        i = i + 1;
+                    }
+                    return a[0] + a[n - 1];
+                }
+            "#,
+            entry: "sort",
+            arg: 150,
+            expect: 995,
+        },
+        Kernel {
+            name: "strhash",
+            src: r#"
+                fun hash(s: string): int {
+                    var h: int = 5381;
+                    var i: int = 0;
+                    while (i < len(s)) {
+                        h = (h * 33 + char_at(s, i)) % 1000000007;
+                        i = i + 1;
+                    }
+                    return h;
+                }
+                fun strhash(n: int): int {
+                    var acc: int = 0;
+                    var i: int = 0;
+                    while (i < n) {
+                        acc = (acc + hash("request-" + itoa(i) + "-payload")) % 1000000007;
+                        i = i + 1;
+                    }
+                    return acc;
+                }
+            "#,
+            entry: "strhash",
+            arg: 400,
+            expect: 526479778,
+        },
+    ]
+}
+
+/// Boots a kernel into a fresh process.
+///
+/// # Panics
+/// Panics when the kernel source fails to compile or link (suite bug).
+pub fn boot_kernel(k: &Kernel, mode: LinkMode) -> Process {
+    let m = popcorn::compile(k.src, k.name, "v1", &popcorn::Interface::new())
+        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    let mut p = Process::new(mode);
+    p.load_module(&m).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    p
+}
+
+/// Runs a kernel once, asserting the expected result; returns the process
+/// for stats inspection.
+///
+/// # Panics
+/// Panics when the kernel traps or returns the wrong result.
+pub fn run_kernel(p: &mut Process, k: &Kernel) {
+    let v = p.call(k.entry, vec![Value::Int(k.arg)]).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    assert_eq!(v, Value::Int(k.expect), "{} result", k.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_run_correctly_in_both_modes() {
+        for k in kernels() {
+            for mode in [LinkMode::Static, LinkMode::Updateable] {
+                let mut p = boot_kernel(&k, mode);
+                run_kernel(&mut p, &k);
+            }
+        }
+    }
+
+    #[test]
+    fn static_mode_performs_no_slot_calls() {
+        for k in kernels() {
+            let mut p = boot_kernel(&k, LinkMode::Static);
+            run_kernel(&mut p, &k);
+            assert_eq!(p.stats.slot_calls, 0, "{}", k.name);
+            let mut p = boot_kernel(&k, LinkMode::Updateable);
+            run_kernel(&mut p, &k);
+            assert_eq!(p.stats.slot_calls, p.stats.calls, "{}", k.name);
+        }
+    }
+}

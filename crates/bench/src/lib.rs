@@ -1,0 +1,23 @@
+//! # dsu-bench — the evaluation harness
+//!
+//! One binary per table/figure of the reproduced evaluation (see
+//! `EXPERIMENTS.md` at the repository root for the experiment index and
+//! recorded results):
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `table1_patch_stats` | FlashEd patch-stream statistics |
+//! | `table2_update_time` | patch application cost breakdown + state-size sweep |
+//! | `table3_indirection` | updateable-compilation overhead on kernels |
+//! | `table4_code_size` | code/metadata size of static vs updateable images |
+//! | `figure1_throughput` | Flash vs FlashEd throughput across file sizes |
+//! | `figure2_timeline` | throughput timeline across live updates |
+//! | `ablation_policies` | verify on/off, activeness policies, transformer scaling |
+//!
+//! Criterion benches (`cargo bench`) cover call dispatch, patch
+//! application and end-to-end serving.
+
+pub mod kernels;
+pub mod measure;
+
+pub use kernels::{boot_kernel, kernels, run_kernel, Kernel};

@@ -1,0 +1,139 @@
+//! Small measurement utilities shared by the table/figure regenerators.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` over `reps` runs and returns the median duration. One warmup
+/// run precedes the measured ones.
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    f(); // warmup
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Times two workloads interleaved (A, B, A, B, …) over `samples` rounds
+/// and returns the *minimum* sample for each — interleaving cancels
+/// frequency drift and the minimum suppresses scheduler noise, which
+/// matters when the expected difference is a few percent.
+pub fn time_interleaved<A, B>(samples: usize, mut a: A, mut b: B) -> (Duration, Duration)
+where
+    A: FnMut(),
+    B: FnMut(),
+{
+    a();
+    b(); // warmup
+    let mut best_a = Duration::MAX;
+    let mut best_b = Duration::MAX;
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        a();
+        best_a = best_a.min(t.elapsed());
+        let t = Instant::now();
+        b();
+        best_b = best_b.min(t.elapsed());
+    }
+    (best_a, best_b)
+}
+
+/// Like [`time_interleaved`], but each timed sample runs the workload
+/// `iters` times — pushing per-sample duration far above timer jitter so
+/// sub-percent differences resolve. Returned durations are per-iteration.
+pub fn time_interleaved_iters<A, B>(
+    samples: usize,
+    iters: usize,
+    mut a: A,
+    mut b: B,
+) -> (Duration, Duration)
+where
+    A: FnMut(),
+    B: FnMut(),
+{
+    let (ta, tb) = time_interleaved(
+        samples,
+        || {
+            for _ in 0..iters {
+                a();
+            }
+        },
+        || {
+            for _ in 0..iters {
+                b();
+            }
+        },
+    );
+    (ta / iters as u32, tb / iters as u32)
+}
+
+/// Relative overhead of `test` over `base`, in percent.
+pub fn overhead_percent(base: Duration, test: Duration) -> f64 {
+    if base.is_zero() {
+        return 0.0;
+    }
+    (test.as_secs_f64() - base.as_secs_f64()) / base.as_secs_f64() * 100.0
+}
+
+/// Formats a duration with 3 significant-ish digits (µs/ms adaptive).
+pub fn fmt_dur(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.3}s", us / 1e6)
+    }
+}
+
+/// Prints one aligned table row.
+pub fn row(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a rule under a header of the given widths.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    println!("{}", "-".repeat(total));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_monotone_in_work() {
+        // `black_box` every iteration so no closed form survives.
+        let spin = |n: u64| {
+            for i in 0..n {
+                std::hint::black_box(i);
+            }
+        };
+        let fast = time_median(5, || spin(std::hint::black_box(100)));
+        let slow = time_median(5, || spin(std::hint::black_box(2_000_000)));
+        assert!(slow >= fast, "{slow:?} vs {fast:?}");
+    }
+
+    #[test]
+    fn overhead_math() {
+        let base = Duration::from_millis(100);
+        assert!((overhead_percent(base, Duration::from_millis(110)) - 10.0).abs() < 1e-9);
+        assert!((overhead_percent(base, Duration::from_millis(90)) + 10.0).abs() < 1e-9);
+        assert_eq!(overhead_percent(Duration::ZERO, base), 0.0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_micros(500)), "500.0µs");
+        assert_eq!(fmt_dur(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.000s");
+    }
+}

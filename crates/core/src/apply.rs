@@ -1,0 +1,241 @@
+//! Applying a dynamic patch to a running process.
+//!
+//! The pipeline mirrors the paper's dynamic linker:
+//!
+//! 1. **verify** — type-check the patch's object code against the running
+//!    program's types (nothing unverified is ever linked);
+//! 2. **compat** — the update-safety analysis of [`crate::compat`];
+//! 3. **link** — register new type versions, add new globals, resolve the
+//!    patch code against current bindings plus patch-internal targets;
+//! 4. **bind** — atomically flip name/slot/type bindings and initialise
+//!    new globals (the guest is suspended at an update point throughout,
+//!    so guest-visibly this is one instant);
+//! 5. **transform** — run state transformers over the old global values
+//!    (reading old-layout records through their aliases) and commit the
+//!    new values.
+//!
+//! Any failure rolls the process back to its pre-update bindings via a
+//! snapshot; a rejected update is a no-op.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use vm::{LinkOverrides, Process, ProcessTypes, Value};
+
+use crate::compat;
+use crate::patch::Patch;
+use crate::report::{PhaseTimings, UpdateError, UpdateReport};
+
+/// When state transformers run relative to the update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransformTiming {
+    /// Run every transformer inside the update pause, staged and committed
+    /// atomically (the paper's design).
+    #[default]
+    Eager,
+    /// Arm transformers on their globals and run each on the global's
+    /// *first guest read* (Javelus-style lazy migration). Shrinks the
+    /// pause to O(1) per global at the price of a per-read pending check
+    /// and first-access latency — the trade-off the ablation quantifies.
+    Lazy,
+}
+
+/// Tunable update behaviour (the ablation axes of the evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdatePolicy {
+    /// Re-verify patch object code before linking (paper default: on).
+    /// The off setting exists only to measure verification's share of the
+    /// update pause — disabling it trades away the safety guarantee.
+    pub verify: bool,
+    /// Refuse the update when *any* function listed in the manifest is on
+    /// the guest stack (Ginseng-style strict activeness). The paper's
+    /// semantics (`false`) lets old frames finish under old code; the
+    /// type-change and signature-change rules in [`crate::compat`] still
+    /// refuse the genuinely unsafe cases.
+    pub refuse_active: bool,
+    /// Eager (paper) vs lazy state transformation.
+    pub transform: TransformTiming,
+}
+
+impl Default for UpdatePolicy {
+    fn default() -> UpdatePolicy {
+        UpdatePolicy {
+            verify: true,
+            refuse_active: false,
+            transform: TransformTiming::Eager,
+        }
+    }
+}
+
+/// Applies `patch` to `proc` under `policy`.
+///
+/// The caller is responsible for quiescence: either the process is
+/// suspended at an update point, or no guest code is running (see
+/// [`crate::runtime::Updater`] for the driver that manages this).
+///
+/// # Errors
+///
+/// Returns an [`UpdateError`]; the process is left exactly as it was.
+pub fn apply_patch(
+    proc: &mut Process,
+    patch: &Patch,
+    policy: UpdatePolicy,
+) -> Result<UpdateReport, UpdateError> {
+    let mut timings = PhaseTimings::default();
+    let heap_before = proc.heap_size();
+
+    // Strict activeness policy (ablation): refuse if any updated function
+    // is live on the stack.
+    if policy.refuse_active {
+        let active = proc.suspended_stack();
+        let offenders: Vec<String> = active
+            .into_iter()
+            .filter(|f| {
+                patch.manifest.replaces.contains(f) || patch.manifest.removes.contains(f)
+            })
+            .collect();
+        if !offenders.is_empty() {
+            return Err(UpdateError::ActiveCode(offenders));
+        }
+    }
+
+    // Phase 1: verify.
+    let t = Instant::now();
+    if policy.verify {
+        tal::verify_module(&patch.module, &ProcessTypes(proc))?;
+    }
+    timings.verify = t.elapsed();
+
+    // Phase 2: compatibility.
+    let t = Instant::now();
+    compat::check(proc, patch)?;
+    timings.compat = t.elapsed();
+
+    // Everything past this point mutates the process; roll back on error.
+    let snapshot = proc.snapshot();
+    match apply_linked(proc, patch, policy, &mut timings) {
+        Ok(report_core) => {
+            let m = &patch.manifest;
+            Ok(UpdateReport {
+                from_version: patch.from_version.clone(),
+                to_version: patch.to_version.clone(),
+                timings,
+                functions_replaced: m.replaces.len(),
+                functions_added: m.adds.len(),
+                functions_removed: m.removes.len(),
+                types_changed: m.type_changes.len(),
+                globals_transformed: report_core,
+                patch_bytes: patch.size_bytes(),
+                heap_before,
+                heap_after: proc.heap_size(),
+            })
+        }
+        Err(e) => {
+            proc.restore(snapshot);
+            Err(e)
+        }
+    }
+}
+
+/// Phases 3-5. Returns the number of globals transformed (or armed for
+/// lazy transformation).
+fn apply_linked(
+    proc: &mut Process,
+    patch: &Patch,
+    policy: UpdatePolicy,
+    timings: &mut PhaseTimings,
+) -> Result<usize, UpdateError> {
+    let m = &patch.manifest;
+
+    // Phase 3: link.
+    let t = Instant::now();
+    let mut ov = LinkOverrides::default();
+    // Aliases resolve to the old registrations.
+    for alias in &m.type_aliases {
+        let sid = proc.struct_id(&alias.target).expect("compat checked");
+        ov.types.insert(alias.alias.clone(), sid);
+    }
+    // Changed and new types get fresh registrations (names flip at bind).
+    let alias_names: Vec<&str> = m.type_aliases.iter().map(|a| a.alias.as_str()).collect();
+    let mut new_type_binds: Vec<(String, vm::StructId)> = Vec::new();
+    for def in &patch.module.types {
+        if alias_names.contains(&def.name.as_str()) {
+            continue;
+        }
+        let sid = proc.register_struct(def.clone());
+        ov.types.insert(def.name.clone(), sid);
+        new_type_binds.push((def.name.clone(), sid));
+    }
+    // New globals exist (with defaults) before code resolution.
+    for gname in &m.new_globals {
+        let gdef = patch.module.global(gname).expect("compat checked");
+        proc.add_global(gname.clone(), gdef.ty.clone(), Value::default_for(&gdef.ty))?;
+    }
+    let planned = proc.link_functions(&patch.module, &ov)?;
+    let planned_ids: HashMap<&str, vm::FuncId> =
+        planned.iter().map(|(n, id)| (n.as_str(), *id)).collect();
+    timings.link = t.elapsed();
+
+    // Phase 4: bind — the atomic flip.
+    let t = Instant::now();
+    for (name, id) in &planned {
+        proc.bind_function(name, *id);
+    }
+    for name in &m.removes {
+        proc.unbind_function(name);
+    }
+    for (name, sid) in &new_type_binds {
+        proc.bind_type_name(name.clone(), *sid);
+    }
+    timings.bind = t.elapsed();
+
+    // New-global initialisers run in the new code world.
+    let t = Instant::now();
+    for gname in &m.new_globals {
+        let gdef = patch.module.global(gname).expect("compat checked");
+        let v = proc
+            .eval_init(&patch.module, gdef, &ov)
+            .map_err(|trap| UpdateError::Transform { function: format!("<init {gname}>"), trap })?;
+        proc.set_global(gname, v);
+    }
+
+    // Phase 5: transform.
+    let transformed = match policy.transform {
+        TransformTiming::Eager => {
+            // Stage all new values against the *old* state, then commit,
+            // so transformers never observe each other's output.
+            let mut staged: Vec<(&str, Value)> = Vec::with_capacity(m.transformers.len());
+            for x in &m.transformers {
+                let old = proc.global_value(&x.global).expect("compat checked");
+                let fid = planned_ids[x.function.as_str()];
+                let new = proc
+                    .call_fid(fid, vec![old])
+                    .map_err(|trap| UpdateError::Transform { function: x.function.clone(), trap })?;
+                staged.push((&x.global, new));
+            }
+            let n = staged.len();
+            for (global, value) in staged {
+                proc.set_global(global, value);
+            }
+            n
+        }
+        TransformTiming::Lazy => {
+            // Arm the transformers; each runs on its global's first read.
+            for x in &m.transformers {
+                let fid = planned_ids[x.function.as_str()];
+                proc.set_pending_transform(&x.global, fid);
+            }
+            m.transformers.len()
+        }
+    };
+    // Transformers are one-shot: unbind their names so they neither
+    // pollute the interface nor pin old type versions against future
+    // updates (lazy mode keeps calling them through their FuncId).
+    for x in &m.transformers {
+        proc.unbind_function(&x.function);
+    }
+    timings.transform = t.elapsed();
+
+    proc.request_update(false);
+    Ok(transformed)
+}

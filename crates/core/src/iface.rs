@@ -1,0 +1,58 @@
+//! Extracting a running process's interface for patch compilation.
+
+use popcorn::Interface;
+use vm::Process;
+
+/// Builds the ambient [`Interface`] of a running process: every currently
+/// bound function, global, type and host function. Patch sources are
+/// compiled against this (possibly extended with alias structs for old
+/// type versions via [`Interface::with_struct`]).
+pub fn interface_of(proc: &Process) -> Interface {
+    let mut iface = Interface::new();
+    for (name, sid) in proc.type_bindings() {
+        let mut def = proc.struct_def(sid).clone();
+        // The registered definition may carry its original name; expose it
+        // under the *currently bound* name.
+        def.name = name.to_string();
+        iface.structs.insert(name.to_string(), def);
+    }
+    for cell in proc.globals() {
+        iface.globals.insert(cell.name.clone(), cell.ty.clone());
+    }
+    for (name, f) in proc.bound_functions() {
+        iface.functions.insert(name.to_string(), f.sig.clone());
+    }
+    for (name, sig) in proc.host_sigs() {
+        iface.hosts.insert(name.to_string(), sig.clone());
+    }
+    iface
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm::LinkMode;
+
+    #[test]
+    fn captures_all_binding_kinds() {
+        let src = r#"
+            struct s { v: int }
+            extern fun h(): int;
+            global g: s = s { v: 1 };
+            fun f(x: int): int { return x + h(); }
+        "#;
+        let m = popcorn::compile(src, "m", "v1", &Interface::new()).unwrap();
+        let mut p = Process::new(LinkMode::Updateable);
+        p.register_host(
+            "h",
+            tal::FnSig::new(vec![], tal::Ty::Int),
+            Box::new(|_| Ok(vm::Value::Int(0))),
+        );
+        p.load_module(&m).unwrap();
+        let iface = interface_of(&p);
+        assert!(iface.structs.contains_key("s"));
+        assert!(iface.globals.contains_key("g"));
+        assert!(iface.functions.contains_key("f"));
+        assert!(iface.hosts.contains_key("h"));
+    }
+}

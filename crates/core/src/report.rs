@@ -1,0 +1,154 @@
+//! Update instrumentation: per-phase timings and errors.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Wall-clock cost breakdown of one applied update — the quantity the
+/// paper's patch-application experiment (Table 2) reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Bytecode re-verification of the patch module.
+    pub verify: Duration,
+    /// Interface-compatibility / update-safety analysis.
+    pub compat: Duration,
+    /// Dynamic linking (type registration, code resolution, new globals).
+    pub link: Duration,
+    /// Atomic rebinding of names, slots and types.
+    pub bind: Duration,
+    /// State-transformer execution.
+    pub transform: Duration,
+}
+
+impl PhaseTimings {
+    /// Total update pause.
+    pub fn total(&self) -> Duration {
+        self.verify + self.compat + self.link + self.bind + self.transform
+    }
+}
+
+/// The record of one successful dynamic update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateReport {
+    /// Version transition, e.g. `"v2" -> "v3"`.
+    pub from_version: String,
+    /// Target version.
+    pub to_version: String,
+    /// Per-phase wall-clock costs.
+    pub timings: PhaseTimings,
+    /// Functions rebound by the update.
+    pub functions_replaced: usize,
+    /// Functions added.
+    pub functions_added: usize,
+    /// Functions removed.
+    pub functions_removed: usize,
+    /// Types whose name was rebound to a new version.
+    pub types_changed: usize,
+    /// Globals whose value was transformed.
+    pub globals_transformed: usize,
+    /// Patch size in (virtual) bytes.
+    pub patch_bytes: usize,
+    /// Guest heap footprint (bytes) before the update.
+    pub heap_before: usize,
+    /// Guest heap footprint (bytes) after the update.
+    pub heap_after: usize,
+}
+
+impl fmt::Display for UpdateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {}: {:?} total (verify {:?}, compat {:?}, link {:?}, bind {:?}, xform {:?}); \
+             {} replaced, {} added, {} removed, {} types, {} transformed",
+            self.from_version,
+            self.to_version,
+            self.timings.total(),
+            self.timings.verify,
+            self.timings.compat,
+            self.timings.link,
+            self.timings.bind,
+            self.timings.transform,
+            self.functions_replaced,
+            self.functions_added,
+            self.functions_removed,
+            self.types_changed,
+            self.globals_transformed,
+        )
+    }
+}
+
+/// Why an update was rejected or aborted. Rejected updates leave the
+/// process exactly as it was (verified by snapshot/rollback).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateError {
+    /// The patch module failed bytecode verification.
+    Verify(tal::VerifyError),
+    /// The patch violates update-safety rules (see [`crate::compat`]).
+    Compat(String),
+    /// Dynamic linking failed.
+    Link(vm::LinkError),
+    /// A state transformer (or new-global initialiser) trapped.
+    Transform {
+        /// The transformer or initialiser that failed.
+        function: String,
+        /// The trap it raised.
+        trap: vm::Trap,
+    },
+    /// The policy refused to update code that is live on the guest stack.
+    ActiveCode(Vec<String>),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Verify(e) => write!(f, "patch verification failed: {e}"),
+            UpdateError::Compat(msg) => write!(f, "update-safety violation: {msg}"),
+            UpdateError::Link(e) => write!(f, "patch linking failed: {e}"),
+            UpdateError::Transform { function, trap } => {
+                write!(f, "state transformer `{function}` trapped: {trap}")
+            }
+            UpdateError::ActiveCode(fns) => {
+                write!(f, "refused: updated code is active on the stack: {fns:?}")
+            }
+        }
+    }
+}
+
+impl Error for UpdateError {}
+
+impl From<tal::VerifyError> for UpdateError {
+    fn from(e: tal::VerifyError) -> UpdateError {
+        UpdateError::Verify(e)
+    }
+}
+
+impl From<vm::LinkError> for UpdateError {
+    fn from(e: vm::LinkError) -> UpdateError {
+        UpdateError::Link(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_phases() {
+        let t = PhaseTimings {
+            verify: Duration::from_millis(1),
+            compat: Duration::from_millis(2),
+            link: Duration::from_millis(3),
+            bind: Duration::from_millis(4),
+            transform: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = UpdateError::Compat("type `t` changed but `f` not replaced".into());
+        assert!(e.to_string().contains("update-safety"));
+        let e = UpdateError::ActiveCode(vec!["handler".into()]);
+        assert!(e.to_string().contains("handler"));
+    }
+}

@@ -1,0 +1,164 @@
+//! The update runtime: pending patches, update points, and the driver loop.
+//!
+//! An [`Updater`] owns the patch queue and the update policy. Host code
+//! runs guest entry points through [`Updater::run`]; when a patch is
+//! pending and the guest reaches an `update;` point, the run suspends, all
+//! queued patches are applied in order, and execution resumes — old frames
+//! under old code, everything else under the new version. This is exactly
+//! the paper's programmer-chosen update-point model.
+
+use vm::{Outcome, Process, Trap, Value};
+
+use crate::apply::{apply_patch, UpdatePolicy};
+use crate::patch::Patch;
+use crate::report::{UpdateError, UpdateReport};
+
+/// Errors surfaced by the driver loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The guest trapped.
+    Trap(Trap),
+    /// A queued patch failed to apply (the process keeps running the old
+    /// version; the failed patch is dropped from the queue).
+    Update(UpdateError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Trap(t) => write!(f, "guest trap: {t}"),
+            RunError::Update(e) => write!(f, "update failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<Trap> for RunError {
+    fn from(t: Trap) -> RunError {
+        RunError::Trap(t)
+    }
+}
+
+/// Manages pending dynamic patches for one process.
+#[derive(Default)]
+pub struct Updater {
+    policy: UpdatePolicy,
+    pending: std::collections::VecDeque<Patch>,
+    log: Vec<UpdateReport>,
+    /// Errors from patches that failed to apply (the run continues).
+    failures: Vec<UpdateError>,
+    /// When `true` (default), a patch failure during a run aborts the run
+    /// with [`RunError::Update`] instead of continuing on the old version.
+    pub strict: bool,
+}
+
+impl std::fmt::Debug for Updater {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Updater")
+            .field("policy", &self.policy)
+            .field("pending", &self.pending.len())
+            .field("applied", &self.log.len())
+            .field("failures", &self.failures.len())
+            .finish()
+    }
+}
+
+impl Updater {
+    /// Creates an updater with the paper-default policy.
+    pub fn new() -> Updater {
+        Updater { strict: true, ..Updater::default() }
+    }
+
+    /// Creates an updater with an explicit policy.
+    pub fn with_policy(policy: UpdatePolicy) -> Updater {
+        Updater { policy, strict: true, ..Updater::default() }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> UpdatePolicy {
+        self.policy
+    }
+
+    /// Queues a patch and arms the process's update request so the next
+    /// executed update point suspends.
+    pub fn enqueue(&mut self, proc: &mut Process, patch: Patch) {
+        self.pending.push_back(patch);
+        proc.request_update(true);
+    }
+
+    /// Number of patches waiting to be applied.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Reports of every successfully applied update, oldest first.
+    pub fn log(&self) -> &[UpdateReport] {
+        &self.log
+    }
+
+    /// Errors of patches that failed to apply (non-strict mode).
+    pub fn failures(&self) -> &[UpdateError] {
+        &self.failures
+    }
+
+    /// Applies all queued patches right now. The process must be quiescent
+    /// (suspended at an update point, or with no guest code running).
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns the first failing patch's error (later
+    /// patches stay queued). Otherwise failures are recorded in
+    /// [`Updater::failures`] and the queue keeps draining.
+    pub fn apply_pending(&mut self, proc: &mut Process) -> Result<usize, UpdateError> {
+        let mut applied = 0;
+        while let Some(patch) = self.pending.pop_front() {
+            match apply_patch(proc, &patch, self.policy) {
+                Ok(report) => {
+                    self.log.push(report);
+                    applied += 1;
+                }
+                Err(e) => {
+                    if self.strict {
+                        proc.request_update(!self.pending.is_empty());
+                        return Err(e);
+                    }
+                    self.failures.push(e);
+                }
+            }
+        }
+        proc.request_update(false);
+        Ok(applied)
+    }
+
+    /// Runs `entry(args)` to completion, applying queued patches whenever
+    /// the guest suspends at an update point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Trap`] if the guest traps, or (strict mode)
+    /// [`RunError::Update`] if a queued patch fails to apply.
+    pub fn run(
+        &mut self,
+        proc: &mut Process,
+        entry: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RunError> {
+        let mut outcome = proc.run(entry, args)?;
+        loop {
+            match outcome {
+                Outcome::Done(v) => return Ok(v),
+                Outcome::Suspended => {
+                    if let Err(e) = self.apply_pending(proc) {
+                        if self.strict {
+                            // Abandon the suspended run cleanly.
+                            proc.discard_suspended();
+                            return Err(RunError::Update(e));
+                        }
+                    }
+                    outcome = proc.resume()?;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Version tracking and best-effort rollback.
+//!
+//! The paper's dynamic linker keeps superseded code around (old frames may
+//! still run it); this module adds an explicit version history so an
+//! operator can *roll back* a bad update: bindings, slots, type names and
+//! global values are restored from the snapshot taken before each update.
+//! Rollback is best-effort in the same sense the paper discusses undoing
+//! updates: state mutated in place by guest code after the update (not by
+//! transformers, which are staged) is not reconstructed.
+
+use vm::{BindingSnapshot, Process};
+
+/// One recorded version point.
+#[derive(Debug)]
+struct Entry {
+    version: String,
+    snapshot: BindingSnapshot,
+}
+
+/// Records binding snapshots keyed by version label.
+#[derive(Debug, Default)]
+pub struct VersionManager {
+    entries: Vec<Entry>,
+}
+
+impl VersionManager {
+    /// Creates an empty history.
+    pub fn new() -> VersionManager {
+        VersionManager::default()
+    }
+
+    /// Records the process's current bindings under `version`. Call this
+    /// immediately *before* applying the patch that supersedes `version`.
+    pub fn record(&mut self, proc: &Process, version: impl Into<String>) {
+        self.entries.push(Entry { version: version.into(), snapshot: proc.snapshot() });
+    }
+
+    /// Recorded version labels, oldest first.
+    pub fn versions(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.version.as_str()).collect()
+    }
+
+    /// Rolls the process back to the bindings recorded for `version`,
+    /// discarding every later recording. Returns `false` (and changes
+    /// nothing) when the version is unknown.
+    pub fn rollback_to(&mut self, proc: &mut Process, version: &str) -> bool {
+        let Some(idx) = self.entries.iter().position(|e| e.version == version) else {
+            return false;
+        };
+        let entry = self.entries.swap_remove(idx);
+        self.entries.truncate(idx);
+        proc.restore(entry.snapshot);
+        true
+    }
+
+    /// Number of recorded versions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no versions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

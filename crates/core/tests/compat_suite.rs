@@ -1,0 +1,376 @@
+//! Update-safety (compat) analysis corner-case suite.
+//!
+//! Every rejection here is a patch that *verified* as code but would have
+//! broken the running program; every acceptance is a patch the analysis
+//! must not over-refuse.
+
+use dsu_core::{
+    apply_patch, compile_patch, interface_of, Manifest, Transformer, TypeAlias, UpdateError,
+    UpdatePolicy, Updater,
+};
+use vm::{LinkMode, Process, Value};
+
+fn boot(src: &str) -> Process {
+    let m = popcorn::compile(src, "app", "v1", &popcorn::Interface::new()).expect("compiles");
+    let mut p = Process::new(LinkMode::Updateable);
+    p.load_module(&m).expect("links");
+    p
+}
+
+fn patch(p: &Process, src: &str, manifest: Manifest) -> dsu_core::Patch {
+    compile_patch(src, "v1", "v2", &interface_of(p), manifest).expect("patch compiles")
+}
+
+fn expect_compat_error(p: &mut Process, patch: dsu_core::Patch, needle: &str) {
+    match apply_patch(p, &patch, UpdatePolicy::default()) {
+        Ok(_) => panic!("patch should be rejected ({needle})"),
+        Err(UpdateError::Compat(msg)) => {
+            assert!(msg.contains(needle), "expected {needle:?} in `{msg}`")
+        }
+        Err(other) => panic!("expected Compat error containing {needle:?}, got {other}"),
+    }
+}
+
+// ----------------------- manifest/module agreement -----------------------
+
+#[test]
+fn manifest_must_match_module_contents() {
+    let base = "fun f(): int { return 1; }";
+    let mut p = boot(base);
+    // Claims to replace something the module does not define.
+    let pt = patch(
+        &p,
+        "fun g(): int { return 2; }",
+        Manifest { replaces: vec!["f".into()], adds: vec!["g".into()], ..Manifest::default() },
+    );
+    expect_compat_error(&mut p, pt, "does not define");
+
+    // Module defines a function the manifest does not mention.
+    let pt = patch(&p, "fun g(): int { return 2; }", Manifest::default());
+    expect_compat_error(&mut p, pt, "not listed as replaced or added");
+
+    // Module defines a global the manifest does not mention.
+    let pt = patch(
+        &p,
+        "global x: int = 1; fun g(): int { return x; }",
+        Manifest { adds: vec!["g".into()], ..Manifest::default() },
+    );
+    expect_compat_error(&mut p, pt, "not listed in new_globals");
+}
+
+#[test]
+fn replace_requires_existing_binding_and_add_requires_fresh_name() {
+    let mut p = boot("fun f(): int { return 1; }");
+    let pt = patch(
+        &p,
+        "fun ghost(): int { return 2; }",
+        Manifest { replaces: vec!["ghost".into()], ..Manifest::default() },
+    );
+    expect_compat_error(&mut p, pt, "not bound");
+
+    let pt = patch(
+        &p,
+        "fun f(): int { return 2; }",
+        Manifest { adds: vec!["f".into()], ..Manifest::default() },
+    );
+    expect_compat_error(&mut p, pt, "already exists");
+}
+
+#[test]
+fn duplicate_manifest_entries_are_rejected() {
+    let mut p = boot("fun f(): int { return 1; }");
+    let pt = patch(
+        &p,
+        "fun f(): int { return 2; }",
+        Manifest { replaces: vec!["f".into(), "f".into()], ..Manifest::default() },
+    );
+    expect_compat_error(&mut p, pt, "more than once");
+}
+
+// ------------------------------- removals -------------------------------
+
+#[test]
+fn removal_rules() {
+    let base = r#"
+        fun helper(): int { return 1; }
+        fun user(): int { return helper(); }
+        fun bystander(): int { return 0; }
+    "#;
+    // Patch code itself referencing the removed function is rejected.
+    let mut p = boot(base);
+    let pt = patch(
+        &p,
+        "fun user(): int { return helper(); }",
+        Manifest {
+            replaces: vec!["user".into()],
+            removes: vec!["helper".into()],
+            ..Manifest::default()
+        },
+    );
+    expect_compat_error(&mut p, pt, "patch code references removed");
+
+    // Removing with the last reference also removed/replaced: accepted.
+    let mut p = boot(base);
+    let pt = patch(
+        &p,
+        "fun user(): int { return 42; }",
+        Manifest {
+            replaces: vec!["user".into()],
+            removes: vec!["helper".into()],
+            ..Manifest::default()
+        },
+    );
+    apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap();
+    assert_eq!(p.call("user", vec![]).unwrap(), Value::Int(42));
+    assert!(p.function_id("helper").is_none());
+    assert_eq!(p.call("bystander", vec![]).unwrap(), Value::Int(0));
+}
+
+#[test]
+fn removed_function_can_be_reintroduced_later() {
+    let mut p = boot("fun helper(): int { return 1; } fun f(): int { return helper(); }");
+    let pt = patch(
+        &p,
+        "fun f(): int { return 0; }",
+        Manifest {
+            replaces: vec!["f".into()],
+            removes: vec!["helper".into()],
+            ..Manifest::default()
+        },
+    );
+    apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap();
+    // Re-add under the same name with a different signature — legal,
+    // since nothing references the old one.
+    let pt = patch(
+        &p,
+        "fun helper(x: int): int { return x * 2; }",
+        Manifest { adds: vec!["helper".into()], ..Manifest::default() },
+    );
+    apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap();
+    assert_eq!(p.call("helper", vec![Value::Int(21)]).unwrap(), Value::Int(42));
+}
+
+// ---------------------------- type changes ----------------------------
+
+#[test]
+fn type_change_requires_module_definition_and_binding() {
+    let mut p = boot("struct s { v: int } fun f(x: s): int { return x.v; }");
+    let pt = patch(
+        &p,
+        "fun f(x: s): int { return x.v; }",
+        Manifest {
+            replaces: vec!["f".into()],
+            type_changes: vec!["s".into()],
+            ..Manifest::default()
+        },
+    );
+    expect_compat_error(&mut p, pt, "not defined by the module");
+
+    let pt = patch(
+        &p,
+        "struct ghost2 { v: int } fun f(x: s): int { return x.v; }",
+        Manifest {
+            replaces: vec!["f".into()],
+            type_changes: vec!["ghost".into()],
+            ..Manifest::default()
+        },
+    );
+    expect_compat_error(&mut p, pt, "not bound");
+}
+
+#[test]
+fn type_change_requires_all_users_updated() {
+    let base = r#"
+        struct s { v: int }
+        fun reader(x: s): int { return x.v; }
+        fun maker(): s { return s { v: 1 }; }
+    "#;
+    let mut p = boot(base);
+    // Only `maker` updated: `reader` still uses the old layout.
+    let pt = patch(
+        &p,
+        "struct s { v: int, w: int } fun maker(): s { return s { v: 1, w: 2 }; }",
+        Manifest {
+            replaces: vec!["maker".into()],
+            type_changes: vec!["s".into()],
+            ..Manifest::default()
+        },
+    );
+    expect_compat_error(&mut p, pt, "live function `reader` still uses it");
+}
+
+#[test]
+fn alias_must_match_old_structure() {
+    let base = r#"
+        struct s { v: int }
+        global g: s = s { v: 1 };
+        fun f(): int { return g.v; }
+    "#;
+    let mut p = boot(base);
+    // Alias claims the old `s` had a string field: rejected.
+    let pt = patch(
+        &p,
+        r#"
+        struct s__old { v: string }
+        struct s { v: int, w: int }
+        fun f(): int { return g.v + g.w; }
+        fun x(old: s__old): s { return s { v: 0, w: 0 }; }
+        "#,
+        Manifest {
+            replaces: vec!["f".into()],
+            adds: vec!["x".into()],
+            type_changes: vec!["s".into()],
+            type_aliases: vec![TypeAlias { alias: "s__old".into(), target: "s".into() }],
+            transformers: vec![Transformer { global: "g".into(), function: "x".into() }],
+            ..Manifest::default()
+        },
+    );
+    expect_compat_error(&mut p, pt, "does not match the old structure");
+}
+
+#[test]
+fn transformer_signature_is_checked() {
+    let base = r#"
+        struct s { v: int }
+        global g: s = s { v: 1 };
+        fun f(): int { return g.v; }
+    "#;
+    // Wrong parameter type (takes the NEW type, not the old alias).
+    let mut p = boot(base);
+    let pt = patch(
+        &p,
+        r#"
+        struct s__old { v: int }
+        struct s { v: int, w: int }
+        fun f(): int { return g.v + g.w; }
+        fun x(old: s): s { return old; }
+        "#,
+        Manifest {
+            replaces: vec!["f".into()],
+            adds: vec!["x".into()],
+            type_changes: vec!["s".into()],
+            type_aliases: vec![TypeAlias { alias: "s__old".into(), target: "s".into() }],
+            transformers: vec![Transformer { global: "g".into(), function: "x".into() }],
+            ..Manifest::default()
+        },
+    );
+    expect_compat_error(&mut p, pt, "must take (s__old)");
+}
+
+#[test]
+fn transformer_may_target_unchanged_global() {
+    // A transformer on a global of unchanged type is a plain value
+    // migration (e.g. re-initialisation) and is allowed.
+    let mut p = boot("global g: int = 5; fun f(): int { return g; }");
+    let pt = patch(
+        &p,
+        "fun x(old: int): int { return old * 100; }",
+        Manifest {
+            adds: vec!["x".into()],
+            transformers: vec![Transformer { global: "g".into(), function: "x".into() }],
+            ..Manifest::default()
+        },
+    );
+    apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap();
+    assert_eq!(p.call("f", vec![]).unwrap(), Value::Int(500));
+}
+
+// ------------------------- active-code rules -------------------------
+
+#[test]
+fn signature_change_refused_while_referenced_by_active_frame() {
+    let src = r#"
+        fun helper(x: int): int { return x; }
+        fun work(): int {
+            update;
+            return helper(1);
+        }
+    "#;
+    let mut p = boot(src);
+    // Suspend inside `work`, whose continuation still calls helper with
+    // the OLD calling convention.
+    p.request_update(true);
+    assert_eq!(p.run("work", vec![]).unwrap(), vm::Outcome::Suspended);
+    let pt = patch(
+        &p,
+        r#"
+        fun helper(x: int, y: int): int { return x + y; }
+        fun work(): int { update; return helper(1, 2); }
+        "#,
+        Manifest { replaces: vec!["helper".into(), "work".into()], ..Manifest::default() },
+    );
+    let e = apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap_err();
+    assert!(matches!(e, UpdateError::ActiveCode(_)), "{e}");
+    // Clean up the suspension; the same patch applies at quiescence.
+    p.discard_suspended();
+    p.request_update(false);
+    apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap();
+    assert_eq!(p.call("work", vec![]).unwrap(), Value::Int(3));
+}
+
+#[test]
+fn type_change_refused_while_type_user_is_active() {
+    let src = r#"
+        struct s { v: int }
+        global g: s = s { v: 1 };
+        fun touch(): int {
+            var local: s = g;
+            update;
+            return local.v;
+        }
+    "#;
+    let mut p = boot(src);
+    p.request_update(true);
+    assert_eq!(p.run("touch", vec![]).unwrap(), vm::Outcome::Suspended);
+    let pt = patch(
+        &p,
+        r#"
+        struct s__old { v: int }
+        struct s { v: int, w: int }
+        fun touch(): int {
+            var local: s = g;
+            update;
+            return local.v + local.w;
+        }
+        fun x(old: s__old): s {
+            if (old == null) { return null; }
+            return s { v: old.v, w: 0 };
+        }
+        "#,
+        Manifest {
+            replaces: vec!["touch".into()],
+            adds: vec!["x".into()],
+            type_changes: vec!["s".into()],
+            type_aliases: vec![TypeAlias { alias: "s__old".into(), target: "s".into() }],
+            transformers: vec![Transformer { global: "g".into(), function: "x".into() }],
+            ..Manifest::default()
+        },
+    );
+    let e = apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap_err();
+    assert!(matches!(e, UpdateError::ActiveCode(ref fns) if fns.contains(&"touch".to_string())), "{e}");
+}
+
+// --------------------------- updater driver ---------------------------
+
+#[test]
+fn updater_retries_nothing_after_strict_failure() {
+    let mut p = boot("fun f(): int { update; return 1; }");
+    let bad = patch(
+        &p,
+        "fun g(): int { return 1; }",
+        Manifest { replaces: vec!["f".into()], adds: vec!["g".into()], ..Manifest::default() },
+    );
+    let good = patch(
+        &p,
+        "fun f(): int { update; return 2; }",
+        Manifest { replaces: vec!["f".into()], ..Manifest::default() },
+    );
+    let mut up = Updater::new();
+    up.enqueue(&mut p, bad);
+    up.enqueue(&mut p, good);
+    assert!(up.run(&mut p, "f", vec![]).is_err());
+    // The good patch is still pending; a later run applies it.
+    assert_eq!(up.pending_count(), 1);
+    assert_eq!(up.run(&mut p, "f", vec![]).unwrap(), Value::Int(1), "old f finishes");
+    assert_eq!(up.run(&mut p, "f", vec![]).unwrap(), Value::Int(2));
+}

@@ -1,0 +1,181 @@
+//! Lazy (first-read) state transformation — the Javelus-style alternative
+//! to the paper's eager design, kept behind [`TransformTiming::Lazy`].
+
+use dsu_core::{
+    apply_patch, compile_patch, interface_of, Manifest, PatchGen, Transformer, TransformTiming, UpdatePolicy,
+};
+use vm::{LinkMode, Process, Value};
+
+fn boot(src: &str) -> Process {
+    let m = popcorn::compile(src, "app", "v1", &popcorn::Interface::new()).unwrap();
+    let mut p = Process::new(LinkMode::Updateable);
+    p.load_module(&m).unwrap();
+    p
+}
+
+fn lazy_policy() -> UpdatePolicy {
+    UpdatePolicy { transform: TransformTiming::Lazy, ..UpdatePolicy::default() }
+}
+
+const V1: &str = r#"
+    struct rec { id: int }
+    global data: [rec] = new [rec];
+    global probe_count: int = 0;
+    fun fill(n: int): int {
+        var i: int = 0;
+        while (i < n) { push(data, rec { id: i * 2 }); i = i + 1; }
+        return len(data);
+    }
+    fun total(): int {
+        var s: int = 0;
+        var i: int = 0;
+        while (i < len(data)) { s = s + data[i].id; i = i + 1; }
+        return s;
+    }
+"#;
+
+const V2: &str = r#"
+    struct rec { id: int, seen: int }
+    global data: [rec] = new [rec];
+    global probe_count: int = 0;
+    fun fill(n: int): int {
+        var i: int = 0;
+        while (i < n) { push(data, rec { id: i * 2, seen: 0 }); i = i + 1; }
+        return len(data);
+    }
+    fun total(): int {
+        var s: int = 0;
+        var i: int = 0;
+        while (i < len(data)) { s = s + data[i].id; i = i + 1; }
+        return s;
+    }
+"#;
+
+#[test]
+fn lazy_update_defers_transformation_to_first_read() {
+    let gen = PatchGen::new().generate(V1, V2, "v1", "v2").unwrap();
+    let mut p = boot(V1);
+    p.call("fill", vec![Value::Int(100)]).unwrap();
+    let before = p.call("total", vec![]).unwrap();
+
+    let report = apply_patch(&mut p, &gen.patch, lazy_policy()).unwrap();
+    assert_eq!(report.globals_transformed, 1, "armed, counted");
+    // Not yet transformed: the host-visible raw value still holds
+    // old-layout records and the pending flag is set.
+    assert!(p.has_pending_transform("data"));
+
+    // First guest read triggers the migration; state is preserved.
+    assert_eq!(p.call("total", vec![]).unwrap(), before);
+    assert!(!p.has_pending_transform("data"));
+    // And it runs exactly once.
+    assert_eq!(p.call("total", vec![]).unwrap(), before);
+}
+
+#[test]
+fn lazy_pause_excludes_transform_cost() {
+    let gen = PatchGen::new().generate(V1, V2, "v1", "v2").unwrap();
+
+    let mut eager = boot(V1);
+    eager.call("fill", vec![Value::Int(50_000)]).unwrap();
+    let r_eager = apply_patch(&mut eager, &gen.patch, UpdatePolicy::default()).unwrap();
+
+    let mut lazy = boot(V1);
+    lazy.call("fill", vec![Value::Int(50_000)]).unwrap();
+    let r_lazy = apply_patch(&mut lazy, &gen.patch, lazy_policy()).unwrap();
+
+    assert!(
+        r_lazy.timings.transform * 10 < r_eager.timings.transform,
+        "lazy pause {:?} must be far below eager {:?}",
+        r_lazy.timings.transform,
+        r_eager.timings.transform
+    );
+    // Both end at the same state once read.
+    assert_eq!(
+        eager.call("total", vec![]).unwrap(),
+        lazy.call("total", vec![]).unwrap()
+    );
+}
+
+#[test]
+fn guest_store_before_read_supersedes_pending_transform() {
+    let gen = PatchGen::new().generate(V1, V2, "v1", "v2").unwrap();
+    let mut p = boot(V1);
+    p.call("fill", vec![Value::Int(10)]).unwrap();
+    apply_patch(&mut p, &gen.patch, lazy_policy()).unwrap();
+
+    // New code rebuilds the global wholesale before anything reads it:
+    // fill() stores a fresh (new-layout) array... but fill() reads `data`
+    // via push? No: fill() only reads `data` through push(data, ..),
+    // which is a read — so this exercises read-triggering through the
+    // new fill too.
+    assert!(p.has_pending_transform("data"));
+    p.call("fill", vec![Value::Int(1)]).unwrap();
+    assert!(!p.has_pending_transform("data"));
+    // 10 migrated records + 1 new one.
+    let Value::Array(a) = p.global_value("data").unwrap() else { panic!() };
+    assert_eq!(a.borrow().len(), 11);
+}
+
+#[test]
+fn transformer_reading_its_own_global_sees_old_value_once() {
+    // A manual transformer whose body reads the global it transforms:
+    // the pending flag must clear first, or this would recurse forever.
+    let mut p = boot("global g: int = 5; fun read(): int { return g; }");
+    let patch = compile_patch(
+        r#"
+        fun xg(old: int): int { return old + g; }
+        "#,
+        "v1",
+        "v2",
+        &interface_of(&p),
+        Manifest {
+            adds: vec!["xg".into()],
+            transformers: vec![Transformer { global: "g".into(), function: "xg".into() }],
+            ..Manifest::default()
+        },
+    )
+    .unwrap();
+    apply_patch(&mut p, &patch, lazy_policy()).unwrap();
+    // old(5) + g-as-seen-by-transformer(5) = 10.
+    assert_eq!(p.call("read", vec![]).unwrap(), Value::Int(10));
+    assert_eq!(p.call("read", vec![]).unwrap(), Value::Int(10), "runs once");
+}
+
+#[test]
+fn lazy_transform_survives_rollback_semantics() {
+    // Snapshot-restore clears armed transforms along with the bindings.
+    let gen = PatchGen::new().generate(V1, V2, "v1", "v2").unwrap();
+    let mut p = boot(V1);
+    p.call("fill", vec![Value::Int(5)]).unwrap();
+    let snap = p.snapshot();
+    apply_patch(&mut p, &gen.patch, lazy_policy()).unwrap();
+    assert!(p.has_pending_transform("data"));
+    p.restore(snap);
+    assert!(!p.has_pending_transform("data"));
+    assert_eq!(p.call("total", vec![]).unwrap(), Value::Int(2 + 4 + 6 + 8));
+}
+
+#[test]
+fn failing_lazy_transformer_traps_at_first_read_not_apply() {
+    let mut p = boot("global g: int = 0; fun read(): int { return 10 / g; }");
+    // Transformer divides by zero.
+    let patch = compile_patch(
+        "fun xg(old: int): int { return 1 / old; }",
+        "v1",
+        "v2",
+        &interface_of(&p),
+        Manifest {
+            adds: vec!["xg".into()],
+            transformers: vec![Transformer { global: "g".into(), function: "xg".into() }],
+            ..Manifest::default()
+        },
+    )
+    .unwrap();
+    // Apply succeeds (nothing ran yet)...
+    apply_patch(&mut p, &patch, lazy_policy()).unwrap();
+    // ...the trap surfaces at the first read. This is the lazy design's
+    // key weakness relative to the paper's eager+rollback: failures are
+    // no longer confined to the update.
+    let e = p.call("read", vec![]).unwrap_err();
+    assert_eq!(e, vm::Trap::DivByZero);
+}

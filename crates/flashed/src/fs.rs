@@ -1,0 +1,123 @@
+//! The simulated filesystem FlashEd serves from.
+//!
+//! The paper's testbed served real files to real clients; here a
+//! deterministic in-memory filesystem exercises the identical guest code
+//! path (lookup → read → respond) while keeping experiments reproducible.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An in-memory filesystem: path → content.
+#[derive(Debug, Clone, Default)]
+pub struct SimFs {
+    files: BTreeMap<String, String>,
+}
+
+impl SimFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> SimFs {
+        SimFs::default()
+    }
+
+    /// Adds (or replaces) a file.
+    pub fn insert(&mut self, path: impl Into<String>, content: impl Into<String>) {
+        self.files.insert(path.into(), content.into());
+    }
+
+    /// Reads a file's content.
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the filesystem is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// All paths, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// Generates `n` files named `/fNNN.html` with sizes drawn uniformly
+    /// from `size_range` (bytes), deterministic in `seed`. This mirrors
+    /// the static-document corpora of web-server benchmarks.
+    pub fn generate(n: usize, size_range: (usize, usize), seed: u64) -> SimFs {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fs = SimFs::new();
+        for i in 0..n {
+            let size = if size_range.0 >= size_range.1 {
+                size_range.0
+            } else {
+                rng.gen_range(size_range.0..=size_range.1)
+            };
+            fs.insert(format!("/f{i:04}.html"), synth_content(i, size));
+        }
+        fs
+    }
+
+    /// Generates `n` files all of exactly `size` bytes.
+    pub fn generate_fixed(n: usize, size: usize, seed: u64) -> SimFs {
+        SimFs::generate(n, (size, size), seed)
+    }
+}
+
+/// Deterministic printable filler of exactly `size` bytes.
+fn synth_content(file_idx: usize, size: usize) -> String {
+    let pattern = format!("<p>file {file_idx} lorem ipsum dolor sit amet</p>\n");
+    let mut s = String::with_capacity(size);
+    while s.len() < size {
+        let take = (size - s.len()).min(pattern.len());
+        s.push_str(&pattern[..take]);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SimFs::generate(10, (100, 1000), 42);
+        let b = SimFs::generate(10, (100, 1000), 42);
+        assert_eq!(a.paths(), b.paths());
+        for p in a.paths() {
+            assert_eq!(a.read(&p), b.read(&p));
+        }
+        let c = SimFs::generate(10, (100, 1000), 43);
+        assert!(a.paths().iter().any(|p| a.read(p) != c.read(p)));
+    }
+
+    #[test]
+    fn sizes_are_exact_for_fixed() {
+        let fs = SimFs::generate_fixed(5, 256, 1);
+        assert_eq!(fs.len(), 5);
+        for p in fs.paths() {
+            assert_eq!(fs.read(&p).unwrap().len(), 256);
+        }
+    }
+
+    #[test]
+    fn lookup_semantics() {
+        let mut fs = SimFs::new();
+        assert!(fs.is_empty());
+        fs.insert("/a", "hello");
+        assert!(fs.exists("/a"));
+        assert!(!fs.exists("/b"));
+        assert_eq!(fs.read("/a"), Some("hello"));
+        assert_eq!(fs.read("/b"), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! Minimal HTTP/1.0 response parsing, used to validate guest output.
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Numeric status code (e.g. 200).
+    pub status: u16,
+    /// Header lines (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (as text).
+    pub body: String,
+}
+
+impl Response {
+    /// First value of the named header (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a guest-produced response string.
+///
+/// Returns `None` when the status line or header block is malformed — the
+/// harness treats that as a server bug.
+pub fn parse_response(raw: &str) -> Option<Response> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let mut parts = status_line.splitn(3, ' ');
+    let proto = parts.next()?;
+    if !proto.starts_with("HTTP/") {
+        return None;
+    }
+    let status: u16 = parts.next()?.parse().ok()?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':')?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    Some(Response { status, headers, body: body.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_well_formed_response() {
+        let r = parse_response(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/html\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("content-type"), Some("text/html"));
+        assert_eq!(r.header("Content-Length"), Some("5"));
+        assert_eq!(r.body, "hello");
+    }
+
+    #[test]
+    fn rejects_malformed_responses() {
+        assert!(parse_response("garbage").is_none());
+        assert!(parse_response("NOPE 200 OK\r\n\r\n").is_none());
+        assert!(parse_response("HTTP/1.0 abc OK\r\n\r\n").is_none());
+        assert!(parse_response("HTTP/1.0 200 OK\r\nbadheader\r\n\r\nx").is_none());
+    }
+
+    #[test]
+    fn body_may_contain_blank_lines() {
+        let r = parse_response("HTTP/1.0 200 OK\r\n\r\na\r\n\r\nb").unwrap();
+        assert_eq!(r.body, "a\r\n\r\nb");
+    }
+}

@@ -1,0 +1,259 @@
+//! The FlashEd serving harness: process, host environment, driver.
+//!
+//! A [`Server`] boots one FlashEd version inside a [`vm::Process`]
+//! (static or updateable link mode), wires the guest's externs to the
+//! simulated filesystem and request queue, and drives the guest `serve`
+//! loop through a [`dsu_core::Updater`] so queued dynamic patches apply at
+//! the guest's update points — mid-traffic, exactly like the paper's
+//! live-update experiments.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use dsu_core::{Patch, RunError, Updater};
+use tal::{FnSig, Ty};
+use vm::{LinkMode, Process, Value};
+
+use crate::fs::SimFs;
+
+/// One completed response with its completion time (relative to server
+/// start) — the raw material of the throughput-timeline figure.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// When the response was sent, relative to [`Server::start`].
+    pub at: Duration,
+    /// Per-request service time: from the guest pulling the request off
+    /// the queue to it sending the response (the latency a client of this
+    /// single-threaded server observes, queueing excluded).
+    pub service: Duration,
+    /// The raw response text.
+    pub response: String,
+}
+
+/// Service-time percentiles over a set of completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Median service time.
+    pub p50: Duration,
+    /// 99th-percentile service time.
+    pub p99: Duration,
+    /// Worst observed service time.
+    pub max: Duration,
+}
+
+/// Computes service-time percentiles (nearest-rank).
+///
+/// # Panics
+/// Panics when `completions` is empty.
+pub fn latency_stats(completions: &[Completion]) -> LatencyStats {
+    assert!(!completions.is_empty(), "no completions");
+    let mut times: Vec<Duration> = completions.iter().map(|c| c.service).collect();
+    times.sort();
+    let rank = |p: f64| -> Duration {
+        let idx = ((p * times.len() as f64).ceil() as usize).clamp(1, times.len());
+        times[idx - 1]
+    };
+    LatencyStats { p50: rank(0.50), p99: rank(0.99), max: *times.last().expect("non-empty") }
+}
+
+/// Boot failures.
+#[derive(Debug)]
+pub enum BootError {
+    /// The version source failed to compile.
+    Compile(popcorn::CompileError),
+    /// The compiled module failed to load.
+    Link(vm::LinkError),
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootError::Compile(e) => write!(f, "boot: {e}"),
+            BootError::Link(e) => write!(f, "boot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
+/// A running FlashEd server.
+pub struct Server {
+    proc: Process,
+    /// The dynamic-update driver; queue patches through [`Server::queue_patch`].
+    pub updater: Updater,
+    queue: Rc<RefCell<VecDeque<String>>>,
+    completions: Rc<RefCell<Vec<Completion>>>,
+    logs: Rc<RefCell<Vec<String>>>,
+    started: Instant,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("mode", &self.proc.mode())
+            .field("queued_requests", &self.queue.borrow().len())
+            .field("completions", &self.completions.borrow().len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Compiles `src` (a FlashEd version) and boots it over `fs` in the
+    /// given link mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BootError`] when the source does not compile or link.
+    pub fn start(mode: LinkMode, src: &str, version: &str, fs: SimFs) -> Result<Server, BootError> {
+        let module = popcorn::compile(src, "flashed", version, &popcorn::Interface::new())
+            .map_err(BootError::Compile)?;
+        let mut proc = Process::new(mode);
+
+        let fs = Rc::new(fs);
+        let queue: Rc<RefCell<VecDeque<String>>> = Rc::new(RefCell::new(VecDeque::new()));
+        let completions: Rc<RefCell<Vec<Completion>>> = Rc::new(RefCell::new(Vec::new()));
+        let logs: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let started = Instant::now();
+
+        {
+            let fs = Rc::clone(&fs);
+            proc.register_host(
+                "fs_read",
+                FnSig::new(vec![Ty::Str], Ty::Str),
+                Box::new(move |args| {
+                    let path = args[0].as_str();
+                    Ok(Value::str(fs.read(&path).unwrap_or("")))
+                }),
+            );
+        }
+        {
+            let fs = Rc::clone(&fs);
+            proc.register_host(
+                "fs_exists",
+                FnSig::new(vec![Ty::Str], Ty::Bool),
+                Box::new(move |args| Ok(Value::Bool(fs.exists(&args[0].as_str())))),
+            );
+        }
+        let request_pulled: Rc<std::cell::Cell<Instant>> =
+            Rc::new(std::cell::Cell::new(started));
+        {
+            let queue = Rc::clone(&queue);
+            let request_pulled = Rc::clone(&request_pulled);
+            proc.register_host(
+                "next_request",
+                FnSig::new(vec![], Ty::Str),
+                Box::new(move |_| {
+                    request_pulled.set(Instant::now());
+                    Ok(Value::str(queue.borrow_mut().pop_front().unwrap_or_default()))
+                }),
+            );
+        }
+        {
+            let completions = Rc::clone(&completions);
+            let request_pulled = Rc::clone(&request_pulled);
+            proc.register_host(
+                "send_response",
+                FnSig::new(vec![Ty::Str], Ty::Unit),
+                Box::new(move |args| {
+                    completions.borrow_mut().push(Completion {
+                        at: started.elapsed(),
+                        service: request_pulled.get().elapsed(),
+                        response: args[0].as_str().to_string(),
+                    });
+                    Ok(Value::Unit)
+                }),
+            );
+        }
+        {
+            let logs = Rc::clone(&logs);
+            proc.register_host(
+                "log_line",
+                FnSig::new(vec![Ty::Str], Ty::Unit),
+                Box::new(move |args| {
+                    logs.borrow_mut().push(args[0].as_str().to_string());
+                    Ok(Value::Unit)
+                }),
+            );
+        }
+
+        proc.load_module(&module).map_err(BootError::Link)?;
+        Ok(Server {
+            proc,
+            updater: Updater::new(),
+            queue,
+            completions,
+            logs,
+            started,
+        })
+    }
+
+    /// Enqueues client requests.
+    pub fn push_requests<I>(&self, requests: I)
+    where
+        I: IntoIterator<Item = String>,
+    {
+        self.queue.borrow_mut().extend(requests);
+    }
+
+    /// Queues a dynamic patch; it applies at the next guest update point
+    /// (or immediately on the next [`Server::serve`] boundary).
+    pub fn queue_patch(&mut self, patch: Patch) {
+        self.updater.enqueue(&mut self.proc, patch);
+    }
+
+    /// Runs the guest `serve` loop until the request queue drains.
+    /// Returns the number of requests the guest reports having served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] when the guest traps or a queued patch fails.
+    pub fn serve(&mut self) -> Result<i64, RunError> {
+        let v = self.updater.run(&mut self.proc, "serve", vec![])?;
+        Ok(v.as_int())
+    }
+
+    /// Applies queued patches immediately, without waiting for a guest
+    /// update point. Only valid while no guest code is running (the
+    /// quiescent case: between serve batches).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing patch's [`dsu_core::UpdateError`].
+    pub fn apply_pending_now(&mut self) -> Result<usize, dsu_core::UpdateError> {
+        assert!(!self.proc.is_suspended(), "guest is suspended mid-run");
+        self.updater.apply_pending(&mut self.proc)
+    }
+
+    /// Completed responses so far (in completion order).
+    pub fn completions(&self) -> Vec<Completion> {
+        self.completions.borrow().clone()
+    }
+
+    /// Drains and returns completed responses.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.borrow_mut())
+    }
+
+    /// Guest log lines (v5's request log).
+    pub fn logs(&self) -> Vec<String> {
+        self.logs.borrow().clone()
+    }
+
+    /// Time since the server started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The underlying process (for interface extraction and inspection).
+    pub fn process(&self) -> &Process {
+        &self.proc
+    }
+
+    /// Mutable access to the underlying process.
+    pub fn process_mut(&mut self) -> &mut Process {
+        &mut self.proc
+    }
+}

@@ -1,0 +1,255 @@
+//! The FlashEd development history: five Popcorn versions of the server.
+//!
+//! The paper evaluated DSU by pushing an updateable port of the Flash web
+//! server ("FlashEd") through its actual development history while it
+//! served traffic. These five versions reproduce a comparable change
+//! stream, chosen so the patch sequence exercises every change category:
+//!
+//! * **v1 → v2** — add MIME typing: two new functions, one method-body
+//!   change (level-2 additions in later taxonomies).
+//! * **v2 → v3** — add a response cache: a new struct type, a new global,
+//!   two new functions, one method-body change.
+//! * **v3 → v4** — *representation change*: `cache_entry` gains a `hits`
+//!   field, requiring a state transformer over the populated cache, plus a
+//!   new statistics function (the paper's headline state-transformation
+//!   scenario).
+//! * **v4 → v5** — bug fix in request parsing (query-string handling) and
+//!   new logging through a host function.
+//!
+//! The guest's `serve` loop is written in the paper's recommended style:
+//! it handles only strings and dispatches through symbolic calls, with the
+//! `update;` point at the bottom of each iteration — so every patch above
+//! is applicable while `serve` itself is live on the stack.
+
+/// Shared extern declarations (v5 additionally declares `log_line`).
+const PREAMBLE: &str = r#"
+extern fun fs_read(path: string): string;
+extern fun fs_exists(path: string): bool;
+extern fun next_request(): string;
+extern fun send_response(r: string): unit;
+
+global served_total: int = 0;
+
+fun serve(): int {
+    var served: int = 0;
+    while (true) {
+        var req: string = next_request();
+        if (len(req) == 0) { break; }
+        send_response(handle(req));
+        served = served + 1;
+        served_total = served_total + 1;
+        update;
+    }
+    return served;
+}
+"#;
+
+const PARSE_V1: &str = r#"
+fun parse_path(req: string): string {
+    var a: int = find(req, " ");
+    if (a < 0) { return ""; }
+    var rest: string = substr(req, a + 1, len(req) - a - 1);
+    var b: int = find(rest, " ");
+    if (b < 0) { return rest; }
+    return substr(rest, 0, b);
+}
+
+fun respond(status: string, body: string): string {
+    return "HTTP/1.0 " + status + "\r\nContent-Length: " + itoa(len(body)) + "\r\n\r\n" + body;
+}
+"#;
+
+const MIME: &str = r#"
+fun mime_of(path: string): string {
+    var dot: int = find(path, ".");
+    if (dot < 0) { return "application/octet-stream"; }
+    var ext: string = substr(path, dot + 1, len(path) - dot - 1);
+    if (ext == "html") { return "text/html"; }
+    if (ext == "txt") { return "text/plain"; }
+    if (ext == "css") { return "text/css"; }
+    return "application/octet-stream";
+}
+
+fun respond_typed(status: string, ctype: string, body: string): string {
+    return "HTTP/1.0 " + status + "\r\nContent-Type: " + ctype + "\r\nContent-Length: " + itoa(len(body)) + "\r\n\r\n" + body;
+}
+"#;
+
+/// v1: basic static-file serving.
+pub fn v1() -> String {
+    format!(
+        "{PREAMBLE}{PARSE_V1}
+fun handle(req: string): string {{
+    var path: string = parse_path(req);
+    if (len(path) == 0) {{ return respond(\"400 Bad Request\", \"bad request\"); }}
+    if (!fs_exists(path)) {{ return respond(\"404 Not Found\", \"not found\"); }}
+    return respond(\"200 OK\", fs_read(path));
+}}
+"
+    )
+}
+
+/// v2: MIME types in responses.
+pub fn v2() -> String {
+    format!(
+        "{PREAMBLE}{PARSE_V1}{MIME}
+fun handle(req: string): string {{
+    var path: string = parse_path(req);
+    if (len(path) == 0) {{ return respond(\"400 Bad Request\", \"bad request\"); }}
+    if (!fs_exists(path)) {{ return respond(\"404 Not Found\", \"not found\"); }}
+    return respond_typed(\"200 OK\", mime_of(path), fs_read(path));
+}}
+"
+    )
+}
+
+const CACHE_V3: &str = r#"
+struct cache_entry { path: string, body: string }
+
+global cache: [cache_entry] = new [cache_entry];
+global cache_cap: int = 64;
+
+fun cache_lookup(path: string): cache_entry {
+    var i: int = 0;
+    while (i < len(cache)) {
+        if (cache[i].path == path) { return cache[i]; }
+        i = i + 1;
+    }
+    return null;
+}
+
+fun cache_insert(path: string, body: string): unit {
+    if (len(cache) >= cache_cap) { return; }
+    push(cache, cache_entry { path: path, body: body });
+}
+"#;
+
+const HANDLE_CACHED: &str = r#"
+fun handle(req: string): string {
+    var path: string = parse_path(req);
+    if (len(path) == 0) { return respond("400 Bad Request", "bad request"); }
+    var e: cache_entry = cache_lookup(path);
+    if (e != null) { return respond_typed("200 OK", mime_of(path), e.body); }
+    if (!fs_exists(path)) { return respond("404 Not Found", "not found"); }
+    var body: string = fs_read(path);
+    cache_insert(path, body);
+    return respond_typed("200 OK", mime_of(path), body);
+}
+"#;
+
+/// v3: response cache.
+pub fn v3() -> String {
+    format!("{PREAMBLE}{PARSE_V1}{MIME}{CACHE_V3}{HANDLE_CACHED}")
+}
+
+const CACHE_V4: &str = r#"
+struct cache_entry { path: string, body: string, hits: int }
+
+global cache: [cache_entry] = new [cache_entry];
+global cache_cap: int = 64;
+
+fun cache_lookup(path: string): cache_entry {
+    var i: int = 0;
+    while (i < len(cache)) {
+        if (cache[i].path == path) {
+            cache[i].hits = cache[i].hits + 1;
+            return cache[i];
+        }
+        i = i + 1;
+    }
+    return null;
+}
+
+fun cache_insert(path: string, body: string): unit {
+    if (len(cache) >= cache_cap) { return; }
+    push(cache, cache_entry { path: path, body: body, hits: 0 });
+}
+
+fun cache_hits_total(): int {
+    var total: int = 0;
+    var i: int = 0;
+    while (i < len(cache)) {
+        total = total + cache[i].hits;
+        i = i + 1;
+    }
+    return total;
+}
+"#;
+
+/// v4: cache entries gain a hit counter (type change + state transformer).
+pub fn v4() -> String {
+    format!("{PREAMBLE}{PARSE_V1}{MIME}{CACHE_V4}{HANDLE_CACHED}")
+}
+
+const PARSE_V5: &str = r#"
+fun parse_path(req: string): string {
+    var a: int = find(req, " ");
+    if (a < 0) { return ""; }
+    var rest: string = substr(req, a + 1, len(req) - a - 1);
+    var b: int = find(rest, " ");
+    var path: string = rest;
+    if (b >= 0) { path = substr(rest, 0, b); }
+    var q: int = find(path, "?");
+    if (q >= 0) { path = substr(path, 0, q); }
+    return path;
+}
+
+fun respond(status: string, body: string): string {
+    return "HTTP/1.0 " + status + "\r\nContent-Length: " + itoa(len(body)) + "\r\n\r\n" + body;
+}
+"#;
+
+const HANDLE_V5: &str = r#"
+extern fun log_line(s: string): unit;
+
+fun handle(req: string): string {
+    var path: string = parse_path(req);
+    if (len(path) == 0) { return respond("400 Bad Request", "bad request"); }
+    log_line("GET " + path);
+    var e: cache_entry = cache_lookup(path);
+    if (e != null) { return respond_typed("200 OK", mime_of(path), e.body); }
+    if (!fs_exists(path)) { return respond("404 Not Found", "not found"); }
+    var body: string = fs_read(path);
+    cache_insert(path, body);
+    return respond_typed("200 OK", mime_of(path), body);
+}
+"#;
+
+/// v5: query-string parsing fix + request logging.
+pub fn v5() -> String {
+    format!("{PREAMBLE}{PARSE_V5}{MIME}{CACHE_V4}{HANDLE_V5}")
+}
+
+/// All versions in order: `[("v1", src), ...]`.
+pub fn all() -> Vec<(&'static str, String)> {
+    vec![("v1", v1()), ("v2", v2()), ("v3", v3()), ("v4", v4()), ("v5", v5())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_version_compiles_and_verifies() {
+        for (name, src) in all() {
+            let m = popcorn::compile(&src, "flashed", name, &popcorn::Interface::new())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            tal::verify_module(&m, &tal::NoAmbientTypes)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(m.function("serve").unwrap().has_update_point(), "{name}");
+        }
+    }
+
+    #[test]
+    fn version_stream_has_the_advertised_shape() {
+        // v3 introduces the cache type, v4 changes it.
+        let m3 = popcorn::compile(&v3(), "f", "v3", &popcorn::Interface::new()).unwrap();
+        let m4 = popcorn::compile(&v4(), "f", "v4", &popcorn::Interface::new()).unwrap();
+        assert_eq!(m3.type_def("cache_entry").unwrap().fields.len(), 2);
+        assert_eq!(m4.type_def("cache_entry").unwrap().fields.len(), 3);
+        // `serve` never touches the cache type, so type-changing patches
+        // remain applicable while it is active.
+        let serve = m4.function("serve").unwrap();
+        assert!(!serve.referenced_types(&m4).contains("cache_entry"));
+    }
+}

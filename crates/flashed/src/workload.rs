@@ -1,0 +1,154 @@
+//! HTTP workload generation.
+//!
+//! Clients in the paper's evaluation replayed document requests with a
+//! skewed popularity distribution; this module reproduces that shape with
+//! a Zipf sampler over the simulated filesystem's paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(α) sampler over `n` ranks (0-based), built as an explicit CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `alpha` (1.0 is the
+    /// classic web-popularity value; 0.0 degenerates to uniform).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "zipf over zero ranks");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Generates request strings against a set of document paths.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    paths: Vec<String>,
+    zipf: Zipf,
+    rng: StdRng,
+    /// Fraction of requests targeting a missing document (404 path).
+    pub miss_rate: f64,
+    /// Fraction of syntactically malformed requests (400 path).
+    pub bad_rate: f64,
+}
+
+impl Workload {
+    /// Builds a workload over `paths` with Zipf(`alpha`) popularity,
+    /// deterministic in `seed`. Defaults: no misses, no malformed
+    /// requests.
+    ///
+    /// # Panics
+    /// Panics when `paths` is empty.
+    pub fn new(paths: Vec<String>, alpha: f64, seed: u64) -> Workload {
+        let zipf = Zipf::new(paths.len(), alpha);
+        Workload { paths, zipf, rng: StdRng::seed_from_u64(seed), miss_rate: 0.0, bad_rate: 0.0 }
+    }
+
+    /// Sets the 404 fraction.
+    pub fn with_miss_rate(mut self, rate: f64) -> Workload {
+        self.miss_rate = rate;
+        self
+    }
+
+    /// Sets the malformed fraction.
+    pub fn with_bad_rate(mut self, rate: f64) -> Workload {
+        self.bad_rate = rate;
+        self
+    }
+
+    /// Produces the next request line.
+    pub fn next_request(&mut self) -> String {
+        let r: f64 = self.rng.gen();
+        if r < self.bad_rate {
+            return "BOGUS".to_string();
+        }
+        if r < self.bad_rate + self.miss_rate {
+            return "GET /no/such/file HTTP/1.0".to_string();
+        }
+        let rank = self.zipf.sample(&mut self.rng);
+        format!("GET {} HTTP/1.0", self.paths[rank])
+    }
+
+    /// Produces a batch of `n` requests.
+    pub fn batch(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Rank 0 should hold roughly 1/H(100) ≈ 19% of the mass.
+        assert!(counts[0] > 2_500, "rank 0 got {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_well_formed() {
+        let paths = vec!["/a".to_string(), "/b".to_string()];
+        let mut w1 = Workload::new(paths.clone(), 1.0, 9);
+        let mut w2 = Workload::new(paths, 1.0, 9);
+        let b1 = w1.batch(50);
+        let b2 = w2.batch(50);
+        assert_eq!(b1, b2);
+        assert!(b1.iter().all(|r| r.starts_with("GET /") && r.ends_with(" HTTP/1.0")));
+    }
+
+    #[test]
+    fn miss_and_bad_rates_apply() {
+        let mut w = Workload::new(vec!["/a".to_string()], 1.0, 3)
+            .with_miss_rate(0.5)
+            .with_bad_rate(0.25);
+        let batch = w.batch(2000);
+        let bad = batch.iter().filter(|r| *r == "BOGUS").count();
+        let miss = batch.iter().filter(|r| r.contains("/no/such/file")).count();
+        assert!((300..700).contains(&bad), "{bad}");
+        assert!((800..1200).contains(&miss), "{miss}");
+    }
+}

@@ -1,0 +1,143 @@
+//! FlashEd harness behaviour suite.
+
+use flashed::{latency_stats, parse_response, patch_stream, versions, Server, SimFs, Workload};
+use vm::{LinkMode, Value};
+
+fn small_fixture() -> (SimFs, Workload) {
+    let fs = SimFs::generate_fixed(8, 128, 3);
+    let wl = Workload::new(fs.paths(), 1.0, 5);
+    (fs, wl)
+}
+
+#[test]
+fn latency_stats_percentiles() {
+    let (fs, mut wl) = small_fixture();
+    let mut s = Server::start(LinkMode::Updateable, &versions::v1(), "v1", fs).unwrap();
+    s.push_requests(wl.batch(200));
+    s.serve().unwrap();
+    let stats = latency_stats(&s.completions());
+    assert!(stats.p50 <= stats.p99, "{stats:?}");
+    assert!(stats.p99 <= stats.max, "{stats:?}");
+    assert!(stats.p50.as_nanos() > 0);
+}
+
+#[test]
+#[should_panic(expected = "no completions")]
+fn latency_stats_rejects_empty() {
+    let _ = latency_stats(&[]);
+}
+
+#[test]
+fn serve_returns_per_batch_counts_and_accumulates_total() {
+    let (fs, mut wl) = small_fixture();
+    let mut s = Server::start(LinkMode::Updateable, &versions::v1(), "v1", fs).unwrap();
+    s.push_requests(wl.batch(5));
+    assert_eq!(s.serve().unwrap(), 5);
+    s.push_requests(wl.batch(7));
+    assert_eq!(s.serve().unwrap(), 7);
+    assert_eq!(s.process().global_value("served_total"), Some(Value::Int(12)));
+}
+
+#[test]
+fn take_completions_drains() {
+    let (fs, mut wl) = small_fixture();
+    let mut s = Server::start(LinkMode::Updateable, &versions::v1(), "v1", fs).unwrap();
+    s.push_requests(wl.batch(3));
+    s.serve().unwrap();
+    assert_eq!(s.take_completions().len(), 3);
+    assert!(s.completions().is_empty());
+}
+
+#[test]
+fn miss_and_bad_workloads_get_correct_statuses() {
+    let (fs, _) = small_fixture();
+    let mut wl = Workload::new(fs.paths(), 1.0, 5).with_miss_rate(0.3).with_bad_rate(0.2);
+    let mut s = Server::start(LinkMode::Updateable, &versions::v2(), "v2", fs).unwrap();
+    s.push_requests(wl.batch(300));
+    s.serve().unwrap();
+    let (mut ok, mut missing, mut bad) = (0, 0, 0);
+    for c in s.completions() {
+        match parse_response(&c.response).expect("well-formed").status {
+            200 => ok += 1,
+            404 => missing += 1,
+            400 => bad += 1,
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(ok > 100, "{ok}");
+    assert!(missing > 40, "{missing}");
+    assert!(bad > 20, "{bad}");
+}
+
+#[test]
+fn cache_respects_capacity_bound() {
+    // More distinct files than cache_cap (64): cache must not grow past it.
+    let fs = SimFs::generate_fixed(100, 64, 9);
+    let mut wl = Workload::new(fs.paths(), 0.0 /* uniform */, 9);
+    let mut s = Server::start(LinkMode::Updateable, &versions::v3(), "v3", fs).unwrap();
+    s.push_requests(wl.batch(500));
+    s.serve().unwrap();
+    let Some(Value::Array(cache)) = s.process().global_value("cache") else { panic!() };
+    assert!(cache.borrow().len() <= 64, "{}", cache.borrow().len());
+}
+
+#[test]
+fn cached_responses_match_uncached() {
+    let (fs, _) = small_fixture();
+    let target = fs.paths()[0].clone();
+    let mut s = Server::start(LinkMode::Updateable, &versions::v3(), "v3", fs).unwrap();
+    s.push_requests(vec![
+        format!("GET {target} HTTP/1.0"),
+        format!("GET {target} HTTP/1.0"),
+    ]);
+    s.serve().unwrap();
+    let done = s.completions();
+    assert_eq!(done[0].response, done[1].response, "cache hit must be byte-identical");
+}
+
+#[test]
+fn static_server_cannot_be_patched_usefully() {
+    // A patch applies (bindings change) but direct-linked call sites keep
+    // their targets: Flash (static) stays on old behaviour. This pins the
+    // baseline semantics the overhead experiments rely on.
+    let (fs, mut wl) = small_fixture();
+    let mut s = Server::start(LinkMode::Static, &versions::v1(), "v1", fs).unwrap();
+    let gen = &patch_stream().unwrap()[0]; // v1 -> v2 (adds content-type)
+    s.queue_patch(gen.patch.clone());
+    s.push_requests(wl.batch(4));
+    s.serve().unwrap();
+    let last = s.completions().pop().unwrap();
+    let resp = parse_response(&last.response).unwrap();
+    assert!(
+        resp.header("content-type").is_none(),
+        "static linking must not pick up the new handler"
+    );
+}
+
+#[test]
+fn logs_only_appear_from_v5() {
+    let (fs, mut wl) = small_fixture();
+    let mut s = Server::start(LinkMode::Updateable, &versions::v4(), "v4", fs.clone()).unwrap();
+    s.push_requests(wl.batch(5));
+    s.serve().unwrap();
+    assert!(s.logs().is_empty());
+
+    let mut s = Server::start(LinkMode::Updateable, &versions::v5(), "v5", fs).unwrap();
+    s.push_requests(wl.batch(5));
+    s.serve().unwrap();
+    assert_eq!(s.logs().len(), 5);
+    assert!(s.logs()[0].starts_with("GET /"));
+}
+
+#[test]
+fn elapsed_is_monotone_with_completions() {
+    let (fs, mut wl) = small_fixture();
+    let mut s = Server::start(LinkMode::Updateable, &versions::v1(), "v1", fs).unwrap();
+    s.push_requests(wl.batch(50));
+    s.serve().unwrap();
+    let done = s.completions();
+    for w in done.windows(2) {
+        assert!(w[0].at <= w[1].at, "completion order must be time-ordered");
+    }
+    assert!(s.elapsed() >= done.last().unwrap().at);
+}

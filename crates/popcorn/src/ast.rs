@@ -1,0 +1,316 @@
+//! The Popcorn abstract syntax tree.
+//!
+//! Produced by the [parser](crate::parser); consumed by the
+//! [type checker](crate::typeck), which lowers it to a typed AST. The plain
+//! AST is also what the patch generator diffs between program versions, so
+//! nodes implement `PartialEq` and a canonical `Display` (pretty-printer).
+
+use std::fmt;
+
+/// A syntactic type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeAst {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `string`
+    Str,
+    /// `unit`
+    Unit,
+    /// `[T]`
+    Array(Box<TypeAst>),
+    /// `fn(T1, T2): R`
+    Fn(Vec<TypeAst>, Box<TypeAst>),
+    /// A struct name.
+    Named(String),
+}
+
+impl fmt::Display for TypeAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeAst::Int => write!(f, "int"),
+            TypeAst::Bool => write!(f, "bool"),
+            TypeAst::Str => write!(f, "string"),
+            TypeAst::Unit => write!(f, "unit"),
+            TypeAst::Array(e) => write!(f, "[{e}]"),
+            TypeAst::Fn(ps, r) => {
+                write!(f, "fn(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "): {r}")
+            }
+            TypeAst::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A whole compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Struct definitions, in source order.
+    pub fn structs(&self) -> impl Iterator<Item = &StructDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Struct(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Global definitions, in source order.
+    pub fn globals(&self) -> impl Iterator<Item = &GlobalDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// Extern declarations, in source order.
+    pub fn externs(&self) -> impl Iterator<Item = &ExternDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Extern(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Function definitions, in source order.
+    pub fn functions(&self) -> impl Iterator<Item = &FunDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Fun(fd) => Some(fd),
+            _ => None,
+        })
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `struct Name { f: T, ... }`
+    Struct(StructDef),
+    /// `global name: T = expr;`
+    Global(GlobalDef),
+    /// `extern fun name(params): T;`
+    Extern(ExternDef),
+    /// `fun name(params): T { ... }`
+    Fun(FunDef),
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(String, TypeAst)>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A global-variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Global name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeAst,
+    /// Initialiser expression.
+    pub init: Expr,
+    /// Source line.
+    pub line: u32,
+}
+
+/// An extern (host) function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternDef {
+    /// Host function name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<TypeAst>,
+    /// Return type.
+    pub ret: TypeAst,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters: name and type.
+    pub params: Vec<(String, TypeAst)>,
+    /// Return type.
+    pub ret: TypeAst,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A statement, with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Source line.
+    pub line: u32,
+    /// Statement payload.
+    pub kind: StmtKind,
+}
+
+/// Statement forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `var name: T = expr;`
+    Var {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: TypeAst,
+        /// Initialiser.
+        init: Expr,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target (variable, field or index expression).
+        target: Expr,
+        /// Value.
+        value: Expr,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `update;` — a dynamic-update point.
+    Update,
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// An expression evaluated for effect.
+    Expr(Expr),
+}
+
+/// An expression, with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Source line.
+    pub line: u32,
+    /// Expression payload.
+    pub kind: ExprKind,
+}
+
+/// Binary operators (syntactic; the type checker resolves overloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (integer addition or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==` (integers, strings, or null tests)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null` (type determined by context).
+    Null,
+    /// Variable or global reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `callee(args)`; `callee` may be a name (direct call, builtin or
+    /// extern) or any expression of function type (indirect call).
+    Call(Box<Expr>, Vec<Expr>),
+    /// `expr.field`
+    Field(Box<Expr>, String),
+    /// `expr[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `Name { field: expr, ... }`
+    Record(String, Vec<(String, Expr)>),
+    /// `[e1, e2, ...]` (non-empty)
+    ArrayLit(Vec<Expr>),
+    /// `new [T]` — an empty array of element type `T`.
+    NewArray(TypeAst),
+    /// `&name` — a first-class function value.
+    FnRef(String),
+}

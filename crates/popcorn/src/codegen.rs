@@ -1,0 +1,300 @@
+//! Code generation: typed AST → `tal` module.
+//!
+//! The translation is a routine stack-machine walk. Every reference to a
+//! function, global or host becomes a *symbolic* reference in the produced
+//! module; whether those bind directly or through indirection-table slots
+//! is decided later by the VM's linker (the paper's static vs updateable
+//! compilation is a link-mode choice here, so one compile serves both).
+
+use tal::{FnSig, FunctionBuilder, Instr, Label, Module, ModuleBuilder, Ty};
+
+use crate::tast::*;
+
+/// Generates a `tal` module from a checked program.
+pub fn generate(prog: &TProgram, module_name: &str, version: &str) -> Module {
+    let mut b = ModuleBuilder::new(module_name, version);
+    for def in &prog.structs {
+        b.def_type(def.clone());
+    }
+    for g in &prog.globals {
+        let init = b.body(|fb| {
+            let mut gen = Gen { fb, loops: Vec::new() };
+            gen.expr(&g.init);
+            gen.fb.emit(Instr::Ret);
+        });
+        b.global(g.name.clone(), g.ty.clone(), init);
+    }
+    for f in &prog.functions {
+        b.function(f.name.clone(), f.sig.clone(), |fb| {
+            for ty in &f.locals[f.sig.params.len()..] {
+                fb.local(ty.clone());
+            }
+            let mut gen = Gen { fb, loops: Vec::new() };
+            for s in &f.body {
+                gen.stmt(s);
+            }
+            // Implicit return for unit functions (dead code otherwise).
+            gen.fb.emit(Instr::PushUnit);
+            gen.fb.emit(Instr::Ret);
+        });
+    }
+    b.finish()
+}
+
+/// Walks typed statements/expressions, emitting into a function builder.
+struct Gen<'a, 'b> {
+    fb: &'a mut FunctionBuilder<'b>,
+    /// (continue-target, break-target) per enclosing loop.
+    loops: Vec<(Label, Label)>,
+}
+
+impl Gen<'_, '_> {
+    fn stmt(&mut self, s: &TStmt) {
+        match &s.kind {
+            TStmtKind::StoreLocal(slot, v) => {
+                self.expr(v);
+                self.fb.emit(Instr::StoreLocal(*slot));
+            }
+            TStmtKind::StoreGlobal(name, v) => {
+                self.expr(v);
+                let sym = self.fb.declare_global(name.clone(), v.ty.clone());
+                self.fb.emit(Instr::StoreGlobal(sym));
+            }
+            TStmtKind::StoreField(obj, tyname, idx, v) => {
+                self.expr(obj);
+                self.expr(v);
+                let tr = self.fb.type_ref(tyname.clone());
+                self.fb.emit(Instr::SetField(tr, *idx));
+            }
+            TStmtKind::StoreIndex(arr, idx, v) => {
+                self.expr(arr);
+                self.expr(idx);
+                self.expr(v);
+                self.fb.emit(Instr::ArraySet);
+            }
+            TStmtKind::If(cond, then, els) => {
+                let lelse = self.fb.new_label();
+                let lend = self.fb.new_label();
+                self.expr(cond);
+                self.fb.jump_if_false(lelse);
+                for s in then {
+                    self.stmt(s);
+                }
+                self.fb.jump(lend);
+                self.fb.bind(lelse);
+                for s in els {
+                    self.stmt(s);
+                }
+                self.fb.bind(lend);
+            }
+            TStmtKind::While(cond, body) => {
+                let ltop = self.fb.new_label();
+                let lend = self.fb.new_label();
+                self.fb.bind(ltop);
+                self.expr(cond);
+                self.fb.jump_if_false(lend);
+                self.loops.push((ltop, lend));
+                for s in body {
+                    self.stmt(s);
+                }
+                self.loops.pop();
+                self.fb.jump(ltop);
+                self.fb.bind(lend);
+            }
+            TStmtKind::Return(v) => {
+                self.expr(v);
+                self.fb.emit(Instr::Ret);
+            }
+            TStmtKind::Update => {
+                self.fb.emit(Instr::UpdatePoint);
+            }
+            TStmtKind::Break => {
+                let (_, lend) = *self.loops.last().expect("checked: inside loop");
+                self.fb.jump(lend);
+            }
+            TStmtKind::Continue => {
+                let (ltop, _) = *self.loops.last().expect("checked: inside loop");
+                self.fb.jump(ltop);
+            }
+            TStmtKind::Expr(e) => {
+                self.expr(e);
+                self.fb.emit(Instr::Pop);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn expr(&mut self, e: &TExpr) {
+        match &e.kind {
+            TExprKind::Unit => {
+                self.fb.emit(Instr::PushUnit);
+            }
+            TExprKind::Int(n) => {
+                self.fb.emit(Instr::PushInt(*n));
+            }
+            TExprKind::Str(s) => {
+                let id = self.fb.string(s.clone());
+                self.fb.emit(Instr::PushStr(id));
+            }
+            TExprKind::Bool(b) => {
+                self.fb.emit(Instr::PushBool(*b));
+            }
+            TExprKind::Null(n) => {
+                let tr = self.fb.type_ref(n.clone());
+                self.fb.emit(Instr::PushNull(tr));
+            }
+            TExprKind::Local(slot) => {
+                self.fb.emit(Instr::LoadLocal(*slot));
+            }
+            TExprKind::Global(name) => {
+                let sym = self.fb.declare_global(name.clone(), e.ty.clone());
+                self.fb.emit(Instr::LoadGlobal(sym));
+            }
+            TExprKind::Neg(x) => {
+                self.expr(x);
+                self.fb.emit(Instr::Neg);
+            }
+            TExprKind::Not(x) => {
+                self.expr(x);
+                self.fb.emit(Instr::Not);
+            }
+            TExprKind::IntBin(op, l, r) => {
+                self.expr(l);
+                self.expr(r);
+                self.fb.emit(match op {
+                    IntBin::Add => Instr::Add,
+                    IntBin::Sub => Instr::Sub,
+                    IntBin::Mul => Instr::Mul,
+                    IntBin::Div => Instr::Div,
+                    IntBin::Rem => Instr::Rem,
+                    IntBin::Eq => Instr::Eq,
+                    IntBin::Ne => Instr::Ne,
+                    IntBin::Lt => Instr::Lt,
+                    IntBin::Le => Instr::Le,
+                    IntBin::Gt => Instr::Gt,
+                    IntBin::Ge => Instr::Ge,
+                });
+            }
+            TExprKind::Concat(l, r) => {
+                self.expr(l);
+                self.expr(r);
+                self.fb.emit(Instr::Concat);
+            }
+            TExprKind::StrEq(l, r, neg) => {
+                self.expr(l);
+                self.expr(r);
+                self.fb.emit(Instr::StrEq);
+                if *neg {
+                    self.fb.emit(Instr::Not);
+                }
+            }
+            TExprKind::ShortCircuit(is_and, l, r) => {
+                self.expr(l);
+                if *is_and {
+                    // a && b: false branch short-circuits.
+                    let lfalse = self.fb.new_label();
+                    let lend = self.fb.new_label();
+                    self.fb.jump_if_false(lfalse);
+                    self.expr(r);
+                    self.fb.jump(lend);
+                    self.fb.bind(lfalse);
+                    self.fb.emit(Instr::PushBool(false));
+                    self.fb.bind(lend);
+                } else {
+                    // a || b: true branch short-circuits.
+                    let leval = self.fb.new_label();
+                    let lend = self.fb.new_label();
+                    self.fb.jump_if_false(leval);
+                    self.fb.emit(Instr::PushBool(true));
+                    self.fb.jump(lend);
+                    self.fb.bind(leval);
+                    self.expr(r);
+                    self.fb.bind(lend);
+                }
+            }
+            TExprKind::CallFn(name, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                let sig = FnSig::new(args.iter().map(|a| a.ty.clone()).collect(), e.ty.clone());
+                let sym = self.fb.declare_fn(name.clone(), sig);
+                self.fb.emit(Instr::Call(sym));
+            }
+            TExprKind::CallHost(name, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                let sig = FnSig::new(args.iter().map(|a| a.ty.clone()).collect(), e.ty.clone());
+                let sym = self.fb.declare_host(name.clone(), sig);
+                self.fb.emit(Instr::CallHost(sym));
+            }
+            TExprKind::CallIndirect(f, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.expr(f);
+                self.fb.emit(Instr::CallIndirect);
+            }
+            TExprKind::Builtin(b, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                match b {
+                    Builtin::LenStr => self.fb.emit(Instr::StrLen),
+                    Builtin::LenArray => self.fb.emit(Instr::ArrayLen),
+                    Builtin::Substr => self.fb.emit(Instr::Substr),
+                    Builtin::Find => self.fb.emit(Instr::StrFind),
+                    Builtin::CharAt => self.fb.emit(Instr::CharAt),
+                    Builtin::Itoa => self.fb.emit(Instr::IntToStr),
+                    Builtin::Atoi => self.fb.emit(Instr::StrToInt),
+                    Builtin::Push => {
+                        self.fb.emit(Instr::ArrayPush);
+                        // `push` is an expression of type unit.
+                        self.fb.emit(Instr::PushUnit)
+                    }
+                };
+            }
+            TExprKind::Field(obj, tyname, idx) => {
+                self.expr(obj);
+                let tr = self.fb.type_ref(tyname.clone());
+                self.fb.emit(Instr::GetField(tr, *idx));
+            }
+            TExprKind::Index(arr, idx) => {
+                self.expr(arr);
+                self.expr(idx);
+                self.fb.emit(Instr::ArrayGet);
+            }
+            TExprKind::Record(name, fields) => {
+                for f in fields {
+                    self.expr(f);
+                }
+                let tr = self.fb.type_ref(name.clone());
+                self.fb.emit(Instr::NewRecord(tr));
+            }
+            TExprKind::ArrayLit(elem, elems) => {
+                self.fb.emit(Instr::NewArray(elem.clone()));
+                for el in elems {
+                    self.fb.emit(Instr::Dup);
+                    self.expr(el);
+                    self.fb.emit(Instr::ArrayPush);
+                }
+            }
+            TExprKind::NewArray(elem) => {
+                self.fb.emit(Instr::NewArray(elem.clone()));
+            }
+            TExprKind::FnRef(name) => {
+                let Ty::Fn(sig) = &e.ty else { unreachable!("checked") };
+                let sym = self.fb.declare_fn(name.clone(), (**sig).clone());
+                self.fb.emit(Instr::PushFn(sym));
+            }
+            TExprKind::IsNull(x, tyname, neg) => {
+                self.expr(x);
+                let tr = self.fb.type_ref(tyname.clone());
+                self.fb.emit(Instr::IsNull(tr));
+                if *neg {
+                    self.fb.emit(Instr::Not);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// The compiler stage that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking.
+    Type,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Lex => write!(f, "lex"),
+            Stage::Parse => write!(f, "parse"),
+            Stage::Type => write!(f, "type"),
+        }
+    }
+}
+
+/// A Popcorn compilation error with source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Producing stage.
+    pub stage: Stage,
+    /// 1-based source line, when known.
+    pub line: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates a lexer error.
+    pub fn lex(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { stage: Stage::Lex, line: Some(line), message: message.into() }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { stage: Stage::Parse, line: Some(line), message: message.into() }
+    }
+
+    /// Creates a type error.
+    pub fn ty(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { stage: Stage::Type, line: Some(line), message: message.into() }
+    }
+
+    /// Creates a type error with no useful line.
+    pub fn ty_global(message: impl Into<String>) -> CompileError {
+        CompileError { stage: Stage::Type, line: None, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "{} error at line {l}: {}", self.stage, self.message),
+            None => write!(f, "{} error: {}", self.stage, self.message),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_line() {
+        let e = CompileError::parse(7, "expected `;`");
+        assert_eq!(e.to_string(), "parse error at line 7: expected `;`");
+        let e = CompileError::ty_global("duplicate function `f`");
+        assert_eq!(e.to_string(), "type error: duplicate function `f`");
+    }
+}

@@ -1,0 +1,75 @@
+//! Ambient interfaces for separate (and patch) compilation.
+//!
+//! A Popcorn compilation unit may reference structs, globals, functions and
+//! host functions it does not define — for the initial program these come
+//! from `extern` declarations, for a *dynamic patch* they are the interface
+//! of the running process. The [`Interface`] carries those ambient
+//! definitions into type checking; references resolved through it become
+//! imports in the produced `tal` module, to be bound by the dynamic linker.
+
+use std::collections::BTreeMap;
+
+use tal::{FnSig, Ty, TypeDef};
+
+/// The ambient symbols a compilation unit may reference without defining.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Interface {
+    /// Record types, by name.
+    pub structs: BTreeMap<String, TypeDef>,
+    /// Global variables, by name.
+    pub globals: BTreeMap<String, Ty>,
+    /// Guest functions, by name.
+    pub functions: BTreeMap<String, FnSig>,
+    /// Host (extern) functions, by name.
+    pub hosts: BTreeMap<String, FnSig>,
+}
+
+impl Interface {
+    /// An empty interface (self-contained program).
+    pub fn new() -> Interface {
+        Interface::default()
+    }
+
+    /// Adds a struct definition.
+    pub fn with_struct(mut self, def: TypeDef) -> Interface {
+        self.structs.insert(def.name.clone(), def);
+        self
+    }
+
+    /// Adds a global.
+    pub fn with_global(mut self, name: impl Into<String>, ty: Ty) -> Interface {
+        self.globals.insert(name.into(), ty);
+        self
+    }
+
+    /// Adds a guest function.
+    pub fn with_function(mut self, name: impl Into<String>, sig: FnSig) -> Interface {
+        self.functions.insert(name.into(), sig);
+        self
+    }
+
+    /// Adds a host function.
+    pub fn with_host(mut self, name: impl Into<String>, sig: FnSig) -> Interface {
+        self.hosts.insert(name.into(), sig);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tal::Field;
+
+    #[test]
+    fn builder_accumulates() {
+        let i = Interface::new()
+            .with_struct(TypeDef::new("t", vec![Field::new("v", Ty::Int)]))
+            .with_global("g", Ty::Int)
+            .with_function("f", FnSig::new(vec![Ty::Int], Ty::Int))
+            .with_host("h", FnSig::new(vec![], Ty::Unit));
+        assert!(i.structs.contains_key("t"));
+        assert!(i.globals.contains_key("g"));
+        assert!(i.functions.contains_key("f"));
+        assert!(i.hosts.contains_key("h"));
+    }
+}

@@ -1,0 +1,277 @@
+//! The Popcorn lexer.
+//!
+//! Hand-written single-pass scanner. Comments are `//` to end of line and
+//! `/* ... */` (non-nesting). String literals support `\n`, `\t`, `\r`,
+//! `\"`, `\\` and `\0` escapes.
+
+use crate::error::CompileError;
+use crate::token::{Spanned, Token};
+
+/// Tokenises `src`, returning the token stream (terminated by
+/// [`Token::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unterminated strings or comments, invalid
+/// escapes, stray characters, or integer literals out of `i64` range.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Spanned>,
+}
+
+impl Lexer<'_> {
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::lex(self.line, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, tok: Token, line: u32) {
+        self.out.push(Spanned { tok, line });
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, CompileError> {
+        while let Some(b) = self.peek() {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                b'0'..=b'9' => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.bump();
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| self.err(format!("integer literal `{text}` out of range")))?;
+                    self.push(Token::Int(n), line);
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_'))
+                    {
+                        self.bump();
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ident");
+                    match Token::keyword(text) {
+                        Some(kw) => self.push(kw, line),
+                        None => self.push(Token::Ident(text.to_string()), line),
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            None | Some(b'\n') => return Err(self.err("unterminated string")),
+                            Some(b'"') => break,
+                            Some(b'\\') => match self.bump() {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b'0') => s.push('\0'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                other => {
+                                    return Err(self.err(format!(
+                                        "invalid escape `\\{}`",
+                                        other.map(char::from).unwrap_or('?')
+                                    )))
+                                }
+                            },
+                            Some(c) => s.push(char::from(c)),
+                        }
+                    }
+                    self.push(Token::Str(s), line);
+                }
+                _ => {
+                    self.bump();
+                    let tok = match b {
+                        b'(' => Token::LParen,
+                        b')' => Token::RParen,
+                        b'{' => Token::LBrace,
+                        b'}' => Token::RBrace,
+                        b'[' => Token::LBracket,
+                        b']' => Token::RBracket,
+                        b',' => Token::Comma,
+                        b';' => Token::Semi,
+                        b':' => Token::Colon,
+                        b'.' => Token::Dot,
+                        b'+' => Token::Plus,
+                        b'-' => Token::Minus,
+                        b'*' => Token::Star,
+                        b'/' => Token::Slash,
+                        b'%' => Token::Percent,
+                        b'=' if self.peek() == Some(b'=') => {
+                            self.bump();
+                            Token::EqEq
+                        }
+                        b'=' => Token::Assign,
+                        b'!' if self.peek() == Some(b'=') => {
+                            self.bump();
+                            Token::NotEq
+                        }
+                        b'!' => Token::Bang,
+                        b'<' if self.peek() == Some(b'=') => {
+                            self.bump();
+                            Token::Le
+                        }
+                        b'<' => Token::Lt,
+                        b'>' if self.peek() == Some(b'=') => {
+                            self.bump();
+                            Token::Ge
+                        }
+                        b'>' => Token::Gt,
+                        b'&' if self.peek() == Some(b'&') => {
+                            self.bump();
+                            Token::AndAnd
+                        }
+                        b'&' => Token::Amp,
+                        b'|' if self.peek() == Some(b'|') => {
+                            self.bump();
+                            Token::OrOr
+                        }
+                        other => {
+                            return Err(self.err(format!("unexpected character `{}`", char::from(other))))
+                        }
+                    };
+                    self.push(tok, line);
+                }
+            }
+        }
+        let line = self.line;
+        self.push(Token::Eof, line);
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_function_header() {
+        assert_eq!(
+            toks("fun f(x: int): int {"),
+            vec![
+                Token::Fun,
+                Token::Ident("f".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::Colon,
+                Token::TyInt,
+                Token::RParen,
+                Token::Colon,
+                Token::TyInt,
+                Token::LBrace,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_greedily() {
+        assert_eq!(
+            toks("== = != ! <= < >= > && & || -"),
+            vec![
+                Token::EqEq,
+                Token::Assign,
+                Token::NotEq,
+                Token::Bang,
+                Token::Le,
+                Token::Lt,
+                Token::Ge,
+                Token::Gt,
+                Token::AndAnd,
+                Token::Amp,
+                Token::OrOr,
+                Token::Minus,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""a\nb\t\"q\"\\""#),
+            vec![Token::Str("a\nb\t\"q\"\\".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // x\n 2 /* y\n z */ 3"),
+            vec![Token::Int(1), Token::Int(2), Token::Int(3), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = ts.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = lex("ok\n\"unterminated").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(lex("/* open").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

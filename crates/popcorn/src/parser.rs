@@ -1,0 +1,624 @@
+//! Recursive-descent parser for Popcorn.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+
+/// Parses a complete Popcorn source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`CompileError`].
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::parse(self.line(), msg)
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), CompileError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{want}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------- items
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut items = Vec::new();
+        while self.peek() != &Token::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        match self.peek() {
+            Token::Struct => self.struct_def().map(Item::Struct),
+            Token::Global => self.global_def().map(Item::Global),
+            Token::Extern => self.extern_def().map(Item::Extern),
+            Token::Fun => self.fun_def().map(Item::Fun),
+            other => Err(self.err(format!(
+                "expected `struct`, `global`, `extern` or `fun`, found `{other}`"
+            ))),
+        }
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, CompileError> {
+        let line = self.line();
+        self.expect(&Token::Struct)?;
+        let name = self.ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != &Token::RBrace {
+            let fname = self.ident()?;
+            self.expect(&Token::Colon)?;
+            let ty = self.type_ast()?;
+            fields.push((fname, ty));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(StructDef { name, fields, line })
+    }
+
+    fn global_def(&mut self) -> Result<GlobalDef, CompileError> {
+        let line = self.line();
+        self.expect(&Token::Global)?;
+        let name = self.ident()?;
+        self.expect(&Token::Colon)?;
+        let ty = self.type_ast()?;
+        self.expect(&Token::Assign)?;
+        let init = self.expr()?;
+        self.expect(&Token::Semi)?;
+        Ok(GlobalDef { name, ty, init, line })
+    }
+
+    fn extern_def(&mut self) -> Result<ExternDef, CompileError> {
+        let line = self.line();
+        self.expect(&Token::Extern)?;
+        self.expect(&Token::Fun)?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        while self.peek() != &Token::RParen {
+            // Parameter names are optional in extern declarations.
+            if matches!(self.peek(), Token::Ident(_)) && self.peek2() == &Token::Colon {
+                self.bump();
+                self.bump();
+            }
+            params.push(self.type_ast()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Colon)?;
+        let ret = self.type_ast()?;
+        self.expect(&Token::Semi)?;
+        Ok(ExternDef { name, params, ret, line })
+    }
+
+    fn fun_def(&mut self) -> Result<FunDef, CompileError> {
+        let line = self.line();
+        self.expect(&Token::Fun)?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        while self.peek() != &Token::RParen {
+            let pname = self.ident()?;
+            self.expect(&Token::Colon)?;
+            let ty = self.type_ast()?;
+            params.push((pname, ty));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Colon)?;
+        let ret = self.type_ast()?;
+        let body = self.block()?;
+        Ok(FunDef { name, params, ret, body, line })
+    }
+
+    // ------------------------------------------------------------- types
+
+    fn type_ast(&mut self) -> Result<TypeAst, CompileError> {
+        match self.peek().clone() {
+            Token::TyInt => {
+                self.bump();
+                Ok(TypeAst::Int)
+            }
+            Token::TyBool => {
+                self.bump();
+                Ok(TypeAst::Bool)
+            }
+            Token::TyString => {
+                self.bump();
+                Ok(TypeAst::Str)
+            }
+            Token::TyUnit => {
+                self.bump();
+                Ok(TypeAst::Unit)
+            }
+            Token::LBracket => {
+                self.bump();
+                let e = self.type_ast()?;
+                self.expect(&Token::RBracket)?;
+                Ok(TypeAst::Array(Box::new(e)))
+            }
+            Token::TyFn => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let mut params = Vec::new();
+                while self.peek() != &Token::RParen {
+                    params.push(self.type_ast()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                self.expect(&Token::Colon)?;
+                let ret = self.type_ast()?;
+                Ok(TypeAst::Fn(params, Box::new(ret)))
+            }
+            Token::Ident(name) => {
+                self.bump();
+                Ok(TypeAst::Named(name))
+            }
+            other => Err(self.err(format!("expected type, found `{other}`"))),
+        }
+    }
+
+    // -------------------------------------------------------- statements
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Token::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        let kind = match self.peek() {
+            Token::Var => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&Token::Colon)?;
+                let ty = self.type_ast()?;
+                self.expect(&Token::Assign)?;
+                let init = self.expr()?;
+                self.expect(&Token::Semi)?;
+                StmtKind::Var { name, ty, init }
+            }
+            Token::If => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                let then = self.block()?;
+                let els = if self.eat(&Token::Else) {
+                    if self.peek() == &Token::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                StmtKind::If { cond, then, els }
+            }
+            Token::While => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                let body = self.block()?;
+                StmtKind::While { cond, body }
+            }
+            Token::Return => {
+                self.bump();
+                let value = if self.peek() == &Token::Semi { None } else { Some(self.expr()?) };
+                self.expect(&Token::Semi)?;
+                StmtKind::Return(value)
+            }
+            Token::Update => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                StmtKind::Update
+            }
+            Token::Break => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                StmtKind::Break
+            }
+            Token::Continue => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                StmtKind::Continue
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat(&Token::Assign) {
+                    let value = self.expr()?;
+                    self.expect(&Token::Semi)?;
+                    StmtKind::Assign { target: e, value }
+                } else {
+                    self.expect(&Token::Semi)?;
+                    StmtKind::Expr(e)
+                }
+            }
+        };
+        Ok(Stmt { line, kind })
+    }
+
+    // ------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn binary_chain<F>(
+        &mut self,
+        mut next: F,
+        ops: &[(Token, BinOp)],
+    ) -> Result<Expr, CompileError>
+    where
+        F: FnMut(&mut Self) -> Result<Expr, CompileError>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.peek() == tok {
+                    let line = self.line();
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr {
+                        line,
+                        kind: ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)),
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_chain(Self::and_expr, &[(Token::OrOr, BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_chain(Self::equality, &[(Token::AndAnd, BinOp::And)])
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        self.binary_chain(
+            Self::relational,
+            &[(Token::EqEq, BinOp::Eq), (Token::NotEq, BinOp::Ne)],
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        self.binary_chain(
+            Self::additive,
+            &[
+                (Token::Lt, BinOp::Lt),
+                (Token::Le, BinOp::Le),
+                (Token::Gt, BinOp::Gt),
+                (Token::Ge, BinOp::Ge),
+            ],
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        self.binary_chain(
+            Self::multiplicative,
+            &[(Token::Plus, BinOp::Add), (Token::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        self.binary_chain(
+            Self::unary,
+            &[
+                (Token::Star, BinOp::Mul),
+                (Token::Slash, BinOp::Div),
+                (Token::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { line, kind: ExprKind::Unary(UnOp::Neg, Box::new(e)) })
+            }
+            Token::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { line, kind: ExprKind::Unary(UnOp::Not, Box::new(e)) })
+            }
+            Token::Amp => {
+                self.bump();
+                let name = self.ident()?;
+                Ok(Expr { line, kind: ExprKind::FnRef(name) })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Token::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    while self.peek() != &Token::RParen {
+                        args.push(self.expr()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    e = Expr { line, kind: ExprKind::Call(Box::new(e), args) };
+                }
+                Token::Dot => {
+                    self.bump();
+                    let field = self.ident()?;
+                    e = Expr { line, kind: ExprKind::Field(Box::new(e), field) };
+                }
+                Token::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let kind = match self.peek().clone() {
+            Token::Int(n) => {
+                self.bump();
+                ExprKind::Int(n)
+            }
+            Token::Str(s) => {
+                self.bump();
+                ExprKind::Str(s)
+            }
+            Token::True => {
+                self.bump();
+                ExprKind::Bool(true)
+            }
+            Token::False => {
+                self.bump();
+                ExprKind::Bool(false)
+            }
+            Token::Null => {
+                self.bump();
+                ExprKind::Null
+            }
+            Token::Ident(name) => {
+                self.bump();
+                if self.peek() == &Token::LBrace {
+                    // Record literal: `Name { field: expr, ... }`.
+                    self.bump();
+                    let mut fields = Vec::new();
+                    while self.peek() != &Token::RBrace {
+                        let fname = self.ident()?;
+                        self.expect(&Token::Colon)?;
+                        let v = self.expr()?;
+                        fields.push((fname, v));
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RBrace)?;
+                    ExprKind::Record(name, fields)
+                } else {
+                    ExprKind::Var(name)
+                }
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                return Ok(e);
+            }
+            Token::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                while self.peek() != &Token::RBracket {
+                    elems.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                if elems.is_empty() {
+                    return Err(self.err(
+                        "empty array literal has no element type; use `new [T]`",
+                    ));
+                }
+                ExprKind::ArrayLit(elems)
+            }
+            Token::New => {
+                self.bump();
+                self.expect(&Token::LBracket)?;
+                let ty = self.type_ast()?;
+                self.expect(&Token::RBracket)?;
+                ExprKind::NewArray(ty)
+            }
+            other => return Err(self.err(format!("expected expression, found `{other}`"))),
+        };
+        Ok(Expr { line, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_program() {
+        let p = parse(
+            r#"
+            struct point { x: int, y: int }
+            extern fun now(): int;
+            global origin: point = point { x: 0, y: 0 };
+            fun dist2(p: point): int {
+                return p.x * p.x + p.y * p.y;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.structs().count(), 1);
+        assert_eq!(p.externs().count(), 1);
+        assert_eq!(p.globals().count(), 1);
+        assert_eq!(p.functions().count(), 1);
+    }
+
+    #[test]
+    fn precedence_shapes() {
+        let p = parse("fun f(): int { return 1 + 2 * 3; }").unwrap();
+        let f = p.functions().next().unwrap();
+        let StmtKind::Return(Some(e)) = &f.body[0].kind else { panic!() };
+        // (1 + (2 * 3))
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_control_flow_and_updates() {
+        let p = parse(
+            r#"
+            fun f(n: int): int {
+                var acc: int = 0;
+                while (n > 0) {
+                    if (n % 2 == 0) { acc = acc + n; } else { acc = acc - 1; }
+                    n = n - 1;
+                    update;
+                }
+                return acc;
+            }
+            "#,
+        )
+        .unwrap();
+        let f = p.functions().next().unwrap();
+        assert_eq!(f.body.len(), 3);
+        assert!(matches!(f.body[1].kind, StmtKind::While { .. }));
+    }
+
+    #[test]
+    fn parses_arrays_records_indexing_calls() {
+        let p = parse(
+            r#"
+            fun f(): int {
+                var a: [int] = [1, 2, 3];
+                var b: [int] = new [int];
+                push(b, a[0]);
+                var g: fn(int): int = &f2;
+                return g(len(a));
+            }
+            fun f2(x: int): int { return x; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.functions().count(), 2);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse(
+            "fun f(x: int): int { if (x == 0) { return 0; } else if (x == 1) { return 1; } else { return 2; } }",
+        )
+        .unwrap();
+        let f = p.functions().next().unwrap();
+        let StmtKind::If { els, .. } = &f.body[0].kind else { panic!() };
+        assert!(matches!(els[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_array_literal() {
+        let e = parse("fun f(): unit { var a: [int] = []; }").unwrap_err();
+        assert!(e.message.contains("new [T]"), "{e}");
+    }
+
+    #[test]
+    fn reports_unexpected_tokens_with_lines() {
+        let e = parse("fun f(): int {\n  return ;;\n}").unwrap_err();
+        assert_eq!(e.line, Some(2));
+    }
+
+    #[test]
+    fn extern_params_allow_optional_names() {
+        let p = parse("extern fun send(fd: int, data: string): int;").unwrap();
+        let e = p.externs().next().unwrap();
+        assert_eq!(e.params, vec![TypeAst::Int, TypeAst::Str]);
+    }
+}

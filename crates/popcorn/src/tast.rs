@@ -1,0 +1,198 @@
+//! The typed AST produced by the [type checker](crate::typeck).
+//!
+//! Every expression carries its semantic type ([`tal::Ty`]); overloads
+//! (`+`, `==`, `len`) are resolved; local variables are numbered to flat
+//! slot indices; struct fields are resolved to indices. Code generation is
+//! a mechanical walk over this tree.
+
+use tal::{FnSig, Ty, TypeDef};
+
+/// A fully checked compilation unit.
+#[derive(Debug, Clone)]
+pub struct TProgram {
+    /// Struct definitions *local to this unit* (ambient ones are imports).
+    pub structs: Vec<TypeDef>,
+    /// Global definitions local to this unit.
+    pub globals: Vec<TGlobal>,
+    /// Function definitions.
+    pub functions: Vec<TFun>,
+    /// Host functions declared via `extern` (name, signature).
+    pub hosts: Vec<(String, FnSig)>,
+}
+
+/// A checked global definition.
+#[derive(Debug, Clone)]
+pub struct TGlobal {
+    /// Global name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// Checked initialiser.
+    pub init: TExpr,
+}
+
+/// A checked function definition.
+#[derive(Debug, Clone)]
+pub struct TFun {
+    /// Function name.
+    pub name: String,
+    /// Signature.
+    pub sig: FnSig,
+    /// All local slot types (parameters first).
+    pub locals: Vec<Ty>,
+    /// Checked body.
+    pub body: Vec<TStmt>,
+}
+
+/// A checked statement.
+#[derive(Debug, Clone)]
+pub struct TStmt {
+    /// Source line (diagnostics).
+    pub line: u32,
+    /// Payload.
+    pub kind: TStmtKind,
+}
+
+/// Checked statement forms.
+#[derive(Debug, Clone)]
+pub enum TStmtKind {
+    /// Store into a local slot (covers both `var` and assignment).
+    StoreLocal(u16, TExpr),
+    /// Store into a global.
+    StoreGlobal(String, TExpr),
+    /// Store into a record field: object, struct name, field index, value.
+    StoreField(TExpr, String, u16, TExpr),
+    /// Store into an array element: array, index, value.
+    StoreIndex(TExpr, TExpr, TExpr),
+    /// Conditional.
+    If(TExpr, Vec<TStmt>, Vec<TStmt>),
+    /// Loop.
+    While(TExpr, Vec<TStmt>),
+    /// Return a value (unit returns carry a unit literal).
+    Return(TExpr),
+    /// Dynamic update point.
+    Update,
+    /// Break out of the innermost loop.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+    /// Expression evaluated for effect; its value is discarded.
+    Expr(TExpr),
+}
+
+/// A checked expression with its type.
+#[derive(Debug, Clone)]
+pub struct TExpr {
+    /// Semantic type.
+    pub ty: Ty,
+    /// Payload.
+    pub kind: TExprKind,
+}
+
+impl TExpr {
+    /// The unit literal.
+    pub fn unit() -> TExpr {
+        TExpr { ty: Ty::Unit, kind: TExprKind::Unit }
+    }
+}
+
+/// Resolved integer binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntBin {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Resolved builtin operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `len(s)` on a string.
+    LenStr,
+    /// `len(a)` on an array.
+    LenArray,
+    /// `substr(s, start, len)`.
+    Substr,
+    /// `find(s, needle)`.
+    Find,
+    /// `char_at(s, i)`.
+    CharAt,
+    /// `itoa(n)`.
+    Itoa,
+    /// `atoi(s)`.
+    Atoi,
+    /// `push(a, v)`.
+    Push,
+}
+
+/// Checked expression forms.
+#[derive(Debug, Clone)]
+pub enum TExprKind {
+    /// Unit literal (synthesised).
+    Unit,
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null` at a known named type.
+    Null(String),
+    /// Local slot read.
+    Local(u16),
+    /// Global read.
+    Global(String),
+    /// Integer negation.
+    Neg(Box<TExpr>),
+    /// Boolean negation.
+    Not(Box<TExpr>),
+    /// Integer binary operation.
+    IntBin(IntBin, Box<TExpr>, Box<TExpr>),
+    /// String concatenation.
+    Concat(Box<TExpr>, Box<TExpr>),
+    /// String (in)equality; `true` negates.
+    StrEq(Box<TExpr>, Box<TExpr>, bool),
+    /// Short-circuit `&&`/`||`; `true` means `&&`.
+    ShortCircuit(bool, Box<TExpr>, Box<TExpr>),
+    /// Direct call to a guest function.
+    CallFn(String, Vec<TExpr>),
+    /// Call to a host function.
+    CallHost(String, Vec<TExpr>),
+    /// Indirect call through a function value.
+    CallIndirect(Box<TExpr>, Vec<TExpr>),
+    /// Builtin operation.
+    Builtin(Builtin, Vec<TExpr>),
+    /// Field read: object, struct name, field index.
+    Field(Box<TExpr>, String, u16),
+    /// Array element read.
+    Index(Box<TExpr>, Box<TExpr>),
+    /// Record construction; fields in declaration order.
+    Record(String, Vec<TExpr>),
+    /// Array literal with element type.
+    ArrayLit(Ty, Vec<TExpr>),
+    /// Empty array of element type.
+    NewArray(Ty),
+    /// Function value `&name`.
+    FnRef(String),
+    /// Null test; `true` negates (`!= null`).
+    IsNull(Box<TExpr>, String, bool),
+}

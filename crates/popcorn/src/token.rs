@@ -1,0 +1,212 @@
+//! Lexical tokens of the Popcorn language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+
+    // keywords
+    /// `fun`
+    Fun,
+    /// `var`
+    Var,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `struct`
+    Struct,
+    /// `global`
+    Global,
+    /// `extern`
+    Extern,
+    /// `update`
+    Update,
+    /// `new`
+    New,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `int`
+    TyInt,
+    /// `bool`
+    TyBool,
+    /// `string`
+    TyString,
+    /// `unit`
+    TyUnit,
+    /// `fn`
+    TyFn,
+
+    // punctuation and operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Keyword for an identifier spelling, if it is one.
+    pub fn keyword(s: &str) -> Option<Token> {
+        Some(match s {
+            "fun" => Token::Fun,
+            "var" => Token::Var,
+            "if" => Token::If,
+            "else" => Token::Else,
+            "while" => Token::While,
+            "return" => Token::Return,
+            "true" => Token::True,
+            "false" => Token::False,
+            "null" => Token::Null,
+            "struct" => Token::Struct,
+            "global" => Token::Global,
+            "extern" => Token::Extern,
+            "update" => Token::Update,
+            "new" => Token::New,
+            "break" => Token::Break,
+            "continue" => Token::Continue,
+            "int" => Token::TyInt,
+            "bool" => Token::TyBool,
+            "string" => Token::TyString,
+            "unit" => Token::TyUnit,
+            "fn" => Token::TyFn,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Fun => write!(f, "fun"),
+            Token::Var => write!(f, "var"),
+            Token::If => write!(f, "if"),
+            Token::Else => write!(f, "else"),
+            Token::While => write!(f, "while"),
+            Token::Return => write!(f, "return"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Null => write!(f, "null"),
+            Token::Struct => write!(f, "struct"),
+            Token::Global => write!(f, "global"),
+            Token::Extern => write!(f, "extern"),
+            Token::Update => write!(f, "update"),
+            Token::New => write!(f, "new"),
+            Token::Break => write!(f, "break"),
+            Token::Continue => write!(f, "continue"),
+            Token::TyInt => write!(f, "int"),
+            Token::TyBool => write!(f, "bool"),
+            Token::TyString => write!(f, "string"),
+            Token::TyUnit => write!(f, "unit"),
+            Token::TyFn => write!(f, "fn"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Bang => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Amp => write!(f, "&"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with the 1-based source line it started on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based source line.
+    pub line: u32,
+}

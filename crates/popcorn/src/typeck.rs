@@ -1,0 +1,749 @@
+//! The Popcorn type checker.
+//!
+//! Checks a parsed [`Program`] against an ambient [`Interface`] and lowers
+//! it to the typed AST ([`TProgram`]). Checking is *bidirectional-lite*:
+//! expressions are inferred bottom-up, except in positions with a known
+//! expected type (initialisers, assignments, arguments, returns, record
+//! fields), where `null` literals and empty-ish constructs become typeable.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tal::{Field, FnSig, Ty, TypeDef};
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::iface::Interface;
+use crate::tast::*;
+
+/// Names reserved for builtin operations.
+pub const BUILTINS: &[&str] =
+    &["len", "substr", "find", "char_at", "itoa", "atoi", "push"];
+
+/// Checks `prog` against `iface`, producing a typed program.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] found (duplicate definitions,
+/// unresolved names, type mismatches, missing returns, misplaced
+/// `break`/`continue`, ...).
+pub fn check(prog: &Program, iface: &Interface) -> Result<TProgram, CompileError> {
+    let mut cx = Cx::build(prog, iface)?;
+    let mut out = TProgram {
+        structs: cx.local_structs.values().cloned().collect(),
+        globals: Vec::new(),
+        functions: Vec::new(),
+        hosts: prog
+            .externs()
+            .map(|e| {
+                Ok((
+                    e.name.clone(),
+                    FnSig::new(
+                        e.params.iter().map(|t| cx.lower_ty(t, e.line)).collect::<Result<_, _>>()?,
+                        cx.lower_ty(&e.ret, e.line)?,
+                    ),
+                ))
+            })
+            .collect::<Result<Vec<_>, CompileError>>()?,
+    };
+    // Keep `structs` in source order rather than map order.
+    out.structs = prog
+        .structs()
+        .map(|s| cx.local_structs[&s.name].clone())
+        .collect();
+
+    for g in prog.globals() {
+        let ty = cx.lower_ty(&g.ty, g.line)?;
+        let mut fcx = FunCx::new(&cx, Ty::Unit);
+        let init = fcx.check_expr(&g.init, Some(&ty))?;
+        out.globals.push(TGlobal { name: g.name.clone(), ty, init });
+    }
+
+    for f in prog.functions() {
+        out.functions.push(check_fun(&cx, f)?);
+    }
+    // `cx` borrows nothing mutable from here on; silence the lint.
+    let _ = &mut cx;
+    Ok(out)
+}
+
+fn check_fun(cx: &Cx, f: &FunDef) -> Result<TFun, CompileError> {
+    let sig = cx.sig_of(f)?;
+    let mut fcx = FunCx::new(cx, sig.ret.clone());
+    fcx.push_scope();
+    for ((name, _), ty) in f.params.iter().zip(&sig.params) {
+        fcx.declare(name, ty.clone(), f.line)?;
+    }
+    let body = fcx.check_block(&f.body)?;
+    fcx.pop_scope();
+    if sig.ret != Ty::Unit && !always_returns(&body) {
+        return Err(CompileError::ty(
+            f.line,
+            format!("function `{}` does not return on all paths", f.name),
+        ));
+    }
+    Ok(TFun { name: f.name.clone(), sig, locals: fcx.locals, body })
+}
+
+/// Conservative all-paths-return analysis.
+fn always_returns(body: &[TStmt]) -> bool {
+    body.iter().any(|s| match &s.kind {
+        TStmtKind::Return(_) => true,
+        TStmtKind::If(_, t, e) => always_returns(t) && always_returns(e),
+        _ => false,
+    })
+}
+
+/// Compilation-unit-level context: all resolvable items.
+struct Cx<'a> {
+    iface: &'a Interface,
+    local_structs: BTreeMap<String, TypeDef>,
+    local_globals: BTreeMap<String, Ty>,
+    local_funs: BTreeMap<String, FnSig>,
+    hosts: BTreeMap<String, FnSig>,
+}
+
+impl<'a> Cx<'a> {
+    fn build(prog: &Program, iface: &'a Interface) -> Result<Cx<'a>, CompileError> {
+        let mut cx = Cx {
+            iface,
+            local_structs: BTreeMap::new(),
+            local_globals: BTreeMap::new(),
+            local_funs: BTreeMap::new(),
+            hosts: iface.hosts.clone(),
+        };
+        // Pass 1: struct names (so struct fields may reference each other).
+        for s in prog.structs() {
+            if cx.local_structs.contains_key(&s.name) {
+                return Err(CompileError::ty(s.line, format!("duplicate struct `{}`", s.name)));
+            }
+            cx.local_structs.insert(s.name.clone(), TypeDef::new(s.name.clone(), vec![]));
+        }
+        // Pass 2: struct bodies.
+        for s in prog.structs() {
+            let fields = s
+                .fields
+                .iter()
+                .map(|(n, t)| Ok(Field::new(n.clone(), cx.lower_ty(t, s.line)?)))
+                .collect::<Result<Vec<_>, CompileError>>()?;
+            let mut seen = std::collections::HashSet::new();
+            for f in &fields {
+                if !seen.insert(&f.name) {
+                    return Err(CompileError::ty(
+                        s.line,
+                        format!("duplicate field `{}` in struct `{}`", f.name, s.name),
+                    ));
+                }
+            }
+            cx.local_structs.get_mut(&s.name).expect("pass 1").fields = fields;
+        }
+        for g in prog.globals() {
+            if cx.local_globals.contains_key(&g.name) || cx.iface.globals.contains_key(&g.name) {
+                return Err(CompileError::ty(g.line, format!("duplicate global `{}`", g.name)));
+            }
+            let ty = cx.lower_ty(&g.ty, g.line)?;
+            cx.local_globals.insert(g.name.clone(), ty);
+        }
+        for e in prog.externs() {
+            let sig = FnSig::new(
+                e.params.iter().map(|t| cx.lower_ty(t, e.line)).collect::<Result<_, _>>()?,
+                cx.lower_ty(&e.ret, e.line)?,
+            );
+            if let Some(existing) = cx.hosts.get(&e.name) {
+                if existing != &sig {
+                    return Err(CompileError::ty(
+                        e.line,
+                        format!("extern `{}` redeclared with a different signature", e.name),
+                    ));
+                }
+            }
+            cx.hosts.insert(e.name.clone(), sig);
+        }
+        for f in prog.functions() {
+            if BUILTINS.contains(&f.name.as_str()) {
+                return Err(CompileError::ty(
+                    f.line,
+                    format!("`{}` is a reserved builtin name", f.name),
+                ));
+            }
+            if cx.local_funs.contains_key(&f.name) {
+                return Err(CompileError::ty(f.line, format!("duplicate function `{}`", f.name)));
+            }
+            let sig = cx.sig_of(f)?;
+            cx.local_funs.insert(f.name.clone(), sig);
+        }
+        Ok(cx)
+    }
+
+    fn sig_of(&self, f: &FunDef) -> Result<FnSig, CompileError> {
+        Ok(FnSig::new(
+            f.params
+                .iter()
+                .map(|(_, t)| self.lower_ty(t, f.line))
+                .collect::<Result<_, _>>()?,
+            self.lower_ty(&f.ret, f.line)?,
+        ))
+    }
+
+    fn lower_ty(&self, t: &TypeAst, line: u32) -> Result<Ty, CompileError> {
+        Ok(match t {
+            TypeAst::Int => Ty::Int,
+            TypeAst::Bool => Ty::Bool,
+            TypeAst::Str => Ty::Str,
+            TypeAst::Unit => Ty::Unit,
+            TypeAst::Array(e) => Ty::array(self.lower_ty(e, line)?),
+            TypeAst::Fn(ps, r) => Ty::func(
+                ps.iter().map(|p| self.lower_ty(p, line)).collect::<Result<_, _>>()?,
+                self.lower_ty(r, line)?,
+            ),
+            TypeAst::Named(n) => {
+                if self.local_structs.contains_key(n) || self.iface.structs.contains_key(n) {
+                    Ty::named(n.clone())
+                } else {
+                    return Err(CompileError::ty(line, format!("unknown type `{n}`")));
+                }
+            }
+        })
+    }
+
+    /// Looks up a struct definition, local definitions shadowing ambient
+    /// ones (a patch may redefine a struct — the new version of the type).
+    fn struct_def(&self, name: &str) -> Option<&TypeDef> {
+        self.local_structs.get(name).or_else(|| self.iface.structs.get(name))
+    }
+
+    fn global_ty(&self, name: &str) -> Option<&Ty> {
+        self.local_globals.get(name).or_else(|| self.iface.globals.get(name))
+    }
+
+    fn fun_sig(&self, name: &str) -> Option<&FnSig> {
+        self.local_funs.get(name).or_else(|| self.iface.functions.get(name))
+    }
+}
+
+/// Per-function context: scoped locals and loop depth.
+struct FunCx<'a, 'b> {
+    cx: &'a Cx<'b>,
+    ret: Ty,
+    locals: Vec<Ty>,
+    scopes: Vec<HashMap<String, u16>>,
+    loop_depth: usize,
+}
+
+impl<'a, 'b> FunCx<'a, 'b> {
+    fn new(cx: &'a Cx<'b>, ret: Ty) -> FunCx<'a, 'b> {
+        FunCx { cx, ret, locals: Vec::new(), scopes: Vec::new(), loop_depth: 0 }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty, line: u32) -> Result<u16, CompileError> {
+        if self.locals.len() >= u16::MAX as usize {
+            return Err(CompileError::ty(line, "too many locals"));
+        }
+        let slot = self.locals.len() as u16;
+        self.locals.push(ty);
+        let scope = self.scopes.last_mut().expect("inside a scope");
+        if scope.insert(name.to_string(), slot).is_some() {
+            return Err(CompileError::ty(line, format!("`{name}` already defined in this scope")));
+        }
+        Ok(slot)
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<u16> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    // -------------------------------------------------------- statements
+
+    fn check_block(&mut self, stmts: &[Stmt]) -> Result<Vec<TStmt>, CompileError> {
+        self.push_scope();
+        let out = stmts.iter().map(|s| self.check_stmt(s)).collect();
+        self.pop_scope();
+        out
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<TStmt, CompileError> {
+        let line = s.line;
+        let kind = match &s.kind {
+            StmtKind::Var { name, ty, init } => {
+                let ty = self.cx.lower_ty(ty, line)?;
+                let init = self.check_expr(init, Some(&ty))?;
+                let slot = self.declare(name, ty, line)?;
+                TStmtKind::StoreLocal(slot, init)
+            }
+            StmtKind::Assign { target, value } => self.check_assign(target, value, line)?,
+            StmtKind::If { cond, then, els } => {
+                let cond = self.expect_ty(cond, &Ty::Bool)?;
+                TStmtKind::If(cond, self.check_block(then)?, self.check_block(els)?)
+            }
+            StmtKind::While { cond, body } => {
+                let cond = self.expect_ty(cond, &Ty::Bool)?;
+                self.loop_depth += 1;
+                let body = self.check_block(body)?;
+                self.loop_depth -= 1;
+                TStmtKind::While(cond, body)
+            }
+            StmtKind::Return(value) => {
+                let ret = self.ret.clone();
+                match value {
+                    Some(e) => TStmtKind::Return(self.check_expr(e, Some(&ret))?),
+                    None if ret == Ty::Unit => TStmtKind::Return(TExpr::unit()),
+                    None => {
+                        return Err(CompileError::ty(
+                            line,
+                            format!("`return;` in a function returning {ret}"),
+                        ))
+                    }
+                }
+            }
+            StmtKind::Update => TStmtKind::Update,
+            StmtKind::Break => {
+                if self.loop_depth == 0 {
+                    return Err(CompileError::ty(line, "`break` outside a loop"));
+                }
+                TStmtKind::Break
+            }
+            StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(CompileError::ty(line, "`continue` outside a loop"));
+                }
+                TStmtKind::Continue
+            }
+            StmtKind::Expr(e) => TStmtKind::Expr(self.check_expr(e, None)?),
+        };
+        Ok(TStmt { line, kind })
+    }
+
+    fn check_assign(
+        &mut self,
+        target: &Expr,
+        value: &Expr,
+        line: u32,
+    ) -> Result<TStmtKind, CompileError> {
+        match &target.kind {
+            ExprKind::Var(name) => {
+                if let Some(slot) = self.lookup_local(name) {
+                    let ty = self.locals[slot as usize].clone();
+                    let v = self.check_expr(value, Some(&ty))?;
+                    Ok(TStmtKind::StoreLocal(slot, v))
+                } else if let Some(ty) = self.cx.global_ty(name).cloned() {
+                    let v = self.check_expr(value, Some(&ty))?;
+                    Ok(TStmtKind::StoreGlobal(name.clone(), v))
+                } else {
+                    Err(CompileError::ty(line, format!("unknown variable `{name}`")))
+                }
+            }
+            ExprKind::Field(obj, field) => {
+                let obj = self.check_expr(obj, None)?;
+                let (tyname, idx, fty) = self.resolve_field(&obj.ty, field, line)?;
+                let v = self.check_expr(value, Some(&fty))?;
+                Ok(TStmtKind::StoreField(obj, tyname, idx, v))
+            }
+            ExprKind::Index(arr, idx) => {
+                let arr = self.check_expr(arr, None)?;
+                let Ty::Array(elem) = arr.ty.clone() else {
+                    return Err(CompileError::ty(line, format!("cannot index {}", arr.ty)));
+                };
+                let idx = self.expect_ty(idx, &Ty::Int)?;
+                let v = self.check_expr(value, Some(&elem))?;
+                Ok(TStmtKind::StoreIndex(arr, idx, v))
+            }
+            _ => Err(CompileError::ty(line, "invalid assignment target")),
+        }
+    }
+
+    fn resolve_field(
+        &self,
+        obj_ty: &Ty,
+        field: &str,
+        line: u32,
+    ) -> Result<(String, u16, Ty), CompileError> {
+        let Ty::Named(name) = obj_ty else {
+            return Err(CompileError::ty(line, format!("{obj_ty} has no fields")));
+        };
+        let def = self
+            .cx
+            .struct_def(name)
+            .ok_or_else(|| CompileError::ty(line, format!("unknown type `{name}`")))?;
+        let idx = def
+            .field_index(field)
+            .ok_or_else(|| CompileError::ty(line, format!("`{name}` has no field `{field}`")))?;
+        Ok((name.clone(), idx as u16, def.fields[idx].ty.clone()))
+    }
+
+    // ------------------------------------------------------- expressions
+
+    fn expect_ty(&mut self, e: &Expr, want: &Ty) -> Result<TExpr, CompileError> {
+        self.check_expr(e, Some(want))
+    }
+
+    /// Checks `e`; `expected`, when present, guides `null` and array
+    /// literals and is enforced on the result.
+    fn check_expr(&mut self, e: &Expr, expected: Option<&Ty>) -> Result<TExpr, CompileError> {
+        let te = self.infer(e, expected)?;
+        if let Some(want) = expected {
+            if &te.ty != want {
+                return Err(CompileError::ty(
+                    e.line,
+                    format!("expected {want}, found {}", te.ty),
+                ));
+            }
+        }
+        Ok(te)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn infer(&mut self, e: &Expr, expected: Option<&Ty>) -> Result<TExpr, CompileError> {
+        let line = e.line;
+        Ok(match &e.kind {
+            ExprKind::Int(n) => TExpr { ty: Ty::Int, kind: TExprKind::Int(*n) },
+            ExprKind::Str(s) => TExpr { ty: Ty::Str, kind: TExprKind::Str(s.clone()) },
+            ExprKind::Bool(b) => TExpr { ty: Ty::Bool, kind: TExprKind::Bool(*b) },
+            ExprKind::Null => match expected {
+                Some(Ty::Named(n)) => {
+                    TExpr { ty: Ty::named(n.clone()), kind: TExprKind::Null(n.clone()) }
+                }
+                Some(other) => {
+                    return Err(CompileError::ty(line, format!("`null` is not a {other}")))
+                }
+                None => {
+                    return Err(CompileError::ty(
+                        line,
+                        "cannot infer the type of `null` here",
+                    ))
+                }
+            },
+            ExprKind::Var(name) => {
+                if let Some(slot) = self.lookup_local(name) {
+                    TExpr { ty: self.locals[slot as usize].clone(), kind: TExprKind::Local(slot) }
+                } else if let Some(ty) = self.cx.global_ty(name) {
+                    TExpr { ty: ty.clone(), kind: TExprKind::Global(name.clone()) }
+                } else {
+                    return Err(CompileError::ty(line, format!("unknown variable `{name}`")));
+                }
+            }
+            ExprKind::Unary(UnOp::Neg, inner) => {
+                let inner = self.expect_ty(inner, &Ty::Int)?;
+                TExpr { ty: Ty::Int, kind: TExprKind::Neg(Box::new(inner)) }
+            }
+            ExprKind::Unary(UnOp::Not, inner) => {
+                let inner = self.expect_ty(inner, &Ty::Bool)?;
+                TExpr { ty: Ty::Bool, kind: TExprKind::Not(Box::new(inner)) }
+            }
+            ExprKind::Binary(op, lhs, rhs) => self.infer_binary(*op, lhs, rhs, line)?,
+            ExprKind::Call(callee, args) => self.infer_call(callee, args, line)?,
+            ExprKind::Field(obj, field) => {
+                let obj = self.check_expr(obj, None)?;
+                let (tyname, idx, fty) = self.resolve_field(&obj.ty, field, line)?;
+                TExpr { ty: fty, kind: TExprKind::Field(Box::new(obj), tyname, idx) }
+            }
+            ExprKind::Index(arr, idx) => {
+                let arr = self.check_expr(arr, None)?;
+                let Ty::Array(elem) = arr.ty.clone() else {
+                    return Err(CompileError::ty(line, format!("cannot index {}", arr.ty)));
+                };
+                let idx = self.expect_ty(idx, &Ty::Int)?;
+                TExpr { ty: *elem, kind: TExprKind::Index(Box::new(arr), Box::new(idx)) }
+            }
+            ExprKind::Record(name, fields) => {
+                let def = self
+                    .cx
+                    .struct_def(name)
+                    .ok_or_else(|| CompileError::ty(line, format!("unknown type `{name}`")))?
+                    .clone();
+                let mut provided: BTreeMap<&str, &Expr> = BTreeMap::new();
+                for (fname, fe) in fields {
+                    if provided.insert(fname, fe).is_some() {
+                        return Err(CompileError::ty(
+                            line,
+                            format!("field `{fname}` given twice"),
+                        ));
+                    }
+                }
+                for (fname, _) in fields {
+                    if def.field_index(fname).is_none() {
+                        return Err(CompileError::ty(
+                            line,
+                            format!("`{name}` has no field `{fname}`"),
+                        ));
+                    }
+                }
+                let mut ordered = Vec::with_capacity(def.fields.len());
+                for f in &def.fields {
+                    let fe = provided.get(f.name.as_str()).ok_or_else(|| {
+                        CompileError::ty(line, format!("missing field `{}` of `{name}`", f.name))
+                    })?;
+                    ordered.push(self.check_expr(fe, Some(&f.ty))?);
+                }
+                TExpr { ty: Ty::named(name.clone()), kind: TExprKind::Record(name.clone(), ordered) }
+            }
+            ExprKind::ArrayLit(elems) => {
+                let elem_ty = match expected {
+                    Some(Ty::Array(e)) => Some((**e).clone()),
+                    _ => None,
+                };
+                let first = self.check_expr(&elems[0], elem_ty.as_ref())?;
+                let elem_ty = elem_ty.unwrap_or_else(|| first.ty.clone());
+                let mut out = vec![first];
+                for el in &elems[1..] {
+                    out.push(self.check_expr(el, Some(&elem_ty))?);
+                }
+                TExpr {
+                    ty: Ty::array(elem_ty.clone()),
+                    kind: TExprKind::ArrayLit(elem_ty, out),
+                }
+            }
+            ExprKind::NewArray(t) => {
+                let elem = self.cx.lower_ty(t, line)?;
+                TExpr { ty: Ty::array(elem.clone()), kind: TExprKind::NewArray(elem) }
+            }
+            ExprKind::FnRef(name) => {
+                let sig = self
+                    .cx
+                    .fun_sig(name)
+                    .ok_or_else(|| CompileError::ty(line, format!("unknown function `{name}`")))?
+                    .clone();
+                TExpr {
+                    ty: Ty::Fn(Box::new(sig)),
+                    kind: TExprKind::FnRef(name.clone()),
+                }
+            }
+        })
+    }
+
+    fn infer_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<TExpr, CompileError> {
+        use BinOp::*;
+        match op {
+            And | Or => {
+                let l = self.expect_ty(lhs, &Ty::Bool)?;
+                let r = self.expect_ty(rhs, &Ty::Bool)?;
+                Ok(TExpr {
+                    ty: Ty::Bool,
+                    kind: TExprKind::ShortCircuit(op == And, Box::new(l), Box::new(r)),
+                })
+            }
+            Sub | Mul | Div | Rem => {
+                let l = self.expect_ty(lhs, &Ty::Int)?;
+                let r = self.expect_ty(rhs, &Ty::Int)?;
+                let ib = match op {
+                    Sub => IntBin::Sub,
+                    Mul => IntBin::Mul,
+                    Div => IntBin::Div,
+                    _ => IntBin::Rem,
+                };
+                Ok(TExpr { ty: Ty::Int, kind: TExprKind::IntBin(ib, Box::new(l), Box::new(r)) })
+            }
+            Lt | Le | Gt | Ge => {
+                let l = self.expect_ty(lhs, &Ty::Int)?;
+                let r = self.expect_ty(rhs, &Ty::Int)?;
+                let ib = match op {
+                    Lt => IntBin::Lt,
+                    Le => IntBin::Le,
+                    Gt => IntBin::Gt,
+                    _ => IntBin::Ge,
+                };
+                Ok(TExpr { ty: Ty::Bool, kind: TExprKind::IntBin(ib, Box::new(l), Box::new(r)) })
+            }
+            Add => {
+                let l = self.check_expr(lhs, None)?;
+                match l.ty {
+                    Ty::Int => {
+                        let r = self.expect_ty(rhs, &Ty::Int)?;
+                        Ok(TExpr {
+                            ty: Ty::Int,
+                            kind: TExprKind::IntBin(IntBin::Add, Box::new(l), Box::new(r)),
+                        })
+                    }
+                    Ty::Str => {
+                        let r = self.expect_ty(rhs, &Ty::Str)?;
+                        Ok(TExpr { ty: Ty::Str, kind: TExprKind::Concat(Box::new(l), Box::new(r)) })
+                    }
+                    other => Err(CompileError::ty(line, format!("`+` is not defined on {other}"))),
+                }
+            }
+            Eq | Ne => {
+                let negate = op == Ne;
+                // `x == null` / `null == x` are null tests.
+                let (null_side, other) = match (&lhs.kind, &rhs.kind) {
+                    (ExprKind::Null, _) => (true, rhs),
+                    (_, ExprKind::Null) => (true, lhs),
+                    _ => (false, lhs),
+                };
+                if null_side {
+                    let o = self.check_expr(other, None)?;
+                    let Ty::Named(n) = o.ty.clone() else {
+                        return Err(CompileError::ty(
+                            line,
+                            format!("cannot compare {} with null", o.ty),
+                        ));
+                    };
+                    return Ok(TExpr {
+                        ty: Ty::Bool,
+                        kind: TExprKind::IsNull(Box::new(o), n, negate),
+                    });
+                }
+                let l = self.check_expr(lhs, None)?;
+                match l.ty {
+                    Ty::Int => {
+                        let r = self.expect_ty(rhs, &Ty::Int)?;
+                        let ib = if negate { IntBin::Ne } else { IntBin::Eq };
+                        Ok(TExpr {
+                            ty: Ty::Bool,
+                            kind: TExprKind::IntBin(ib, Box::new(l), Box::new(r)),
+                        })
+                    }
+                    Ty::Str => {
+                        let r = self.expect_ty(rhs, &Ty::Str)?;
+                        Ok(TExpr {
+                            ty: Ty::Bool,
+                            kind: TExprKind::StrEq(Box::new(l), Box::new(r), negate),
+                        })
+                    }
+                    other => Err(CompileError::ty(
+                        line,
+                        format!("`{op}` is not defined on {other}"),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn infer_call(
+        &mut self,
+        callee: &Expr,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<TExpr, CompileError> {
+        // A plain name resolves, in order: local/global of fn type
+        // (indirect), builtin, guest function, host function.
+        if let ExprKind::Var(name) = &callee.kind {
+            let is_value = self.lookup_local(name).is_some() || self.cx.global_ty(name).is_some();
+            if !is_value {
+                if BUILTINS.contains(&name.as_str()) {
+                    return self.infer_builtin(name, args, line);
+                }
+                if let Some(sig) = self.cx.fun_sig(name).cloned() {
+                    let targs = self.check_args(&sig, args, name, line)?;
+                    return Ok(TExpr { ty: sig.ret, kind: TExprKind::CallFn(name.clone(), targs) });
+                }
+                if let Some(sig) = self.cx.hosts.get(name).cloned() {
+                    let targs = self.check_args(&sig, args, name, line)?;
+                    return Ok(TExpr {
+                        ty: sig.ret,
+                        kind: TExprKind::CallHost(name.clone(), targs),
+                    });
+                }
+                return Err(CompileError::ty(line, format!("unknown function `{name}`")));
+            }
+        }
+        // Otherwise: an indirect call through a function value.
+        let f = self.check_expr(callee, None)?;
+        let Ty::Fn(sig) = f.ty.clone() else {
+            return Err(CompileError::ty(line, format!("{} is not callable", f.ty)));
+        };
+        let targs = self.check_args(&sig, args, "<indirect>", line)?;
+        Ok(TExpr { ty: sig.ret.clone(), kind: TExprKind::CallIndirect(Box::new(f), targs) })
+    }
+
+    fn check_args(
+        &mut self,
+        sig: &FnSig,
+        args: &[Expr],
+        name: &str,
+        line: u32,
+    ) -> Result<Vec<TExpr>, CompileError> {
+        if sig.params.len() != args.len() {
+            return Err(CompileError::ty(
+                line,
+                format!("`{name}` expects {} arguments, got {}", sig.params.len(), args.len()),
+            ));
+        }
+        args.iter()
+            .zip(&sig.params)
+            .map(|(a, p)| self.check_expr(a, Some(p)))
+            .collect()
+    }
+
+    fn infer_builtin(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<TExpr, CompileError> {
+        let argc = |n: usize| -> Result<(), CompileError> {
+            if args.len() != n {
+                Err(CompileError::ty(
+                    line,
+                    format!("`{name}` expects {n} arguments, got {}", args.len()),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match name {
+            "len" => {
+                argc(1)?;
+                let a = self.check_expr(&args[0], None)?;
+                let b = match &a.ty {
+                    Ty::Str => Builtin::LenStr,
+                    Ty::Array(_) => Builtin::LenArray,
+                    other => {
+                        return Err(CompileError::ty(line, format!("`len` on {other}")))
+                    }
+                };
+                Ok(TExpr { ty: Ty::Int, kind: TExprKind::Builtin(b, vec![a]) })
+            }
+            "substr" => {
+                argc(3)?;
+                let s = self.expect_ty(&args[0], &Ty::Str)?;
+                let i = self.expect_ty(&args[1], &Ty::Int)?;
+                let n = self.expect_ty(&args[2], &Ty::Int)?;
+                Ok(TExpr { ty: Ty::Str, kind: TExprKind::Builtin(Builtin::Substr, vec![s, i, n]) })
+            }
+            "find" => {
+                argc(2)?;
+                let s = self.expect_ty(&args[0], &Ty::Str)?;
+                let sub = self.expect_ty(&args[1], &Ty::Str)?;
+                Ok(TExpr { ty: Ty::Int, kind: TExprKind::Builtin(Builtin::Find, vec![s, sub]) })
+            }
+            "char_at" => {
+                argc(2)?;
+                let s = self.expect_ty(&args[0], &Ty::Str)?;
+                let i = self.expect_ty(&args[1], &Ty::Int)?;
+                Ok(TExpr { ty: Ty::Int, kind: TExprKind::Builtin(Builtin::CharAt, vec![s, i]) })
+            }
+            "itoa" => {
+                argc(1)?;
+                let n = self.expect_ty(&args[0], &Ty::Int)?;
+                Ok(TExpr { ty: Ty::Str, kind: TExprKind::Builtin(Builtin::Itoa, vec![n]) })
+            }
+            "atoi" => {
+                argc(1)?;
+                let s = self.expect_ty(&args[0], &Ty::Str)?;
+                Ok(TExpr { ty: Ty::Int, kind: TExprKind::Builtin(Builtin::Atoi, vec![s]) })
+            }
+            "push" => {
+                argc(2)?;
+                let a = self.check_expr(&args[0], None)?;
+                let Ty::Array(elem) = a.ty.clone() else {
+                    return Err(CompileError::ty(line, format!("`push` on {}", a.ty)));
+                };
+                let v = self.check_expr(&args[1], Some(&elem))?;
+                Ok(TExpr { ty: Ty::Unit, kind: TExprKind::Builtin(Builtin::Push, vec![a, v]) })
+            }
+            _ => unreachable!("BUILTINS covers all names"),
+        }
+    }
+}

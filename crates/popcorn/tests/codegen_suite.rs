@@ -1,0 +1,231 @@
+//! Code-generation golden suite: pins the instruction sequences emitted
+//! for each language construct, so codegen changes are deliberate.
+
+use popcorn::{compile, Interface};
+use tal::Instr;
+
+fn code_of(src: &str, fun: &str) -> Vec<Instr> {
+    let m = compile(src, "t", "v1", &Interface::new()).expect("compiles");
+    tal::verify_module(&m, &tal::NoAmbientTypes).expect("verifies");
+    m.function(fun).expect("function exists").code.clone()
+}
+
+#[test]
+fn return_expression() {
+    assert_eq!(
+        code_of("fun f(x: int): int { return x + 1; }", "f"),
+        vec![
+            Instr::LoadLocal(0),
+            Instr::PushInt(1),
+            Instr::Add,
+            Instr::Ret,
+            // implicit-unit epilogue (dead)
+            Instr::PushUnit,
+            Instr::Ret,
+        ]
+    );
+}
+
+#[test]
+fn unit_function_implicit_return() {
+    assert_eq!(
+        code_of("fun f(): unit { }", "f"),
+        vec![Instr::PushUnit, Instr::Ret]
+    );
+}
+
+#[test]
+fn expression_statement_pops() {
+    let code = code_of(
+        "fun g(): int { return 1; } fun f(): unit { g(); }",
+        "f",
+    );
+    assert!(
+        code.windows(2).any(|w| matches!(w, [Instr::Call(_), Instr::Pop])),
+        "{code:?}"
+    );
+}
+
+#[test]
+fn if_else_shape() {
+    let code = code_of(
+        "fun f(c: bool): int { if (c) { return 1; } else { return 2; } }",
+        "f",
+    );
+    assert_eq!(
+        code,
+        vec![
+            Instr::LoadLocal(0),
+            Instr::JumpIfFalse(5),
+            Instr::PushInt(1),
+            Instr::Ret,
+            Instr::Jump(7), // dead (both branches return), still emitted
+            Instr::PushInt(2),
+            Instr::Ret,
+            Instr::PushUnit,
+            Instr::Ret,
+        ]
+    );
+}
+
+#[test]
+fn while_shape() {
+    let code = code_of("fun f(n: int): unit { while (n > 0) { n = n - 1; } }", "f");
+    assert_eq!(
+        code,
+        vec![
+            Instr::LoadLocal(0),    // 0: cond
+            Instr::PushInt(0),      // 1
+            Instr::Gt,              // 2
+            Instr::JumpIfFalse(9),  // 3
+            Instr::LoadLocal(0),    // 4: body
+            Instr::PushInt(1),      // 5
+            Instr::Sub,             // 6
+            Instr::StoreLocal(0),   // 7
+            Instr::Jump(0),         // 8: back edge
+            Instr::PushUnit,        // 9
+            Instr::Ret,
+        ]
+    );
+}
+
+#[test]
+fn short_circuit_and_shape() {
+    let code = code_of("fun f(a: bool, b: bool): bool { return a && b; }", "f");
+    assert_eq!(
+        code,
+        vec![
+            Instr::LoadLocal(0),
+            Instr::JumpIfFalse(4),
+            Instr::LoadLocal(1),
+            Instr::Jump(5),
+            Instr::PushBool(false),
+            Instr::Ret,
+            Instr::PushUnit,
+            Instr::Ret,
+        ]
+    );
+}
+
+#[test]
+fn short_circuit_or_shape() {
+    let code = code_of("fun f(a: bool, b: bool): bool { return a || b; }", "f");
+    assert_eq!(
+        code,
+        vec![
+            Instr::LoadLocal(0),
+            Instr::JumpIfFalse(4),
+            Instr::PushBool(true),
+            Instr::Jump(5),
+            Instr::LoadLocal(1),
+            Instr::Ret,
+            Instr::PushUnit,
+            Instr::Ret,
+        ]
+    );
+}
+
+#[test]
+fn record_literal_pushes_fields_in_declaration_order() {
+    // Source order b-then-a must be reordered to declaration order a, b.
+    let code = code_of(
+        r#"
+        struct p { a: int, b: string }
+        fun f(): p { return p { b: "x", a: 1 }; }
+        "#,
+        "f",
+    );
+    assert!(
+        matches!(
+            &code[..3],
+            [Instr::PushInt(1), Instr::PushStr(_), Instr::NewRecord(_)]
+        ),
+        "{code:?}"
+    );
+}
+
+#[test]
+fn array_literal_builds_incrementally() {
+    let code = code_of("fun f(): [int] { return [7, 8]; }", "f");
+    assert_eq!(
+        &code[..7],
+        &[
+            Instr::NewArray(tal::Ty::Int),
+            Instr::Dup,
+            Instr::PushInt(7),
+            Instr::ArrayPush,
+            Instr::Dup,
+            Instr::PushInt(8),
+            Instr::ArrayPush,
+        ]
+    );
+}
+
+#[test]
+fn null_comparison_lowers_to_is_null() {
+    let code = code_of(
+        "struct s { v: int } fun f(x: s): bool { return x != null; }",
+        "f",
+    );
+    assert!(
+        matches!(&code[..3], [Instr::LoadLocal(0), Instr::IsNull(_), Instr::Not]),
+        "{code:?}"
+    );
+}
+
+#[test]
+fn update_statement_is_one_instruction() {
+    let code = code_of("fun f(): unit { update; }", "f");
+    assert_eq!(code[0], Instr::UpdatePoint);
+}
+
+#[test]
+fn break_and_continue_target_loop_boundaries() {
+    let code = code_of(
+        "fun f(n: int): unit { while (true) { if (n == 0) { break; } n = n - 1; continue; } }",
+        "f",
+    );
+    // `break` jumps past the loop; `continue` jumps to the condition.
+    let breaks: Vec<u32> = code
+        .iter()
+        .enumerate()
+        .filter_map(|(i, ins)| match ins {
+            Instr::Jump(t) if *t as usize > i => Some(*t),
+            _ => None,
+        })
+        .collect();
+    assert!(!breaks.is_empty(), "{code:?}");
+    assert!(
+        code.iter().any(|i| matches!(i, Instr::Jump(0))),
+        "continue re-enters at the condition: {code:?}"
+    );
+}
+
+#[test]
+fn global_initialiser_code() {
+    let m = compile("global g: int = 2 + 3;", "t", "v1", &Interface::new()).unwrap();
+    assert_eq!(
+        m.global("g").unwrap().init,
+        vec![Instr::PushInt(2), Instr::PushInt(3), Instr::Add, Instr::Ret]
+    );
+}
+
+#[test]
+fn calls_use_symbolic_references() {
+    let m = compile(
+        "extern fun h(): int; fun g(): int { return 1; } fun f(): int { return g() + h(); }",
+        "t",
+        "v1",
+        &Interface::new(),
+    )
+    .unwrap();
+    let f = m.function("f").unwrap();
+    let names: Vec<&str> = f
+        .code
+        .iter()
+        .filter_map(|i| i.sym_ref())
+        .filter_map(|s| m.symbol(s))
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(names, vec!["g", "h"]);
+}

@@ -1,0 +1,191 @@
+//! Parser suite: grammar coverage, precedence/associativity shapes, and
+//! error reporting.
+
+use popcorn::ast::*;
+use popcorn::parse;
+
+fn first_fun(src: &str) -> FunDef {
+    parse(src).unwrap().functions().next().unwrap().clone()
+}
+
+fn ret_expr(src: &str) -> Expr {
+    let f = first_fun(src);
+    match &f.body[0].kind {
+        StmtKind::Return(Some(e)) => e.clone(),
+        other => panic!("expected return, got {other:?}"),
+    }
+}
+
+fn rejects(src: &str, needle: &str) {
+    let e = parse(src).expect_err("should not parse");
+    assert!(e.message.contains(needle), "expected {needle:?} in `{e}`\n---\n{src}");
+}
+
+// ------------------------------ precedence ------------------------------
+
+#[test]
+fn arithmetic_precedence_and_left_associativity() {
+    // a - b - c == (a - b) - c
+    let e = ret_expr("fun f(a: int, b: int, c: int): int { return a - b - c; }");
+    let ExprKind::Binary(BinOp::Sub, lhs, _) = &e.kind else { panic!("{e:?}") };
+    assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Sub, _, _)));
+
+    // a + b * c == a + (b * c)
+    let e = ret_expr("fun f(a: int, b: int, c: int): int { return a + b * c; }");
+    let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+    assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+}
+
+#[test]
+fn comparison_binds_tighter_than_logic() {
+    // a < b && c > d == (a < b) && (c > d)
+    let e = ret_expr(
+        "fun f(a: int, b: int, c: int, d: int): bool { return a < b && c > d; }",
+    );
+    let ExprKind::Binary(BinOp::And, l, r) = &e.kind else { panic!("{e:?}") };
+    assert!(matches!(l.kind, ExprKind::Binary(BinOp::Lt, _, _)));
+    assert!(matches!(r.kind, ExprKind::Binary(BinOp::Gt, _, _)));
+}
+
+#[test]
+fn or_binds_looser_than_and() {
+    // a || b && c == a || (b && c)
+    let e = ret_expr("fun f(a: bool, b: bool, c: bool): bool { return a || b && c; }");
+    let ExprKind::Binary(BinOp::Or, _, rhs) = &e.kind else { panic!("{e:?}") };
+    assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::And, _, _)));
+}
+
+#[test]
+fn unary_binds_tighter_than_binary() {
+    let e = ret_expr("fun f(a: int, b: int): int { return -a * b; }");
+    let ExprKind::Binary(BinOp::Mul, lhs, _) = &e.kind else { panic!("{e:?}") };
+    assert!(matches!(lhs.kind, ExprKind::Unary(UnOp::Neg, _)));
+}
+
+#[test]
+fn postfix_chains() {
+    let e = ret_expr("fun f(a: [x]): int { return a[0].b.c[1]; }");
+    // ((((a[0]).b).c)[1])
+    let ExprKind::Index(base, _) = &e.kind else { panic!("{e:?}") };
+    let ExprKind::Field(base, c) = &base.kind else { panic!() };
+    assert_eq!(c, "c");
+    let ExprKind::Field(base, b) = &base.kind else { panic!() };
+    assert_eq!(b, "b");
+    assert!(matches!(base.kind, ExprKind::Index(_, _)));
+}
+
+#[test]
+fn call_chains_and_indirect_calls() {
+    let e = ret_expr("fun f(g: fn(int): fn(int): int): int { return g(1)(2); }");
+    let ExprKind::Call(callee, args) = &e.kind else { panic!("{e:?}") };
+    assert_eq!(args.len(), 1);
+    assert!(matches!(callee.kind, ExprKind::Call(_, _)));
+}
+
+// ------------------------------- literals -------------------------------
+
+#[test]
+fn record_and_array_literals() {
+    let e = ret_expr(r#"fun f(): p { return p { a: 1, b: [1, 2], c: q { d: "x" } }; }"#);
+    let ExprKind::Record(name, fields) = &e.kind else { panic!("{e:?}") };
+    assert_eq!(name, "p");
+    assert_eq!(fields.len(), 3);
+    assert!(matches!(fields[1].1.kind, ExprKind::ArrayLit(_)));
+    assert!(matches!(fields[2].1.kind, ExprKind::Record(_, _)));
+}
+
+#[test]
+fn trailing_commas_allowed_in_structs_and_records() {
+    assert!(parse("struct s { a: int, b: bool, }").is_ok());
+    assert!(parse("fun f(): s { return s { a: 1, }; }").is_ok());
+}
+
+#[test]
+fn new_array_types() {
+    let e = ret_expr("fun f(): [[int]] { return new [[int]]; }");
+    assert!(matches!(e.kind, ExprKind::NewArray(TypeAst::Array(_))));
+    let e = ret_expr("fun f(): [fn(int): bool] { return new [fn(int): bool]; }");
+    assert!(matches!(e.kind, ExprKind::NewArray(TypeAst::Fn(_, _))));
+}
+
+// ------------------------------ statements ------------------------------
+
+#[test]
+fn assignment_vs_expression_statement() {
+    let f = first_fun("fun f(a: [int]): unit { a[0] = 1; g(a); }");
+    assert!(matches!(f.body[0].kind, StmtKind::Assign { .. }));
+    assert!(matches!(f.body[1].kind, StmtKind::Expr(_)));
+}
+
+#[test]
+fn nested_blocks_and_dangling_else() {
+    // `else` binds to the nearest `if` (enforced by braces in this
+    // grammar, so there is no true dangling-else ambiguity).
+    let f = first_fun(
+        "fun f(a: bool, b: bool): unit { if (a) { if (b) { } else { } } }",
+    );
+    let StmtKind::If { then, els, .. } = &f.body[0].kind else { panic!() };
+    assert!(els.is_empty());
+    let StmtKind::If { els: inner_els, .. } = &then[0].kind else { panic!() };
+    assert_eq!(inner_els.len(), 0);
+}
+
+#[test]
+fn update_points_parse_as_statements() {
+    let f = first_fun("fun f(): unit { update; while (true) { update; break; } }");
+    assert!(matches!(f.body[0].kind, StmtKind::Update));
+}
+
+// ------------------------------- errors -------------------------------
+
+#[test]
+fn error_cases_and_locations() {
+    rejects("fun f(): int { return 1 }", "expected `;`");
+    rejects("fun f(: int): int { return 1; }", "expected identifier");
+    rejects("fun f() int { return 1; }", "expected `:`");
+    rejects("struct s a: int }", "expected `{`");
+    rejects("global g int = 1;", "expected `:`");
+    rejects("fun f(): int { if true { } }", "expected `(`");
+    rejects("blob x;", "expected `struct`, `global`, `extern` or `fun`");
+    rejects("fun f(): int { return +; }", "expected expression");
+
+    let e = parse("fun f(): int {\n\n  return @;\n}").unwrap_err();
+    assert_eq!(e.line, Some(3), "{e}");
+}
+
+#[test]
+fn eof_inside_constructs() {
+    rejects("fun f(): int { return 1;", "expected");
+    rejects("struct s { a: int", "expected");
+    rejects("fun f(", "expected");
+}
+
+#[test]
+fn keywords_cannot_be_identifiers() {
+    rejects("fun while(): int { return 1; }", "expected identifier");
+    rejects("fun f(return: int): int { return 1; }", "expected identifier");
+}
+
+#[test]
+fn extern_declarations() {
+    let p = parse(
+        "extern fun a(): unit; extern fun b(int, string): int; extern fun c(x: int): bool;",
+    )
+    .unwrap();
+    let ex: Vec<&ExternDef> = p.externs().collect();
+    assert_eq!(ex.len(), 3);
+    assert_eq!(ex[1].params.len(), 2);
+    assert_eq!(ex[2].params, vec![TypeAst::Int]);
+}
+
+#[test]
+fn comments_anywhere() {
+    let src = r#"
+        // leading
+        struct /* inline */ s { a: int } // trailing
+        /* block
+           spanning lines */
+        fun f(): s { return /* here too */ s { a: 1 }; }
+    "#;
+    assert!(parse(src).is_ok());
+}

@@ -1,0 +1,297 @@
+//! Type-checker acceptance/rejection suite.
+//!
+//! Each case is a distinct rule of the language; acceptance cases also
+//! verify the produced bytecode, so the suite doubles as a codegen
+//! well-typedness check.
+
+use popcorn::{compile, Interface};
+use tal::{FnSig, NoAmbientTypes, Ty, TypeDef};
+
+fn accepts(src: &str) {
+    let m = compile(src, "t", "v1", &Interface::new())
+        .unwrap_or_else(|e| panic!("should compile: {e}\n---\n{src}"));
+    tal::verify_module(&m, &NoAmbientTypes)
+        .unwrap_or_else(|e| panic!("should verify: {e}\n---\n{src}"));
+}
+
+fn rejects(src: &str, needle: &str) {
+    match compile(src, "t", "v1", &Interface::new()) {
+        Ok(_) => panic!("should not compile:\n{src}"),
+        Err(e) => assert!(
+            e.message.contains(needle),
+            "expected error containing {needle:?}, got `{e}`\n---\n{src}"
+        ),
+    }
+}
+
+// ------------------------------ expressions ------------------------------
+
+#[test]
+fn arithmetic_types() {
+    accepts("fun f(a: int, b: int): int { return a * b % (a - -b); }");
+    rejects("fun f(b: bool): int { return b + 1; }", "is not defined on bool");
+    rejects("fun f(): int { return \"a\" - \"b\"; }", "expected int");
+    rejects("fun f(): int { return -true; }", "expected int");
+}
+
+#[test]
+fn string_concat_overload() {
+    accepts(r#"fun f(s: string): string { return s + "x" + itoa(1); }"#);
+    rejects(r#"fun f(s: string): string { return s + 1; }"#, "expected string");
+}
+
+#[test]
+fn comparisons() {
+    accepts("fun f(a: int): bool { return a < 1 && a <= 2 || a > 3 && a >= 4; }");
+    accepts(r#"fun f(s: string): bool { return s == "x" && s != "y"; }"#);
+    rejects("fun f(a: bool, b: bool): bool { return a == b; }", "not defined on bool");
+    rejects(r#"fun f(s: string): bool { return s < "a"; }"#, "expected int");
+    rejects("fun f(a: [int]): bool { return a == a; }", "not defined on [int]");
+}
+
+#[test]
+fn null_comparisons_need_named_types() {
+    accepts(
+        "struct s { v: int } fun f(x: s): bool { return x == null || null != x; }",
+    );
+    rejects("fun f(a: int): bool { return a == null; }", "cannot compare int with null");
+    rejects("fun f(): bool { return null == null; }", "cannot infer");
+}
+
+#[test]
+fn null_requires_expected_named_type() {
+    accepts("struct s { v: int } fun f(): s { return null; }");
+    rejects("fun f(): int { return null; }", "`null` is not a int");
+    rejects("fun f(): unit { null; }", "cannot infer the type of `null`");
+    rejects("fun f(): [int] { return null; }", "is not a [int]");
+}
+
+#[test]
+fn logical_operators_are_bool_only() {
+    rejects("fun f(a: int): bool { return a && true; }", "expected bool");
+    rejects("fun f(): bool { return !1; }", "expected bool");
+}
+
+// ------------------------------- records -------------------------------
+
+#[test]
+fn record_construction_rules() {
+    let base = "struct p { x: int, y: string }";
+    accepts(&format!("{base} fun f(): p {{ return p {{ x: 1, y: \"a\" }}; }}"));
+    accepts(&format!("{base} fun f(): p {{ return p {{ y: \"a\", x: 1 }}; }}")); // any order
+    rejects(&format!("{base} fun f(): p {{ return p {{ x: 1 }}; }}"), "missing field `y`");
+    rejects(
+        &format!("{base} fun f(): p {{ return p {{ x: 1, y: \"a\", x: 2 }}; }}"),
+        "given twice",
+    );
+    rejects(
+        &format!("{base} fun f(): p {{ return p {{ x: \"no\", y: \"a\" }}; }}"),
+        "expected int",
+    );
+    rejects("fun f(): unit { ghost { a: 1 }; }", "unknown type");
+}
+
+#[test]
+fn field_access_rules() {
+    let base = "struct p { x: int }";
+    accepts(&format!("{base} fun f(v: p): int {{ return v.x; }}"));
+    accepts(&format!("{base} fun f(v: p): unit {{ v.x = 3; }}"));
+    rejects(&format!("{base} fun f(v: p): int {{ return v.z; }}"), "no field `z`");
+    rejects("fun f(v: int): int { return v.x; }", "has no fields");
+}
+
+#[test]
+fn recursive_struct_types() {
+    accepts(
+        r#"
+        struct node { v: int, next: node }
+        fun sum(n: node): int {
+            var acc: int = 0;
+            while (n != null) { acc = acc + n.v; n = n.next; }
+            return acc;
+        }
+        "#,
+    );
+}
+
+#[test]
+fn mutually_recursive_structs() {
+    accepts(
+        r#"
+        struct a { b: b }
+        struct b { a: a, v: int }
+        fun f(x: a): int { if (x == null) { return 0; } return x.b.v; }
+        "#,
+    );
+}
+
+// ------------------------------- arrays -------------------------------
+
+#[test]
+fn array_rules() {
+    accepts("fun f(): [int] { return [1, 2, 3]; }");
+    accepts("fun f(): [[string]] { return [new [string], [\"a\"]]; }");
+    accepts("fun f(a: [int]): int { a[0] = a[1]; return len(a); }");
+    rejects("fun f(): [int] { return [1, true]; }", "expected int");
+    rejects("fun f(a: [int]): bool { return a[0]; }", "expected bool");
+    rejects("fun f(a: int): int { return a[0]; }", "cannot index int");
+    rejects("fun f(a: [int]): unit { push(a, \"s\"); }", "expected int");
+    rejects("fun f(a: int): unit { push(a, 1); }", "`push` on int");
+}
+
+#[test]
+fn array_literal_infers_from_context_for_null_elements() {
+    accepts(
+        "struct s { v: int } fun f(): [s] { return [null, s { v: 1 }]; }",
+    );
+    // Without context, the first element anchors inference and null alone
+    // cannot.
+    rejects("fun f(): unit { var x: int = len([null]); }", "cannot infer");
+}
+
+// ----------------------------- functions -----------------------------
+
+#[test]
+fn call_rules() {
+    accepts("fun g(x: int): int { return x; } fun f(): int { return g(1); }");
+    rejects(
+        "fun g(x: int): int { return x; } fun f(): int { return g(true); }",
+        "expected int",
+    );
+    rejects(
+        "fun g(x: int): int { return x; } fun f(): int { return g(1, 2); }",
+        "expects 1 arguments",
+    );
+    rejects("fun f(): int { return f; }", "unknown variable `f`"); // need &f
+}
+
+#[test]
+fn function_pointer_rules() {
+    accepts(
+        r#"
+        fun inc(x: int): int { return x + 1; }
+        fun f(): int {
+            var g: fn(int): int = &inc;
+            return g(1);
+        }
+        "#,
+    );
+    rejects(
+        r#"
+        fun inc(x: int): int { return x + 1; }
+        fun f(): bool { var g: fn(int): bool = &inc; return g(1); }
+        "#,
+        "expected fn(int): bool",
+    );
+    rejects("fun f(): unit { var g: fn(): unit = &ghost; }", "unknown function");
+    rejects("fun f(x: int): unit { x(); }", "int is not callable");
+}
+
+#[test]
+fn return_coverage_analysis() {
+    accepts("fun f(c: bool): int { if (c) { return 1; } else { return 2; } }");
+    accepts("fun f(c: bool): int { if (c) { return 1; } return 2; }");
+    accepts("fun f(): unit { }"); // unit functions may fall through
+    rejects(
+        "fun f(c: bool): int { if (c) { return 1; } }",
+        "does not return on all paths",
+    );
+    rejects(
+        "fun f(c: bool): int { while (c) { return 1; } }",
+        "does not return on all paths",
+    );
+    rejects("fun f(): int { return; }", "`return;` in a function returning int");
+}
+
+#[test]
+fn scoping_rules() {
+    accepts(
+        r#"
+        fun f(): int {
+            var x: int = 1;
+            if (true) { var y: int = 2; x = x + y; }
+            if (true) { var y: int = 3; x = x + y; }
+            return x;
+        }
+        "#,
+    );
+    // Inner scopes may shadow outer ones.
+    accepts("fun f(): int { var x: int = 1; if (true) { var x: int = 2; } return x; }");
+    rejects(
+        "fun f(): int { if (true) { var y: int = 2; } return y; }",
+        "unknown variable `y`",
+    );
+    rejects("fun f(x: int, x: int): int { return x; }", "already defined");
+}
+
+#[test]
+fn assignment_target_rules() {
+    rejects("fun f(): unit { 1 = 2; }", "invalid assignment target");
+    rejects("fun g(): int { return 1; } fun f(): unit { g() = 2; }", "invalid assignment");
+    rejects("fun f(): unit { ghost = 2; }", "unknown variable");
+}
+
+#[test]
+fn break_continue_placement() {
+    accepts("fun f(): unit { while (true) { if (true) { break; } continue; } }");
+    rejects("fun f(): unit { continue; }", "outside a loop");
+    rejects("fun f(): unit { if (true) { break; } }", "outside a loop");
+}
+
+// ----------------------------- top level -----------------------------
+
+#[test]
+fn global_rules() {
+    accepts("global g: int = 1 + 2; fun f(): int { return g; }");
+    accepts("global a: int = 2; global b: int = a * 3; fun f(): int { return b; }");
+    rejects("global g: int = true; fun f(): int { return g; }", "expected int");
+    rejects("global g: int = 1; global g: int = 2;", "duplicate global");
+}
+
+#[test]
+fn extern_rules() {
+    accepts("extern fun h(): int; fun f(): int { return h(); }");
+    accepts("extern fun h(): int; extern fun h(): int; fun f(): int { return h(); }");
+    rejects(
+        "extern fun h(): int; extern fun h(): bool; fun f(): int { return h(); }",
+        "redeclared with a different signature",
+    );
+}
+
+#[test]
+fn interface_shadowing_and_conflicts() {
+    let iface = Interface::new()
+        .with_struct(TypeDef::new("s", vec![tal::Field::new("v", Ty::Int)]))
+        .with_global("g", Ty::Int)
+        .with_function("f", FnSig::new(vec![], Ty::Int));
+    // Patch-style: redefining an interface function locally is allowed.
+    let m = compile("fun f(): int { return g; }", "p", "v2", &iface).unwrap();
+    assert!(m.function("f").is_some());
+    // Redefining an interface *global* is not.
+    let e = compile("global g: int = 1;", "p", "v2", &iface).unwrap_err();
+    assert!(e.message.contains("duplicate global"), "{e}");
+}
+
+#[test]
+fn update_statement_allowed_anywhere_statements_are() {
+    accepts("fun f(): unit { update; while (true) { update; break; } }");
+}
+
+#[test]
+fn builtin_names_are_reserved() {
+    for name in ["len", "substr", "find", "char_at", "itoa", "atoi", "push"] {
+        rejects(
+            &format!("fun {name}(): unit {{ }}"),
+            "reserved builtin",
+        );
+    }
+}
+
+#[test]
+fn builtin_arity_checks() {
+    rejects("fun f(s: string): int { return len(); }", "expects 1 arguments");
+    rejects("fun f(s: string): string { return substr(s, 1); }", "expects 3 arguments");
+    rejects("fun f(s: string): int { return char_at(s); }", "expects 2 arguments");
+    rejects("fun f(): int { return atoi(1); }", "expected string");
+    rejects("fun f(): int { return len(3); }", "`len` on int");
+}

@@ -1,0 +1,309 @@
+//! Ergonomic construction of modules, with label-based control flow.
+//!
+//! [`ModuleBuilder`] interns strings, type references and symbols;
+//! [`FunctionBuilder`] provides forward labels that are patched to concrete
+//! instruction indices when the function is finished. Both the Popcorn
+//! compiler back end and hand-written tests build modules through this API.
+
+use crate::instr::{Instr, StrId, SymId, TypeRefId};
+use crate::module::{Function, GlobalDef, Module, Symbol, SymbolKind};
+use crate::types::{FnSig, Ty, TypeDef};
+use std::collections::HashMap;
+
+/// Builds a [`Module`] incrementally.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+    string_ids: HashMap<String, StrId>,
+    type_ref_ids: HashMap<String, TypeRefId>,
+    symbol_ids: HashMap<String, SymId>,
+}
+
+impl ModuleBuilder {
+    /// Starts a new module with the given name and version tag.
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> ModuleBuilder {
+        ModuleBuilder {
+            module: Module::new(name, version),
+            string_ids: HashMap::new(),
+            type_ref_ids: HashMap::new(),
+            symbol_ids: HashMap::new(),
+        }
+    }
+
+    /// Interns a string constant, returning its pool id.
+    pub fn string(&mut self, s: impl Into<String>) -> StrId {
+        let s = s.into();
+        if let Some(id) = self.string_ids.get(&s) {
+            return *id;
+        }
+        let id = StrId(self.module.strings.len() as u32);
+        self.module.strings.push(s.clone());
+        self.string_ids.insert(s, id);
+        id
+    }
+
+    /// Interns a named-type reference, returning its pool id.
+    pub fn type_ref(&mut self, name: impl Into<String>) -> TypeRefId {
+        let name = name.into();
+        if let Some(id) = self.type_ref_ids.get(&name) {
+            return *id;
+        }
+        let id = TypeRefId(self.module.type_refs.len() as u32);
+        self.module.type_refs.push(name.clone());
+        self.type_ref_ids.insert(name, id);
+        id
+    }
+
+    /// Adds a record type definition to the module.
+    pub fn def_type(&mut self, def: TypeDef) {
+        self.module.types.push(def);
+    }
+
+    fn declare(&mut self, name: String, kind: SymbolKind) -> SymId {
+        if let Some(id) = self.symbol_ids.get(&name) {
+            return *id;
+        }
+        let id = SymId(self.module.symbols.len() as u32);
+        self.module.symbols.push(Symbol { name: name.clone(), kind });
+        self.symbol_ids.insert(name, id);
+        id
+    }
+
+    /// Declares (or re-uses) a function symbol.
+    pub fn declare_fn(&mut self, name: impl Into<String>, sig: FnSig) -> SymId {
+        self.declare(name.into(), SymbolKind::Fn(sig))
+    }
+
+    /// Declares (or re-uses) a global-variable symbol.
+    pub fn declare_global(&mut self, name: impl Into<String>, ty: Ty) -> SymId {
+        self.declare(name.into(), SymbolKind::Global(ty))
+    }
+
+    /// Declares (or re-uses) a host-function symbol.
+    pub fn declare_host(&mut self, name: impl Into<String>, sig: FnSig) -> SymId {
+        self.declare(name.into(), SymbolKind::Host(sig))
+    }
+
+    /// Defines a function. The closure receives a [`FunctionBuilder`] whose
+    /// locals are pre-populated with the parameters.
+    pub fn function<F>(&mut self, name: impl Into<String>, sig: FnSig, body: F)
+    where
+        F: FnOnce(&mut FunctionBuilder<'_>),
+    {
+        let name = name.into();
+        let locals = sig.params.clone();
+        let mut fb = FunctionBuilder {
+            builder: self,
+            locals,
+            code: Vec::new(),
+            labels: Vec::new(),
+        };
+        body(&mut fb);
+        let (locals, code, labels) = (fb.locals, fb.code, fb.labels);
+        let code = patch_labels(code, &labels);
+        self.module.functions.push(Function { name, sig, locals, code });
+    }
+
+    /// Defines a global with explicit initialiser code.
+    pub fn global(&mut self, name: impl Into<String>, ty: Ty, init: Vec<Instr>) {
+        self.module.globals.push(GlobalDef { name: name.into(), ty, init });
+    }
+
+    /// Builds a standalone code body (label support included) without
+    /// registering a function — used for global initialisers.
+    pub fn body<F>(&mut self, build: F) -> Vec<Instr>
+    where
+        F: FnOnce(&mut FunctionBuilder<'_>),
+    {
+        let mut fb = FunctionBuilder {
+            builder: self,
+            locals: Vec::new(),
+            code: Vec::new(),
+            labels: Vec::new(),
+        };
+        build(&mut fb);
+        let (code, labels) = (fb.code, fb.labels);
+        patch_labels(code, &labels)
+    }
+
+    /// Finishes the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+/// A forward-patchable jump target inside a function under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Sentinel offset distinguishing unpatched label operands from real pcs.
+const LABEL_BASE: u32 = u32::MAX / 2;
+
+fn patch_labels(code: Vec<Instr>, labels: &[Option<u32>]) -> Vec<Instr> {
+    let resolve = |t: u32| -> u32 {
+        if t >= LABEL_BASE {
+            let idx = (t - LABEL_BASE) as usize;
+            labels[idx].expect("label bound before finish")
+        } else {
+            t
+        }
+    };
+    code.into_iter()
+        .map(|i| match i {
+            Instr::Jump(t) => Instr::Jump(resolve(t)),
+            Instr::JumpIfFalse(t) => Instr::JumpIfFalse(resolve(t)),
+            other => other,
+        })
+        .collect()
+}
+
+/// Builds one function body; obtained through [`ModuleBuilder::function`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    builder: &'a mut ModuleBuilder,
+    locals: Vec<Ty>,
+    code: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+}
+
+impl FunctionBuilder<'_> {
+    /// Appends an instruction, returning its index.
+    pub fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    /// Declares an additional local slot of the given type.
+    pub fn local(&mut self, ty: Ty) -> u16 {
+        self.locals.push(ty);
+        (self.locals.len() - 1) as u16
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the *next* instruction to be emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.code.len() as u32);
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) {
+        self.code.push(Instr::Jump(LABEL_BASE + label.0 as u32));
+    }
+
+    /// Emits a pop-and-branch-if-false to `label`.
+    pub fn jump_if_false(&mut self, label: Label) {
+        self.code.push(Instr::JumpIfFalse(LABEL_BASE + label.0 as u32));
+    }
+
+    /// Current instruction count (the index the next emit will get).
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Interns a string in the containing module.
+    pub fn string(&mut self, s: impl Into<String>) -> StrId {
+        self.builder.string(s)
+    }
+
+    /// Interns a type reference in the containing module.
+    pub fn type_ref(&mut self, name: impl Into<String>) -> TypeRefId {
+        self.builder.type_ref(name)
+    }
+
+    /// Declares a function symbol in the containing module.
+    pub fn declare_fn(&mut self, name: impl Into<String>, sig: FnSig) -> SymId {
+        self.builder.declare_fn(name, sig)
+    }
+
+    /// Declares a global symbol in the containing module.
+    pub fn declare_global(&mut self, name: impl Into<String>, ty: Ty) -> SymId {
+        self.builder.declare_global(name, ty)
+    }
+
+    /// Declares a host-function symbol in the containing module.
+    pub fn declare_host(&mut self, name: impl Into<String>, sig: FnSig) -> SymId {
+        self.builder.declare_host(name, sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_module, NoAmbientTypes};
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut b = ModuleBuilder::new("t", "v");
+        let a = b.string("x");
+        let c = b.string("x");
+        assert_eq!(a, c);
+        let t1 = b.type_ref("p");
+        let t2 = b.type_ref("p");
+        assert_eq!(t1, t2);
+        let s1 = b.declare_fn("f", FnSig::new(vec![], Ty::Unit));
+        let s2 = b.declare_fn("f", FnSig::new(vec![], Ty::Unit));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn labels_patch_forward_and_backward() {
+        let mut b = ModuleBuilder::new("t", "v");
+        b.function("count", FnSig::new(vec![Ty::Int], Ty::Int), |f| {
+            let top = f.new_label();
+            let done = f.new_label();
+            f.bind(top);
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::PushInt(0));
+            f.emit(Instr::Gt);
+            f.jump_if_false(done);
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::PushInt(1));
+            f.emit(Instr::Sub);
+            f.emit(Instr::StoreLocal(0));
+            f.jump(top);
+            f.bind(done);
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::Ret);
+        });
+        let m = b.finish();
+        verify_module(&m, &NoAmbientTypes).unwrap();
+        let f = m.function("count").unwrap();
+        assert_eq!(f.code[3], Instr::JumpIfFalse(9));
+        assert_eq!(f.code[8], Instr::Jump(0));
+    }
+
+    #[test]
+    fn extra_locals_follow_parameters() {
+        let mut b = ModuleBuilder::new("t", "v");
+        b.function("f", FnSig::new(vec![Ty::Int], Ty::Int), |f| {
+            let tmp = f.local(Ty::Int);
+            assert_eq!(tmp, 1);
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::StoreLocal(tmp));
+            f.emit(Instr::LoadLocal(tmp));
+            f.emit(Instr::Ret);
+        });
+        verify_module(&b.finish(), &NoAmbientTypes).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn binding_a_label_twice_panics() {
+        let mut b = ModuleBuilder::new("t", "v");
+        b.function("f", FnSig::new(vec![], Ty::Unit), |f| {
+            let l = f.new_label();
+            f.bind(l);
+            f.bind(l);
+        });
+    }
+}

@@ -1,0 +1,328 @@
+//! The instruction set of the typed stack machine.
+//!
+//! Instructions reference out-of-line pools on their containing
+//! [`Module`](crate::Module): string constants ([`StrId`]), named-record type
+//! references ([`TypeRefId`]) and symbolic references ([`SymId`]). Symbolic
+//! references are what make code *relinkable*: a `Call` names a symbol, and
+//! whether that resolves to a fixed function or to a mutable
+//! indirection-table slot is decided at link time — the heart of the paper's
+//! updateable compilation.
+
+use crate::types::Ty;
+use std::fmt;
+
+/// Index into a module's string pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrId(pub u32);
+
+/// Index into a module's named-type reference pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeRefId(pub u32);
+
+/// Index into a module's symbol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u32);
+
+/// A bytecode instruction.
+///
+/// Stack-effect conventions (top of stack on the right):
+///
+/// * binary operators: `[.., a, b] -> [.., a OP b]`
+/// * `ArrayGet`: `[.., arr, idx] -> [.., elem]`
+/// * `ArraySet`: `[.., arr, idx, v] -> [..]`
+/// * `GetField`: `[.., rec] -> [.., field]`
+/// * `SetField`: `[.., rec, v] -> [..]`
+/// * `Substr`: `[.., s, start, len] -> [.., sub]`
+/// * calls pop arguments left-to-right-pushed (last argument on top) and
+///   push the (possibly unit) result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // -- constants ---------------------------------------------------------
+    /// Push the unit value.
+    PushUnit,
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a boolean constant.
+    PushBool(bool),
+    /// Push a string constant from the module string pool.
+    PushStr(StrId),
+    /// Push `null` at the given named record type.
+    PushNull(TypeRefId),
+    /// Push a first-class function value for the named function symbol.
+    PushFn(SymId),
+
+    // -- locals ------------------------------------------------------------
+    /// Push the value of local slot `n`.
+    LoadLocal(u16),
+    /// Pop into local slot `n` (must match the declared local type).
+    StoreLocal(u16),
+
+    // -- globals (symbolic; bound by the linker) ----------------------------
+    /// Push the value of a global variable.
+    LoadGlobal(SymId),
+    /// Pop into a global variable.
+    StoreGlobal(SymId),
+
+    // -- stack manipulation --------------------------------------------------
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the two topmost values.
+    Swap,
+
+    // -- integer arithmetic (wrapping; Div/Rem trap on zero) -----------------
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division. Traps on a zero divisor.
+    Div,
+    /// Integer remainder. Traps on a zero divisor.
+    Rem,
+    /// Integer negation.
+    Neg,
+
+    // -- integer comparison ---------------------------------------------------
+    /// `a == b` on integers.
+    Eq,
+    /// `a != b` on integers.
+    Ne,
+    /// `a < b`.
+    Lt,
+    /// `a <= b`.
+    Le,
+    /// `a > b`.
+    Gt,
+    /// `a >= b`.
+    Ge,
+
+    // -- booleans -------------------------------------------------------------
+    /// Logical and (both operands already evaluated).
+    And,
+    /// Logical or.
+    Or,
+    /// Logical negation.
+    Not,
+
+    // -- strings ----------------------------------------------------------------
+    /// String concatenation.
+    Concat,
+    /// String length in bytes.
+    StrLen,
+    /// `[s, start, len] -> [sub]`, indices clamped to the string bounds.
+    Substr,
+    /// `[s, i] -> [int]`: byte at index `i` (traps when out of bounds).
+    CharAt,
+    /// String equality.
+    StrEq,
+    /// `[s, needle] -> [int]`: first byte offset of `needle` or `-1`.
+    StrFind,
+    /// Integer to decimal string.
+    IntToStr,
+    /// Decimal string to integer; evaluates to `0` on malformed input
+    /// (C `atoi` behaviour — no trap).
+    StrToInt,
+
+    // -- control flow ---------------------------------------------------------
+    /// Unconditional jump to an instruction index in the same function.
+    Jump(u32),
+    /// Pop a bool; jump when it is `false`.
+    JumpIfFalse(u32),
+    /// Call the function bound to a symbol.
+    Call(SymId),
+    /// Pop a function value (after the arguments) and call it.
+    CallIndirect,
+    /// Call a host (extern) function through a symbol.
+    CallHost(SymId),
+    /// Return from the current function; the operand stack must hold exactly
+    /// the return value.
+    Ret,
+
+    // -- records -----------------------------------------------------------------
+    /// Pop one value per field (pushed in declaration order) and allocate a
+    /// record of the referenced type.
+    NewRecord(TypeRefId),
+    /// Read field `i` of a record of the referenced type. Traps on `null`.
+    GetField(TypeRefId, u16),
+    /// Write field `i` of a record of the referenced type. Traps on `null`.
+    SetField(TypeRefId, u16),
+    /// Pop a nullable record, push whether it is `null`.
+    IsNull(TypeRefId),
+
+    // -- arrays ---------------------------------------------------------------------
+    /// Push a new empty array with the given element type.
+    NewArray(Ty),
+    /// Indexed read. Traps when the index is out of bounds.
+    ArrayGet,
+    /// Indexed write. Traps when the index is out of bounds.
+    ArraySet,
+    /// Array length.
+    ArrayLen,
+    /// Append an element.
+    ArrayPush,
+
+    // -- dynamic software updating ----------------------------------------------
+    /// A programmer-inserted *update point*: the only places at which a
+    /// pending dynamic patch may be applied (paper §"update points").
+    UpdatePoint,
+
+    /// No operation (placeholder produced by the patch tooling).
+    Nop,
+}
+
+impl Instr {
+    /// Whether this instruction unconditionally transfers control (so that
+    /// straight-line fallthrough past it is impossible).
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Jump(_) | Instr::Ret)
+    }
+
+    /// The symbol referenced by this instruction, if any.
+    pub fn sym_ref(&self) -> Option<SymId> {
+        match self {
+            Instr::PushFn(s)
+            | Instr::LoadGlobal(s)
+            | Instr::StoreGlobal(s)
+            | Instr::Call(s)
+            | Instr::CallHost(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The named-type reference used by this instruction, if any.
+    pub fn type_ref(&self) -> Option<TypeRefId> {
+        match self {
+            Instr::PushNull(t)
+            | Instr::NewRecord(t)
+            | Instr::GetField(t, _)
+            | Instr::SetField(t, _)
+            | Instr::IsNull(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// A deterministic virtual encoding size in bytes, used for the paper's
+    /// code-size accounting (Table 4). One opcode byte plus fixed-width
+    /// operands.
+    pub fn encoded_size(&self) -> usize {
+        1 + match self {
+            Instr::PushInt(_) => 8,
+            Instr::PushBool(_) => 1,
+            Instr::PushStr(_) | Instr::PushNull(_) | Instr::PushFn(_) => 4,
+            Instr::LoadLocal(_) | Instr::StoreLocal(_) => 2,
+            Instr::LoadGlobal(_) | Instr::StoreGlobal(_) => 4,
+            Instr::Jump(_) | Instr::JumpIfFalse(_) => 4,
+            Instr::Call(_) | Instr::CallHost(_) => 4,
+            Instr::NewRecord(_) | Instr::IsNull(_) => 4,
+            Instr::GetField(_, _) | Instr::SetField(_, _) => 6,
+            Instr::NewArray(_) => 4,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::PushUnit => write!(f, "push.unit"),
+            Instr::PushInt(n) => write!(f, "push.int {n}"),
+            Instr::PushBool(b) => write!(f, "push.bool {b}"),
+            Instr::PushStr(s) => write!(f, "push.str #{}", s.0),
+            Instr::PushNull(t) => write!(f, "push.null ty#{}", t.0),
+            Instr::PushFn(s) => write!(f, "push.fn sym#{}", s.0),
+            Instr::LoadLocal(n) => write!(f, "local.get {n}"),
+            Instr::StoreLocal(n) => write!(f, "local.set {n}"),
+            Instr::LoadGlobal(s) => write!(f, "global.get sym#{}", s.0),
+            Instr::StoreGlobal(s) => write!(f, "global.set sym#{}", s.0),
+            Instr::Dup => write!(f, "dup"),
+            Instr::Pop => write!(f, "pop"),
+            Instr::Swap => write!(f, "swap"),
+            Instr::Add => write!(f, "add"),
+            Instr::Sub => write!(f, "sub"),
+            Instr::Mul => write!(f, "mul"),
+            Instr::Div => write!(f, "div"),
+            Instr::Rem => write!(f, "rem"),
+            Instr::Neg => write!(f, "neg"),
+            Instr::Eq => write!(f, "eq"),
+            Instr::Ne => write!(f, "ne"),
+            Instr::Lt => write!(f, "lt"),
+            Instr::Le => write!(f, "le"),
+            Instr::Gt => write!(f, "gt"),
+            Instr::Ge => write!(f, "ge"),
+            Instr::And => write!(f, "and"),
+            Instr::Or => write!(f, "or"),
+            Instr::Not => write!(f, "not"),
+            Instr::Concat => write!(f, "str.concat"),
+            Instr::StrLen => write!(f, "str.len"),
+            Instr::Substr => write!(f, "str.sub"),
+            Instr::CharAt => write!(f, "str.at"),
+            Instr::StrEq => write!(f, "str.eq"),
+            Instr::StrFind => write!(f, "str.find"),
+            Instr::IntToStr => write!(f, "int.to_str"),
+            Instr::StrToInt => write!(f, "str.to_int"),
+            Instr::Jump(t) => write!(f, "jump {t}"),
+            Instr::JumpIfFalse(t) => write!(f, "jump.ifz {t}"),
+            Instr::Call(s) => write!(f, "call sym#{}", s.0),
+            Instr::CallIndirect => write!(f, "call.indirect"),
+            Instr::CallHost(s) => write!(f, "call.host sym#{}", s.0),
+            Instr::Ret => write!(f, "ret"),
+            Instr::NewRecord(t) => write!(f, "record.new ty#{}", t.0),
+            Instr::GetField(t, i) => write!(f, "record.get ty#{}.{i}", t.0),
+            Instr::SetField(t, i) => write!(f, "record.set ty#{}.{i}", t.0),
+            Instr::IsNull(t) => write!(f, "is_null ty#{}", t.0),
+            Instr::NewArray(ty) => write!(f, "array.new {ty}"),
+            Instr::ArrayGet => write!(f, "array.get"),
+            Instr::ArraySet => write!(f, "array.set"),
+            Instr::ArrayLen => write!(f, "array.len"),
+            Instr::ArrayPush => write!(f, "array.push"),
+            Instr::UpdatePoint => write!(f, "update.point"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminators() {
+        assert!(Instr::Ret.is_terminator());
+        assert!(Instr::Jump(0).is_terminator());
+        assert!(!Instr::JumpIfFalse(0).is_terminator());
+        assert!(!Instr::Call(SymId(0)).is_terminator());
+    }
+
+    #[test]
+    fn sym_and_type_refs() {
+        assert_eq!(Instr::Call(SymId(3)).sym_ref(), Some(SymId(3)));
+        assert_eq!(Instr::Add.sym_ref(), None);
+        assert_eq!(
+            Instr::GetField(TypeRefId(1), 0).type_ref(),
+            Some(TypeRefId(1))
+        );
+        assert_eq!(Instr::Call(SymId(0)).type_ref(), None);
+    }
+
+    #[test]
+    fn encoded_sizes_are_positive_and_operand_dependent() {
+        assert_eq!(Instr::Add.encoded_size(), 1);
+        assert_eq!(Instr::PushInt(7).encoded_size(), 9);
+        assert_eq!(Instr::GetField(TypeRefId(0), 2).encoded_size(), 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for i in [
+            Instr::PushUnit,
+            Instr::Call(SymId(1)),
+            Instr::NewArray(Ty::Int),
+            Instr::UpdatePoint,
+        ] {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # tal — typed, relinkable bytecode with a verifier
+//!
+//! This crate is the reproduction's stand-in for *Typed Assembly Language*
+//! (TAL), the verifiable native code format of "Dynamic Software Updating"
+//! (PLDI 2001). It provides:
+//!
+//! * a small type language ([`Ty`], [`TypeDef`], [`FnSig`]) with nominal,
+//!   versionable record types;
+//! * a stack-machine instruction set ([`Instr`]) in which every
+//!   inter-procedural reference is *symbolic*, so the linker can bind it
+//!   either directly (static executables) or through a mutable
+//!   indirection-table slot (updateable programs);
+//! * relinkable [`Module`]s carrying code, types, globals and a symbol
+//!   table, plus size accounting for the paper's code-size experiment;
+//! * a dataflow [verifier](verify) that type-checks object code before it is
+//!   linked — the property that makes *dynamic patches* safe to apply to a
+//!   running program.
+//!
+//! Rust substitution note: real TAL is verified x86; Rust's unstable ABI
+//! makes verified native patches impractical, so this typed bytecode keeps
+//! the essential, measurable property (machine-checked patches, symbolic
+//! linking) on a portable substrate.
+//!
+//! ## Example
+//!
+//! ```
+//! use tal::{ModuleBuilder, FnSig, Ty, Instr, verify_module, NoAmbientTypes};
+//!
+//! let mut b = ModuleBuilder::new("demo", "v1");
+//! b.function("double", FnSig::new(vec![Ty::Int], Ty::Int), |f| {
+//!     f.emit(Instr::LoadLocal(0));
+//!     f.emit(Instr::PushInt(2));
+//!     f.emit(Instr::Mul);
+//!     f.emit(Instr::Ret);
+//! });
+//! let module = b.finish();
+//! verify_module(&module, &NoAmbientTypes)?;
+//! # Ok::<(), tal::VerifyError>(())
+//! ```
+
+pub mod builder;
+pub mod instr;
+pub mod module;
+pub mod opt;
+pub mod text;
+pub mod types;
+pub mod verify;
+
+pub use builder::{FunctionBuilder, Label, ModuleBuilder};
+pub use instr::{Instr, StrId, SymId, TypeRefId};
+pub use module::{Function, GlobalDef, Module, SizeReport, Symbol, SymbolKind};
+pub use types::{Field, FnSig, Ty, TypeDef};
+pub use verify::{verify_function, verify_module, NoAmbientTypes, TypeProvider, VerifyError};

@@ -1,0 +1,377 @@
+//! Relinkable object-code modules.
+//!
+//! A [`Module`] is the unit of (dynamic) linking: it carries functions,
+//! global-variable definitions, record type definitions, and a symbol table
+//! of every external or internal reference its code makes. All references in
+//! code are *symbolic* — the module is position-independent in the sense that
+//! the linker decides, per symbol, whether to bind it directly (static mode)
+//! or through a mutable indirection-table slot (updateable mode). This
+//! mirrors the paper's "updateable compilation", where the same source is
+//! compiled so that every inter-procedural reference goes through the
+//! dynamic linker's tables.
+
+use crate::instr::{Instr, StrId, SymId, TypeRefId};
+use crate::types::{FnSig, Ty, TypeDef};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What a symbol refers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymbolKind {
+    /// A guest function with the given signature (defined in this module or
+    /// imported from the running program).
+    Fn(FnSig),
+    /// A global variable of the given type.
+    Global(Ty),
+    /// A host (extern) function provided by the embedding environment.
+    Host(FnSig),
+}
+
+/// An entry in a module's symbol table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Symbol {
+    /// Flat, program-wide symbol name (the guest namespace is flat, like C).
+    pub name: String,
+    /// The symbol's kind and type.
+    pub kind: SymbolKind,
+}
+
+impl Symbol {
+    /// Creates a function symbol.
+    pub fn func(name: impl Into<String>, sig: FnSig) -> Symbol {
+        Symbol { name: name.into(), kind: SymbolKind::Fn(sig) }
+    }
+
+    /// Creates a global-variable symbol.
+    pub fn global(name: impl Into<String>, ty: Ty) -> Symbol {
+        Symbol { name: name.into(), kind: SymbolKind::Global(ty) }
+    }
+
+    /// Creates a host-function symbol.
+    pub fn host(name: impl Into<String>, sig: FnSig) -> Symbol {
+        Symbol { name: name.into(), kind: SymbolKind::Host(sig) }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Program-wide unique name.
+    pub name: String,
+    /// Signature; `sig.params` must be a prefix of `locals`.
+    pub sig: FnSig,
+    /// Declared local slots. The first `sig.params.len()` slots receive the
+    /// arguments; the rest start at their type's default value.
+    pub locals: Vec<Ty>,
+    /// Straight bytecode; jump targets are instruction indices.
+    pub code: Vec<Instr>,
+}
+
+impl Function {
+    /// Names of all symbols referenced by this function's code, deduplicated.
+    pub fn referenced_symbols<'m>(&self, module: &'m Module) -> BTreeSet<&'m str> {
+        self.code
+            .iter()
+            .filter_map(|i| i.sym_ref())
+            .filter_map(|s| module.symbols.get(s.0 as usize))
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// Names of all named record types this function touches, either through
+    /// instructions or through the types of its locals/signature.
+    pub fn referenced_types(&self, module: &Module) -> BTreeSet<String> {
+        let mut out = Vec::new();
+        for t in self.locals.iter().chain(self.sig.params.iter()) {
+            t.collect_named(&mut out);
+        }
+        self.sig.ret.collect_named(&mut out);
+        for i in &self.code {
+            if let Some(tr) = i.type_ref() {
+                if let Some(name) = module.type_refs.get(tr.0 as usize) {
+                    out.push(name.clone());
+                }
+            }
+            if let Instr::NewArray(ty) = i {
+                ty.collect_named(&mut out);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Whether the function body contains at least one update point.
+    pub fn has_update_point(&self) -> bool {
+        self.code.iter().any(|i| matches!(i, Instr::UpdatePoint))
+    }
+
+    /// Virtual encoded size of the code in bytes (Table 4 accounting).
+    pub fn code_size(&self) -> usize {
+        self.code.iter().map(Instr::encoded_size).sum()
+    }
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Program-wide unique name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// Initialiser code: verified to leave exactly one value of type `ty`
+    /// on the stack, then `Ret`.
+    pub init: Vec<Instr>,
+}
+
+/// Byte-size breakdown of a module under a deterministic virtual encoding,
+/// used to reproduce the paper's code/metadata size comparison (Table 4).
+///
+/// `symbol_bytes`, `string_bytes` and `type_bytes` are *linking metadata*:
+/// a statically linked executable can strip them after binding, whereas an
+/// updateable program must retain them so future patches can be linked —
+/// that retained metadata is the space cost of updateability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SizeReport {
+    /// Encoded instruction bytes across all functions and global initialisers.
+    pub code_bytes: usize,
+    /// Symbol-table bytes (names plus type descriptors).
+    pub symbol_bytes: usize,
+    /// String-pool bytes.
+    pub string_bytes: usize,
+    /// Record-type definition and type-reference bytes.
+    pub type_bytes: usize,
+}
+
+impl SizeReport {
+    /// Total size of an *updateable* image: code plus all linking metadata.
+    pub fn updateable_total(&self) -> usize {
+        self.code_bytes + self.symbol_bytes + self.string_bytes + self.type_bytes
+    }
+
+    /// Total size of a *static* image: metadata needed only for one-shot
+    /// linking is stripped; string constants remain.
+    pub fn static_total(&self) -> usize {
+        self.code_bytes + self.string_bytes
+    }
+
+    /// Relative overhead of updateability, in percent.
+    pub fn overhead_percent(&self) -> f64 {
+        let s = self.static_total() as f64;
+        if s == 0.0 {
+            0.0
+        } else {
+            (self.updateable_total() as f64 - s) / s * 100.0
+        }
+    }
+}
+
+/// A relinkable object-code module.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Module name (for diagnostics; the symbol namespace is flat).
+    pub name: String,
+    /// Free-form version tag (e.g. `"flashed-v3"`).
+    pub version: String,
+    /// String constant pool.
+    pub strings: Vec<String>,
+    /// Named-type reference pool (names used by record instructions).
+    pub type_refs: Vec<String>,
+    /// Record type definitions provided by this module.
+    pub types: Vec<TypeDef>,
+    /// Symbol table: every function, global and host reference made by code.
+    pub symbols: Vec<Symbol>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+    /// Global variable definitions.
+    pub globals: Vec<GlobalDef>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name and version.
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> Module {
+        Module { name: name.into(), version: version.into(), ..Module::default() }
+    }
+
+    /// Looks up a symbol table entry.
+    pub fn symbol(&self, id: SymId) -> Option<&Symbol> {
+        self.symbols.get(id.0 as usize)
+    }
+
+    /// Looks up a string constant.
+    pub fn string(&self, id: StrId) -> Option<&str> {
+        self.strings.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Looks up a type-reference name.
+    pub fn type_ref(&self, id: TypeRefId) -> Option<&str> {
+        self.type_refs.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Finds a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global definition by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDef> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Finds a record type definition by name.
+    pub fn type_def(&self, name: &str) -> Option<&TypeDef> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// Names of symbols that are *not* defined by this module and must be
+    /// resolved by the linker against the running program (or host).
+    pub fn imports(&self) -> Vec<&Symbol> {
+        self.symbols
+            .iter()
+            .filter(|s| match &s.kind {
+                SymbolKind::Fn(_) => self.function(&s.name).is_none(),
+                SymbolKind::Global(_) => self.global(&s.name).is_none(),
+                SymbolKind::Host(_) => true,
+            })
+            .collect()
+    }
+
+    /// Computes the virtual-encoding size breakdown (see [`SizeReport`]).
+    pub fn size_report(&self) -> SizeReport {
+        let ty_size = |t: &Ty| t.to_string().len() + 1;
+        let sig_size =
+            |s: &FnSig| s.params.iter().map(&ty_size).sum::<usize>() + ty_size(&s.ret);
+        let code_bytes = self.functions.iter().map(Function::code_size).sum::<usize>()
+            + self
+                .globals
+                .iter()
+                .map(|g| g.init.iter().map(Instr::encoded_size).sum::<usize>())
+                .sum::<usize>();
+        let symbol_bytes = self
+            .symbols
+            .iter()
+            .map(|s| {
+                s.name.len()
+                    + 1
+                    + match &s.kind {
+                        SymbolKind::Fn(sig) | SymbolKind::Host(sig) => sig_size(sig),
+                        SymbolKind::Global(t) => ty_size(t),
+                    }
+            })
+            .sum();
+        let string_bytes = self.strings.iter().map(|s| s.len() + 4).sum();
+        let type_bytes = self
+            .types
+            .iter()
+            .map(|t| {
+                t.name.len()
+                    + 1
+                    + t.fields
+                        .iter()
+                        .map(|f| f.name.len() + 1 + ty_size(&f.ty))
+                        .sum::<usize>()
+            })
+            .sum::<usize>()
+            + self.type_refs.iter().map(|n| n.len() + 1).sum::<usize>();
+        SizeReport { code_bytes, symbol_bytes, string_bytes, type_bytes }
+    }
+}
+
+impl fmt::Display for Module {
+    /// Disassembly listing of the whole module.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} (version {})", self.name, self.version)?;
+        for t in &self.types {
+            writeln!(f, "  {t}")?;
+        }
+        for g in &self.globals {
+            writeln!(f, "  global {}: {}", g.name, g.ty)?;
+        }
+        for func in &self.functions {
+            writeln!(f, "  fun {}{} {{", func.name, func.sig)?;
+            for (i, ins) in func.code.iter().enumerate() {
+                writeln!(f, "    {i:4}: {ins}")?;
+            }
+            writeln!(f, "  }}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    fn sample() -> Module {
+        let mut m = Module::new("m", "v1");
+        m.strings.push("hello".into());
+        m.type_refs.push("point".into());
+        m.types.push(TypeDef::new(
+            "point",
+            vec![
+                crate::types::Field::new("x", Ty::Int),
+                crate::types::Field::new("y", Ty::Int),
+            ],
+        ));
+        m.symbols.push(Symbol::func("f", FnSig::new(vec![Ty::Int], Ty::Int)));
+        m.symbols.push(Symbol::host("now", FnSig::new(vec![], Ty::Int)));
+        m.symbols.push(Symbol::global("g", Ty::Int));
+        m.functions.push(Function {
+            name: "f".into(),
+            sig: FnSig::new(vec![Ty::Int], Ty::Int),
+            locals: vec![Ty::Int],
+            code: vec![Instr::LoadLocal(0), Instr::Ret],
+        });
+        m.globals.push(GlobalDef {
+            name: "g".into(),
+            ty: Ty::Int,
+            init: vec![Instr::PushInt(0), Instr::Ret],
+        });
+        m
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let m = sample();
+        assert!(m.function("f").is_some());
+        assert!(m.function("nope").is_none());
+        assert!(m.global("g").is_some());
+        assert!(m.type_def("point").is_some());
+        assert_eq!(m.string(StrId(0)), Some("hello"));
+        assert_eq!(m.type_ref(TypeRefId(0)), Some("point"));
+    }
+
+    #[test]
+    fn imports_excludes_locally_defined() {
+        let m = sample();
+        let imports: Vec<&str> = m.imports().iter().map(|s| s.name.as_str()).collect();
+        // `f` and `g` are defined locally; only the host fn is an import.
+        assert_eq!(imports, vec!["now"]);
+    }
+
+    #[test]
+    fn size_report_overhead_is_positive() {
+        let m = sample();
+        let r = m.size_report();
+        assert!(r.code_bytes > 0);
+        assert!(r.symbol_bytes > 0);
+        assert!(r.updateable_total() > r.static_total());
+        assert!(r.overhead_percent() > 0.0);
+    }
+
+    #[test]
+    fn function_reference_metadata() {
+        let m = sample();
+        let f = m.function("f").unwrap();
+        assert!(f.referenced_symbols(&m).is_empty());
+        assert!(!f.has_update_point());
+        assert!(f.code_size() > 0);
+    }
+
+    #[test]
+    fn disassembly_mentions_items() {
+        let text = sample().to_string();
+        assert!(text.contains("fun f"));
+        assert!(text.contains("global g"));
+        assert!(text.contains("struct point"));
+    }
+}

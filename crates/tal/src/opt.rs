@@ -1,0 +1,479 @@
+//! Peephole optimisation of bytecode.
+//!
+//! A small, verification-preserving pass pipeline run over each function
+//! (and global initialiser):
+//!
+//! 1. **constant folding** — integer/boolean/string operations on
+//!    constants, including folding `push.bool` into conditional jumps;
+//! 2. **jump threading** — branches to unconditional jumps retarget to the
+//!    final destination;
+//! 3. **dead-code elimination** — instructions unreachable from the entry
+//!    are removed (with jump-target remapping);
+//! 4. **push/pop cancellation** — values pushed and immediately dropped.
+//!
+//! Passes iterate to a fixed point (bounded). Optimised modules verify
+//! exactly like their originals — the verifier remains the gatekeeper for
+//! anything entering a process, optimised or not.
+
+use std::collections::HashSet;
+
+use crate::instr::Instr;
+use crate::module::Module;
+
+/// Statistics from optimising one module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions before optimisation.
+    pub before: usize,
+    /// Instructions after optimisation.
+    pub after: usize,
+    /// Constants folded.
+    pub folds: usize,
+    /// Jumps threaded.
+    pub threads: usize,
+    /// Unreachable or cancelled instructions removed.
+    pub removed: usize,
+}
+
+impl OptStats {
+    /// Fraction of instructions eliminated, in percent.
+    pub fn shrink_percent(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            (self.before - self.after) as f64 / self.before as f64 * 100.0
+        }
+    }
+}
+
+/// Optimises every function and global initialiser of `m` in place.
+pub fn optimize_module(m: &mut Module) -> OptStats {
+    let mut stats = OptStats::default();
+    let mut strings = m.strings.clone();
+    let mut bodies: Vec<&mut Vec<Instr>> = Vec::new();
+    for f in &mut m.functions {
+        bodies.push(&mut f.code);
+    }
+    for g in &mut m.globals {
+        bodies.push(&mut g.init);
+    }
+    for code in bodies {
+        stats.before += code.len();
+        optimize_code(code, &mut strings, &mut stats);
+        stats.after += code.len();
+    }
+    m.strings = strings;
+    stats
+}
+
+/// Optimises one code body to a fixed point.
+fn optimize_code(code: &mut Vec<Instr>, strings: &mut Vec<String>, stats: &mut OptStats) {
+    for _round in 0..8 {
+        let mut changed = false;
+        changed |= fold_constants(code, strings, stats);
+        changed |= thread_jumps(code, stats);
+        changed |= drop_unreachable(code, stats);
+        changed |= cancel_push_pop(code, stats);
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Instruction indices that are targets of some jump (windows containing
+/// one cannot be rewritten as a unit).
+fn jump_targets(code: &[Instr]) -> HashSet<usize> {
+    code.iter()
+        .filter_map(|i| match i {
+            Instr::Jump(t) | Instr::JumpIfFalse(t) => Some(*t as usize),
+            _ => None,
+        })
+        .collect()
+}
+
+fn fold_constants(code: &mut [Instr], strings: &mut Vec<String>, stats: &mut OptStats) -> bool {
+    let targets = jump_targets(code);
+    let mut changed = false;
+    // The next non-`Nop` index at or after `j`, if any.
+    let skip_nops = |code: &[Instr], mut j: usize| -> Option<usize> {
+        while j < code.len() {
+            if !matches!(code[j], Instr::Nop) {
+                return Some(j);
+            }
+            j += 1;
+        }
+        None
+    };
+    // No instruction in `(i, end]` may be a branch target, or a jump could
+    // land inside the rewritten window.
+    let clear = |targets: &HashSet<usize>, i: usize, end: usize| {
+        (i + 1..=end).all(|k| !targets.contains(&k))
+    };
+    let mut i = 0;
+    while i < code.len() {
+        if matches!(code[i], Instr::Nop) {
+            i += 1;
+            continue;
+        }
+        // Three-instruction windows (Nop-transparent): [const, const, op].
+        let j1 = skip_nops(code, i + 1);
+        let j2 = j1.and_then(|j| skip_nops(code, j + 1));
+        if let (Some(j1), Some(j2)) = (j1, j2) {
+            if clear(&targets, i, j2) {
+                let folded: Option<Instr> = match (&code[i], &code[j1], &code[j2]) {
+                (Instr::PushInt(a), Instr::PushInt(b), op) => match op {
+                    Instr::Add => Some(Instr::PushInt(a.wrapping_add(*b))),
+                    Instr::Sub => Some(Instr::PushInt(a.wrapping_sub(*b))),
+                    Instr::Mul => Some(Instr::PushInt(a.wrapping_mul(*b))),
+                    Instr::Div if *b != 0 => Some(Instr::PushInt(a.wrapping_div(*b))),
+                    Instr::Rem if *b != 0 => Some(Instr::PushInt(a.wrapping_rem(*b))),
+                    Instr::Eq => Some(Instr::PushBool(a == b)),
+                    Instr::Ne => Some(Instr::PushBool(a != b)),
+                    Instr::Lt => Some(Instr::PushBool(a < b)),
+                    Instr::Le => Some(Instr::PushBool(a <= b)),
+                    Instr::Gt => Some(Instr::PushBool(a > b)),
+                    Instr::Ge => Some(Instr::PushBool(a >= b)),
+                    _ => None,
+                },
+                (Instr::PushBool(a), Instr::PushBool(b), Instr::And) => {
+                    Some(Instr::PushBool(*a && *b))
+                }
+                (Instr::PushBool(a), Instr::PushBool(b), Instr::Or) => {
+                    Some(Instr::PushBool(*a || *b))
+                }
+                (Instr::PushStr(a), Instr::PushStr(b), Instr::Concat) => {
+                    let joined =
+                        format!("{}{}", strings[a.0 as usize], strings[b.0 as usize]);
+                    let id = strings.iter().position(|s| s == &joined).unwrap_or_else(|| {
+                        strings.push(joined);
+                        strings.len() - 1
+                    });
+                    Some(Instr::PushStr(crate::instr::StrId(id as u32)))
+                }
+                (Instr::PushStr(a), Instr::PushStr(b), Instr::StrEq) => {
+                    Some(Instr::PushBool(strings[a.0 as usize] == strings[b.0 as usize]))
+                }
+                _ => None,
+                };
+                if let Some(instr) = folded {
+                    code[i] = instr;
+                    code[j1] = Instr::Nop;
+                    code[j2] = Instr::Nop;
+                    stats.folds += 1;
+                    changed = true;
+                    // Re-examine `i`: the folded constant may feed the
+                    // next window (full chains fold in one pass).
+                    continue;
+                }
+            }
+        }
+        // Two-instruction windows (Nop-transparent).
+        if let Some(j1) = skip_nops(code, i + 1) {
+            if clear(&targets, i, j1) {
+                let folded: Option<Vec<Instr>> = match (&code[i], &code[j1]) {
+                (Instr::PushInt(a), Instr::Neg) => Some(vec![Instr::PushInt(a.wrapping_neg())]),
+                (Instr::PushBool(b), Instr::Not) => Some(vec![Instr::PushBool(!b)]),
+                (Instr::PushInt(a), Instr::IntToStr) => {
+                    let s = a.to_string();
+                    let id = strings.iter().position(|x| x == &s).unwrap_or_else(|| {
+                        strings.push(s);
+                        strings.len() - 1
+                    });
+                    Some(vec![Instr::PushStr(crate::instr::StrId(id as u32))])
+                }
+                (Instr::PushStr(s), Instr::StrLen) => {
+                    Some(vec![Instr::PushInt(strings[s.0 as usize].len() as i64)])
+                }
+                // A constant conditional branch becomes a plain jump (or
+                // falls through).
+                (Instr::PushBool(false), Instr::JumpIfFalse(t)) => Some(vec![Instr::Jump(*t)]),
+                (Instr::PushBool(true), Instr::JumpIfFalse(_)) => Some(vec![]),
+                    _ => None,
+                };
+                if let Some(with) = folded {
+                    code[i] = with.first().cloned().unwrap_or(Instr::Nop);
+                    code[j1] = with.get(1).cloned().unwrap_or(Instr::Nop);
+                    stats.folds += 1;
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    changed
+}
+
+fn thread_jumps(code: &mut [Instr], stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    // Final destination of a jump to `t`, following Jump/Nop chains.
+    let resolve = |start: u32, code: &[Instr]| -> u32 {
+        let mut t = start;
+        let mut seen = HashSet::new();
+        loop {
+            if !seen.insert(t) {
+                return t; // cycle: an intentional infinite loop
+            }
+            match code.get(t as usize) {
+                Some(Instr::Jump(u)) => t = *u,
+                Some(Instr::Nop) => t += 1,
+                _ => return t,
+            }
+        }
+    };
+    for i in 0..code.len() {
+        let new = match code[i] {
+            Instr::Jump(t) => {
+                let u = resolve(t, code);
+                (u != t).then_some(Instr::Jump(u))
+            }
+            Instr::JumpIfFalse(t) => {
+                let u = resolve(t, code);
+                (u != t).then_some(Instr::JumpIfFalse(u))
+            }
+            _ => None,
+        };
+        if let Some(n) = new {
+            code[i] = n;
+            stats.threads += 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Removes instructions unreachable from index 0, compacting the body and
+/// remapping every jump target.
+fn drop_unreachable(code: &mut Vec<Instr>, stats: &mut OptStats) -> bool {
+    let mut reachable = vec![false; code.len()];
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        if pc >= code.len() || reachable[pc] {
+            continue;
+        }
+        reachable[pc] = true;
+        match &code[pc] {
+            Instr::Jump(t) => work.push(*t as usize),
+            Instr::JumpIfFalse(t) => {
+                work.push(*t as usize);
+                work.push(pc + 1);
+            }
+            Instr::Ret => {}
+            _ => work.push(pc + 1),
+        }
+    }
+    if reachable.iter().all(|r| *r) {
+        return false;
+    }
+    // Build the old-index -> new-index map over kept instructions.
+    let mut remap = vec![u32::MAX; code.len()];
+    let mut next = 0u32;
+    for (i, r) in reachable.iter().enumerate() {
+        if *r {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let mut out = Vec::with_capacity(next as usize);
+    for (i, instr) in code.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        out.push(match instr {
+            Instr::Jump(t) => Instr::Jump(remap[*t as usize]),
+            Instr::JumpIfFalse(t) => Instr::JumpIfFalse(remap[*t as usize]),
+            other => other.clone(),
+        });
+    }
+    stats.removed += code.len() - out.len();
+    *code = out;
+    true
+}
+
+/// Cancels `push*; pop` pairs and strips `nop`s (both with remapping,
+/// implemented by rewriting to `Nop` first and compacting).
+fn cancel_push_pop(code: &mut Vec<Instr>, stats: &mut OptStats) -> bool {
+    let targets = jump_targets(code);
+    let mut changed = false;
+    for i in 0..code.len().saturating_sub(1) {
+        if targets.contains(&(i + 1)) {
+            continue;
+        }
+        let pushes = matches!(
+            code[i],
+            Instr::PushUnit
+                | Instr::PushInt(_)
+                | Instr::PushBool(_)
+                | Instr::PushStr(_)
+                | Instr::PushNull(_)
+                | Instr::PushFn(_)
+                | Instr::LoadLocal(_)
+                | Instr::Dup
+        );
+        if pushes && matches!(code[i + 1], Instr::Pop) {
+            code[i] = Instr::Nop;
+            code[i + 1] = Instr::Nop;
+            changed = true;
+        }
+    }
+    // Compact nops (they are never needed: nothing jumps *into* a Nop we
+    // created without remapping below).
+    if code.iter().any(|i| matches!(i, Instr::Nop)) {
+        let mut remap = vec![u32::MAX; code.len()];
+        let mut next = 0u32;
+        let targets = jump_targets(code);
+        for (i, instr) in code.iter().enumerate() {
+            // Keep a Nop if something jumps to it (remap would need the
+            // following instruction; keeping it is simpler and rare).
+            if matches!(instr, Instr::Nop) && !targets.contains(&i) {
+                continue;
+            }
+            remap[i] = next;
+            next += 1;
+        }
+        if (next as usize) < code.len() {
+            let mut out = Vec::with_capacity(next as usize);
+            for (i, instr) in code.iter().enumerate() {
+                if remap[i] == u32::MAX {
+                    continue;
+                }
+                out.push(match instr {
+                    Instr::Jump(t) => Instr::Jump(remap[*t as usize]),
+                    Instr::JumpIfFalse(t) => Instr::JumpIfFalse(remap[*t as usize]),
+                    other => other.clone(),
+                });
+            }
+            stats.removed += code.len() - out.len();
+            *code = out;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::{FnSig, Ty};
+    use crate::verify::{verify_module, NoAmbientTypes};
+
+    fn optimize_fn(build: impl FnOnce(&mut crate::builder::FunctionBuilder<'_>)) -> (Module, OptStats) {
+        let mut b = ModuleBuilder::new("t", "v");
+        b.function("f", FnSig::new(vec![Ty::Int], Ty::Int), build);
+        let mut m = b.finish();
+        verify_module(&m, &NoAmbientTypes).expect("pre-opt verifies");
+        let stats = optimize_module(&mut m);
+        verify_module(&m, &NoAmbientTypes).expect("post-opt verifies");
+        (m, stats)
+    }
+
+    #[test]
+    fn folds_integer_constants() {
+        let (m, stats) = optimize_fn(|f| {
+            f.emit(Instr::PushInt(2));
+            f.emit(Instr::PushInt(3));
+            f.emit(Instr::Mul);
+            f.emit(Instr::PushInt(4));
+            f.emit(Instr::Add);
+            f.emit(Instr::Ret);
+        });
+        let code = &m.function("f").unwrap().code;
+        assert_eq!(code, &vec![Instr::PushInt(10), Instr::Ret], "{stats:?}");
+        assert!(stats.folds >= 2);
+    }
+
+    #[test]
+    fn folds_string_operations_and_interns() {
+        let mut b = ModuleBuilder::new("t", "v");
+        let a = b.string("ab");
+        let c = b.string("cd");
+        b.function("f", FnSig::new(vec![], Ty::Int), move |f| {
+            f.emit(Instr::PushStr(a));
+            f.emit(Instr::PushStr(c));
+            f.emit(Instr::Concat);
+            f.emit(Instr::StrLen);
+            f.emit(Instr::Ret);
+        });
+        let mut m = b.finish();
+        optimize_module(&mut m);
+        assert_eq!(m.function("f").unwrap().code, vec![Instr::PushInt(4), Instr::Ret]);
+    }
+
+    #[test]
+    fn threads_jump_chains() {
+        let (m, stats) = optimize_fn(|f| {
+            f.emit(Instr::LoadLocal(0)); // 0
+            f.emit(Instr::PushInt(0)); // 1
+            f.emit(Instr::Gt); // 2
+            f.emit(Instr::JumpIfFalse(6)); // 3 -> chains to 8
+            f.emit(Instr::PushInt(1)); // 4
+            f.emit(Instr::Ret); // 5
+            f.emit(Instr::Jump(7)); // 6
+            f.emit(Instr::Jump(8)); // 7
+            f.emit(Instr::PushInt(2)); // 8
+            f.emit(Instr::Ret); // 9
+        });
+        assert!(stats.threads >= 1, "{stats:?}");
+        // The chain jumps become unreachable after threading and are
+        // dropped.
+        let code = &m.function("f").unwrap().code;
+        assert!(!code.iter().any(|i| matches!(i, Instr::Jump(_))), "{code:?}");
+    }
+
+    #[test]
+    fn removes_unreachable_code() {
+        let (m, stats) = optimize_fn(|f| {
+            f.emit(Instr::LoadLocal(0)); // 0
+            f.emit(Instr::Ret); // 1
+            f.emit(Instr::PushInt(42)); // 2 dead
+            f.emit(Instr::Ret); // 3 dead
+        });
+        assert_eq!(m.function("f").unwrap().code.len(), 2, "{stats:?}");
+        assert_eq!(stats.removed, 2);
+    }
+
+    #[test]
+    fn cancels_push_pop_pairs() {
+        let (m, _) = optimize_fn(|f| {
+            f.emit(Instr::PushInt(9));
+            f.emit(Instr::Pop);
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::Ret);
+        });
+        assert_eq!(m.function("f").unwrap().code, vec![Instr::LoadLocal(0), Instr::Ret]);
+    }
+
+    #[test]
+    fn constant_branches_become_unconditional() {
+        let (m, _) = optimize_fn(|f| {
+            f.emit(Instr::PushBool(true)); // 0
+            f.emit(Instr::JumpIfFalse(4)); // 1: never taken
+            f.emit(Instr::LoadLocal(0)); // 2
+            f.emit(Instr::Ret); // 3
+            f.emit(Instr::PushInt(0)); // 4 dead after fold
+            f.emit(Instr::Ret); // 5
+        });
+        assert_eq!(m.function("f").unwrap().code, vec![Instr::LoadLocal(0), Instr::Ret]);
+    }
+
+    #[test]
+    fn preserves_intentional_infinite_loops() {
+        // `while (true) {}`-style self jump must survive (jump threading
+        // detects the cycle).
+        let mut b = ModuleBuilder::new("t", "v");
+        b.function("spin", FnSig::new(vec![], Ty::Unit), |f| {
+            f.emit(Instr::Jump(0));
+        });
+        let mut m = b.finish();
+        optimize_module(&mut m);
+        assert_eq!(m.function("spin").unwrap().code, vec![Instr::Jump(0)]);
+    }
+
+    #[test]
+    fn shrink_percent_reports() {
+        let s = OptStats { before: 100, after: 80, ..OptStats::default() };
+        assert!((s.shrink_percent() - 20.0).abs() < 1e-9);
+        assert_eq!(OptStats::default().shrink_percent(), 0.0);
+    }
+}

@@ -1,0 +1,597 @@
+//! Textual object-code format: assembler and disassembler.
+//!
+//! Modules (and therefore dynamic patches) can be written to a stable,
+//! human-auditable text form and read back — the analogue of the paper's
+//! on-disk verifiable object files. [`emit`] and [`parse`] round-trip
+//! exactly: `parse(emit(m)) == m`.
+//!
+//! ```text
+//! module flashed v3
+//! type cache_entry { path: string, body: string }
+//! typeref cache_entry
+//! str "GET "
+//! sym fn handle (string) -> string
+//! sym host fs_read (string) -> string
+//! sym global served_total : int
+//! global served_total : int {
+//!     push.int 0
+//!     ret
+//! }
+//! fun handle (string) -> string locals [string, int] {
+//!     local.get 0
+//!     ...
+//! }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{Instr, StrId, SymId, TypeRefId};
+use crate::module::{Function, GlobalDef, Module, Symbol, SymbolKind};
+use crate::types::{Field, FnSig, Ty, TypeDef};
+
+/// A failure while parsing textual object code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tal text error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TextError {}
+
+// ================================ emit ================================
+
+/// Renders a module to its textual object-code form.
+pub fn emit(m: &Module) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("module {} {}\n", m.name, m.version));
+    for t in &m.types {
+        let fields: Vec<String> =
+            t.fields.iter().map(|f| format!("{}: {}", f.name, f.ty)).collect();
+        out.push_str(&format!("type {} {{ {} }}\n", t.name, fields.join(", ")));
+    }
+    for r in &m.type_refs {
+        out.push_str(&format!("typeref {r}\n"));
+    }
+    for s in &m.strings {
+        out.push_str(&format!("str {s:?}\n"));
+    }
+    for s in &m.symbols {
+        match &s.kind {
+            SymbolKind::Fn(sig) => {
+                out.push_str(&format!("sym fn {} {}\n", s.name, sig_text(sig)));
+            }
+            SymbolKind::Host(sig) => {
+                out.push_str(&format!("sym host {} {}\n", s.name, sig_text(sig)));
+            }
+            SymbolKind::Global(ty) => {
+                out.push_str(&format!("sym global {} : {ty}\n", s.name));
+            }
+        }
+    }
+    for g in &m.globals {
+        out.push_str(&format!("global {} : {} {{\n", g.name, g.ty));
+        for i in &g.init {
+            out.push_str(&format!("    {i}\n"));
+        }
+        out.push_str("}\n");
+    }
+    for f in &m.functions {
+        let locals: Vec<String> = f.locals.iter().map(ToString::to_string).collect();
+        out.push_str(&format!(
+            "fun {} {} locals [{}] {{\n",
+            f.name,
+            sig_text(&f.sig),
+            locals.join(", ")
+        ));
+        for i in &f.code {
+            out.push_str(&format!("    {i}\n"));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn sig_text(sig: &FnSig) -> String {
+    let params: Vec<String> = sig.params.iter().map(ToString::to_string).collect();
+    format!("({}) -> {}", params.join(", "), sig.ret)
+}
+
+// ================================ parse ================================
+
+/// Parses textual object code back into a [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`TextError`] locating the first malformed line.
+pub fn parse(text: &str) -> Result<Module, TextError> {
+    let mut p = Parser {
+        lines: text.lines().enumerate().collect(),
+        at: 0,
+        module: Module::default(),
+    };
+    p.run()?;
+    Ok(p.module)
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    at: usize,
+    module: Module,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> TextError {
+        let line = self.lines.get(self.at.min(self.lines.len().saturating_sub(1)));
+        TextError { line: line.map_or(0, |(n, _)| n + 1), message: msg.into() }
+    }
+
+    fn next_line(&mut self) -> Option<&'a str> {
+        while self.at < self.lines.len() {
+            let (_, raw) = self.lines[self.at];
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with(';') {
+                self.at += 1;
+                continue;
+            }
+            return Some(trimmed);
+        }
+        None
+    }
+
+    fn run(&mut self) -> Result<(), TextError> {
+        // Header.
+        let Some(header) = self.next_line() else {
+            return Err(self.err("empty input"));
+        };
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("module") {
+            return Err(self.err("expected `module <name> <version>`"));
+        }
+        self.module.name = parts.next().ok_or_else(|| self.err("missing module name"))?.into();
+        self.module.version = parts.next().unwrap_or("v0").into();
+        self.at += 1;
+
+        while let Some(line) = self.next_line() {
+            let keyword = line.split_whitespace().next().unwrap_or_default();
+            match keyword {
+                "type" => self.parse_type(line)?,
+                "typeref" => {
+                    let name = line["typeref".len()..].trim();
+                    if name.is_empty() {
+                        return Err(self.err("typeref needs a name"));
+                    }
+                    self.module.type_refs.push(name.to_string());
+                    self.at += 1;
+                }
+                "str" => {
+                    let lit = line["str".len()..].trim();
+                    let s = parse_string_literal(lit).map_err(|m| self.err(m))?;
+                    self.module.strings.push(s);
+                    self.at += 1;
+                }
+                "sym" => self.parse_symbol(line)?,
+                "global" => self.parse_global(line)?,
+                "fun" => self.parse_function(line)?,
+                other => return Err(self.err(format!("unexpected `{other}`"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_type(&mut self, line: &str) -> Result<(), TextError> {
+        // type NAME { f: ty, ... }
+        let rest = line["type".len()..].trim();
+        let (name, body) =
+            rest.split_once('{').ok_or_else(|| self.err("type needs `{ ... }`"))?;
+        let body = body.trim_end_matches('}').trim();
+        let mut fields = Vec::new();
+        if !body.is_empty() {
+            for part in split_top_level(body) {
+                let (fname, fty) = part
+                    .split_once(':')
+                    .ok_or_else(|| self.err(format!("bad field `{part}`")))?;
+                fields.push(Field::new(
+                    fname.trim().to_string(),
+                    parse_ty(fty.trim()).map_err(|m| self.err(m))?,
+                ));
+            }
+        }
+        self.module.types.push(TypeDef::new(name.trim().to_string(), fields));
+        self.at += 1;
+        Ok(())
+    }
+
+    fn parse_symbol(&mut self, line: &str) -> Result<(), TextError> {
+        let rest = line["sym".len()..].trim();
+        let (kind, rest) =
+            rest.split_once(' ').ok_or_else(|| self.err("sym needs a kind"))?;
+        let sym = match kind {
+            "fn" | "host" => {
+                let (name, sig) =
+                    rest.split_once(' ').ok_or_else(|| self.err("sym fn needs a signature"))?;
+                let sig = parse_sig(sig.trim()).map_err(|m| self.err(m))?;
+                if kind == "fn" {
+                    Symbol::func(name.trim(), sig)
+                } else {
+                    Symbol::host(name.trim(), sig)
+                }
+            }
+            "global" => {
+                let (name, ty) =
+                    rest.split_once(':').ok_or_else(|| self.err("sym global needs `: ty`"))?;
+                Symbol::global(name.trim(), parse_ty(ty.trim()).map_err(|m| self.err(m))?)
+            }
+            other => return Err(self.err(format!("unknown symbol kind `{other}`"))),
+        };
+        self.module.symbols.push(sym);
+        self.at += 1;
+        Ok(())
+    }
+
+    fn parse_code_block(&mut self) -> Result<Vec<Instr>, TextError> {
+        self.at += 1; // past the `{` line
+        let mut code = Vec::new();
+        loop {
+            let Some(line) = self.next_line() else {
+                return Err(self.err("unterminated code block"));
+            };
+            if line == "}" {
+                self.at += 1;
+                return Ok(code);
+            }
+            code.push(parse_instr(line).map_err(|m| self.err(m))?);
+            self.at += 1;
+        }
+    }
+
+    fn parse_global(&mut self, line: &str) -> Result<(), TextError> {
+        // global NAME : ty {
+        let rest = line["global".len()..].trim().trim_end_matches('{').trim();
+        let (name, ty) =
+            rest.split_once(':').ok_or_else(|| self.err("global needs `: ty`"))?;
+        let name = name.trim().to_string();
+        let ty = parse_ty(ty.trim()).map_err(|m| self.err(m))?;
+        let init = self.parse_code_block()?;
+        self.module.globals.push(GlobalDef { name, ty, init });
+        Ok(())
+    }
+
+    fn parse_function(&mut self, line: &str) -> Result<(), TextError> {
+        // fun NAME (tys) -> ty locals [tys] {
+        let rest = line["fun".len()..].trim().trim_end_matches('{').trim();
+        let (name, rest) =
+            rest.split_once(' ').ok_or_else(|| self.err("fun needs a signature"))?;
+        let (sig_part, locals_part) = rest
+            .split_once("locals")
+            .ok_or_else(|| self.err("fun needs `locals [..]`"))?;
+        let sig = parse_sig(sig_part.trim()).map_err(|m| self.err(m))?;
+        let locals_part = locals_part.trim();
+        if !(locals_part.starts_with('[') && locals_part.ends_with(']')) {
+            return Err(self.err("locals must be `[ty, ...]`"));
+        }
+        let inner = &locals_part[1..locals_part.len() - 1];
+        let mut locals = Vec::new();
+        if !inner.trim().is_empty() {
+            for part in split_top_level(inner) {
+                locals.push(parse_ty(part.trim()).map_err(|m| self.err(m))?);
+            }
+        }
+        let code = self.parse_code_block()?;
+        self.module.functions.push(Function { name: name.trim().to_string(), sig, locals, code });
+        Ok(())
+    }
+}
+
+/// Splits `s` on top-level commas (ignoring commas inside `()`, `[]`,
+/// `{}`).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = s[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Parses a type: `int | bool | string | unit | [T] | fn(T,..): R | name`.
+pub fn parse_ty(s: &str) -> Result<Ty, String> {
+    let s = s.trim();
+    match s {
+        "int" => return Ok(Ty::Int),
+        "bool" => return Ok(Ty::Bool),
+        "string" => return Ok(Ty::Str),
+        "unit" => return Ok(Ty::Unit),
+        _ => {}
+    }
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| format!("unclosed `[` in `{s}`"))?;
+        return Ok(Ty::array(parse_ty(inner)?));
+    }
+    if let Some(rest) = s.strip_prefix("fn(") {
+        // fn(T, U): R — find the matching close paren.
+        let close = matching_paren(rest).ok_or_else(|| format!("unclosed `(` in `{s}`"))?;
+        let params_text = &rest[..close];
+        let after = rest[close + 1..].trim();
+        let ret_text =
+            after.strip_prefix(':').ok_or_else(|| format!("missing `:` in `{s}`"))?.trim();
+        let mut params = Vec::new();
+        if !params_text.trim().is_empty() {
+            for p in split_top_level(params_text) {
+                params.push(parse_ty(p)?);
+            }
+        }
+        return Ok(Ty::func(params, parse_ty(ret_text)?));
+    }
+    if s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '@' || c == '.') && !s.is_empty() {
+        return Ok(Ty::Named(s.to_string()));
+    }
+    Err(format!("unparseable type `{s}`"))
+}
+
+/// Index (within `s`) of the `)` matching an already-consumed `(`.
+fn matching_paren(s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                if depth == 0 {
+                    return Some(i);
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses `(T, U) -> R`.
+pub fn parse_sig(s: &str) -> Result<FnSig, String> {
+    let s = s.trim();
+    let rest = s.strip_prefix('(').ok_or_else(|| format!("signature must start with `(`: `{s}`"))?;
+    let close = matching_paren(rest).ok_or_else(|| format!("unclosed `(` in `{s}`"))?;
+    let params_text = &rest[..close];
+    let after = rest[close + 1..].trim();
+    let ret_text =
+        after.strip_prefix("->").ok_or_else(|| format!("missing `->` in `{s}`"))?.trim();
+    let mut params = Vec::new();
+    if !params_text.trim().is_empty() {
+        for p in split_top_level(params_text) {
+            params.push(parse_ty(p)?);
+        }
+    }
+    Ok(FnSig::new(params, parse_ty(ret_text)?))
+}
+
+/// Unescapes a Rust-`{:?}`-style string literal.
+fn parse_string_literal(s: &str) -> Result<String, String> {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("string literal must be quoted: {s}"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('\'') => out.push('\''),
+            Some('u') => {
+                // \u{XXXX}
+                if chars.next() != Some('{') {
+                    return Err("bad unicode escape".into());
+                }
+                let mut hex = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    hex.push(c);
+                }
+                let cp = u32::from_str_radix(&hex, 16).map_err(|_| "bad unicode escape")?;
+                out.push(char::from_u32(cp).ok_or("bad unicode scalar")?);
+            }
+            other => return Err(format!("bad escape `\\{}`", other.unwrap_or('?'))),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one instruction line (the exact `Display` form of [`Instr`]).
+#[allow(clippy::too_many_lines)]
+pub fn parse_instr(line: &str) -> Result<Instr, String> {
+    let line = line.trim();
+    let (mnemonic, rest) = match line.split_once(' ') {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let int = |s: &str| s.parse::<i64>().map_err(|_| format!("bad integer `{s}`"));
+    let idx = |s: &str| s.parse::<u32>().map_err(|_| format!("bad index `{s}`"));
+    let pool = |s: &str, prefix: &str| -> Result<u32, String> {
+        s.strip_prefix(prefix).ok_or_else(|| format!("expected `{prefix}N`, got `{s}`")).and_then(
+            |t| t.parse::<u32>().map_err(|_| format!("bad index `{s}`")),
+        )
+    };
+    Ok(match mnemonic {
+        "push.unit" => Instr::PushUnit,
+        "push.int" => Instr::PushInt(int(rest)?),
+        "push.bool" => Instr::PushBool(rest == "true"),
+        "push.str" => Instr::PushStr(StrId(pool(rest, "#")?)),
+        "push.null" => Instr::PushNull(TypeRefId(pool(rest, "ty#")?)),
+        "push.fn" => Instr::PushFn(SymId(pool(rest, "sym#")?)),
+        "local.get" => Instr::LoadLocal(idx(rest)? as u16),
+        "local.set" => Instr::StoreLocal(idx(rest)? as u16),
+        "global.get" => Instr::LoadGlobal(SymId(pool(rest, "sym#")?)),
+        "global.set" => Instr::StoreGlobal(SymId(pool(rest, "sym#")?)),
+        "dup" => Instr::Dup,
+        "pop" => Instr::Pop,
+        "swap" => Instr::Swap,
+        "add" => Instr::Add,
+        "sub" => Instr::Sub,
+        "mul" => Instr::Mul,
+        "div" => Instr::Div,
+        "rem" => Instr::Rem,
+        "neg" => Instr::Neg,
+        "eq" => Instr::Eq,
+        "ne" => Instr::Ne,
+        "lt" => Instr::Lt,
+        "le" => Instr::Le,
+        "gt" => Instr::Gt,
+        "ge" => Instr::Ge,
+        "and" => Instr::And,
+        "or" => Instr::Or,
+        "not" => Instr::Not,
+        "str.concat" => Instr::Concat,
+        "str.len" => Instr::StrLen,
+        "str.sub" => Instr::Substr,
+        "str.at" => Instr::CharAt,
+        "str.eq" => Instr::StrEq,
+        "str.find" => Instr::StrFind,
+        "int.to_str" => Instr::IntToStr,
+        "str.to_int" => Instr::StrToInt,
+        "jump" => Instr::Jump(idx(rest)?),
+        "jump.ifz" => Instr::JumpIfFalse(idx(rest)?),
+        "call" => Instr::Call(SymId(pool(rest, "sym#")?)),
+        "call.indirect" => Instr::CallIndirect,
+        "call.host" => Instr::CallHost(SymId(pool(rest, "sym#")?)),
+        "ret" => Instr::Ret,
+        "record.new" => Instr::NewRecord(TypeRefId(pool(rest, "ty#")?)),
+        "record.get" => {
+            let (t, f) = rest.split_once('.').ok_or("record.get needs ty#N.F")?;
+            Instr::GetField(TypeRefId(pool(t, "ty#")?), idx(f)? as u16)
+        }
+        "record.set" => {
+            let (t, f) = rest.split_once('.').ok_or("record.set needs ty#N.F")?;
+            Instr::SetField(TypeRefId(pool(t, "ty#")?), idx(f)? as u16)
+        }
+        "is_null" => Instr::IsNull(TypeRefId(pool(rest, "ty#")?)),
+        "array.new" => Instr::NewArray(parse_ty(rest)?),
+        "array.get" => Instr::ArrayGet,
+        "array.set" => Instr::ArraySet,
+        "array.len" => Instr::ArrayLen,
+        "array.push" => Instr::ArrayPush,
+        "update.point" => Instr::UpdatePoint,
+        "nop" => Instr::Nop,
+        other => return Err(format!("unknown mnemonic `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    fn sample_module() -> Module {
+        let mut b = ModuleBuilder::new("sample", "v7");
+        b.def_type(TypeDef::new(
+            "pair",
+            vec![Field::new("a", Ty::Int), Field::new("b", Ty::array(Ty::Str))],
+        ));
+        let tr = b.type_ref("pair");
+        let hello = b.string("he\"llo\n\t\\");
+        let host = b.declare_host("log", FnSig::new(vec![Ty::Str], Ty::Unit));
+        let gsym = b.declare_global("g", Ty::named("pair"));
+        b.global("g", Ty::named("pair"), vec![Instr::PushNull(tr), Instr::Ret]);
+        b.function(
+            "f",
+            FnSig::new(vec![Ty::Int, Ty::func(vec![Ty::Int], Ty::Bool)], Ty::Str),
+            move |f| {
+                f.local(Ty::array(Ty::Int));
+                f.emit(Instr::PushStr(hello));
+                f.emit(Instr::CallHost(host));
+                f.emit(Instr::Pop);
+                f.emit(Instr::LoadGlobal(gsym));
+                f.emit(Instr::IsNull(tr));
+                f.emit(Instr::JumpIfFalse(8));
+                f.emit(Instr::PushStr(hello));
+                f.emit(Instr::Ret);
+                f.emit(Instr::PushStr(hello));
+                f.emit(Instr::Ret);
+            },
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn emit_parse_round_trip_sample() {
+        let m = sample_module();
+        let text = emit(&m);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn round_trip_is_stable_text() {
+        let m = sample_module();
+        let t1 = emit(&m);
+        let t2 = emit(&parse(&t1).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn type_parser_handles_nesting() {
+        assert_eq!(parse_ty("int").unwrap(), Ty::Int);
+        assert_eq!(parse_ty("[[string]]").unwrap(), Ty::array(Ty::array(Ty::Str)));
+        assert_eq!(
+            parse_ty("fn(int, [bool]): fn(): unit").unwrap(),
+            Ty::func(vec![Ty::Int, Ty::array(Ty::Bool)], Ty::func(vec![], Ty::Unit))
+        );
+        assert_eq!(parse_ty("cache_entry@1").unwrap(), Ty::named("cache_entry@1"));
+        assert!(parse_ty("fn(int: int").is_err());
+        assert!(parse_ty("[int").is_err());
+    }
+
+    #[test]
+    fn instruction_parser_rejects_garbage() {
+        assert!(parse_instr("frobnicate 3").is_err());
+        assert!(parse_instr("push.int abc").is_err());
+        assert!(parse_instr("call #3").is_err());
+        assert!(parse_instr("record.get ty#0").is_err());
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "module m v1\nbogusline here\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in ["", "plain", "a\nb", "q\"q", "tab\t", "nul\0", "back\\slash", "é↑"] {
+            let lit = format!("{s:?}");
+            assert_eq!(parse_string_literal(&lit).unwrap(), s, "{lit}");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The type language of the bytecode.
+//!
+//! Types are deliberately close to what Popcorn (the paper's safe C dialect)
+//! offers: integers, booleans, strings, fixed-shape named records, growable
+//! arrays, first-class function pointers and unit. Named record types are
+//! *nominal*: two definitions with identical fields but different names are
+//! distinct, which is what makes type *versioning* (`T@1`, `T@2`) meaningful
+//! for dynamic updates.
+
+use std::fmt;
+
+/// A bytecode-level type.
+///
+/// `Named` types admit a `null` value (as in C); every other type is
+/// non-nullable. Function-typed locals default to an *unresolved* function
+/// value that traps when called, mirroring an uninitialised C function
+/// pointer, without compromising memory safety.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// The unit (void) type with a single value.
+    Unit,
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Immutable UTF-8 string.
+    Str,
+    /// Growable homogeneous array.
+    Array(Box<Ty>),
+    /// Nominal record type, referenced by name (possibly versioned, e.g.
+    /// `"cache_entry@1"`). Nullable.
+    Named(String),
+    /// First-class function pointer.
+    Fn(Box<FnSig>),
+}
+
+impl Ty {
+    /// Convenience constructor for an array type.
+    pub fn array(elem: Ty) -> Ty {
+        Ty::Array(Box::new(elem))
+    }
+
+    /// Convenience constructor for a named record type.
+    pub fn named(name: impl Into<String>) -> Ty {
+        Ty::Named(name.into())
+    }
+
+    /// Convenience constructor for a function-pointer type.
+    pub fn func(params: Vec<Ty>, ret: Ty) -> Ty {
+        Ty::Fn(Box::new(FnSig { params, ret }))
+    }
+
+    /// Whether values of this type may be `null`.
+    pub fn is_nullable(&self) -> bool {
+        matches!(self, Ty::Named(_))
+    }
+
+    /// Collects every named record type mentioned anywhere inside this type
+    /// (including inside array element types and function signatures).
+    pub fn collect_named(&self, out: &mut Vec<String>) {
+        match self {
+            Ty::Named(n) => out.push(n.clone()),
+            Ty::Array(e) => e.collect_named(out),
+            Ty::Fn(sig) => {
+                for p in &sig.params {
+                    p.collect_named(out);
+                }
+                sig.ret.collect_named(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Unit => write!(f, "unit"),
+            Ty::Int => write!(f, "int"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Str => write!(f, "string"),
+            Ty::Array(e) => write!(f, "[{e}]"),
+            Ty::Named(n) => write!(f, "{n}"),
+            Ty::Fn(sig) => write!(f, "fn{sig}"),
+        }
+    }
+}
+
+/// A function signature: parameter types and a return type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FnSig {
+    /// Parameter types, in order.
+    pub params: Vec<Ty>,
+    /// Return type (`Ty::Unit` for procedures).
+    pub ret: Ty,
+}
+
+impl FnSig {
+    /// Creates a new signature.
+    pub fn new(params: Vec<Ty>, ret: Ty) -> FnSig {
+        FnSig { params, ret }
+    }
+}
+
+impl fmt::Display for FnSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "): {}", self.ret)
+    }
+}
+
+/// A single field of a record type definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Field name (unique within the record).
+    pub name: String,
+    /// Field type.
+    pub ty: Ty,
+}
+
+impl Field {
+    /// Creates a new field.
+    pub fn new(name: impl Into<String>, ty: Ty) -> Field {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// A named record type definition.
+///
+/// Definitions are nominal; the dynamic linker registers each distinct
+/// definition once and tags runtime records with the registration identity,
+/// which is how two *versions* of the "same" source-level type coexist after
+/// a dynamic update.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TypeDef {
+    /// Fully qualified (possibly versioned) type name.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<Field>,
+}
+
+impl TypeDef {
+    /// Creates a new record type definition.
+    pub fn new(name: impl Into<String>, fields: Vec<Field>) -> TypeDef {
+        TypeDef { name: name.into(), fields }
+    }
+
+    /// Index of the field called `name`, if present.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Whether `self` and `other` have structurally identical field lists
+    /// (names and types, in order), ignoring the type name itself.
+    ///
+    /// Used by the dynamic linker to bind a patch's *alias* for an old type
+    /// version (e.g. `cache_entry_v1`) to the existing registration.
+    pub fn same_structure(&self, other: &TypeDef) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl fmt::Display for TypeDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "struct {} {{ ", self.name)?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.ty)?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Ty::Int.to_string(), "int");
+        assert_eq!(Ty::array(Ty::Str).to_string(), "[string]");
+        assert_eq!(Ty::named("point").to_string(), "point");
+        assert_eq!(
+            Ty::func(vec![Ty::Int, Ty::Bool], Ty::Str).to_string(),
+            "fn(int, bool): string"
+        );
+        assert_eq!(Ty::func(vec![], Ty::Unit).to_string(), "fn(): unit");
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Ty::named("t").is_nullable());
+        assert!(!Ty::Int.is_nullable());
+        assert!(!Ty::array(Ty::named("t")).is_nullable());
+    }
+
+    #[test]
+    fn collect_named_walks_nested_types() {
+        let ty = Ty::func(
+            vec![Ty::array(Ty::named("a")), Ty::named("b")],
+            Ty::array(Ty::array(Ty::named("c"))),
+        );
+        let mut out = Vec::new();
+        ty.collect_named(&mut out);
+        assert_eq!(out, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn typedef_field_lookup_and_structure() {
+        let a = TypeDef::new(
+            "point",
+            vec![Field::new("x", Ty::Int), Field::new("y", Ty::Int)],
+        );
+        let b = TypeDef::new(
+            "point@1",
+            vec![Field::new("x", Ty::Int), Field::new("y", Ty::Int)],
+        );
+        let c = TypeDef::new("point", vec![Field::new("x", Ty::Int)]);
+        assert_eq!(a.field_index("y"), Some(1));
+        assert_eq!(a.field_index("z"), None);
+        assert!(a.same_structure(&b));
+        assert!(!a.same_structure(&c));
+    }
+}

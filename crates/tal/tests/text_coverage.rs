@@ -1,0 +1,95 @@
+//! Text-format completeness: every instruction variant must survive
+//! `Display` → `parse_instr` unchanged, so the on-disk format can never
+//! silently lag the instruction set.
+
+use tal::text::parse_instr;
+use tal::{Instr, StrId, SymId, Ty, TypeRefId};
+
+/// One of every instruction variant (operands arbitrary but in-range for
+/// the pools a real module would carry).
+fn all_variants() -> Vec<Instr> {
+    vec![
+        Instr::PushUnit,
+        Instr::PushInt(-42),
+        Instr::PushInt(i64::MAX),
+        Instr::PushBool(true),
+        Instr::PushBool(false),
+        Instr::PushStr(StrId(3)),
+        Instr::PushNull(TypeRefId(1)),
+        Instr::PushFn(SymId(2)),
+        Instr::LoadLocal(7),
+        Instr::StoreLocal(0),
+        Instr::LoadGlobal(SymId(4)),
+        Instr::StoreGlobal(SymId(5)),
+        Instr::Dup,
+        Instr::Pop,
+        Instr::Swap,
+        Instr::Add,
+        Instr::Sub,
+        Instr::Mul,
+        Instr::Div,
+        Instr::Rem,
+        Instr::Neg,
+        Instr::Eq,
+        Instr::Ne,
+        Instr::Lt,
+        Instr::Le,
+        Instr::Gt,
+        Instr::Ge,
+        Instr::And,
+        Instr::Or,
+        Instr::Not,
+        Instr::Concat,
+        Instr::StrLen,
+        Instr::Substr,
+        Instr::CharAt,
+        Instr::StrEq,
+        Instr::StrFind,
+        Instr::IntToStr,
+        Instr::StrToInt,
+        Instr::Jump(9),
+        Instr::JumpIfFalse(12),
+        Instr::Call(SymId(1)),
+        Instr::CallIndirect,
+        Instr::CallHost(SymId(0)),
+        Instr::Ret,
+        Instr::NewRecord(TypeRefId(0)),
+        Instr::GetField(TypeRefId(0), 2),
+        Instr::SetField(TypeRefId(1), 0),
+        Instr::IsNull(TypeRefId(0)),
+        Instr::NewArray(Ty::Int),
+        Instr::NewArray(Ty::array(Ty::named("t"))),
+        Instr::NewArray(Ty::func(vec![Ty::Int, Ty::Str], Ty::Bool)),
+        Instr::ArrayGet,
+        Instr::ArraySet,
+        Instr::ArrayLen,
+        Instr::ArrayPush,
+        Instr::UpdatePoint,
+        Instr::Nop,
+    ]
+}
+
+#[test]
+fn every_instruction_round_trips_through_text() {
+    for instr in all_variants() {
+        let line = instr.to_string();
+        let back = parse_instr(&line)
+            .unwrap_or_else(|e| panic!("`{line}` must parse: {e}"));
+        assert_eq!(instr, back, "`{line}`");
+    }
+}
+
+#[test]
+fn display_forms_are_distinct() {
+    // No two variants may share a rendering (ambiguous disassembly).
+    let rendered: Vec<String> = all_variants().iter().map(ToString::to_string).collect();
+    let unique: std::collections::BTreeSet<&String> = rendered.iter().collect();
+    assert_eq!(unique.len(), rendered.len());
+}
+
+#[test]
+fn encoded_size_is_positive_for_all_variants() {
+    for instr in all_variants() {
+        assert!(instr.encoded_size() >= 1, "{instr}");
+    }
+}

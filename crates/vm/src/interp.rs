@@ -1,0 +1,515 @@
+//! The interpreter.
+//!
+//! Execution uses an explicit frame stack so a run can be *suspended* at an
+//! update point and resumed after a dynamic patch has been applied. Frames
+//! hold an `Rc` to their code: a frame that was executing a function when
+//! it got replaced finishes under the old code — the paper's semantics for
+//! updating active code.
+
+use std::rc::Rc;
+
+use crate::ops::Op;
+use crate::process::{LinkedFunction, Process};
+use crate::trap::Trap;
+use crate::value::{FnRef, Value};
+
+/// Cumulative execution counters, used by the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub instrs: u64,
+    /// Guest-to-guest calls.
+    pub calls: u64,
+    /// Calls that went through an indirection-table slot.
+    pub slot_calls: u64,
+    /// Host calls.
+    pub host_calls: u64,
+    /// Update points executed (whether or not they suspended).
+    pub update_points: u64,
+}
+
+/// One activation record.
+#[derive(Debug)]
+pub struct Frame {
+    /// The code this frame executes (pinned: survives rebinding).
+    pub func: Rc<LinkedFunction>,
+    /// Next instruction index.
+    pub pc: usize,
+    /// Local slots (parameters first).
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+}
+
+impl Frame {
+    /// Builds a frame for `func` with `args` already bound to the leading
+    /// locals; remaining locals take their type's default value.
+    pub fn new(func: Rc<LinkedFunction>, args: Vec<Value>) -> Frame {
+        let mut locals = args;
+        for ty in &func.locals[locals.len()..] {
+            locals.push(Value::default_for(ty));
+        }
+        Frame { func, pc: 0, locals, stack: Vec::new() }
+    }
+}
+
+/// A (possibly suspended) execution: the guest call stack.
+///
+/// Finished frames donate their `locals`/`stack` buffers to a small pool
+/// so the hot call path does not allocate — keeping per-call cost low
+/// enough that the *dispatch* difference between static and updateable
+/// linking (the paper's overhead experiment) is what dominates.
+#[derive(Debug)]
+pub struct ExecState {
+    frames: Vec<Frame>,
+    pool: Vec<(Vec<Value>, Vec<Value>)>,
+}
+
+impl ExecState {
+    /// Starts an execution with a single entry frame.
+    pub fn with_frame(frame: Frame) -> ExecState {
+        ExecState { frames: vec![frame], pool: Vec::new() }
+    }
+
+    /// Names of the functions on the stack, outermost first.
+    pub fn frame_functions(&self) -> Vec<String> {
+        self.frames.iter().map(|f| f.func.name.clone()).collect()
+    }
+
+    /// The code of every frame on the stack, outermost first.
+    pub fn frame_codes(&self) -> Vec<Rc<LinkedFunction>> {
+        self.frames.iter().map(|f| Rc::clone(&f.func)).collect()
+    }
+
+    /// Every value held in any frame's locals or operand stack (the code
+    /// garbage collector scans these for live function values).
+    pub fn frame_values(&self) -> impl Iterator<Item = &Value> {
+        self.frames.iter().flat_map(|f| f.locals.iter().chain(f.stack.iter()))
+    }
+}
+
+/// Why `exec` returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The entry frame returned this value.
+    Done(Value),
+    /// The guest reached an update point while an update was pending; the
+    /// execution state is retained for [`Process::resume`].
+    Suspended,
+}
+
+/// Runs `st` to completion (or suspension) against `proc`.
+///
+/// `honor_updates` gates whether `update.point` instructions can suspend;
+/// state transformers and host-driven helper calls run with it off.
+pub(crate) fn exec(
+    proc: &mut Process,
+    st: &mut ExecState,
+    honor_updates: bool,
+) -> Result<Outcome, Trap> {
+    loop {
+        // Fetch. The clone is cheap: most ops are plain enum data, strings
+        // are reference-counted.
+        let op = {
+            let frame = st.frames.last().expect("at least one frame");
+            frame.func.code[frame.pc].clone()
+        };
+        proc.stats.instrs += 1;
+        if proc.stats.instrs >= proc.fuel_limit() {
+            return Err(Trap::OutOfFuel);
+        }
+
+        // Call/return manipulate the frame stack; everything else operates
+        // on the current frame only.
+        match op {
+            Op::CallDirect(id) => {
+                let frame = st.frames.last_mut().expect("frame");
+                frame.pc += 1;
+                let callee = Rc::clone(proc.function(id));
+                push_call(proc, st, callee)?;
+                continue;
+            }
+            Op::CallSlot(slot) => {
+                let id = proc
+                    .slot_target(slot)
+                    .ok_or_else(|| Trap::UnboundSlot(proc.slot_name(slot).to_string()))?;
+                let frame = st.frames.last_mut().expect("frame");
+                frame.pc += 1;
+                let callee = Rc::clone(proc.function(id));
+                proc.stats.slot_calls += 1;
+                push_call(proc, st, callee)?;
+                continue;
+            }
+            Op::CallIndirect => {
+                let fnref = {
+                    let frame = st.frames.last_mut().expect("frame");
+                    frame.pc += 1;
+                    match frame.stack.pop().expect("verified: fn value") {
+                        Value::Fn(r) => r,
+                        v => panic!("verified code called non-function {v:?}"),
+                    }
+                };
+                let id = proc.deref_fn(fnref)?;
+                if matches!(fnref, FnRef::Slot(_)) {
+                    proc.stats.slot_calls += 1;
+                }
+                let callee = Rc::clone(proc.function(id));
+                push_call(proc, st, callee)?;
+                continue;
+            }
+            Op::Ret => {
+                let mut frame = st.frames.pop().expect("frame");
+                let ret = frame.stack.pop().expect("verified: return value");
+                // Recycle the frame's buffers for future calls.
+                if st.pool.len() < 64 {
+                    frame.locals.clear();
+                    frame.stack.clear();
+                    st.pool.push((frame.locals, frame.stack));
+                }
+                match st.frames.last_mut() {
+                    Some(caller) => caller.stack.push(ret),
+                    None => return Ok(Outcome::Done(ret)),
+                }
+                continue;
+            }
+            Op::UpdatePoint => {
+                proc.stats.update_points += 1;
+                let frame = st.frames.last_mut().expect("frame");
+                frame.pc += 1;
+                if honor_updates && proc.update_requested() {
+                    return Ok(Outcome::Suspended);
+                }
+                continue;
+            }
+            Op::CallHost(id, argc) => {
+                let args = {
+                    let frame = st.frames.last_mut().expect("frame");
+                    frame.pc += 1;
+                    let at = frame.stack.len() - argc as usize;
+                    frame.stack.split_off(at)
+                };
+                proc.stats.host_calls += 1;
+                let ret = (proc.hosts[id.0 as usize].func)(&args)?;
+                st.frames.last_mut().expect("frame").stack.push(ret);
+                continue;
+            }
+            _ => {}
+        }
+
+        let frame = st.frames.last_mut().expect("frame");
+        step_local(proc, frame, op)?;
+    }
+}
+
+fn push_call(proc: &mut Process, st: &mut ExecState, callee: Rc<LinkedFunction>) -> Result<(), Trap> {
+    if st.frames.len() >= proc.max_stack_depth {
+        return Err(Trap::StackOverflow);
+    }
+    proc.stats.calls += 1;
+    let (mut locals, stack) = st.pool.pop().unwrap_or_default();
+    let caller = st.frames.last_mut().expect("frame");
+    let at = caller.stack.len() - callee.param_count;
+    locals.extend(caller.stack.drain(at..));
+    for ty in &callee.locals[callee.param_count..] {
+        locals.push(Value::default_for(ty));
+    }
+    st.frames.push(Frame { func: callee, pc: 0, locals, stack });
+    Ok(())
+}
+
+/// Executes an instruction that touches only the current frame (and the
+/// process's globals). `proc.stats` is already incremented.
+#[allow(clippy::too_many_lines)]
+fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap> {
+    let stack = &mut frame.stack;
+    macro_rules! int_binop {
+        ($f:expr) => {{
+            let b = stack.pop().expect("verified").as_int();
+            let a = stack.pop().expect("verified").as_int();
+            stack.push($f(a, b));
+        }};
+    }
+    match op {
+        Op::PushUnit => stack.push(Value::Unit),
+        Op::PushInt(n) => stack.push(Value::Int(n)),
+        Op::PushBool(b) => stack.push(Value::Bool(b)),
+        Op::PushStr(s) => stack.push(Value::Str(s)),
+        Op::PushNull => stack.push(Value::Null),
+        Op::PushFnDirect(id) => stack.push(Value::Fn(FnRef::Direct(id))),
+        Op::PushFnSlot(slot) => stack.push(Value::Fn(FnRef::Slot(slot))),
+        Op::LoadLocal(n) => {
+            let v = frame.locals[n as usize].clone();
+            stack.push(v);
+        }
+        Op::StoreLocal(n) => {
+            frame.locals[n as usize] = stack.pop().expect("verified");
+        }
+        Op::LoadGlobal(id) => {
+            // Lazy state transformation: a pending transformer runs on
+            // first read (the flag clears first, so the transformer may
+            // itself read this global and see the old value).
+            if let Some(fid) = proc.global_cell(id).pending_transform {
+                let cell = proc.global_cell_mut(id);
+                cell.pending_transform = None;
+                let old = cell.value.clone();
+                let new = proc.call_fid(fid, vec![old])?;
+                proc.global_cell_mut(id).value = new;
+            }
+            let v = proc.global_cell(id).value.clone();
+            stack.push(v);
+        }
+        Op::StoreGlobal(id) => {
+            let v = stack.pop().expect("verified");
+            let cell = proc.global_cell_mut(id);
+            // A whole-value overwrite by (necessarily new) code supersedes
+            // any pending lazy transform.
+            cell.pending_transform = None;
+            cell.value = v;
+        }
+        Op::Dup => {
+            let v = stack.last().expect("verified").clone();
+            stack.push(v);
+        }
+        Op::Pop => {
+            stack.pop().expect("verified");
+        }
+        Op::Swap => {
+            let n = stack.len();
+            stack.swap(n - 1, n - 2);
+        }
+        Op::Add => int_binop!(|a: i64, b: i64| Value::Int(a.wrapping_add(b))),
+        Op::Sub => int_binop!(|a: i64, b: i64| Value::Int(a.wrapping_sub(b))),
+        Op::Mul => int_binop!(|a: i64, b: i64| Value::Int(a.wrapping_mul(b))),
+        Op::Div => {
+            let b = stack.pop().expect("verified").as_int();
+            let a = stack.pop().expect("verified").as_int();
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            stack.push(Value::Int(a.wrapping_div(b)));
+        }
+        Op::Rem => {
+            let b = stack.pop().expect("verified").as_int();
+            let a = stack.pop().expect("verified").as_int();
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            stack.push(Value::Int(a.wrapping_rem(b)));
+        }
+        Op::Neg => {
+            let a = stack.pop().expect("verified").as_int();
+            stack.push(Value::Int(a.wrapping_neg()));
+        }
+        Op::Eq => int_binop!(|a, b| Value::Bool(a == b)),
+        Op::Ne => int_binop!(|a, b| Value::Bool(a != b)),
+        Op::Lt => int_binop!(|a, b| Value::Bool(a < b)),
+        Op::Le => int_binop!(|a, b| Value::Bool(a <= b)),
+        Op::Gt => int_binop!(|a, b| Value::Bool(a > b)),
+        Op::Ge => int_binop!(|a, b| Value::Bool(a >= b)),
+        Op::And => {
+            let b = stack.pop().expect("verified").as_bool();
+            let a = stack.pop().expect("verified").as_bool();
+            stack.push(Value::Bool(a && b));
+        }
+        Op::Or => {
+            let b = stack.pop().expect("verified").as_bool();
+            let a = stack.pop().expect("verified").as_bool();
+            stack.push(Value::Bool(a || b));
+        }
+        Op::Not => {
+            let a = stack.pop().expect("verified").as_bool();
+            stack.push(Value::Bool(!a));
+        }
+        Op::Concat => {
+            let b = stack.pop().expect("verified").as_str();
+            let a = stack.pop().expect("verified").as_str();
+            let mut s = String::with_capacity(a.len() + b.len());
+            s.push_str(&a);
+            s.push_str(&b);
+            stack.push(Value::str(s));
+        }
+        Op::StrLen => {
+            let s = stack.pop().expect("verified").as_str();
+            stack.push(Value::Int(s.len() as i64));
+        }
+        Op::Substr => {
+            let len = stack.pop().expect("verified").as_int();
+            let start = stack.pop().expect("verified").as_int();
+            let s = stack.pop().expect("verified").as_str();
+            let start = start.clamp(0, s.len() as i64) as usize;
+            let end = (start as i64 + len.max(0)).clamp(start as i64, s.len() as i64) as usize;
+            // Clamp to char boundaries to keep the operation total on UTF-8.
+            let start = floor_char_boundary(&s, start);
+            let end = floor_char_boundary(&s, end);
+            stack.push(Value::str(&s[start..end]));
+        }
+        Op::CharAt => {
+            let i = stack.pop().expect("verified").as_int();
+            let s = stack.pop().expect("verified").as_str();
+            if i < 0 || i as usize >= s.len() {
+                return Err(Trap::IndexOutOfBounds { index: i, len: s.len() });
+            }
+            stack.push(Value::Int(i64::from(s.as_bytes()[i as usize])));
+        }
+        Op::StrEq => {
+            let b = stack.pop().expect("verified").as_str();
+            let a = stack.pop().expect("verified").as_str();
+            stack.push(Value::Bool(a == b));
+        }
+        Op::StrFind => {
+            let needle = stack.pop().expect("verified").as_str();
+            let hay = stack.pop().expect("verified").as_str();
+            let pos = hay.find(&*needle).map_or(-1, |p| p as i64);
+            stack.push(Value::Int(pos));
+        }
+        Op::IntToStr => {
+            let n = stack.pop().expect("verified").as_int();
+            stack.push(Value::str(n.to_string()));
+        }
+        Op::StrToInt => {
+            let s = stack.pop().expect("verified").as_str();
+            stack.push(Value::Int(atoi(&s)));
+        }
+        Op::Jump(t) => {
+            frame.pc = t as usize;
+            return Ok(());
+        }
+        Op::JumpIfFalse(t) => {
+            let c = stack.pop().expect("verified").as_bool();
+            if !c {
+                frame.pc = t as usize;
+                return Ok(());
+            }
+        }
+        Op::NewRecord(sid, n) => {
+            let at = stack.len() - n as usize;
+            let fields = stack.split_off(at);
+            stack.push(Value::record(sid, fields));
+        }
+        Op::GetField(i) => {
+            let r = stack.pop().expect("verified");
+            match r {
+                Value::Record(rec) => {
+                    let v = rec.fields.borrow()[i as usize].clone();
+                    stack.push(v);
+                }
+                Value::Null => return Err(Trap::NullDeref),
+                v => panic!("verified code read field of {v:?}"),
+            }
+        }
+        Op::SetField(i) => {
+            let v = stack.pop().expect("verified");
+            let r = stack.pop().expect("verified");
+            match r {
+                Value::Record(rec) => rec.fields.borrow_mut()[i as usize] = v,
+                Value::Null => return Err(Trap::NullDeref),
+                other => panic!("verified code wrote field of {other:?}"),
+            }
+        }
+        Op::IsNull => {
+            let r = stack.pop().expect("verified");
+            stack.push(Value::Bool(matches!(r, Value::Null)));
+        }
+        Op::NewArray => stack.push(Value::empty_array()),
+        Op::ArrayGet => {
+            let i = stack.pop().expect("verified").as_int();
+            let a = stack.pop().expect("verified");
+            let Value::Array(a) = a else { panic!("verified code indexed {a:?}") };
+            let a = a.borrow();
+            if i < 0 || i as usize >= a.len() {
+                return Err(Trap::IndexOutOfBounds { index: i, len: a.len() });
+            }
+            stack.push(a[i as usize].clone());
+        }
+        Op::ArraySet => {
+            let v = stack.pop().expect("verified");
+            let i = stack.pop().expect("verified").as_int();
+            let a = stack.pop().expect("verified");
+            let Value::Array(a) = a else { panic!("verified code indexed {a:?}") };
+            let mut a = a.borrow_mut();
+            if i < 0 || i as usize >= a.len() {
+                return Err(Trap::IndexOutOfBounds { index: i, len: a.len() });
+            }
+            a[i as usize] = v;
+        }
+        Op::ArrayLen => {
+            let a = stack.pop().expect("verified");
+            let Value::Array(a) = a else { panic!("verified code measured {a:?}") };
+            let n = a.borrow().len();
+            stack.push(Value::Int(n as i64));
+        }
+        Op::ArrayPush => {
+            let v = stack.pop().expect("verified");
+            let a = stack.pop().expect("verified");
+            let Value::Array(a) = a else { panic!("verified code pushed to {a:?}") };
+            a.borrow_mut().push(v);
+        }
+        Op::Nop => {}
+        Op::Unreachable => {
+            return Err(Trap::Host("garbage-collected code executed".to_string()));
+        }
+        Op::CallDirect(_)
+        | Op::CallSlot(_)
+        | Op::CallIndirect
+        | Op::CallHost(_, _)
+        | Op::Ret
+        | Op::UpdatePoint => unreachable!("handled by the outer loop"),
+    }
+    frame.pc += 1;
+    Ok(())
+}
+
+/// Largest byte index `<= i` that is a UTF-8 character boundary of `s`.
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    if i >= s.len() {
+        return s.len();
+    }
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// C-style `atoi`: optional sign, leading digits, `0` on no digits;
+/// saturates on overflow.
+fn atoi(s: &str) -> i64 {
+    let s = s.trim_start();
+    let (neg, rest) = match s.as_bytes().first() {
+        Some(b'-') => (true, &s[1..]),
+        Some(b'+') => (false, &s[1..]),
+        _ => (false, s),
+    };
+    let mut n: i64 = 0;
+    for b in rest.bytes().take_while(u8::is_ascii_digit) {
+        n = n.saturating_mul(10).saturating_add(i64::from(b - b'0'));
+    }
+    if neg {
+        -n
+    } else {
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoi_matches_c_semantics() {
+        assert_eq!(atoi("42"), 42);
+        assert_eq!(atoi("  -17"), -17);
+        assert_eq!(atoi("+8"), 8);
+        assert_eq!(atoi("12abc"), 12);
+        assert_eq!(atoi("abc"), 0);
+        assert_eq!(atoi(""), 0);
+        assert_eq!(atoi("999999999999999999999999"), i64::MAX);
+    }
+
+    #[test]
+    fn char_boundary_floor() {
+        let s = "aé"; // 'é' occupies bytes 1..3
+        assert_eq!(floor_char_boundary(s, 2), 1);
+        assert_eq!(floor_char_boundary(s, 3), 3);
+        assert_eq!(floor_char_boundary(s, 10), 3);
+    }
+}

@@ -1,0 +1,990 @@
+//! A running guest process: code store, indirection tables, globals, hosts.
+//!
+//! The [`Process`] is the unit the dynamic-update runtime operates on. Its
+//! design mirrors the paper's updateable executables:
+//!
+//! * a **code store** of immutable linked functions (old versions persist,
+//!   so frames already executing them finish under the old code);
+//! * a **function indirection table** (GIT) of slots, one per referenced
+//!   symbol name, through which all calls go under
+//!   [`LinkMode::Updateable`] — rebinding a slot is how an update takes
+//!   effect atomically;
+//! * a **type registry** in which each registered [`TypeDef`] gets a fresh
+//!   [`StructId`]; rebinding a type *name* to a new id is how a type is
+//!   versioned without disturbing existing heap records;
+//! * **global cells** whose value (and, across an update, type) can be
+//!   swapped after state transformation.
+//!
+//! Linking is two-phase on purpose: [`Process::link_functions`] installs
+//! code and returns planned name bindings without publishing them, and
+//! [`Process::bind_function`] flips a binding. The dynamic-update runtime
+//! uses the split to make the *bind* step atomic and separately measurable.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tal::{FnSig, GlobalDef, Instr, Module, SymbolKind, Ty, TypeDef, TypeProvider};
+
+use crate::interp::{exec, ExecState, ExecStats, Frame, Outcome};
+use crate::ops::Op;
+use crate::trap::{LinkError, Trap};
+use crate::value::{FnRef, FuncId, GlobalId, HostId, SlotId, StructId, Value};
+
+/// How inter-procedural references are bound at link time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkMode {
+    /// Bind calls directly to code (a conventional executable; cannot be
+    /// updated, used as the paper's baseline).
+    Static,
+    /// Bind calls through indirection-table slots (an updateable
+    /// executable; slots can be re-pointed by a dynamic patch).
+    Updateable,
+}
+
+/// A function linked into the code store.
+#[derive(Debug)]
+pub struct LinkedFunction {
+    /// Program-wide symbol name.
+    pub name: String,
+    /// Version tag of the module this function came from.
+    pub version: String,
+    /// Declared signature.
+    pub sig: FnSig,
+    /// Number of parameters (prefix of `locals`).
+    pub param_count: usize,
+    /// All local slot types (parameters first).
+    pub locals: Vec<Ty>,
+    /// Resolved code.
+    pub code: Vec<Op>,
+    /// Names of symbols this function references (for update-safety
+    /// analysis: "who calls f", "who touches type T").
+    pub sym_refs: Vec<String>,
+    /// Names of record types this function depends on.
+    pub type_names: Vec<String>,
+}
+
+/// Planned (but not yet published) name bindings returned by
+/// [`Process::link_functions`].
+pub type PlannedBindings = Vec<(String, FuncId)>;
+
+/// Extra resolution context used when linking a *patch* module: names that
+/// should resolve to not-yet-bound targets, and type names that should
+/// resolve to specific registered layouts (old-version aliases and new
+/// versions).
+#[derive(Debug, Default, Clone)]
+pub struct LinkOverrides {
+    /// Function name → (planned target, its signature).
+    pub functions: HashMap<String, (FuncId, FnSig)>,
+    /// Type name → registered layout to use.
+    pub types: HashMap<String, StructId>,
+}
+
+/// A host (extern) function: the embedder's side of the guest's FFI.
+pub type HostFn = Box<dyn FnMut(&[Value]) -> Result<Value, Trap>>;
+
+pub(crate) struct HostEntry {
+    pub name: String,
+    pub sig: FnSig,
+    pub func: HostFn,
+}
+
+impl std::fmt::Debug for HostEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HostEntry({}{})", self.name, self.sig)
+    }
+}
+
+/// A global variable cell.
+#[derive(Debug, Clone)]
+pub struct GlobalCell {
+    /// Symbol name.
+    pub name: String,
+    /// Current declared type (may change across an update).
+    pub ty: Ty,
+    /// Current value.
+    pub value: Value,
+    /// A pending *lazy* state transformer: when set, the next guest read
+    /// of this global first runs the named function over the current
+    /// value and stores the result (Javelus-style lazy migration — the
+    /// alternative to the paper's eager transformation, kept for the
+    /// ablation study). The flag clears *before* the transformer runs, so
+    /// a transformer reading its own global sees the old value once.
+    pub pending_transform: Option<FuncId>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct StructInfo {
+    /// The name the definition was registered under (diagnostics only; the
+    /// *current* name binding lives in `struct_by_name`).
+    pub name: String,
+    pub def: TypeDef,
+}
+
+/// A snapshot of all mutable bindings, sufficient to roll back an update.
+#[derive(Debug, Clone)]
+pub struct BindingSnapshot {
+    fn_by_name: HashMap<String, FuncId>,
+    slots: Vec<Option<FuncId>>,
+    struct_by_name: HashMap<String, StructId>,
+    globals: Vec<GlobalCell>,
+}
+
+/// A running guest process. Single-threaded (guest values are `Rc`-based);
+/// the paper's updateable programs are likewise single-threaded event loops.
+#[derive(Debug)]
+pub struct Process {
+    mode: LinkMode,
+    functions: Vec<Rc<LinkedFunction>>,
+    fn_by_name: HashMap<String, FuncId>,
+    slots: Vec<Option<FuncId>>,
+    slot_by_name: HashMap<String, SlotId>,
+    slot_names: Vec<String>,
+    structs: Vec<StructInfo>,
+    struct_by_name: HashMap<String, StructId>,
+    globals: Vec<GlobalCell>,
+    global_by_name: HashMap<String, GlobalId>,
+    pub(crate) hosts: Vec<HostEntry>,
+    host_by_name: HashMap<String, HostId>,
+    update_requested: bool,
+    suspended: Option<ExecState>,
+    /// Cumulative execution statistics.
+    pub stats: ExecStats,
+    /// Maximum guest call-stack depth before a [`Trap::StackOverflow`].
+    pub max_stack_depth: usize,
+    /// Cumulative instruction count at which execution traps with
+    /// [`Trap::OutOfFuel`]; `u64::MAX` = unlimited.
+    fuel_limit: u64,
+}
+
+impl Process {
+    /// Creates an empty process with the given link mode.
+    pub fn new(mode: LinkMode) -> Process {
+        Process {
+            mode,
+            functions: Vec::new(),
+            fn_by_name: HashMap::new(),
+            slots: Vec::new(),
+            slot_by_name: HashMap::new(),
+            slot_names: Vec::new(),
+            structs: Vec::new(),
+            struct_by_name: HashMap::new(),
+            globals: Vec::new(),
+            global_by_name: HashMap::new(),
+            hosts: Vec::new(),
+            host_by_name: HashMap::new(),
+            update_requested: false,
+            suspended: None,
+            stats: ExecStats::default(),
+            max_stack_depth: 10_000,
+            fuel_limit: u64::MAX,
+        }
+    }
+
+    /// The link mode this process was created with.
+    pub fn mode(&self) -> LinkMode {
+        self.mode
+    }
+
+    /// Limits execution to `budget` further instructions (cumulative
+    /// across runs from this point); exceeding it traps with
+    /// [`Trap::OutOfFuel`]. `None` removes the limit. Runaway-loop
+    /// protection for host-driven guests.
+    pub fn set_fuel(&mut self, budget: Option<u64>) {
+        self.fuel_limit = match budget {
+            Some(b) => self.stats.instrs.saturating_add(b),
+            None => u64::MAX,
+        };
+    }
+
+    pub(crate) fn fuel_limit(&self) -> u64 {
+        self.fuel_limit
+    }
+
+    // ---------------------------------------------------------------- hosts
+
+    /// Registers a host (extern) function the guest can call.
+    ///
+    /// Re-registering a name replaces the implementation (the signature must
+    /// match), which lets tests stub the environment.
+    pub fn register_host(&mut self, name: impl Into<String>, sig: FnSig, func: HostFn) {
+        let name = name.into();
+        if let Some(&id) = self.host_by_name.get(&name) {
+            let entry = &mut self.hosts[id.0 as usize];
+            assert_eq!(entry.sig, sig, "host `{name}` re-registered with a different signature");
+            entry.func = func;
+            return;
+        }
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(HostEntry { name: name.clone(), sig, func });
+        self.host_by_name.insert(name, id);
+    }
+
+    /// Iterates over registered host functions (name, signature).
+    pub fn host_sigs(&self) -> impl Iterator<Item = (&str, &FnSig)> {
+        self.hosts.iter().map(|h| (h.name.as_str(), &h.sig))
+    }
+
+    // ---------------------------------------------------------------- types
+
+    /// Registers a record layout, returning its fresh identity. Does *not*
+    /// bind the type name; see [`Process::bind_type_name`].
+    pub fn register_struct(&mut self, def: TypeDef) -> StructId {
+        let id = StructId(self.structs.len() as u32);
+        self.structs.push(StructInfo { name: def.name.clone(), def });
+        id
+    }
+
+    /// Binds (or rebinds) a type name to a registered layout.
+    pub fn bind_type_name(&mut self, name: impl Into<String>, id: StructId) {
+        self.struct_by_name.insert(name.into(), id);
+    }
+
+    /// Current layout bound to a type name.
+    pub fn struct_id(&self, name: &str) -> Option<StructId> {
+        self.struct_by_name.get(name).copied()
+    }
+
+    /// Definition of a registered layout.
+    ///
+    /// # Panics
+    /// Panics when `id` was not returned by this process.
+    pub fn struct_def(&self, id: StructId) -> &TypeDef {
+        &self.structs[id.0 as usize].def
+    }
+
+    /// The name a layout was originally registered under (diagnostics; the
+    /// *current* binding of a name may differ after type versioning).
+    ///
+    /// # Panics
+    /// Panics when `id` was not returned by this process.
+    pub fn struct_name(&self, id: StructId) -> &str {
+        &self.structs[id.0 as usize].name
+    }
+
+    /// Iterates over the current type-name bindings.
+    pub fn type_bindings(&self) -> impl Iterator<Item = (&str, StructId)> {
+        self.struct_by_name.iter().map(|(n, id)| (n.as_str(), *id))
+    }
+
+    // -------------------------------------------------------------- globals
+
+    /// Adds a new global cell.
+    ///
+    /// # Errors
+    /// Fails with [`LinkError::Duplicate`] when the name already exists.
+    pub fn add_global(&mut self, name: impl Into<String>, ty: Ty, value: Value) -> Result<GlobalId, LinkError> {
+        let name = name.into();
+        if self.global_by_name.contains_key(&name) {
+            return Err(LinkError::Duplicate(name));
+        }
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(GlobalCell { name: name.clone(), ty, value, pending_transform: None });
+        self.global_by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Current value of a global.
+    pub fn global_value(&self, name: &str) -> Option<Value> {
+        self.global_by_name.get(name).map(|id| self.globals[id.0 as usize].value.clone())
+    }
+
+    /// Current declared type of a global.
+    pub fn global_type(&self, name: &str) -> Option<&Ty> {
+        self.global_by_name.get(name).map(|id| &self.globals[id.0 as usize].ty)
+    }
+
+    /// Overwrites a global's value (type unchanged). Returns `false` when
+    /// the global does not exist.
+    pub fn set_global(&mut self, name: &str, value: Value) -> bool {
+        match self.global_by_name.get(name) {
+            Some(id) => {
+                self.globals[id.0 as usize].value = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Atomically retypes and overwrites a global — the *bind* step of a
+    /// state-transforming update. Returns `false` when the global does not
+    /// exist.
+    pub fn retype_global(&mut self, name: &str, ty: Ty, value: Value) -> bool {
+        match self.global_by_name.get(name) {
+            Some(id) => {
+                let cell = &mut self.globals[id.0 as usize];
+                cell.ty = ty;
+                cell.value = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Arms a *lazy* state transformer on a global: the next guest read
+    /// runs `transformer` over the stored value first (see
+    /// [`GlobalCell::pending_transform`]). Returns `false` when the
+    /// global does not exist.
+    pub fn set_pending_transform(&mut self, name: &str, transformer: FuncId) -> bool {
+        match self.global_by_name.get(name) {
+            Some(id) => {
+                self.globals[id.0 as usize].pending_transform = Some(transformer);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a lazy transform is still pending on `name`.
+    pub fn has_pending_transform(&self, name: &str) -> bool {
+        self.global_by_name
+            .get(name)
+            .is_some_and(|id| self.globals[id.0 as usize].pending_transform.is_some())
+    }
+
+    /// Iterates over all global cells.
+    pub fn globals(&self) -> impl Iterator<Item = &GlobalCell> {
+        self.globals.iter()
+    }
+
+    pub(crate) fn global_cell(&self, id: GlobalId) -> &GlobalCell {
+        &self.globals[id.0 as usize]
+    }
+
+    pub(crate) fn global_cell_mut(&mut self, id: GlobalId) -> &mut GlobalCell {
+        &mut self.globals[id.0 as usize]
+    }
+
+    /// Total approximate heap footprint of all global state, in bytes
+    /// (memory-usage experiment).
+    pub fn heap_size(&self) -> usize {
+        self.globals.iter().map(|g| g.value.deep_size()).sum()
+    }
+
+    // ------------------------------------------------------------ functions
+
+    /// Currently bound target of a function name.
+    pub fn function_id(&self, name: &str) -> Option<FuncId> {
+        self.fn_by_name.get(name).copied()
+    }
+
+    /// The linked function at `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` was not returned by this process.
+    pub fn function(&self, id: FuncId) -> &Rc<LinkedFunction> {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Signature of the currently bound function `name`.
+    pub fn function_sig(&self, name: &str) -> Option<&FnSig> {
+        self.function_id(name).map(|id| &self.functions[id.0 as usize].sig)
+    }
+
+    /// Iterates over the *live* interface: every currently bound function.
+    pub fn bound_functions(&self) -> impl Iterator<Item = (&str, &Rc<LinkedFunction>)> {
+        self.fn_by_name.iter().map(|(n, id)| (n.as_str(), &self.functions[id.0 as usize]))
+    }
+
+    /// Number of functions ever linked (old versions included).
+    pub fn code_store_len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Publishes a name binding: future symbolic calls to `name` reach
+    /// `id`. Under updateable linking this re-points the GIT slot, which is
+    /// the atomic switch of a dynamic update.
+    pub fn bind_function(&mut self, name: &str, id: FuncId) {
+        self.fn_by_name.insert(name.to_string(), id);
+        if let Some(&slot) = self.slot_by_name.get(name) {
+            self.slots[slot.0 as usize] = Some(id);
+        } else if self.mode == LinkMode::Updateable {
+            // Create the slot eagerly so later patches can link against it.
+            let slot = self.ensure_slot(name);
+            self.slots[slot.0 as usize] = Some(id);
+        }
+    }
+
+    /// Removes a name binding (function deletion in a patch). The code
+    /// itself stays in the store for frames still executing it; the GIT
+    /// slot, if any, becomes unbound and future calls through it trap.
+    pub fn unbind_function(&mut self, name: &str) {
+        self.fn_by_name.remove(name);
+        if let Some(&slot) = self.slot_by_name.get(name) {
+            self.slots[slot.0 as usize] = None;
+        }
+    }
+
+    fn ensure_slot(&mut self, name: &str) -> SlotId {
+        if let Some(&s) = self.slot_by_name.get(name) {
+            return s;
+        }
+        let id = SlotId(self.slots.len() as u32);
+        self.slots.push(self.fn_by_name.get(name).copied());
+        self.slot_by_name.insert(name.to_string(), id);
+        self.slot_names.push(name.to_string());
+        id
+    }
+
+    pub(crate) fn slot_target(&self, slot: SlotId) -> Option<FuncId> {
+        self.slots[slot.0 as usize]
+    }
+
+    pub(crate) fn slot_name(&self, slot: SlotId) -> &str {
+        &self.slot_names[slot.0 as usize]
+    }
+
+    /// Number of indirection-table slots (updateable mode metadata size).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    // ----------------------------------------------------------- code GC
+
+    /// Garbage-collects the code store: function versions superseded by
+    /// updates that are no longer reachable — not bound to any name, not
+    /// the target of any indirection slot, not on the suspended stack, not
+    /// called directly by retained code, and not held as a function value
+    /// anywhere in global state — are replaced by trapping tombstones and
+    /// their code freed. (The paper's linker likewise retains old code
+    /// only while frames may still run it.)
+    ///
+    /// Snapshots taken *before* a collection may refer to collected code;
+    /// restoring one afterwards can leave bindings that trap. Take fresh
+    /// snapshots after collecting.
+    ///
+    /// Returns `(collected, retained)` counts.
+    pub fn collect_code(&mut self) -> (usize, usize) {
+        let mut live = vec![false; self.functions.len()];
+        let mut work: Vec<FuncId> = Vec::new();
+        for id in self.fn_by_name.values() {
+            work.push(*id);
+        }
+        for slot in self.slots.iter().flatten() {
+            work.push(*slot);
+        }
+        for cell in &self.globals {
+            cell.value.for_each_fnref(&mut |r| {
+                if let FnRef::Direct(id) = r {
+                    work.push(id);
+                }
+            });
+            // Armed lazy transformers are called by FuncId on first read.
+            if let Some(fid) = cell.pending_transform {
+                work.push(fid);
+            }
+        }
+        // Suspended frames also hold function *values* in locals/stacks;
+        // conservatively scan them.
+        if let Some(st) = &self.suspended {
+            for f in st.frame_codes() {
+                if let Some(idx) = self.functions.iter().position(|g| Rc::ptr_eq(g, &f)) {
+                    work.push(FuncId(idx as u32));
+                }
+            }
+            for v in st.frame_values() {
+                v.for_each_fnref(&mut |r| {
+                    if let FnRef::Direct(id) = r {
+                        work.push(id);
+                    }
+                });
+            }
+        }
+        // Transitive closure over direct call/function-value targets.
+        while let Some(id) = work.pop() {
+            let idx = id.0 as usize;
+            if live[idx] {
+                continue;
+            }
+            live[idx] = true;
+            for op in &self.functions[idx].code {
+                match op {
+                    crate::ops::Op::CallDirect(t) | crate::ops::Op::PushFnDirect(t)
+                        if !live[t.0 as usize] => {
+                            work.push(*t);
+                        }
+                    _ => {}
+                }
+            }
+        }
+        let mut collected = 0;
+        for (idx, is_live) in live.iter().enumerate() {
+            if *is_live || self.functions[idx].code.first().is_none_or(|op| matches!(op, crate::ops::Op::Unreachable)) {
+                continue;
+            }
+            self.functions[idx] = Rc::new(LinkedFunction {
+                name: format!("<collected {}>", self.functions[idx].name),
+                version: self.functions[idx].version.clone(),
+                sig: self.functions[idx].sig.clone(),
+                param_count: self.functions[idx].param_count,
+                locals: Vec::new(),
+                code: vec![crate::ops::Op::Unreachable],
+                sym_refs: Vec::new(),
+                type_names: Vec::new(),
+            });
+            collected += 1;
+        }
+        (collected, self.functions.len() - collected)
+    }
+
+    // ------------------------------------------------------------- snapshot
+
+    /// Captures all mutable bindings, for rollback.
+    pub fn snapshot(&self) -> BindingSnapshot {
+        BindingSnapshot {
+            fn_by_name: self.fn_by_name.clone(),
+            slots: self.slots.clone(),
+            struct_by_name: self.struct_by_name.clone(),
+            globals: self.globals.clone(),
+        }
+    }
+
+    /// Restores bindings captured by [`Process::snapshot`]. Code and type
+    /// registrations added since remain in the stores (unreachable), exactly
+    /// like aborted patches in the paper's linker.
+    ///
+    /// # Panics
+    /// Panics if slots were created since the snapshot was taken *and* the
+    /// snapshot is restored onto a process whose tables shrank, which cannot
+    /// happen through the public API.
+    pub fn restore(&mut self, snap: BindingSnapshot) {
+        self.fn_by_name = snap.fn_by_name;
+        for (i, v) in snap.slots.iter().enumerate() {
+            self.slots[i] = *v;
+        }
+        // Slots created after the snapshot point at patch code; unbind them.
+        for i in snap.slots.len()..self.slots.len() {
+            self.slots[i] = None;
+        }
+        self.struct_by_name = snap.struct_by_name;
+        for (i, cell) in snap.globals.iter().enumerate() {
+            self.globals[i] = cell.clone();
+        }
+    }
+
+    // -------------------------------------------------------------- linking
+
+    /// Verifies and loads a complete module into an empty-ish process: the
+    /// initial program image. Types, globals and functions must all be new.
+    ///
+    /// # Errors
+    /// Fails when verification fails, a name clashes with an existing
+    /// definition, or a global initialiser traps.
+    pub fn load_module(&mut self, m: &Module) -> Result<(), LinkError> {
+        tal::verify_module(m, &ProcessTypes(self))?;
+        // Types first (functions and globals may mention them).
+        for def in &m.types {
+            match self.struct_id(&def.name) {
+                Some(existing) if self.struct_def(existing).same_structure(def) => {}
+                Some(_) => return Err(LinkError::TypeConflict(def.name.clone())),
+                None => {
+                    let id = self.register_struct(def.clone());
+                    self.bind_type_name(def.name.clone(), id);
+                }
+            }
+        }
+        for f in &m.functions {
+            if self.fn_by_name.contains_key(&f.name) {
+                return Err(LinkError::Duplicate(f.name.clone()));
+            }
+        }
+        // Global cells exist (with defaults) before function linking so
+        // code referencing them resolves; initialisers run after binding.
+        for g in &m.globals {
+            self.add_global(g.name.clone(), g.ty.clone(), Value::default_for(&g.ty))?;
+        }
+        let planned = self.link_functions(m, &LinkOverrides::default())?;
+        for (name, id) in planned {
+            self.bind_function(&name, id);
+        }
+        for g in &m.globals {
+            let v = self
+                .eval_init(m, g, &LinkOverrides::default())
+                .map_err(|trap| LinkError::InitTrap { name: g.name.clone(), trap })?;
+            self.set_global(&g.name, v);
+        }
+        Ok(())
+    }
+
+    /// Links every function of `m` into the code store and returns the
+    /// planned `(name, FuncId)` bindings **without publishing them**.
+    ///
+    /// Mutual references among `m`'s own functions resolve to the planned
+    /// ids; other references resolve against the process's current bindings
+    /// (or `overrides`). The update runtime publishes the bindings later via
+    /// [`Process::bind_function`] — that separation is what makes the bind
+    /// step of an update atomic.
+    ///
+    /// # Errors
+    /// Fails when a symbol is unresolved or resolves at a different type.
+    pub fn link_functions(
+        &mut self,
+        m: &Module,
+        overrides: &LinkOverrides,
+    ) -> Result<PlannedBindings, LinkError> {
+        // Phase 1: reserve ids for the module's own functions.
+        let mut ov = overrides.clone();
+        let base = self.functions.len() as u32;
+        let mut planned = Vec::with_capacity(m.functions.len());
+        for (i, f) in m.functions.iter().enumerate() {
+            let id = FuncId(base + i as u32);
+            planned.push((f.name.clone(), id));
+            ov.functions.entry(f.name.clone()).or_insert((id, f.sig.clone()));
+        }
+        // Phase 2: resolve and install.
+        let strings: Vec<Rc<str>> = m.strings.iter().map(|s| Rc::from(s.as_str())).collect();
+        for f in &m.functions {
+            let code = self.resolve_code(m, &f.code, &ov, &strings)?;
+            let sym_refs = f.referenced_symbols(m).into_iter().map(str::to_string).collect();
+            let type_names = f.referenced_types(m).into_iter().collect();
+            self.functions.push(Rc::new(LinkedFunction {
+                name: f.name.clone(),
+                version: m.version.clone(),
+                sig: f.sig.clone(),
+                param_count: f.sig.params.len(),
+                locals: f.locals.clone(),
+                code,
+                sym_refs,
+                type_names,
+            }));
+        }
+        Ok(planned)
+    }
+
+    /// Links and evaluates a global initialiser, returning the value.
+    ///
+    /// # Errors
+    /// Returns the trap raised by the initialiser, or a resolution trap.
+    pub fn eval_init(
+        &mut self,
+        m: &Module,
+        g: &GlobalDef,
+        overrides: &LinkOverrides,
+    ) -> Result<Value, Trap> {
+        let strings: Vec<Rc<str>> = m.strings.iter().map(|s| Rc::from(s.as_str())).collect();
+        let code = self
+            .resolve_code(m, &g.init, overrides, &strings)
+            .map_err(|e| Trap::Host(e.to_string()))?;
+        let f = Rc::new(LinkedFunction {
+            name: format!("<init {}>", g.name),
+            version: m.version.clone(),
+            sig: FnSig::new(vec![], g.ty.clone()),
+            param_count: 0,
+            locals: Vec::new(),
+            code,
+            sym_refs: Vec::new(),
+            type_names: Vec::new(),
+        });
+        self.call_linked(&f, Vec::new())
+    }
+
+    fn resolve_code(
+        &mut self,
+        m: &Module,
+        code: &[Instr],
+        ov: &LinkOverrides,
+        strings: &[Rc<str>],
+    ) -> Result<Vec<Op>, LinkError> {
+        let mut out = Vec::with_capacity(code.len());
+        for ins in code {
+            out.push(self.resolve_instr(m, ins, ov, strings)?);
+        }
+        Ok(out)
+    }
+
+    fn resolve_type(&self, m: &Module, tr: tal::TypeRefId, ov: &LinkOverrides) -> Result<StructId, LinkError> {
+        let name = m.type_ref(tr).expect("verified type ref");
+        if let Some(&id) = ov.types.get(name) {
+            return Ok(id);
+        }
+        self.struct_id(name)
+            .ok_or_else(|| LinkError::Unresolved { name: name.to_string(), kind: "type" })
+    }
+
+    /// Resolves a function symbol to a target and checks the signature.
+    fn resolve_fn(
+        &mut self,
+        name: &str,
+        want: &FnSig,
+        ov: &LinkOverrides,
+    ) -> Result<(FuncId, bool), LinkError> {
+        let (id, found_sig) = if let Some((id, sig)) = ov.functions.get(name) {
+            (*id, sig.clone())
+        } else if let Some(id) = self.fn_by_name.get(name) {
+            (*id, self.functions[id.0 as usize].sig.clone())
+        } else {
+            return Err(LinkError::Unresolved { name: name.to_string(), kind: "function" });
+        };
+        if &found_sig != want {
+            return Err(LinkError::TypeMismatch {
+                name: name.to_string(),
+                expected: want.to_string(),
+                found: found_sig.to_string(),
+            });
+        }
+        Ok((id, self.mode == LinkMode::Updateable))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn resolve_instr(
+        &mut self,
+        m: &Module,
+        ins: &Instr,
+        ov: &LinkOverrides,
+        strings: &[Rc<str>],
+    ) -> Result<Op, LinkError> {
+        use Instr as I;
+        Ok(match ins {
+            I::PushUnit => Op::PushUnit,
+            I::PushInt(n) => Op::PushInt(*n),
+            I::PushBool(b) => Op::PushBool(*b),
+            I::PushStr(s) => Op::PushStr(Rc::clone(&strings[s.0 as usize])),
+            I::PushNull(_) => Op::PushNull,
+            I::PushFn(s) => {
+                let sym = m.symbol(*s).expect("verified symbol");
+                let SymbolKind::Fn(sig) = &sym.kind else { unreachable!("verified kind") };
+                let (id, indirect) = self.resolve_fn(&sym.name, sig, ov)?;
+                if indirect {
+                    Op::PushFnSlot(self.ensure_slot(&sym.name))
+                } else {
+                    Op::PushFnDirect(id)
+                }
+            }
+            I::LoadLocal(n) => Op::LoadLocal(*n),
+            I::StoreLocal(n) => Op::StoreLocal(*n),
+            I::LoadGlobal(s) | I::StoreGlobal(s) => {
+                let sym = m.symbol(*s).expect("verified symbol");
+                let SymbolKind::Global(want) = &sym.kind else { unreachable!("verified kind") };
+                let id = *self
+                    .global_by_name
+                    .get(&sym.name)
+                    .ok_or_else(|| LinkError::Unresolved { name: sym.name.clone(), kind: "global" })?;
+                let found = &self.globals[id.0 as usize].ty;
+                if found != want {
+                    return Err(LinkError::TypeMismatch {
+                        name: sym.name.clone(),
+                        expected: want.to_string(),
+                        found: found.to_string(),
+                    });
+                }
+                if matches!(ins, I::LoadGlobal(_)) {
+                    Op::LoadGlobal(id)
+                } else {
+                    Op::StoreGlobal(id)
+                }
+            }
+            I::Dup => Op::Dup,
+            I::Pop => Op::Pop,
+            I::Swap => Op::Swap,
+            I::Add => Op::Add,
+            I::Sub => Op::Sub,
+            I::Mul => Op::Mul,
+            I::Div => Op::Div,
+            I::Rem => Op::Rem,
+            I::Neg => Op::Neg,
+            I::Eq => Op::Eq,
+            I::Ne => Op::Ne,
+            I::Lt => Op::Lt,
+            I::Le => Op::Le,
+            I::Gt => Op::Gt,
+            I::Ge => Op::Ge,
+            I::And => Op::And,
+            I::Or => Op::Or,
+            I::Not => Op::Not,
+            I::Concat => Op::Concat,
+            I::StrLen => Op::StrLen,
+            I::Substr => Op::Substr,
+            I::CharAt => Op::CharAt,
+            I::StrEq => Op::StrEq,
+            I::StrFind => Op::StrFind,
+            I::IntToStr => Op::IntToStr,
+            I::StrToInt => Op::StrToInt,
+            I::Jump(t) => Op::Jump(*t),
+            I::JumpIfFalse(t) => Op::JumpIfFalse(*t),
+            I::Call(s) => {
+                let sym = m.symbol(*s).expect("verified symbol");
+                let SymbolKind::Fn(sig) = &sym.kind else { unreachable!("verified kind") };
+                let (id, indirect) = self.resolve_fn(&sym.name, sig, ov)?;
+                if indirect {
+                    Op::CallSlot(self.ensure_slot(&sym.name))
+                } else {
+                    Op::CallDirect(id)
+                }
+            }
+            I::CallIndirect => Op::CallIndirect,
+            I::CallHost(s) => {
+                let sym = m.symbol(*s).expect("verified symbol");
+                let SymbolKind::Host(want) = &sym.kind else { unreachable!("verified kind") };
+                let id = *self
+                    .host_by_name
+                    .get(&sym.name)
+                    .ok_or_else(|| LinkError::Unresolved { name: sym.name.clone(), kind: "host" })?;
+                let found = &self.hosts[id.0 as usize].sig;
+                if found != want {
+                    return Err(LinkError::TypeMismatch {
+                        name: sym.name.clone(),
+                        expected: want.to_string(),
+                        found: found.to_string(),
+                    });
+                }
+                Op::CallHost(id, want.params.len() as u16)
+            }
+            I::Ret => Op::Ret,
+            I::NewRecord(tr) => {
+                let id = self.resolve_type(m, *tr, ov)?;
+                let n = self.struct_def(id).fields.len() as u16;
+                Op::NewRecord(id, n)
+            }
+            I::GetField(_, i) => Op::GetField(*i),
+            I::SetField(_, i) => Op::SetField(*i),
+            I::IsNull(_) => Op::IsNull,
+            I::NewArray(_) => Op::NewArray,
+            I::ArrayGet => Op::ArrayGet,
+            I::ArraySet => Op::ArraySet,
+            I::ArrayLen => Op::ArrayLen,
+            I::ArrayPush => Op::ArrayPush,
+            I::UpdatePoint => Op::UpdatePoint,
+            I::Nop => Op::Nop,
+        })
+    }
+
+    // ------------------------------------------------------------ execution
+
+    /// Resolves a function value to code, following an indirection slot.
+    pub(crate) fn deref_fn(&self, r: FnRef) -> Result<FuncId, Trap> {
+        match r {
+            FnRef::Direct(id) => Ok(id),
+            FnRef::Slot(slot) => self
+                .slot_target(slot)
+                .ok_or_else(|| Trap::UnboundSlot(self.slot_name(slot).to_string())),
+            FnRef::Unresolved => Err(Trap::UnresolvedFn),
+        }
+    }
+
+    fn entry_frame(&self, name: &str, args: Vec<Value>) -> Result<Frame, Trap> {
+        let id = self.function_id(name).ok_or_else(|| Trap::NoSuchFunction(name.to_string()))?;
+        let f = Rc::clone(&self.functions[id.0 as usize]);
+        if f.param_count != args.len() {
+            return Err(Trap::BadEntryArity { expected: f.param_count, got: args.len() });
+        }
+        Ok(Frame::new(f, args))
+    }
+
+    /// Calls a bound function to completion. Update points inside the call
+    /// are ignored (used for state transformers and direct host-driven
+    /// entry points).
+    ///
+    /// # Errors
+    /// Returns any [`Trap`] the guest raises.
+    pub fn call(&mut self, name: &str, args: Vec<Value>) -> Result<Value, Trap> {
+        let frame = self.entry_frame(name, args)?;
+        let mut st = ExecState::with_frame(frame);
+        match exec(self, &mut st, false)? {
+            Outcome::Done(v) => Ok(v),
+            Outcome::Suspended => unreachable!("update points disabled"),
+        }
+    }
+
+    /// Calls a specific linked function (bound or not) to completion —
+    /// used by the update runtime to run freshly linked state transformers
+    /// before their module's names are published.
+    ///
+    /// # Errors
+    /// Returns any [`Trap`] the guest raises.
+    pub fn call_fid(&mut self, id: FuncId, args: Vec<Value>) -> Result<Value, Trap> {
+        let f = Rc::clone(&self.functions[id.0 as usize]);
+        self.call_linked(&f, args)
+    }
+
+    fn call_linked(&mut self, f: &Rc<LinkedFunction>, args: Vec<Value>) -> Result<Value, Trap> {
+        let mut st = ExecState::with_frame(Frame::new(Rc::clone(f), args));
+        match exec(self, &mut st, false)? {
+            Outcome::Done(v) => Ok(v),
+            Outcome::Suspended => unreachable!("update points disabled"),
+        }
+    }
+
+    /// Runs a bound function, honouring update points: when an update has
+    /// been requested via [`Process::request_update`] and the guest reaches
+    /// an `update.point`, execution suspends with
+    /// [`Outcome::Suspended`]. Apply the update, then [`Process::resume`].
+    ///
+    /// # Errors
+    /// Returns any [`Trap`] the guest raises.
+    pub fn run(&mut self, name: &str, args: Vec<Value>) -> Result<Outcome, Trap> {
+        assert!(self.suspended.is_none(), "process already suspended; resume first");
+        let frame = self.entry_frame(name, args)?;
+        let mut st = ExecState::with_frame(frame);
+        let out = exec(self, &mut st, true)?;
+        if matches!(out, Outcome::Suspended) {
+            self.suspended = Some(st);
+        }
+        Ok(out)
+    }
+
+    /// Resumes a run suspended at an update point.
+    ///
+    /// # Errors
+    /// Returns any [`Trap`] the guest raises.
+    ///
+    /// # Panics
+    /// Panics when the process is not suspended.
+    pub fn resume(&mut self) -> Result<Outcome, Trap> {
+        let mut st = self.suspended.take().expect("process is suspended");
+        let out = exec(self, &mut st, true)?;
+        if matches!(out, Outcome::Suspended) {
+            self.suspended = Some(st);
+        }
+        Ok(out)
+    }
+
+    /// Whether a run is currently suspended at an update point.
+    pub fn is_suspended(&self) -> bool {
+        self.suspended.is_some()
+    }
+
+    /// Abandons a suspended run (e.g. after a failed update in strict
+    /// mode). The guest stack is dropped; the process state is otherwise
+    /// untouched. No-op when not suspended.
+    pub fn discard_suspended(&mut self) {
+        self.suspended = None;
+    }
+
+    /// Names of the functions on the suspended guest stack, innermost last
+    /// (the update runtime's *activeness check* inspects this).
+    pub fn suspended_stack(&self) -> Vec<String> {
+        self.suspended
+            .as_ref()
+            .map(|st| st.frame_functions())
+            .unwrap_or_default()
+    }
+
+    /// The linked functions of the suspended guest stack's frames (old
+    /// code versions included) — the update runtime's safety analysis
+    /// inspects what active code can still reference.
+    pub fn suspended_frames(&self) -> Vec<Rc<LinkedFunction>> {
+        self.suspended
+            .as_ref()
+            .map(|st| st.frame_codes())
+            .unwrap_or_default()
+    }
+
+    /// Requests that the next executed update point suspend the run.
+    pub fn request_update(&mut self, requested: bool) {
+        self.update_requested = requested;
+    }
+
+    /// Whether an update request is pending.
+    pub fn update_requested(&self) -> bool {
+        self.update_requested
+    }
+}
+
+/// [`TypeProvider`] view of a process's current type-name bindings, used to
+/// verify patch modules against the running program's types.
+pub struct ProcessTypes<'a>(pub &'a Process);
+
+impl TypeProvider for ProcessTypes<'_> {
+    fn lookup_type(&self, name: &str) -> Option<&TypeDef> {
+        self.0.struct_id(name).map(|id| self.0.struct_def(id))
+    }
+}

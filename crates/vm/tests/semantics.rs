@@ -1,0 +1,327 @@
+//! Interpreter semantics suite: arithmetic edges, traps, aliasing,
+//! suspension, linking corner cases. Guest programs are written in
+//! Popcorn for readability; the properties under test are the VM's.
+
+use popcorn::Interface;
+use vm::{LinkMode, Outcome, Process, Trap, Value};
+
+fn boot(src: &str) -> Process {
+    let m = popcorn::compile(src, "t", "v1", &Interface::new()).expect("compiles");
+    let mut p = Process::new(LinkMode::Updateable);
+    p.load_module(&m).expect("links");
+    p
+}
+
+fn run1(src: &str, entry: &str, arg: i64) -> Result<Value, Trap> {
+    boot(src).call(entry, vec![Value::Int(arg)])
+}
+
+// ----------------------------- arithmetic -----------------------------
+
+#[test]
+fn integer_arithmetic_wraps() {
+    let src = "fun f(x: int): int { return x + 1; }";
+    assert_eq!(run1(src, "f", i64::MAX).unwrap(), Value::Int(i64::MIN));
+    let src = "fun f(x: int): int { return x * 2; }";
+    assert_eq!(run1(src, "f", i64::MAX).unwrap(), Value::Int(-2));
+    let src = "fun f(x: int): int { return -x; }";
+    assert_eq!(run1(src, "f", i64::MIN).unwrap(), Value::Int(i64::MIN));
+}
+
+#[test]
+fn division_and_remainder_signs() {
+    let src = "fun f(x: int): int { return x / 3; }";
+    assert_eq!(run1(src, "f", -7).unwrap(), Value::Int(-2), "trunc toward zero");
+    let src = "fun f(x: int): int { return x % 3; }";
+    assert_eq!(run1(src, "f", -7).unwrap(), Value::Int(-1));
+    let src = "fun f(x: int): int { return 1 % x; }";
+    assert_eq!(run1(src, "f", 0).unwrap_err(), Trap::DivByZero);
+}
+
+// ------------------------------- strings -------------------------------
+
+#[test]
+fn string_ops_edges() {
+    let p = |src: &str, s: &str| boot(src).call("f", vec![Value::str(s)]).unwrap();
+    assert_eq!(p("fun f(s: string): int { return len(s); }", ""), Value::Int(0));
+    assert_eq!(
+        p("fun f(s: string): string { return substr(s, -5, 100); }", "abc"),
+        Value::str("abc"),
+        "substr clamps"
+    );
+    assert_eq!(
+        p("fun f(s: string): string { return substr(s, 1, 0); }", "abc"),
+        Value::str("")
+    );
+    assert_eq!(p("fun f(s: string): int { return find(s, \"\"); }", "abc"), Value::Int(0));
+    assert_eq!(p("fun f(s: string): int { return find(s, \"zz\"); }", "abc"), Value::Int(-1));
+    assert_eq!(p("fun f(s: string): int { return atoi(s); }", "  42abc"), Value::Int(42));
+    assert_eq!(p("fun f(s: string): int { return atoi(s); }", "-"), Value::Int(0));
+}
+
+#[test]
+fn char_at_bounds_trap() {
+    let src = "fun f(x: int): int { return char_at(\"ab\", x); }";
+    assert_eq!(run1(src, "f", 1).unwrap(), Value::Int(i64::from(b'b')));
+    assert_eq!(run1(src, "f", 2).unwrap_err(), Trap::IndexOutOfBounds { index: 2, len: 2 });
+    assert_eq!(run1(src, "f", -1).unwrap_err(), Trap::IndexOutOfBounds { index: -1, len: 2 });
+}
+
+#[test]
+fn utf8_substr_stays_on_boundaries() {
+    // Slicing through a multi-byte char must not panic; it clamps to the
+    // previous boundary.
+    let mut p = boot("fun f(s: string): string { return substr(s, 0, 2); }");
+    let out = p.call("f", vec![Value::str("aé")]).unwrap();
+    assert_eq!(out, Value::str("a"));
+}
+
+// ------------------------------- arrays -------------------------------
+
+#[test]
+fn array_bounds_traps() {
+    let src = r#"
+        fun f(i: int): int {
+            var a: [int] = [10, 20];
+            return a[i];
+        }
+    "#;
+    assert_eq!(run1(src, "f", 1).unwrap(), Value::Int(20));
+    assert_eq!(run1(src, "f", 2).unwrap_err(), Trap::IndexOutOfBounds { index: 2, len: 2 });
+    assert_eq!(run1(src, "f", -1).unwrap_err(), Trap::IndexOutOfBounds { index: -1, len: 2 });
+}
+
+#[test]
+fn arrays_and_records_alias() {
+    // C-like reference semantics: two variables naming the same record
+    // observe each other's writes.
+    let src = r#"
+        struct box { v: int }
+        fun f(x: int): int {
+            var a: box = box { v: x };
+            var b: box = a;
+            b.v = b.v + 1;
+            var xs: [box] = [a];
+            xs[0].v = xs[0].v + 10;
+            return a.v;
+        }
+    "#;
+    assert_eq!(run1(src, "f", 1).unwrap(), Value::Int(12));
+}
+
+#[test]
+fn fresh_defaults_per_call_do_not_alias() {
+    // Each call's array-typed local must be a fresh array, not a shared
+    // default.
+    let src = r#"
+        fun f(x: int): int {
+            var a: [int] = new [int];
+            push(a, x);
+            return len(a);
+        }
+    "#;
+    let mut p = boot(src);
+    assert_eq!(p.call("f", vec![Value::Int(1)]).unwrap(), Value::Int(1));
+    assert_eq!(p.call("f", vec![Value::Int(1)]).unwrap(), Value::Int(1), "no leak across calls");
+}
+
+// ----------------------------- suspension -----------------------------
+
+#[test]
+fn suspension_preserves_locals_and_operands() {
+    let src = r#"
+        fun f(x: int): int {
+            var acc: int = x * 10;
+            update;
+            return acc + x;
+        }
+    "#;
+    let mut p = boot(src);
+    p.request_update(true);
+    assert_eq!(p.run("f", vec![Value::Int(3)]).unwrap(), Outcome::Suspended);
+    p.request_update(false);
+    assert_eq!(p.resume().unwrap(), Outcome::Done(Value::Int(33)));
+}
+
+#[test]
+fn nested_suspension_reports_full_stack() {
+    let src = r#"
+        fun inner(): int { update; return 1; }
+        fun outer(): int { return inner() + 1; }
+    "#;
+    let mut p = boot(src);
+    p.request_update(true);
+    assert_eq!(p.run("outer", vec![]).unwrap(), Outcome::Suspended);
+    assert_eq!(p.suspended_stack(), vec!["outer".to_string(), "inner".to_string()]);
+    p.request_update(false);
+    assert_eq!(p.resume().unwrap(), Outcome::Done(Value::Int(2)));
+}
+
+#[test]
+fn calls_during_suspension_use_a_separate_stack() {
+    let src = r#"
+        global g: int = 0;
+        fun probe(): int { return g; }
+        fun f(): int { g = 7; update; return g; }
+    "#;
+    let mut p = boot(src);
+    p.request_update(true);
+    assert_eq!(p.run("f", vec![]).unwrap(), Outcome::Suspended);
+    // A helper call while suspended (as transformers do) works fine.
+    assert_eq!(p.call("probe", vec![]).unwrap(), Value::Int(7));
+    p.request_update(false);
+    assert_eq!(p.resume().unwrap(), Outcome::Done(Value::Int(7)));
+}
+
+#[test]
+fn discard_suspended_allows_fresh_runs() {
+    let mut p = boot("fun f(): int { update; return 1; }");
+    p.request_update(true);
+    assert_eq!(p.run("f", vec![]).unwrap(), Outcome::Suspended);
+    p.discard_suspended();
+    p.request_update(false);
+    assert_eq!(p.run("f", vec![]).unwrap(), Outcome::Done(Value::Int(1)));
+}
+
+// ------------------------------ linking ------------------------------
+
+#[test]
+fn entry_point_errors() {
+    let mut p = boot("fun f(x: int): int { return x; }");
+    assert_eq!(
+        p.call("ghost", vec![]).unwrap_err(),
+        Trap::NoSuchFunction("ghost".to_string())
+    );
+    assert_eq!(
+        p.call("f", vec![]).unwrap_err(),
+        Trap::BadEntryArity { expected: 1, got: 0 }
+    );
+}
+
+#[test]
+fn duplicate_initial_load_is_rejected() {
+    let m = popcorn::compile("fun f(): int { return 1; }", "t", "v1", &Interface::new()).unwrap();
+    let mut p = Process::new(LinkMode::Updateable);
+    p.load_module(&m).unwrap();
+    let e = p.load_module(&m).unwrap_err();
+    assert!(matches!(e, vm::LinkError::Duplicate(_)), "{e}");
+}
+
+#[test]
+fn conflicting_type_definition_is_rejected() {
+    let m1 = popcorn::compile("struct s { v: int } fun f(x: s): int { return x.v; }", "a", "v1", &Interface::new()).unwrap();
+    let m2 = popcorn::compile("struct s { v: bool } fun g(x: s): bool { return x.v; }", "b", "v1", &Interface::new()).unwrap();
+    let mut p = Process::new(LinkMode::Updateable);
+    p.load_module(&m1).unwrap();
+    let e = p.load_module(&m2).unwrap_err();
+    assert!(matches!(e, vm::LinkError::TypeConflict(_)), "{e}");
+}
+
+#[test]
+fn identical_type_definition_is_shared() {
+    let m1 = popcorn::compile("struct s { v: int } fun f(x: s): int { return x.v; }", "a", "v1", &Interface::new()).unwrap();
+    let m2 = popcorn::compile("struct s { v: int } fun g(): s { return s { v: 3 }; }", "b", "v1", &Interface::new()).unwrap();
+    let mut p = Process::new(LinkMode::Updateable);
+    p.load_module(&m1).unwrap();
+    p.load_module(&m2).unwrap();
+    // Records built by module b flow into module a's functions.
+    let v = p.call("g", vec![]).unwrap();
+    assert_eq!(p.call("f", vec![v]).unwrap(), Value::Int(3));
+}
+
+#[test]
+fn init_trap_is_reported_as_link_error() {
+    let m = popcorn::compile("global g: int = 1 / 0; fun f(): int { return g; }", "t", "v1", &Interface::new()).unwrap();
+    let mut p = Process::new(LinkMode::Static);
+    let e = p.load_module(&m).unwrap_err();
+    assert!(
+        matches!(&e, vm::LinkError::InitTrap { name, trap: Trap::DivByZero } if name == "g"),
+        "{e}"
+    );
+}
+
+#[test]
+fn stats_accumulate_across_calls() {
+    // `calls` counts guest-to-guest calls; host-driven entries are not
+    // guest calls.
+    let mut p = boot(
+        "fun helper(x: int): int { return x + 1; }\
+         fun f(x: int): int { return helper(x); }",
+    );
+    p.call("f", vec![Value::Int(1)]).unwrap();
+    let after_one = p.stats.instrs;
+    assert_eq!(p.stats.calls, 1);
+    p.call("f", vec![Value::Int(1)]).unwrap();
+    assert_eq!(p.stats.instrs, after_one * 2);
+    assert_eq!(p.stats.calls, 2);
+}
+
+#[test]
+fn heap_size_tracks_global_state() {
+    let src = r#"
+        global xs: [string] = new [string];
+        fun grow(): int { push(xs, "0123456789"); return len(xs); }
+    "#;
+    let mut p = boot(src);
+    let h0 = p.heap_size();
+    p.call("grow", vec![]).unwrap();
+    let h1 = p.heap_size();
+    assert!(h1 > h0, "{h0} -> {h1}");
+    p.call("grow", vec![]).unwrap();
+    assert!(p.heap_size() > h1);
+}
+
+#[test]
+fn uninitialised_function_pointer_traps_not_panics() {
+    let src = r#"
+        fun f(): int {
+            var g: fn(): int = &f;
+            var h: fn(): int = g;
+            return 0;
+        }
+        fun bad(): int {
+            var g: fn(): int = &f;
+            if (false) { return g(); }
+            var h: fn(): int = h2();
+            return h();
+        }
+        fun h2(): fn(): int {
+            var x: fn(): int = &f;
+            return x;
+        }
+    "#;
+    // Exercise the declared-but-defaulted path through raw tal instead:
+    // a fn-typed local read before assignment.
+    let mut b = tal::ModuleBuilder::new("m", "v1");
+    b.function("g", tal::FnSig::new(vec![], tal::Ty::Int), |f| {
+        let l = f.local(tal::Ty::func(vec![], tal::Ty::Int));
+        f.emit(tal::Instr::LoadLocal(l));
+        f.emit(tal::Instr::CallIndirect);
+        f.emit(tal::Instr::Ret);
+    });
+    let mut p = Process::new(LinkMode::Static);
+    p.load_module(&b.finish()).unwrap();
+    assert_eq!(p.call("g", vec![]).unwrap_err(), Trap::UnresolvedFn);
+    // And the popcorn source above still compiles and runs.
+    let mut p = boot(src);
+    assert_eq!(p.call("f", vec![]).unwrap(), Value::Int(0));
+}
+
+#[test]
+fn fuel_limits_runaway_loops() {
+    let mut p = boot("fun spin(): int { while (true) { } return 0; }");
+    p.set_fuel(Some(10_000));
+    assert_eq!(p.call("spin", vec![]).unwrap_err(), Trap::OutOfFuel);
+    // Refuelling allows further work.
+    p.set_fuel(Some(1_000_000));
+    assert_eq!(
+        boot("fun f(): int { return 1; }").call("f", vec![]).unwrap(),
+        Value::Int(1)
+    );
+    let mut p2 = boot("fun f(): int { return 1; }");
+    p2.set_fuel(Some(1_000));
+    assert_eq!(p2.call("f", vec![]).unwrap(), Value::Int(1));
+    // Removing the limit restores unlimited execution.
+    p2.set_fuel(None);
+    assert_eq!(p2.call("f", vec![]).unwrap(), Value::Int(1));
+}

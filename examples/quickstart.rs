@@ -1,0 +1,65 @@
+//! Quickstart: dynamically update a running program without stopping it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dsu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An "updateable" program: compiled once, linked so that every call
+    //    goes through the dynamic linker's indirection table.
+    let v1 = popcorn::compile(
+        r#"
+        global count: int = 0;
+        fun step(): int {
+            count = count + 1;
+            return count;
+        }
+        fun describe(): string {
+            return "counter at " + itoa(count);
+        }
+        "#,
+        "counter",
+        "v1",
+        &popcorn::Interface::new(),
+    )?;
+    let mut proc = Process::new(LinkMode::Updateable);
+    proc.load_module(&v1)?;
+
+    // 2. Run it for a while; it accumulates state.
+    for _ in 0..5 {
+        proc.call("step", vec![])?;
+    }
+    println!("before update: {}", proc.call("describe", vec![])?);
+
+    // 3. Build a dynamic patch: `step` now counts by 10, and `describe`
+    //    is more verbose. The patch compiles against the *running
+    //    process's* interface and is verified before linking.
+    let patch = compile_patch(
+        r#"
+        fun step(): int {
+            count = count + 10;
+            return count;
+        }
+        fun describe(): string {
+            return "v2 counter at " + itoa(count);
+        }
+        "#,
+        "v1",
+        "v2",
+        &interface_of(&proc),
+        Manifest {
+            replaces: vec!["step".into(), "describe".into()],
+            ..Manifest::default()
+        },
+    )?;
+
+    // 4. Apply it. State (count = 5) survives; behaviour changes.
+    let report = apply_patch(&mut proc, &patch, UpdatePolicy::default())?;
+    println!("update applied: {report}");
+
+    proc.call("step", vec![])?;
+    println!("after update:  {}", proc.call("describe", vec![])?);
+    assert_eq!(proc.global_value("count"), Some(Value::Int(15)));
+
+    Ok(())
+}

@@ -1,0 +1,225 @@
+//! `dsud` — the dynamic software updating driver.
+//!
+//! A small operator tool over the library, in the spirit of the paper's
+//! command-line tooling:
+//!
+//! ```text
+//! dsud check <prog.pop> [--dis]          compile + verify (+ disassemble)
+//! dsud compile <prog.pop> -o <out.tal>   emit textual object code
+//! dsud run <prog.pop> [--entry f] [--arg N]
+//!          [--update <next.pop>]...      live-update through version files
+//!          [--patch <file.dpatch>]...    or through pre-built patch files
+//! dsud diff <old.pop> <new.pop> [-o <file.dpatch>]
+//!                                        generate (and optionally save) a patch
+//! dsud size <prog.pop>                   static vs updateable image size
+//! ```
+//!
+//! Programs get two host functions: `print(string): unit` and
+//! `now_ms(): int`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dsu::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("size") => cmd_size(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dsud check <prog.pop> [--dis]\n\
+                 \x20      dsud compile <prog.pop> -o <out.tal>\n\
+                 \x20      dsud run <prog.pop> [--entry f] [--arg N] \
+                 [--update <next.pop>]... [--patch <file.dpatch>]...\n\
+                 \x20      dsud diff <old.pop> <new.pop> [-o <file.dpatch>]\n\
+                 \x20      dsud size <prog.pop>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dsud: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Anyhow = Box<dyn std::error::Error>;
+
+fn read(path: &str) -> Result<String, Anyhow> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}").into())
+}
+
+fn compile(path: &str, version: &str) -> Result<tal::Module, Anyhow> {
+    let src = read(path)?;
+    let m = popcorn::compile(&src, path, version, &popcorn::Interface::new())?;
+    tal::verify_module(&m, &tal::NoAmbientTypes)?;
+    Ok(m)
+}
+
+fn cmd_check(args: &[String]) -> Result<(), Anyhow> {
+    let path = args.first().ok_or("check: missing program path")?;
+    let m = compile(path, "v1")?;
+    println!(
+        "{path}: OK — {} functions, {} globals, {} types, {} symbols",
+        m.functions.len(),
+        m.globals.len(),
+        m.types.len(),
+        m.symbols.len()
+    );
+    if args.iter().any(|a| a == "--dis") {
+        print!("{m}");
+    }
+    Ok(())
+}
+
+fn boot(path: &str) -> Result<Process, Anyhow> {
+    let src = read(path)?;
+    let module = popcorn::compile(&src, path, "v1", &popcorn::Interface::new())?;
+    let mut proc = Process::new(LinkMode::Updateable);
+    let t0 = Instant::now();
+    proc.register_host(
+        "print",
+        tal::FnSig::new(vec![tal::Ty::Str], tal::Ty::Unit),
+        Box::new(|args| {
+            println!("{}", args[0].as_str());
+            Ok(Value::Unit)
+        }),
+    );
+    proc.register_host(
+        "now_ms",
+        tal::FnSig::new(vec![], tal::Ty::Int),
+        Box::new(move |_| Ok(Value::Int(t0.elapsed().as_millis() as i64))),
+    );
+    proc.load_module(&module)?;
+    Ok(proc)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Anyhow> {
+    let path = args.first().ok_or("run: missing program path")?;
+    let mut entry = "main".to_string();
+    let mut call_args: Vec<Value> = Vec::new();
+    let mut updates: Vec<String> = Vec::new();
+    let mut patches: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--entry" => {
+                entry = args.get(i + 1).ok_or("--entry needs a value")?.clone();
+                i += 2;
+            }
+            "--arg" => {
+                let raw = args.get(i + 1).ok_or("--arg needs a value")?;
+                call_args.push(Value::Int(raw.parse::<i64>().map_err(|_| "--arg must be an integer")?));
+                i += 2;
+            }
+            "--update" => {
+                updates.push(args.get(i + 1).ok_or("--update needs a path")?.clone());
+                i += 2;
+            }
+            "--patch" => {
+                patches.push(args.get(i + 1).ok_or("--patch needs a path")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("run: unknown flag `{other}`").into()),
+        }
+    }
+
+    let mut proc = boot(path)?;
+    let mut updater = Updater::new();
+
+    // Pre-built patch files are queued first, in the order given.
+    for ppath in &patches {
+        let patch = dsu::core::load_patch(&read(ppath)?)?;
+        eprintln!(
+            "dsud: queued patch file {ppath} ({} -> {})",
+            patch.from_version, patch.to_version
+        );
+        updater.enqueue(&mut proc, patch);
+    }
+
+    // Generate and queue a patch per successive version; they apply in
+    // order at the program's `update;` points.
+    let mut prev_src = read(path)?;
+    let mut prev_name = path.clone();
+    for (n, upath) in updates.iter().enumerate() {
+        let next_src = read(upath)?;
+        let gen = PatchGen::new().generate(
+            &prev_src,
+            &next_src,
+            &format!("v{}", n + 1),
+            &format!("v{}", n + 2),
+        )?;
+        eprintln!(
+            "dsud: queued {prev_name} -> {upath} ({} replaced, {} added, {} transformers)",
+            gen.patch.manifest.replaces.len(),
+            gen.patch.manifest.adds.len(),
+            gen.patch.manifest.transformers.len()
+        );
+        updater.enqueue(&mut proc, gen.patch);
+        prev_src = next_src;
+        prev_name = upath.clone();
+    }
+
+    let out = updater.run(&mut proc, &entry, call_args)?;
+    for report in updater.log() {
+        eprintln!("dsud: applied {report}");
+    }
+    println!("{out}");
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), Anyhow> {
+    let path = args.first().ok_or("compile: missing program path")?;
+    let out = match (args.get(1).map(String::as_str), args.get(2)) {
+        (Some("-o"), Some(out)) => out.clone(),
+        _ => format!("{path}.tal"),
+    };
+    let m = compile(path, "v1")?;
+    std::fs::write(&out, tal::text::emit(&m))?;
+    eprintln!("dsud: wrote {out}");
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), Anyhow> {
+    let old = args.first().ok_or("diff: missing old path")?;
+    let new = args.get(1).ok_or("diff: missing new path")?;
+    let gen = PatchGen::new().generate(&read(old)?, &read(new)?, "old", "new")?;
+    if let (Some(flag), Some(out)) = (args.get(2), args.get(3)) {
+        if flag == "-o" {
+            std::fs::write(out, dsu::core::save_patch(&gen.patch))?;
+            eprintln!("dsud: wrote {out}");
+            return Ok(());
+        }
+    }
+    println!("# stats: {:?}", gen.stats);
+    println!("# manifest: {:#?}", gen.patch.manifest);
+    println!("# --- composed patch source ---");
+    print!("{}", gen.source);
+    Ok(())
+}
+
+fn cmd_size(args: &[String]) -> Result<(), Anyhow> {
+    let path = args.first().ok_or("size: missing program path")?;
+    let m = compile(path, "v1")?;
+    let r = m.size_report();
+    println!(
+        "{path}: code {}B, symbols {}B, strings {}B, types {}B\n\
+         static image {}B, updateable image {}B (+{:.1}%)",
+        r.code_bytes,
+        r.symbol_bytes,
+        r.string_bytes,
+        r.type_bytes,
+        r.static_total(),
+        r.updateable_total(),
+        r.overhead_percent()
+    );
+    Ok(())
+}

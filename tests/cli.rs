@@ -1,0 +1,157 @@
+//! End-to-end tests of the `dsud` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dsud() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dsud"))
+}
+
+fn write_tmp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsud-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let p = dir.join(name);
+    std::fs::write(&p, contents).expect("write");
+    p
+}
+
+const V1: &str = r#"
+extern fun print(s: string): unit;
+global total: int = 0;
+fun step(i: int): int { total = total + i; return total; }
+fun main(n: int): int {
+    var i: int = 0;
+    while (i < n) {
+        print("t=" + itoa(step(i)));
+        update;
+        i = i + 1;
+    }
+    return total;
+}
+"#;
+
+const V2: &str = r#"
+extern fun print(s: string): unit;
+global total: int = 0;
+fun step(i: int): int { total = total + i * 100; return total; }
+fun main(n: int): int {
+    var i: int = 0;
+    while (i < n) {
+        print("t=" + itoa(step(i)));
+        update;
+        i = i + 1;
+    }
+    return total;
+}
+"#;
+
+#[test]
+fn check_accepts_valid_and_rejects_invalid() {
+    let good = write_tmp("good.pop", V1);
+    let out = dsud().args(["check", good.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    let bad = write_tmp("bad.pop", "fun f(): int { return true; }");
+    let out = dsud().args(["check", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected int"));
+}
+
+#[test]
+fn check_dis_prints_disassembly() {
+    let good = write_tmp("dis.pop", V1);
+    let out = dsud().args(["check", good.to_str().unwrap(), "--dis"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fun main"), "{text}");
+    assert!(text.contains("update.point"), "{text}");
+}
+
+#[test]
+fn run_executes_and_applies_updates() {
+    let v1 = write_tmp("run_v1.pop", V1);
+    let v2 = write_tmp("run_v2.pop", V2);
+    // Without update: 0+1+2+3 = 6.
+    let out = dsud()
+        .args(["run", v1.to_str().unwrap(), "--arg", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).trim().ends_with("6"));
+
+    // With the v2 patch queued: first iteration on v1 (0), then v2
+    // (100, 200, 300) -> total 600.
+    let out = dsud()
+        .args(["run", v1.to_str().unwrap(), "--arg", "4", "--update", v2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim().ends_with("600"), "{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("applied"));
+}
+
+#[test]
+fn diff_saves_patch_file_that_run_consumes() {
+    let v1 = write_tmp("d_v1.pop", V1);
+    let v2 = write_tmp("d_v2.pop", V2);
+    let patch = write_tmp("d.dpatch", "");
+    let out = dsud()
+        .args([
+            "diff",
+            v1.to_str().unwrap(),
+            v2.to_str().unwrap(),
+            "-o",
+            patch.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let contents = std::fs::read_to_string(&patch).unwrap();
+    assert!(contents.starts_with("dsu-patch 1"), "{contents}");
+
+    let out = dsud()
+        .args(["run", v1.to_str().unwrap(), "--arg", "4", "--patch", patch.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).trim().ends_with("600"));
+}
+
+#[test]
+fn compile_emits_parseable_object_text() {
+    let v1 = write_tmp("c_v1.pop", V1);
+    let out_path = write_tmp("c_v1.tal", "");
+    let out = dsud()
+        .args(["compile", v1.to_str().unwrap(), "-o", out_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let m = tal::text::parse(&text).expect("compiled output parses");
+    assert!(m.function("main").is_some());
+}
+
+#[test]
+fn size_reports_overheads() {
+    let v1 = write_tmp("s_v1.pop", V1);
+    let out = dsud().args(["size", v1.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("updateable image"), "{text}");
+}
+
+#[test]
+fn usage_on_bad_invocations() {
+    let out = dsud().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = dsud().args(["run"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing program path"));
+
+    let out = dsud().args(["run", "/no/such/file.pop"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

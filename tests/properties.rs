@@ -1,0 +1,601 @@
+//! Property-based tests over the core invariants:
+//!
+//! * **Verifier soundness (fuzz)** — for arbitrary instruction sequences,
+//!   the verifier never panics, and anything it accepts executes without
+//!   violating the interpreter's invariants (traps are fine, panics are
+//!   not).
+//! * **Pretty-printer fixed point** — printing a parsed program is stable,
+//!   which is what the patch generator's text-level diffing relies on.
+//! * **Patch-generation round trip** — for a generated family of struct
+//!   growth changes, the synthesised transformer preserves live state.
+//! * **Workload sampler** — Zipf sampling stays in range and is
+//!   deterministic in the seed.
+
+use proptest::prelude::*;
+
+use popcorn::ast::{BinOp, Expr, ExprKind, Program, Stmt, StmtKind, TypeAst, UnOp};
+use tal::{Field, FnSig, Instr, ModuleBuilder, Ty, TypeDef};
+use vm::{LinkMode, Process, Value};
+
+// =========================== verifier fuzz ===========================
+
+/// A positional template for one instruction; jump offsets are made
+/// forward-only so accepted programs always terminate (no calls, no
+/// backward edges).
+#[derive(Debug, Clone)]
+struct Tpl {
+    opcode: u8,
+    operand: u32,
+}
+
+fn tpl() -> impl Strategy<Value = Tpl> {
+    (any::<u8>(), any::<u32>()).prop_map(|(opcode, operand)| Tpl { opcode, operand })
+}
+
+fn materialize(i: usize, len: usize, t: &Tpl, tr: tal::TypeRefId, s: tal::StrId) -> Instr {
+    let fwd = |op: u32| -> u32 {
+        let remaining = (len - i - 1).max(1);
+        (i + 1 + (op as usize % remaining)).min(len - 1) as u32
+    };
+    match t.opcode % 36 {
+        0 => Instr::PushInt(i64::from(t.operand % 100)),
+        1 => Instr::PushBool(t.operand.is_multiple_of(2)),
+        2 => Instr::PushStr(s),
+        3 => Instr::PushUnit,
+        4 => Instr::PushNull(tr),
+        5 => Instr::LoadLocal((t.operand % 4) as u16),
+        6 => Instr::StoreLocal((t.operand % 4) as u16),
+        7 => Instr::Dup,
+        8 => Instr::Pop,
+        9 => Instr::Swap,
+        10 => Instr::Add,
+        11 => Instr::Sub,
+        12 => Instr::Mul,
+        13 => Instr::Div,
+        14 => Instr::Rem,
+        15 => Instr::Neg,
+        16 => Instr::Eq,
+        17 => Instr::Lt,
+        18 => Instr::Ge,
+        19 => Instr::And,
+        20 => Instr::Not,
+        21 => Instr::Concat,
+        22 => Instr::StrLen,
+        23 => Instr::Substr,
+        24 => Instr::CharAt,
+        25 => Instr::StrEq,
+        26 => Instr::StrFind,
+        27 => Instr::IntToStr,
+        28 => Instr::StrToInt,
+        29 => Instr::Jump(fwd(t.operand)),
+        30 => Instr::JumpIfFalse(fwd(t.operand)),
+        31 => Instr::NewRecord(tr),
+        32 => Instr::GetField(tr, (t.operand % 2) as u16),
+        33 => Instr::IsNull(tr),
+        34 => Instr::NewArray(Ty::Int),
+        35 => Instr::Ret,
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The verifier must never panic, and verified code must never panic
+    /// the interpreter (C-like traps are allowed).
+    #[test]
+    fn verifier_soundness_fuzz(tpls in prop::collection::vec(tpl(), 1..48)) {
+        let mut b = ModuleBuilder::new("fuzz", "v1");
+        b.def_type(TypeDef::new(
+            "t",
+            vec![Field::new("a", Ty::Int), Field::new("b", Ty::Str)],
+        ));
+        let tr = b.type_ref("t");
+        let s = b.string("seed");
+        let len = tpls.len() + 1;
+        b.function("f", FnSig::new(vec![], Ty::Int), |f| {
+            f.local(Ty::Int);     // local 0
+            f.local(Ty::Bool);    // local 1
+            f.local(Ty::Str);     // local 2
+            f.local(Ty::named("t")); // local 3
+            for (i, t) in tpls.iter().enumerate() {
+                f.emit(materialize(i, len, t, tr, s));
+            }
+            f.emit(Instr::Ret);
+        });
+        let m = b.finish();
+        if tal::verify_module(&m, &tal::NoAmbientTypes).is_ok() {
+            let mut p = Process::new(LinkMode::Static);
+            p.load_module(&m).expect("verified modules link");
+            // Must not panic; trapping is allowed.
+            let _ = p.call("f", vec![]);
+        }
+    }
+
+    /// Accepted-and-executed fraction sanity: straight-line integer code
+    /// always verifies and runs.
+    #[test]
+    fn straightline_int_code_verifies(vals in prop::collection::vec(0i64..100, 1..20)) {
+        let mut b = ModuleBuilder::new("sl", "v1");
+        b.function("f", FnSig::new(vec![], Ty::Int), |f| {
+            f.emit(Instr::PushInt(0));
+            for v in &vals {
+                f.emit(Instr::PushInt(*v));
+                f.emit(Instr::Add);
+            }
+            f.emit(Instr::Ret);
+        });
+        let m = b.finish();
+        tal::verify_module(&m, &tal::NoAmbientTypes).expect("verifies");
+        let mut p = Process::new(LinkMode::Updateable);
+        p.load_module(&m).unwrap();
+        let expect: i64 = vals.iter().sum();
+        prop_assert_eq!(p.call("f", vec![]).unwrap(), Value::Int(expect));
+    }
+}
+
+// ======================= pretty-printer fixed point =======================
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}".prop_map(|s| format!("v_{s}"))
+}
+
+fn type_ast() -> impl Strategy<Value = TypeAst> {
+    let leaf = prop_oneof![
+        Just(TypeAst::Int),
+        Just(TypeAst::Bool),
+        Just(TypeAst::Str),
+        Just(TypeAst::Unit),
+        ident().prop_map(TypeAst::Named),
+    ];
+    leaf.prop_recursive(2, 6, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| TypeAst::Array(Box::new(t))),
+            (prop::collection::vec(inner.clone(), 0..3), inner)
+                .prop_map(|(ps, r)| TypeAst::Fn(ps, Box::new(r))),
+        ]
+    })
+}
+
+fn literal_string() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 _.:/-]{0,12}"
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1_000_000).prop_map(move |n| Expr { line: 0, kind: ExprKind::Int(n) }),
+        literal_string().prop_map(move |s| Expr { line: 0, kind: ExprKind::Str(s) }),
+        any::<bool>().prop_map(move |b| Expr { line: 0, kind: ExprKind::Bool(b) }),
+        Just(Expr { line: 0, kind: ExprKind::Null }),
+        ident().prop_map(move |v| Expr { line: 0, kind: ExprKind::Var(v) }),
+        ident().prop_map(move |v| Expr { line: 0, kind: ExprKind::FnRef(v) }),
+        type_ast().prop_map(move |t| Expr { line: 0, kind: ExprKind::NewArray(t) }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+        ];
+        prop_oneof![
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone())
+                .prop_map(|(op, e)| Expr { line: 0, kind: ExprKind::Unary(op, Box::new(e)) }),
+            (bin, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr {
+                line: 0,
+                kind: ExprKind::Binary(op, Box::new(a), Box::new(b)),
+            }),
+            (ident(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(f, args)| Expr {
+                line: 0,
+                kind: ExprKind::Call(
+                    Box::new(Expr { line: 0, kind: ExprKind::Var(f) }),
+                    args,
+                ),
+            }),
+            (inner.clone(), ident()).prop_map(|(o, f)| Expr {
+                line: 0,
+                kind: ExprKind::Field(Box::new(o), f),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, i)| Expr {
+                line: 0,
+                kind: ExprKind::Index(Box::new(a), Box::new(i)),
+            }),
+            (ident(), prop::collection::vec((ident(), inner.clone()), 0..3)).prop_map(
+                |(n, fs)| Expr { line: 0, kind: ExprKind::Record(n, fs) }
+            ),
+            prop::collection::vec(inner, 1..3)
+                .prop_map(|es| Expr { line: 0, kind: ExprKind::ArrayLit(es) }),
+        ]
+    })
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (ident(), type_ast(), expr()).prop_map(|(name, ty, init)| Stmt {
+            line: 0,
+            kind: StmtKind::Var { name, ty, init },
+        }),
+        (ident(), expr()).prop_map(|(v, value)| Stmt {
+            line: 0,
+            kind: StmtKind::Assign {
+                target: Expr { line: 0, kind: ExprKind::Var(v) },
+                value,
+            },
+        }),
+        expr().prop_map(|e| Stmt { line: 0, kind: StmtKind::Return(Some(e)) }),
+        Just(Stmt { line: 0, kind: StmtKind::Return(None) }),
+        Just(Stmt { line: 0, kind: StmtKind::Update }),
+        Just(Stmt { line: 0, kind: StmtKind::Break }),
+        Just(Stmt { line: 0, kind: StmtKind::Continue }),
+        expr().prop_map(|e| Stmt { line: 0, kind: StmtKind::Expr(e) }),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            (expr(), prop::collection::vec(inner.clone(), 0..3), prop::collection::vec(inner.clone(), 0..2))
+                .prop_map(|(cond, then, els)| Stmt {
+                    line: 0,
+                    kind: StmtKind::If { cond, then, els },
+                }),
+            (expr(), prop::collection::vec(inner, 0..3)).prop_map(|(cond, body)| Stmt {
+                line: 0,
+                kind: StmtKind::While { cond, body },
+            }),
+        ]
+    })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec((ident(), prop::collection::vec((ident(), type_ast()), 0..4)), 0..2),
+        prop::collection::vec(
+            (ident(), prop::collection::vec((ident(), type_ast()), 0..3), type_ast(),
+             prop::collection::vec(stmt(), 0..5)),
+            0..3,
+        ),
+    )
+        .prop_map(|(structs, funs)| {
+            let mut items = Vec::new();
+            for (name, fields) in structs {
+                items.push(popcorn::ast::Item::Struct(popcorn::ast::StructDef {
+                    name,
+                    fields,
+                    line: 0,
+                }));
+            }
+            for (name, params, ret, body) in funs {
+                items.push(popcorn::ast::Item::Fun(popcorn::ast::FunDef {
+                    name,
+                    params,
+                    ret,
+                    body,
+                    line: 0,
+                }));
+            }
+            Program { items }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// pretty ∘ parse is a fixed point of pretty — the canonical-form
+    /// assumption the patch generator's diff relies on.
+    #[test]
+    fn pretty_print_is_a_fixed_point(p in program()) {
+        let text1 = popcorn::pretty::program(&p);
+        let reparsed = popcorn::parse(&text1)
+            .unwrap_or_else(|e| panic!("pretty output must parse: {e}\n---\n{text1}"));
+        let text2 = popcorn::pretty::program(&reparsed);
+        prop_assert_eq!(text1, text2);
+    }
+}
+
+// ===================== patch generation round trip =====================
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For a generated family of struct-growth changes, the synthesised
+    /// state transformer preserves all carried fields over any live
+    /// population.
+    #[test]
+    fn patchgen_struct_growth_preserves_state(
+        n in 0usize..40,
+        extra in prop::collection::vec(
+            ("[a-z]{1,5}", prop_oneof![Just("int"), Just("bool"), Just("string")]),
+            1..4,
+        ),
+    ) {
+        // Deduplicate extra field names and avoid clashing with `id`.
+        let mut seen = std::collections::BTreeSet::new();
+        let extras: Vec<(String, &str)> = extra
+            .into_iter()
+            .map(|(name, ty)| (format!("f_{name}"), ty))
+            .filter(|(name, _)| seen.insert(name.clone()))
+            .collect();
+
+        let v1 = r#"
+            struct rec { id: int }
+            global data: [rec] = new [rec];
+            fun fill(n: int): int {
+                var i: int = 0;
+                while (i < n) { push(data, rec { id: i * 3 }); i = i + 1; }
+                return len(data);
+            }
+            fun sum(): int {
+                var s: int = 0;
+                var i: int = 0;
+                while (i < len(data)) { s = s + data[i].id; i = i + 1; }
+                return s;
+            }
+        "#;
+        let extra_decls: Vec<String> =
+            extras.iter().map(|(n, t)| format!("{n}: {t}")).collect();
+        let extra_inits: Vec<String> = extras
+            .iter()
+            .map(|(n, t)| {
+                let d = match *t {
+                    "int" => "0",
+                    "bool" => "false",
+                    _ => "\"\"",
+                };
+                format!("{n}: {d}")
+            })
+            .collect();
+        let v2 = format!(
+            r#"
+            struct rec {{ id: int, {decls} }}
+            global data: [rec] = new [rec];
+            fun fill(n: int): int {{
+                var i: int = 0;
+                while (i < n) {{ push(data, rec {{ id: i * 3, {inits} }}); i = i + 1; }}
+                return len(data);
+            }}
+            fun sum(): int {{
+                var s: int = 0;
+                var i: int = 0;
+                while (i < len(data)) {{ s = s + data[i].id; i = i + 1; }}
+                return s;
+            }}
+            "#,
+            decls = extra_decls.join(", "),
+            inits = extra_inits.join(", "),
+        );
+
+        let gen = dsu_core::PatchGen::new().generate(v1, &v2, "v1", "v2").unwrap();
+        prop_assert_eq!(gen.stats.types_changed, 1);
+        prop_assert_eq!(gen.stats.transformers_auto, 1);
+
+        let m = popcorn::compile(v1, "app", "v1", &popcorn::Interface::new()).unwrap();
+        let mut p = Process::new(LinkMode::Updateable);
+        p.load_module(&m).unwrap();
+        p.call("fill", vec![Value::Int(n as i64)]).unwrap();
+        let before = p.call("sum", vec![]).unwrap();
+        dsu_core::apply_patch(&mut p, &gen.patch, dsu_core::UpdatePolicy::default()).unwrap();
+        prop_assert_eq!(p.call("sum", vec![]).unwrap(), before);
+    }
+}
+
+// ============================ workload sampler ============================
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zipf_samples_in_range_and_deterministic(
+        n in 1usize..200,
+        alpha in 0.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let z = flashed::Zipf::new(n, alpha);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let a = z.sample(&mut r1);
+            let b = z.sample(&mut r2);
+            prop_assert!(a < n);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+// =========================== optimizer soundness ===========================
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Folding random integer expression chains preserves the result.
+    #[test]
+    fn optimizer_preserves_straightline_arithmetic(
+        ops in prop::collection::vec((0u8..6, 1i64..50), 1..24),
+        start in 0i64..1000,
+    ) {
+        let mut b = ModuleBuilder::new("o", "v1");
+        b.function("f", FnSig::new(vec![], Ty::Int), |f| {
+            f.emit(Instr::PushInt(start));
+            for (op, v) in &ops {
+                f.emit(Instr::PushInt(*v));
+                f.emit(match op % 6 {
+                    0 => Instr::Add,
+                    1 => Instr::Sub,
+                    2 => Instr::Mul,
+                    3 => Instr::Div,
+                    4 => Instr::Rem,
+                    _ => Instr::Add,
+                });
+            }
+            f.emit(Instr::Ret);
+        });
+        let plain = b.finish();
+        let mut opt = plain.clone();
+        let stats = tal::opt::optimize_module(&mut opt);
+        tal::verify_module(&opt, &tal::NoAmbientTypes).expect("optimised verifies");
+        // Everything here is constant, so the whole chain must fold away.
+        prop_assert!(opt.function("f").unwrap().code.len() <= 2, "{stats:?}");
+
+        let mut p1 = Process::new(LinkMode::Static);
+        p1.load_module(&plain).unwrap();
+        let mut p2 = Process::new(LinkMode::Static);
+        p2.load_module(&opt).unwrap();
+        prop_assert_eq!(p1.call("f", vec![]).unwrap(), p2.call("f", vec![]).unwrap());
+    }
+
+    /// The optimizer never breaks verification or changes behaviour on
+    /// arbitrary *verified* fuzz programs.
+    #[test]
+    fn optimizer_sound_on_fuzzed_verified_code(tpls in prop::collection::vec(tpl(), 1..48)) {
+        let mut b = ModuleBuilder::new("fuzz", "v1");
+        b.def_type(TypeDef::new(
+            "t",
+            vec![Field::new("a", Ty::Int), Field::new("b", Ty::Str)],
+        ));
+        let tr = b.type_ref("t");
+        let s = b.string("seed");
+        let len = tpls.len() + 1;
+        b.function("f", FnSig::new(vec![], Ty::Int), |f| {
+            f.local(Ty::Int);
+            f.local(Ty::Bool);
+            f.local(Ty::Str);
+            f.local(Ty::named("t"));
+            for (i, t) in tpls.iter().enumerate() {
+                f.emit(materialize(i, len, t, tr, s));
+            }
+            f.emit(Instr::Ret);
+        });
+        let plain = b.finish();
+        if tal::verify_module(&plain, &tal::NoAmbientTypes).is_ok() {
+            let mut opt = plain.clone();
+            tal::opt::optimize_module(&mut opt);
+            tal::verify_module(&opt, &tal::NoAmbientTypes)
+                .expect("optimisation must preserve verifiability");
+            let mut p1 = Process::new(LinkMode::Static);
+            p1.load_module(&plain).unwrap();
+            let mut p2 = Process::new(LinkMode::Static);
+            p2.load_module(&opt).unwrap();
+            let r1 = p1.call("f", vec![]);
+            let r2 = p2.call("f", vec![]);
+            prop_assert_eq!(r1, r2, "optimised behaviour diverged");
+        }
+    }
+}
+
+// ======================= text format round trip =======================
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `tal::text::parse(emit(m)) == m` for arbitrary (even ill-typed)
+    /// modules built from the fuzz instruction pool — the format is a
+    /// faithful carrier, independent of verification.
+    #[test]
+    fn tal_text_round_trips_fuzzed_modules(tpls in prop::collection::vec(tpl(), 1..40)) {
+        let mut b = ModuleBuilder::new("fz", "v9");
+        b.def_type(TypeDef::new(
+            "t",
+            vec![Field::new("a", Ty::Int), Field::new("b", Ty::Str)],
+        ));
+        let tr = b.type_ref("t");
+        let s = b.string("seed \"quoted\"\n");
+        let len = tpls.len() + 1;
+        b.function("f", FnSig::new(vec![Ty::Int], Ty::Int), |f| {
+            f.local(Ty::array(Ty::named("t")));
+            for (i, t) in tpls.iter().enumerate() {
+                f.emit(materialize(i, len, t, tr, s));
+            }
+            f.emit(Instr::Ret);
+        });
+        b.global("g", Ty::Str, vec![Instr::PushStr(s), Instr::Ret]);
+        let m = b.finish();
+        let text = tal::text::emit(&m);
+        let back = tal::text::parse(&text)
+            .unwrap_or_else(|e| panic!("emit output must parse: {e}\n---\n{text}"));
+        prop_assert_eq!(m, back);
+    }
+}
+
+// ============================ update soak ============================
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Soak: a long random sequence of generated patches (body tweaks and
+    /// struct growth) applied to one process; after every patch the
+    /// process must agree with a freshly booted build of the same source.
+    #[test]
+    fn soak_many_sequential_patches(deltas in prop::collection::vec((1i64..50, any::<bool>()), 4..12)) {
+        let mk_src = |mult: i64, fields: usize| -> String {
+            let extra_decl: Vec<String> =
+                (0..fields).map(|i| format!("x{i}: int")).collect();
+            let extra_init: Vec<String> =
+                (0..fields).map(|i| format!("x{i}: {i}")).collect();
+            let comma = if fields > 0 { ", " } else { "" };
+            format!(
+                r#"
+                struct rec {{ id: int{comma}{decls} }}
+                global data: [rec] = new [rec];
+                fun add(n: int): unit {{ push(data, rec {{ id: n * {mult}{comma}{inits} }}); }}
+                fun sum(): int {{
+                    var s: int = 0;
+                    var i: int = 0;
+                    while (i < len(data)) {{ s = s + data[i].id; i = i + 1; }}
+                    return s;
+                }}
+                "#,
+                decls = extra_decl.join(", "),
+                inits = extra_init.join(", "),
+            )
+        };
+
+        let mut mult = 1i64;
+        let mut fields = 0usize;
+        let mut src = mk_src(mult, fields);
+        let mut proc = {
+            let m = popcorn::compile(&src, "soak", "v1", &popcorn::Interface::new()).unwrap();
+            let mut p = Process::new(LinkMode::Updateable);
+            p.load_module(&m).unwrap();
+            p
+        };
+        let mut expected_sum = 0i64;
+        let mut n = 0i64;
+
+        for (i, (new_mult, grow)) in deltas.iter().enumerate() {
+            // Mutate state on the current version.
+            n += 1;
+            proc.call("add", vec![Value::Int(n)]).unwrap();
+            expected_sum += n * mult;
+
+            // Generate and apply the next patch.
+            mult = *new_mult;
+            if *grow {
+                fields += 1;
+            }
+            let next = mk_src(mult, fields);
+            let gen = dsu_core::PatchGen::new()
+                .generate(&src, &next, &format!("v{i}"), &format!("v{}", i + 1))
+                .unwrap();
+            dsu_core::apply_patch(&mut proc, &gen.patch, dsu_core::UpdatePolicy::default())
+                .unwrap();
+            src = next;
+
+            // State must be exactly preserved across every patch.
+            prop_assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
+        }
+        // Post-soak sanity: new adds use the final multiplier.
+        proc.call("add", vec![Value::Int(100)]).unwrap();
+        expected_sum += 100 * mult;
+        prop_assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
+        // And old code versions can be garbage collected without harm.
+        proc.collect_code();
+        prop_assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
+    }
+}

@@ -1,27 +1,34 @@
-//! Criterion: call-dispatch cost, static vs updateable linking.
+//! Call-dispatch cost, static vs updateable linking.
 //!
 //! The narrowest view of the paper's overhead experiment: the same
 //! call-dense kernel under direct binding and under indirection-table
-//! binding.
+//! binding. Plain timing harness (no external bench framework).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dsu_bench::kernels::{boot_kernel, kernels, run_kernel};
+use dsu_bench::measure::{fmt_dur, overhead_percent, time_interleaved_iters};
 use vm::LinkMode;
 
-fn bench_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dispatch");
+fn main() {
+    println!("dispatch: static vs updateable (min of 20 interleaved samples)");
     for k in kernels() {
         let mut ps = boot_kernel(&k, LinkMode::Static);
-        group.bench_function(format!("{}/static", k.name), |b| {
-            b.iter(|| run_kernel(&mut ps, &k));
-        });
         let mut pu = boot_kernel(&k, LinkMode::Updateable);
-        group.bench_function(format!("{}/updateable", k.name), |b| {
-            b.iter(|| run_kernel(&mut pu, &k));
-        });
+        let (ts, tu) = time_interleaved_iters(
+            20,
+            5,
+            || {
+                run_kernel(&mut ps, &k);
+            },
+            || {
+                run_kernel(&mut pu, &k);
+            },
+        );
+        println!(
+            "  {:<16} static {:>10}  updateable {:>10}  overhead {:+.2}%",
+            k.name,
+            fmt_dur(ts),
+            fmt_dur(tu),
+            overhead_percent(ts, tu),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dispatch);
-criterion_main!(benches);

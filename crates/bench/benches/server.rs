@@ -1,57 +1,49 @@
-//! Criterion: end-to-end serving throughput, static vs updateable, and
-//! serving across a live update.
+//! End-to-end serving throughput, static vs updateable, and serving
+//! across a live update. Plain timing harness (no external framework).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dsu_bench::measure::{fmt_dur, time_median};
 use flashed::{patch_stream, versions, Server, SimFs, Workload};
 use vm::LinkMode;
 
 const REQS: usize = 300;
 
-fn bench_serve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("serve");
-    group.sample_size(30);
+fn bench_serve() {
+    println!("serve: {REQS} requests per iteration (median of 30)");
     for mode in [LinkMode::Static, LinkMode::Updateable] {
         let fs = SimFs::generate_fixed(32, 1024, 3);
         let mut wl = Workload::new(fs.paths(), 1.0, 17);
         let mut server = Server::start(mode, &versions::v2(), "v2", fs).expect("boot");
-        group.bench_function(format!("{mode:?}/v2/{REQS}req"), |b| {
-            b.iter(|| {
-                server.push_requests(wl.batch(REQS));
-                let served = server.serve().expect("serve");
-                // Drain responses so iterations don't accumulate memory.
-                server.take_completions();
-                served
-            });
+        let t = time_median(30, || {
+            server.push_requests(wl.batch(REQS));
+            server.serve().expect("serve");
+            // Drain responses so iterations don't accumulate memory.
+            server.take_completions();
         });
+        let rps = REQS as f64 / t.as_secs_f64();
+        println!("  {mode:?}/v2: {} per batch ({rps:.0} req/s)", fmt_dur(t));
     }
-    group.finish();
 }
 
-fn bench_serve_across_update(c: &mut Criterion) {
+fn bench_serve_across_update() {
     let stream = patch_stream().expect("stream");
     let v3v4 = stream[2].patch.clone();
-    let mut group = c.benchmark_group("serve_across_update");
-    group.sample_size(20);
-    group.bench_function(format!("v3-to-v4/{REQS}req"), |b| {
-        b.iter_batched(
-            || {
-                let fs = SimFs::generate_fixed(32, 1024, 3);
-                let mut wl = Workload::new(fs.paths(), 1.0, 17);
-                let mut server =
-                    Server::start(LinkMode::Updateable, &versions::v3(), "v3", fs).expect("boot");
-                server.push_requests(wl.batch(REQS));
-                server.queue_patch(v3v4.clone());
-                server
-            },
-            |mut server| {
-                server.serve().expect("serve");
-                server
-            },
-            BatchSize::PerIteration,
-        );
+    println!("serve_across_update: v3-to-v4 mid-batch (median of 20)");
+    let t = time_median(20, || {
+        let fs = SimFs::generate_fixed(32, 1024, 3);
+        let mut wl = Workload::new(fs.paths(), 1.0, 17);
+        let mut server =
+            Server::start(LinkMode::Updateable, &versions::v3(), "v3", fs).expect("boot");
+        server.push_requests(wl.batch(REQS));
+        server.queue_patch(v3v4.clone());
+        server.serve().expect("serve");
     });
-    group.finish();
+    println!(
+        "  v3-to-v4/{REQS}req: {} (boot + serve + update)",
+        fmt_dur(t)
+    );
 }
 
-criterion_group!(benches, bench_serve, bench_serve_across_update);
-criterion_main!(benches);
+fn main() {
+    bench_serve();
+    bench_serve_across_update();
+}

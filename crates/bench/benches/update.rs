@@ -1,11 +1,11 @@
-//! Criterion: dynamic-update machinery costs.
+//! Dynamic-update machinery costs. Plain timing harness.
 //!
 //! * `apply/*` — end-to-end patch application per FlashEd patch (fresh
 //!   warmed server per iteration).
 //! * `verify_only` — bytecode re-verification of the largest patch.
 //! * `patchgen/*` — source-diff patch generation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dsu_bench::measure::{fmt_dur, time_median};
 use dsu_core::{apply_patch, PatchGen, UpdatePolicy};
 use flashed::{patch_stream, versions, Server, SimFs, Workload};
 use vm::{LinkMode, ProcessTypes};
@@ -21,55 +21,56 @@ fn warmed(version_idx: usize) -> Server {
     server
 }
 
-fn bench_apply(c: &mut Criterion) {
+fn bench_apply() {
     let stream = patch_stream().expect("stream");
-    let mut group = c.benchmark_group("apply");
-    group.sample_size(30);
+    println!("apply: end-to-end patch application on a warmed server (median of 30)");
     for (i, gen) in stream.iter().enumerate() {
-        let label = format!("{}-to-{}", gen.patch.from_version, gen.patch.to_version);
-        group.bench_function(&label, |b| {
-            b.iter_batched(
-                || warmed(i),
-                |mut s| {
-                    apply_patch(s.process_mut(), &gen.patch, UpdatePolicy::default())
-                        .expect("apply");
-                    s
-                },
-                BatchSize::PerIteration,
-            );
-        });
+        // Warming happens outside the timed region: each sample warms a
+        // fresh server, then times only the apply.
+        let mut samples: Vec<std::time::Duration> = (0..30)
+            .map(|_| {
+                let mut s = warmed(i);
+                let t = std::time::Instant::now();
+                apply_patch(s.process_mut(), &gen.patch, UpdatePolicy::default()).expect("apply");
+                t.elapsed()
+            })
+            .collect();
+        samples.sort();
+        println!(
+            "  {}-to-{}: {}",
+            gen.patch.from_version,
+            gen.patch.to_version,
+            fmt_dur(samples[samples.len() / 2]),
+        );
     }
-    group.finish();
 }
 
-fn bench_verify(c: &mut Criterion) {
+fn bench_verify() {
     let stream = patch_stream().expect("stream");
     let biggest = stream
         .iter()
         .max_by_key(|g| g.patch.size_bytes())
         .expect("non-empty");
     let server = warmed(0);
-    c.bench_function("verify_only/largest_patch", |b| {
-        b.iter(|| {
-            tal::verify_module(&biggest.patch.module, &ProcessTypes(server.process()))
-                .expect("verifies")
-        });
+    let t = time_median(50, || {
+        tal::verify_module(&biggest.patch.module, &ProcessTypes(server.process()))
+            .expect("verifies");
     });
+    println!("verify_only/largest_patch: {}", fmt_dur(t));
 }
 
-fn bench_patchgen(c: &mut Criterion) {
+fn bench_patchgen() {
     let all = versions::all();
-    let mut group = c.benchmark_group("patchgen");
-    group.sample_size(20);
-    group.bench_function("v3-to-v4", |b| {
-        b.iter(|| {
-            PatchGen::new()
-                .generate(&all[2].1, &all[3].1, "v3", "v4")
-                .expect("generates")
-        });
+    let t = time_median(20, || {
+        PatchGen::new()
+            .generate(&all[2].1, &all[3].1, "v3", "v4")
+            .expect("generates");
     });
-    group.finish();
+    println!("patchgen/v3-to-v4: {}", fmt_dur(t));
 }
 
-criterion_group!(benches, bench_apply, bench_verify, bench_patchgen);
-criterion_main!(benches);
+fn main() {
+    bench_apply();
+    bench_verify();
+    bench_patchgen();
+}

@@ -16,8 +16,8 @@
 
 use std::time::Instant;
 
-use dsu_core::{apply_patch, PatchGen, TransformTiming, UpdatePolicy};
 use dsu_bench::measure::{fmt_dur, row, rule};
+use dsu_core::{apply_patch, PatchGen, TransformTiming, UpdatePolicy};
 use flashed::{patch_stream, versions, Server, SimFs, Workload};
 use vm::{LinkMode, Process, Value};
 
@@ -54,14 +54,22 @@ fn verification_share() -> Result<(), Box<dyn std::error::Error>> {
             let r = apply_patch(
                 s.process_mut(),
                 &gen.patch,
-                UpdatePolicy { verify: true, refuse_active: false, ..UpdatePolicy::default() },
+                UpdatePolicy {
+                    verify: true,
+                    refuse_active: false,
+                    ..UpdatePolicy::default()
+                },
             )?;
             with += r.timings.total();
             let mut s = warmed_server(i)?;
             let r = apply_patch(
                 s.process_mut(),
                 &gen.patch,
-                UpdatePolicy { verify: false, refuse_active: false, ..UpdatePolicy::default() },
+                UpdatePolicy {
+                    verify: false,
+                    refuse_active: false,
+                    ..UpdatePolicy::default()
+                },
             )?;
             without += r.timings.total();
         }
@@ -130,7 +138,11 @@ fn run_mid_traffic(
     let fs = SimFs::generate_fixed(16, 512, 5);
     let mut wl = Workload::new(fs.paths(), 1.0, 9);
     let mut server = Server::start(LinkMode::Updateable, src, name, fs)?;
-    server.updater = dsu_core::Updater::with_policy(UpdatePolicy { verify: true, refuse_active, ..UpdatePolicy::default() });
+    server.updater = dsu_core::Updater::with_policy(UpdatePolicy {
+        verify: true,
+        refuse_active,
+        ..UpdatePolicy::default()
+    });
     server.push_requests(wl.batch(50));
     server.queue_patch(patch);
     Ok(server.serve().is_ok())
@@ -159,7 +171,10 @@ fn serve_replacing_patch() -> Result<dsu_core::Patch, Box<dyn std::error::Error>
         "v5",
         "v6",
         &dsu_core::interface_of(probe.process()),
-        dsu_core::Manifest { replaces: vec!["serve".into()], ..dsu_core::Manifest::default() },
+        dsu_core::Manifest {
+            replaces: vec!["serve".into()],
+            ..dsu_core::Manifest::default()
+        },
     )?;
     Ok(patch)
 }
@@ -213,7 +228,10 @@ fn transformer_scaling() -> Result<(), Box<dyn std::error::Error>> {
 
 /// Ablation 4: eager (paper) vs lazy (Javelus-style) state transformation.
 fn eager_vs_lazy() -> Result<(), Box<dyn std::error::Error>> {
-    println!("\nAblation 4: eager vs lazy state transformation ({} records)\n", 50_000);
+    println!(
+        "\nAblation 4: eager vs lazy state transformation ({} records)\n",
+        50_000
+    );
     let v1 = r#"
         struct rec { id: int }
         global data: [rec] = new [rec];
@@ -246,7 +264,10 @@ fn eager_vs_lazy() -> Result<(), Box<dyn std::error::Error>> {
     "#;
     let gen = PatchGen::new().generate(v1, v2, "v1", "v2")?;
     let widths = [8, 13, 14, 14];
-    row(&["mode", "update pause", "first read", "later reads"], &widths);
+    row(
+        &["mode", "update pause", "first read", "later reads"],
+        &widths,
+    );
     rule(&widths);
     for timing in [TransformTiming::Eager, TransformTiming::Lazy] {
         let module = popcorn::compile(v1, "abl", "v1", &popcorn::Interface::new())?;
@@ -256,7 +277,10 @@ fn eager_vs_lazy() -> Result<(), Box<dyn std::error::Error>> {
         let report = apply_patch(
             &mut proc,
             &gen.patch,
-            UpdatePolicy { transform: timing, ..UpdatePolicy::default() },
+            UpdatePolicy {
+                transform: timing,
+                ..UpdatePolicy::default()
+            },
         )?;
         let t = Instant::now();
         proc.call("total", vec![])?;

@@ -7,7 +7,6 @@
 //!
 //! Run with: `cargo run --release -p dsu-bench --bin figure1_throughput`
 
-
 use dsu_bench::measure::{overhead_percent, row, rule, time_interleaved};
 use flashed::{versions, Server, SimFs, Workload};
 use vm::LinkMode;
@@ -22,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          zipf(1.0), min of {REPS} interleaved runs)\n"
     );
     let widths = [10, 14, 14, 10];
-    row(&["doc size", "static req/s", "updtbl req/s", "overhead"], &widths);
+    row(
+        &["doc size", "static req/s", "updtbl req/s", "overhead"],
+        &widths,
+    );
     rule(&widths);
 
     for size in [256usize, 1024, 4096, 16384, 65536] {

@@ -35,14 +35,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server.queue_patch(gen.patch);
         let before = server.elapsed();
         server.serve().map_err(|e| e.to_string())?;
-        let pause = server.updater.log().last().expect("applied").timings.total();
+        let pause = server
+            .updater
+            .log()
+            .last()
+            .expect("applied")
+            .timings
+            .total();
         update_marks.push((before, label, pause));
     }
 
     let completions = server.completions();
     let ok = completions
         .iter()
-        .filter(|c| parse_response(&c.response).map(|r| r.status == 200).unwrap_or(false))
+        .filter(|c| {
+            parse_response(&c.response)
+                .map(|r| r.status == 200)
+                .unwrap_or(false)
+        })
         .count();
 
     // Bucket completions.
@@ -76,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nupdate events:");
     for (at, label, pause) in &update_marks {
-        println!("  {label:8} at {:>9} pause {:>9}", fmt_dur(*at), fmt_dur(*pause));
+        println!(
+            "  {label:8} at {:>9} pause {:>9}",
+            fmt_dur(*at),
+            fmt_dur(*pause)
+        );
     }
     println!(
         "\n(expected shape: steady buckets before and after each mark; the pause\n\

@@ -64,5 +64,8 @@ fn run(
 }
 
 fn print_row(label: &str, s: flashed::LatencyStats, widths: &[usize]) {
-    row(&[label, &fmt_dur(s.p50), &fmt_dur(s.p99), &fmt_dur(s.max)], widths);
+    row(
+        &[label, &fmt_dur(s.p50), &fmt_dur(s.p99), &fmt_dur(s.max)],
+        widths,
+    );
 }

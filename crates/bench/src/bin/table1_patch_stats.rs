@@ -15,8 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 1: FlashEd patch stream statistics\n");
     row(
         &[
-            "patch", "changed", "carried", "added", "removed", "types", "globals",
-            "xformers", "auto", "bytes",
+            "patch", "changed", "carried", "added", "removed", "types", "globals", "xformers",
+            "auto", "bytes",
         ],
         &widths,
     );

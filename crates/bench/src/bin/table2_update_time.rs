@@ -10,8 +10,8 @@
 
 use std::time::Duration;
 
-use dsu_core::{apply_patch, PatchGen, PhaseTimings, UpdatePolicy};
 use dsu_bench::measure::{fmt_dur, row, rule};
+use dsu_core::{apply_patch, PatchGen, PhaseTimings, UpdatePolicy};
 use flashed::{patch_stream, versions, Server, SimFs, Workload};
 use vm::{LinkMode, Process, Value};
 
@@ -27,8 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// reports mean per-phase costs.
 fn part_a() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 2a: FlashEd patch application cost (mean of {REPS} runs)\n");
-    let widths = [8, 10, 10, 10, 10, 10, 11];
-    row(&["patch", "verify", "compat", "link", "bind", "xform", "total"], &widths);
+    let widths = [8, 10, 10, 10, 10, 10, 10, 11];
+    row(
+        &[
+            "patch", "verify", "compat", "link", "bind", "init", "xform", "total",
+        ],
+        &widths,
+    );
     rule(&widths);
 
     let all = versions::all();
@@ -43,11 +48,7 @@ fn part_a() -> Result<(), Box<dyn std::error::Error>> {
             let mut server = Server::start(LinkMode::Updateable, from_src, from_name, fs)?;
             server.push_requests(wl.batch(200));
             server.serve().map_err(|e| e.to_string())?;
-            let report = apply_patch(
-                server.process_mut(),
-                &gen.patch,
-                UpdatePolicy::default(),
-            )?;
+            let report = apply_patch(server.process_mut(), &gen.patch, UpdatePolicy::default())?;
             sum.add(&report.timings);
         }
         let mean = sum.mean(REPS);
@@ -58,6 +59,7 @@ fn part_a() -> Result<(), Box<dyn std::error::Error>> {
                 &fmt_dur(mean.compat),
                 &fmt_dur(mean.link),
                 &fmt_dur(mean.bind),
+                &fmt_dur(mean.init),
                 &fmt_dur(mean.transform),
                 &fmt_dur(mean.total()),
             ],
@@ -145,6 +147,7 @@ struct PhaseSums {
     compat: Duration,
     link: Duration,
     bind: Duration,
+    init: Duration,
     transform: Duration,
 }
 
@@ -154,6 +157,7 @@ impl PhaseSums {
         self.compat += t.compat;
         self.link += t.link;
         self.bind += t.bind;
+        self.init += t.init;
         self.transform += t.transform;
     }
 
@@ -164,6 +168,7 @@ impl PhaseSums {
             compat: self.compat / n,
             link: self.link / n,
             bind: self.bind / n,
+            init: self.init / n,
             transform: self.transform / n,
         }
     }

@@ -22,7 +22,15 @@ fn main() {
     );
     let widths = [9, 11, 11, 9, 10, 11, 13];
     row(
-        &["kernel", "static", "updateable", "overhead", "calls", "instrs", "calls/kinstr"],
+        &[
+            "kernel",
+            "static",
+            "updateable",
+            "overhead",
+            "calls",
+            "instrs",
+            "calls/kinstr",
+        ],
         &widths,
     );
     rule(&widths);

@@ -15,7 +15,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 4: image size, static vs updateable (virtual encoding, bytes)\n");
     let widths = [12, 7, 9, 8, 7, 9, 11, 9];
     row(
-        &["module", "code", "symbols", "strings", "types", "static", "updateable", "overhead"],
+        &[
+            "module",
+            "code",
+            "symbols",
+            "strings",
+            "types",
+            "static",
+            "updateable",
+            "overhead",
+        ],
         &widths,
     );
     rule(&widths);
@@ -56,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // both columns down together).
     println!("\nTable 4b: peephole-optimised code size\n");
     let widths = [12, 8, 8, 9, 8, 8];
-    row(&["module", "code", "opt", "shrink", "folds", "removed"], &widths);
+    row(
+        &["module", "code", "opt", "shrink", "folds", "removed"],
+        &widths,
+    );
     rule(&widths);
     for (name, m) in &modules {
         let mut opt = m.clone();

@@ -160,7 +160,8 @@ pub fn boot_kernel(k: &Kernel, mode: LinkMode) -> Process {
     let m = popcorn::compile(k.src, k.name, "v1", &popcorn::Interface::new())
         .unwrap_or_else(|e| panic!("{}: {e}", k.name));
     let mut p = Process::new(mode);
-    p.load_module(&m).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    p.load_module(&m)
+        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
     p
 }
 
@@ -170,7 +171,9 @@ pub fn boot_kernel(k: &Kernel, mode: LinkMode) -> Process {
 /// # Panics
 /// Panics when the kernel traps or returns the wrong result.
 pub fn run_kernel(p: &mut Process, k: &Kernel) {
-    let v = p.call(k.entry, vec![Value::Int(k.arg)]).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    let v = p
+        .call(k.entry, vec![Value::Int(k.arg)])
+        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
     assert_eq!(v, Value::Int(k.expect), "{} result", k.name);
 }
 

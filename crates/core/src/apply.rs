@@ -18,7 +18,7 @@
 //! snapshot; a rejected update is a no-op.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vm::{LinkOverrides, Process, ProcessTypes, Value};
 
@@ -90,9 +90,7 @@ pub fn apply_patch(
         let active = proc.suspended_stack();
         let offenders: Vec<String> = active
             .into_iter()
-            .filter(|f| {
-                patch.manifest.replaces.contains(f) || patch.manifest.removes.contains(f)
-            })
+            .filter(|f| patch.manifest.replaces.contains(f) || patch.manifest.removes.contains(f))
             .collect();
         if !offenders.is_empty() {
             return Err(UpdateError::ActiveCode(offenders));
@@ -189,17 +187,29 @@ fn apply_linked(
     }
     timings.bind = t.elapsed();
 
-    // New-global initialisers run in the new code world.
+    // Phase 4b: new-global initialisers run in the new code world. They
+    // get their own timing bucket so Table 2's pause breakdown does not
+    // charge initialisation to state transformation.
     let t = Instant::now();
     for gname in &m.new_globals {
         let gdef = patch.module.global(gname).expect("compat checked");
-        let v = proc
-            .eval_init(&patch.module, gdef, &ov)
-            .map_err(|trap| UpdateError::Transform { function: format!("<init {gname}>"), trap })?;
+        let v =
+            proc.eval_init(&patch.module, gdef, &ov)
+                .map_err(|trap| UpdateError::Transform {
+                    function: format!("<init {gname}>"),
+                    trap,
+                })?;
         proc.set_global(gname, v);
     }
+    // An empty phase reports zero rather than bare timer overhead.
+    timings.init = if m.new_globals.is_empty() {
+        Duration::ZERO
+    } else {
+        t.elapsed()
+    };
 
     // Phase 5: transform.
+    let t = Instant::now();
     let transformed = match policy.transform {
         TransformTiming::Eager => {
             // Stage all new values against the *old* state, then commit,
@@ -210,7 +220,10 @@ fn apply_linked(
                 let fid = planned_ids[x.function.as_str()];
                 let new = proc
                     .call_fid(fid, vec![old])
-                    .map_err(|trap| UpdateError::Transform { function: x.function.clone(), trap })?;
+                    .map_err(|trap| UpdateError::Transform {
+                        function: x.function.clone(),
+                        trap,
+                    })?;
                 staged.push((&x.global, new));
             }
             let n = staged.len();
@@ -234,7 +247,11 @@ fn apply_linked(
     for x in &m.transformers {
         proc.unbind_function(&x.function);
     }
-    timings.transform = t.elapsed();
+    timings.transform = if m.transformers.is_empty() {
+        Duration::ZERO
+    } else {
+        t.elapsed()
+    };
 
     proc.request_update(false);
     Ok(transformed)

@@ -44,14 +44,19 @@ pub fn check(proc: &Process, patch: &Patch) -> Result<(), UpdateError> {
         .chain(m.removes.iter())
         .map(String::as_str)
         .collect();
-    let alias_map: HashMap<&str, &str> =
-        m.type_aliases.iter().map(|a| (a.target.as_str(), a.alias.as_str())).collect();
+    let alias_map: HashMap<&str, &str> = m
+        .type_aliases
+        .iter()
+        .map(|a| (a.target.as_str(), a.alias.as_str()))
+        .collect();
     let active = proc.suspended_frames();
 
     // ---- manifest / module consistency ---------------------------------
     for name in m.replaces.iter().chain(m.adds.iter()) {
         if patch.module.function(name).is_none() {
-            return err(format!("manifest lists `{name}` but the module does not define it"));
+            return err(format!(
+                "manifest lists `{name}` but the module does not define it"
+            ));
         }
     }
     for name in &m.replaces {
@@ -155,7 +160,9 @@ pub fn check(proc: &Process, patch: &Patch) -> Result<(), UpdateError> {
             return err(format!("type `{tname}` is marked changed but is not bound"));
         }
         if patch.module.type_def(tname).is_none() {
-            return err(format!("changed type `{tname}` is not defined by the module"));
+            return err(format!(
+                "changed type `{tname}` is not defined by the module"
+            ));
         }
         for (live, f) in proc.bound_functions() {
             if !updated.contains(live) && f.type_names.iter().any(|t| t == tname) {
@@ -189,10 +196,16 @@ pub fn check(proc: &Process, patch: &Patch) -> Result<(), UpdateError> {
     // ---- aliases -------------------------------------------------------------
     for alias in &m.type_aliases {
         let Some(sid) = proc.struct_id(&alias.target) else {
-            return err(format!("alias target `{}` is not a bound type", alias.target));
+            return err(format!(
+                "alias target `{}` is not a bound type",
+                alias.target
+            ));
         };
         let Some(alias_def) = patch.module.type_def(&alias.alias) else {
-            return err(format!("alias `{}` is not defined by the module", alias.alias));
+            return err(format!(
+                "alias `{}` is not defined by the module",
+                alias.alias
+            ));
         };
         let old_def = proc.struct_def(sid);
         let expected = rename_typedef(old_def, &alias.alias, &alias_map);
@@ -207,7 +220,10 @@ pub fn check(proc: &Process, patch: &Patch) -> Result<(), UpdateError> {
     // ---- transformers -----------------------------------------------------------
     for x in &m.transformers {
         let Some(f) = patch.module.function(&x.function) else {
-            return err(format!("transformer `{}` is not defined by the module", x.function));
+            return err(format!(
+                "transformer `{}` is not defined by the module",
+                x.function
+            ));
         };
         let Some(gty) = proc.global_type(&x.global) else {
             return err(format!("transformer targets unknown global `{}`", x.global));
@@ -233,7 +249,12 @@ pub fn check(proc: &Process, patch: &Patch) -> Result<(), UpdateError> {
 
 fn check_manifest_duplicates(m: &Manifest) -> Result<(), UpdateError> {
     let mut seen = BTreeSet::new();
-    for name in m.replaces.iter().chain(m.adds.iter()).chain(m.removes.iter()) {
+    for name in m
+        .replaces
+        .iter()
+        .chain(m.adds.iter())
+        .chain(m.removes.iter())
+    {
         if !seen.insert(name.as_str()) {
             return Err(UpdateError::Compat(format!(
                 "`{name}` appears more than once in the manifest"

@@ -63,8 +63,8 @@ pub use patchgen::{
     interface_of_module, DiffStats, GeneratedPatch, ManualTransformer, PatchGen, PatchGenError,
     ALIAS_SUFFIX,
 };
-pub use report::{PhaseTimings, UpdateError, UpdateReport};
-pub use runtime::{RunError, Updater};
+pub use report::{FleetUpdateReport, PhaseTimings, UpdateError, UpdateReport};
+pub use runtime::{Gate, PauseEvent, PauseLog, RunError, Updater, UpdaterRemote};
 pub use version::VersionManager;
 
 #[cfg(test)]
@@ -88,7 +88,10 @@ mod tests {
             "v1",
             "v2",
             &interface_of(&p),
-            Manifest { replaces: vec!["f".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["f".into()],
+                ..Manifest::default()
+            },
         )
         .unwrap();
         let report = apply_patch(&mut p, &patch, UpdatePolicy::default()).unwrap();
@@ -211,7 +214,10 @@ mod tests {
                 replaces: vec!["total".into()],
                 adds: vec!["freeze".into(), "__xform_store".into()],
                 type_changes: vec!["acct".into()],
-                type_aliases: vec![TypeAlias { alias: "acct__old".into(), target: "acct".into() }],
+                type_aliases: vec![TypeAlias {
+                    alias: "acct__old".into(),
+                    target: "acct".into(),
+                }],
                 transformers: vec![Transformer {
                     global: "store".into(),
                     function: "__xform_store".into(),
@@ -271,7 +277,10 @@ mod tests {
             "v1",
             "v2",
             &interface_of(&p),
-            Manifest { replaces: vec!["helper".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["helper".into()],
+                ..Manifest::default()
+            },
         )
         .unwrap();
         let e = apply_patch(&mut p, &patch, UpdatePolicy::default()).unwrap_err();
@@ -286,7 +295,10 @@ mod tests {
             "v1",
             "v2",
             &interface_of(&p),
-            Manifest { replaces: vec!["helper".into(), "f".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["helper".into(), "f".into()],
+                ..Manifest::default()
+            },
         )
         .unwrap();
         apply_patch(&mut p, &patch, UpdatePolicy::default()).unwrap();
@@ -306,7 +318,10 @@ mod tests {
             from_version: "v1".into(),
             to_version: "v2".into(),
             module: b.finish(),
-            manifest: Manifest { replaces: vec!["f".into()], ..Manifest::default() },
+            manifest: Manifest {
+                replaces: vec!["f".into()],
+                ..Manifest::default()
+            },
         };
         let e = apply_patch(&mut p, &patch, UpdatePolicy::default()).unwrap_err();
         assert!(matches!(e, UpdateError::Verify(_)), "{e}");
@@ -333,7 +348,10 @@ mod tests {
         );
         let mut up = Updater::new();
         // Without a queued patch, runs complete normally.
-        assert_eq!(up.run(&mut p, "spin", vec![Value::Int(3)]).unwrap(), Value::Int(3));
+        assert_eq!(
+            up.run(&mut p, "spin", vec![Value::Int(3)]).unwrap(),
+            Value::Int(3)
+        );
 
         // Queue a patch; it applies at the first update point, so later
         // iterations see the new `tick`.
@@ -342,7 +360,10 @@ mod tests {
             "v1",
             "v2",
             &interface_of(&p),
-            Manifest { replaces: vec!["tick".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["tick".into()],
+                ..Manifest::default()
+            },
         )
         .unwrap();
         up.enqueue(&mut p, patch);
@@ -373,7 +394,10 @@ mod tests {
             "v1",
             "v2",
             &interface_of(&p),
-            Manifest { replaces: vec!["work".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["work".into()],
+                ..Manifest::default()
+            },
         )
         .unwrap();
         let mut up = Updater::new();
@@ -392,13 +416,23 @@ mod tests {
             "v1",
             "v2",
             &interface_of(&p),
-            Manifest { replaces: vec!["work".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["work".into()],
+                ..Manifest::default()
+            },
         )
         .unwrap();
-        let mut up = Updater::with_policy(UpdatePolicy { verify: true, refuse_active: true, ..UpdatePolicy::default() });
+        let mut up = Updater::with_policy(UpdatePolicy {
+            verify: true,
+            refuse_active: true,
+            ..UpdatePolicy::default()
+        });
         up.enqueue(&mut p, patch);
         let e = up.run(&mut p, "work", vec![]).unwrap_err();
-        assert!(matches!(e, RunError::Update(UpdateError::ActiveCode(_))), "{e}");
+        assert!(
+            matches!(e, RunError::Update(UpdateError::ActiveCode(_))),
+            "{e}"
+        );
     }
 
     #[test]
@@ -470,7 +504,11 @@ mod tests {
         // `read` is textually unchanged but touches the changed type.
         assert!(gen.patch.manifest.replaces.contains(&"read".to_string()));
         // `caller` changed textually anyway; `untouched` must stay out.
-        assert!(!gen.patch.manifest.replaces.contains(&"untouched".to_string()));
+        assert!(!gen
+            .patch
+            .manifest
+            .replaces
+            .contains(&"untouched".to_string()));
 
         let mut p = boot(v1);
         apply_patch(&mut p, &gen.patch, UpdatePolicy::default()).unwrap();
@@ -483,7 +521,10 @@ mod tests {
         let v1 = "global g: int = 1; fun f(): int { return g; }";
         let v2 = "global g: string = \"x\"; fun f(): int { return len(g); }";
         let e = PatchGen::new().generate(v1, v2, "v1", "v2").unwrap_err();
-        assert!(matches!(e, PatchGenError::NeedsManualTransformer { .. }), "{e}");
+        assert!(
+            matches!(e, PatchGenError::NeedsManualTransformer { .. }),
+            "{e}"
+        );
     }
 
     #[test]
@@ -517,7 +558,10 @@ mod tests {
             "#
             .into(),
         };
-        let gen = PatchGen::new().with_manual(manual).generate(v1b, v2b, "v1", "v2").unwrap();
+        let gen = PatchGen::new()
+            .with_manual(manual)
+            .generate(v1b, v2b, "v1", "v2")
+            .unwrap();
         let mut p = boot(v1b);
         apply_patch(&mut p, &gen.patch, UpdatePolicy::default()).unwrap();
         // Manual transformer doubled v: 41 + 10.
@@ -534,7 +578,10 @@ mod tests {
             "v1",
             "v2",
             &interface_of(&p),
-            Manifest { replaces: vec!["f".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["f".into()],
+                ..Manifest::default()
+            },
         )
         .unwrap();
         apply_patch(&mut p, &patch, UpdatePolicy::default()).unwrap();
@@ -576,8 +623,14 @@ mod tests {
                 replaces: vec!["read".into()],
                 adds: vec!["__xform_g".into()],
                 type_changes: vec!["s".into()],
-                type_aliases: vec![TypeAlias { alias: "s__old".into(), target: "s".into() }],
-                transformers: vec![Transformer { global: "g".into(), function: "__xform_g".into() }],
+                type_aliases: vec![TypeAlias {
+                    alias: "s__old".into(),
+                    target: "s".into(),
+                }],
+                transformers: vec![Transformer {
+                    global: "g".into(),
+                    function: "__xform_g".into(),
+                }],
                 ..Manifest::default()
             },
         )
@@ -616,8 +669,14 @@ mod tests {
                 replaces: vec!["f".into()],
                 adds: vec!["__xform_g".into()],
                 type_changes: vec!["s".into()],
-                type_aliases: vec![TypeAlias { alias: "s__old".into(), target: "s".into() }],
-                transformers: vec![Transformer { global: "g".into(), function: "__xform_g".into() }],
+                type_aliases: vec![TypeAlias {
+                    alias: "s__old".into(),
+                    target: "s".into(),
+                }],
+                transformers: vec![Transformer {
+                    global: "g".into(),
+                    function: "__xform_g".into(),
+                }],
                 ..Manifest::default()
             },
         )

@@ -120,7 +120,10 @@ mod tests {
             "v1",
             "v2",
             &iface,
-            Manifest { replaces: vec!["f".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["f".into()],
+                ..Manifest::default()
+            },
         )
         .unwrap();
         assert_eq!(p.function_count(), 1);

@@ -47,7 +47,9 @@ impl Error for PatchIoError {}
 
 impl From<tal::text::TextError> for PatchIoError {
     fn from(e: tal::text::TextError) -> PatchIoError {
-        PatchIoError { message: e.to_string() }
+        PatchIoError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -94,7 +96,9 @@ pub fn save_patch(patch: &Patch) -> String {
 /// result still needs [`crate::apply_patch`]'s verification — loading
 /// performs no trust decisions.
 pub fn load_patch(text: &str) -> Result<Patch, PatchIoError> {
-    let err = |m: &str| PatchIoError { message: m.to_string() };
+    let err = |m: &str| PatchIoError {
+        message: m.to_string(),
+    };
     let (header, module_text) = text
         .split_once(&format!("{MODULE_SEP}\n"))
         .ok_or_else(|| err("missing `---module---` separator"))?;
@@ -179,15 +183,20 @@ mod tests {
     #[test]
     fn rejects_malformed_files() {
         assert!(load_patch("").is_err());
-        assert!(load_patch("dsu-patch 1\nfrom a\nto b\n").is_err(), "no separator");
-        assert!(load_patch("nonsense\n---module---\nmodule m v1\n").is_err(), "bad magic");
+        assert!(
+            load_patch("dsu-patch 1\nfrom a\nto b\n").is_err(),
+            "no separator"
+        );
+        assert!(
+            load_patch("nonsense\n---module---\nmodule m v1\n").is_err(),
+            "bad magic"
+        );
         assert!(
             load_patch("dsu-patch 1\nto b\n---module---\nmodule m v1\n").is_err(),
             "missing from"
         );
         assert!(
-            load_patch("dsu-patch 1\nfrom a\nto b\nbogus x\n---module---\nmodule m v1\n")
-                .is_err(),
+            load_patch("dsu-patch 1\nfrom a\nto b\nbogus x\n---module---\nmodule m v1\n").is_err(),
             "unknown key"
         );
     }

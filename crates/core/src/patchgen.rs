@@ -149,29 +149,42 @@ impl PatchGen {
         let d = Diff::compute(&old_ast, &new_ast, &old_mod, &new_mod);
 
         // ---- synthesize / collect transformers --------------------------
-        let alias_pairs: Vec<(String, String)> =
-            d.types_changed.iter().map(|t| (t.clone(), alias_name(t))).collect();
-        let alias_map: HashMap<&str, &str> =
-            alias_pairs.iter().map(|(t, a)| (t.as_str(), a.as_str())).collect();
+        let alias_pairs: Vec<(String, String)> = d
+            .types_changed
+            .iter()
+            .map(|t| (t.clone(), alias_name(t)))
+            .collect();
+        let alias_map: HashMap<&str, &str> = alias_pairs
+            .iter()
+            .map(|(t, a)| (t.as_str(), a.as_str()))
+            .collect();
         let mut xform_sources = Vec::new();
         let mut transformers = Vec::new();
         let mut auto = 0;
         for g in &d.globals_needing_transform {
             if let Some(man) = self.manual.iter().find(|m| &m.global == g) {
                 xform_sources.push(man.source.clone());
-                transformers.push(Transformer { global: g.clone(), function: man.function.clone() });
+                transformers.push(Transformer {
+                    global: g.clone(),
+                    function: man.function.clone(),
+                });
                 continue;
             }
             let old_ty = old_mod.global(g).expect("diffed").ty.clone();
             let new_ty = new_mod.global(g).expect("diffed").ty.clone();
-            let src = synthesize_transformer(g, to_version, &old_ty, &new_ty, &old_mod, &new_mod, &alias_map)
-                .map_err(|reason| PatchGenError::NeedsManualTransformer {
-                    global: g.clone(),
-                    ty: new_ty.to_string(),
-                    reason,
-                })?;
+            let src = synthesize_transformer(
+                g, to_version, &old_ty, &new_ty, &old_mod, &new_mod, &alias_map,
+            )
+            .map_err(|reason| PatchGenError::NeedsManualTransformer {
+                global: g.clone(),
+                ty: new_ty.to_string(),
+                reason,
+            })?;
             xform_sources.push(src);
-            transformers.push(Transformer { global: g.clone(), function: xform_name(g, to_version) });
+            transformers.push(Transformer {
+                global: g.clone(),
+                function: xform_name(g, to_version),
+            });
             auto += 1;
         }
 
@@ -186,7 +199,10 @@ impl PatchGen {
                 let alias = alias_name(t);
                 let renamed = rename_typedef(old_def, &alias, &alias_map);
                 source.push_str(&typedef_source(&renamed));
-                type_aliases.push(TypeAlias { alias, target: t.clone() });
+                type_aliases.push(TypeAlias {
+                    alias,
+                    target: t.clone(),
+                });
             }
         }
         // New definitions of changed types, and brand-new types.
@@ -261,7 +277,11 @@ impl PatchGen {
             transformers: d.globals_needing_transform.len(),
             transformers_auto: auto,
         };
-        Ok(GeneratedPatch { patch, source, stats })
+        Ok(GeneratedPatch {
+            patch,
+            source,
+            stats,
+        })
     }
 }
 
@@ -281,14 +301,22 @@ struct Diff {
 impl Diff {
     fn compute(old_ast: &Program, new_ast: &Program, old_mod: &Module, new_mod: &Module) -> Diff {
         // Canonical renderings for text-level change detection.
-        let old_fun_text: BTreeMap<&str, String> =
-            old_ast.functions().map(|f| (f.name.as_str(), pretty::fun_def(f))).collect();
-        let new_fun_text: BTreeMap<&str, String> =
-            new_ast.functions().map(|f| (f.name.as_str(), pretty::fun_def(f))).collect();
-        let old_struct_text: BTreeMap<&str, String> =
-            old_ast.structs().map(|s| (s.name.as_str(), pretty::struct_def(s))).collect();
-        let new_struct_text: BTreeMap<&str, String> =
-            new_ast.structs().map(|s| (s.name.as_str(), pretty::struct_def(s))).collect();
+        let old_fun_text: BTreeMap<&str, String> = old_ast
+            .functions()
+            .map(|f| (f.name.as_str(), pretty::fun_def(f)))
+            .collect();
+        let new_fun_text: BTreeMap<&str, String> = new_ast
+            .functions()
+            .map(|f| (f.name.as_str(), pretty::fun_def(f)))
+            .collect();
+        let old_struct_text: BTreeMap<&str, String> = old_ast
+            .structs()
+            .map(|s| (s.name.as_str(), pretty::struct_def(s)))
+            .collect();
+        let new_struct_text: BTreeMap<&str, String> = new_ast
+            .structs()
+            .map(|s| (s.name.as_str(), pretty::struct_def(s)))
+            .collect();
 
         let mut types_changed = BTreeSet::new();
         let mut types_added = BTreeSet::new();
@@ -340,12 +368,12 @@ impl Diff {
         // (b) any surviving caller of a signature-changed function.
         let sig_changed: BTreeSet<&str> = changed
             .iter()
-            .filter(|name| {
-                match (old_mod.function(name), new_mod.function(name)) {
+            .filter(
+                |name| match (old_mod.function(name), new_mod.function(name)) {
                     (Some(o), Some(n)) => o.sig != n.sig,
                     _ => false,
-                }
-            })
+                },
+            )
             .map(String::as_str)
             .collect();
         if !sig_changed.is_empty() {
@@ -367,8 +395,11 @@ impl Diff {
         functions_in_patch.extend(carried.iter().cloned());
 
         // Globals.
-        let old_globals: BTreeMap<&str, &Ty> =
-            old_mod.globals.iter().map(|g| (g.name.as_str(), &g.ty)).collect();
+        let old_globals: BTreeMap<&str, &Ty> = old_mod
+            .globals
+            .iter()
+            .map(|g| (g.name.as_str(), &g.ty))
+            .collect();
         let mut globals_added = BTreeSet::new();
         let mut globals_needing_transform = BTreeSet::new();
         for g in &new_mod.globals {
@@ -418,8 +449,11 @@ fn xform_name(global: &str, to_version: &str) -> String {
 
 /// Renders a `tal` type definition as Popcorn source.
 fn typedef_source(def: &TypeDef) -> String {
-    let fields: Vec<String> =
-        def.fields.iter().map(|f| format!("{}: {}", f.name, f.ty)).collect();
+    let fields: Vec<String> = def
+        .fields
+        .iter()
+        .map(|f| format!("{}: {}", f.name, f.ty))
+        .collect();
     format!("struct {} {{ {} }}\n", def.name, fields.join(", "))
 }
 

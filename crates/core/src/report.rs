@@ -16,6 +16,9 @@ pub struct PhaseTimings {
     pub link: Duration,
     /// Atomic rebinding of names, slots and types.
     pub bind: Duration,
+    /// New-global initialiser execution (runs in the new code world,
+    /// after bind and before state transformation).
+    pub init: Duration,
     /// State-transformer execution.
     pub transform: Duration,
 }
@@ -23,7 +26,7 @@ pub struct PhaseTimings {
 impl PhaseTimings {
     /// Total update pause.
     pub fn total(&self) -> Duration {
-        self.verify + self.compat + self.link + self.bind + self.transform
+        self.verify + self.compat + self.link + self.bind + self.init + self.transform
     }
 }
 
@@ -58,7 +61,7 @@ impl fmt::Display for UpdateReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} -> {}: {:?} total (verify {:?}, compat {:?}, link {:?}, bind {:?}, xform {:?}); \
+            "{} -> {}: {:?} total (verify {:?}, compat {:?}, link {:?}, bind {:?}, init {:?}, xform {:?}); \
              {} replaced, {} added, {} removed, {} types, {} transformed",
             self.from_version,
             self.to_version,
@@ -67,12 +70,90 @@ impl fmt::Display for UpdateReport {
             self.timings.compat,
             self.timings.link,
             self.timings.bind,
+            self.timings.init,
             self.timings.transform,
             self.functions_replaced,
             self.functions_added,
             self.functions_removed,
             self.types_changed,
             self.globals_transformed,
+        )
+    }
+}
+
+/// The aggregated record of one patch rolled out across a fleet of
+/// workers: per-worker reports plus fleet-level pause statistics (the
+/// quantities a multi-machine deployment of the paper's system would
+/// monitor).
+#[derive(Debug, Clone, Default)]
+pub struct FleetUpdateReport {
+    /// Fleet size when the rollout ran.
+    pub workers: usize,
+    /// Per-worker apply results: `(worker index, report)` for each worker
+    /// whose apply succeeded.
+    pub applied: Vec<(usize, UpdateReport)>,
+    /// Per-worker failures: `(worker index, error)` for each worker whose
+    /// apply was rejected (that worker keeps serving its old version).
+    pub failed: Vec<(usize, UpdateError)>,
+    /// Per-worker observed pause (coordination wait + apply), one entry
+    /// per worker that paused, in worker order.
+    pub pauses: Vec<Duration>,
+}
+
+impl FleetUpdateReport {
+    /// Whether every worker applied the patch.
+    pub fn complete(&self) -> bool {
+        self.failed.is_empty() && self.applied.len() == self.workers
+    }
+
+    /// The longest per-worker pause — for a simultaneous rollout, the
+    /// fleet-wide service gap is governed by this.
+    pub fn max_pause(&self) -> Duration {
+        self.pauses.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Mean per-worker pause.
+    pub fn mean_pause(&self) -> Duration {
+        if self.pauses.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.pauses.iter().sum();
+        total / self.pauses.len() as u32
+    }
+
+    /// Per-phase breakdown summed over all successful applies.
+    pub fn phase_totals(&self) -> PhaseTimings {
+        let mut acc = PhaseTimings::default();
+        for (_, r) in &self.applied {
+            acc.verify += r.timings.verify;
+            acc.compat += r.timings.compat;
+            acc.link += r.timings.link;
+            acc.bind += r.timings.bind;
+            acc.init += r.timings.init;
+            acc.transform += r.timings.transform;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for FleetUpdateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let totals = self.phase_totals();
+        write!(
+            f,
+            "fleet rollout: {}/{} applied, {} failed; pause max {:?} mean {:?}; \
+             phases (summed): verify {:?}, compat {:?}, link {:?}, bind {:?}, init {:?}, xform {:?}",
+            self.applied.len(),
+            self.workers,
+            self.failed.len(),
+            self.max_pause(),
+            self.mean_pause(),
+            totals.verify,
+            totals.compat,
+            totals.link,
+            totals.bind,
+            totals.init,
+            totals.transform,
         )
     }
 }
@@ -139,9 +220,10 @@ mod tests {
             compat: Duration::from_millis(2),
             link: Duration::from_millis(3),
             bind: Duration::from_millis(4),
+            init: Duration::from_millis(6),
             transform: Duration::from_millis(5),
         };
-        assert_eq!(t.total(), Duration::from_millis(15));
+        assert_eq!(t.total(), Duration::from_millis(21));
     }
 
     #[test]

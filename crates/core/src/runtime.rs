@@ -6,12 +6,43 @@
 //! queued patches are applied in order, and execution resumes — old frames
 //! under old code, everything else under the new version. This is exactly
 //! the paper's programmer-chosen update-point model.
+//!
+//! The patch queue, apply log and failure log live behind shared handles:
+//! an [`UpdaterRemote`] lets *another thread* (a fleet coordinator) feed
+//! patches to a process it does not own, arm the process's update signal,
+//! and observe the resulting reports — the substrate of coordinated
+//! multi-worker rollouts.
 
-use vm::{Outcome, Process, Trap, Value};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use vm::{Outcome, Process, Trap, UpdateSignal, Value};
 
 use crate::apply::{apply_patch, UpdatePolicy};
 use crate::patch::Patch;
 use crate::report::{UpdateError, UpdateReport};
+
+/// One update pause: the guest suspended (or sat quiescent) while queued
+/// patches applied. Host instrumentation (e.g. the FlashEd server's
+/// service-time accounting) uses these to tell update-pause time apart
+/// from genuine request service time.
+#[derive(Debug, Clone, Copy)]
+pub struct PauseEvent {
+    /// When the pause began.
+    pub at: Instant,
+    /// How long the pause lasted: gate wait (coordinated rollouts) plus
+    /// apply time for the whole queue, successful or not.
+    pub dur: Duration,
+}
+
+/// Shared, clonable handle onto an [`Updater`]'s pause log.
+pub type PauseLog = Arc<Mutex<Vec<PauseEvent>>>;
+
+/// A one-shot rendezvous run at the start of the next update pause, before
+/// any patch applies — e.g. a barrier wait that lines a whole fleet up at
+/// their update points for a simultaneous rollout.
+pub type Gate = Box<dyn FnOnce() + Send>;
 
 /// Errors surfaced by the driver loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,10 +75,14 @@ impl From<Trap> for RunError {
 #[derive(Default)]
 pub struct Updater {
     policy: UpdatePolicy,
-    pending: std::collections::VecDeque<Patch>,
-    log: Vec<UpdateReport>,
+    pending: Arc<Mutex<VecDeque<Patch>>>,
+    log: Arc<Mutex<Vec<UpdateReport>>>,
     /// Errors from patches that failed to apply (the run continues).
-    failures: Vec<UpdateError>,
+    failures: Arc<Mutex<Vec<UpdateError>>>,
+    /// Update pauses, shared with host instrumentation.
+    pauses: PauseLog,
+    /// One-shot rendezvous for the next pause (coordinated rollouts).
+    gate: Arc<Mutex<Option<Gate>>>,
     /// When `true` (default), a patch failure during a run aborts the run
     /// with [`RunError::Update`] instead of continuing on the old version.
     pub strict: bool,
@@ -57,9 +92,9 @@ impl std::fmt::Debug for Updater {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Updater")
             .field("policy", &self.policy)
-            .field("pending", &self.pending.len())
-            .field("applied", &self.log.len())
-            .field("failures", &self.failures.len())
+            .field("pending", &self.pending_count())
+            .field("applied", &self.log.lock().expect("poisoned").len())
+            .field("failures", &self.failures.lock().expect("poisoned").len())
             .finish()
     }
 }
@@ -67,12 +102,19 @@ impl std::fmt::Debug for Updater {
 impl Updater {
     /// Creates an updater with the paper-default policy.
     pub fn new() -> Updater {
-        Updater { strict: true, ..Updater::default() }
+        Updater {
+            strict: true,
+            ..Updater::default()
+        }
     }
 
     /// Creates an updater with an explicit policy.
     pub fn with_policy(policy: UpdatePolicy) -> Updater {
-        Updater { policy, strict: true, ..Updater::default() }
+        Updater {
+            policy,
+            strict: true,
+            ..Updater::default()
+        }
     }
 
     /// The active policy.
@@ -83,27 +125,53 @@ impl Updater {
     /// Queues a patch and arms the process's update request so the next
     /// executed update point suspends.
     pub fn enqueue(&mut self, proc: &mut Process, patch: Patch) {
-        self.pending.push_back(patch);
+        self.pending.lock().expect("poisoned").push_back(patch);
         proc.request_update(true);
     }
 
     /// Number of patches waiting to be applied.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.pending.lock().expect("poisoned").len()
     }
 
     /// Reports of every successfully applied update, oldest first.
-    pub fn log(&self) -> &[UpdateReport] {
-        &self.log
+    pub fn log(&self) -> Vec<UpdateReport> {
+        self.log.lock().expect("poisoned").clone()
     }
 
     /// Errors of patches that failed to apply (non-strict mode).
-    pub fn failures(&self) -> &[UpdateError] {
-        &self.failures
+    pub fn failures(&self) -> Vec<UpdateError> {
+        self.failures.lock().expect("poisoned").clone()
+    }
+
+    /// A shared handle onto the pause log. Clones observe pauses recorded
+    /// by future applies.
+    pub fn pause_log(&self) -> PauseLog {
+        Arc::clone(&self.pauses)
+    }
+
+    /// Update pauses recorded so far, oldest first.
+    pub fn pauses(&self) -> Vec<PauseEvent> {
+        self.pauses.lock().expect("poisoned").clone()
+    }
+
+    /// A cross-thread control handle for this updater driving `proc`: feed
+    /// patches, arm the update signal, set rollout gates, read results.
+    pub fn remote(&self, proc: &Process) -> UpdaterRemote {
+        UpdaterRemote {
+            pending: Arc::clone(&self.pending),
+            log: Arc::clone(&self.log),
+            failures: Arc::clone(&self.failures),
+            pauses: Arc::clone(&self.pauses),
+            gate: Arc::clone(&self.gate),
+            signal: proc.update_signal(),
+        }
     }
 
     /// Applies all queued patches right now. The process must be quiescent
-    /// (suspended at an update point, or with no guest code running).
+    /// (suspended at an update point, or with no guest code running). If a
+    /// rollout gate is set and patches are pending, the gate runs first
+    /// (inside the recorded pause).
     ///
     /// # Errors
     ///
@@ -111,19 +179,41 @@ impl Updater {
     /// patches stay queued). Otherwise failures are recorded in
     /// [`Updater::failures`] and the queue keeps draining.
     pub fn apply_pending(&mut self, proc: &mut Process) -> Result<usize, UpdateError> {
+        if self.pending.lock().expect("poisoned").is_empty() {
+            proc.request_update(false);
+            return Ok(0);
+        }
+        let began = Instant::now();
+        // Rendezvous before touching the process (one-shot); the wait is
+        // part of the pause, not of any request's service time.
+        let gate = self.gate.lock().expect("poisoned").take();
+        if let Some(gate) = gate {
+            gate();
+        }
+        let result = self.drain(proc);
+        self.pauses.lock().expect("poisoned").push(PauseEvent {
+            at: began,
+            dur: began.elapsed(),
+        });
+        result
+    }
+
+    fn drain(&mut self, proc: &mut Process) -> Result<usize, UpdateError> {
         let mut applied = 0;
-        while let Some(patch) = self.pending.pop_front() {
+        loop {
+            let patch = self.pending.lock().expect("poisoned").pop_front();
+            let Some(patch) = patch else { break };
             match apply_patch(proc, &patch, self.policy) {
                 Ok(report) => {
-                    self.log.push(report);
+                    self.log.lock().expect("poisoned").push(report);
                     applied += 1;
                 }
                 Err(e) => {
                     if self.strict {
-                        proc.request_update(!self.pending.is_empty());
+                        proc.request_update(!self.pending.lock().expect("poisoned").is_empty());
                         return Err(e);
                     }
-                    self.failures.push(e);
+                    self.failures.lock().expect("poisoned").push(e);
                 }
             }
         }
@@ -160,5 +250,77 @@ impl Updater {
                 }
             }
         }
+    }
+}
+
+/// Cross-thread control over one worker's [`Updater`]/[`Process`] pair
+/// (see [`Updater::remote`]). All methods are safe to call while the
+/// worker thread is mid-run: patches land in the shared queue, the signal
+/// makes the guest suspend at its next update point, and results appear in
+/// the shared logs as the worker applies.
+#[derive(Clone)]
+pub struct UpdaterRemote {
+    pending: Arc<Mutex<VecDeque<Patch>>>,
+    log: Arc<Mutex<Vec<UpdateReport>>>,
+    failures: Arc<Mutex<Vec<UpdateError>>>,
+    pauses: PauseLog,
+    gate: Arc<Mutex<Option<Gate>>>,
+    signal: UpdateSignal,
+}
+
+impl std::fmt::Debug for UpdaterRemote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdaterRemote")
+            .field("pending", &self.pending_count())
+            .field("applied", &self.applied_count())
+            .field("failed", &self.failure_count())
+            .finish()
+    }
+}
+
+impl UpdaterRemote {
+    /// Queues a patch and arms the worker's update signal: the guest
+    /// suspends and applies at its next executed update point (or the
+    /// worker applies at its next quiescent boundary).
+    pub fn enqueue(&self, patch: Patch) {
+        self.pending.lock().expect("poisoned").push_back(patch);
+        self.signal.arm();
+    }
+
+    /// Installs a one-shot gate run at the start of the next pause, before
+    /// any patch applies. Used to line several workers up (barrier) for a
+    /// simultaneous rollout.
+    pub fn set_gate(&self, gate: Gate) {
+        *self.gate.lock().expect("poisoned") = Some(gate);
+    }
+
+    /// Patches still waiting to be applied.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().expect("poisoned").len()
+    }
+
+    /// Successful applies so far.
+    pub fn applied_count(&self) -> usize {
+        self.log.lock().expect("poisoned").len()
+    }
+
+    /// Failed applies so far (non-strict worker).
+    pub fn failure_count(&self) -> usize {
+        self.failures.lock().expect("poisoned").len()
+    }
+
+    /// Reports of every successful apply, oldest first.
+    pub fn reports(&self) -> Vec<UpdateReport> {
+        self.log.lock().expect("poisoned").clone()
+    }
+
+    /// Errors of every failed apply, oldest first.
+    pub fn failures(&self) -> Vec<UpdateError> {
+        self.failures.lock().expect("poisoned").clone()
+    }
+
+    /// Update pauses recorded so far, oldest first.
+    pub fn pauses(&self) -> Vec<PauseEvent> {
+        self.pauses.lock().expect("poisoned").clone()
     }
 }

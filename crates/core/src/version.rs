@@ -32,7 +32,10 @@ impl VersionManager {
     /// Records the process's current bindings under `version`. Call this
     /// immediately *before* applying the patch that supersedes `version`.
     pub fn record(&mut self, proc: &Process, version: impl Into<String>) {
-        self.entries.push(Entry { version: version.into(), snapshot: proc.snapshot() });
+        self.entries.push(Entry {
+            version: version.into(),
+            snapshot: proc.snapshot(),
+        });
     }
 
     /// Recorded version labels, oldest first.

@@ -41,7 +41,11 @@ fn manifest_must_match_module_contents() {
     let pt = patch(
         &p,
         "fun g(): int { return 2; }",
-        Manifest { replaces: vec!["f".into()], adds: vec!["g".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["f".into()],
+            adds: vec!["g".into()],
+            ..Manifest::default()
+        },
     );
     expect_compat_error(&mut p, pt, "does not define");
 
@@ -53,7 +57,10 @@ fn manifest_must_match_module_contents() {
     let pt = patch(
         &p,
         "global x: int = 1; fun g(): int { return x; }",
-        Manifest { adds: vec!["g".into()], ..Manifest::default() },
+        Manifest {
+            adds: vec!["g".into()],
+            ..Manifest::default()
+        },
     );
     expect_compat_error(&mut p, pt, "not listed in new_globals");
 }
@@ -64,14 +71,20 @@ fn replace_requires_existing_binding_and_add_requires_fresh_name() {
     let pt = patch(
         &p,
         "fun ghost(): int { return 2; }",
-        Manifest { replaces: vec!["ghost".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["ghost".into()],
+            ..Manifest::default()
+        },
     );
     expect_compat_error(&mut p, pt, "not bound");
 
     let pt = patch(
         &p,
         "fun f(): int { return 2; }",
-        Manifest { adds: vec!["f".into()], ..Manifest::default() },
+        Manifest {
+            adds: vec!["f".into()],
+            ..Manifest::default()
+        },
     );
     expect_compat_error(&mut p, pt, "already exists");
 }
@@ -82,7 +95,10 @@ fn duplicate_manifest_entries_are_rejected() {
     let pt = patch(
         &p,
         "fun f(): int { return 2; }",
-        Manifest { replaces: vec!["f".into(), "f".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["f".into(), "f".into()],
+            ..Manifest::default()
+        },
     );
     expect_compat_error(&mut p, pt, "more than once");
 }
@@ -144,10 +160,16 @@ fn removed_function_can_be_reintroduced_later() {
     let pt = patch(
         &p,
         "fun helper(x: int): int { return x * 2; }",
-        Manifest { adds: vec!["helper".into()], ..Manifest::default() },
+        Manifest {
+            adds: vec!["helper".into()],
+            ..Manifest::default()
+        },
     );
     apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap();
-    assert_eq!(p.call("helper", vec![Value::Int(21)]).unwrap(), Value::Int(42));
+    assert_eq!(
+        p.call("helper", vec![Value::Int(21)]).unwrap(),
+        Value::Int(42)
+    );
 }
 
 // ---------------------------- type changes ----------------------------
@@ -220,8 +242,14 @@ fn alias_must_match_old_structure() {
             replaces: vec!["f".into()],
             adds: vec!["x".into()],
             type_changes: vec!["s".into()],
-            type_aliases: vec![TypeAlias { alias: "s__old".into(), target: "s".into() }],
-            transformers: vec![Transformer { global: "g".into(), function: "x".into() }],
+            type_aliases: vec![TypeAlias {
+                alias: "s__old".into(),
+                target: "s".into(),
+            }],
+            transformers: vec![Transformer {
+                global: "g".into(),
+                function: "x".into(),
+            }],
             ..Manifest::default()
         },
     );
@@ -249,8 +277,14 @@ fn transformer_signature_is_checked() {
             replaces: vec!["f".into()],
             adds: vec!["x".into()],
             type_changes: vec!["s".into()],
-            type_aliases: vec![TypeAlias { alias: "s__old".into(), target: "s".into() }],
-            transformers: vec![Transformer { global: "g".into(), function: "x".into() }],
+            type_aliases: vec![TypeAlias {
+                alias: "s__old".into(),
+                target: "s".into(),
+            }],
+            transformers: vec![Transformer {
+                global: "g".into(),
+                function: "x".into(),
+            }],
             ..Manifest::default()
         },
     );
@@ -267,7 +301,10 @@ fn transformer_may_target_unchanged_global() {
         "fun x(old: int): int { return old * 100; }",
         Manifest {
             adds: vec!["x".into()],
-            transformers: vec![Transformer { global: "g".into(), function: "x".into() }],
+            transformers: vec![Transformer {
+                global: "g".into(),
+                function: "x".into(),
+            }],
             ..Manifest::default()
         },
     );
@@ -297,7 +334,10 @@ fn signature_change_refused_while_referenced_by_active_frame() {
         fun helper(x: int, y: int): int { return x + y; }
         fun work(): int { update; return helper(1, 2); }
         "#,
-        Manifest { replaces: vec!["helper".into(), "work".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["helper".into(), "work".into()],
+            ..Manifest::default()
+        },
     );
     let e = apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap_err();
     assert!(matches!(e, UpdateError::ActiveCode(_)), "{e}");
@@ -341,13 +381,22 @@ fn type_change_refused_while_type_user_is_active() {
             replaces: vec!["touch".into()],
             adds: vec!["x".into()],
             type_changes: vec!["s".into()],
-            type_aliases: vec![TypeAlias { alias: "s__old".into(), target: "s".into() }],
-            transformers: vec![Transformer { global: "g".into(), function: "x".into() }],
+            type_aliases: vec![TypeAlias {
+                alias: "s__old".into(),
+                target: "s".into(),
+            }],
+            transformers: vec![Transformer {
+                global: "g".into(),
+                function: "x".into(),
+            }],
             ..Manifest::default()
         },
     );
     let e = apply_patch(&mut p, &pt, UpdatePolicy::default()).unwrap_err();
-    assert!(matches!(e, UpdateError::ActiveCode(ref fns) if fns.contains(&"touch".to_string())), "{e}");
+    assert!(
+        matches!(e, UpdateError::ActiveCode(ref fns) if fns.contains(&"touch".to_string())),
+        "{e}"
+    );
 }
 
 // --------------------------- updater driver ---------------------------
@@ -358,12 +407,19 @@ fn updater_retries_nothing_after_strict_failure() {
     let bad = patch(
         &p,
         "fun g(): int { return 1; }",
-        Manifest { replaces: vec!["f".into()], adds: vec!["g".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["f".into()],
+            adds: vec!["g".into()],
+            ..Manifest::default()
+        },
     );
     let good = patch(
         &p,
         "fun f(): int { update; return 2; }",
-        Manifest { replaces: vec!["f".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["f".into()],
+            ..Manifest::default()
+        },
     );
     let mut up = Updater::new();
     up.enqueue(&mut p, bad);
@@ -371,6 +427,10 @@ fn updater_retries_nothing_after_strict_failure() {
     assert!(up.run(&mut p, "f", vec![]).is_err());
     // The good patch is still pending; a later run applies it.
     assert_eq!(up.pending_count(), 1);
-    assert_eq!(up.run(&mut p, "f", vec![]).unwrap(), Value::Int(1), "old f finishes");
+    assert_eq!(
+        up.run(&mut p, "f", vec![]).unwrap(),
+        Value::Int(1),
+        "old f finishes"
+    );
     assert_eq!(up.run(&mut p, "f", vec![]).unwrap(), Value::Int(2));
 }

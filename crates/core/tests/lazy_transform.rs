@@ -2,7 +2,8 @@
 //! to the paper's eager design, kept behind [`TransformTiming::Lazy`].
 
 use dsu_core::{
-    apply_patch, compile_patch, interface_of, Manifest, PatchGen, Transformer, TransformTiming, UpdatePolicy,
+    apply_patch, compile_patch, interface_of, Manifest, PatchGen, TransformTiming, Transformer,
+    UpdatePolicy,
 };
 use vm::{LinkMode, Process, Value};
 
@@ -14,7 +15,10 @@ fn boot(src: &str) -> Process {
 }
 
 fn lazy_policy() -> UpdatePolicy {
-    UpdatePolicy { transform: TransformTiming::Lazy, ..UpdatePolicy::default() }
+    UpdatePolicy {
+        transform: TransformTiming::Lazy,
+        ..UpdatePolicy::default()
+    }
 }
 
 const V1: &str = r#"
@@ -112,7 +116,9 @@ fn guest_store_before_read_supersedes_pending_transform() {
     p.call("fill", vec![Value::Int(1)]).unwrap();
     assert!(!p.has_pending_transform("data"));
     // 10 migrated records + 1 new one.
-    let Value::Array(a) = p.global_value("data").unwrap() else { panic!() };
+    let Value::Array(a) = p.global_value("data").unwrap() else {
+        panic!()
+    };
     assert_eq!(a.borrow().len(), 11);
 }
 
@@ -130,7 +136,10 @@ fn transformer_reading_its_own_global_sees_old_value_once() {
         &interface_of(&p),
         Manifest {
             adds: vec!["xg".into()],
-            transformers: vec![Transformer { global: "g".into(), function: "xg".into() }],
+            transformers: vec![Transformer {
+                global: "g".into(),
+                function: "xg".into(),
+            }],
             ..Manifest::default()
         },
     )
@@ -166,7 +175,10 @@ fn failing_lazy_transformer_traps_at_first_read_not_apply() {
         &interface_of(&p),
         Manifest {
             adds: vec!["xg".into()],
-            transformers: vec![Transformer { global: "g".into(), function: "xg".into() }],
+            transformers: vec![Transformer {
+                global: "g".into(),
+                function: "xg".into(),
+            }],
             ..Manifest::default()
         },
     )

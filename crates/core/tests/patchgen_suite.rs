@@ -38,7 +38,10 @@ fn whitespace_and_comment_changes_are_not_changes() {
         }
     "#;
     let g = gen(old, new);
-    assert_eq!(g.stats.functions_changed, 0, "canonical form ignores formatting");
+    assert_eq!(
+        g.stats.functions_changed, 0,
+        "canonical form ignores formatting"
+    );
 }
 
 #[test]
@@ -90,7 +93,11 @@ fn global_initialiser_change_alone_does_not_transform() {
     let mut p = boot(old);
     p.call("bump", vec![]).unwrap(); // g = 2
     apply_patch(&mut p, &g.patch, UpdatePolicy::default()).unwrap();
-    assert_eq!(p.call("bump", vec![]).unwrap(), Value::Int(3), "state kept, not re-initialised");
+    assert_eq!(
+        p.call("bump", vec![]).unwrap(),
+        Value::Int(3),
+        "state kept, not re-initialised"
+    );
 }
 
 #[test]
@@ -172,14 +179,8 @@ fn generated_patch_source_is_reusable_text() {
     let p = boot(old);
     let old_mod = popcorn::compile(old, "o", "v1", &popcorn::Interface::new()).unwrap();
     let iface = dsu_core::interface_of_module(&old_mod);
-    let recompiled = dsu_core::compile_patch(
-        &g.source,
-        "v1",
-        "v2",
-        &iface,
-        g.patch.manifest.clone(),
-    )
-    .unwrap();
+    let recompiled =
+        dsu_core::compile_patch(&g.source, "v1", "v2", &iface, g.patch.manifest.clone()).unwrap();
     assert_eq!(recompiled.manifest, g.patch.manifest);
     drop(p);
 }

@@ -1,0 +1,142 @@
+//! Updater failure paths: strict aborts, non-strict drains, and the
+//! pause log that instruments both.
+
+use dsu_core::{compile_patch, interface_of, Manifest, PatchGen, RunError, Updater};
+use vm::{LinkMode, Process, Value};
+
+fn boot(src: &str) -> Process {
+    let m = popcorn::compile(src, "app", "v1", &popcorn::Interface::new()).unwrap();
+    let mut p = Process::new(LinkMode::Updateable);
+    p.load_module(&m).unwrap();
+    p
+}
+
+// The update point sits in `spin`, but the patched function is `tick`:
+// the active `spin` frame keeps running old code, while each iteration's
+// `tick` call dispatches to whichever version is bound.
+const SPIN: &str = r#"
+    global n: int = 0;
+    fun tick(): unit { n = n + 1; }
+    fun spin(k: int): int {
+        var i: int = 0;
+        while (i < k) { tick(); update; i = i + 1; }
+        return n;
+    }
+"#;
+
+/// A patch whose manifest claims to replace a function the module does
+/// not define — linking rejects it.
+fn bad_patch(p: &Process) -> dsu_core::Patch {
+    compile_patch(
+        "fun other(): int { return 2; }",
+        "v1",
+        "v2",
+        &interface_of(p),
+        Manifest {
+            replaces: vec!["spin".into()],
+            adds: vec!["other".into()],
+            ..Manifest::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn strict_failure_mid_run_leaves_process_consistent() {
+    let mut p = boot(SPIN);
+    let mut up = Updater::new();
+    assert!(up.strict);
+    let bad = bad_patch(&p);
+    up.enqueue(&mut p, bad);
+
+    let e = up.run(&mut p, "spin", vec![Value::Int(2)]).unwrap_err();
+    assert!(matches!(e, RunError::Update(_)), "{e}");
+
+    // The suspended run was discarded cleanly: no dangling guest stack,
+    // no armed update request, nothing left queued.
+    assert!(!p.is_suspended());
+    assert!(!p.update_requested());
+    assert_eq!(up.pending_count(), 0);
+    // Strict failures abort; they are not recorded as tolerated failures.
+    assert!(up.failures().is_empty());
+    assert!(up.log().is_empty());
+
+    // State mutated before the abort persists (the first iteration ran),
+    // and the process is fully runnable on the old version.
+    assert_eq!(p.global_value("n"), Some(Value::Int(1)));
+    assert_eq!(
+        up.run(&mut p, "spin", vec![Value::Int(2)]).unwrap(),
+        Value::Int(3)
+    );
+}
+
+#[test]
+fn strict_failure_keeps_later_patches_queued() {
+    let mut p = boot(SPIN);
+    let mut up = Updater::new();
+    let bad = bad_patch(&p);
+    let good = PatchGen::new()
+        .generate(SPIN, &SPIN.replace("n = n + 1", "n = n + 2"), "v1", "v2")
+        .unwrap()
+        .patch;
+    up.enqueue(&mut p, bad);
+    up.enqueue(&mut p, good);
+
+    assert!(up.run(&mut p, "spin", vec![Value::Int(1)]).is_err());
+    // The failing patch was dropped; the one behind it is still pending
+    // and the process stays armed so the next update point takes it.
+    assert_eq!(up.pending_count(), 1);
+    assert!(p.update_requested());
+
+    // The next run applies the survivor: iteration 1 adds 1 (old code,
+    // n: 1 -> 2), the patch lands at the update point, iteration 2 adds 2.
+    assert_eq!(
+        up.run(&mut p, "spin", vec![Value::Int(2)]).unwrap(),
+        Value::Int(4)
+    );
+    assert_eq!(up.log().len(), 1);
+}
+
+#[test]
+fn non_strict_drains_queue_and_records_failures() {
+    let mut p = boot(SPIN);
+    let mut up = Updater::new();
+    up.strict = false;
+    let good = PatchGen::new()
+        .generate(SPIN, &SPIN.replace("n = n + 1", "n = n + 10"), "v1", "v2")
+        .unwrap()
+        .patch;
+    let (bad_a, bad_b) = (bad_patch(&p), bad_patch(&p));
+    up.enqueue(&mut p, bad_a);
+    up.enqueue(&mut p, good);
+    up.enqueue(&mut p, bad_b);
+
+    // The run completes: failures are tolerated, the good patch applies.
+    // Iteration 1 under old code (n: 0 -> 1), iterations 2-3 under new.
+    assert_eq!(
+        up.run(&mut p, "spin", vec![Value::Int(3)]).unwrap(),
+        Value::Int(21)
+    );
+    assert_eq!(up.failures().len(), 2);
+    assert_eq!(up.log().len(), 1);
+    assert_eq!(up.pending_count(), 0);
+    assert!(!p.update_requested());
+}
+
+#[test]
+fn pause_log_records_mid_run_applies() {
+    let mut p = boot(SPIN);
+    let mut up = Updater::new();
+    let good = PatchGen::new()
+        .generate(SPIN, &SPIN.replace("n = n + 1", "n = n + 10"), "v1", "v2")
+        .unwrap()
+        .patch;
+    assert!(up.pauses().is_empty());
+    up.enqueue(&mut p, good);
+    up.run(&mut p, "spin", vec![Value::Int(2)]).unwrap();
+
+    let pauses = up.pauses();
+    assert_eq!(pauses.len(), 1);
+    // The pause covers (at least) the apply itself.
+    assert!(pauses[0].dur >= up.log()[0].timings.total());
+}

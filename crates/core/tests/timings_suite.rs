@@ -1,0 +1,105 @@
+//! Update-pause accounting: the per-phase breakdown must attribute every
+//! phase to its own bucket and sum exactly to the reported total.
+
+use dsu_core::{apply_patch, PatchGen, PhaseTimings, UpdatePolicy};
+use std::time::Duration;
+use vm::{LinkMode, Process, Value};
+
+fn boot(src: &str) -> Process {
+    let m = popcorn::compile(src, "app", "v1", &popcorn::Interface::new()).unwrap();
+    let mut p = Process::new(LinkMode::Updateable);
+    p.load_module(&m).unwrap();
+    p
+}
+
+/// Applies a patch that exercises every phase (verify, compat, link,
+/// bind, new-global init, state transform) and checks the breakdown.
+#[test]
+fn phases_sum_exactly_to_total() {
+    let old = r#"
+        struct rec { id: int }
+        global data: [rec] = new [rec];
+        fun add(n: int): unit { push(data, rec { id: n }); }
+        fun sum(): int {
+            var s: int = 0;
+            var i: int = 0;
+            while (i < len(data)) { s = s + data[i].id; i = i + 1; }
+            return s;
+        }
+    "#;
+    let new = r#"
+        struct rec { id: int, hot: bool }
+        global data: [rec] = new [rec];
+        global hits: int = 40 + 2;
+        fun add(n: int): unit { push(data, rec { id: n, hot: false }); }
+        fun sum(): int {
+            var s: int = 0;
+            var i: int = 0;
+            while (i < len(data)) { s = s + data[i].id; i = i + 1; }
+            return s;
+        }
+    "#;
+    let gen = PatchGen::new().generate(old, new, "v1", "v2").unwrap();
+    assert!(
+        !gen.patch.manifest.new_globals.is_empty(),
+        "patch must add a global"
+    );
+    assert!(
+        !gen.patch.manifest.transformers.is_empty(),
+        "patch must transform state"
+    );
+
+    let mut p = boot(old);
+    for n in 0..50 {
+        p.call("add", vec![Value::Int(n)]).unwrap();
+    }
+    let report = apply_patch(&mut p, &gen.patch, UpdatePolicy::default()).unwrap();
+    let t = report.timings;
+
+    // The breakdown is definitionally exact: total() is the sum of the six
+    // phase buckets, with no unattributed remainder.
+    assert_eq!(
+        t.verify + t.compat + t.link + t.bind + t.init + t.transform,
+        t.total(),
+    );
+    // Each phase actually ran and was measured into its own bucket.
+    assert!(t.verify > Duration::ZERO, "verification was timed: {t:?}");
+    assert!(
+        t.compat > Duration::ZERO,
+        "compat analysis was timed: {t:?}"
+    );
+    assert!(t.link > Duration::ZERO, "linking was timed: {t:?}");
+    assert!(t.init > Duration::ZERO, "new-global init was timed: {t:?}");
+    assert!(
+        t.transform > Duration::ZERO,
+        "state transform was timed: {t:?}"
+    );
+    // Initialisation is no longer misattributed to state transformation:
+    // the new global got its (computed) initial value during `init`.
+    assert_eq!(p.global_value("hits"), Some(Value::Int(42)));
+    // And the transformer's work really happened under `transform`.
+    assert_eq!(
+        p.call("sum", vec![]).unwrap(),
+        Value::Int((0..50).sum::<i64>())
+    );
+}
+
+/// A patch with no new globals reports a zero init bucket.
+#[test]
+fn no_new_globals_means_zero_init_bucket() {
+    let old = "fun f(): int { return 1; }";
+    let new = "fun f(): int { return 2; }";
+    let gen = PatchGen::new().generate(old, new, "v1", "v2").unwrap();
+    let mut p = boot(old);
+    let report = apply_patch(&mut p, &gen.patch, UpdatePolicy::default()).unwrap();
+    assert_eq!(report.timings.init, Duration::ZERO);
+    assert_eq!(report.timings.transform, Duration::ZERO);
+    assert!(report.timings.total() > Duration::ZERO);
+}
+
+/// Default-constructed timings are all-zero (fresh accounting baseline).
+#[test]
+fn default_timings_are_zero() {
+    let t = PhaseTimings::default();
+    assert_eq!(t.total(), Duration::ZERO);
+}

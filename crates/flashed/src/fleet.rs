@@ -1,0 +1,365 @@
+//! A sharded FlashEd fleet with coordinated live updates.
+//!
+//! The paper updates one single-threaded server mid-traffic. This module
+//! scales that experiment out: a [`Fleet`] runs N worker threads, each
+//! owning its *own* [`vm::Process`] (guest state is thread-local; nothing
+//! about the VM becomes concurrent), all pulling from one shared request
+//! queue ([`ServerShared`]). A coordinator thread broadcasts a compiled
+//! [`Patch`] to every worker through [`dsu_core::UpdaterRemote`] handles
+//! under one of two rollout policies:
+//!
+//! * [`RolloutPolicy::Simultaneous`] — every worker pauses at its next
+//!   update point, a barrier lines the whole fleet up, all workers apply
+//!   at once, all resume. One fleet-wide service gap; no version skew.
+//! * [`RolloutPolicy::Rolling`] — workers apply one at a time; while one
+//!   pauses the rest keep serving, so the fleet never stops completing
+//!   requests. Transient version skew; no fleet-wide gap.
+//!
+//! Workers run their updaters non-strict: a worker whose apply is rejected
+//! keeps serving its old version and the failure lands in the rollout's
+//! [`FleetUpdateReport`] — the rest of the fleet still rolls forward.
+
+use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Barrier};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use dsu_core::{FleetUpdateReport, Patch, UpdaterRemote};
+use vm::LinkMode;
+
+use crate::fs::SimFs;
+use crate::server::{Completion, Server, ServerShared};
+
+/// How a patch is rolled out across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutPolicy {
+    /// Pause every worker at its next update point, apply everywhere at
+    /// once (barrier rendezvous), resume everywhere.
+    Simultaneous,
+    /// Apply to one worker at a time; the rest keep serving throughout.
+    Rolling,
+}
+
+/// How long an idle worker waits for control traffic before rechecking
+/// the queue. Bounds both shutdown latency and the time for an idle
+/// worker to join a rollout.
+const IDLE_WAIT: Duration = Duration::from_micros(500);
+
+/// How long a rollout waits for a worker to apply before giving up.
+const ROLLOUT_DEADLINE: Duration = Duration::from_secs(30);
+
+enum Ctrl {
+    Shutdown,
+}
+
+struct Worker {
+    id: usize,
+    ctrl: mpsc::Sender<Ctrl>,
+    remote: UpdaterRemote,
+    join: JoinHandle<Result<i64, String>>,
+}
+
+/// A running fleet of FlashEd workers over one shared request queue.
+pub struct Fleet {
+    shared: ServerShared,
+    workers: Vec<Worker>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("workers", &self.workers.len())
+            .field("shared", &self.shared)
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Boots `n` workers, each compiling `src` and serving from one shared
+    /// queue. Every worker builds its server inside its own thread (guest
+    /// processes are thread-local by construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker's boot error; already-started workers are
+    /// shut down.
+    pub fn start(
+        n: usize,
+        mode: LinkMode,
+        src: &str,
+        version: &str,
+        fs: &SimFs,
+    ) -> Result<Fleet, String> {
+        assert!(n > 0, "a fleet needs at least one worker");
+        let shared = ServerShared::new();
+        let mut workers = Vec::with_capacity(n);
+        let mut boot_err = None;
+        for id in 0..n {
+            let (ctrl_tx, ctrl_rx) = mpsc::channel();
+            let (boot_tx, boot_rx) = mpsc::channel();
+            let src = src.to_string();
+            let version = version.to_string();
+            let fs = fs.clone();
+            let shared_w = shared.clone();
+            let join = thread::Builder::new()
+                .name(format!("flashed-worker-{id}"))
+                .spawn(move || worker_main(mode, src, version, fs, shared_w, ctrl_rx, boot_tx))
+                .map_err(|e| format!("spawn worker {id}: {e}"))?;
+            match boot_rx.recv() {
+                Ok(Ok(remote)) => workers.push(Worker {
+                    id,
+                    ctrl: ctrl_tx,
+                    remote,
+                    join,
+                }),
+                Ok(Err(e)) => {
+                    boot_err = Some(format!("worker {id} failed to boot: {e}"));
+                    let _ = join.join();
+                    break;
+                }
+                Err(_) => {
+                    boot_err = Some(format!("worker {id} died during boot"));
+                    let _ = join.join();
+                    break;
+                }
+            }
+        }
+        if let Some(e) = boot_err {
+            for w in workers {
+                let _ = w.ctrl.send(Ctrl::Shutdown);
+                let _ = w.join.join();
+            }
+            return Err(e);
+        }
+        Ok(Fleet { shared, workers })
+    }
+
+    /// Fleet size.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Control handle for one worker — canary a patch on a single worker,
+    /// or inspect its apply history, without a fleet-wide rollout.
+    pub fn remote(&self, worker: usize) -> UpdaterRemote {
+        self.workers[worker].remote.clone()
+    }
+
+    /// The shared queue/completion state (clone to feed or observe the
+    /// fleet from other threads).
+    pub fn shared(&self) -> ServerShared {
+        self.shared.clone()
+    }
+
+    /// Enqueues client requests onto the shared queue.
+    pub fn push_requests<I>(&self, requests: I)
+    where
+        I: IntoIterator<Item = String>,
+    {
+        self.shared.push_requests(requests);
+    }
+
+    /// Completed responses so far, fleet-wide, in completion order.
+    pub fn completions(&self) -> Vec<Completion> {
+        self.shared.completions()
+    }
+
+    /// Blocks until the shared queue is empty and every pulled request has
+    /// completed (`expected` = completions expected so far).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the fleet does not drain within the deadline.
+    pub fn drain(&self, expected: usize) -> Result<(), String> {
+        let deadline = Instant::now() + ROLLOUT_DEADLINE;
+        loop {
+            if self.shared.queue_len() == 0 && self.shared.completions_len() >= expected {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "fleet did not drain: {} queued, {}/{} completed",
+                    self.shared.queue_len(),
+                    self.shared.completions_len(),
+                    expected,
+                ));
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Rolls `patch` out to every worker under `policy`, blocking until
+    /// each worker has either applied it or had it rejected. Serving
+    /// continues throughout (for [`RolloutPolicy::Rolling`], completions
+    /// never stop fleet-wide; for [`RolloutPolicy::Simultaneous`], the
+    /// whole fleet pauses once, together).
+    ///
+    /// # Errors
+    ///
+    /// Errors if a worker fails to reach an update boundary within the
+    /// rollout deadline (e.g. its thread died).
+    pub fn rollout(
+        &self,
+        patch: &Patch,
+        policy: RolloutPolicy,
+    ) -> Result<FleetUpdateReport, String> {
+        let mut report = FleetUpdateReport {
+            workers: self.workers.len(),
+            ..FleetUpdateReport::default()
+        };
+        let baselines: Vec<(usize, usize, usize)> = self
+            .workers
+            .iter()
+            .map(|w| {
+                (
+                    w.remote.applied_count(),
+                    w.remote.failure_count(),
+                    w.remote.pauses().len(),
+                )
+            })
+            .collect();
+
+        match policy {
+            RolloutPolicy::Simultaneous => {
+                // Gates first, then patches: a fast worker must find its
+                // barrier already installed when it reaches the pause.
+                let barrier = Arc::new(Barrier::new(self.workers.len()));
+                for w in &self.workers {
+                    let b = Arc::clone(&barrier);
+                    w.remote.set_gate(Box::new(move || {
+                        b.wait();
+                    }));
+                }
+                for w in &self.workers {
+                    w.remote.enqueue(patch.clone());
+                }
+                for (w, base) in self.workers.iter().zip(&baselines) {
+                    self.await_worker(w, *base)?;
+                }
+            }
+            RolloutPolicy::Rolling => {
+                for (w, base) in self.workers.iter().zip(&baselines) {
+                    w.remote.enqueue(patch.clone());
+                    self.await_worker(w, *base)?;
+                }
+            }
+        }
+
+        for (w, (applied0, failed0, pauses0)) in self.workers.iter().zip(&baselines) {
+            for r in w.remote.reports().drain(*applied0..) {
+                report.applied.push((w.id, r));
+            }
+            for e in w.remote.failures().drain(*failed0..) {
+                report.failed.push((w.id, e));
+            }
+            let pause: Duration = w.remote.pauses().iter().skip(*pauses0).map(|p| p.dur).sum();
+            report.pauses.push(pause);
+        }
+        Ok(report)
+    }
+
+    /// Waits until `worker` has resolved one more patch than its baseline.
+    fn await_worker(
+        &self,
+        worker: &Worker,
+        (applied0, failed0, _): (usize, usize, usize),
+    ) -> Result<(), String> {
+        let deadline = Instant::now() + ROLLOUT_DEADLINE;
+        loop {
+            let done =
+                worker.remote.applied_count() + worker.remote.failure_count() > applied0 + failed0;
+            if done && worker.remote.pending_count() == 0 {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "worker {} did not reach an update boundary",
+                    worker.id
+                ));
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Stops every worker and returns the per-worker served-request counts
+    /// (in worker order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker error (guest trap or panic), after all
+    /// workers have been joined.
+    pub fn shutdown(self) -> Result<Vec<i64>, String> {
+        for w in &self.workers {
+            let _ = w.ctrl.send(Ctrl::Shutdown);
+        }
+        let mut served = Vec::with_capacity(self.workers.len());
+        let mut first_err = None;
+        for w in self.workers {
+            match w.join.join() {
+                Ok(Ok(n)) => served.push(n),
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(format!("worker {}: {e}", w.id));
+                    served.push(0);
+                }
+                Err(_) => {
+                    first_err.get_or_insert(format!("worker {} panicked", w.id));
+                    served.push(0);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(served),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// One worker: boots its own server against the shared state, then serves
+/// until told to shut down, applying patches fed through its remote at
+/// update points (busy) or quiescent boundaries (idle).
+fn worker_main(
+    mode: LinkMode,
+    src: String,
+    version: String,
+    fs: SimFs,
+    shared: ServerShared,
+    ctrl: mpsc::Receiver<Ctrl>,
+    boot_tx: mpsc::Sender<Result<UpdaterRemote, String>>,
+) -> Result<i64, String> {
+    let mut server = match Server::start_shared(mode, &src, &version, fs, shared) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = boot_tx.send(Err(e.to_string()));
+            return Err(e.to_string());
+        }
+    };
+    // Fleet workers keep serving their old version when a patch is
+    // rejected; the coordinator reads the failure out of the shared log.
+    server.updater.strict = false;
+    if boot_tx.send(Ok(server.remote())).is_err() {
+        return Ok(0); // coordinator went away before boot finished
+    }
+
+    let mut total = 0i64;
+    loop {
+        match ctrl.try_recv() {
+            Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => return Ok(total),
+            Err(TryRecvError::Empty) => {}
+        }
+        // A patch that arrived while the queue was empty never meets an
+        // update point (the guest exits its serve loop without passing
+        // one); apply it here, at the quiescent boundary. Non-strict, so
+        // rejections are recorded, not returned.
+        if server.updater.pending_count() > 0 {
+            server.apply_pending_now().map_err(|e| e.to_string())?;
+        }
+        match server.serve() {
+            Ok(0) => match ctrl.recv_timeout(IDLE_WAIT) {
+                Ok(Ctrl::Shutdown) | Err(RecvTimeoutError::Disconnected) => return Ok(total),
+                Err(RecvTimeoutError::Timeout) => {}
+            },
+            Ok(n) => total += n,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}

@@ -5,14 +5,19 @@
 //! path (lookup → read → respond) while keeping experiments reproducible.
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// An in-memory filesystem: path → content.
 #[derive(Debug, Clone, Default)]
 pub struct SimFs {
     files: BTreeMap<String, String>,
+    /// Simulated per-read device latency (zero by default). Flash — and
+    /// hence the paper's testbed — is disk-bound; modelling the read wait
+    /// lets multi-worker experiments overlap I/O the way the real server
+    /// overlapped disk requests.
+    read_latency: Duration,
 }
 
 impl SimFs {
@@ -26,9 +31,24 @@ impl SimFs {
         self.files.insert(path.into(), content.into());
     }
 
-    /// Reads a file's content.
+    /// Reads a file's content, stalling for the simulated device latency
+    /// (if one is configured).
     pub fn read(&self, path: &str) -> Option<&str> {
+        if !self.read_latency.is_zero() {
+            std::thread::sleep(self.read_latency);
+        }
         self.files.get(path).map(String::as_str)
+    }
+
+    /// Sets the simulated per-read device latency.
+    pub fn with_read_latency(mut self, latency: Duration) -> SimFs {
+        self.read_latency = latency;
+        self
+    }
+
+    /// The configured per-read device latency.
+    pub fn read_latency(&self) -> Duration {
+        self.read_latency
     }
 
     /// Whether a file exists.
@@ -55,13 +75,13 @@ impl SimFs {
     /// from `size_range` (bytes), deterministic in `seed`. This mirrors
     /// the static-document corpora of web-server benchmarks.
     pub fn generate(n: usize, size_range: (usize, usize), seed: u64) -> SimFs {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut fs = SimFs::new();
         for i in 0..n {
             let size = if size_range.0 >= size_range.1 {
                 size_range.0
             } else {
-                rng.gen_range(size_range.0..=size_range.1)
+                rng.gen_range_usize(size_range.0, size_range.1)
             };
             fs.insert(format!("/f{i:04}.html"), synth_content(i, size));
         }

@@ -40,7 +40,11 @@ pub fn parse_response(raw: &str) -> Option<Response> {
         let (name, value) = line.split_once(':')?;
         headers.push((name.trim().to_string(), value.trim().to_string()));
     }
-    Some(Response { status, headers, body: body.to_string() })
+    Some(Response {
+        status,
+        headers,
+        body: body.to_string(),
+    })
 }
 
 #[cfg(test)]

@@ -15,7 +15,10 @@
 //!   exercising the same guest code path);
 //! * a [server harness](server) that boots any version in static or
 //!   updateable link mode and applies patches mid-traffic at the guest's
-//!   update points.
+//!   update points;
+//! * a multi-worker [fleet](fleet) that shards one request queue across N
+//!   worker threads and rolls patches out fleet-wide, simultaneously
+//!   (barrier-coordinated) or rolling (one worker at a time).
 //!
 //! ## Example
 //!
@@ -31,17 +34,21 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod fleet;
 pub mod fs;
 pub mod http;
 pub mod patches;
+pub mod rng;
 pub mod server;
 pub mod versions;
 pub mod workload;
 
+pub use fleet::{Fleet, RolloutPolicy};
 pub use fs::SimFs;
 pub use http::{parse_response, Response};
 pub use patches::patch_stream;
-pub use server::{latency_stats, BootError, Completion, LatencyStats, Server};
+pub use rng::Rng;
+pub use server::{latency_stats, BootError, Completion, LatencyStats, Server, ServerShared};
 pub use workload::{Workload, Zipf};
 
 #[cfg(test)]
@@ -118,9 +125,14 @@ mod tests {
             assert_eq!(parse_response(&c.response).unwrap().status, 200);
         }
         // v2+ responses carry Content-Type; v1's do not.
-        assert!(parse_response(&done[0].response).unwrap().header("content-type").is_none());
+        assert!(parse_response(&done[0].response)
+            .unwrap()
+            .header("content-type")
+            .is_none());
         assert_eq!(
-            parse_response(&done.last().unwrap().response).unwrap().header("content-type"),
+            parse_response(&done.last().unwrap().response)
+                .unwrap()
+                .header("content-type"),
             Some("text/html")
         );
         // v5 logging active.
@@ -158,10 +170,17 @@ mod tests {
         assert_eq!(cache.borrow().len(), warm_len);
 
         // New functionality observes hits against the *old* cached data.
-        assert_eq!(s.process_mut().call("cache_hits_total", vec![]).unwrap(), Value::Int(0));
+        assert_eq!(
+            s.process_mut().call("cache_hits_total", vec![]).unwrap(),
+            Value::Int(0)
+        );
         s.push_requests(wl.batch(50));
         s.serve().unwrap();
-        let hits = s.process_mut().call("cache_hits_total", vec![]).unwrap().as_int();
+        let hits = s
+            .process_mut()
+            .call("cache_hits_total", vec![])
+            .unwrap()
+            .as_int();
         assert!(hits > 0, "cached paths must register hits, got {hits}");
     }
 
@@ -176,13 +195,23 @@ mod tests {
             Server::start(LinkMode::Updateable, &versions::v4(), "v4", fs.clone()).unwrap();
         s4.push_requests(vec![format!("GET {target}?q=1 HTTP/1.0")]);
         s4.serve().unwrap();
-        assert_eq!(parse_response(&s4.completions()[0].response).unwrap().status, 404);
+        assert_eq!(
+            parse_response(&s4.completions()[0].response)
+                .unwrap()
+                .status,
+            404
+        );
 
         // v5 strips the query -> 200.
         let mut s5 = Server::start(LinkMode::Updateable, &versions::v5(), "v5", fs).unwrap();
         s5.push_requests(vec![format!("GET {target}?q=1 HTTP/1.0")]);
         s5.serve().unwrap();
-        assert_eq!(parse_response(&s5.completions()[0].response).unwrap().status, 200);
+        assert_eq!(
+            parse_response(&s5.completions()[0].response)
+                .unwrap()
+                .status,
+            200
+        );
     }
 
     #[test]
@@ -197,6 +226,9 @@ mod tests {
         s.queue_patch(gen.patch);
         s.push_requests(wl.batch(10));
         s.serve().unwrap();
-        assert_eq!(s.process().global_value("served_total"), Some(Value::Int(20)));
+        assert_eq!(
+            s.process().global_value("served_total"),
+            Some(Value::Int(20))
+        );
     }
 }

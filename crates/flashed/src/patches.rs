@@ -37,13 +37,23 @@ mod tests {
         let v2v3 = &stream[1];
         assert_eq!(v2v3.stats.globals_added, 2, "cache, cache_cap");
         assert_eq!(v2v3.stats.functions_added, 2, "cache_lookup, cache_insert");
-        assert_eq!(v2v3.stats.types_changed, 0, "cache_entry is new, not changed");
+        assert_eq!(
+            v2v3.stats.types_changed, 0,
+            "cache_entry is new, not changed"
+        );
 
         let v3v4 = &stream[2];
         assert_eq!(v3v4.stats.types_changed, 1, "cache_entry");
         assert_eq!(v3v4.stats.transformers, 1, "cache needs transforming");
-        assert_eq!(v3v4.stats.transformers_auto, 1, "field growth is mechanical");
-        assert!(v3v4.stats.functions_carried >= 1, "handle carried: {:?}", v3v4.stats);
+        assert_eq!(
+            v3v4.stats.transformers_auto, 1,
+            "field growth is mechanical"
+        );
+        assert!(
+            v3v4.stats.functions_carried >= 1,
+            "handle carried: {:?}",
+            v3v4.stats
+        );
 
         let v4v5 = &stream[3];
         assert_eq!(v4v5.stats.types_changed, 0);

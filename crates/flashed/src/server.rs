@@ -6,14 +6,18 @@
 //! loop through a [`dsu_core::Updater`] so queued dynamic patches apply at
 //! the guest's update points — mid-traffic, exactly like the paper's
 //! live-update experiments.
+//!
+//! Several servers can share one request queue and completion log through
+//! a [`ServerShared`]: that is the substrate of the multi-worker fleet in
+//! [`crate::fleet`], where each worker thread boots its own `Server`
+//! against a common queue.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use dsu_core::{Patch, RunError, Updater};
+use dsu_core::{Patch, PauseLog, RunError, Updater};
 use tal::{FnSig, Ty};
 use vm::{LinkMode, Process, Value};
 
@@ -27,8 +31,19 @@ pub struct Completion {
     pub at: Duration,
     /// Per-request service time: from the guest pulling the request off
     /// the queue to it sending the response (the latency a client of this
-    /// single-threaded server observes, queueing excluded).
+    /// single-threaded server observes, queueing excluded). Time the guest
+    /// spent suspended in a dynamic update between pull and response is
+    /// *excluded* — it is reported separately as [`Completion::update_pause`].
     pub service: Duration,
+    /// Update-pause time that fell inside this request (between its pull
+    /// and its response). Zero for the overwhelming majority of requests;
+    /// non-zero exactly for requests in flight across an update point.
+    pub update_pause: Duration,
+    /// Whether this response was matched to a queue pull. A response
+    /// without a matching pull (guest answered without calling
+    /// `next_request`) carries no meaningful service time and is excluded
+    /// from [`latency_stats`].
+    pub pulled: bool,
     /// The raw response text.
     pub response: String,
 }
@@ -44,19 +59,28 @@ pub struct LatencyStats {
     pub max: Duration,
 }
 
-/// Computes service-time percentiles (nearest-rank).
+/// Computes service-time percentiles (nearest-rank) over the completions
+/// that were matched to a queue pull (see [`Completion::pulled`]).
 ///
 /// # Panics
-/// Panics when `completions` is empty.
+/// Panics when no completion has a measured service time.
 pub fn latency_stats(completions: &[Completion]) -> LatencyStats {
-    assert!(!completions.is_empty(), "no completions");
-    let mut times: Vec<Duration> = completions.iter().map(|c| c.service).collect();
+    let mut times: Vec<Duration> = completions
+        .iter()
+        .filter(|c| c.pulled)
+        .map(|c| c.service)
+        .collect();
+    assert!(!times.is_empty(), "no completions");
     times.sort();
     let rank = |p: f64| -> Duration {
         let idx = ((p * times.len() as f64).ceil() as usize).clamp(1, times.len());
         times[idx - 1]
     };
-    LatencyStats { p50: rank(0.50), p99: rank(0.99), max: *times.last().expect("non-empty") }
+    LatencyStats {
+        p50: rank(0.50),
+        p99: rank(0.99),
+        max: *times.last().expect("non-empty"),
+    }
 }
 
 /// Boot failures.
@@ -79,47 +103,142 @@ impl fmt::Display for BootError {
 
 impl std::error::Error for BootError {}
 
+/// The host-side state one or more servers serve from: a request queue,
+/// a completion log, a guest log, and a common time epoch.
+///
+/// Cloning shares the underlying state — clones hand the *same* queue to
+/// several workers, which is how the fleet shards traffic. Completion
+/// timestamps from every sharing server are on the same clock
+/// (`started`), so merged completion streams order correctly.
+#[derive(Clone)]
+pub struct ServerShared {
+    queue: Arc<Mutex<VecDeque<String>>>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    logs: Arc<Mutex<Vec<String>>>,
+    started: Instant,
+}
+
+impl Default for ServerShared {
+    fn default() -> ServerShared {
+        ServerShared::new()
+    }
+}
+
+impl fmt::Debug for ServerShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerShared")
+            .field("queued_requests", &self.queue_len())
+            .field(
+                "completions",
+                &self.completions.lock().expect("poisoned").len(),
+            )
+            .finish()
+    }
+}
+
+impl ServerShared {
+    /// Creates an empty shared state; `started` is now.
+    pub fn new() -> ServerShared {
+        ServerShared {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            completions: Arc::new(Mutex::new(Vec::new())),
+            logs: Arc::new(Mutex::new(Vec::new())),
+            started: Instant::now(),
+        }
+    }
+
+    /// Enqueues client requests.
+    pub fn push_requests<I>(&self, requests: I)
+    where
+        I: IntoIterator<Item = String>,
+    {
+        self.queue.lock().expect("poisoned").extend(requests);
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.lock().expect("poisoned").len()
+    }
+
+    /// Completed responses so far (in completion order).
+    pub fn completions(&self) -> Vec<Completion> {
+        self.completions.lock().expect("poisoned").clone()
+    }
+
+    /// Number of completed responses so far — constant-time, for pollers
+    /// ([`Server::completions`] clones every response).
+    pub fn completions_len(&self) -> usize {
+        self.completions.lock().expect("poisoned").len()
+    }
+
+    /// Drains and returns completed responses.
+    pub fn take_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().expect("poisoned"))
+    }
+
+    /// Guest log lines (v5's request log).
+    pub fn logs(&self) -> Vec<String> {
+        self.logs.lock().expect("poisoned").clone()
+    }
+
+    /// Time since this shared state was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
 /// A running FlashEd server.
 pub struct Server {
     proc: Process,
     /// The dynamic-update driver; queue patches through [`Server::queue_patch`].
     pub updater: Updater,
-    queue: Rc<RefCell<VecDeque<String>>>,
-    completions: Rc<RefCell<Vec<Completion>>>,
-    logs: Rc<RefCell<Vec<String>>>,
-    started: Instant,
+    shared: ServerShared,
 }
 
 impl fmt::Debug for Server {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Server")
             .field("mode", &self.proc.mode())
-            .field("queued_requests", &self.queue.borrow().len())
-            .field("completions", &self.completions.borrow().len())
+            .field("shared", &self.shared)
             .finish()
     }
 }
 
 impl Server {
     /// Compiles `src` (a FlashEd version) and boots it over `fs` in the
-    /// given link mode.
+    /// given link mode, with a private queue and completion log.
     ///
     /// # Errors
     ///
     /// Returns [`BootError`] when the source does not compile or link.
     pub fn start(mode: LinkMode, src: &str, version: &str, fs: SimFs) -> Result<Server, BootError> {
+        Server::start_shared(mode, src, version, fs, ServerShared::new())
+    }
+
+    /// Like [`Server::start`], but serving from caller-provided shared
+    /// state — several servers handed clones of the same [`ServerShared`]
+    /// pull from one queue and append to one completion log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BootError`] when the source does not compile or link.
+    pub fn start_shared(
+        mode: LinkMode,
+        src: &str,
+        version: &str,
+        fs: SimFs,
+        shared: ServerShared,
+    ) -> Result<Server, BootError> {
         let module = popcorn::compile(src, "flashed", version, &popcorn::Interface::new())
             .map_err(BootError::Compile)?;
         let mut proc = Process::new(mode);
+        let updater = Updater::new();
 
-        let fs = Rc::new(fs);
-        let queue: Rc<RefCell<VecDeque<String>>> = Rc::new(RefCell::new(VecDeque::new()));
-        let completions: Rc<RefCell<Vec<Completion>>> = Rc::new(RefCell::new(Vec::new()));
-        let logs: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
-        let started = Instant::now();
+        let fs = Arc::new(fs);
+        let started = shared.started;
 
         {
-            let fs = Rc::clone(&fs);
+            let fs = Arc::clone(&fs);
             proc.register_host(
                 "fs_read",
                 FnSig::new(vec![Ty::Str], Ty::Str),
@@ -130,37 +249,66 @@ impl Server {
             );
         }
         {
-            let fs = Rc::clone(&fs);
+            let fs = Arc::clone(&fs);
             proc.register_host(
                 "fs_exists",
                 FnSig::new(vec![Ty::Str], Ty::Bool),
                 Box::new(move |args| Ok(Value::Bool(fs.exists(&args[0].as_str())))),
             );
         }
-        let request_pulled: Rc<std::cell::Cell<Instant>> =
-            Rc::new(std::cell::Cell::new(started));
+        // When the guest pulled the request it is currently serving; None
+        // between requests. `send_response` takes it, so a response that
+        // was never preceded by a pull is detectable rather than silently
+        // timed from some stale (or boot-time) instant.
+        let request_pulled: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
         {
-            let queue = Rc::clone(&queue);
-            let request_pulled = Rc::clone(&request_pulled);
+            let queue = Arc::clone(&shared.queue);
+            let request_pulled = Arc::clone(&request_pulled);
             proc.register_host(
                 "next_request",
                 FnSig::new(vec![], Ty::Str),
                 Box::new(move |_| {
-                    request_pulled.set(Instant::now());
-                    Ok(Value::str(queue.borrow_mut().pop_front().unwrap_or_default()))
+                    let req = queue
+                        .lock()
+                        .expect("poisoned")
+                        .pop_front()
+                        .unwrap_or_default();
+                    *request_pulled.lock().expect("poisoned") = Some(Instant::now());
+                    Ok(Value::str(req))
                 }),
             );
         }
         {
-            let completions = Rc::clone(&completions);
-            let request_pulled = Rc::clone(&request_pulled);
+            let completions = Arc::clone(&shared.completions);
+            let request_pulled = Arc::clone(&request_pulled);
+            let pauses: PauseLog = updater.pause_log();
             proc.register_host(
                 "send_response",
                 FnSig::new(vec![Ty::Str], Ty::Unit),
                 Box::new(move |args| {
-                    completions.borrow_mut().push(Completion {
+                    let pulled_at = request_pulled.lock().expect("poisoned").take();
+                    let (service, update_pause, pulled) = match pulled_at {
+                        Some(t0) => {
+                            let raw = t0.elapsed();
+                            // Suspensions at update points between this
+                            // request's pull and its response are update
+                            // pause, not service time.
+                            let pause: Duration = pauses
+                                .lock()
+                                .expect("poisoned")
+                                .iter()
+                                .filter(|ev| ev.at >= t0)
+                                .map(|ev| ev.dur)
+                                .sum();
+                            (raw.saturating_sub(pause), pause, true)
+                        }
+                        None => (Duration::ZERO, Duration::ZERO, false),
+                    };
+                    completions.lock().expect("poisoned").push(Completion {
                         at: started.elapsed(),
-                        service: request_pulled.get().elapsed(),
+                        service,
+                        update_pause,
+                        pulled,
                         response: args[0].as_str().to_string(),
                     });
                     Ok(Value::Unit)
@@ -168,12 +316,14 @@ impl Server {
             );
         }
         {
-            let logs = Rc::clone(&logs);
+            let logs = Arc::clone(&shared.logs);
             proc.register_host(
                 "log_line",
                 FnSig::new(vec![Ty::Str], Ty::Unit),
                 Box::new(move |args| {
-                    logs.borrow_mut().push(args[0].as_str().to_string());
+                    logs.lock()
+                        .expect("poisoned")
+                        .push(args[0].as_str().to_string());
                     Ok(Value::Unit)
                 }),
             );
@@ -182,11 +332,8 @@ impl Server {
         proc.load_module(&module).map_err(BootError::Link)?;
         Ok(Server {
             proc,
-            updater: Updater::new(),
-            queue,
-            completions,
-            logs,
-            started,
+            updater,
+            shared,
         })
     }
 
@@ -195,7 +342,7 @@ impl Server {
     where
         I: IntoIterator<Item = String>,
     {
-        self.queue.borrow_mut().extend(requests);
+        self.shared.push_requests(requests);
     }
 
     /// Queues a dynamic patch; it applies at the next guest update point
@@ -227,24 +374,37 @@ impl Server {
         self.updater.apply_pending(&mut self.proc)
     }
 
+    /// The shared state this server serves from (clone to share the queue
+    /// with another server, or to observe completions from outside).
+    pub fn shared(&self) -> ServerShared {
+        self.shared.clone()
+    }
+
+    /// Cross-thread control over this server's updater/process pair: feed
+    /// patches, arm the update signal, observe reports — from a thread
+    /// that does not own the server (see [`dsu_core::UpdaterRemote`]).
+    pub fn remote(&self) -> dsu_core::UpdaterRemote {
+        self.updater.remote(&self.proc)
+    }
+
     /// Completed responses so far (in completion order).
     pub fn completions(&self) -> Vec<Completion> {
-        self.completions.borrow().clone()
+        self.shared.completions()
     }
 
     /// Drains and returns completed responses.
     pub fn take_completions(&mut self) -> Vec<Completion> {
-        std::mem::take(&mut *self.completions.borrow_mut())
+        self.shared.take_completions()
     }
 
     /// Guest log lines (v5's request log).
     pub fn logs(&self) -> Vec<String> {
-        self.logs.borrow().clone()
+        self.shared.logs()
     }
 
     /// Time since the server started.
     pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
+        self.shared.elapsed()
     }
 
     /// The underlying process (for interface extraction and inspection).

@@ -222,7 +222,13 @@ pub fn v5() -> String {
 
 /// All versions in order: `[("v1", src), ...]`.
 pub fn all() -> Vec<(&'static str, String)> {
-    vec![("v1", v1()), ("v2", v2()), ("v3", v3()), ("v4", v4()), ("v5", v5())]
+    vec![
+        ("v1", v1()),
+        ("v2", v2()),
+        ("v3", v3()),
+        ("v4", v4()),
+        ("v5", v5()),
+    ]
 }
 
 #[cfg(test)]
@@ -234,8 +240,7 @@ mod tests {
         for (name, src) in all() {
             let m = popcorn::compile(&src, "flashed", name, &popcorn::Interface::new())
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
-            tal::verify_module(&m, &tal::NoAmbientTypes)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            tal::verify_module(&m, &tal::NoAmbientTypes).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(m.function("serve").unwrap().has_update_point(), "{name}");
         }
     }

@@ -4,8 +4,7 @@
 //! skewed popularity distribution; this module reproduces that shape with
 //! a Zipf sampler over the simulated filesystem's paths.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// A Zipf(α) sampler over `n` ranks (0-based), built as an explicit CDF.
 #[derive(Debug, Clone)]
@@ -35,9 +34,12 @@ impl Zipf {
     }
 
     /// Samples a rank in `0..n`.
-    pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.gen_f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -49,7 +51,7 @@ impl Zipf {
 pub struct Workload {
     paths: Vec<String>,
     zipf: Zipf,
-    rng: StdRng,
+    rng: Rng,
     /// Fraction of requests targeting a missing document (404 path).
     pub miss_rate: f64,
     /// Fraction of syntactically malformed requests (400 path).
@@ -65,7 +67,13 @@ impl Workload {
     /// Panics when `paths` is empty.
     pub fn new(paths: Vec<String>, alpha: f64, seed: u64) -> Workload {
         let zipf = Zipf::new(paths.len(), alpha);
-        Workload { paths, zipf, rng: StdRng::seed_from_u64(seed), miss_rate: 0.0, bad_rate: 0.0 }
+        Workload {
+            paths,
+            zipf,
+            rng: Rng::seed_from_u64(seed),
+            miss_rate: 0.0,
+            bad_rate: 0.0,
+        }
     }
 
     /// Sets the 404 fraction.
@@ -82,7 +90,7 @@ impl Workload {
 
     /// Produces the next request line.
     pub fn next_request(&mut self) -> String {
-        let r: f64 = self.rng.gen();
+        let r = self.rng.gen_f64();
         if r < self.bad_rate {
             return "BOGUS".to_string();
         }
@@ -106,7 +114,7 @@ mod tests {
     #[test]
     fn zipf_is_skewed_toward_low_ranks() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut counts = vec![0usize; 100];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -119,7 +127,7 @@ mod tests {
     #[test]
     fn zipf_alpha_zero_is_roughly_uniform() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut counts = vec![0usize; 10];
         for _ in 0..10_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -137,7 +145,9 @@ mod tests {
         let b1 = w1.batch(50);
         let b2 = w2.batch(50);
         assert_eq!(b1, b2);
-        assert!(b1.iter().all(|r| r.starts_with("GET /") && r.ends_with(" HTTP/1.0")));
+        assert!(b1
+            .iter()
+            .all(|r| r.starts_with("GET /") && r.ends_with(" HTTP/1.0")));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Multi-worker fleet behaviour: sharding, coordinated rollouts, and
+//! partial-failure handling.
+
+use std::time::Duration;
+
+use flashed::{patch_stream, versions, Fleet, RolloutPolicy, SimFs, Workload};
+use vm::LinkMode;
+
+fn fixture() -> (SimFs, Workload) {
+    let fs = SimFs::generate_fixed(16, 256, 7);
+    let wl = Workload::new(fs.paths(), 1.0, 29);
+    (fs, wl)
+}
+
+/// True when every worker's most recent pause window shares a common
+/// instant — the signature of a barrier rendezvous.
+fn pause_windows_overlap(fleet: &Fleet) -> bool {
+    let windows: Vec<_> = (0..fleet.worker_count())
+        .filter_map(|i| {
+            fleet
+                .remote(i)
+                .pauses()
+                .last()
+                .map(|p| (p.at, p.at + p.dur))
+        })
+        .collect();
+    windows.len() == fleet.worker_count()
+        && windows.iter().map(|w| w.0).max() <= windows.iter().map(|w| w.1).min()
+}
+
+#[test]
+fn fleet_shards_one_queue_across_workers() {
+    let (fs, mut wl) = fixture();
+    let fleet = Fleet::start(4, LinkMode::Updateable, &versions::v1(), "v1", &fs).unwrap();
+    assert_eq!(fleet.worker_count(), 4);
+    fleet.push_requests(wl.batch(400));
+    fleet.drain(400).unwrap();
+    let completions = fleet.completions();
+    let served = fleet.shutdown().unwrap();
+    assert_eq!(completions.len(), 400);
+    assert!(completions.iter().all(|c| c.pulled));
+    // Every request was served exactly once, fleet-wide.
+    assert_eq!(served.iter().sum::<i64>(), 400);
+    // The load actually spread (400 requests over 4 workers makes a
+    // single-worker monopoly effectively impossible).
+    assert!(
+        served.iter().filter(|&&n| n > 0).count() >= 2,
+        "served: {served:?}"
+    );
+}
+
+#[test]
+fn simultaneous_rollout_updates_every_worker_at_once() {
+    let (fs, mut wl) = fixture();
+    let fleet = Fleet::start(3, LinkMode::Updateable, &versions::v1(), "v1", &fs).unwrap();
+    let gen = &patch_stream().unwrap()[0]; // v1 -> v2
+
+    fleet.push_requests(wl.batch(300));
+    let report = fleet
+        .rollout(&gen.patch, RolloutPolicy::Simultaneous)
+        .unwrap();
+    assert!(report.complete(), "{report}");
+    assert_eq!(report.applied.len(), 3);
+    assert!(report.failed.is_empty());
+    // Every worker paused (barrier wait + apply), and the aggregate
+    // statistics cover all of them.
+    assert_eq!(report.pauses.len(), 3);
+    assert!(report.pauses.iter().all(|p| *p > Duration::ZERO));
+    assert!(report.max_pause() >= report.mean_pause());
+    assert!(report.phase_totals().total() > Duration::ZERO);
+    // The barrier lined everyone up: all pause windows share an instant
+    // (the moment the last worker arrived and the barrier released).
+    assert!(pause_windows_overlap(&fleet));
+
+    fleet.drain(300).unwrap();
+    // Post-rollout traffic is served by the new version everywhere:
+    // v2 responses carry a Content-Type header, v1 responses do not.
+    let before = fleet.completions().len();
+    fleet.push_requests(wl.batch(60));
+    fleet.drain(before + 60).unwrap();
+    let completions = fleet.completions();
+    assert!(
+        completions[before..]
+            .iter()
+            .all(|c| c.response.contains("Content-Type:")),
+        "all post-rollout responses come from v2",
+    );
+    fleet.shutdown().unwrap();
+}
+
+#[test]
+fn rolling_rollout_never_stops_serving() {
+    let (fs, mut wl) = fixture();
+    let fleet = Fleet::start(3, LinkMode::Updateable, &versions::v1(), "v1", &fs).unwrap();
+    let gen = &patch_stream().unwrap()[0]; // v1 -> v2
+
+    fleet.push_requests(wl.batch(600));
+    let report = fleet.rollout(&gen.patch, RolloutPolicy::Rolling).unwrap();
+    assert!(report.complete(), "{report}");
+    assert_eq!(report.applied.len(), 3);
+    // Rolling serializes the applies: the three pause windows cannot all
+    // share an instant.
+    assert!(!pause_windows_overlap(&fleet));
+
+    fleet.drain(600).unwrap();
+    let completions = fleet.completions();
+    assert_eq!(completions.len(), 600);
+    // The rollout ran mid-traffic: some requests were answered by v1,
+    // some by v2 (version skew is the price of never pausing fleet-wide).
+    let v2_responses = completions
+        .iter()
+        .filter(|c| c.response.contains("Content-Type:"))
+        .count();
+    assert!(v2_responses > 0, "rollout landed before the queue drained");
+    assert!(v2_responses < 600, "rollout was mid-traffic, not before it");
+    fleet.shutdown().unwrap();
+}
+
+#[test]
+fn one_failing_worker_does_not_stop_the_fleet_rolling_forward() {
+    let (fs, mut wl) = fixture();
+    let fleet = Fleet::start(3, LinkMode::Updateable, &versions::v1(), "v1", &fs).unwrap();
+    let gen = &patch_stream().unwrap()[0]; // v1 -> v2
+
+    // Canary the patch on worker 0 alone; it applies there.
+    let canary = fleet.remote(0);
+    canary.enqueue(gen.patch.clone());
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while canary.applied_count() == 0 {
+        assert!(std::time::Instant::now() < deadline, "canary never applied");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // Fleet-wide rollout of the same patch: worker 0 (already on v2)
+    // rejects it — v2's additions collide with its own bindings — while
+    // workers 1 and 2 roll forward.
+    let report = fleet.rollout(&gen.patch, RolloutPolicy::Rolling).unwrap();
+    assert!(!report.complete(), "{report}");
+    assert_eq!(report.applied.len(), 2, "{report}");
+    assert_eq!(report.failed.len(), 1, "{report}");
+    assert_eq!(
+        report.failed[0].0, 0,
+        "the canaried worker is the one that failed"
+    );
+
+    // The failed worker keeps serving (its old-new version), and the
+    // fleet as a whole still answers everything.
+    fleet.push_requests(wl.batch(300));
+    fleet.drain(300).unwrap();
+    assert_eq!(fleet.completions().len(), 300);
+    fleet.shutdown().unwrap();
+}

@@ -35,7 +35,10 @@ fn serve_returns_per_batch_counts_and_accumulates_total() {
     assert_eq!(s.serve().unwrap(), 5);
     s.push_requests(wl.batch(7));
     assert_eq!(s.serve().unwrap(), 7);
-    assert_eq!(s.process().global_value("served_total"), Some(Value::Int(12)));
+    assert_eq!(
+        s.process().global_value("served_total"),
+        Some(Value::Int(12))
+    );
 }
 
 #[test]
@@ -51,7 +54,9 @@ fn take_completions_drains() {
 #[test]
 fn miss_and_bad_workloads_get_correct_statuses() {
     let (fs, _) = small_fixture();
-    let mut wl = Workload::new(fs.paths(), 1.0, 5).with_miss_rate(0.3).with_bad_rate(0.2);
+    let mut wl = Workload::new(fs.paths(), 1.0, 5)
+        .with_miss_rate(0.3)
+        .with_bad_rate(0.2);
     let mut s = Server::start(LinkMode::Updateable, &versions::v2(), "v2", fs).unwrap();
     s.push_requests(wl.batch(300));
     s.serve().unwrap();
@@ -77,7 +82,9 @@ fn cache_respects_capacity_bound() {
     let mut s = Server::start(LinkMode::Updateable, &versions::v3(), "v3", fs).unwrap();
     s.push_requests(wl.batch(500));
     s.serve().unwrap();
-    let Some(Value::Array(cache)) = s.process().global_value("cache") else { panic!() };
+    let Some(Value::Array(cache)) = s.process().global_value("cache") else {
+        panic!()
+    };
     assert!(cache.borrow().len() <= 64, "{}", cache.borrow().len());
 }
 
@@ -92,7 +99,10 @@ fn cached_responses_match_uncached() {
     ]);
     s.serve().unwrap();
     let done = s.completions();
-    assert_eq!(done[0].response, done[1].response, "cache hit must be byte-identical");
+    assert_eq!(
+        done[0].response, done[1].response,
+        "cache hit must be byte-identical"
+    );
 }
 
 #[test]
@@ -140,4 +150,98 @@ fn elapsed_is_monotone_with_completions() {
         assert!(w[0].at <= w[1].at, "completion order must be time-ordered");
     }
     assert!(s.elapsed() >= done.last().unwrap().at);
+}
+
+// ---------------------------------------------------------------- accounting
+
+/// A guest whose update point sits *inside* the request window (between
+/// pull and response) — the case where naive service-time measurement
+/// silently charges the whole update pause to one unlucky request.
+const MID_REQUEST_V1: &str = r#"
+extern fun next_request(): string;
+extern fun send_response(r: string): unit;
+
+fun handle(req: string): string { return "old:" + req; }
+
+fun serve(): int {
+    var served: int = 0;
+    while (true) {
+        var req: string = next_request();
+        if (len(req) == 0) { break; }
+        update;
+        send_response(handle(req));
+        served = served + 1;
+    }
+    return served;
+}
+"#;
+
+#[test]
+fn in_request_update_pause_is_excluded_from_service_time() {
+    use dsu_core::PatchGen;
+    use std::time::Duration;
+
+    let v2 = MID_REQUEST_V1.replace("\"old:\"", "\"new:\"");
+    let gen = PatchGen::new()
+        .generate(MID_REQUEST_V1, &v2, "v1", "v2")
+        .unwrap();
+
+    let mut s =
+        Server::start(vm::LinkMode::Updateable, MID_REQUEST_V1, "v1", SimFs::new()).unwrap();
+    s.push_requests((0..10).map(|i| format!("req-{i}")));
+    s.queue_patch(gen.patch);
+    assert_eq!(s.serve().unwrap(), 10);
+    assert_eq!(s.updater.log().len(), 1);
+
+    let completions = s.completions();
+    assert_eq!(completions.len(), 10);
+    assert!(completions.iter().all(|c| c.pulled));
+
+    // Exactly one request was in flight across the update point; the
+    // pause is reported on it, not folded into its service time.
+    let paused: Vec<_> = completions
+        .iter()
+        .filter(|c| c.update_pause > Duration::ZERO)
+        .collect();
+    assert_eq!(paused.len(), 1, "{completions:#?}");
+    assert!(
+        paused[0].response.starts_with("new:"),
+        "update landed before the response"
+    );
+    assert!(
+        paused[0].update_pause >= s.updater.log()[0].timings.total(),
+        "reported pause {:?} covers the apply {:?}",
+        paused[0].update_pause,
+        s.updater.log()[0].timings.total(),
+    );
+    // With the pause excluded, the unlucky request's service time is in
+    // family with its neighbours rather than orders of magnitude above.
+    let typical = completions
+        .iter()
+        .filter(|c| c.update_pause == Duration::ZERO)
+        .map(|c| c.service)
+        .max()
+        .unwrap();
+    assert!(
+        paused[0].service <= typical * 50 + Duration::from_millis(1),
+        "service {:?} should not absorb the pause (typical {typical:?})",
+        paused[0].service,
+    );
+}
+
+#[test]
+fn response_without_a_pull_is_flagged_and_excluded_from_stats() {
+    const SPONTANEOUS: &str = r#"
+extern fun send_response(r: string): unit;
+fun serve(): int { send_response("unsolicited"); return 0; }
+"#;
+    let mut s = Server::start(vm::LinkMode::Updateable, SPONTANEOUS, "v1", SimFs::new()).unwrap();
+    assert_eq!(s.serve().unwrap(), 0);
+    let cs = s.completions();
+    assert_eq!(cs.len(), 1);
+    assert!(!cs[0].pulled, "no next_request preceded this response");
+    assert_eq!(cs[0].service, std::time::Duration::ZERO);
+    // Stats are computed over measured (pulled) completions only; a set
+    // with none is rejected rather than reporting garbage.
+    assert!(std::panic::catch_unwind(|| latency_stats(&cs)).is_err());
 }

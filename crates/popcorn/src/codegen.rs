@@ -18,7 +18,10 @@ pub fn generate(prog: &TProgram, module_name: &str, version: &str) -> Module {
     }
     for g in &prog.globals {
         let init = b.body(|fb| {
-            let mut gen = Gen { fb, loops: Vec::new() };
+            let mut gen = Gen {
+                fb,
+                loops: Vec::new(),
+            };
             gen.expr(&g.init);
             gen.fb.emit(Instr::Ret);
         });
@@ -29,7 +32,10 @@ pub fn generate(prog: &TProgram, module_name: &str, version: &str) -> Module {
             for ty in &f.locals[f.sig.params.len()..] {
                 fb.local(ty.clone());
             }
-            let mut gen = Gen { fb, loops: Vec::new() };
+            let mut gen = Gen {
+                fb,
+                loops: Vec::new(),
+            };
             for s in &f.body {
                 gen.stmt(s);
             }
@@ -283,7 +289,9 @@ impl Gen<'_, '_> {
                 self.fb.emit(Instr::NewArray(elem.clone()));
             }
             TExprKind::FnRef(name) => {
-                let Ty::Fn(sig) = &e.ty else { unreachable!("checked") };
+                let Ty::Fn(sig) = &e.ty else {
+                    unreachable!("checked")
+                };
                 let sym = self.fb.declare_fn(name.clone(), (**sig).clone());
                 self.fb.emit(Instr::PushFn(sym));
             }

@@ -38,22 +38,38 @@ pub struct CompileError {
 impl CompileError {
     /// Creates a lexer error.
     pub fn lex(line: u32, message: impl Into<String>) -> CompileError {
-        CompileError { stage: Stage::Lex, line: Some(line), message: message.into() }
+        CompileError {
+            stage: Stage::Lex,
+            line: Some(line),
+            message: message.into(),
+        }
     }
 
     /// Creates a parser error.
     pub fn parse(line: u32, message: impl Into<String>) -> CompileError {
-        CompileError { stage: Stage::Parse, line: Some(line), message: message.into() }
+        CompileError {
+            stage: Stage::Parse,
+            line: Some(line),
+            message: message.into(),
+        }
     }
 
     /// Creates a type error.
     pub fn ty(line: u32, message: impl Into<String>) -> CompileError {
-        CompileError { stage: Stage::Type, line: Some(line), message: message.into() }
+        CompileError {
+            stage: Stage::Type,
+            line: Some(line),
+            message: message.into(),
+        }
     }
 
     /// Creates a type error with no useful line.
     pub fn ty_global(message: impl Into<String>) -> CompileError {
-        CompileError { stage: Stage::Type, line: None, message: message.into() }
+        CompileError {
+            stage: Stage::Type,
+            line: None,
+            message: message.into(),
+        }
     }
 }
 

@@ -15,7 +15,13 @@ use crate::token::{Spanned, Token};
 /// Returns a [`CompileError`] on unterminated strings or comments, invalid
 /// escapes, stray characters, or integer literals out of `i64` range.
 pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
-    Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
 }
 
 struct Lexer<'a> {
@@ -96,8 +102,10 @@ impl Lexer<'_> {
                 }
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                     let start = self.pos;
-                    while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_'))
-                    {
+                    while matches!(
+                        self.peek(),
+                        Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                    ) {
                         self.bump();
                     }
                     let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ident");
@@ -180,7 +188,9 @@ impl Lexer<'_> {
                             Token::OrOr
                         }
                         other => {
-                            return Err(self.err(format!("unexpected character `{}`", char::from(other))))
+                            return Err(
+                                self.err(format!("unexpected character `{}`", char::from(other)))
+                            )
                         }
                     };
                     self.push(tok, line);

@@ -104,8 +104,14 @@ mod tests {
 
     #[test]
     fn arithmetic_and_precedence() {
-        assert_eq!(run_int("fun f(): int { return 2 + 3 * 4 - 6 / 2; }", "f", vec![]), 11);
-        assert_eq!(run_int("fun f(): int { return (2 + 3) * 4 % 7; }", "f", vec![]), 6);
+        assert_eq!(
+            run_int("fun f(): int { return 2 + 3 * 4 - 6 / 2; }", "f", vec![]),
+            11
+        );
+        assert_eq!(
+            run_int("fun f(): int { return (2 + 3) * 4 % 7; }", "f", vec![]),
+            6
+        );
         assert_eq!(run_int("fun f(): int { return -5 + 1; }", "f", vec![]), -4);
     }
 
@@ -220,8 +226,15 @@ mod tests {
             }
         "#;
         let mut p = load(src);
-        assert_eq!(p.call("f", vec![Value::Bool(true), Value::Int(5)]).unwrap(), Value::Int(6));
-        assert_eq!(p.call("f", vec![Value::Bool(false), Value::Int(5)]).unwrap(), Value::Int(4));
+        assert_eq!(
+            p.call("f", vec![Value::Bool(true), Value::Int(5)]).unwrap(),
+            Value::Int(6)
+        );
+        assert_eq!(
+            p.call("f", vec![Value::Bool(false), Value::Int(5)])
+                .unwrap(),
+            Value::Int(4)
+        );
     }
 
     #[test]
@@ -243,7 +256,11 @@ mod tests {
         let m = compile(src, "t", "v1", &Interface::new()).unwrap();
         tal::verify_module(&m, &NoAmbientTypes).unwrap();
         let mut p = Process::new(LinkMode::Static);
-        p.register_host("now_ms", FnSig::new(vec![], Ty::Int), Box::new(|_| Ok(Value::Int(41))));
+        p.register_host(
+            "now_ms",
+            FnSig::new(vec![], Ty::Int),
+            Box::new(|_| Ok(Value::Int(41))),
+        );
         p.load_module(&m).unwrap();
         assert_eq!(p.call("f", vec![]).unwrap(), Value::Int(42));
     }
@@ -260,10 +277,7 @@ mod tests {
         // A "patch" that replaces `handler` and references an existing
         // global and struct it does not define.
         let iface = Interface::new()
-            .with_struct(TypeDef::new(
-                "counter",
-                vec![tal::Field::new("n", Ty::Int)],
-            ))
+            .with_struct(TypeDef::new("counter", vec![tal::Field::new("n", Ty::Int)]))
             .with_global("state", Ty::named("counter"))
             .with_function("helper", FnSig::new(vec![Ty::Int], Ty::Int));
         let src = r#"
@@ -291,10 +305,8 @@ mod tests {
     #[test]
     fn local_struct_shadows_interface_struct() {
         // A patch that *changes* a type redefines it locally.
-        let iface = Interface::new().with_struct(TypeDef::new(
-            "entry",
-            vec![tal::Field::new("k", Ty::Str)],
-        ));
+        let iface = Interface::new()
+            .with_struct(TypeDef::new("entry", vec![tal::Field::new("k", Ty::Str)]));
         let src = r#"
             struct entry { k: string, hits: int }
             fun mk(k: string): entry { return entry { k: k, hits: 0 }; }
@@ -318,13 +330,22 @@ mod tests {
     fn rejects_type_errors() {
         expect_error("fun f(): int { return true; }", "expected int");
         expect_error("fun f(): int { return 1 + \"x\"; }", "expected int");
-        expect_error("fun f(): unit { var x: int = 1; x = \"s\"; }", "expected int");
+        expect_error(
+            "fun f(): unit { var x: int = 1; x = \"s\"; }",
+            "expected int",
+        );
         expect_error("fun f(): unit { undefined(); }", "unknown function");
         expect_error("fun f(): unit { var x: nosuch = null; }", "unknown type");
         expect_error("fun f(): unit { var x: int = null; }", "not a");
         expect_error("fun f(): unit { break; }", "outside a loop");
-        expect_error("fun f(): int { var b: bool = true; if (b) { return 1; } }", "all paths");
-        expect_error("fun f(): unit { var x: int = 1; var x: int = 2; }", "already defined");
+        expect_error(
+            "fun f(): int { var b: bool = true; if (b) { return 1; } }",
+            "all paths",
+        );
+        expect_error(
+            "fun f(): unit { var x: int = 1; var x: int = 2; }",
+            "already defined",
+        );
         expect_error("fun len(x: int): int { return x; }", "reserved builtin");
         expect_error(
             "struct s { a: int } struct s { b: int }",
@@ -377,7 +398,11 @@ mod tests {
         let m = compile(src, "t", "v1", &Interface::new()).unwrap();
         tal::verify_module(&m, &NoAmbientTypes).unwrap();
         let mut p = Process::new(LinkMode::Updateable);
-        p.register_host("log", FnSig::new(vec![Ty::Str], Ty::Unit), Box::new(|_| Ok(Value::Unit)));
+        p.register_host(
+            "log",
+            FnSig::new(vec![Ty::Str], Ty::Unit),
+            Box::new(|_| Ok(Value::Unit)),
+        );
         p.load_module(&m).unwrap();
         assert_eq!(p.call("main", vec![]).unwrap(), Value::Int(1 + 5));
     }

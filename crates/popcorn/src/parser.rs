@@ -123,7 +123,12 @@ impl Parser {
         self.expect(&Token::Assign)?;
         let init = self.expr()?;
         self.expect(&Token::Semi)?;
-        Ok(GlobalDef { name, ty, init, line })
+        Ok(GlobalDef {
+            name,
+            ty,
+            init,
+            line,
+        })
     }
 
     fn extern_def(&mut self) -> Result<ExternDef, CompileError> {
@@ -148,7 +153,12 @@ impl Parser {
         self.expect(&Token::Colon)?;
         let ret = self.type_ast()?;
         self.expect(&Token::Semi)?;
-        Ok(ExternDef { name, params, ret, line })
+        Ok(ExternDef {
+            name,
+            params,
+            ret,
+            line,
+        })
     }
 
     fn fun_def(&mut self) -> Result<FunDef, CompileError> {
@@ -170,7 +180,13 @@ impl Parser {
         self.expect(&Token::Colon)?;
         let ret = self.type_ast()?;
         let body = self.block()?;
-        Ok(FunDef { name, params, ret, body, line })
+        Ok(FunDef {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
     }
 
     // ------------------------------------------------------------- types
@@ -274,7 +290,11 @@ impl Parser {
             }
             Token::Return => {
                 self.bump();
-                let value = if self.peek() == &Token::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &Token::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Token::Semi)?;
                 StmtKind::Return(value)
             }
@@ -314,11 +334,7 @@ impl Parser {
         self.or_expr()
     }
 
-    fn binary_chain<F>(
-        &mut self,
-        mut next: F,
-        ops: &[(Token, BinOp)],
-    ) -> Result<Expr, CompileError>
+    fn binary_chain<F>(&mut self, mut next: F, ops: &[(Token, BinOp)]) -> Result<Expr, CompileError>
     where
         F: FnMut(&mut Self) -> Result<Expr, CompileError>,
     {
@@ -391,17 +407,26 @@ impl Parser {
             Token::Minus => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { line, kind: ExprKind::Unary(UnOp::Neg, Box::new(e)) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+                })
             }
             Token::Bang => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { line, kind: ExprKind::Unary(UnOp::Not, Box::new(e)) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+                })
             }
             Token::Amp => {
                 self.bump();
                 let name = self.ident()?;
-                Ok(Expr { line, kind: ExprKind::FnRef(name) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::FnRef(name),
+                })
             }
             _ => self.postfix(),
         }
@@ -422,18 +447,27 @@ impl Parser {
                         }
                     }
                     self.expect(&Token::RParen)?;
-                    e = Expr { line, kind: ExprKind::Call(Box::new(e), args) };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Call(Box::new(e), args),
+                    };
                 }
                 Token::Dot => {
                     self.bump();
                     let field = self.ident()?;
-                    e = Expr { line, kind: ExprKind::Field(Box::new(e), field) };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Field(Box::new(e), field),
+                    };
                 }
                 Token::LBracket => {
                     self.bump();
                     let idx = self.expr()?;
                     self.expect(&Token::RBracket)?;
-                    e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                    };
                 }
                 _ => return Ok(e),
             }
@@ -501,9 +535,7 @@ impl Parser {
                 }
                 self.expect(&Token::RBracket)?;
                 if elems.is_empty() {
-                    return Err(self.err(
-                        "empty array literal has no element type; use `new [T]`",
-                    ));
+                    return Err(self.err("empty array literal has no element type; use `new [T]`"));
                 }
                 ExprKind::ArrayLit(elems)
             }
@@ -547,9 +579,13 @@ mod tests {
     fn precedence_shapes() {
         let p = parse("fun f(): int { return 1 + 2 * 3; }").unwrap();
         let f = p.functions().next().unwrap();
-        let StmtKind::Return(Some(e)) = &f.body[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &f.body[0].kind else {
+            panic!()
+        };
         // (1 + (2 * 3))
-        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
     }
 
@@ -599,7 +635,9 @@ mod tests {
         )
         .unwrap();
         let f = p.functions().next().unwrap();
-        let StmtKind::If { els, .. } = &f.body[0].kind else { panic!() };
+        let StmtKind::If { els, .. } = &f.body[0].kind else {
+            panic!()
+        };
         assert!(matches!(els[0].kind, StmtKind::If { .. }));
     }
 

@@ -126,8 +126,10 @@ pub fn expr(e: &Expr) -> String {
         ExprKind::Field(o, f) => format!("{}.{f}", postfix_base(o)),
         ExprKind::Index(a, i) => format!("{}[{}]", postfix_base(a), expr(i)),
         ExprKind::Record(name, fields) => {
-            let fields: Vec<String> =
-                fields.iter().map(|(n, v)| format!("{n}: {}", expr(v))).collect();
+            let fields: Vec<String> = fields
+                .iter()
+                .map(|(n, v)| format!("{n}: {}", expr(v)))
+                .collect();
             format!("{name} {{ {} }}", fields.join(", "))
         }
         ExprKind::ArrayLit(elems) => {

@@ -92,7 +92,10 @@ pub struct TExpr {
 impl TExpr {
     /// The unit literal.
     pub fn unit() -> TExpr {
-        TExpr { ty: Ty::Unit, kind: TExprKind::Unit }
+        TExpr {
+            ty: Ty::Unit,
+            kind: TExprKind::Unit,
+        }
     }
 }
 

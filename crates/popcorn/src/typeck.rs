@@ -16,8 +16,7 @@ use crate::iface::Interface;
 use crate::tast::*;
 
 /// Names reserved for builtin operations.
-pub const BUILTINS: &[&str] =
-    &["len", "substr", "find", "char_at", "itoa", "atoi", "push"];
+pub const BUILTINS: &[&str] = &["len", "substr", "find", "char_at", "itoa", "atoi", "push"];
 
 /// Checks `prog` against `iface`, producing a typed program.
 ///
@@ -38,7 +37,10 @@ pub fn check(prog: &Program, iface: &Interface) -> Result<TProgram, CompileError
                 Ok((
                     e.name.clone(),
                     FnSig::new(
-                        e.params.iter().map(|t| cx.lower_ty(t, e.line)).collect::<Result<_, _>>()?,
+                        e.params
+                            .iter()
+                            .map(|t| cx.lower_ty(t, e.line))
+                            .collect::<Result<_, _>>()?,
                         cx.lower_ty(&e.ret, e.line)?,
                     ),
                 ))
@@ -55,7 +57,11 @@ pub fn check(prog: &Program, iface: &Interface) -> Result<TProgram, CompileError
         let ty = cx.lower_ty(&g.ty, g.line)?;
         let mut fcx = FunCx::new(&cx, Ty::Unit);
         let init = fcx.check_expr(&g.init, Some(&ty))?;
-        out.globals.push(TGlobal { name: g.name.clone(), ty, init });
+        out.globals.push(TGlobal {
+            name: g.name.clone(),
+            ty,
+            init,
+        });
     }
 
     for f in prog.functions() {
@@ -81,7 +87,12 @@ fn check_fun(cx: &Cx, f: &FunDef) -> Result<TFun, CompileError> {
             format!("function `{}` does not return on all paths", f.name),
         ));
     }
-    Ok(TFun { name: f.name.clone(), sig, locals: fcx.locals, body })
+    Ok(TFun {
+        name: f.name.clone(),
+        sig,
+        locals: fcx.locals,
+        body,
+    })
 }
 
 /// Conservative all-paths-return analysis.
@@ -114,9 +125,13 @@ impl<'a> Cx<'a> {
         // Pass 1: struct names (so struct fields may reference each other).
         for s in prog.structs() {
             if cx.local_structs.contains_key(&s.name) {
-                return Err(CompileError::ty(s.line, format!("duplicate struct `{}`", s.name)));
+                return Err(CompileError::ty(
+                    s.line,
+                    format!("duplicate struct `{}`", s.name),
+                ));
             }
-            cx.local_structs.insert(s.name.clone(), TypeDef::new(s.name.clone(), vec![]));
+            cx.local_structs
+                .insert(s.name.clone(), TypeDef::new(s.name.clone(), vec![]));
         }
         // Pass 2: struct bodies.
         for s in prog.structs() {
@@ -138,14 +153,20 @@ impl<'a> Cx<'a> {
         }
         for g in prog.globals() {
             if cx.local_globals.contains_key(&g.name) || cx.iface.globals.contains_key(&g.name) {
-                return Err(CompileError::ty(g.line, format!("duplicate global `{}`", g.name)));
+                return Err(CompileError::ty(
+                    g.line,
+                    format!("duplicate global `{}`", g.name),
+                ));
             }
             let ty = cx.lower_ty(&g.ty, g.line)?;
             cx.local_globals.insert(g.name.clone(), ty);
         }
         for e in prog.externs() {
             let sig = FnSig::new(
-                e.params.iter().map(|t| cx.lower_ty(t, e.line)).collect::<Result<_, _>>()?,
+                e.params
+                    .iter()
+                    .map(|t| cx.lower_ty(t, e.line))
+                    .collect::<Result<_, _>>()?,
                 cx.lower_ty(&e.ret, e.line)?,
             );
             if let Some(existing) = cx.hosts.get(&e.name) {
@@ -166,7 +187,10 @@ impl<'a> Cx<'a> {
                 ));
             }
             if cx.local_funs.contains_key(&f.name) {
-                return Err(CompileError::ty(f.line, format!("duplicate function `{}`", f.name)));
+                return Err(CompileError::ty(
+                    f.line,
+                    format!("duplicate function `{}`", f.name),
+                ));
             }
             let sig = cx.sig_of(f)?;
             cx.local_funs.insert(f.name.clone(), sig);
@@ -192,7 +216,9 @@ impl<'a> Cx<'a> {
             TypeAst::Unit => Ty::Unit,
             TypeAst::Array(e) => Ty::array(self.lower_ty(e, line)?),
             TypeAst::Fn(ps, r) => Ty::func(
-                ps.iter().map(|p| self.lower_ty(p, line)).collect::<Result<_, _>>()?,
+                ps.iter()
+                    .map(|p| self.lower_ty(p, line))
+                    .collect::<Result<_, _>>()?,
                 self.lower_ty(r, line)?,
             ),
             TypeAst::Named(n) => {
@@ -208,15 +234,21 @@ impl<'a> Cx<'a> {
     /// Looks up a struct definition, local definitions shadowing ambient
     /// ones (a patch may redefine a struct — the new version of the type).
     fn struct_def(&self, name: &str) -> Option<&TypeDef> {
-        self.local_structs.get(name).or_else(|| self.iface.structs.get(name))
+        self.local_structs
+            .get(name)
+            .or_else(|| self.iface.structs.get(name))
     }
 
     fn global_ty(&self, name: &str) -> Option<&Ty> {
-        self.local_globals.get(name).or_else(|| self.iface.globals.get(name))
+        self.local_globals
+            .get(name)
+            .or_else(|| self.iface.globals.get(name))
     }
 
     fn fun_sig(&self, name: &str) -> Option<&FnSig> {
-        self.local_funs.get(name).or_else(|| self.iface.functions.get(name))
+        self.local_funs
+            .get(name)
+            .or_else(|| self.iface.functions.get(name))
     }
 }
 
@@ -231,7 +263,13 @@ struct FunCx<'a, 'b> {
 
 impl<'a, 'b> FunCx<'a, 'b> {
     fn new(cx: &'a Cx<'b>, ret: Ty) -> FunCx<'a, 'b> {
-        FunCx { cx, ret, locals: Vec::new(), scopes: Vec::new(), loop_depth: 0 }
+        FunCx {
+            cx,
+            ret,
+            locals: Vec::new(),
+            scopes: Vec::new(),
+            loop_depth: 0,
+        }
     }
 
     fn push_scope(&mut self) {
@@ -250,7 +288,10 @@ impl<'a, 'b> FunCx<'a, 'b> {
         self.locals.push(ty);
         let scope = self.scopes.last_mut().expect("inside a scope");
         if scope.insert(name.to_string(), slot).is_some() {
-            return Err(CompileError::ty(line, format!("`{name}` already defined in this scope")));
+            return Err(CompileError::ty(
+                line,
+                format!("`{name}` already defined in this scope"),
+            ));
         }
         Ok(slot)
     }
@@ -402,13 +443,23 @@ impl<'a, 'b> FunCx<'a, 'b> {
     fn infer(&mut self, e: &Expr, expected: Option<&Ty>) -> Result<TExpr, CompileError> {
         let line = e.line;
         Ok(match &e.kind {
-            ExprKind::Int(n) => TExpr { ty: Ty::Int, kind: TExprKind::Int(*n) },
-            ExprKind::Str(s) => TExpr { ty: Ty::Str, kind: TExprKind::Str(s.clone()) },
-            ExprKind::Bool(b) => TExpr { ty: Ty::Bool, kind: TExprKind::Bool(*b) },
+            ExprKind::Int(n) => TExpr {
+                ty: Ty::Int,
+                kind: TExprKind::Int(*n),
+            },
+            ExprKind::Str(s) => TExpr {
+                ty: Ty::Str,
+                kind: TExprKind::Str(s.clone()),
+            },
+            ExprKind::Bool(b) => TExpr {
+                ty: Ty::Bool,
+                kind: TExprKind::Bool(*b),
+            },
             ExprKind::Null => match expected {
-                Some(Ty::Named(n)) => {
-                    TExpr { ty: Ty::named(n.clone()), kind: TExprKind::Null(n.clone()) }
-                }
+                Some(Ty::Named(n)) => TExpr {
+                    ty: Ty::named(n.clone()),
+                    kind: TExprKind::Null(n.clone()),
+                },
                 Some(other) => {
                     return Err(CompileError::ty(line, format!("`null` is not a {other}")))
                 }
@@ -421,27 +472,42 @@ impl<'a, 'b> FunCx<'a, 'b> {
             },
             ExprKind::Var(name) => {
                 if let Some(slot) = self.lookup_local(name) {
-                    TExpr { ty: self.locals[slot as usize].clone(), kind: TExprKind::Local(slot) }
+                    TExpr {
+                        ty: self.locals[slot as usize].clone(),
+                        kind: TExprKind::Local(slot),
+                    }
                 } else if let Some(ty) = self.cx.global_ty(name) {
-                    TExpr { ty: ty.clone(), kind: TExprKind::Global(name.clone()) }
+                    TExpr {
+                        ty: ty.clone(),
+                        kind: TExprKind::Global(name.clone()),
+                    }
                 } else {
                     return Err(CompileError::ty(line, format!("unknown variable `{name}`")));
                 }
             }
             ExprKind::Unary(UnOp::Neg, inner) => {
                 let inner = self.expect_ty(inner, &Ty::Int)?;
-                TExpr { ty: Ty::Int, kind: TExprKind::Neg(Box::new(inner)) }
+                TExpr {
+                    ty: Ty::Int,
+                    kind: TExprKind::Neg(Box::new(inner)),
+                }
             }
             ExprKind::Unary(UnOp::Not, inner) => {
                 let inner = self.expect_ty(inner, &Ty::Bool)?;
-                TExpr { ty: Ty::Bool, kind: TExprKind::Not(Box::new(inner)) }
+                TExpr {
+                    ty: Ty::Bool,
+                    kind: TExprKind::Not(Box::new(inner)),
+                }
             }
             ExprKind::Binary(op, lhs, rhs) => self.infer_binary(*op, lhs, rhs, line)?,
             ExprKind::Call(callee, args) => self.infer_call(callee, args, line)?,
             ExprKind::Field(obj, field) => {
                 let obj = self.check_expr(obj, None)?;
                 let (tyname, idx, fty) = self.resolve_field(&obj.ty, field, line)?;
-                TExpr { ty: fty, kind: TExprKind::Field(Box::new(obj), tyname, idx) }
+                TExpr {
+                    ty: fty,
+                    kind: TExprKind::Field(Box::new(obj), tyname, idx),
+                }
             }
             ExprKind::Index(arr, idx) => {
                 let arr = self.check_expr(arr, None)?;
@@ -449,7 +515,10 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     return Err(CompileError::ty(line, format!("cannot index {}", arr.ty)));
                 };
                 let idx = self.expect_ty(idx, &Ty::Int)?;
-                TExpr { ty: *elem, kind: TExprKind::Index(Box::new(arr), Box::new(idx)) }
+                TExpr {
+                    ty: *elem,
+                    kind: TExprKind::Index(Box::new(arr), Box::new(idx)),
+                }
             }
             ExprKind::Record(name, fields) => {
                 let def = self
@@ -481,7 +550,10 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     })?;
                     ordered.push(self.check_expr(fe, Some(&f.ty))?);
                 }
-                TExpr { ty: Ty::named(name.clone()), kind: TExprKind::Record(name.clone(), ordered) }
+                TExpr {
+                    ty: Ty::named(name.clone()),
+                    kind: TExprKind::Record(name.clone(), ordered),
+                }
             }
             ExprKind::ArrayLit(elems) => {
                 let elem_ty = match expected {
@@ -501,7 +573,10 @@ impl<'a, 'b> FunCx<'a, 'b> {
             }
             ExprKind::NewArray(t) => {
                 let elem = self.cx.lower_ty(t, line)?;
-                TExpr { ty: Ty::array(elem.clone()), kind: TExprKind::NewArray(elem) }
+                TExpr {
+                    ty: Ty::array(elem.clone()),
+                    kind: TExprKind::NewArray(elem),
+                }
             }
             ExprKind::FnRef(name) => {
                 let sig = self
@@ -543,7 +618,10 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     Div => IntBin::Div,
                     _ => IntBin::Rem,
                 };
-                Ok(TExpr { ty: Ty::Int, kind: TExprKind::IntBin(ib, Box::new(l), Box::new(r)) })
+                Ok(TExpr {
+                    ty: Ty::Int,
+                    kind: TExprKind::IntBin(ib, Box::new(l), Box::new(r)),
+                })
             }
             Lt | Le | Gt | Ge => {
                 let l = self.expect_ty(lhs, &Ty::Int)?;
@@ -554,7 +632,10 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     Gt => IntBin::Gt,
                     _ => IntBin::Ge,
                 };
-                Ok(TExpr { ty: Ty::Bool, kind: TExprKind::IntBin(ib, Box::new(l), Box::new(r)) })
+                Ok(TExpr {
+                    ty: Ty::Bool,
+                    kind: TExprKind::IntBin(ib, Box::new(l), Box::new(r)),
+                })
             }
             Add => {
                 let l = self.check_expr(lhs, None)?;
@@ -568,9 +649,15 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     }
                     Ty::Str => {
                         let r = self.expect_ty(rhs, &Ty::Str)?;
-                        Ok(TExpr { ty: Ty::Str, kind: TExprKind::Concat(Box::new(l), Box::new(r)) })
+                        Ok(TExpr {
+                            ty: Ty::Str,
+                            kind: TExprKind::Concat(Box::new(l), Box::new(r)),
+                        })
                     }
-                    other => Err(CompileError::ty(line, format!("`+` is not defined on {other}"))),
+                    other => Err(CompileError::ty(
+                        line,
+                        format!("`+` is not defined on {other}"),
+                    )),
                 }
             }
             Eq | Ne => {
@@ -636,7 +723,10 @@ impl<'a, 'b> FunCx<'a, 'b> {
                 }
                 if let Some(sig) = self.cx.fun_sig(name).cloned() {
                     let targs = self.check_args(&sig, args, name, line)?;
-                    return Ok(TExpr { ty: sig.ret, kind: TExprKind::CallFn(name.clone(), targs) });
+                    return Ok(TExpr {
+                        ty: sig.ret,
+                        kind: TExprKind::CallFn(name.clone(), targs),
+                    });
                 }
                 if let Some(sig) = self.cx.hosts.get(name).cloned() {
                     let targs = self.check_args(&sig, args, name, line)?;
@@ -654,7 +744,10 @@ impl<'a, 'b> FunCx<'a, 'b> {
             return Err(CompileError::ty(line, format!("{} is not callable", f.ty)));
         };
         let targs = self.check_args(&sig, args, "<indirect>", line)?;
-        Ok(TExpr { ty: sig.ret.clone(), kind: TExprKind::CallIndirect(Box::new(f), targs) })
+        Ok(TExpr {
+            ty: sig.ret.clone(),
+            kind: TExprKind::CallIndirect(Box::new(f), targs),
+        })
     }
 
     fn check_args(
@@ -667,7 +760,11 @@ impl<'a, 'b> FunCx<'a, 'b> {
         if sig.params.len() != args.len() {
             return Err(CompileError::ty(
                 line,
-                format!("`{name}` expects {} arguments, got {}", sig.params.len(), args.len()),
+                format!(
+                    "`{name}` expects {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
             ));
         }
         args.iter()
@@ -699,40 +796,56 @@ impl<'a, 'b> FunCx<'a, 'b> {
                 let b = match &a.ty {
                     Ty::Str => Builtin::LenStr,
                     Ty::Array(_) => Builtin::LenArray,
-                    other => {
-                        return Err(CompileError::ty(line, format!("`len` on {other}")))
-                    }
+                    other => return Err(CompileError::ty(line, format!("`len` on {other}"))),
                 };
-                Ok(TExpr { ty: Ty::Int, kind: TExprKind::Builtin(b, vec![a]) })
+                Ok(TExpr {
+                    ty: Ty::Int,
+                    kind: TExprKind::Builtin(b, vec![a]),
+                })
             }
             "substr" => {
                 argc(3)?;
                 let s = self.expect_ty(&args[0], &Ty::Str)?;
                 let i = self.expect_ty(&args[1], &Ty::Int)?;
                 let n = self.expect_ty(&args[2], &Ty::Int)?;
-                Ok(TExpr { ty: Ty::Str, kind: TExprKind::Builtin(Builtin::Substr, vec![s, i, n]) })
+                Ok(TExpr {
+                    ty: Ty::Str,
+                    kind: TExprKind::Builtin(Builtin::Substr, vec![s, i, n]),
+                })
             }
             "find" => {
                 argc(2)?;
                 let s = self.expect_ty(&args[0], &Ty::Str)?;
                 let sub = self.expect_ty(&args[1], &Ty::Str)?;
-                Ok(TExpr { ty: Ty::Int, kind: TExprKind::Builtin(Builtin::Find, vec![s, sub]) })
+                Ok(TExpr {
+                    ty: Ty::Int,
+                    kind: TExprKind::Builtin(Builtin::Find, vec![s, sub]),
+                })
             }
             "char_at" => {
                 argc(2)?;
                 let s = self.expect_ty(&args[0], &Ty::Str)?;
                 let i = self.expect_ty(&args[1], &Ty::Int)?;
-                Ok(TExpr { ty: Ty::Int, kind: TExprKind::Builtin(Builtin::CharAt, vec![s, i]) })
+                Ok(TExpr {
+                    ty: Ty::Int,
+                    kind: TExprKind::Builtin(Builtin::CharAt, vec![s, i]),
+                })
             }
             "itoa" => {
                 argc(1)?;
                 let n = self.expect_ty(&args[0], &Ty::Int)?;
-                Ok(TExpr { ty: Ty::Str, kind: TExprKind::Builtin(Builtin::Itoa, vec![n]) })
+                Ok(TExpr {
+                    ty: Ty::Str,
+                    kind: TExprKind::Builtin(Builtin::Itoa, vec![n]),
+                })
             }
             "atoi" => {
                 argc(1)?;
                 let s = self.expect_ty(&args[0], &Ty::Str)?;
-                Ok(TExpr { ty: Ty::Int, kind: TExprKind::Builtin(Builtin::Atoi, vec![s]) })
+                Ok(TExpr {
+                    ty: Ty::Int,
+                    kind: TExprKind::Builtin(Builtin::Atoi, vec![s]),
+                })
             }
             "push" => {
                 argc(2)?;
@@ -741,7 +854,10 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     return Err(CompileError::ty(line, format!("`push` on {}", a.ty)));
                 };
                 let v = self.check_expr(&args[1], Some(&elem))?;
-                Ok(TExpr { ty: Ty::Unit, kind: TExprKind::Builtin(Builtin::Push, vec![a, v]) })
+                Ok(TExpr {
+                    ty: Ty::Unit,
+                    kind: TExprKind::Builtin(Builtin::Push, vec![a, v]),
+                })
             }
             _ => unreachable!("BUILTINS covers all names"),
         }

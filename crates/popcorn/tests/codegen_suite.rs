@@ -36,12 +36,10 @@ fn unit_function_implicit_return() {
 
 #[test]
 fn expression_statement_pops() {
-    let code = code_of(
-        "fun g(): int { return 1; } fun f(): unit { g(); }",
-        "f",
-    );
+    let code = code_of("fun g(): int { return 1; } fun f(): unit { g(); }", "f");
     assert!(
-        code.windows(2).any(|w| matches!(w, [Instr::Call(_), Instr::Pop])),
+        code.windows(2)
+            .any(|w| matches!(w, [Instr::Call(_), Instr::Pop])),
         "{code:?}"
     );
 }
@@ -74,16 +72,16 @@ fn while_shape() {
     assert_eq!(
         code,
         vec![
-            Instr::LoadLocal(0),    // 0: cond
-            Instr::PushInt(0),      // 1
-            Instr::Gt,              // 2
-            Instr::JumpIfFalse(9),  // 3
-            Instr::LoadLocal(0),    // 4: body
-            Instr::PushInt(1),      // 5
-            Instr::Sub,             // 6
-            Instr::StoreLocal(0),   // 7
-            Instr::Jump(0),         // 8: back edge
-            Instr::PushUnit,        // 9
+            Instr::LoadLocal(0),   // 0: cond
+            Instr::PushInt(0),     // 1
+            Instr::Gt,             // 2
+            Instr::JumpIfFalse(9), // 3
+            Instr::LoadLocal(0),   // 4: body
+            Instr::PushInt(1),     // 5
+            Instr::Sub,            // 6
+            Instr::StoreLocal(0),  // 7
+            Instr::Jump(0),        // 8: back edge
+            Instr::PushUnit,       // 9
             Instr::Ret,
         ]
     );
@@ -168,7 +166,10 @@ fn null_comparison_lowers_to_is_null() {
         "f",
     );
     assert!(
-        matches!(&code[..3], [Instr::LoadLocal(0), Instr::IsNull(_), Instr::Not]),
+        matches!(
+            &code[..3],
+            [Instr::LoadLocal(0), Instr::IsNull(_), Instr::Not]
+        ),
         "{code:?}"
     );
 }

@@ -18,7 +18,10 @@ fn ret_expr(src: &str) -> Expr {
 
 fn rejects(src: &str, needle: &str) {
     let e = parse(src).expect_err("should not parse");
-    assert!(e.message.contains(needle), "expected {needle:?} in `{e}`\n---\n{src}");
+    assert!(
+        e.message.contains(needle),
+        "expected {needle:?} in `{e}`\n---\n{src}"
+    );
 }
 
 // ------------------------------ precedence ------------------------------
@@ -27,22 +30,26 @@ fn rejects(src: &str, needle: &str) {
 fn arithmetic_precedence_and_left_associativity() {
     // a - b - c == (a - b) - c
     let e = ret_expr("fun f(a: int, b: int, c: int): int { return a - b - c; }");
-    let ExprKind::Binary(BinOp::Sub, lhs, _) = &e.kind else { panic!("{e:?}") };
+    let ExprKind::Binary(BinOp::Sub, lhs, _) = &e.kind else {
+        panic!("{e:?}")
+    };
     assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Sub, _, _)));
 
     // a + b * c == a + (b * c)
     let e = ret_expr("fun f(a: int, b: int, c: int): int { return a + b * c; }");
-    let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+    let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
+        panic!("{e:?}")
+    };
     assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
 }
 
 #[test]
 fn comparison_binds_tighter_than_logic() {
     // a < b && c > d == (a < b) && (c > d)
-    let e = ret_expr(
-        "fun f(a: int, b: int, c: int, d: int): bool { return a < b && c > d; }",
-    );
-    let ExprKind::Binary(BinOp::And, l, r) = &e.kind else { panic!("{e:?}") };
+    let e = ret_expr("fun f(a: int, b: int, c: int, d: int): bool { return a < b && c > d; }");
+    let ExprKind::Binary(BinOp::And, l, r) = &e.kind else {
+        panic!("{e:?}")
+    };
     assert!(matches!(l.kind, ExprKind::Binary(BinOp::Lt, _, _)));
     assert!(matches!(r.kind, ExprKind::Binary(BinOp::Gt, _, _)));
 }
@@ -51,14 +58,18 @@ fn comparison_binds_tighter_than_logic() {
 fn or_binds_looser_than_and() {
     // a || b && c == a || (b && c)
     let e = ret_expr("fun f(a: bool, b: bool, c: bool): bool { return a || b && c; }");
-    let ExprKind::Binary(BinOp::Or, _, rhs) = &e.kind else { panic!("{e:?}") };
+    let ExprKind::Binary(BinOp::Or, _, rhs) = &e.kind else {
+        panic!("{e:?}")
+    };
     assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::And, _, _)));
 }
 
 #[test]
 fn unary_binds_tighter_than_binary() {
     let e = ret_expr("fun f(a: int, b: int): int { return -a * b; }");
-    let ExprKind::Binary(BinOp::Mul, lhs, _) = &e.kind else { panic!("{e:?}") };
+    let ExprKind::Binary(BinOp::Mul, lhs, _) = &e.kind else {
+        panic!("{e:?}")
+    };
     assert!(matches!(lhs.kind, ExprKind::Unary(UnOp::Neg, _)));
 }
 
@@ -66,10 +77,16 @@ fn unary_binds_tighter_than_binary() {
 fn postfix_chains() {
     let e = ret_expr("fun f(a: [x]): int { return a[0].b.c[1]; }");
     // ((((a[0]).b).c)[1])
-    let ExprKind::Index(base, _) = &e.kind else { panic!("{e:?}") };
-    let ExprKind::Field(base, c) = &base.kind else { panic!() };
+    let ExprKind::Index(base, _) = &e.kind else {
+        panic!("{e:?}")
+    };
+    let ExprKind::Field(base, c) = &base.kind else {
+        panic!()
+    };
     assert_eq!(c, "c");
-    let ExprKind::Field(base, b) = &base.kind else { panic!() };
+    let ExprKind::Field(base, b) = &base.kind else {
+        panic!()
+    };
     assert_eq!(b, "b");
     assert!(matches!(base.kind, ExprKind::Index(_, _)));
 }
@@ -77,7 +94,9 @@ fn postfix_chains() {
 #[test]
 fn call_chains_and_indirect_calls() {
     let e = ret_expr("fun f(g: fn(int): fn(int): int): int { return g(1)(2); }");
-    let ExprKind::Call(callee, args) = &e.kind else { panic!("{e:?}") };
+    let ExprKind::Call(callee, args) = &e.kind else {
+        panic!("{e:?}")
+    };
     assert_eq!(args.len(), 1);
     assert!(matches!(callee.kind, ExprKind::Call(_, _)));
 }
@@ -87,7 +106,9 @@ fn call_chains_and_indirect_calls() {
 #[test]
 fn record_and_array_literals() {
     let e = ret_expr(r#"fun f(): p { return p { a: 1, b: [1, 2], c: q { d: "x" } }; }"#);
-    let ExprKind::Record(name, fields) = &e.kind else { panic!("{e:?}") };
+    let ExprKind::Record(name, fields) = &e.kind else {
+        panic!("{e:?}")
+    };
     assert_eq!(name, "p");
     assert_eq!(fields.len(), 3);
     assert!(matches!(fields[1].1.kind, ExprKind::ArrayLit(_)));
@@ -121,12 +142,14 @@ fn assignment_vs_expression_statement() {
 fn nested_blocks_and_dangling_else() {
     // `else` binds to the nearest `if` (enforced by braces in this
     // grammar, so there is no true dangling-else ambiguity).
-    let f = first_fun(
-        "fun f(a: bool, b: bool): unit { if (a) { if (b) { } else { } } }",
-    );
-    let StmtKind::If { then, els, .. } = &f.body[0].kind else { panic!() };
+    let f = first_fun("fun f(a: bool, b: bool): unit { if (a) { if (b) { } else { } } }");
+    let StmtKind::If { then, els, .. } = &f.body[0].kind else {
+        panic!()
+    };
     assert!(els.is_empty());
-    let StmtKind::If { els: inner_els, .. } = &then[0].kind else { panic!() };
+    let StmtKind::If { els: inner_els, .. } = &then[0].kind else {
+        panic!()
+    };
     assert_eq!(inner_els.len(), 0);
 }
 
@@ -163,15 +186,17 @@ fn eof_inside_constructs() {
 #[test]
 fn keywords_cannot_be_identifiers() {
     rejects("fun while(): int { return 1; }", "expected identifier");
-    rejects("fun f(return: int): int { return 1; }", "expected identifier");
+    rejects(
+        "fun f(return: int): int { return 1; }",
+        "expected identifier",
+    );
 }
 
 #[test]
 fn extern_declarations() {
-    let p = parse(
-        "extern fun a(): unit; extern fun b(int, string): int; extern fun c(x: int): bool;",
-    )
-    .unwrap();
+    let p =
+        parse("extern fun a(): unit; extern fun b(int, string): int; extern fun c(x: int): bool;")
+            .unwrap();
     let ex: Vec<&ExternDef> = p.externs().collect();
     assert_eq!(ex.len(), 3);
     assert_eq!(ex[1].params.len(), 2);

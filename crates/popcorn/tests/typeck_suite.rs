@@ -29,7 +29,10 @@ fn rejects(src: &str, needle: &str) {
 #[test]
 fn arithmetic_types() {
     accepts("fun f(a: int, b: int): int { return a * b % (a - -b); }");
-    rejects("fun f(b: bool): int { return b + 1; }", "is not defined on bool");
+    rejects(
+        "fun f(b: bool): int { return b + 1; }",
+        "is not defined on bool",
+    );
     rejects("fun f(): int { return \"a\" - \"b\"; }", "expected int");
     rejects("fun f(): int { return -true; }", "expected int");
 }
@@ -37,24 +40,37 @@ fn arithmetic_types() {
 #[test]
 fn string_concat_overload() {
     accepts(r#"fun f(s: string): string { return s + "x" + itoa(1); }"#);
-    rejects(r#"fun f(s: string): string { return s + 1; }"#, "expected string");
+    rejects(
+        r#"fun f(s: string): string { return s + 1; }"#,
+        "expected string",
+    );
 }
 
 #[test]
 fn comparisons() {
     accepts("fun f(a: int): bool { return a < 1 && a <= 2 || a > 3 && a >= 4; }");
     accepts(r#"fun f(s: string): bool { return s == "x" && s != "y"; }"#);
-    rejects("fun f(a: bool, b: bool): bool { return a == b; }", "not defined on bool");
-    rejects(r#"fun f(s: string): bool { return s < "a"; }"#, "expected int");
-    rejects("fun f(a: [int]): bool { return a == a; }", "not defined on [int]");
+    rejects(
+        "fun f(a: bool, b: bool): bool { return a == b; }",
+        "not defined on bool",
+    );
+    rejects(
+        r#"fun f(s: string): bool { return s < "a"; }"#,
+        "expected int",
+    );
+    rejects(
+        "fun f(a: [int]): bool { return a == a; }",
+        "not defined on [int]",
+    );
 }
 
 #[test]
 fn null_comparisons_need_named_types() {
-    accepts(
-        "struct s { v: int } fun f(x: s): bool { return x == null || null != x; }",
+    accepts("struct s { v: int } fun f(x: s): bool { return x == null || null != x; }");
+    rejects(
+        "fun f(a: int): bool { return a == null; }",
+        "cannot compare int with null",
     );
-    rejects("fun f(a: int): bool { return a == null; }", "cannot compare int with null");
     rejects("fun f(): bool { return null == null; }", "cannot infer");
 }
 
@@ -77,9 +93,16 @@ fn logical_operators_are_bool_only() {
 #[test]
 fn record_construction_rules() {
     let base = "struct p { x: int, y: string }";
-    accepts(&format!("{base} fun f(): p {{ return p {{ x: 1, y: \"a\" }}; }}"));
-    accepts(&format!("{base} fun f(): p {{ return p {{ y: \"a\", x: 1 }}; }}")); // any order
-    rejects(&format!("{base} fun f(): p {{ return p {{ x: 1 }}; }}"), "missing field `y`");
+    accepts(&format!(
+        "{base} fun f(): p {{ return p {{ x: 1, y: \"a\" }}; }}"
+    ));
+    accepts(&format!(
+        "{base} fun f(): p {{ return p {{ y: \"a\", x: 1 }}; }}"
+    )); // any order
+    rejects(
+        &format!("{base} fun f(): p {{ return p {{ x: 1 }}; }}"),
+        "missing field `y`",
+    );
     rejects(
         &format!("{base} fun f(): p {{ return p {{ x: 1, y: \"a\", x: 2 }}; }}"),
         "given twice",
@@ -96,7 +119,10 @@ fn field_access_rules() {
     let base = "struct p { x: int }";
     accepts(&format!("{base} fun f(v: p): int {{ return v.x; }}"));
     accepts(&format!("{base} fun f(v: p): unit {{ v.x = 3; }}"));
-    rejects(&format!("{base} fun f(v: p): int {{ return v.z; }}"), "no field `z`");
+    rejects(
+        &format!("{base} fun f(v: p): int {{ return v.z; }}"),
+        "no field `z`",
+    );
     rejects("fun f(v: int): int { return v.x; }", "has no fields");
 }
 
@@ -141,12 +167,13 @@ fn array_rules() {
 
 #[test]
 fn array_literal_infers_from_context_for_null_elements() {
-    accepts(
-        "struct s { v: int } fun f(): [s] { return [null, s { v: 1 }]; }",
-    );
+    accepts("struct s { v: int } fun f(): [s] { return [null, s { v: 1 }]; }");
     // Without context, the first element anchors inference and null alone
     // cannot.
-    rejects("fun f(): unit { var x: int = len([null]); }", "cannot infer");
+    rejects(
+        "fun f(): unit { var x: int = len([null]); }",
+        "cannot infer",
+    );
 }
 
 // ----------------------------- functions -----------------------------
@@ -183,7 +210,10 @@ fn function_pointer_rules() {
         "#,
         "expected fn(int): bool",
     );
-    rejects("fun f(): unit { var g: fn(): unit = &ghost; }", "unknown function");
+    rejects(
+        "fun f(): unit { var g: fn(): unit = &ghost; }",
+        "unknown function",
+    );
     rejects("fun f(x: int): unit { x(); }", "int is not callable");
 }
 
@@ -200,7 +230,10 @@ fn return_coverage_analysis() {
         "fun f(c: bool): int { while (c) { return 1; } }",
         "does not return on all paths",
     );
-    rejects("fun f(): int { return; }", "`return;` in a function returning int");
+    rejects(
+        "fun f(): int { return; }",
+        "`return;` in a function returning int",
+    );
 }
 
 #[test]
@@ -221,13 +254,19 @@ fn scoping_rules() {
         "fun f(): int { if (true) { var y: int = 2; } return y; }",
         "unknown variable `y`",
     );
-    rejects("fun f(x: int, x: int): int { return x; }", "already defined");
+    rejects(
+        "fun f(x: int, x: int): int { return x; }",
+        "already defined",
+    );
 }
 
 #[test]
 fn assignment_target_rules() {
     rejects("fun f(): unit { 1 = 2; }", "invalid assignment target");
-    rejects("fun g(): int { return 1; } fun f(): unit { g() = 2; }", "invalid assignment");
+    rejects(
+        "fun g(): int { return 1; } fun f(): unit { g() = 2; }",
+        "invalid assignment",
+    );
     rejects("fun f(): unit { ghost = 2; }", "unknown variable");
 }
 
@@ -244,7 +283,10 @@ fn break_continue_placement() {
 fn global_rules() {
     accepts("global g: int = 1 + 2; fun f(): int { return g; }");
     accepts("global a: int = 2; global b: int = a * 3; fun f(): int { return b; }");
-    rejects("global g: int = true; fun f(): int { return g; }", "expected int");
+    rejects(
+        "global g: int = true; fun f(): int { return g; }",
+        "expected int",
+    );
     rejects("global g: int = 1; global g: int = 2;", "duplicate global");
 }
 
@@ -280,18 +322,24 @@ fn update_statement_allowed_anywhere_statements_are() {
 #[test]
 fn builtin_names_are_reserved() {
     for name in ["len", "substr", "find", "char_at", "itoa", "atoi", "push"] {
-        rejects(
-            &format!("fun {name}(): unit {{ }}"),
-            "reserved builtin",
-        );
+        rejects(&format!("fun {name}(): unit {{ }}"), "reserved builtin");
     }
 }
 
 #[test]
 fn builtin_arity_checks() {
-    rejects("fun f(s: string): int { return len(); }", "expects 1 arguments");
-    rejects("fun f(s: string): string { return substr(s, 1); }", "expects 3 arguments");
-    rejects("fun f(s: string): int { return char_at(s); }", "expects 2 arguments");
+    rejects(
+        "fun f(s: string): int { return len(); }",
+        "expects 1 arguments",
+    );
+    rejects(
+        "fun f(s: string): string { return substr(s, 1); }",
+        "expects 3 arguments",
+    );
+    rejects(
+        "fun f(s: string): int { return char_at(s); }",
+        "expects 2 arguments",
+    );
     rejects("fun f(): int { return atoi(1); }", "expected string");
     rejects("fun f(): int { return len(3); }", "`len` on int");
 }

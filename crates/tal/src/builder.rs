@@ -64,7 +64,10 @@ impl ModuleBuilder {
             return *id;
         }
         let id = SymId(self.module.symbols.len() as u32);
-        self.module.symbols.push(Symbol { name: name.clone(), kind });
+        self.module.symbols.push(Symbol {
+            name: name.clone(),
+            kind,
+        });
         self.symbol_ids.insert(name, id);
         id
     }
@@ -101,12 +104,21 @@ impl ModuleBuilder {
         body(&mut fb);
         let (locals, code, labels) = (fb.locals, fb.code, fb.labels);
         let code = patch_labels(code, &labels);
-        self.module.functions.push(Function { name, sig, locals, code });
+        self.module.functions.push(Function {
+            name,
+            sig,
+            locals,
+            code,
+        });
     }
 
     /// Defines a global with explicit initialiser code.
     pub fn global(&mut self, name: impl Into<String>, ty: Ty, init: Vec<Instr>) {
-        self.module.globals.push(GlobalDef { name: name.into(), ty, init });
+        self.module.globals.push(GlobalDef {
+            name: name.into(),
+            ty,
+            init,
+        });
     }
 
     /// Builds a standalone code body (label support included) without
@@ -202,7 +214,8 @@ impl FunctionBuilder<'_> {
 
     /// Emits a pop-and-branch-if-false to `label`.
     pub fn jump_if_false(&mut self, label: Label) {
-        self.code.push(Instr::JumpIfFalse(LABEL_BASE + label.0 as u32));
+        self.code
+            .push(Instr::JumpIfFalse(LABEL_BASE + label.0 as u32));
     }
 
     /// Current instruction count (the index the next emit will get).

@@ -39,17 +39,26 @@ pub struct Symbol {
 impl Symbol {
     /// Creates a function symbol.
     pub fn func(name: impl Into<String>, sig: FnSig) -> Symbol {
-        Symbol { name: name.into(), kind: SymbolKind::Fn(sig) }
+        Symbol {
+            name: name.into(),
+            kind: SymbolKind::Fn(sig),
+        }
     }
 
     /// Creates a global-variable symbol.
     pub fn global(name: impl Into<String>, ty: Ty) -> Symbol {
-        Symbol { name: name.into(), kind: SymbolKind::Global(ty) }
+        Symbol {
+            name: name.into(),
+            kind: SymbolKind::Global(ty),
+        }
     }
 
     /// Creates a host-function symbol.
     pub fn host(name: impl Into<String>, sig: FnSig) -> Symbol {
-        Symbol { name: name.into(), kind: SymbolKind::Host(sig) }
+        Symbol {
+            name: name.into(),
+            kind: SymbolKind::Host(sig),
+        }
     }
 }
 
@@ -188,7 +197,11 @@ pub struct Module {
 impl Module {
     /// Creates an empty module with the given name and version.
     pub fn new(name: impl Into<String>, version: impl Into<String>) -> Module {
-        Module { name: name.into(), version: version.into(), ..Module::default() }
+        Module {
+            name: name.into(),
+            version: version.into(),
+            ..Module::default()
+        }
     }
 
     /// Looks up a symbol table entry.
@@ -237,9 +250,12 @@ impl Module {
     /// Computes the virtual-encoding size breakdown (see [`SizeReport`]).
     pub fn size_report(&self) -> SizeReport {
         let ty_size = |t: &Ty| t.to_string().len() + 1;
-        let sig_size =
-            |s: &FnSig| s.params.iter().map(&ty_size).sum::<usize>() + ty_size(&s.ret);
-        let code_bytes = self.functions.iter().map(Function::code_size).sum::<usize>()
+        let sig_size = |s: &FnSig| s.params.iter().map(&ty_size).sum::<usize>() + ty_size(&s.ret);
+        let code_bytes = self
+            .functions
+            .iter()
+            .map(Function::code_size)
+            .sum::<usize>()
             + self
                 .globals
                 .iter()
@@ -271,7 +287,12 @@ impl Module {
             })
             .sum::<usize>()
             + self.type_refs.iter().map(|n| n.len() + 1).sum::<usize>();
-        SizeReport { code_bytes, symbol_bytes, string_bytes, type_bytes }
+        SizeReport {
+            code_bytes,
+            symbol_bytes,
+            string_bytes,
+            type_bytes,
+        }
     }
 }
 
@@ -312,8 +333,10 @@ mod tests {
                 crate::types::Field::new("y", Ty::Int),
             ],
         ));
-        m.symbols.push(Symbol::func("f", FnSig::new(vec![Ty::Int], Ty::Int)));
-        m.symbols.push(Symbol::host("now", FnSig::new(vec![], Ty::Int)));
+        m.symbols
+            .push(Symbol::func("f", FnSig::new(vec![Ty::Int], Ty::Int)));
+        m.symbols
+            .push(Symbol::host("now", FnSig::new(vec![], Ty::Int)));
         m.symbols.push(Symbol::global("g", Ty::Int));
         m.functions.push(Function {
             name: "f".into(),

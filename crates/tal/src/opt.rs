@@ -121,39 +121,41 @@ fn fold_constants(code: &mut [Instr], strings: &mut Vec<String>, stats: &mut Opt
         if let (Some(j1), Some(j2)) = (j1, j2) {
             if clear(&targets, i, j2) {
                 let folded: Option<Instr> = match (&code[i], &code[j1], &code[j2]) {
-                (Instr::PushInt(a), Instr::PushInt(b), op) => match op {
-                    Instr::Add => Some(Instr::PushInt(a.wrapping_add(*b))),
-                    Instr::Sub => Some(Instr::PushInt(a.wrapping_sub(*b))),
-                    Instr::Mul => Some(Instr::PushInt(a.wrapping_mul(*b))),
-                    Instr::Div if *b != 0 => Some(Instr::PushInt(a.wrapping_div(*b))),
-                    Instr::Rem if *b != 0 => Some(Instr::PushInt(a.wrapping_rem(*b))),
-                    Instr::Eq => Some(Instr::PushBool(a == b)),
-                    Instr::Ne => Some(Instr::PushBool(a != b)),
-                    Instr::Lt => Some(Instr::PushBool(a < b)),
-                    Instr::Le => Some(Instr::PushBool(a <= b)),
-                    Instr::Gt => Some(Instr::PushBool(a > b)),
-                    Instr::Ge => Some(Instr::PushBool(a >= b)),
+                    (Instr::PushInt(a), Instr::PushInt(b), op) => match op {
+                        Instr::Add => Some(Instr::PushInt(a.wrapping_add(*b))),
+                        Instr::Sub => Some(Instr::PushInt(a.wrapping_sub(*b))),
+                        Instr::Mul => Some(Instr::PushInt(a.wrapping_mul(*b))),
+                        Instr::Div if *b != 0 => Some(Instr::PushInt(a.wrapping_div(*b))),
+                        Instr::Rem if *b != 0 => Some(Instr::PushInt(a.wrapping_rem(*b))),
+                        Instr::Eq => Some(Instr::PushBool(a == b)),
+                        Instr::Ne => Some(Instr::PushBool(a != b)),
+                        Instr::Lt => Some(Instr::PushBool(a < b)),
+                        Instr::Le => Some(Instr::PushBool(a <= b)),
+                        Instr::Gt => Some(Instr::PushBool(a > b)),
+                        Instr::Ge => Some(Instr::PushBool(a >= b)),
+                        _ => None,
+                    },
+                    (Instr::PushBool(a), Instr::PushBool(b), Instr::And) => {
+                        Some(Instr::PushBool(*a && *b))
+                    }
+                    (Instr::PushBool(a), Instr::PushBool(b), Instr::Or) => {
+                        Some(Instr::PushBool(*a || *b))
+                    }
+                    (Instr::PushStr(a), Instr::PushStr(b), Instr::Concat) => {
+                        let joined = format!("{}{}", strings[a.0 as usize], strings[b.0 as usize]);
+                        let id = strings
+                            .iter()
+                            .position(|s| s == &joined)
+                            .unwrap_or_else(|| {
+                                strings.push(joined);
+                                strings.len() - 1
+                            });
+                        Some(Instr::PushStr(crate::instr::StrId(id as u32)))
+                    }
+                    (Instr::PushStr(a), Instr::PushStr(b), Instr::StrEq) => Some(Instr::PushBool(
+                        strings[a.0 as usize] == strings[b.0 as usize],
+                    )),
                     _ => None,
-                },
-                (Instr::PushBool(a), Instr::PushBool(b), Instr::And) => {
-                    Some(Instr::PushBool(*a && *b))
-                }
-                (Instr::PushBool(a), Instr::PushBool(b), Instr::Or) => {
-                    Some(Instr::PushBool(*a || *b))
-                }
-                (Instr::PushStr(a), Instr::PushStr(b), Instr::Concat) => {
-                    let joined =
-                        format!("{}{}", strings[a.0 as usize], strings[b.0 as usize]);
-                    let id = strings.iter().position(|s| s == &joined).unwrap_or_else(|| {
-                        strings.push(joined);
-                        strings.len() - 1
-                    });
-                    Some(Instr::PushStr(crate::instr::StrId(id as u32)))
-                }
-                (Instr::PushStr(a), Instr::PushStr(b), Instr::StrEq) => {
-                    Some(Instr::PushBool(strings[a.0 as usize] == strings[b.0 as usize]))
-                }
-                _ => None,
                 };
                 if let Some(instr) = folded {
                     code[i] = instr;
@@ -171,23 +173,23 @@ fn fold_constants(code: &mut [Instr], strings: &mut Vec<String>, stats: &mut Opt
         if let Some(j1) = skip_nops(code, i + 1) {
             if clear(&targets, i, j1) {
                 let folded: Option<Vec<Instr>> = match (&code[i], &code[j1]) {
-                (Instr::PushInt(a), Instr::Neg) => Some(vec![Instr::PushInt(a.wrapping_neg())]),
-                (Instr::PushBool(b), Instr::Not) => Some(vec![Instr::PushBool(!b)]),
-                (Instr::PushInt(a), Instr::IntToStr) => {
-                    let s = a.to_string();
-                    let id = strings.iter().position(|x| x == &s).unwrap_or_else(|| {
-                        strings.push(s);
-                        strings.len() - 1
-                    });
-                    Some(vec![Instr::PushStr(crate::instr::StrId(id as u32))])
-                }
-                (Instr::PushStr(s), Instr::StrLen) => {
-                    Some(vec![Instr::PushInt(strings[s.0 as usize].len() as i64)])
-                }
-                // A constant conditional branch becomes a plain jump (or
-                // falls through).
-                (Instr::PushBool(false), Instr::JumpIfFalse(t)) => Some(vec![Instr::Jump(*t)]),
-                (Instr::PushBool(true), Instr::JumpIfFalse(_)) => Some(vec![]),
+                    (Instr::PushInt(a), Instr::Neg) => Some(vec![Instr::PushInt(a.wrapping_neg())]),
+                    (Instr::PushBool(b), Instr::Not) => Some(vec![Instr::PushBool(!b)]),
+                    (Instr::PushInt(a), Instr::IntToStr) => {
+                        let s = a.to_string();
+                        let id = strings.iter().position(|x| x == &s).unwrap_or_else(|| {
+                            strings.push(s);
+                            strings.len() - 1
+                        });
+                        Some(vec![Instr::PushStr(crate::instr::StrId(id as u32))])
+                    }
+                    (Instr::PushStr(s), Instr::StrLen) => {
+                        Some(vec![Instr::PushInt(strings[s.0 as usize].len() as i64)])
+                    }
+                    // A constant conditional branch becomes a plain jump (or
+                    // falls through).
+                    (Instr::PushBool(false), Instr::JumpIfFalse(t)) => Some(vec![Instr::Jump(*t)]),
+                    (Instr::PushBool(true), Instr::JumpIfFalse(_)) => Some(vec![]),
                     _ => None,
                 };
                 if let Some(with) = folded {
@@ -358,7 +360,9 @@ mod tests {
     use crate::types::{FnSig, Ty};
     use crate::verify::{verify_module, NoAmbientTypes};
 
-    fn optimize_fn(build: impl FnOnce(&mut crate::builder::FunctionBuilder<'_>)) -> (Module, OptStats) {
+    fn optimize_fn(
+        build: impl FnOnce(&mut crate::builder::FunctionBuilder<'_>),
+    ) -> (Module, OptStats) {
         let mut b = ModuleBuilder::new("t", "v");
         b.function("f", FnSig::new(vec![Ty::Int], Ty::Int), build);
         let mut m = b.finish();
@@ -397,7 +401,10 @@ mod tests {
         });
         let mut m = b.finish();
         optimize_module(&mut m);
-        assert_eq!(m.function("f").unwrap().code, vec![Instr::PushInt(4), Instr::Ret]);
+        assert_eq!(
+            m.function("f").unwrap().code,
+            vec![Instr::PushInt(4), Instr::Ret]
+        );
     }
 
     #[test]
@@ -418,7 +425,10 @@ mod tests {
         // The chain jumps become unreachable after threading and are
         // dropped.
         let code = &m.function("f").unwrap().code;
-        assert!(!code.iter().any(|i| matches!(i, Instr::Jump(_))), "{code:?}");
+        assert!(
+            !code.iter().any(|i| matches!(i, Instr::Jump(_))),
+            "{code:?}"
+        );
     }
 
     #[test]
@@ -441,7 +451,10 @@ mod tests {
             f.emit(Instr::LoadLocal(0));
             f.emit(Instr::Ret);
         });
-        assert_eq!(m.function("f").unwrap().code, vec![Instr::LoadLocal(0), Instr::Ret]);
+        assert_eq!(
+            m.function("f").unwrap().code,
+            vec![Instr::LoadLocal(0), Instr::Ret]
+        );
     }
 
     #[test]
@@ -454,7 +467,10 @@ mod tests {
             f.emit(Instr::PushInt(0)); // 4 dead after fold
             f.emit(Instr::Ret); // 5
         });
-        assert_eq!(m.function("f").unwrap().code, vec![Instr::LoadLocal(0), Instr::Ret]);
+        assert_eq!(
+            m.function("f").unwrap().code,
+            vec![Instr::LoadLocal(0), Instr::Ret]
+        );
     }
 
     #[test]
@@ -472,7 +488,11 @@ mod tests {
 
     #[test]
     fn shrink_percent_reports() {
-        let s = OptStats { before: 100, after: 80, ..OptStats::default() };
+        let s = OptStats {
+            before: 100,
+            after: 80,
+            ..OptStats::default()
+        };
         assert!((s.shrink_percent() - 20.0).abs() < 1e-9);
         assert_eq!(OptStats::default().shrink_percent(), 0.0);
     }

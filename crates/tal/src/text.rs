@@ -54,8 +54,11 @@ pub fn emit(m: &Module) -> String {
     let mut out = String::new();
     out.push_str(&format!("module {} {}\n", m.name, m.version));
     for t in &m.types {
-        let fields: Vec<String> =
-            t.fields.iter().map(|f| format!("{}: {}", f.name, f.ty)).collect();
+        let fields: Vec<String> = t
+            .fields
+            .iter()
+            .map(|f| format!("{}: {}", f.name, f.ty))
+            .collect();
         out.push_str(&format!("type {} {{ {} }}\n", t.name, fields.join(", ")));
     }
     for r in &m.type_refs {
@@ -130,8 +133,13 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> TextError {
-        let line = self.lines.get(self.at.min(self.lines.len().saturating_sub(1)));
-        TextError { line: line.map_or(0, |(n, _)| n + 1), message: msg.into() }
+        let line = self
+            .lines
+            .get(self.at.min(self.lines.len().saturating_sub(1)));
+        TextError {
+            line: line.map_or(0, |(n, _)| n + 1),
+            message: msg.into(),
+        }
     }
 
     fn next_line(&mut self) -> Option<&'a str> {
@@ -156,7 +164,10 @@ impl<'a> Parser<'a> {
         if parts.next() != Some("module") {
             return Err(self.err("expected `module <name> <version>`"));
         }
-        self.module.name = parts.next().ok_or_else(|| self.err("missing module name"))?.into();
+        self.module.name = parts
+            .next()
+            .ok_or_else(|| self.err("missing module name"))?
+            .into();
         self.module.version = parts.next().unwrap_or("v0").into();
         self.at += 1;
 
@@ -190,8 +201,9 @@ impl<'a> Parser<'a> {
     fn parse_type(&mut self, line: &str) -> Result<(), TextError> {
         // type NAME { f: ty, ... }
         let rest = line["type".len()..].trim();
-        let (name, body) =
-            rest.split_once('{').ok_or_else(|| self.err("type needs `{ ... }`"))?;
+        let (name, body) = rest
+            .split_once('{')
+            .ok_or_else(|| self.err("type needs `{ ... }`"))?;
         let body = body.trim_end_matches('}').trim();
         let mut fields = Vec::new();
         if !body.is_empty() {
@@ -205,19 +217,23 @@ impl<'a> Parser<'a> {
                 ));
             }
         }
-        self.module.types.push(TypeDef::new(name.trim().to_string(), fields));
+        self.module
+            .types
+            .push(TypeDef::new(name.trim().to_string(), fields));
         self.at += 1;
         Ok(())
     }
 
     fn parse_symbol(&mut self, line: &str) -> Result<(), TextError> {
         let rest = line["sym".len()..].trim();
-        let (kind, rest) =
-            rest.split_once(' ').ok_or_else(|| self.err("sym needs a kind"))?;
+        let (kind, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| self.err("sym needs a kind"))?;
         let sym = match kind {
             "fn" | "host" => {
-                let (name, sig) =
-                    rest.split_once(' ').ok_or_else(|| self.err("sym fn needs a signature"))?;
+                let (name, sig) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| self.err("sym fn needs a signature"))?;
                 let sig = parse_sig(sig.trim()).map_err(|m| self.err(m))?;
                 if kind == "fn" {
                     Symbol::func(name.trim(), sig)
@@ -226,8 +242,9 @@ impl<'a> Parser<'a> {
                 }
             }
             "global" => {
-                let (name, ty) =
-                    rest.split_once(':').ok_or_else(|| self.err("sym global needs `: ty`"))?;
+                let (name, ty) = rest
+                    .split_once(':')
+                    .ok_or_else(|| self.err("sym global needs `: ty`"))?;
                 Symbol::global(name.trim(), parse_ty(ty.trim()).map_err(|m| self.err(m))?)
             }
             other => return Err(self.err(format!("unknown symbol kind `{other}`"))),
@@ -256,8 +273,9 @@ impl<'a> Parser<'a> {
     fn parse_global(&mut self, line: &str) -> Result<(), TextError> {
         // global NAME : ty {
         let rest = line["global".len()..].trim().trim_end_matches('{').trim();
-        let (name, ty) =
-            rest.split_once(':').ok_or_else(|| self.err("global needs `: ty`"))?;
+        let (name, ty) = rest
+            .split_once(':')
+            .ok_or_else(|| self.err("global needs `: ty`"))?;
         let name = name.trim().to_string();
         let ty = parse_ty(ty.trim()).map_err(|m| self.err(m))?;
         let init = self.parse_code_block()?;
@@ -268,8 +286,9 @@ impl<'a> Parser<'a> {
     fn parse_function(&mut self, line: &str) -> Result<(), TextError> {
         // fun NAME (tys) -> ty locals [tys] {
         let rest = line["fun".len()..].trim().trim_end_matches('{').trim();
-        let (name, rest) =
-            rest.split_once(' ').ok_or_else(|| self.err("fun needs a signature"))?;
+        let (name, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| self.err("fun needs a signature"))?;
         let (sig_part, locals_part) = rest
             .split_once("locals")
             .ok_or_else(|| self.err("fun needs `locals [..]`"))?;
@@ -286,7 +305,12 @@ impl<'a> Parser<'a> {
             }
         }
         let code = self.parse_code_block()?;
-        self.module.functions.push(Function { name: name.trim().to_string(), sig, locals, code });
+        self.module.functions.push(Function {
+            name: name.trim().to_string(),
+            sig,
+            locals,
+            code,
+        });
         Ok(())
     }
 }
@@ -326,7 +350,9 @@ pub fn parse_ty(s: &str) -> Result<Ty, String> {
         _ => {}
     }
     if let Some(inner) = s.strip_prefix('[') {
-        let inner = inner.strip_suffix(']').ok_or_else(|| format!("unclosed `[` in `{s}`"))?;
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unclosed `[` in `{s}`"))?;
         return Ok(Ty::array(parse_ty(inner)?));
     }
     if let Some(rest) = s.strip_prefix("fn(") {
@@ -334,8 +360,10 @@ pub fn parse_ty(s: &str) -> Result<Ty, String> {
         let close = matching_paren(rest).ok_or_else(|| format!("unclosed `(` in `{s}`"))?;
         let params_text = &rest[..close];
         let after = rest[close + 1..].trim();
-        let ret_text =
-            after.strip_prefix(':').ok_or_else(|| format!("missing `:` in `{s}`"))?.trim();
+        let ret_text = after
+            .strip_prefix(':')
+            .ok_or_else(|| format!("missing `:` in `{s}`"))?
+            .trim();
         let mut params = Vec::new();
         if !params_text.trim().is_empty() {
             for p in split_top_level(params_text) {
@@ -344,7 +372,10 @@ pub fn parse_ty(s: &str) -> Result<Ty, String> {
         }
         return Ok(Ty::func(params, parse_ty(ret_text)?));
     }
-    if s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '@' || c == '.') && !s.is_empty() {
+    if s.chars()
+        .all(|c| c.is_alphanumeric() || c == '_' || c == '@' || c == '.')
+        && !s.is_empty()
+    {
         return Ok(Ty::Named(s.to_string()));
     }
     Err(format!("unparseable type `{s}`"))
@@ -371,12 +402,16 @@ fn matching_paren(s: &str) -> Option<usize> {
 /// Parses `(T, U) -> R`.
 pub fn parse_sig(s: &str) -> Result<FnSig, String> {
     let s = s.trim();
-    let rest = s.strip_prefix('(').ok_or_else(|| format!("signature must start with `(`: `{s}`"))?;
+    let rest = s
+        .strip_prefix('(')
+        .ok_or_else(|| format!("signature must start with `(`: `{s}`"))?;
     let close = matching_paren(rest).ok_or_else(|| format!("unclosed `(` in `{s}`"))?;
     let params_text = &rest[..close];
     let after = rest[close + 1..].trim();
-    let ret_text =
-        after.strip_prefix("->").ok_or_else(|| format!("missing `->` in `{s}`"))?.trim();
+    let ret_text = after
+        .strip_prefix("->")
+        .ok_or_else(|| format!("missing `->` in `{s}`"))?
+        .trim();
     let mut params = Vec::new();
     if !params_text.trim().is_empty() {
         for p in split_top_level(params_text) {
@@ -439,9 +474,9 @@ pub fn parse_instr(line: &str) -> Result<Instr, String> {
     let int = |s: &str| s.parse::<i64>().map_err(|_| format!("bad integer `{s}`"));
     let idx = |s: &str| s.parse::<u32>().map_err(|_| format!("bad index `{s}`"));
     let pool = |s: &str, prefix: &str| -> Result<u32, String> {
-        s.strip_prefix(prefix).ok_or_else(|| format!("expected `{prefix}N`, got `{s}`")).and_then(
-            |t| t.parse::<u32>().map_err(|_| format!("bad index `{s}`")),
-        )
+        s.strip_prefix(prefix)
+            .ok_or_else(|| format!("expected `{prefix}N`, got `{s}`"))
+            .and_then(|t| t.parse::<u32>().map_err(|_| format!("bad index `{s}`")))
     };
     Ok(match mnemonic {
         "push.unit" => Instr::PushUnit,
@@ -516,13 +551,20 @@ mod tests {
         let mut b = ModuleBuilder::new("sample", "v7");
         b.def_type(TypeDef::new(
             "pair",
-            vec![Field::new("a", Ty::Int), Field::new("b", Ty::array(Ty::Str))],
+            vec![
+                Field::new("a", Ty::Int),
+                Field::new("b", Ty::array(Ty::Str)),
+            ],
         ));
         let tr = b.type_ref("pair");
         let hello = b.string("he\"llo\n\t\\");
         let host = b.declare_host("log", FnSig::new(vec![Ty::Str], Ty::Unit));
         let gsym = b.declare_global("g", Ty::named("pair"));
-        b.global("g", Ty::named("pair"), vec![Instr::PushNull(tr), Instr::Ret]);
+        b.global(
+            "g",
+            Ty::named("pair"),
+            vec![Instr::PushNull(tr), Instr::Ret],
+        );
         b.function(
             "f",
             FnSig::new(vec![Ty::Int, Ty::func(vec![Ty::Int], Ty::Bool)], Ty::Str),
@@ -562,12 +604,21 @@ mod tests {
     #[test]
     fn type_parser_handles_nesting() {
         assert_eq!(parse_ty("int").unwrap(), Ty::Int);
-        assert_eq!(parse_ty("[[string]]").unwrap(), Ty::array(Ty::array(Ty::Str)));
+        assert_eq!(
+            parse_ty("[[string]]").unwrap(),
+            Ty::array(Ty::array(Ty::Str))
+        );
         assert_eq!(
             parse_ty("fn(int, [bool]): fn(): unit").unwrap(),
-            Ty::func(vec![Ty::Int, Ty::array(Ty::Bool)], Ty::func(vec![], Ty::Unit))
+            Ty::func(
+                vec![Ty::Int, Ty::array(Ty::Bool)],
+                Ty::func(vec![], Ty::Unit)
+            )
         );
-        assert_eq!(parse_ty("cache_entry@1").unwrap(), Ty::named("cache_entry@1"));
+        assert_eq!(
+            parse_ty("cache_entry@1").unwrap(),
+            Ty::named("cache_entry@1")
+        );
         assert!(parse_ty("fn(int: int").is_err());
         assert!(parse_ty("[int").is_err());
     }
@@ -589,7 +640,16 @@ mod tests {
 
     #[test]
     fn string_escapes_round_trip() {
-        for s in ["", "plain", "a\nb", "q\"q", "tab\t", "nul\0", "back\\slash", "é↑"] {
+        for s in [
+            "",
+            "plain",
+            "a\nb",
+            "q\"q",
+            "tab\t",
+            "nul\0",
+            "back\\slash",
+            "é↑",
+        ] {
             let lit = format!("{s:?}");
             assert_eq!(parse_string_literal(&lit).unwrap(), s, "{lit}");
         }

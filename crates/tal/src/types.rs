@@ -127,7 +127,10 @@ pub struct Field {
 impl Field {
     /// Creates a new field.
     pub fn new(name: impl Into<String>, ty: Ty) -> Field {
-        Field { name: name.into(), ty }
+        Field {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -148,7 +151,10 @@ pub struct TypeDef {
 impl TypeDef {
     /// Creates a new record type definition.
     pub fn new(name: impl Into<String>, fields: Vec<Field>) -> TypeDef {
-        TypeDef { name: name.into(), fields }
+        TypeDef {
+            name: name.into(),
+            fields,
+        }
     }
 
     /// Index of the field called `name`, if present.

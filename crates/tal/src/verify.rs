@@ -61,7 +61,11 @@ pub struct VerifyError {
 
 impl VerifyError {
     fn module(message: impl Into<String>) -> VerifyError {
-        VerifyError { context: None, at: None, message: message.into() }
+        VerifyError {
+            context: None,
+            at: None,
+            message: message.into(),
+        }
     }
 }
 
@@ -113,7 +117,11 @@ pub fn verify_function(m: &Module, env: &Env<'_>, f: &Function) -> Result<(), Ve
     }
     for (i, p) in f.sig.params.iter().enumerate() {
         if &f.locals[i] != p {
-            return Err(err_fn(f, None, format!("local {i} does not match parameter type {p}")));
+            return Err(err_fn(
+                f,
+                None,
+                format!("local {i} does not match parameter type {p}"),
+            ));
         }
     }
     Dataflow::new(m, env, &f.name, &f.locals, &f.sig.ret).run(&f.code)
@@ -141,25 +149,37 @@ impl<'a> Env<'a> {
     }
 
     fn type_def(&self, name: &str) -> Option<&TypeDef> {
-        self.module.type_def(name).or_else(|| self.ambient.lookup_type(name))
+        self.module
+            .type_def(name)
+            .or_else(|| self.ambient.lookup_type(name))
     }
 }
 
 fn err_fn(f: &Function, at: Option<usize>, msg: impl Into<String>) -> VerifyError {
-    VerifyError { context: Some(f.name.clone()), at, message: msg.into() }
+    VerifyError {
+        context: Some(f.name.clone()),
+        at,
+        message: msg.into(),
+    }
 }
 
 fn check_module_shape(m: &Module, ambient: &dyn TypeProvider) -> Result<(), VerifyError> {
     let mut seen = std::collections::HashSet::new();
     for f in &m.functions {
         if !seen.insert(&f.name) {
-            return Err(VerifyError::module(format!("duplicate function `{}`", f.name)));
+            return Err(VerifyError::module(format!(
+                "duplicate function `{}`",
+                f.name
+            )));
         }
     }
     let mut seen = std::collections::HashSet::new();
     for g in &m.globals {
         if !seen.insert(&g.name) {
-            return Err(VerifyError::module(format!("duplicate global `{}`", g.name)));
+            return Err(VerifyError::module(format!(
+                "duplicate global `{}`",
+                g.name
+            )));
         }
     }
     let mut seen = std::collections::HashSet::new();
@@ -265,11 +285,22 @@ impl<'a> Dataflow<'a> {
         locals: &'a [Ty],
         ret: &'a Ty,
     ) -> Dataflow<'a> {
-        Dataflow { module, env, ctx, locals, ret, states: Vec::new() }
+        Dataflow {
+            module,
+            env,
+            ctx,
+            locals,
+            ret,
+            states: Vec::new(),
+        }
     }
 
     fn err(&self, at: usize, msg: impl Into<String>) -> VerifyError {
-        VerifyError { context: Some(self.ctx.to_string()), at: Some(at), message: msg.into() }
+        VerifyError {
+            context: Some(self.ctx.to_string()),
+            at: Some(at),
+            message: msg.into(),
+        }
     }
 
     fn run(mut self, code: &[Instr]) -> Result<(), VerifyError> {
@@ -310,7 +341,9 @@ impl<'a> Dataflow<'a> {
     }
 
     fn pop(&self, at: usize, stack: &mut Vec<Ty>) -> Result<Ty, VerifyError> {
-        stack.pop().ok_or_else(|| self.err(at, "operand stack underflow"))
+        stack
+            .pop()
+            .ok_or_else(|| self.err(at, "operand stack underflow"))
     }
 
     fn pop_expect(&self, at: usize, stack: &mut Vec<Ty>, want: &Ty) -> Result<(), VerifyError> {
@@ -338,7 +371,9 @@ impl<'a> Dataflow<'a> {
     }
 
     fn symbol(&self, at: usize, s: SymId) -> Result<&'a crate::module::Symbol, VerifyError> {
-        self.module.symbol(s).ok_or_else(|| self.err(at, format!("bad symbol ref #{}", s.0)))
+        self.module
+            .symbol(s)
+            .ok_or_else(|| self.err(at, format!("bad symbol ref #{}", s.0)))
     }
 
     /// Simulates one instruction; returns the post-stack and successor pcs.
@@ -536,7 +571,9 @@ impl<'a> Dataflow<'a> {
             Ret => {
                 self.pop_expect(pc, &mut stack, self.ret)?;
                 if !stack.is_empty() {
-                    return Err(self.err(pc, format!("{} residual operands at return", stack.len())));
+                    return Err(
+                        self.err(pc, format!("{} residual operands at return", stack.len()))
+                    );
                 }
                 Ok((stack, Vec::new()))
             }

@@ -73,8 +73,7 @@ fn all_variants() -> Vec<Instr> {
 fn every_instruction_round_trips_through_text() {
     for instr in all_variants() {
         let line = instr.to_string();
-        let back = parse_instr(&line)
-            .unwrap_or_else(|e| panic!("`{line}` must parse: {e}"));
+        let back = parse_instr(&line).unwrap_or_else(|e| panic!("`{line}` must parse: {e}"));
         assert_eq!(instr, back, "`{line}`");
     }
 }

@@ -68,19 +68,27 @@ fn jump_bounds_are_checked() {
 #[test]
 fn operand_kinds_are_checked_per_instruction() {
     // Integer op on strings.
-    rejects(FnSig::new(vec![Ty::Str, Ty::Str], Ty::Int), "expected int", |f| {
-        f.emit(Instr::LoadLocal(0));
-        f.emit(Instr::LoadLocal(1));
-        f.emit(Instr::Add);
-        f.emit(Instr::Ret);
-    });
+    rejects(
+        FnSig::new(vec![Ty::Str, Ty::Str], Ty::Int),
+        "expected int",
+        |f| {
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::LoadLocal(1));
+            f.emit(Instr::Add);
+            f.emit(Instr::Ret);
+        },
+    );
     // Concat on ints.
-    rejects(FnSig::new(vec![Ty::Int, Ty::Int], Ty::Str), "expected string", |f| {
-        f.emit(Instr::LoadLocal(0));
-        f.emit(Instr::LoadLocal(1));
-        f.emit(Instr::Concat);
-        f.emit(Instr::Ret);
-    });
+    rejects(
+        FnSig::new(vec![Ty::Int, Ty::Int], Ty::Str),
+        "expected string",
+        |f| {
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::LoadLocal(1));
+            f.emit(Instr::Concat);
+            f.emit(Instr::Ret);
+        },
+    );
     // Branch on non-bool.
     rejects(FnSig::new(vec![Ty::Int], Ty::Unit), "expected bool", |f| {
         f.emit(Instr::LoadLocal(0));
@@ -89,63 +97,91 @@ fn operand_kinds_are_checked_per_instruction() {
         f.emit(Instr::Ret);
     });
     // ArrayGet with non-int index.
-    rejects(FnSig::new(vec![Ty::array(Ty::Int), Ty::Bool], Ty::Int), "expected int", |f| {
-        f.emit(Instr::LoadLocal(0));
-        f.emit(Instr::LoadLocal(1));
-        f.emit(Instr::ArrayGet);
-        f.emit(Instr::Ret);
-    });
+    rejects(
+        FnSig::new(vec![Ty::array(Ty::Int), Ty::Bool], Ty::Int),
+        "expected int",
+        |f| {
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::LoadLocal(1));
+            f.emit(Instr::ArrayGet);
+            f.emit(Instr::Ret);
+        },
+    );
     // ArrayGet on non-array.
-    rejects(FnSig::new(vec![Ty::Int], Ty::Int), "array.get on non-array", |f| {
-        f.emit(Instr::LoadLocal(0));
-        f.emit(Instr::PushInt(0));
-        f.emit(Instr::ArrayGet);
-        f.emit(Instr::Ret);
-    });
+    rejects(
+        FnSig::new(vec![Ty::Int], Ty::Int),
+        "array.get on non-array",
+        |f| {
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::PushInt(0));
+            f.emit(Instr::ArrayGet);
+            f.emit(Instr::Ret);
+        },
+    );
     // ArraySet element type mismatch.
-    rejects(FnSig::new(vec![Ty::array(Ty::Int)], Ty::Unit), "array.set type mismatch", |f| {
-        f.emit(Instr::LoadLocal(0));
-        f.emit(Instr::PushInt(0));
-        f.emit(Instr::PushBool(true));
-        f.emit(Instr::ArraySet);
-        f.emit(Instr::PushUnit);
-        f.emit(Instr::Ret);
-    });
+    rejects(
+        FnSig::new(vec![Ty::array(Ty::Int)], Ty::Unit),
+        "array.set type mismatch",
+        |f| {
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::PushInt(0));
+            f.emit(Instr::PushBool(true));
+            f.emit(Instr::ArraySet);
+            f.emit(Instr::PushUnit);
+            f.emit(Instr::Ret);
+        },
+    );
     // CallIndirect on non-function.
-    rejects(FnSig::new(vec![Ty::Int], Ty::Int), "call.indirect on non-function", |f| {
-        f.emit(Instr::LoadLocal(0));
-        f.emit(Instr::CallIndirect);
-        f.emit(Instr::Ret);
-    });
+    rejects(
+        FnSig::new(vec![Ty::Int], Ty::Int),
+        "call.indirect on non-function",
+        |f| {
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::CallIndirect);
+            f.emit(Instr::Ret);
+        },
+    );
 }
 
 #[test]
 fn record_instruction_rules() {
     // Field index out of range.
-    rejects(FnSig::new(vec![Ty::named("rec")], Ty::Int), "has no field 7", |f| {
-        let tr = f.type_ref("rec");
-        f.emit(Instr::LoadLocal(0));
-        f.emit(Instr::GetField(tr, 7));
-        f.emit(Instr::Ret);
-    });
+    rejects(
+        FnSig::new(vec![Ty::named("rec")], Ty::Int),
+        "has no field 7",
+        |f| {
+            let tr = f.type_ref("rec");
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::GetField(tr, 7));
+            f.emit(Instr::Ret);
+        },
+    );
     // SetField with wrong value type.
-    rejects(FnSig::new(vec![Ty::named("rec")], Ty::Unit), "expected int", |f| {
-        let tr = f.type_ref("rec");
-        f.emit(Instr::LoadLocal(0));
-        f.emit(Instr::PushBool(true));
-        f.emit(Instr::SetField(tr, 0));
-        f.emit(Instr::PushUnit);
-        f.emit(Instr::Ret);
-    });
+    rejects(
+        FnSig::new(vec![Ty::named("rec")], Ty::Unit),
+        "expected int",
+        |f| {
+            let tr = f.type_ref("rec");
+            f.emit(Instr::LoadLocal(0));
+            f.emit(Instr::PushBool(true));
+            f.emit(Instr::SetField(tr, 0));
+            f.emit(Instr::PushUnit);
+            f.emit(Instr::Ret);
+        },
+    );
     // NewRecord with fields in the wrong order.
-    rejects(FnSig::new(vec![], Ty::named("rec")), "expected string", |f| {
-        let tr = f.type_ref("rec");
-        let s = f.string("x");
-        f.emit(Instr::PushStr(s));
-        f.emit(Instr::PushInt(1));
-        f.emit(Instr::NewRecord(tr));
-        f.emit(Instr::Ret);
-    });
+    rejects(
+        FnSig::new(vec![], Ty::named("rec")),
+        "expected string",
+        |f| {
+            let tr = f.type_ref("rec");
+            let s = f.string("x");
+            f.emit(Instr::PushStr(s));
+            f.emit(Instr::PushInt(1));
+            f.emit(Instr::NewRecord(tr));
+            f.emit(Instr::Ret);
+        },
+    );
     // IsNull on the wrong named type.
     let mut b = ModuleBuilder::new("t", "v");
     b.def_type(TypeDef::new("a", vec![Field::new("x", Ty::Int)]));
@@ -302,7 +338,10 @@ fn function_value_types_are_precise() {
         f.emit(Instr::Ret);
     });
     let e = verify_module(&b.finish(), &NoAmbientTypes).unwrap_err();
-    assert!(e.message.contains("underflow") || e.message.contains("expected"), "{e}");
+    assert!(
+        e.message.contains("underflow") || e.message.contains("expected"),
+        "{e}"
+    );
 }
 
 #[test]

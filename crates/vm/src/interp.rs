@@ -49,7 +49,12 @@ impl Frame {
         for ty in &func.locals[locals.len()..] {
             locals.push(Value::default_for(ty));
         }
-        Frame { func, pc: 0, locals, stack: Vec::new() }
+        Frame {
+            func,
+            pc: 0,
+            locals,
+            stack: Vec::new(),
+        }
     }
 }
 
@@ -68,7 +73,10 @@ pub struct ExecState {
 impl ExecState {
     /// Starts an execution with a single entry frame.
     pub fn with_frame(frame: Frame) -> ExecState {
-        ExecState { frames: vec![frame], pool: Vec::new() }
+        ExecState {
+            frames: vec![frame],
+            pool: Vec::new(),
+        }
     }
 
     /// Names of the functions on the stack, outermost first.
@@ -84,7 +92,9 @@ impl ExecState {
     /// Every value held in any frame's locals or operand stack (the code
     /// garbage collector scans these for live function values).
     pub fn frame_values(&self) -> impl Iterator<Item = &Value> {
-        self.frames.iter().flat_map(|f| f.locals.iter().chain(f.stack.iter()))
+        self.frames
+            .iter()
+            .flat_map(|f| f.locals.iter().chain(f.stack.iter()))
     }
 }
 
@@ -201,7 +211,11 @@ pub(crate) fn exec(
     }
 }
 
-fn push_call(proc: &mut Process, st: &mut ExecState, callee: Rc<LinkedFunction>) -> Result<(), Trap> {
+fn push_call(
+    proc: &mut Process,
+    st: &mut ExecState,
+    callee: Rc<LinkedFunction>,
+) -> Result<(), Trap> {
     if st.frames.len() >= proc.max_stack_depth {
         return Err(Trap::StackOverflow);
     }
@@ -213,7 +227,12 @@ fn push_call(proc: &mut Process, st: &mut ExecState, callee: Rc<LinkedFunction>)
     for ty in &callee.locals[callee.param_count..] {
         locals.push(Value::default_for(ty));
     }
-    st.frames.push(Frame { func: callee, pc: 0, locals, stack });
+    st.frames.push(Frame {
+        func: callee,
+        pc: 0,
+        locals,
+        stack,
+    });
     Ok(())
 }
 
@@ -347,7 +366,10 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             let i = stack.pop().expect("verified").as_int();
             let s = stack.pop().expect("verified").as_str();
             if i < 0 || i as usize >= s.len() {
-                return Err(Trap::IndexOutOfBounds { index: i, len: s.len() });
+                return Err(Trap::IndexOutOfBounds {
+                    index: i,
+                    len: s.len(),
+                });
             }
             stack.push(Value::Int(i64::from(s.as_bytes()[i as usize])));
         }
@@ -414,10 +436,15 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
         Op::ArrayGet => {
             let i = stack.pop().expect("verified").as_int();
             let a = stack.pop().expect("verified");
-            let Value::Array(a) = a else { panic!("verified code indexed {a:?}") };
+            let Value::Array(a) = a else {
+                panic!("verified code indexed {a:?}")
+            };
             let a = a.borrow();
             if i < 0 || i as usize >= a.len() {
-                return Err(Trap::IndexOutOfBounds { index: i, len: a.len() });
+                return Err(Trap::IndexOutOfBounds {
+                    index: i,
+                    len: a.len(),
+                });
             }
             stack.push(a[i as usize].clone());
         }
@@ -425,23 +452,32 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             let v = stack.pop().expect("verified");
             let i = stack.pop().expect("verified").as_int();
             let a = stack.pop().expect("verified");
-            let Value::Array(a) = a else { panic!("verified code indexed {a:?}") };
+            let Value::Array(a) = a else {
+                panic!("verified code indexed {a:?}")
+            };
             let mut a = a.borrow_mut();
             if i < 0 || i as usize >= a.len() {
-                return Err(Trap::IndexOutOfBounds { index: i, len: a.len() });
+                return Err(Trap::IndexOutOfBounds {
+                    index: i,
+                    len: a.len(),
+                });
             }
             a[i as usize] = v;
         }
         Op::ArrayLen => {
             let a = stack.pop().expect("verified");
-            let Value::Array(a) = a else { panic!("verified code measured {a:?}") };
+            let Value::Array(a) = a else {
+                panic!("verified code measured {a:?}")
+            };
             let n = a.borrow().len();
             stack.push(Value::Int(n as i64));
         }
         Op::ArrayPush => {
             let v = stack.pop().expect("verified");
             let a = stack.pop().expect("verified");
-            let Value::Array(a) = a else { panic!("verified code pushed to {a:?}") };
+            let Value::Array(a) = a else {
+                panic!("verified code pushed to {a:?}")
+            };
             a.borrow_mut().push(v);
         }
         Op::Nop => {}

@@ -42,8 +42,8 @@ pub mod value;
 pub use interp::{ExecState, ExecStats, Frame, Outcome};
 pub use ops::Op;
 pub use process::{
-    BindingSnapshot, GlobalCell, HostFn, LinkMode, LinkOverrides, LinkedFunction,
-    PlannedBindings, Process, ProcessTypes,
+    BindingSnapshot, GlobalCell, HostFn, LinkMode, LinkOverrides, LinkedFunction, PlannedBindings,
+    Process, ProcessTypes, UpdateSignal,
 };
 pub use trap::{LinkError, Trap};
 pub use value::{FnRef, FuncId, GlobalId, HostId, RecordObj, SlotId, StructId, Value};
@@ -107,8 +107,13 @@ mod tests {
         });
         let mut p = Process::new(LinkMode::Static);
         p.load_module(&b.finish()).unwrap();
-        assert_eq!(p.call("div", vec![Value::Int(6), Value::Int(2)]).unwrap(), Value::Int(3));
-        let e = p.call("div", vec![Value::Int(6), Value::Int(0)]).unwrap_err();
+        assert_eq!(
+            p.call("div", vec![Value::Int(6), Value::Int(2)]).unwrap(),
+            Value::Int(3)
+        );
+        let e = p
+            .call("div", vec![Value::Int(6), Value::Int(0)])
+            .unwrap_err();
         assert_eq!(e, Trap::DivByZero);
     }
 
@@ -198,7 +203,10 @@ mod tests {
         let mut p = Process::new(LinkMode::Updateable);
         p.load_module(&b.finish()).unwrap();
         // sum over i of (i + 2i) for i in 0..4 = 3 * (0+1+2+3) = 18
-        assert_eq!(p.call("sum_pairs", vec![Value::Int(4)]).unwrap(), Value::Int(18));
+        assert_eq!(
+            p.call("sum_pairs", vec![Value::Int(4)]).unwrap(),
+            Value::Int(18)
+        );
     }
 
     #[test]
@@ -252,7 +260,10 @@ mod tests {
         });
         let mut p = Process::new(LinkMode::Static);
         let e = p.load_module(&b.finish()).unwrap_err();
-        assert!(matches!(e, LinkError::Unresolved { kind: "host", .. }), "{e}");
+        assert!(
+            matches!(e, LinkError::Unresolved { kind: "host", .. }),
+            "{e}"
+        );
     }
 
     #[test]
@@ -260,7 +271,10 @@ mod tests {
         // The essence of dynamic updating, at the VM level.
         let mut p = Process::new(LinkMode::Updateable);
         p.load_module(&arith_module()).unwrap();
-        assert_eq!(p.call("triple_add", vec![Value::Int(5)]).unwrap(), Value::Int(15));
+        assert_eq!(
+            p.call("triple_add", vec![Value::Int(5)]).unwrap(),
+            Value::Int(15)
+        );
 
         // Build a replacement for `add` that subtracts instead.
         let mut b = ModuleBuilder::new("patch", "v2");
@@ -278,7 +292,10 @@ mod tests {
         }
         // (5 - 5) - 5 = -5: `triple_add` now reaches the new `add` through
         // its indirection slot without itself being relinked.
-        assert_eq!(p.call("triple_add", vec![Value::Int(5)]).unwrap(), Value::Int(-5));
+        assert_eq!(
+            p.call("triple_add", vec![Value::Int(5)]).unwrap(),
+            Value::Int(-5)
+        );
     }
 
     #[test]
@@ -298,7 +315,10 @@ mod tests {
             p.bind_function(&name, id);
         }
         // Direct binding: old callers keep their resolved target.
-        assert_eq!(p.call("triple_add", vec![Value::Int(5)]).unwrap(), Value::Int(15));
+        assert_eq!(
+            p.call("triple_add", vec![Value::Int(5)]).unwrap(),
+            Value::Int(15)
+        );
     }
 
     #[test]
@@ -319,7 +339,10 @@ mod tests {
         p.load_module(&b.finish()).unwrap();
 
         // Without a pending request the update point is a no-op.
-        assert_eq!(p.run("work", vec![]).unwrap(), Outcome::Done(Value::Int(101)));
+        assert_eq!(
+            p.run("work", vec![]).unwrap(),
+            Outcome::Done(Value::Int(101))
+        );
 
         // With a pending request the run suspends; we mutate state (as a
         // state transformer would) and resume.
@@ -346,14 +369,22 @@ mod tests {
             f.emit(Instr::Sub);
             f.emit(Instr::Ret);
         });
-        let planned = p.link_functions(&b.finish(), &LinkOverrides::default()).unwrap();
+        let planned = p
+            .link_functions(&b.finish(), &LinkOverrides::default())
+            .unwrap();
         for (name, id) in planned {
             p.bind_function(&name, id);
         }
-        assert_eq!(p.call("triple_add", vec![Value::Int(5)]).unwrap(), Value::Int(-5));
+        assert_eq!(
+            p.call("triple_add", vec![Value::Int(5)]).unwrap(),
+            Value::Int(-5)
+        );
 
         p.restore(snap);
-        assert_eq!(p.call("triple_add", vec![Value::Int(5)]).unwrap(), Value::Int(15));
+        assert_eq!(
+            p.call("triple_add", vec![Value::Int(5)]).unwrap(),
+            Value::Int(15)
+        );
     }
 
     #[test]
@@ -364,11 +395,15 @@ mod tests {
             f.emit(Instr::Ret);
         });
         let fsym = b.declare_fn("f", FnSig::new(vec![], Ty::Int));
-        b.function("call_through_value", FnSig::new(vec![], Ty::Int), move |fb| {
-            fb.emit(Instr::PushFn(fsym));
-            fb.emit(Instr::CallIndirect);
-            fb.emit(Instr::Ret);
-        });
+        b.function(
+            "call_through_value",
+            FnSig::new(vec![], Ty::Int),
+            move |fb| {
+                fb.emit(Instr::PushFn(fsym));
+                fb.emit(Instr::CallIndirect);
+                fb.emit(Instr::Ret);
+            },
+        );
         let mut p = Process::new(LinkMode::Updateable);
         p.load_module(&b.finish()).unwrap();
         assert_eq!(p.call("call_through_value", vec![]).unwrap(), Value::Int(1));
@@ -378,7 +413,9 @@ mod tests {
             f.emit(Instr::PushInt(2));
             f.emit(Instr::Ret);
         });
-        let planned = p.link_functions(&b.finish(), &LinkOverrides::default()).unwrap();
+        let planned = p
+            .link_functions(&b.finish(), &LinkOverrides::default())
+            .unwrap();
         for (name, id) in planned {
             p.bind_function(&name, id);
         }
@@ -408,7 +445,10 @@ mod tests {
         let mut p = Process::new(LinkMode::Static);
         p.max_stack_depth = 64;
         p.load_module(&b.finish()).unwrap();
-        assert_eq!(p.call("spin", vec![Value::Int(0)]).unwrap_err(), Trap::StackOverflow);
+        assert_eq!(
+            p.call("spin", vec![Value::Int(0)]).unwrap_err(),
+            Trap::StackOverflow
+        );
     }
 
     #[test]
@@ -430,8 +470,17 @@ mod tests {
         });
         let mut p = Process::new(LinkMode::Static);
         p.load_module(&b.finish()).unwrap();
-        assert_eq!(p.call("greet", vec![Value::str("world")]).unwrap(), Value::str("hello world"));
-        assert_eq!(p.call("head3", vec![Value::str("abcdef")]).unwrap(), Value::str("abc"));
-        assert_eq!(p.call("head3", vec![Value::str("ab")]).unwrap(), Value::str("ab"));
+        assert_eq!(
+            p.call("greet", vec![Value::str("world")]).unwrap(),
+            Value::str("hello world")
+        );
+        assert_eq!(
+            p.call("head3", vec![Value::str("abcdef")]).unwrap(),
+            Value::str("abc")
+        );
+        assert_eq!(
+            p.call("head3", vec![Value::str("ab")]).unwrap(),
+            Value::str("ab")
+        );
     }
 }

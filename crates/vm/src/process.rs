@@ -22,6 +22,8 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use tal::{FnSig, GlobalDef, Instr, Module, SymbolKind, Ty, TypeDef, TypeProvider};
 
@@ -80,7 +82,11 @@ pub struct LinkOverrides {
 }
 
 /// A host (extern) function: the embedder's side of the guest's FFI.
-pub type HostFn = Box<dyn FnMut(&[Value]) -> Result<Value, Trap>>;
+///
+/// `Send` so a process (and the closures wired into it) can be built and
+/// driven inside a worker thread — the fleet serving layer boots one
+/// process per worker.
+pub type HostFn = Box<dyn FnMut(&[Value]) -> Result<Value, Trap> + Send>;
 
 pub(crate) struct HostEntry {
     pub name: String,
@@ -145,7 +151,7 @@ pub struct Process {
     global_by_name: HashMap<String, GlobalId>,
     pub(crate) hosts: Vec<HostEntry>,
     host_by_name: HashMap<String, HostId>,
-    update_requested: bool,
+    update_requested: Arc<AtomicBool>,
     suspended: Option<ExecState>,
     /// Cumulative execution statistics.
     pub stats: ExecStats,
@@ -172,7 +178,7 @@ impl Process {
             global_by_name: HashMap::new(),
             hosts: Vec::new(),
             host_by_name: HashMap::new(),
-            update_requested: false,
+            update_requested: Arc::new(AtomicBool::new(false)),
             suspended: None,
             stats: ExecStats::default(),
             max_stack_depth: 10_000,
@@ -210,12 +216,19 @@ impl Process {
         let name = name.into();
         if let Some(&id) = self.host_by_name.get(&name) {
             let entry = &mut self.hosts[id.0 as usize];
-            assert_eq!(entry.sig, sig, "host `{name}` re-registered with a different signature");
+            assert_eq!(
+                entry.sig, sig,
+                "host `{name}` re-registered with a different signature"
+            );
             entry.func = func;
             return;
         }
         let id = HostId(self.hosts.len() as u32);
-        self.hosts.push(HostEntry { name: name.clone(), sig, func });
+        self.hosts.push(HostEntry {
+            name: name.clone(),
+            sig,
+            func,
+        });
         self.host_by_name.insert(name, id);
     }
 
@@ -230,7 +243,10 @@ impl Process {
     /// bind the type name; see [`Process::bind_type_name`].
     pub fn register_struct(&mut self, def: TypeDef) -> StructId {
         let id = StructId(self.structs.len() as u32);
-        self.structs.push(StructInfo { name: def.name.clone(), def });
+        self.structs.push(StructInfo {
+            name: def.name.clone(),
+            def,
+        });
         id
     }
 
@@ -272,25 +288,39 @@ impl Process {
     ///
     /// # Errors
     /// Fails with [`LinkError::Duplicate`] when the name already exists.
-    pub fn add_global(&mut self, name: impl Into<String>, ty: Ty, value: Value) -> Result<GlobalId, LinkError> {
+    pub fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        ty: Ty,
+        value: Value,
+    ) -> Result<GlobalId, LinkError> {
         let name = name.into();
         if self.global_by_name.contains_key(&name) {
             return Err(LinkError::Duplicate(name));
         }
         let id = GlobalId(self.globals.len() as u32);
-        self.globals.push(GlobalCell { name: name.clone(), ty, value, pending_transform: None });
+        self.globals.push(GlobalCell {
+            name: name.clone(),
+            ty,
+            value,
+            pending_transform: None,
+        });
         self.global_by_name.insert(name, id);
         Ok(id)
     }
 
     /// Current value of a global.
     pub fn global_value(&self, name: &str) -> Option<Value> {
-        self.global_by_name.get(name).map(|id| self.globals[id.0 as usize].value.clone())
+        self.global_by_name
+            .get(name)
+            .map(|id| self.globals[id.0 as usize].value.clone())
     }
 
     /// Current declared type of a global.
     pub fn global_type(&self, name: &str) -> Option<&Ty> {
-        self.global_by_name.get(name).map(|id| &self.globals[id.0 as usize].ty)
+        self.global_by_name
+            .get(name)
+            .map(|id| &self.globals[id.0 as usize].ty)
     }
 
     /// Overwrites a global's value (type unchanged). Returns `false` when
@@ -377,12 +407,15 @@ impl Process {
 
     /// Signature of the currently bound function `name`.
     pub fn function_sig(&self, name: &str) -> Option<&FnSig> {
-        self.function_id(name).map(|id| &self.functions[id.0 as usize].sig)
+        self.function_id(name)
+            .map(|id| &self.functions[id.0 as usize].sig)
     }
 
     /// Iterates over the *live* interface: every currently bound function.
     pub fn bound_functions(&self) -> impl Iterator<Item = (&str, &Rc<LinkedFunction>)> {
-        self.fn_by_name.iter().map(|(n, id)| (n.as_str(), &self.functions[id.0 as usize]))
+        self.fn_by_name
+            .iter()
+            .map(|(n, id)| (n.as_str(), &self.functions[id.0 as usize]))
     }
 
     /// Number of functions ever linked (old versions included).
@@ -499,16 +532,22 @@ impl Process {
             for op in &self.functions[idx].code {
                 match op {
                     crate::ops::Op::CallDirect(t) | crate::ops::Op::PushFnDirect(t)
-                        if !live[t.0 as usize] => {
-                            work.push(*t);
-                        }
+                        if !live[t.0 as usize] =>
+                    {
+                        work.push(*t);
+                    }
                     _ => {}
                 }
             }
         }
         let mut collected = 0;
         for (idx, is_live) in live.iter().enumerate() {
-            if *is_live || self.functions[idx].code.first().is_none_or(|op| matches!(op, crate::ops::Op::Unreachable)) {
+            if *is_live
+                || self.functions[idx]
+                    .code
+                    .first()
+                    .is_none_or(|op| matches!(op, crate::ops::Op::Unreachable))
+            {
                 continue;
             }
             self.functions[idx] = Rc::new(LinkedFunction {
@@ -599,7 +638,10 @@ impl Process {
         for g in &m.globals {
             let v = self
                 .eval_init(m, g, &LinkOverrides::default())
-                .map_err(|trap| LinkError::InitTrap { name: g.name.clone(), trap })?;
+                .map_err(|trap| LinkError::InitTrap {
+                    name: g.name.clone(),
+                    trap,
+                })?;
             self.set_global(&g.name, v);
         }
         Ok(())
@@ -628,13 +670,19 @@ impl Process {
         for (i, f) in m.functions.iter().enumerate() {
             let id = FuncId(base + i as u32);
             planned.push((f.name.clone(), id));
-            ov.functions.entry(f.name.clone()).or_insert((id, f.sig.clone()));
+            ov.functions
+                .entry(f.name.clone())
+                .or_insert((id, f.sig.clone()));
         }
         // Phase 2: resolve and install.
         let strings: Vec<Rc<str>> = m.strings.iter().map(|s| Rc::from(s.as_str())).collect();
         for f in &m.functions {
             let code = self.resolve_code(m, &f.code, &ov, &strings)?;
-            let sym_refs = f.referenced_symbols(m).into_iter().map(str::to_string).collect();
+            let sym_refs = f
+                .referenced_symbols(m)
+                .into_iter()
+                .map(str::to_string)
+                .collect();
             let type_names = f.referenced_types(m).into_iter().collect();
             self.functions.push(Rc::new(LinkedFunction {
                 name: f.name.clone(),
@@ -691,13 +739,20 @@ impl Process {
         Ok(out)
     }
 
-    fn resolve_type(&self, m: &Module, tr: tal::TypeRefId, ov: &LinkOverrides) -> Result<StructId, LinkError> {
+    fn resolve_type(
+        &self,
+        m: &Module,
+        tr: tal::TypeRefId,
+        ov: &LinkOverrides,
+    ) -> Result<StructId, LinkError> {
         let name = m.type_ref(tr).expect("verified type ref");
         if let Some(&id) = ov.types.get(name) {
             return Ok(id);
         }
-        self.struct_id(name)
-            .ok_or_else(|| LinkError::Unresolved { name: name.to_string(), kind: "type" })
+        self.struct_id(name).ok_or_else(|| LinkError::Unresolved {
+            name: name.to_string(),
+            kind: "type",
+        })
     }
 
     /// Resolves a function symbol to a target and checks the signature.
@@ -712,7 +767,10 @@ impl Process {
         } else if let Some(id) = self.fn_by_name.get(name) {
             (*id, self.functions[id.0 as usize].sig.clone())
         } else {
-            return Err(LinkError::Unresolved { name: name.to_string(), kind: "function" });
+            return Err(LinkError::Unresolved {
+                name: name.to_string(),
+                kind: "function",
+            });
         };
         if &found_sig != want {
             return Err(LinkError::TypeMismatch {
@@ -741,7 +799,9 @@ impl Process {
             I::PushNull(_) => Op::PushNull,
             I::PushFn(s) => {
                 let sym = m.symbol(*s).expect("verified symbol");
-                let SymbolKind::Fn(sig) = &sym.kind else { unreachable!("verified kind") };
+                let SymbolKind::Fn(sig) = &sym.kind else {
+                    unreachable!("verified kind")
+                };
                 let (id, indirect) = self.resolve_fn(&sym.name, sig, ov)?;
                 if indirect {
                     Op::PushFnSlot(self.ensure_slot(&sym.name))
@@ -753,11 +813,17 @@ impl Process {
             I::StoreLocal(n) => Op::StoreLocal(*n),
             I::LoadGlobal(s) | I::StoreGlobal(s) => {
                 let sym = m.symbol(*s).expect("verified symbol");
-                let SymbolKind::Global(want) = &sym.kind else { unreachable!("verified kind") };
-                let id = *self
-                    .global_by_name
-                    .get(&sym.name)
-                    .ok_or_else(|| LinkError::Unresolved { name: sym.name.clone(), kind: "global" })?;
+                let SymbolKind::Global(want) = &sym.kind else {
+                    unreachable!("verified kind")
+                };
+                let id =
+                    *self
+                        .global_by_name
+                        .get(&sym.name)
+                        .ok_or_else(|| LinkError::Unresolved {
+                            name: sym.name.clone(),
+                            kind: "global",
+                        })?;
                 let found = &self.globals[id.0 as usize].ty;
                 if found != want {
                     return Err(LinkError::TypeMismatch {
@@ -802,7 +868,9 @@ impl Process {
             I::JumpIfFalse(t) => Op::JumpIfFalse(*t),
             I::Call(s) => {
                 let sym = m.symbol(*s).expect("verified symbol");
-                let SymbolKind::Fn(sig) = &sym.kind else { unreachable!("verified kind") };
+                let SymbolKind::Fn(sig) = &sym.kind else {
+                    unreachable!("verified kind")
+                };
                 let (id, indirect) = self.resolve_fn(&sym.name, sig, ov)?;
                 if indirect {
                     Op::CallSlot(self.ensure_slot(&sym.name))
@@ -813,11 +881,17 @@ impl Process {
             I::CallIndirect => Op::CallIndirect,
             I::CallHost(s) => {
                 let sym = m.symbol(*s).expect("verified symbol");
-                let SymbolKind::Host(want) = &sym.kind else { unreachable!("verified kind") };
-                let id = *self
-                    .host_by_name
-                    .get(&sym.name)
-                    .ok_or_else(|| LinkError::Unresolved { name: sym.name.clone(), kind: "host" })?;
+                let SymbolKind::Host(want) = &sym.kind else {
+                    unreachable!("verified kind")
+                };
+                let id =
+                    *self
+                        .host_by_name
+                        .get(&sym.name)
+                        .ok_or_else(|| LinkError::Unresolved {
+                            name: sym.name.clone(),
+                            kind: "host",
+                        })?;
                 let found = &self.hosts[id.0 as usize].sig;
                 if found != want {
                     return Err(LinkError::TypeMismatch {
@@ -861,10 +935,15 @@ impl Process {
     }
 
     fn entry_frame(&self, name: &str, args: Vec<Value>) -> Result<Frame, Trap> {
-        let id = self.function_id(name).ok_or_else(|| Trap::NoSuchFunction(name.to_string()))?;
+        let id = self
+            .function_id(name)
+            .ok_or_else(|| Trap::NoSuchFunction(name.to_string()))?;
         let f = Rc::clone(&self.functions[id.0 as usize]);
         if f.param_count != args.len() {
-            return Err(Trap::BadEntryArity { expected: f.param_count, got: args.len() });
+            return Err(Trap::BadEntryArity {
+                expected: f.param_count,
+                got: args.len(),
+            });
         }
         Ok(Frame::new(f, args))
     }
@@ -911,7 +990,10 @@ impl Process {
     /// # Errors
     /// Returns any [`Trap`] the guest raises.
     pub fn run(&mut self, name: &str, args: Vec<Value>) -> Result<Outcome, Trap> {
-        assert!(self.suspended.is_none(), "process already suspended; resume first");
+        assert!(
+            self.suspended.is_none(),
+            "process already suspended; resume first"
+        );
         let frame = self.entry_frame(name, args)?;
         let mut st = ExecState::with_frame(frame);
         let out = exec(self, &mut st, true)?;
@@ -970,12 +1052,37 @@ impl Process {
 
     /// Requests that the next executed update point suspend the run.
     pub fn request_update(&mut self, requested: bool) {
-        self.update_requested = requested;
+        self.update_requested.store(requested, Ordering::SeqCst);
     }
 
     /// Whether an update request is pending.
     pub fn update_requested(&self) -> bool {
-        self.update_requested
+        self.update_requested.load(Ordering::SeqCst)
+    }
+
+    /// A clonable handle onto this process's update-request flag. Another
+    /// thread can arm it so the guest suspends at its next update point —
+    /// this is how a fleet coordinator interrupts a worker mid-serve
+    /// without sharing the (thread-local) process itself.
+    pub fn update_signal(&self) -> UpdateSignal {
+        UpdateSignal(Arc::clone(&self.update_requested))
+    }
+}
+
+/// A cross-thread handle onto a process's update-request flag (see
+/// [`Process::update_signal`]).
+#[derive(Clone, Debug)]
+pub struct UpdateSignal(Arc<AtomicBool>);
+
+impl UpdateSignal {
+    /// Arms the flag: the guest suspends at its next executed update point.
+    pub fn arm(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag is currently armed.
+    pub fn armed(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
     }
 }
 

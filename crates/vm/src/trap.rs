@@ -105,7 +105,11 @@ impl fmt::Display for LinkError {
             LinkError::Unresolved { name, kind } => {
                 write!(f, "unresolved {kind} symbol `{name}`")
             }
-            LinkError::TypeMismatch { name, expected, found } => {
+            LinkError::TypeMismatch {
+                name,
+                expected,
+                found,
+            } => {
                 write!(f, "symbol `{name}`: expected {expected}, found {found}")
             }
             LinkError::TypeConflict(name) => {
@@ -135,10 +139,17 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert_eq!(Trap::DivByZero.to_string(), "division by zero");
-        assert!(Trap::IndexOutOfBounds { index: 9, len: 3 }.to_string().contains("9"));
-        assert!(LinkError::Unresolved { name: "f".into(), kind: "function" }
+        assert!(Trap::IndexOutOfBounds { index: 9, len: 3 }
             .to_string()
-            .contains("`f`"));
-        assert!(LinkError::Duplicate("g".into()).to_string().contains("duplicate"));
+            .contains("9"));
+        assert!(LinkError::Unresolved {
+            name: "f".into(),
+            kind: "function"
+        }
+        .to_string()
+        .contains("`f`"));
+        assert!(LinkError::Duplicate("g".into())
+            .to_string()
+            .contains("duplicate"));
     }
 }

@@ -99,7 +99,10 @@ impl Value {
 
     /// Creates a record value with the given layout and fields.
     pub fn record(struct_id: StructId, fields: Vec<Value>) -> Value {
-        Value::Record(Rc::new(RecordObj { struct_id, fields: RefCell::new(fields) }))
+        Value::Record(Rc::new(RecordObj {
+            struct_id,
+            fields: RefCell::new(fields),
+        }))
     }
 
     /// The default value a local slot of type `ty` starts with.
@@ -156,11 +159,14 @@ impl Value {
             Value::Int(_) => 8,
             Value::Null | Value::Fn(_) => 8,
             Value::Str(s) => 16 + s.len(),
-            Value::Array(a) => {
-                16 + a.borrow().iter().map(Value::deep_size).sum::<usize>()
-            }
+            Value::Array(a) => 16 + a.borrow().iter().map(Value::deep_size).sum::<usize>(),
             Value::Record(r) => {
-                16 + r.fields.borrow().iter().map(Value::deep_size).sum::<usize>()
+                16 + r
+                    .fields
+                    .borrow()
+                    .iter()
+                    .map(Value::deep_size)
+                    .sum::<usize>()
             }
         }
     }
@@ -182,18 +188,16 @@ impl Value {
     ) {
         match self {
             Value::Fn(r) => f(*r),
-            Value::Array(a)
-                if seen.insert(Rc::as_ptr(a).cast()) => {
-                    for v in a.borrow().iter() {
-                        v.walk_fnrefs(f, seen);
-                    }
+            Value::Array(a) if seen.insert(Rc::as_ptr(a).cast()) => {
+                for v in a.borrow().iter() {
+                    v.walk_fnrefs(f, seen);
                 }
-            Value::Record(r)
-                if seen.insert(Rc::as_ptr(r).cast()) => {
-                    for v in r.fields.borrow().iter() {
-                        v.walk_fnrefs(f, seen);
-                    }
+            }
+            Value::Record(r) if seen.insert(Rc::as_ptr(r).cast()) => {
+                for v in r.fields.borrow().iter() {
+                    v.walk_fnrefs(f, seen);
                 }
+            }
             _ => {}
         }
     }
@@ -268,7 +272,10 @@ mod tests {
             Value::default_for(&Ty::func(vec![], Ty::Unit)),
             Value::Fn(FnRef::Unresolved)
         );
-        assert_eq!(Value::default_for(&Ty::array(Ty::Int)), Value::array(vec![]));
+        assert_eq!(
+            Value::default_for(&Ty::array(Ty::Int)),
+            Value::array(vec![])
+        );
     }
 
     #[test]
@@ -293,6 +300,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(Value::Int(3).to_string(), "3");
         assert_eq!(Value::Null.to_string(), "null");
-        assert_eq!(Value::array(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
+        assert_eq!(
+            Value::array(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
     }
 }

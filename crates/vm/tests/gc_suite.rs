@@ -103,5 +103,8 @@ fn snapshot_restored_after_collection_traps_cleanly() {
     p.collect_code();
     p.restore(snap);
     let e = p.call("f", vec![]).unwrap_err();
-    assert!(matches!(e, vm::Trap::Host(ref m) if m.contains("garbage-collected")), "{e:?}");
+    assert!(
+        matches!(e, vm::Trap::Host(ref m) if m.contains("garbage-collected")),
+        "{e:?}"
+    );
 }

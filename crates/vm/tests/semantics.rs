@@ -31,7 +31,11 @@ fn integer_arithmetic_wraps() {
 #[test]
 fn division_and_remainder_signs() {
     let src = "fun f(x: int): int { return x / 3; }";
-    assert_eq!(run1(src, "f", -7).unwrap(), Value::Int(-2), "trunc toward zero");
+    assert_eq!(
+        run1(src, "f", -7).unwrap(),
+        Value::Int(-2),
+        "trunc toward zero"
+    );
     let src = "fun f(x: int): int { return x % 3; }";
     assert_eq!(run1(src, "f", -7).unwrap(), Value::Int(-1));
     let src = "fun f(x: int): int { return 1 % x; }";
@@ -43,28 +47,55 @@ fn division_and_remainder_signs() {
 #[test]
 fn string_ops_edges() {
     let p = |src: &str, s: &str| boot(src).call("f", vec![Value::str(s)]).unwrap();
-    assert_eq!(p("fun f(s: string): int { return len(s); }", ""), Value::Int(0));
     assert_eq!(
-        p("fun f(s: string): string { return substr(s, -5, 100); }", "abc"),
+        p("fun f(s: string): int { return len(s); }", ""),
+        Value::Int(0)
+    );
+    assert_eq!(
+        p(
+            "fun f(s: string): string { return substr(s, -5, 100); }",
+            "abc"
+        ),
         Value::str("abc"),
         "substr clamps"
     );
     assert_eq!(
-        p("fun f(s: string): string { return substr(s, 1, 0); }", "abc"),
+        p(
+            "fun f(s: string): string { return substr(s, 1, 0); }",
+            "abc"
+        ),
         Value::str("")
     );
-    assert_eq!(p("fun f(s: string): int { return find(s, \"\"); }", "abc"), Value::Int(0));
-    assert_eq!(p("fun f(s: string): int { return find(s, \"zz\"); }", "abc"), Value::Int(-1));
-    assert_eq!(p("fun f(s: string): int { return atoi(s); }", "  42abc"), Value::Int(42));
-    assert_eq!(p("fun f(s: string): int { return atoi(s); }", "-"), Value::Int(0));
+    assert_eq!(
+        p("fun f(s: string): int { return find(s, \"\"); }", "abc"),
+        Value::Int(0)
+    );
+    assert_eq!(
+        p("fun f(s: string): int { return find(s, \"zz\"); }", "abc"),
+        Value::Int(-1)
+    );
+    assert_eq!(
+        p("fun f(s: string): int { return atoi(s); }", "  42abc"),
+        Value::Int(42)
+    );
+    assert_eq!(
+        p("fun f(s: string): int { return atoi(s); }", "-"),
+        Value::Int(0)
+    );
 }
 
 #[test]
 fn char_at_bounds_trap() {
     let src = "fun f(x: int): int { return char_at(\"ab\", x); }";
     assert_eq!(run1(src, "f", 1).unwrap(), Value::Int(i64::from(b'b')));
-    assert_eq!(run1(src, "f", 2).unwrap_err(), Trap::IndexOutOfBounds { index: 2, len: 2 });
-    assert_eq!(run1(src, "f", -1).unwrap_err(), Trap::IndexOutOfBounds { index: -1, len: 2 });
+    assert_eq!(
+        run1(src, "f", 2).unwrap_err(),
+        Trap::IndexOutOfBounds { index: 2, len: 2 }
+    );
+    assert_eq!(
+        run1(src, "f", -1).unwrap_err(),
+        Trap::IndexOutOfBounds { index: -1, len: 2 }
+    );
 }
 
 #[test]
@@ -87,8 +118,14 @@ fn array_bounds_traps() {
         }
     "#;
     assert_eq!(run1(src, "f", 1).unwrap(), Value::Int(20));
-    assert_eq!(run1(src, "f", 2).unwrap_err(), Trap::IndexOutOfBounds { index: 2, len: 2 });
-    assert_eq!(run1(src, "f", -1).unwrap_err(), Trap::IndexOutOfBounds { index: -1, len: 2 });
+    assert_eq!(
+        run1(src, "f", 2).unwrap_err(),
+        Trap::IndexOutOfBounds { index: 2, len: 2 }
+    );
+    assert_eq!(
+        run1(src, "f", -1).unwrap_err(),
+        Trap::IndexOutOfBounds { index: -1, len: 2 }
+    );
 }
 
 #[test]
@@ -122,7 +159,11 @@ fn fresh_defaults_per_call_do_not_alias() {
     "#;
     let mut p = boot(src);
     assert_eq!(p.call("f", vec![Value::Int(1)]).unwrap(), Value::Int(1));
-    assert_eq!(p.call("f", vec![Value::Int(1)]).unwrap(), Value::Int(1), "no leak across calls");
+    assert_eq!(
+        p.call("f", vec![Value::Int(1)]).unwrap(),
+        Value::Int(1),
+        "no leak across calls"
+    );
 }
 
 // ----------------------------- suspension -----------------------------
@@ -152,7 +193,10 @@ fn nested_suspension_reports_full_stack() {
     let mut p = boot(src);
     p.request_update(true);
     assert_eq!(p.run("outer", vec![]).unwrap(), Outcome::Suspended);
-    assert_eq!(p.suspended_stack(), vec!["outer".to_string(), "inner".to_string()]);
+    assert_eq!(
+        p.suspended_stack(),
+        vec!["outer".to_string(), "inner".to_string()]
+    );
     p.request_update(false);
     assert_eq!(p.resume().unwrap(), Outcome::Done(Value::Int(2)));
 }
@@ -194,7 +238,10 @@ fn entry_point_errors() {
     );
     assert_eq!(
         p.call("f", vec![]).unwrap_err(),
-        Trap::BadEntryArity { expected: 1, got: 0 }
+        Trap::BadEntryArity {
+            expected: 1,
+            got: 0
+        }
     );
 }
 
@@ -209,8 +256,20 @@ fn duplicate_initial_load_is_rejected() {
 
 #[test]
 fn conflicting_type_definition_is_rejected() {
-    let m1 = popcorn::compile("struct s { v: int } fun f(x: s): int { return x.v; }", "a", "v1", &Interface::new()).unwrap();
-    let m2 = popcorn::compile("struct s { v: bool } fun g(x: s): bool { return x.v; }", "b", "v1", &Interface::new()).unwrap();
+    let m1 = popcorn::compile(
+        "struct s { v: int } fun f(x: s): int { return x.v; }",
+        "a",
+        "v1",
+        &Interface::new(),
+    )
+    .unwrap();
+    let m2 = popcorn::compile(
+        "struct s { v: bool } fun g(x: s): bool { return x.v; }",
+        "b",
+        "v1",
+        &Interface::new(),
+    )
+    .unwrap();
     let mut p = Process::new(LinkMode::Updateable);
     p.load_module(&m1).unwrap();
     let e = p.load_module(&m2).unwrap_err();
@@ -219,8 +278,20 @@ fn conflicting_type_definition_is_rejected() {
 
 #[test]
 fn identical_type_definition_is_shared() {
-    let m1 = popcorn::compile("struct s { v: int } fun f(x: s): int { return x.v; }", "a", "v1", &Interface::new()).unwrap();
-    let m2 = popcorn::compile("struct s { v: int } fun g(): s { return s { v: 3 }; }", "b", "v1", &Interface::new()).unwrap();
+    let m1 = popcorn::compile(
+        "struct s { v: int } fun f(x: s): int { return x.v; }",
+        "a",
+        "v1",
+        &Interface::new(),
+    )
+    .unwrap();
+    let m2 = popcorn::compile(
+        "struct s { v: int } fun g(): s { return s { v: 3 }; }",
+        "b",
+        "v1",
+        &Interface::new(),
+    )
+    .unwrap();
     let mut p = Process::new(LinkMode::Updateable);
     p.load_module(&m1).unwrap();
     p.load_module(&m2).unwrap();
@@ -231,7 +302,13 @@ fn identical_type_definition_is_shared() {
 
 #[test]
 fn init_trap_is_reported_as_link_error() {
-    let m = popcorn::compile("global g: int = 1 / 0; fun f(): int { return g; }", "t", "v1", &Interface::new()).unwrap();
+    let m = popcorn::compile(
+        "global g: int = 1 / 0; fun f(): int { return g; }",
+        "t",
+        "v1",
+        &Interface::new(),
+    )
+    .unwrap();
     let mut p = Process::new(LinkMode::Static);
     let e = p.load_module(&m).unwrap_err();
     assert!(
@@ -315,7 +392,9 @@ fn fuel_limits_runaway_loops() {
     // Refuelling allows further work.
     p.set_fuel(Some(1_000_000));
     assert_eq!(
-        boot("fun f(): int { return 1; }").call("f", vec![]).unwrap(),
+        boot("fun f(): int { return 1; }")
+            .call("f", vec![])
+            .unwrap(),
         Value::Int(1)
     );
     let mut p2 = boot("fun f(): int { return 1; }");

@@ -51,7 +51,10 @@ const V2_STEP: &str = r#"
 const N: i64 = 2000;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (label, entry) in [("monolithic", "run_monolithic"), ("decomposed", "run_decomposed")] {
+    for (label, entry) in [
+        ("monolithic", "run_monolithic"),
+        ("decomposed", "run_decomposed"),
+    ] {
         let module = popcorn::compile(V1, "job", "v1", &popcorn::Interface::new())?;
         let mut proc = Process::new(LinkMode::Updateable);
         proc.load_module(&module)?;
@@ -61,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "v1",
             "v2",
             &interface_of(&proc),
-            Manifest { replaces: vec!["step".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["step".into()],
+                ..Manifest::default()
+            },
         )?;
 
         // Queue the fix before the job starts: it can only land at an

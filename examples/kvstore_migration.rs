@@ -97,7 +97,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (k, v) in [("lang", "rust"), ("paper", "pldi01"), ("city", "zagreb")] {
         proc.call("put", vec![Value::str(k), Value::str(v)])?;
     }
-    println!("v1: {} entries, get(paper) = {}", proc.call("size", vec![])?, proc.call("get", vec![Value::str("paper")])?);
+    println!(
+        "v1: {} entries, get(paper) = {}",
+        proc.call("size", vec![])?,
+        proc.call("get", vec![Value::str("paper")])?
+    );
 
     // Record the version for rollback, then generate the patch with the
     // hand-written transformer.

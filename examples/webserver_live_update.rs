@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("serving {BATCH} requests per version; patches apply mid-batch\n");
 
     let stream = patch_stream()?;
-    let labels = ["v1->v2", "v2->v3", "v3->v4 (type change)", "v4->v5 (bugfix)"];
+    let labels = [
+        "v1->v2",
+        "v2->v3",
+        "v3->v4 (type change)",
+        "v4->v5 (bugfix)",
+    ];
 
     // Warm batch on v1.
     serve_batch(&mut server, &mut wl, "v1")?;
@@ -47,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let completions = server.completions();
     let ok = completions
         .iter()
-        .filter(|c| parse_response(&c.response).map(|r| r.status == 200).unwrap_or(false))
+        .filter(|c| {
+            parse_response(&c.response)
+                .map(|r| r.status == 200)
+                .unwrap_or(false)
+        })
         .count();
     println!(
         "\nserved {} requests across 5 versions, {} OK, {} logged by v5, cache hits {}",

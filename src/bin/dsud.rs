@@ -117,7 +117,9 @@ fn cmd_run(args: &[String]) -> Result<(), Anyhow> {
             }
             "--arg" => {
                 let raw = args.get(i + 1).ok_or("--arg needs a value")?;
-                call_args.push(Value::Int(raw.parse::<i64>().map_err(|_| "--arg must be an integer")?));
+                call_args.push(Value::Int(
+                    raw.parse::<i64>().map_err(|_| "--arg must be an integer")?,
+                ));
                 i += 2;
             }
             "--update" => {

@@ -48,12 +48,22 @@ fun main(n: int): int {
 #[test]
 fn check_accepts_valid_and_rejects_invalid() {
     let good = write_tmp("good.pop", V1);
-    let out = dsud().args(["check", good.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = dsud()
+        .args(["check", good.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
 
     let bad = write_tmp("bad.pop", "fun f(): int { return true; }");
-    let out = dsud().args(["check", bad.to_str().unwrap()]).output().unwrap();
+    let out = dsud()
+        .args(["check", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("expected int"));
 }
@@ -61,7 +71,10 @@ fn check_accepts_valid_and_rejects_invalid() {
 #[test]
 fn check_dis_prints_disassembly() {
     let good = write_tmp("dis.pop", V1);
-    let out = dsud().args(["check", good.to_str().unwrap(), "--dis"]).output().unwrap();
+    let out = dsud()
+        .args(["check", good.to_str().unwrap(), "--dis"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("fun main"), "{text}");
@@ -77,16 +90,31 @@ fn run_executes_and_applies_updates() {
         .args(["run", v1.to_str().unwrap(), "--arg", "4"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).trim().ends_with("6"));
 
     // With the v2 patch queued: first iteration on v1 (0), then v2
     // (100, 200, 300) -> total 600.
     let out = dsud()
-        .args(["run", v1.to_str().unwrap(), "--arg", "4", "--update", v2.to_str().unwrap()])
+        .args([
+            "run",
+            v1.to_str().unwrap(),
+            "--arg",
+            "4",
+            "--update",
+            v2.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.trim().ends_with("600"), "{stdout}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("applied"));
@@ -107,15 +135,30 @@ fn diff_saves_patch_file_that_run_consumes() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let contents = std::fs::read_to_string(&patch).unwrap();
     assert!(contents.starts_with("dsu-patch 1"), "{contents}");
 
     let out = dsud()
-        .args(["run", v1.to_str().unwrap(), "--arg", "4", "--patch", patch.to_str().unwrap()])
+        .args([
+            "run",
+            v1.to_str().unwrap(),
+            "--arg",
+            "4",
+            "--patch",
+            patch.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).trim().ends_with("600"));
 }
 
@@ -124,10 +167,19 @@ fn compile_emits_parseable_object_text() {
     let v1 = write_tmp("c_v1.pop", V1);
     let out_path = write_tmp("c_v1.tal", "");
     let out = dsud()
-        .args(["compile", v1.to_str().unwrap(), "-o", out_path.to_str().unwrap()])
+        .args([
+            "compile",
+            v1.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&out_path).unwrap();
     let m = tal::text::parse(&text).expect("compiled output parses");
     assert!(m.function("main").is_some());
@@ -136,7 +188,10 @@ fn compile_emits_parseable_object_text() {
 #[test]
 fn size_reports_overheads() {
     let v1 = write_tmp("s_v1.pop", V1);
-    let out = dsud().args(["size", v1.to_str().unwrap()]).output().unwrap();
+    let out = dsud()
+        .args(["size", v1.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("updateable image"), "{text}");

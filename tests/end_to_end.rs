@@ -45,7 +45,10 @@ fn sequential_patches_compose() {
         "v1",
         "v2",
         &interface_of(&p),
-        Manifest { replaces: vec!["scale".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["scale".into()],
+            ..Manifest::default()
+        },
     )
     .unwrap();
     apply_patch(&mut p, &p2, UpdatePolicy::default()).unwrap();
@@ -59,7 +62,10 @@ fn sequential_patches_compose() {
         "v2",
         "v3",
         &interface_of(&p),
-        Manifest { replaces: vec!["scale".into(), "run".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["scale".into(), "run".into()],
+            ..Manifest::default()
+        },
     )
     .unwrap();
     apply_patch(&mut p, &p3, UpdatePolicy::default()).unwrap();
@@ -89,7 +95,10 @@ fn multiple_patches_apply_at_one_update_point() {
         "v1",
         "v2",
         &interface_of(&p),
-        Manifest { replaces: vec!["tick".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["tick".into()],
+            ..Manifest::default()
+        },
     )
     .unwrap();
     // Patch B compiles against the interface as of v2 (same sigs here).
@@ -98,14 +107,20 @@ fn multiple_patches_apply_at_one_update_point() {
         "v2",
         "v3",
         &interface_of(&p),
-        Manifest { replaces: vec!["tick".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["tick".into()],
+            ..Manifest::default()
+        },
     )
     .unwrap();
     up.enqueue(&mut p, patch_a);
     up.enqueue(&mut p, patch_b);
     // First iteration runs v1's tick; both patches land at the first
     // update point; the remaining two iterations run v3's tick.
-    assert_eq!(up.run(&mut p, "spin", vec![Value::Int(3)]).unwrap(), Value::Int(201));
+    assert_eq!(
+        up.run(&mut p, "spin", vec![Value::Int(3)]).unwrap(),
+        Value::Int(201)
+    );
     assert_eq!(up.log().len(), 2);
 }
 
@@ -180,7 +195,10 @@ fn flashed_stream_then_rollback_to_every_version() {
     let last = server.completions().pop().unwrap();
     let resp = parse_response(&last.response).unwrap();
     assert_eq!(resp.status, 200);
-    assert!(resp.header("content-type").is_none(), "v1 has no content-type");
+    assert!(
+        resp.header("content-type").is_none(),
+        "v1 has no content-type"
+    );
 }
 
 #[test]
@@ -218,11 +236,15 @@ fn state_identity_patched_vs_fresh() {
     // Patched world.
     let mut patched = boot(v1);
     for i in 0..10 {
-        patched.call("add", vec![Value::str(format!("k{i}")), Value::Int(i)]).unwrap();
+        patched
+            .call("add", vec![Value::str(format!("k{i}")), Value::Int(i)])
+            .unwrap();
     }
     apply_patch(&mut patched, &gen.patch, UpdatePolicy::default()).unwrap();
     for i in 10..15 {
-        patched.call("add", vec![Value::str(format!("k{i}")), Value::Int(i)]).unwrap();
+        patched
+            .call("add", vec![Value::str(format!("k{i}")), Value::Int(i)])
+            .unwrap();
     }
 
     // Fresh v2 world with the same logical history.
@@ -230,7 +252,9 @@ fn state_identity_patched_vs_fresh() {
     let mut fresh = Process::new(LinkMode::Updateable);
     fresh.load_module(&m2).unwrap();
     for i in 0..15 {
-        fresh.call("add", vec![Value::str(format!("k{i}")), Value::Int(i)]).unwrap();
+        fresh
+            .call("add", vec![Value::str(format!("k{i}")), Value::Int(i)])
+            .unwrap();
     }
 
     assert_eq!(
@@ -299,7 +323,9 @@ fn patch_files_round_trip_and_apply() {
     server.serve().unwrap();
 
     // Serialise the type-changing patch to its file form and back.
-    let gen = PatchGen::new().generate(&versions::v3(), &versions::v4(), "v3", "v4").unwrap();
+    let gen = PatchGen::new()
+        .generate(&versions::v3(), &versions::v4(), "v3", "v4")
+        .unwrap();
     let file = dsu::core::save_patch(&gen.patch);
     let loaded = dsu::core::load_patch(&file).unwrap();
     assert_eq!(loaded, gen.patch);
@@ -308,7 +334,10 @@ fn patch_files_round_trip_and_apply() {
     server.queue_patch(loaded);
     server.apply_pending_now().unwrap();
     assert_eq!(server.updater.log()[0].globals_transformed, 1);
-    let hits = server.process_mut().call("cache_hits_total", vec![]).unwrap();
+    let hits = server
+        .process_mut()
+        .call("cache_hits_total", vec![])
+        .unwrap();
     assert_eq!(hits, Value::Int(0));
 }
 
@@ -330,8 +359,7 @@ fn optimizer_preserves_kernel_and_server_semantics() {
         }
     "#;
     let plain = popcorn::compile(src, "t", "v1", &popcorn::Interface::new()).unwrap();
-    let (opt, stats) =
-        popcorn::compile_opt(src, "t", "v1", &popcorn::Interface::new()).unwrap();
+    let (opt, stats) = popcorn::compile_opt(src, "t", "v1", &popcorn::Interface::new()).unwrap();
     assert!(stats.after < stats.before, "{stats:?}");
     tal::verify_module(&opt, &tal::NoAmbientTypes).unwrap();
 
@@ -351,13 +379,17 @@ fn optimizer_preserves_kernel_and_server_semantics() {
     }
     assert_eq!(p2.call("constfold", vec![]).unwrap(), Value::Int(9));
     // The optimised process executed fewer instructions for the same work.
-    assert!(p2.stats.instrs < p1.stats.instrs, "{} vs {}", p2.stats.instrs, p1.stats.instrs);
+    assert!(
+        p2.stats.instrs < p1.stats.instrs,
+        "{} vs {}",
+        p2.stats.instrs,
+        p1.stats.instrs
+    );
 
     for (name, vsrc) in versions::all() {
         let (opt, _) =
             popcorn::compile_opt(&vsrc, "flashed", name, &popcorn::Interface::new()).unwrap();
-        tal::verify_module(&opt, &tal::NoAmbientTypes)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        tal::verify_module(&opt, &tal::NoAmbientTypes).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
 
@@ -376,7 +408,10 @@ fn code_gc_collects_superseded_versions_only() {
             &format!("v{}", i + 1),
             &format!("v{}", i + 2),
             &interface_of(&p),
-            Manifest { replaces: vec!["helper".into()], ..Manifest::default() },
+            Manifest {
+                replaces: vec!["helper".into()],
+                ..Manifest::default()
+            },
         )
         .unwrap();
         apply_patch(&mut p, &patch, UpdatePolicy::default()).unwrap();
@@ -415,11 +450,17 @@ fn code_gc_keeps_functions_held_as_values() {
         "v1",
         "v2",
         &interface_of(&p),
-        Manifest { replaces: vec!["first".into()], ..Manifest::default() },
+        Manifest {
+            replaces: vec!["first".into()],
+            ..Manifest::default()
+        },
     )
     .unwrap();
     apply_patch(&mut p, &patch, UpdatePolicy::default()).unwrap();
     let (collected, _) = p.collect_code();
     assert_eq!(collected, 1, "old `first` unreachable through the slot");
-    assert_eq!(p.call("call_it", vec![Value::Int(1)]).unwrap(), Value::Int(101));
+    assert_eq!(
+        p.call("call_it", vec![Value::Int(1)]).unwrap(),
+        Value::Int(101)
+    );
 }

@@ -1,4 +1,5 @@
-//! Property-based tests over the core invariants:
+//! Property-based tests over the core invariants, driven by the
+//! workspace's own deterministic PRNG (no external fuzzing framework):
 //!
 //! * **Verifier soundness (fuzz)** — for arbitrary instruction sequences,
 //!   the verifier never panics, and anything it accepts executes without
@@ -10,9 +11,16 @@
 //!   growth changes, the synthesised transformer preserves live state.
 //! * **Workload sampler** — Zipf sampling stays in range and is
 //!   deterministic in the seed.
+//! * **Optimizer soundness** — folding preserves behaviour and
+//!   verifiability.
+//! * **Text-format round trip** — `parse(emit(m)) == m` for arbitrary
+//!   modules.
+//! * **Update soak** — long random patch sequences preserve state exactly.
+//!
+//! Every test derives each case's generator from a fixed base seed, so
+//! failures reproduce by case index.
 
-use proptest::prelude::*;
-
+use flashed::rng::Rng;
 use popcorn::ast::{BinOp, Expr, ExprKind, Program, Stmt, StmtKind, TypeAst, UnOp};
 use tal::{Field, FnSig, Instr, ModuleBuilder, Ty, TypeDef};
 use vm::{LinkMode, Process, Value};
@@ -28,8 +36,14 @@ struct Tpl {
     operand: u32,
 }
 
-fn tpl() -> impl Strategy<Value = Tpl> {
-    (any::<u8>(), any::<u32>()).prop_map(|(opcode, operand)| Tpl { opcode, operand })
+fn gen_tpls(rng: &mut Rng, max_len: usize) -> Vec<Tpl> {
+    let len = rng.gen_range_usize(1, max_len);
+    (0..len)
+        .map(|_| Tpl {
+            opcode: (rng.next_u64() & 0xFF) as u8,
+            operand: (rng.next_u64() & 0xFFFF_FFFF) as u32,
+        })
+        .collect()
 }
 
 fn materialize(i: usize, len: usize, t: &Tpl, tr: tal::TypeRefId, s: tal::StrId) -> Instr {
@@ -78,32 +92,36 @@ fn materialize(i: usize, len: usize, t: &Tpl, tr: tal::TypeRefId, s: tal::StrId)
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn fuzz_module(tpls: &[Tpl]) -> tal::Module {
+    let mut b = ModuleBuilder::new("fuzz", "v1");
+    b.def_type(TypeDef::new(
+        "t",
+        vec![Field::new("a", Ty::Int), Field::new("b", Ty::Str)],
+    ));
+    let tr = b.type_ref("t");
+    let s = b.string("seed");
+    let len = tpls.len() + 1;
+    b.function("f", FnSig::new(vec![], Ty::Int), |f| {
+        f.local(Ty::Int); // local 0
+        f.local(Ty::Bool); // local 1
+        f.local(Ty::Str); // local 2
+        f.local(Ty::named("t")); // local 3
+        for (i, t) in tpls.iter().enumerate() {
+            f.emit(materialize(i, len, t, tr, s));
+        }
+        f.emit(Instr::Ret);
+    });
+    b.finish()
+}
 
-    /// The verifier must never panic, and verified code must never panic
-    /// the interpreter (C-like traps are allowed).
-    #[test]
-    fn verifier_soundness_fuzz(tpls in prop::collection::vec(tpl(), 1..48)) {
-        let mut b = ModuleBuilder::new("fuzz", "v1");
-        b.def_type(TypeDef::new(
-            "t",
-            vec![Field::new("a", Ty::Int), Field::new("b", Ty::Str)],
-        ));
-        let tr = b.type_ref("t");
-        let s = b.string("seed");
-        let len = tpls.len() + 1;
-        b.function("f", FnSig::new(vec![], Ty::Int), |f| {
-            f.local(Ty::Int);     // local 0
-            f.local(Ty::Bool);    // local 1
-            f.local(Ty::Str);     // local 2
-            f.local(Ty::named("t")); // local 3
-            for (i, t) in tpls.iter().enumerate() {
-                f.emit(materialize(i, len, t, tr, s));
-            }
-            f.emit(Instr::Ret);
-        });
-        let m = b.finish();
+/// The verifier must never panic, and verified code must never panic
+/// the interpreter (C-like traps are allowed).
+#[test]
+fn verifier_soundness_fuzz() {
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0xF00D ^ case);
+        let tpls = gen_tpls(&mut rng, 47);
+        let m = fuzz_module(&tpls);
         if tal::verify_module(&m, &tal::NoAmbientTypes).is_ok() {
             let mut p = Process::new(LinkMode::Static);
             p.load_module(&m).expect("verified modules link");
@@ -111,11 +129,16 @@ proptest! {
             let _ = p.call("f", vec![]);
         }
     }
+}
 
-    /// Accepted-and-executed fraction sanity: straight-line integer code
-    /// always verifies and runs.
-    #[test]
-    fn straightline_int_code_verifies(vals in prop::collection::vec(0i64..100, 1..20)) {
+/// Accepted-and-executed fraction sanity: straight-line integer code
+/// always verifies and runs.
+#[test]
+fn straightline_int_code_verifies() {
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0xBEEF ^ case);
+        let n = rng.gen_range_usize(1, 19);
+        let vals: Vec<i64> = (0..n).map(|_| rng.gen_range_i64(0, 99)).collect();
         let mut b = ModuleBuilder::new("sl", "v1");
         b.function("f", FnSig::new(vec![], Ty::Int), |f| {
             f.emit(Instr::PushInt(0));
@@ -130,196 +153,228 @@ proptest! {
         let mut p = Process::new(LinkMode::Updateable);
         p.load_module(&m).unwrap();
         let expect: i64 = vals.iter().sum();
-        prop_assert_eq!(p.call("f", vec![]).unwrap(), Value::Int(expect));
+        assert_eq!(p.call("f", vec![]).unwrap(), Value::Int(expect));
     }
 }
 
 // ======================= pretty-printer fixed point =======================
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z]{1,6}".prop_map(|s| format!("v_{s}"))
+fn gen_ident(rng: &mut Rng) -> String {
+    let len = rng.gen_range_usize(1, 6);
+    let s: String = (0..len)
+        .map(|_| (b'a' + (rng.next_u64() % 26) as u8) as char)
+        .collect();
+    format!("v_{s}")
 }
 
-fn type_ast() -> impl Strategy<Value = TypeAst> {
-    let leaf = prop_oneof![
-        Just(TypeAst::Int),
-        Just(TypeAst::Bool),
-        Just(TypeAst::Str),
-        Just(TypeAst::Unit),
-        ident().prop_map(TypeAst::Named),
-    ];
-    leaf.prop_recursive(2, 6, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|t| TypeAst::Array(Box::new(t))),
-            (prop::collection::vec(inner.clone(), 0..3), inner)
-                .prop_map(|(ps, r)| TypeAst::Fn(ps, Box::new(r))),
-        ]
-    })
+fn gen_type_ast(rng: &mut Rng, depth: usize) -> TypeAst {
+    match rng.gen_range_usize(0, if depth == 0 { 4 } else { 6 }) {
+        0 => TypeAst::Int,
+        1 => TypeAst::Bool,
+        2 => TypeAst::Str,
+        3 => TypeAst::Unit,
+        4 if depth > 0 => TypeAst::Array(Box::new(gen_type_ast(rng, depth - 1))),
+        5 if depth > 0 => {
+            let nparams = rng.gen_range_usize(0, 2);
+            let params = (0..nparams).map(|_| gen_type_ast(rng, depth - 1)).collect();
+            TypeAst::Fn(params, Box::new(gen_type_ast(rng, depth - 1)))
+        }
+        _ => TypeAst::Named(gen_ident(rng)),
+    }
 }
 
-fn literal_string() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9 _.:/-]{0,12}"
+fn gen_literal_string(rng: &mut Rng) -> String {
+    const CHARSET: &[u8] = b"abcXYZ019 _.:/-";
+    let len = rng.gen_range_usize(0, 12);
+    (0..len).map(|_| *rng.choose(CHARSET) as char).collect()
 }
 
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..1_000_000).prop_map(move |n| Expr { line: 0, kind: ExprKind::Int(n) }),
-        literal_string().prop_map(move |s| Expr { line: 0, kind: ExprKind::Str(s) }),
-        any::<bool>().prop_map(move |b| Expr { line: 0, kind: ExprKind::Bool(b) }),
-        Just(Expr { line: 0, kind: ExprKind::Null }),
-        ident().prop_map(move |v| Expr { line: 0, kind: ExprKind::Var(v) }),
-        ident().prop_map(move |v| Expr { line: 0, kind: ExprKind::FnRef(v) }),
-        type_ast().prop_map(move |t| Expr { line: 0, kind: ExprKind::NewArray(t) }),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        let bin = prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-            Just(BinOp::Div),
-            Just(BinOp::Rem),
-            Just(BinOp::Eq),
-            Just(BinOp::Ne),
-            Just(BinOp::Lt),
-            Just(BinOp::Le),
-            Just(BinOp::Gt),
-            Just(BinOp::Ge),
-            Just(BinOp::And),
-            Just(BinOp::Or),
-        ];
-        prop_oneof![
-            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone())
-                .prop_map(|(op, e)| Expr { line: 0, kind: ExprKind::Unary(op, Box::new(e)) }),
-            (bin, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr {
-                line: 0,
-                kind: ExprKind::Binary(op, Box::new(a), Box::new(b)),
-            }),
-            (ident(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(f, args)| Expr {
-                line: 0,
-                kind: ExprKind::Call(
-                    Box::new(Expr { line: 0, kind: ExprKind::Var(f) }),
-                    args,
-                ),
-            }),
-            (inner.clone(), ident()).prop_map(|(o, f)| Expr {
-                line: 0,
-                kind: ExprKind::Field(Box::new(o), f),
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, i)| Expr {
-                line: 0,
-                kind: ExprKind::Index(Box::new(a), Box::new(i)),
-            }),
-            (ident(), prop::collection::vec((ident(), inner.clone()), 0..3)).prop_map(
-                |(n, fs)| Expr { line: 0, kind: ExprKind::Record(n, fs) }
-            ),
-            prop::collection::vec(inner, 1..3)
-                .prop_map(|es| Expr { line: 0, kind: ExprKind::ArrayLit(es) }),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: usize) -> Expr {
+    let e = |kind| Expr { line: 0, kind };
+    if depth == 0 {
+        return match rng.gen_range_usize(0, 6) {
+            0 => e(ExprKind::Int(rng.gen_range_i64(0, 999_999))),
+            1 => e(ExprKind::Str(gen_literal_string(rng))),
+            2 => e(ExprKind::Bool(rng.gen_bool())),
+            3 => e(ExprKind::Null),
+            4 => e(ExprKind::Var(gen_ident(rng))),
+            5 => e(ExprKind::FnRef(gen_ident(rng))),
+            _ => e(ExprKind::NewArray(gen_type_ast(rng, 1))),
+        };
+    }
+    match rng.gen_range_usize(0, 7) {
+        0 => {
+            let op = if rng.gen_bool() { UnOp::Neg } else { UnOp::Not };
+            e(ExprKind::Unary(op, Box::new(gen_expr(rng, depth - 1))))
+        }
+        1 => {
+            let op = *rng.choose(&[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Rem,
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::And,
+                BinOp::Or,
+            ]);
+            e(ExprKind::Binary(
+                op,
+                Box::new(gen_expr(rng, depth - 1)),
+                Box::new(gen_expr(rng, depth - 1)),
+            ))
+        }
+        2 => {
+            let nargs = rng.gen_range_usize(0, 2);
+            let args = (0..nargs).map(|_| gen_expr(rng, depth - 1)).collect();
+            e(ExprKind::Call(
+                Box::new(e(ExprKind::Var(gen_ident(rng)))),
+                args,
+            ))
+        }
+        3 => e(ExprKind::Field(
+            Box::new(gen_expr(rng, depth - 1)),
+            gen_ident(rng),
+        )),
+        4 => e(ExprKind::Index(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        )),
+        5 => {
+            let nfields = rng.gen_range_usize(0, 2);
+            let fields = (0..nfields)
+                .map(|_| (gen_ident(rng), gen_expr(rng, depth - 1)))
+                .collect();
+            e(ExprKind::Record(gen_ident(rng), fields))
+        }
+        _ => {
+            let nelems = rng.gen_range_usize(1, 2);
+            let elems = (0..nelems).map(|_| gen_expr(rng, depth - 1)).collect();
+            e(ExprKind::ArrayLit(elems))
+        }
+    }
 }
 
-fn stmt() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (ident(), type_ast(), expr()).prop_map(|(name, ty, init)| Stmt {
-            line: 0,
-            kind: StmtKind::Var { name, ty, init },
+fn gen_stmt(rng: &mut Rng, depth: usize) -> Stmt {
+    let s = |kind| Stmt { line: 0, kind };
+    let leaf_choices = 8;
+    let choice = rng.gen_range_usize(
+        0,
+        if depth == 0 {
+            leaf_choices - 1
+        } else {
+            leaf_choices + 1
+        },
+    );
+    match choice {
+        0 => s(StmtKind::Var {
+            name: gen_ident(rng),
+            ty: gen_type_ast(rng, 2),
+            init: gen_expr(rng, 2),
         }),
-        (ident(), expr()).prop_map(|(v, value)| Stmt {
-            line: 0,
-            kind: StmtKind::Assign {
-                target: Expr { line: 0, kind: ExprKind::Var(v) },
-                value,
+        1 => s(StmtKind::Assign {
+            target: Expr {
+                line: 0,
+                kind: ExprKind::Var(gen_ident(rng)),
             },
+            value: gen_expr(rng, 2),
         }),
-        expr().prop_map(|e| Stmt { line: 0, kind: StmtKind::Return(Some(e)) }),
-        Just(Stmt { line: 0, kind: StmtKind::Return(None) }),
-        Just(Stmt { line: 0, kind: StmtKind::Update }),
-        Just(Stmt { line: 0, kind: StmtKind::Break }),
-        Just(Stmt { line: 0, kind: StmtKind::Continue }),
-        expr().prop_map(|e| Stmt { line: 0, kind: StmtKind::Expr(e) }),
-    ];
-    leaf.prop_recursive(2, 12, 3, |inner| {
-        prop_oneof![
-            (expr(), prop::collection::vec(inner.clone(), 0..3), prop::collection::vec(inner.clone(), 0..2))
-                .prop_map(|(cond, then, els)| Stmt {
-                    line: 0,
-                    kind: StmtKind::If { cond, then, els },
-                }),
-            (expr(), prop::collection::vec(inner, 0..3)).prop_map(|(cond, body)| Stmt {
-                line: 0,
-                kind: StmtKind::While { cond, body },
-            }),
-        ]
-    })
+        2 => s(StmtKind::Return(Some(gen_expr(rng, 2)))),
+        3 => s(StmtKind::Return(None)),
+        4 => s(StmtKind::Update),
+        5 => s(StmtKind::Break),
+        6 => s(StmtKind::Continue),
+        7 => s(StmtKind::Expr(gen_expr(rng, 2))),
+        8 => {
+            let nthen = rng.gen_range_usize(0, 2);
+            let nels = rng.gen_range_usize(0, 1);
+            s(StmtKind::If {
+                cond: gen_expr(rng, 2),
+                then: (0..nthen).map(|_| gen_stmt(rng, depth - 1)).collect(),
+                els: (0..nels).map(|_| gen_stmt(rng, depth - 1)).collect(),
+            })
+        }
+        _ => {
+            let nbody = rng.gen_range_usize(0, 2);
+            s(StmtKind::While {
+                cond: gen_expr(rng, 2),
+                body: (0..nbody).map(|_| gen_stmt(rng, depth - 1)).collect(),
+            })
+        }
+    }
 }
 
-fn program() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec((ident(), prop::collection::vec((ident(), type_ast()), 0..4)), 0..2),
-        prop::collection::vec(
-            (ident(), prop::collection::vec((ident(), type_ast()), 0..3), type_ast(),
-             prop::collection::vec(stmt(), 0..5)),
-            0..3,
-        ),
-    )
-        .prop_map(|(structs, funs)| {
-            let mut items = Vec::new();
-            for (name, fields) in structs {
-                items.push(popcorn::ast::Item::Struct(popcorn::ast::StructDef {
-                    name,
-                    fields,
-                    line: 0,
-                }));
-            }
-            for (name, params, ret, body) in funs {
-                items.push(popcorn::ast::Item::Fun(popcorn::ast::FunDef {
-                    name,
-                    params,
-                    ret,
-                    body,
-                    line: 0,
-                }));
-            }
-            Program { items }
-        })
+fn gen_program(rng: &mut Rng) -> Program {
+    let mut items = Vec::new();
+    for _ in 0..rng.gen_range_usize(0, 1) {
+        let nfields = rng.gen_range_usize(0, 3);
+        items.push(popcorn::ast::Item::Struct(popcorn::ast::StructDef {
+            name: gen_ident(rng),
+            fields: (0..nfields)
+                .map(|_| (gen_ident(rng), gen_type_ast(rng, 2)))
+                .collect(),
+            line: 0,
+        }));
+    }
+    for _ in 0..rng.gen_range_usize(0, 2) {
+        let nparams = rng.gen_range_usize(0, 2);
+        let nstmts = rng.gen_range_usize(0, 4);
+        items.push(popcorn::ast::Item::Fun(popcorn::ast::FunDef {
+            name: gen_ident(rng),
+            params: (0..nparams)
+                .map(|_| (gen_ident(rng), gen_type_ast(rng, 2)))
+                .collect(),
+            ret: gen_type_ast(rng, 2),
+            body: (0..nstmts).map(|_| gen_stmt(rng, 2)).collect(),
+            line: 0,
+        }));
+    }
+    Program { items }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// pretty ∘ parse is a fixed point of pretty — the canonical-form
-    /// assumption the patch generator's diff relies on.
-    #[test]
-    fn pretty_print_is_a_fixed_point(p in program()) {
+/// pretty ∘ parse is a fixed point of pretty — the canonical-form
+/// assumption the patch generator's diff relies on.
+#[test]
+fn pretty_print_is_a_fixed_point() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0xCAFE ^ case);
+        let p = gen_program(&mut rng);
         let text1 = popcorn::pretty::program(&p);
         let reparsed = popcorn::parse(&text1)
             .unwrap_or_else(|e| panic!("pretty output must parse: {e}\n---\n{text1}"));
         let text2 = popcorn::pretty::program(&reparsed);
-        prop_assert_eq!(text1, text2);
+        assert_eq!(text1, text2);
     }
 }
 
 // ===================== patch generation round trip =====================
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// For a generated family of struct-growth changes, the synthesised
-    /// state transformer preserves all carried fields over any live
-    /// population.
-    #[test]
-    fn patchgen_struct_growth_preserves_state(
-        n in 0usize..40,
-        extra in prop::collection::vec(
-            ("[a-z]{1,5}", prop_oneof![Just("int"), Just("bool"), Just("string")]),
-            1..4,
-        ),
-    ) {
-        // Deduplicate extra field names and avoid clashing with `id`.
+/// For a generated family of struct-growth changes, the synthesised
+/// state transformer preserves all carried fields over any live
+/// population.
+#[test]
+fn patchgen_struct_growth_preserves_state() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0xD1CE ^ case);
+        let n = rng.gen_range_usize(0, 39);
+        let nextra = rng.gen_range_usize(1, 3);
         let mut seen = std::collections::BTreeSet::new();
-        let extras: Vec<(String, &str)> = extra
-            .into_iter()
-            .map(|(name, ty)| (format!("f_{name}"), ty))
+        let extras: Vec<(String, &str)> = (0..nextra)
+            .map(|_| {
+                let name: String = {
+                    let len = rng.gen_range_usize(1, 5);
+                    (0..len)
+                        .map(|_| (b'a' + (rng.next_u64() % 26) as u8) as char)
+                        .collect()
+                };
+                let ty = *rng.choose(&["int", "bool", "string"]);
+                (format!("f_{name}"), ty)
+            })
             .filter(|(name, _)| seen.insert(name.clone()))
             .collect();
 
@@ -338,8 +393,7 @@ proptest! {
                 return s;
             }
         "#;
-        let extra_decls: Vec<String> =
-            extras.iter().map(|(n, t)| format!("{n}: {t}")).collect();
+        let extra_decls: Vec<String> = extras.iter().map(|(n, t)| format!("{n}: {t}")).collect();
         let extra_inits: Vec<String> = extras
             .iter()
             .map(|(n, t)| {
@@ -371,9 +425,11 @@ proptest! {
             inits = extra_inits.join(", "),
         );
 
-        let gen = dsu_core::PatchGen::new().generate(v1, &v2, "v1", "v2").unwrap();
-        prop_assert_eq!(gen.stats.types_changed, 1);
-        prop_assert_eq!(gen.stats.transformers_auto, 1);
+        let gen = dsu_core::PatchGen::new()
+            .generate(v1, &v2, "v1", "v2")
+            .unwrap();
+        assert_eq!(gen.stats.types_changed, 1);
+        assert_eq!(gen.stats.transformers_auto, 1);
 
         let m = popcorn::compile(v1, "app", "v1", &popcorn::Interface::new()).unwrap();
         let mut p = Process::new(LinkMode::Updateable);
@@ -381,45 +437,43 @@ proptest! {
         p.call("fill", vec![Value::Int(n as i64)]).unwrap();
         let before = p.call("sum", vec![]).unwrap();
         dsu_core::apply_patch(&mut p, &gen.patch, dsu_core::UpdatePolicy::default()).unwrap();
-        prop_assert_eq!(p.call("sum", vec![]).unwrap(), before);
+        assert_eq!(p.call("sum", vec![]).unwrap(), before);
     }
 }
 
 // ============================ workload sampler ============================
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn zipf_samples_in_range_and_deterministic(
-        n in 1usize..200,
-        alpha in 0.0f64..2.0,
-        seed in any::<u64>(),
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn zipf_samples_in_range_and_deterministic() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x21BF ^ case);
+        let n = rng.gen_range_usize(1, 199);
+        let alpha = rng.gen_f64() * 2.0;
+        let seed = rng.next_u64();
         let z = flashed::Zipf::new(n, alpha);
-        let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut r1 = Rng::seed_from_u64(seed);
+        let mut r2 = Rng::seed_from_u64(seed);
         for _ in 0..64 {
             let a = z.sample(&mut r1);
             let b = z.sample(&mut r2);
-            prop_assert!(a < n);
-            prop_assert_eq!(a, b);
+            assert!(a < n);
+            assert_eq!(a, b);
         }
     }
 }
 
 // =========================== optimizer soundness ===========================
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Folding random integer expression chains preserves the result.
-    #[test]
-    fn optimizer_preserves_straightline_arithmetic(
-        ops in prop::collection::vec((0u8..6, 1i64..50), 1..24),
-        start in 0i64..1000,
-    ) {
+/// Folding random integer expression chains preserves the result.
+#[test]
+fn optimizer_preserves_straightline_arithmetic() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x0911 ^ case);
+        let nops = rng.gen_range_usize(1, 23);
+        let ops: Vec<(u8, i64)> = (0..nops)
+            .map(|_| ((rng.next_u64() % 6) as u8, rng.gen_range_i64(1, 49)))
+            .collect();
+        let start = rng.gen_range_i64(0, 999);
         let mut b = ModuleBuilder::new("o", "v1");
         b.function("f", FnSig::new(vec![], Ty::Int), |f| {
             f.emit(Instr::PushInt(start));
@@ -441,38 +495,24 @@ proptest! {
         let stats = tal::opt::optimize_module(&mut opt);
         tal::verify_module(&opt, &tal::NoAmbientTypes).expect("optimised verifies");
         // Everything here is constant, so the whole chain must fold away.
-        prop_assert!(opt.function("f").unwrap().code.len() <= 2, "{stats:?}");
+        assert!(opt.function("f").unwrap().code.len() <= 2, "{stats:?}");
 
         let mut p1 = Process::new(LinkMode::Static);
         p1.load_module(&plain).unwrap();
         let mut p2 = Process::new(LinkMode::Static);
         p2.load_module(&opt).unwrap();
-        prop_assert_eq!(p1.call("f", vec![]).unwrap(), p2.call("f", vec![]).unwrap());
+        assert_eq!(p1.call("f", vec![]).unwrap(), p2.call("f", vec![]).unwrap());
     }
+}
 
-    /// The optimizer never breaks verification or changes behaviour on
-    /// arbitrary *verified* fuzz programs.
-    #[test]
-    fn optimizer_sound_on_fuzzed_verified_code(tpls in prop::collection::vec(tpl(), 1..48)) {
-        let mut b = ModuleBuilder::new("fuzz", "v1");
-        b.def_type(TypeDef::new(
-            "t",
-            vec![Field::new("a", Ty::Int), Field::new("b", Ty::Str)],
-        ));
-        let tr = b.type_ref("t");
-        let s = b.string("seed");
-        let len = tpls.len() + 1;
-        b.function("f", FnSig::new(vec![], Ty::Int), |f| {
-            f.local(Ty::Int);
-            f.local(Ty::Bool);
-            f.local(Ty::Str);
-            f.local(Ty::named("t"));
-            for (i, t) in tpls.iter().enumerate() {
-                f.emit(materialize(i, len, t, tr, s));
-            }
-            f.emit(Instr::Ret);
-        });
-        let plain = b.finish();
+/// The optimizer never breaks verification or changes behaviour on
+/// arbitrary *verified* fuzz programs.
+#[test]
+fn optimizer_sound_on_fuzzed_verified_code() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x5EED ^ case);
+        let tpls = gen_tpls(&mut rng, 47);
+        let plain = fuzz_module(&tpls);
         if tal::verify_module(&plain, &tal::NoAmbientTypes).is_ok() {
             let mut opt = plain.clone();
             tal::opt::optimize_module(&mut opt);
@@ -484,21 +524,21 @@ proptest! {
             p2.load_module(&opt).unwrap();
             let r1 = p1.call("f", vec![]);
             let r2 = p2.call("f", vec![]);
-            prop_assert_eq!(r1, r2, "optimised behaviour diverged");
+            assert_eq!(r1, r2, "optimised behaviour diverged");
         }
     }
 }
 
 // ======================= text format round trip =======================
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// `tal::text::parse(emit(m)) == m` for arbitrary (even ill-typed)
-    /// modules built from the fuzz instruction pool — the format is a
-    /// faithful carrier, independent of verification.
-    #[test]
-    fn tal_text_round_trips_fuzzed_modules(tpls in prop::collection::vec(tpl(), 1..40)) {
+/// `tal::text::parse(emit(m)) == m` for arbitrary (even ill-typed)
+/// modules built from the fuzz instruction pool — the format is a
+/// faithful carrier, independent of verification.
+#[test]
+fn tal_text_round_trips_fuzzed_modules() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x7E87 ^ case);
+        let tpls = gen_tpls(&mut rng, 39);
         let mut b = ModuleBuilder::new("fz", "v9");
         b.def_type(TypeDef::new(
             "t",
@@ -519,25 +559,27 @@ proptest! {
         let text = tal::text::emit(&m);
         let back = tal::text::parse(&text)
             .unwrap_or_else(|e| panic!("emit output must parse: {e}\n---\n{text}"));
-        prop_assert_eq!(m, back);
+        assert_eq!(m, back);
     }
 }
 
 // ============================ update soak ============================
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Soak: a long random sequence of generated patches (body tweaks and
+/// struct growth) applied to one process; after every patch the
+/// process must agree with a freshly booted build of the same source.
+#[test]
+fn soak_many_sequential_patches() {
+    for case in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(0x50AC ^ case);
+        let ndeltas = rng.gen_range_usize(4, 11);
+        let deltas: Vec<(i64, bool)> = (0..ndeltas)
+            .map(|_| (rng.gen_range_i64(1, 49), rng.gen_bool()))
+            .collect();
 
-    /// Soak: a long random sequence of generated patches (body tweaks and
-    /// struct growth) applied to one process; after every patch the
-    /// process must agree with a freshly booted build of the same source.
-    #[test]
-    fn soak_many_sequential_patches(deltas in prop::collection::vec((1i64..50, any::<bool>()), 4..12)) {
         let mk_src = |mult: i64, fields: usize| -> String {
-            let extra_decl: Vec<String> =
-                (0..fields).map(|i| format!("x{i}: int")).collect();
-            let extra_init: Vec<String> =
-                (0..fields).map(|i| format!("x{i}: {i}")).collect();
+            let extra_decl: Vec<String> = (0..fields).map(|i| format!("x{i}: int")).collect();
+            let extra_init: Vec<String> = (0..fields).map(|i| format!("x{i}: {i}")).collect();
             let comma = if fields > 0 { ", " } else { "" };
             format!(
                 r#"
@@ -588,14 +630,14 @@ proptest! {
             src = next;
 
             // State must be exactly preserved across every patch.
-            prop_assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
+            assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
         }
         // Post-soak sanity: new adds use the final multiplier.
         proc.call("add", vec![Value::Int(100)]).unwrap();
         expected_sum += 100 * mult;
-        prop_assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
+        assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
         // And old code versions can be garbage collected without harm.
         proc.collect_code();
-        prop_assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
+        assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
     }
 }

@@ -7,12 +7,19 @@
 //! the type-changing v3→v4 patch shows the largest pause (state
 //! transformation).
 //!
+//! Update marks are read out of the telemetry journal (one committed
+//! lifecycle per patch) rather than the updater's report log, and
+//! cross-checked against it.
+//!
 //! Run with: `cargo run --release -p dsu-bench --bin figure2_timeline`
 
 use std::time::Duration;
 
 use dsu_bench::measure::{fmt_dur, row, rule};
-use flashed::{parse_response, patch_stream, versions, Server, SimFs, Workload};
+use dsu_obs::fleet::rollout_timeline;
+use flashed::{
+    parse_response, patch_stream, versions, Server, ServerShared, ServerTelemetry, SimFs, Workload,
+};
 use vm::LinkMode;
 
 const BATCH: usize = 1200;
@@ -21,28 +28,48 @@ const BUCKET: Duration = Duration::from_millis(2);
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fs = SimFs::generate_fixed(48, 2048, 9);
     let mut wl = Workload::new(fs.paths(), 1.0, 31);
-    let mut server = Server::start(LinkMode::Updateable, &versions::v1(), "v1", fs)?;
+    // Shared state and journal are created back-to-back, so completion
+    // timestamps and journal offsets share an epoch (within microseconds)
+    // and the journal's update marks land in the right buckets.
+    let telemetry = ServerTelemetry::new();
+    let mut server = Server::start_with(
+        LinkMode::Updateable,
+        &versions::v1(),
+        "v1",
+        fs,
+        ServerShared::new(),
+        Some(telemetry.clone()),
+    )?;
     let stream = patch_stream()?;
 
     // Phase 0: v1 alone, then one batch per patch with the patch applying
     // at the first update point inside the batch.
-    let mut update_marks: Vec<(Duration, String, Duration)> = Vec::new();
     server.push_requests(wl.batch(BATCH));
     server.serve().map_err(|e| e.to_string())?;
     for gen in stream {
-        let label = format!("{}->{}", gen.patch.from_version, gen.patch.to_version);
         server.push_requests(wl.batch(BATCH));
         server.queue_patch(gen.patch);
-        let before = server.elapsed();
         server.serve().map_err(|e| e.to_string())?;
-        let pause = server
-            .updater
-            .log()
-            .last()
-            .expect("applied")
-            .timings
-            .total();
-        update_marks.push((before, label, pause));
+    }
+
+    // The update marks come straight out of the lifecycle journal: one
+    // committed row per patch, pause = its recorded phase sum (identical
+    // to the updater's report timings by construction).
+    let timeline = rollout_timeline(&telemetry.journal().events());
+    let update_marks: Vec<(Duration, String, Duration)> = timeline
+        .iter()
+        .filter(|r| r.committed)
+        .map(|r| {
+            (
+                r.enqueued_at,
+                format!("{}->{}", r.from_version, r.to_version),
+                r.phase_total,
+            )
+        })
+        .collect();
+    assert_eq!(update_marks.len(), 4, "all four patches committed");
+    for (r, (_, _, pause)) in server.updater.log().iter().zip(&update_marks) {
+        assert_eq!(r.timings.total(), *pause, "journal disagrees with report");
     }
 
     let completions = server.completions();

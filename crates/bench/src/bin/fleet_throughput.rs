@@ -16,6 +16,11 @@
 //!    at once behind a barrier: the aggregated report shows the
 //!    fleet-wide pause, and the completion timeline shows a matching gap.
 //!
+//! Rollouts run with telemetry on: the update-lifecycle journal is
+//! cross-checked against the rollout report (phase sums must match
+//! exactly) and exported, with the merged Prometheus/JSON scrapes, under
+//! `target/telemetry/`.
+//!
 //! Run with: `cargo run --release -p dsu-bench --bin fleet_throughput`
 
 use std::time::{Duration, Instant};
@@ -92,13 +97,16 @@ fn max_completion_gap(completions: &[Completion]) -> Duration {
         .unwrap_or(Duration::ZERO)
 }
 
-/// One rollout of the v3->v4 type-changing patch mid-traffic.
+/// One rollout of the v3->v4 type-changing patch mid-traffic, with
+/// telemetry on: the journal's per-patch phase sums are checked against
+/// the rollout report's timings (they must match exactly — the journal
+/// copies them), and the journal/metrics are exported for scraping.
 fn rollout_once(policy: RolloutPolicy) -> Result<(), Box<dyn std::error::Error>> {
     let fs = SimFs::generate_fixed(FILES, DOC_SIZE, 3);
     let mut wl = Workload::new(fs.paths(), 1.0, 17);
     let gen = &patch_stream()?[2]; // v3 -> v4 (cache representation change)
 
-    let fleet = Fleet::start(WORKERS, LinkMode::Updateable, &versions::v3(), "v3", &fs)
+    let fleet = Fleet::start_telemetry(WORKERS, LinkMode::Updateable, &versions::v3(), "v3", &fs)
         .map_err(|e| e.to_string())?;
     // Warm up, then discard pre-rollout history.
     fleet.push_requests(wl.batch(200 * WORKERS));
@@ -124,6 +132,36 @@ fn rollout_once(policy: RolloutPolicy) -> Result<(), Box<dyn std::error::Error>>
         .collect();
     let overlap = windows.len() == fleet.worker_count()
         && windows.iter().map(|w| w.0).max() <= windows.iter().map(|w| w.1).min();
+
+    // Cross-check the journal against the rollout report: every committed
+    // lifecycle's phase sum equals that worker's report total, exactly.
+    let tel = fleet.telemetry().expect("fleet started with telemetry");
+    let timeline = tel.timeline();
+    for (worker, r) in &report.applied {
+        let row = timeline
+            .iter()
+            .find(|row| row.worker == Some(*worker) && row.committed)
+            .unwrap_or_else(|| panic!("no committed journal row for worker {worker}"));
+        assert_eq!(
+            row.phase_total,
+            r.timings.total(),
+            "worker {worker}: journal phase sum != report total"
+        );
+    }
+    for id in tel.journal().update_ids() {
+        dsu_obs::journal::validate_lifecycle(&tel.journal().events_for(id))?;
+    }
+    let tag = format!("{policy:?}").to_lowercase();
+    let dir = std::path::Path::new("target/telemetry");
+    std::fs::create_dir_all(dir)?;
+    let journal_path = dir.join(format!("fleet_{tag}.jsonl"));
+    let prom_path = dir.join(format!("fleet_{tag}.prom"));
+    let json_path = dir.join(format!("fleet_{tag}.json"));
+    std::fs::write(&journal_path, tel.journal().to_jsonl())?;
+    std::fs::write(&prom_path, tel.scrape_text())?;
+    std::fs::write(&json_path, tel.scrape_json())?;
+    let skew = tel.version_skew();
+    let journal_events = tel.journal().len();
     fleet.shutdown().map_err(|e| e.to_string())?;
 
     println!("{policy:?} rollout ({WORKERS} workers, {REQUESTS} requests in flight):");
@@ -138,6 +176,16 @@ fn rollout_once(policy: RolloutPolicy) -> Result<(), Box<dyn std::error::Error>>
         } else {
             "no (staggered pauses)"
         },
+    );
+    println!(
+        "  journal: {journal_events} events, phase sums match report timings exactly; \
+         version skew now {skew}"
+    );
+    println!(
+        "  exported {} / {} / {}",
+        journal_path.display(),
+        prom_path.display(),
+        json_path.display()
     );
     println!();
     Ok(())

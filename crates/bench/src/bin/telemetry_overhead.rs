@@ -1,0 +1,101 @@
+//! Telemetry self-overhead: what does observability cost the fleet?
+//!
+//! Runs the disk-bound fleet workload (the regime of the scaling
+//! experiment: v1, no response cache, simulated per-read device latency)
+//! twice per round — once on a plain fleet, once on an identical fleet
+//! with full telemetry (lifecycle journal attached to every updater,
+//! per-request counters/histograms, queue-depth gauge, VM-stat
+//! publishing) — interleaved, taking the per-side minimum to suppress
+//! scheduler noise. The claim under test: instrumentation costs **under
+//! 2%** of throughput.
+//!
+//! Also exports the telemetry fleet's journal (JSONL) and merged metric
+//! scrapes (Prometheus text + JSON) under `target/telemetry/`, so a CI
+//! run leaves the artifacts behind.
+//!
+//! Run with: `cargo run --release -p dsu-bench --bin telemetry_overhead`
+//! (pass `smoke` for a fast CI-sized run that reports but does not
+//! enforce the threshold).
+
+use std::time::Duration;
+
+use dsu_bench::measure::{fmt_dur, overhead_percent, row, rule, time_interleaved};
+use flashed::{versions, Fleet, SimFs, Workload};
+use vm::LinkMode;
+
+const WORKERS: usize = 4;
+const FILES: usize = 32;
+const DOC_SIZE: usize = 1024;
+/// Simulated device latency per read — the disk-bound regime.
+const READ_LATENCY: Duration = Duration::from_micros(150);
+const THRESHOLD_PERCENT: f64 = 2.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let (requests, samples) = if smoke { (400, 2) } else { (3000, 5) };
+
+    let fs = SimFs::generate_fixed(FILES, DOC_SIZE, 3).with_read_latency(READ_LATENCY);
+    let mut wl = Workload::new(fs.paths(), 1.0, 17);
+
+    let plain = Fleet::start(WORKERS, LinkMode::Updateable, &versions::v1(), "v1", &fs)?;
+    let telemetry =
+        Fleet::start_telemetry(WORKERS, LinkMode::Updateable, &versions::v1(), "v1", &fs)?;
+
+    // Warm both fleets outside the timed region.
+    for fleet in [&plain, &telemetry] {
+        fleet.push_requests(wl.batch(100 * WORKERS));
+        fleet.drain(100 * WORKERS)?;
+        fleet.shared().take_completions();
+    }
+
+    let batch: Vec<String> = wl.batch(requests);
+    let run = |fleet: &Fleet| {
+        fleet.push_requests(batch.iter().cloned());
+        fleet.drain(requests).expect("fleet drains");
+        fleet.shared().take_completions();
+    };
+    let (base, instrumented) = time_interleaved(samples, || run(&plain), || run(&telemetry));
+    let overhead = overhead_percent(base, instrumented);
+
+    println!(
+        "Telemetry self-overhead: {WORKERS} workers, {requests} requests/side x {samples} rounds,\n\
+         {READ_LATENCY:?} simulated device latency per read{}\n",
+        if smoke { " (smoke mode)" } else { "" }
+    );
+    let widths = [14, 12, 12];
+    row(&["fleet", "elapsed", "req/s"], &widths);
+    rule(&widths);
+    for (name, d) in [("plain", base), ("telemetry", instrumented)] {
+        row(
+            &[
+                name,
+                &fmt_dur(d),
+                &format!("{:.0}", requests as f64 / d.as_secs_f64()),
+            ],
+            &widths,
+        );
+    }
+    println!("\noverhead: {overhead:+.2}% (budget: {THRESHOLD_PERCENT}%)");
+
+    // Leave the telemetry artifacts behind for scraping/upload.
+    let tel = telemetry.telemetry().expect("telemetry fleet");
+    let dir = std::path::Path::new("target/telemetry");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("overhead_journal.jsonl"), tel.journal().to_jsonl())?;
+    std::fs::write(dir.join("overhead_metrics.prom"), tel.scrape_text())?;
+    std::fs::write(dir.join("overhead_metrics.json"), tel.scrape_json())?;
+    println!("exported target/telemetry/overhead_{{journal.jsonl,metrics.prom,metrics.json}}");
+
+    plain.shutdown()?;
+    telemetry.shutdown()?;
+
+    if smoke {
+        println!("smoke mode: threshold reported, not enforced");
+    } else if overhead < THRESHOLD_PERCENT {
+        println!("PASS: telemetry overhead under {THRESHOLD_PERCENT}%");
+    } else {
+        println!("FAIL: telemetry overhead above {THRESHOLD_PERCENT}%");
+        std::process::exit(1);
+    }
+    Ok(())
+}

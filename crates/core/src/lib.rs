@@ -63,7 +63,7 @@ pub use patchgen::{
     interface_of_module, DiffStats, GeneratedPatch, ManualTransformer, PatchGen, PatchGenError,
     ALIAS_SUFFIX,
 };
-pub use report::{FleetUpdateReport, PhaseTimings, UpdateError, UpdateReport};
+pub use report::{FailedUpdate, FleetUpdateReport, PhaseTimings, UpdateError, UpdateReport};
 pub use runtime::{Gate, PauseEvent, PauseLog, RunError, Updater, UpdaterRemote};
 pub use version::VersionManager;
 

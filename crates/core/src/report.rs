@@ -92,9 +92,10 @@ pub struct FleetUpdateReport {
     /// Per-worker apply results: `(worker index, report)` for each worker
     /// whose apply succeeded.
     pub applied: Vec<(usize, UpdateReport)>,
-    /// Per-worker failures: `(worker index, error)` for each worker whose
-    /// apply was rejected (that worker keeps serving its old version).
-    pub failed: Vec<(usize, UpdateError)>,
+    /// Per-worker failures: `(worker index, failure)` for each worker
+    /// whose apply was rejected (that worker keeps serving its old
+    /// version).
+    pub failed: Vec<(usize, FailedUpdate)>,
     /// Per-worker observed pause (coordination wait + apply), one entry
     /// per worker that paused, in worker order.
     pub pauses: Vec<Duration>,
@@ -196,6 +197,66 @@ impl fmt::Display for UpdateError {
 }
 
 impl Error for UpdateError {}
+
+impl UpdateError {
+    /// The lifecycle phase the update failed in (stable lowercase name,
+    /// matching the journal's stage names).
+    pub fn phase(&self) -> &'static str {
+        match self {
+            UpdateError::Verify(_) => "verify",
+            UpdateError::Compat(_) => "compat",
+            UpdateError::Link(_) => "link",
+            // New-global initialisers fail under a synthetic
+            // `<init name>` function tag (see `crate::apply`).
+            UpdateError::Transform { function, .. } if function.starts_with("<init") => "init",
+            UpdateError::Transform { .. } => "transform",
+            UpdateError::ActiveCode(_) => "policy",
+        }
+    }
+}
+
+/// One rejected or rolled-back update in the failure log, carrying
+/// enough context — the version transition and the failing phase — to
+/// diagnose an aborted patch without replaying the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedUpdate {
+    /// Source version of the attempted transition.
+    pub from_version: String,
+    /// Target version of the attempted transition.
+    pub to_version: String,
+    /// Lifecycle phase the apply failed in (see [`UpdateError::phase`]).
+    pub phase: &'static str,
+    /// The underlying rejection.
+    pub error: UpdateError,
+}
+
+impl FailedUpdate {
+    /// Wraps `error` with the transition it interrupted.
+    pub fn new(from_version: &str, to_version: &str, error: UpdateError) -> FailedUpdate {
+        FailedUpdate {
+            from_version: from_version.to_string(),
+            to_version: to_version.to_string(),
+            phase: error.phase(),
+            error,
+        }
+    }
+}
+
+impl fmt::Display for FailedUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} failed in {}: {}",
+            self.from_version, self.to_version, self.phase, self.error
+        )
+    }
+}
+
+impl Error for FailedUpdate {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 impl From<tal::VerifyError> for UpdateError {
     fn from(e: tal::VerifyError) -> UpdateError {

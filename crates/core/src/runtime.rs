@@ -17,11 +17,12 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dsu_obs::{Journal, Stage};
 use vm::{Outcome, Process, Trap, UpdateSignal, Value};
 
 use crate::apply::{apply_patch, UpdatePolicy};
 use crate::patch::Patch;
-use crate::report::{UpdateError, UpdateReport};
+use crate::report::{FailedUpdate, UpdateError, UpdateReport};
 
 /// One update pause: the guest suspended (or sat quiescent) while queued
 /// patches applied. Host instrumentation (e.g. the FlashEd server's
@@ -43,6 +44,21 @@ pub type PauseLog = Arc<Mutex<Vec<PauseEvent>>>;
 /// any patch applies — e.g. a barrier wait that lines a whole fleet up at
 /// their update points for a simultaneous rollout.
 pub type Gate = Box<dyn FnOnce() + Send>;
+
+/// Where an updater's lifecycle events go: a shared journal plus the
+/// worker tag stamped onto every event this updater emits.
+#[derive(Clone)]
+struct Trace {
+    journal: Journal,
+    worker: Option<usize>,
+}
+
+/// A patch in the pending queue, tagged with its journal lifecycle id
+/// (0 when no journal is attached).
+struct QueuedPatch {
+    update: u64,
+    patch: Patch,
+}
 
 /// Errors surfaced by the driver loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,14 +91,18 @@ impl From<Trap> for RunError {
 #[derive(Default)]
 pub struct Updater {
     policy: UpdatePolicy,
-    pending: Arc<Mutex<VecDeque<Patch>>>,
+    pending: Arc<Mutex<VecDeque<QueuedPatch>>>,
     log: Arc<Mutex<Vec<UpdateReport>>>,
-    /// Errors from patches that failed to apply (the run continues).
-    failures: Arc<Mutex<Vec<UpdateError>>>,
+    /// Failures of patches that did not apply (the run continues), with
+    /// version-transition and failing-phase context attached.
+    failures: Arc<Mutex<Vec<FailedUpdate>>>,
     /// Update pauses, shared with host instrumentation.
     pauses: PauseLog,
     /// One-shot rendezvous for the next pause (coordinated rollouts).
     gate: Arc<Mutex<Option<Gate>>>,
+    /// Lifecycle-event destination, shared with remotes (None = tracing
+    /// off, the default — enqueues and applies cost nothing extra).
+    trace: Arc<Mutex<Option<Trace>>>,
     /// When `true` (default), a patch failure during a run aborts the run
     /// with [`RunError::Update`] instead of continuing on the old version.
     pub strict: bool,
@@ -122,10 +142,27 @@ impl Updater {
         self.policy
     }
 
+    /// Attaches a journal: from now on every patch this updater (or a
+    /// remote of it) handles emits lifecycle events — enqueued, gate
+    /// waits, the six apply phases, committed/aborted — tagged with
+    /// `worker` when given.
+    pub fn set_journal(&self, journal: Journal, worker: Option<usize>) {
+        *self.trace.lock().expect("poisoned") = Some(Trace { journal, worker });
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<Journal> {
+        self.trace
+            .lock()
+            .expect("poisoned")
+            .as_ref()
+            .map(|t| t.journal.clone())
+    }
+
     /// Queues a patch and arms the process's update request so the next
     /// executed update point suspends.
     pub fn enqueue(&mut self, proc: &mut Process, patch: Patch) {
-        self.pending.lock().expect("poisoned").push_back(patch);
+        enqueue_traced(&self.pending, &self.trace, patch);
         proc.request_update(true);
     }
 
@@ -139,8 +176,9 @@ impl Updater {
         self.log.lock().expect("poisoned").clone()
     }
 
-    /// Errors of patches that failed to apply (non-strict mode).
-    pub fn failures(&self) -> Vec<UpdateError> {
+    /// Failures of patches that did not apply (non-strict mode), with
+    /// version and failing-phase context.
+    pub fn failures(&self) -> Vec<FailedUpdate> {
         self.failures.lock().expect("poisoned").clone()
     }
 
@@ -164,6 +202,7 @@ impl Updater {
             failures: Arc::clone(&self.failures),
             pauses: Arc::clone(&self.pauses),
             gate: Arc::clone(&self.gate),
+            trace: Arc::clone(&self.trace),
             signal: proc.update_signal(),
         }
     }
@@ -188,7 +227,30 @@ impl Updater {
         // part of the pause, not of any request's service time.
         let gate = self.gate.lock().expect("poisoned").take();
         if let Some(gate) = gate {
+            let gate_began = Instant::now();
             gate();
+            if let Some(t) = self.trace.lock().expect("poisoned").clone() {
+                // The wait is charged to the patch at the head of the
+                // queue — the one the rendezvous was lining up for.
+                let head = self.pending.lock().expect("poisoned").front().map(|q| {
+                    (
+                        q.update,
+                        q.patch.from_version.clone(),
+                        q.patch.to_version.clone(),
+                    )
+                });
+                if let Some((update, from, to)) = head {
+                    t.journal.record(
+                        t.worker,
+                        update,
+                        &from,
+                        &to,
+                        Stage::GateWait,
+                        Some(gate_began.elapsed()),
+                        None,
+                    );
+                }
+            }
         }
         let result = self.drain(proc);
         self.pauses.lock().expect("poisoned").push(PauseEvent {
@@ -200,20 +262,31 @@ impl Updater {
 
     fn drain(&mut self, proc: &mut Process) -> Result<usize, UpdateError> {
         let mut applied = 0;
+        let trace = self.trace.lock().expect("poisoned").clone();
         loop {
-            let patch = self.pending.lock().expect("poisoned").pop_front();
-            let Some(patch) = patch else { break };
-            match apply_patch(proc, &patch, self.policy) {
+            let queued = self.pending.lock().expect("poisoned").pop_front();
+            let Some(queued) = queued else { break };
+            let patch = &queued.patch;
+            match apply_patch(proc, patch, self.policy) {
                 Ok(report) => {
+                    if let Some(t) = &trace {
+                        emit_applied(t, &queued, &report);
+                    }
                     self.log.lock().expect("poisoned").push(report);
                     applied += 1;
                 }
                 Err(e) => {
+                    if let Some(t) = &trace {
+                        emit_aborted(t, &queued, &e);
+                    }
                     if self.strict {
                         proc.request_update(!self.pending.lock().expect("poisoned").is_empty());
                         return Err(e);
                     }
-                    self.failures.lock().expect("poisoned").push(e);
+                    self.failures
+                        .lock()
+                        .expect("poisoned")
+                        .push(FailedUpdate::new(&patch.from_version, &patch.to_version, e));
                 }
             }
         }
@@ -253,6 +326,84 @@ impl Updater {
     }
 }
 
+/// Queues `patch`, assigning it a journal lifecycle id and emitting the
+/// `Enqueued` event when tracing is on (shared by [`Updater::enqueue`]
+/// and [`UpdaterRemote::enqueue`]).
+fn enqueue_traced(
+    pending: &Mutex<VecDeque<QueuedPatch>>,
+    trace: &Mutex<Option<Trace>>,
+    patch: Patch,
+) {
+    let t = trace.lock().expect("poisoned").clone();
+    let update = match &t {
+        Some(t) => t.journal.next_update_id(),
+        None => 0,
+    };
+    if let Some(t) = &t {
+        t.journal.record(
+            t.worker,
+            update,
+            &patch.from_version,
+            &patch.to_version,
+            Stage::Enqueued,
+            None,
+            None,
+        );
+    }
+    pending
+        .lock()
+        .expect("poisoned")
+        .push_back(QueuedPatch { update, patch });
+}
+
+/// Emits the six phase events (durations copied verbatim from the
+/// report's [`crate::PhaseTimings`], so journal sums equal
+/// `timings.total()` exactly) followed by `Committed`.
+fn emit_applied(t: &Trace, queued: &QueuedPatch, report: &UpdateReport) {
+    let ts = &report.timings;
+    let phases = [
+        (Stage::Verify, ts.verify),
+        (Stage::Compat, ts.compat),
+        (Stage::Link, ts.link),
+        (Stage::Bind, ts.bind),
+        (Stage::Init, ts.init),
+        (Stage::Transform, ts.transform),
+    ];
+    for (stage, dur) in phases {
+        t.journal.record(
+            t.worker,
+            queued.update,
+            &report.from_version,
+            &report.to_version,
+            stage,
+            Some(dur),
+            None,
+        );
+    }
+    t.journal.record(
+        t.worker,
+        queued.update,
+        &report.from_version,
+        &report.to_version,
+        Stage::Committed,
+        Some(ts.total()),
+        None,
+    );
+}
+
+/// Emits `Aborted`, carrying the failing phase and cause.
+fn emit_aborted(t: &Trace, queued: &QueuedPatch, error: &UpdateError) {
+    t.journal.record(
+        t.worker,
+        queued.update,
+        &queued.patch.from_version,
+        &queued.patch.to_version,
+        Stage::Aborted,
+        None,
+        Some(&format!("{}: {error}", error.phase())),
+    );
+}
+
 /// Cross-thread control over one worker's [`Updater`]/[`Process`] pair
 /// (see [`Updater::remote`]). All methods are safe to call while the
 /// worker thread is mid-run: patches land in the shared queue, the signal
@@ -260,11 +411,12 @@ impl Updater {
 /// the shared logs as the worker applies.
 #[derive(Clone)]
 pub struct UpdaterRemote {
-    pending: Arc<Mutex<VecDeque<Patch>>>,
+    pending: Arc<Mutex<VecDeque<QueuedPatch>>>,
     log: Arc<Mutex<Vec<UpdateReport>>>,
-    failures: Arc<Mutex<Vec<UpdateError>>>,
+    failures: Arc<Mutex<Vec<FailedUpdate>>>,
     pauses: PauseLog,
     gate: Arc<Mutex<Option<Gate>>>,
+    trace: Arc<Mutex<Option<Trace>>>,
     signal: UpdateSignal,
 }
 
@@ -283,7 +435,7 @@ impl UpdaterRemote {
     /// suspends and applies at its next executed update point (or the
     /// worker applies at its next quiescent boundary).
     pub fn enqueue(&self, patch: Patch) {
-        self.pending.lock().expect("poisoned").push_back(patch);
+        enqueue_traced(&self.pending, &self.trace, patch);
         self.signal.arm();
     }
 
@@ -314,8 +466,9 @@ impl UpdaterRemote {
         self.log.lock().expect("poisoned").clone()
     }
 
-    /// Errors of every failed apply, oldest first.
-    pub fn failures(&self) -> Vec<UpdateError> {
+    /// Failures of every failed apply, oldest first, with version and
+    /// failing-phase context.
+    pub fn failures(&self) -> Vec<FailedUpdate> {
         self.failures.lock().expect("poisoned").clone()
     }
 

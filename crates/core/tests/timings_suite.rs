@@ -1,7 +1,11 @@
 //! Update-pause accounting: the per-phase breakdown must attribute every
-//! phase to its own bucket and sum exactly to the reported total.
+//! phase to its own bucket and sum exactly to the reported total — and
+//! the telemetry journal, when attached, must agree with it event for
+//! event.
 
-use dsu_core::{apply_patch, PatchGen, PhaseTimings, UpdatePolicy};
+use dsu_core::{apply_patch, PatchGen, PhaseTimings, UpdatePolicy, Updater};
+use dsu_obs::journal::{validate_lifecycle, Stage};
+use dsu_obs::Journal;
 use std::time::Duration;
 use vm::{LinkMode, Process, Value};
 
@@ -102,4 +106,136 @@ fn no_new_globals_means_zero_init_bucket() {
 fn default_timings_are_zero() {
     let t = PhaseTimings::default();
     assert_eq!(t.total(), Duration::ZERO);
+}
+
+/// With a journal attached, an applied update's lifecycle events carry
+/// the report's phase durations verbatim: the journal's per-patch phase
+/// sum equals `PhaseTimings::total()` *exactly*, not approximately.
+#[test]
+fn journal_durations_agree_with_phase_timings_exactly() {
+    let old = "fun f(): int { return 1; }";
+    let new = "fun f(): int { return 2; }";
+    let gen = PatchGen::new().generate(old, new, "v1", "v2").unwrap();
+
+    let mut p = boot(old);
+    let mut updater = Updater::new();
+    let journal = Journal::new();
+    updater.set_journal(journal.clone(), Some(7));
+    updater.enqueue(&mut p, gen.patch);
+    updater.apply_pending(&mut p).unwrap();
+
+    let report = &updater.log()[0];
+    let events = journal.events();
+    // One lifecycle: enqueued, six phases, committed.
+    assert_eq!(events.len(), 8);
+    assert!(events.iter().all(|e| e.worker == Some(7)));
+    assert!(events.iter().all(|e| e.update == 1));
+    validate_lifecycle(&events).unwrap();
+
+    let phase_dur = |stage: Stage| {
+        events
+            .iter()
+            .find(|e| e.stage == stage)
+            .and_then(|e| e.dur)
+            .unwrap_or_else(|| panic!("missing {stage:?}"))
+    };
+    let t = report.timings;
+    assert_eq!(phase_dur(Stage::Verify), t.verify);
+    assert_eq!(phase_dur(Stage::Compat), t.compat);
+    assert_eq!(phase_dur(Stage::Link), t.link);
+    assert_eq!(phase_dur(Stage::Bind), t.bind);
+    assert_eq!(phase_dur(Stage::Init), t.init);
+    assert_eq!(phase_dur(Stage::Transform), t.transform);
+    let journal_sum: Duration = Stage::PHASES.iter().map(|&s| phase_dur(s)).sum();
+    assert_eq!(journal_sum, t.total(), "journal must copy timings verbatim");
+    // The committed event records the total as its duration.
+    assert_eq!(
+        events.last().unwrap().dur,
+        Some(t.total()),
+        "committed event carries the pause total"
+    );
+}
+
+/// Journal ordering invariants: sequence numbers and timestamps are
+/// monotonic across lifecycles, and every lifecycle is phase-bracketed
+/// (opens with `enqueued`, phases in pipeline order, closes with a
+/// resolution).
+#[test]
+fn journal_events_are_monotonic_and_bracketed() {
+    let v1 = "fun f(): int { return 1; }";
+    let v2 = "fun f(): int { return 2; }";
+    let v3 = "fun f(): int { return 3; }";
+
+    let mut p = boot(v1);
+    let mut updater = Updater::new();
+    let journal = Journal::new();
+    updater.set_journal(journal.clone(), None);
+
+    let gen12 = PatchGen::new().generate(v1, v2, "v1", "v2").unwrap();
+    let gen23 = PatchGen::new().generate(v2, v3, "v2", "v3").unwrap();
+    updater.enqueue(&mut p, gen12.patch);
+    updater.enqueue(&mut p, gen23.patch);
+    updater.apply_pending(&mut p).unwrap();
+
+    let events = journal.events();
+    assert_eq!(events.len(), 16, "two full lifecycles");
+    for w in events.windows(2) {
+        assert!(w[1].seq > w[0].seq, "seq must increase");
+        assert!(w[1].at >= w[0].at, "timestamps must not go backwards");
+    }
+    assert_eq!(journal.update_ids(), vec![1, 2]);
+    for id in journal.update_ids() {
+        validate_lifecycle(&journal.events_for(id)).unwrap();
+    }
+    // JSONL export carries one line per event, in order.
+    assert_eq!(journal.to_jsonl().lines().count(), events.len());
+}
+
+/// A rejected patch's lifecycle closes with `aborted`, carrying the
+/// failing phase; the failure log records the version transition and
+/// phase alongside the error.
+#[test]
+fn journal_and_failure_log_carry_abort_context() {
+    let old = "fun f(): int { return 1; }";
+    let mut p = boot(old);
+    // A patch whose manifest claims to replace a function it does not
+    // define — linking rejects it.
+    let bad = dsu_core::compile_patch(
+        "fun other(): int { return 2; }",
+        "v1",
+        "v2",
+        &dsu_core::interface_of(&p),
+        dsu_core::Manifest {
+            replaces: vec!["f".into()],
+            adds: vec!["other".into()],
+            ..dsu_core::Manifest::default()
+        },
+    )
+    .unwrap();
+
+    let mut updater = Updater::new();
+    updater.strict = false;
+    let journal = Journal::new();
+    updater.set_journal(journal.clone(), Some(0));
+    updater.enqueue(&mut p, bad);
+    updater.apply_pending(&mut p).unwrap();
+
+    let events = journal.events_for(1);
+    validate_lifecycle(&events).unwrap();
+    let aborted = events.last().unwrap();
+    assert_eq!(aborted.stage, Stage::Aborted);
+    let detail = aborted.detail.as_deref().unwrap();
+    assert!(
+        detail.starts_with("compat:"),
+        "detail names phase: {detail}"
+    );
+
+    let failures = updater.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].from_version, "v1");
+    assert_eq!(failures[0].to_version, "v2");
+    assert_eq!(failures[0].phase, "compat");
+    assert!(failures[0]
+        .to_string()
+        .contains("v1 -> v2 failed in compat"));
 }

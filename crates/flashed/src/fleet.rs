@@ -19,6 +19,7 @@
 //! keeps serving its old version and the failure lands in the rollout's
 //! [`FleetUpdateReport`] — the rest of the fleet still rolls forward.
 
+use std::fmt;
 use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
 use std::sync::{Arc, Barrier};
 use std::thread::{self, JoinHandle};
@@ -29,6 +30,82 @@ use vm::LinkMode;
 
 use crate::fs::SimFs;
 use crate::server::{Completion, Server, ServerShared};
+use crate::telemetry::{FleetTelemetry, ServerTelemetry};
+
+/// What went wrong inside one worker.
+#[derive(Debug)]
+pub enum WorkerFailure {
+    /// The worker thread could not be spawned.
+    Spawn(String),
+    /// The worker's server failed to boot (compile/link).
+    Boot(String),
+    /// The worker thread died before reporting its boot outcome.
+    BootChannel,
+    /// The guest trapped (or a strict-mode update failed) while serving.
+    Guest(String),
+    /// The worker thread panicked.
+    Panic,
+}
+
+impl fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerFailure::Spawn(e) => write!(f, "thread spawn failed: {e}"),
+            WorkerFailure::Boot(e) => write!(f, "failed to boot: {e}"),
+            WorkerFailure::BootChannel => write!(f, "died during boot"),
+            WorkerFailure::Guest(e) => write!(f, "{e}"),
+            WorkerFailure::Panic => write!(f, "panicked"),
+        }
+    }
+}
+
+/// Fleet operation failures, carrying the worker they originate from
+/// (where one does) and the underlying cause.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A worker failed — at boot, while serving, or at shutdown.
+    Worker {
+        /// The failing worker's index.
+        worker: usize,
+        /// What happened to it.
+        cause: WorkerFailure,
+    },
+    /// [`Fleet::drain`] timed out with requests still outstanding.
+    DrainTimeout {
+        /// Requests still queued at the deadline.
+        queued: usize,
+        /// Completions observed at the deadline.
+        completed: usize,
+        /// Completions the caller expected.
+        expected: usize,
+    },
+    /// A rollout gave up waiting for a worker to reach an update boundary.
+    RolloutStalled {
+        /// The worker that never resolved its patch.
+        worker: usize,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Worker { worker, cause } => write!(f, "worker {worker}: {cause}"),
+            FleetError::DrainTimeout {
+                queued,
+                completed,
+                expected,
+            } => write!(
+                f,
+                "fleet did not drain: {queued} queued, {completed}/{expected} completed"
+            ),
+            FleetError::RolloutStalled { worker } => {
+                write!(f, "worker {worker} did not reach an update boundary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
 
 /// How a patch is rolled out across the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +140,9 @@ struct Worker {
 pub struct Fleet {
     shared: ServerShared,
     workers: Vec<Worker>,
+    /// The version every worker booted on (the skew baseline).
+    boot_version: String,
+    telemetry: Option<Arc<FleetTelemetry>>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -89,7 +169,43 @@ impl Fleet {
         src: &str,
         version: &str,
         fs: &SimFs,
-    ) -> Result<Fleet, String> {
+    ) -> Result<Fleet, FleetError> {
+        Fleet::boot(n, mode, src, version, fs, None)
+    }
+
+    /// Like [`Fleet::start`], with telemetry: a fleet-wide lifecycle
+    /// journal (events worker-tagged), per-worker labelled metrics
+    /// registries, and the coordinator's version-skew gauge — scrape them
+    /// through [`Fleet::telemetry`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::start`].
+    pub fn start_telemetry(
+        n: usize,
+        mode: LinkMode,
+        src: &str,
+        version: &str,
+        fs: &SimFs,
+    ) -> Result<Fleet, FleetError> {
+        Fleet::boot(
+            n,
+            mode,
+            src,
+            version,
+            fs,
+            Some(Arc::new(FleetTelemetry::new(n))),
+        )
+    }
+
+    fn boot(
+        n: usize,
+        mode: LinkMode,
+        src: &str,
+        version: &str,
+        fs: &SimFs,
+        telemetry: Option<Arc<FleetTelemetry>>,
+    ) -> Result<Fleet, FleetError> {
         assert!(n > 0, "a fleet needs at least one worker");
         let shared = ServerShared::new();
         let mut workers = Vec::with_capacity(n);
@@ -101,10 +217,16 @@ impl Fleet {
             let version = version.to_string();
             let fs = fs.clone();
             let shared_w = shared.clone();
+            let tel_w = telemetry.as_ref().map(|t| t.worker(id).clone());
             let join = thread::Builder::new()
                 .name(format!("flashed-worker-{id}"))
-                .spawn(move || worker_main(mode, src, version, fs, shared_w, ctrl_rx, boot_tx))
-                .map_err(|e| format!("spawn worker {id}: {e}"))?;
+                .spawn(move || {
+                    worker_main(mode, src, version, fs, shared_w, tel_w, ctrl_rx, boot_tx)
+                })
+                .map_err(|e| FleetError::Worker {
+                    worker: id,
+                    cause: WorkerFailure::Spawn(e.to_string()),
+                })?;
             match boot_rx.recv() {
                 Ok(Ok(remote)) => workers.push(Worker {
                     id,
@@ -113,12 +235,18 @@ impl Fleet {
                     join,
                 }),
                 Ok(Err(e)) => {
-                    boot_err = Some(format!("worker {id} failed to boot: {e}"));
+                    boot_err = Some(FleetError::Worker {
+                        worker: id,
+                        cause: WorkerFailure::Boot(e),
+                    });
                     let _ = join.join();
                     break;
                 }
                 Err(_) => {
-                    boot_err = Some(format!("worker {id} died during boot"));
+                    boot_err = Some(FleetError::Worker {
+                        worker: id,
+                        cause: WorkerFailure::BootChannel,
+                    });
                     let _ = join.join();
                     break;
                 }
@@ -131,7 +259,44 @@ impl Fleet {
             }
             return Err(e);
         }
-        Ok(Fleet { shared, workers })
+        if let Some(t) = &telemetry {
+            t.set_live_versions(&vec![version.to_string(); n]);
+        }
+        Ok(Fleet {
+            shared,
+            workers,
+            boot_version: version.to_string(),
+            telemetry,
+        })
+    }
+
+    /// The fleet's telemetry (journal, registries, skew gauge), when
+    /// started through [`Fleet::start_telemetry`].
+    pub fn telemetry(&self) -> Option<&FleetTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// The version worker `w` is currently serving: its last successful
+    /// update's target version, or the boot version.
+    fn worker_version(&self, w: &Worker) -> String {
+        w.remote
+            .reports()
+            .last()
+            .map(|r| r.to_version.clone())
+            .unwrap_or_else(|| self.boot_version.clone())
+    }
+
+    /// Recomputes the version-skew gauge from the workers' current
+    /// versions (no-op without telemetry).
+    fn refresh_skew(&self) {
+        if let Some(t) = &self.telemetry {
+            let versions: Vec<String> = self
+                .workers
+                .iter()
+                .map(|w| self.worker_version(w))
+                .collect();
+            t.set_live_versions(&versions);
+        }
     }
 
     /// Fleet size.
@@ -170,19 +335,18 @@ impl Fleet {
     /// # Errors
     ///
     /// Errors if the fleet does not drain within the deadline.
-    pub fn drain(&self, expected: usize) -> Result<(), String> {
+    pub fn drain(&self, expected: usize) -> Result<(), FleetError> {
         let deadline = Instant::now() + ROLLOUT_DEADLINE;
         loop {
             if self.shared.queue_len() == 0 && self.shared.completions_len() >= expected {
                 return Ok(());
             }
             if Instant::now() > deadline {
-                return Err(format!(
-                    "fleet did not drain: {} queued, {}/{} completed",
-                    self.shared.queue_len(),
-                    self.shared.completions_len(),
+                return Err(FleetError::DrainTimeout {
+                    queued: self.shared.queue_len(),
+                    completed: self.shared.completions_len(),
                     expected,
-                ));
+                });
             }
             thread::sleep(Duration::from_micros(200));
         }
@@ -202,7 +366,10 @@ impl Fleet {
         &self,
         patch: &Patch,
         policy: RolloutPolicy,
-    ) -> Result<FleetUpdateReport, String> {
+    ) -> Result<FleetUpdateReport, FleetError> {
+        if let Some(t) = &self.telemetry {
+            t.record_rollout_start();
+        }
         let mut report = FleetUpdateReport {
             workers: self.workers.len(),
             ..FleetUpdateReport::default()
@@ -236,11 +403,15 @@ impl Fleet {
                 for (w, base) in self.workers.iter().zip(&baselines) {
                     self.await_worker(w, *base)?;
                 }
+                self.refresh_skew();
             }
             RolloutPolicy::Rolling => {
                 for (w, base) in self.workers.iter().zip(&baselines) {
                     w.remote.enqueue(patch.clone());
                     self.await_worker(w, *base)?;
+                    // Per-step skew: the gauge's peak over a rolling
+                    // rollout is the transient mixed-version window.
+                    self.refresh_skew();
                 }
             }
         }
@@ -263,7 +434,7 @@ impl Fleet {
         &self,
         worker: &Worker,
         (applied0, failed0, _): (usize, usize, usize),
-    ) -> Result<(), String> {
+    ) -> Result<(), FleetError> {
         let deadline = Instant::now() + ROLLOUT_DEADLINE;
         loop {
             let done =
@@ -272,10 +443,7 @@ impl Fleet {
                 return Ok(());
             }
             if Instant::now() > deadline {
-                return Err(format!(
-                    "worker {} did not reach an update boundary",
-                    worker.id
-                ));
+                return Err(FleetError::RolloutStalled { worker: worker.id });
             }
             thread::sleep(Duration::from_micros(200));
         }
@@ -288,21 +456,27 @@ impl Fleet {
     ///
     /// Returns the first worker error (guest trap or panic), after all
     /// workers have been joined.
-    pub fn shutdown(self) -> Result<Vec<i64>, String> {
+    pub fn shutdown(self) -> Result<Vec<i64>, FleetError> {
         for w in &self.workers {
             let _ = w.ctrl.send(Ctrl::Shutdown);
         }
         let mut served = Vec::with_capacity(self.workers.len());
-        let mut first_err = None;
+        let mut first_err: Option<FleetError> = None;
         for w in self.workers {
             match w.join.join() {
                 Ok(Ok(n)) => served.push(n),
                 Ok(Err(e)) => {
-                    first_err.get_or_insert(format!("worker {}: {e}", w.id));
+                    first_err.get_or_insert(FleetError::Worker {
+                        worker: w.id,
+                        cause: WorkerFailure::Guest(e),
+                    });
                     served.push(0);
                 }
                 Err(_) => {
-                    first_err.get_or_insert(format!("worker {} panicked", w.id));
+                    first_err.get_or_insert(FleetError::Worker {
+                        worker: w.id,
+                        cause: WorkerFailure::Panic,
+                    });
                     served.push(0);
                 }
             }
@@ -317,16 +491,18 @@ impl Fleet {
 /// One worker: boots its own server against the shared state, then serves
 /// until told to shut down, applying patches fed through its remote at
 /// update points (busy) or quiescent boundaries (idle).
+#[allow(clippy::too_many_arguments)]
 fn worker_main(
     mode: LinkMode,
     src: String,
     version: String,
     fs: SimFs,
     shared: ServerShared,
+    telemetry: Option<ServerTelemetry>,
     ctrl: mpsc::Receiver<Ctrl>,
     boot_tx: mpsc::Sender<Result<UpdaterRemote, String>>,
 ) -> Result<i64, String> {
-    let mut server = match Server::start_shared(mode, &src, &version, fs, shared) {
+    let mut server = match Server::start_with(mode, &src, &version, fs, shared, telemetry) {
         Ok(s) => s,
         Err(e) => {
             let _ = boot_tx.send(Err(e.to_string()));

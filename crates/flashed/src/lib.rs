@@ -18,7 +18,10 @@
 //!   update points;
 //! * a multi-worker [fleet](fleet) that shards one request queue across N
 //!   worker threads and rolls patches out fleet-wide, simultaneously
-//!   (barrier-coordinated) or rolling (one worker at a time).
+//!   (barrier-coordinated) or rolling (one worker at a time);
+//! * a [telemetry] layer: per-server request/pause instruments, a
+//!   fleet-wide update-lifecycle journal, and merged Prometheus/JSON
+//!   scrapes with a live version-skew gauge.
 //!
 //! ## Example
 //!
@@ -40,15 +43,17 @@ pub mod http;
 pub mod patches;
 pub mod rng;
 pub mod server;
+pub mod telemetry;
 pub mod versions;
 pub mod workload;
 
-pub use fleet::{Fleet, RolloutPolicy};
+pub use fleet::{Fleet, FleetError, RolloutPolicy, WorkerFailure};
 pub use fs::SimFs;
 pub use http::{parse_response, Response};
 pub use patches::patch_stream;
 pub use rng::Rng;
 pub use server::{latency_stats, BootError, Completion, LatencyStats, Server, ServerShared};
+pub use telemetry::{FleetTelemetry, ServerTelemetry};
 pub use workload::{Workload, Zipf};
 
 #[cfg(test)]

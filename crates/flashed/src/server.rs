@@ -22,6 +22,7 @@ use tal::{FnSig, Ty};
 use vm::{LinkMode, Process, Value};
 
 use crate::fs::SimFs;
+use crate::telemetry::ServerTelemetry;
 
 /// One completed response with its completion time (relative to server
 /// start) — the raw material of the throughput-timeline figure.
@@ -193,6 +194,9 @@ pub struct Server {
     /// The dynamic-update driver; queue patches through [`Server::queue_patch`].
     pub updater: Updater,
     shared: ServerShared,
+    telemetry: Option<ServerTelemetry>,
+    /// Pause-log entries already observed into the pause histogram.
+    pauses_seen: usize,
 }
 
 impl fmt::Debug for Server {
@@ -229,10 +233,32 @@ impl Server {
         fs: SimFs,
         shared: ServerShared,
     ) -> Result<Server, BootError> {
+        Server::start_with(mode, src, version, fs, shared, None)
+    }
+
+    /// Like [`Server::start_shared`], with telemetry: the journal is
+    /// attached to the updater (every patch lifecycle is recorded), and
+    /// the request-path host calls record pull/response counters, queue
+    /// depth and service-time observations as they happen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BootError`] when the source does not compile or link.
+    pub fn start_with(
+        mode: LinkMode,
+        src: &str,
+        version: &str,
+        fs: SimFs,
+        shared: ServerShared,
+        telemetry: Option<ServerTelemetry>,
+    ) -> Result<Server, BootError> {
         let module = popcorn::compile(src, "flashed", version, &popcorn::Interface::new())
             .map_err(BootError::Compile)?;
         let mut proc = Process::new(mode);
         let updater = Updater::new();
+        if let Some(tel) = &telemetry {
+            updater.set_journal(tel.journal().clone(), tel.worker());
+        }
 
         let fs = Arc::new(fs);
         let started = shared.started;
@@ -264,17 +290,22 @@ impl Server {
         {
             let queue = Arc::clone(&shared.queue);
             let request_pulled = Arc::clone(&request_pulled);
+            let tel = telemetry.clone();
             proc.register_host(
                 "next_request",
                 FnSig::new(vec![], Ty::Str),
                 Box::new(move |_| {
-                    let req = queue
-                        .lock()
-                        .expect("poisoned")
-                        .pop_front()
-                        .unwrap_or_default();
+                    let (req, remaining) = {
+                        let mut q = queue.lock().expect("poisoned");
+                        (q.pop_front(), q.len())
+                    };
+                    if let Some(tel) = &tel {
+                        if req.is_some() {
+                            tel.record_pull(remaining);
+                        }
+                    }
                     *request_pulled.lock().expect("poisoned") = Some(Instant::now());
-                    Ok(Value::str(req))
+                    Ok(Value::str(req.unwrap_or_default()))
                 }),
             );
         }
@@ -282,6 +313,7 @@ impl Server {
             let completions = Arc::clone(&shared.completions);
             let request_pulled = Arc::clone(&request_pulled);
             let pauses: PauseLog = updater.pause_log();
+            let tel = telemetry.clone();
             proc.register_host(
                 "send_response",
                 FnSig::new(vec![Ty::Str], Ty::Unit),
@@ -304,6 +336,9 @@ impl Server {
                         }
                         None => (Duration::ZERO, Duration::ZERO, false),
                     };
+                    if let Some(tel) = &tel {
+                        tel.record_response(pulled.then_some(service));
+                    }
                     completions.lock().expect("poisoned").push(Completion {
                         at: started.elapsed(),
                         service,
@@ -334,6 +369,8 @@ impl Server {
             proc,
             updater,
             shared,
+            telemetry,
+            pauses_seen: 0,
         })
     }
 
@@ -358,8 +395,11 @@ impl Server {
     ///
     /// Returns [`RunError`] when the guest traps or a queued patch fails.
     pub fn serve(&mut self) -> Result<i64, RunError> {
-        let v = self.updater.run(&mut self.proc, "serve", vec![])?;
-        Ok(v.as_int())
+        let v = self.updater.run(&mut self.proc, "serve", vec![]);
+        // Publish even when the run errored: the counters up to the trap
+        // (and any pauses the failed update incurred) are still real.
+        self.publish_telemetry();
+        Ok(v?.as_int())
     }
 
     /// Applies queued patches immediately, without waiting for a guest
@@ -371,7 +411,30 @@ impl Server {
     /// Returns the first failing patch's [`dsu_core::UpdateError`].
     pub fn apply_pending_now(&mut self) -> Result<usize, dsu_core::UpdateError> {
         assert!(!self.proc.is_suspended(), "guest is suspended mid-run");
-        self.updater.apply_pending(&mut self.proc)
+        let r = self.updater.apply_pending(&mut self.proc);
+        self.publish_telemetry();
+        r
+    }
+
+    /// The telemetry bundle this server records into, if any.
+    pub fn telemetry(&self) -> Option<&ServerTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Publishes quiescent-boundary telemetry: mirrors the interpreter
+    /// counters into the shared stats and feeds pause-log entries recorded
+    /// since the last publish into the update-pause histogram. No-op
+    /// without telemetry. Called automatically after [`Server::serve`] and
+    /// [`Server::apply_pending_now`]; long-lived embedders (fleet workers)
+    /// may also call it on idle ticks.
+    pub fn publish_telemetry(&mut self) {
+        let Some(tel) = &self.telemetry else { return };
+        tel.publish_vm_stats(&self.proc.stats);
+        let pauses = self.updater.pauses();
+        for p in &pauses[self.pauses_seen..] {
+            tel.record_update_pause(p.dur);
+        }
+        self.pauses_seen = pauses.len();
     }
 
     /// The shared state this server serves from (clone to share the queue

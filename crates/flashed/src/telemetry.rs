@@ -1,0 +1,363 @@
+//! FlashEd telemetry: per-server instruments and fleet-wide scraping.
+//!
+//! A [`ServerTelemetry`] bundles the observability surface of one server:
+//! a lifecycle [`Journal`] (attached to the server's updater so every
+//! patch traversal is recorded), a metrics [`Registry`] of request and
+//! update-pause instruments, and a [`vm::ExecStatsShared`] mirror the
+//! worker publishes its interpreter counters into at quiescent
+//! boundaries.
+//!
+//! A [`FleetTelemetry`] is the coordinator's view of N of those: one
+//! shared journal (events worker-tagged), one labelled registry per
+//! worker, a coordinator registry carrying fleet-level series — most
+//! importantly the live **version-skew gauge**, the number of distinct
+//! versions serving at once — and merged Prometheus/JSON scrapes, the
+//! same document a Prometheus server scraping N targets would assemble.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsu_obs::metrics::LATENCY_BOUNDS_US;
+use dsu_obs::{aggregate_json, aggregate_text, Counter, Gauge, Histogram, Journal, Registry};
+use vm::{ExecStats, ExecStatsShared};
+
+/// Metric names exposed by every FlashEd server. Public so tests and
+/// dashboards don't hard-code strings.
+pub mod names {
+    /// Requests pulled off the shared queue (counter).
+    pub const REQUESTS_PULLED: &str = "flashed_requests_pulled_total";
+    /// Responses sent (counter; includes unpulled responses).
+    pub const RESPONSES: &str = "flashed_responses_total";
+    /// Per-request service time, update pauses excluded (histogram).
+    pub const SERVICE_SECONDS: &str = "flashed_request_service_seconds";
+    /// Update-pause durations (histogram).
+    pub const UPDATE_PAUSE_SECONDS: &str = "flashed_update_pause_seconds";
+    /// Requests waiting in the shared queue (gauge, sampled at pulls).
+    pub const QUEUE_DEPTH: &str = "flashed_queue_depth";
+    /// Interpreter instructions executed (counter, published at
+    /// quiescent boundaries).
+    pub const VM_INSTRS: &str = "flashed_vm_instructions_total";
+    /// Guest update points executed (counter).
+    pub const VM_UPDATE_POINTS: &str = "flashed_vm_update_points_total";
+    /// Distinct versions live across the fleet, minus one (gauge).
+    pub const VERSION_SKEW: &str = "fleet_version_skew";
+    /// Rollouts started (counter).
+    pub const ROLLOUTS: &str = "fleet_rollouts_total";
+    /// Fleet size (gauge).
+    pub const WORKERS: &str = "fleet_workers";
+}
+
+/// One server's telemetry bundle. Cheap to clone; clones share every
+/// instrument, the journal and the VM-stats mirror.
+#[derive(Clone)]
+pub struct ServerTelemetry {
+    journal: Journal,
+    registry: Registry,
+    worker: Option<usize>,
+    vm_stats: Arc<ExecStatsShared>,
+    requests_pulled: Counter,
+    responses: Counter,
+    service: Histogram,
+    update_pause: Histogram,
+    queue_depth: Gauge,
+    vm_instrs: Counter,
+    vm_update_points: Counter,
+}
+
+impl std::fmt::Debug for ServerTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerTelemetry")
+            .field("worker", &self.worker)
+            .field("journal_events", &self.journal.len())
+            .finish()
+    }
+}
+
+impl Default for ServerTelemetry {
+    fn default() -> ServerTelemetry {
+        ServerTelemetry::new()
+    }
+}
+
+impl ServerTelemetry {
+    /// Telemetry for a standalone server: fresh journal, unlabelled
+    /// registry.
+    pub fn new() -> ServerTelemetry {
+        ServerTelemetry::build(Journal::new(), Registry::new(), None)
+    }
+
+    /// Telemetry for fleet worker `worker`: events tagged with the worker
+    /// id, every metric labelled `worker="<id>"`, journal shared with the
+    /// rest of the fleet.
+    pub fn for_worker(journal: Journal, worker: usize) -> ServerTelemetry {
+        let registry = Registry::with_labels(&[("worker", &worker.to_string())]);
+        ServerTelemetry::build(journal, registry, Some(worker))
+    }
+
+    fn build(journal: Journal, registry: Registry, worker: Option<usize>) -> ServerTelemetry {
+        let requests_pulled = registry.counter(
+            names::REQUESTS_PULLED,
+            "requests pulled off the shared queue",
+        );
+        let responses = registry.counter(names::RESPONSES, "responses sent");
+        let service = registry.histogram(
+            names::SERVICE_SECONDS,
+            "per-request service time (update pauses excluded)",
+            &LATENCY_BOUNDS_US,
+        );
+        let update_pause = registry.histogram(
+            names::UPDATE_PAUSE_SECONDS,
+            "update-pause durations (gate wait + apply)",
+            &LATENCY_BOUNDS_US,
+        );
+        let queue_depth = registry.gauge(
+            names::QUEUE_DEPTH,
+            "requests waiting in the shared queue (sampled at pulls)",
+        );
+        let vm_instrs = registry.counter(
+            names::VM_INSTRS,
+            "interpreter instructions executed (published at quiescent boundaries)",
+        );
+        let vm_update_points = registry.counter(
+            names::VM_UPDATE_POINTS,
+            "guest update points executed (published at quiescent boundaries)",
+        );
+        ServerTelemetry {
+            journal,
+            registry,
+            worker,
+            vm_stats: Arc::new(ExecStatsShared::new()),
+            requests_pulled,
+            responses,
+            service,
+            update_pause,
+            queue_depth,
+            vm_instrs,
+            vm_update_points,
+        }
+    }
+
+    /// The lifecycle journal (shared fleet-wide for fleet workers).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The metrics registry backing this server's instruments.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The worker tag stamped onto journal events, if any.
+    pub fn worker(&self) -> Option<usize> {
+        self.worker
+    }
+
+    /// The cross-thread mirror of the server's interpreter counters.
+    pub fn vm_stats(&self) -> &Arc<ExecStatsShared> {
+        &self.vm_stats
+    }
+
+    /// The per-request service-time histogram.
+    pub fn service_histogram(&self) -> &Histogram {
+        &self.service
+    }
+
+    /// The update-pause histogram.
+    pub fn update_pause_histogram(&self) -> &Histogram {
+        &self.update_pause
+    }
+
+    pub(crate) fn record_pull(&self, queue_remaining: usize) {
+        self.requests_pulled.inc();
+        self.queue_depth.set(queue_remaining as i64);
+    }
+
+    pub(crate) fn record_response(&self, service: Option<Duration>) {
+        self.responses.inc();
+        if let Some(d) = service {
+            self.service.observe(d);
+        }
+    }
+
+    pub(crate) fn record_update_pause(&self, dur: Duration) {
+        self.update_pause.observe(dur);
+    }
+
+    /// Publishes the interpreter counters (mirror + counter metrics).
+    /// Called by the server at quiescent boundaries.
+    pub(crate) fn publish_vm_stats(&self, stats: &ExecStats) {
+        self.vm_stats.publish(stats);
+        self.vm_instrs.store(stats.instrs);
+        self.vm_update_points.store(stats.update_points);
+    }
+}
+
+/// The coordinator's telemetry over a whole fleet: shared journal,
+/// per-worker registries, fleet-level gauges, merged scrapes.
+pub struct FleetTelemetry {
+    journal: Journal,
+    coordinator: Registry,
+    workers: Vec<ServerTelemetry>,
+    version_skew: Gauge,
+    rollouts: Counter,
+}
+
+impl std::fmt::Debug for FleetTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetTelemetry")
+            .field("workers", &self.workers.len())
+            .field("journal_events", &self.journal.len())
+            .finish()
+    }
+}
+
+impl FleetTelemetry {
+    /// Builds telemetry for an `n`-worker fleet: one shared journal, one
+    /// labelled [`ServerTelemetry`] per worker, a coordinator registry
+    /// with the version-skew gauge and rollout counter.
+    pub fn new(n: usize) -> FleetTelemetry {
+        let journal = Journal::new();
+        let coordinator = Registry::new();
+        let version_skew = coordinator.gauge(
+            names::VERSION_SKEW,
+            "distinct versions live across the fleet, minus one",
+        );
+        let rollouts = coordinator.counter(names::ROLLOUTS, "rollouts started");
+        coordinator
+            .gauge(names::WORKERS, "fleet size")
+            .set(n as i64);
+        let workers = (0..n)
+            .map(|i| ServerTelemetry::for_worker(journal.clone(), i))
+            .collect();
+        FleetTelemetry {
+            journal,
+            coordinator,
+            workers,
+            version_skew,
+            rollouts,
+        }
+    }
+
+    /// The fleet-wide lifecycle journal (events worker-tagged).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The coordinator's own registry (skew gauge, rollout counter).
+    pub fn coordinator(&self) -> &Registry {
+        &self.coordinator
+    }
+
+    /// Telemetry bundle of worker `i`.
+    pub fn worker(&self, i: usize) -> &ServerTelemetry {
+        &self.workers[i]
+    }
+
+    /// Fleet size this telemetry was built for.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Every registry, coordinator first — the scrape set.
+    pub fn registries(&self) -> Vec<Registry> {
+        let mut rs = vec![self.coordinator.clone()];
+        rs.extend(self.workers.iter().map(|w| w.registry.clone()));
+        rs
+    }
+
+    /// One merged Prometheus text exposition over the whole fleet.
+    pub fn scrape_text(&self) -> String {
+        aggregate_text(&self.registries())
+    }
+
+    /// One merged JSON snapshot over the whole fleet.
+    pub fn scrape_json(&self) -> String {
+        aggregate_json(&self.registries())
+    }
+
+    /// The rollout timeline reconstructed from the shared journal.
+    pub fn timeline(&self) -> Vec<dsu_obs::RolloutRow> {
+        dsu_obs::fleet::rollout_timeline(&self.journal.events())
+    }
+
+    /// Current version-skew reading.
+    pub fn version_skew(&self) -> i64 {
+        self.version_skew.get()
+    }
+
+    /// Recomputes the skew gauge from the set of versions currently live
+    /// (distinct count minus one; zero for a uniform fleet). Returns the
+    /// new reading. The coordinator calls this as workers step through a
+    /// rollout.
+    pub fn set_live_versions(&self, versions: &[String]) -> i64 {
+        let mut distinct: Vec<&String> = versions.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        let skew = distinct.len().saturating_sub(1) as i64;
+        self.version_skew.set(skew);
+        skew
+    }
+
+    pub(crate) fn record_rollout_start(&self) {
+        self.rollouts.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_counts_distinct_versions() {
+        let t = FleetTelemetry::new(3);
+        assert_eq!(
+            t.set_live_versions(&["v1".into(), "v1".into(), "v1".into()]),
+            0
+        );
+        assert_eq!(
+            t.set_live_versions(&["v1".into(), "v2".into(), "v1".into()]),
+            1
+        );
+        assert_eq!(t.version_skew(), 1);
+    }
+
+    #[test]
+    fn fleet_scrape_labels_workers() {
+        let t = FleetTelemetry::new(2);
+        t.worker(0).record_pull(5);
+        t.worker(1).record_pull(4);
+        let text = t.scrape_text();
+        assert!(
+            text.contains("flashed_requests_pulled_total{worker=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("flashed_requests_pulled_total{worker=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("fleet_workers 2"), "{text}");
+        // One header per metric name despite two worker series.
+        assert_eq!(
+            text.matches("# TYPE flashed_requests_pulled_total counter")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn vm_publish_mirrors_counters() {
+        let t = ServerTelemetry::new();
+        let stats = ExecStats {
+            instrs: 100,
+            calls: 10,
+            slot_calls: 5,
+            host_calls: 3,
+            update_points: 2,
+        };
+        t.publish_vm_stats(&stats);
+        assert_eq!(t.vm_stats().snapshot().instrs, 100);
+        let text = t.registry().prometheus_text();
+        assert!(text.contains("flashed_vm_instructions_total 100"), "{text}");
+        assert!(text.contains("flashed_vm_update_points_total 2"), "{text}");
+    }
+}

@@ -91,6 +91,10 @@ fn simultaneous_rollout_updates_every_worker_at_once() {
 #[test]
 fn rolling_rollout_never_stops_serving() {
     let (fs, mut wl) = fixture();
+    // Simulated device latency keeps the queue from draining before the
+    // first worker applies: the rollout must land mid-traffic for the
+    // version-skew assertions below to be meaningful.
+    let fs = fs.with_read_latency(Duration::from_micros(100));
     let fleet = Fleet::start(3, LinkMode::Updateable, &versions::v1(), "v1", &fs).unwrap();
     let gen = &patch_stream().unwrap()[0]; // v1 -> v2
 

@@ -1,0 +1,182 @@
+//! Fleet-wide aggregation: merge per-worker registries into one
+//! exposition, and reconstruct rollout timelines from the shared
+//! journal.
+//!
+//! A fleet coordinator holds one [`Registry`] per worker (each labelled
+//! `worker="i"`) plus its own coordinator registry; scraping is just
+//! snapshotting them all and rendering one merged document — the
+//! per-worker label keeps series distinct, exactly as a Prometheus
+//! server would see N scrape targets.
+
+use std::time::Duration;
+
+use crate::journal::{Event, Stage};
+use crate::metrics::{snapshots_to_json, snapshots_to_prometheus, MetricSnapshot, Registry};
+
+/// Merges the registries into one Prometheus text exposition
+/// (`# HELP`/`# TYPE` emitted once per metric name; per-registry labels
+/// keep the series apart).
+pub fn aggregate_text(registries: &[Registry]) -> String {
+    snapshots_to_prometheus(&collect(registries))
+}
+
+/// Merges the registries into one JSON snapshot document.
+pub fn aggregate_json(registries: &[Registry]) -> String {
+    snapshots_to_json(&collect(registries))
+}
+
+fn collect(registries: &[Registry]) -> Vec<MetricSnapshot> {
+    registries.iter().flat_map(|r| r.snapshot()).collect()
+}
+
+/// One update lifecycle summarised from the journal: the row of a
+/// rollout timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RolloutRow {
+    /// Update lifecycle id.
+    pub update: u64,
+    /// Worker the lifecycle ran on (if tagged).
+    pub worker: Option<usize>,
+    /// Source version.
+    pub from_version: String,
+    /// Target version.
+    pub to_version: String,
+    /// When the patch was enqueued (journal-epoch offset).
+    pub enqueued_at: Duration,
+    /// When the lifecycle resolved (committed/aborted), if it did.
+    pub resolved_at: Option<Duration>,
+    /// Whether the patch committed (`false` = aborted or unresolved).
+    pub committed: bool,
+    /// Gate (barrier) wait inside the pause, if any.
+    pub gate_wait: Duration,
+    /// Sum of the six apply-phase durations.
+    pub phase_total: Duration,
+    /// Abort cause, when aborted.
+    pub detail: Option<String>,
+}
+
+/// Reconstructs one row per update lifecycle from journal events,
+/// ordered by enqueue time — the fleet-wide rollout timeline.
+pub fn rollout_timeline(events: &[Event]) -> Vec<RolloutRow> {
+    let mut ids: Vec<u64> = events.iter().map(|e| e.update).collect();
+    ids.sort_unstable();
+    ids.dedup();
+
+    let mut rows: Vec<RolloutRow> = ids
+        .into_iter()
+        .filter_map(|id| {
+            let evs: Vec<&Event> = events.iter().filter(|e| e.update == id).collect();
+            let enq = evs.iter().find(|e| e.stage == Stage::Enqueued)?;
+            let mut row = RolloutRow {
+                update: id,
+                worker: enq.worker,
+                from_version: enq.from_version.clone(),
+                to_version: enq.to_version.clone(),
+                enqueued_at: enq.at,
+                resolved_at: None,
+                committed: false,
+                gate_wait: Duration::ZERO,
+                phase_total: Duration::ZERO,
+                detail: None,
+            };
+            for e in &evs {
+                match e.stage {
+                    Stage::GateWait => row.gate_wait += e.dur.unwrap_or_default(),
+                    s if Stage::PHASES.contains(&s) => {
+                        row.phase_total += e.dur.unwrap_or_default();
+                    }
+                    Stage::Committed => {
+                        row.committed = true;
+                        row.resolved_at = Some(e.at);
+                    }
+                    Stage::Aborted => {
+                        row.resolved_at = Some(e.at);
+                        row.detail = e.detail.clone();
+                    }
+                    _ => {}
+                }
+            }
+            Some(row)
+        })
+        .collect();
+    rows.sort_by_key(|r| r.enqueued_at);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+
+    #[test]
+    fn aggregation_merges_worker_series() {
+        let w0 = Registry::with_labels(&[("worker", "0")]);
+        let w1 = Registry::with_labels(&[("worker", "1")]);
+        w0.counter("reqs_total", "served").add(2);
+        w1.counter("reqs_total", "served").add(5);
+        let text = aggregate_text(&[w0.clone(), w1.clone()]);
+        // One header, two series.
+        assert_eq!(text.matches("# TYPE reqs_total counter").count(), 1);
+        assert!(text.contains("reqs_total{worker=\"0\"} 2"), "{text}");
+        assert!(text.contains("reqs_total{worker=\"1\"} 5"), "{text}");
+        let json = aggregate_json(&[w0, w1]);
+        assert_eq!(json.matches("reqs_total").count(), 2, "{json}");
+    }
+
+    #[test]
+    fn timeline_reconstructs_lifecycles() {
+        let j = Journal::new();
+        let a = j.next_update_id();
+        j.record(Some(0), a, "v1", "v2", Stage::Enqueued, None, None);
+        j.record(
+            Some(0),
+            a,
+            "v1",
+            "v2",
+            Stage::GateWait,
+            Some(Duration::from_micros(30)),
+            None,
+        );
+        for s in Stage::PHASES {
+            j.record(
+                Some(0),
+                a,
+                "v1",
+                "v2",
+                s,
+                Some(Duration::from_micros(10)),
+                None,
+            );
+        }
+        j.record(
+            Some(0),
+            a,
+            "v1",
+            "v2",
+            Stage::Committed,
+            Some(Duration::from_micros(60)),
+            None,
+        );
+        let b = j.next_update_id();
+        j.record(Some(1), b, "v1", "v2", Stage::Enqueued, None, None);
+        j.record(
+            Some(1),
+            b,
+            "v1",
+            "v2",
+            Stage::Aborted,
+            None,
+            Some("verification failed"),
+        );
+
+        let rows = rollout_timeline(&j.events());
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].committed);
+        assert_eq!(rows[0].worker, Some(0));
+        assert_eq!(rows[0].gate_wait, Duration::from_micros(30));
+        assert_eq!(rows[0].phase_total, Duration::from_micros(60));
+        assert!(rows[0].resolved_at.is_some());
+        assert!(!rows[1].committed);
+        assert_eq!(rows[1].detail.as_deref(), Some("verification failed"));
+    }
+}

@@ -1,0 +1,434 @@
+//! The structured update-lifecycle journal.
+//!
+//! Every dynamic patch traverses an explicit lifecycle:
+//!
+//! ```text
+//! enqueued -> gate-wait -> verify -> compat -> link -> bind -> init
+//!          -> transform -> committed | aborted
+//! ```
+//!
+//! Each step is recorded as a timestamped, worker-tagged [`Event`] in a
+//! shared [`Journal`]. Events carry the *same* phase durations that land
+//! in `PhaseTimings`, so a journal is a faithful, exportable view of the
+//! update pauses the paper's Table 2 reports — per-patch phase sums match
+//! `UpdateReport::timings.total()` exactly, by construction.
+//!
+//! The journal is a cheap-clone handle (`Arc` inside): a fleet shares one
+//! journal across every worker thread and the coordinator, and events
+//! interleave on a single monotonic sequence and a common epoch clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json;
+
+/// One step of the update lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Patch entered the pending queue.
+    Enqueued,
+    /// Rollout-gate rendezvous (barrier wait) at the start of a pause.
+    GateWait,
+    /// Bytecode re-verification.
+    Verify,
+    /// Update-safety (compatibility) analysis.
+    Compat,
+    /// Dynamic linking.
+    Link,
+    /// Atomic rebinding.
+    Bind,
+    /// New-global initialisers.
+    Init,
+    /// State transformation.
+    Transform,
+    /// The patch applied; the process runs the new version.
+    Committed,
+    /// The patch was rejected or rolled back.
+    Aborted,
+}
+
+impl Stage {
+    /// The six timed apply phases, in pipeline order (the breakdown of
+    /// `PhaseTimings`).
+    pub const PHASES: [Stage; 6] = [
+        Stage::Verify,
+        Stage::Compat,
+        Stage::Link,
+        Stage::Bind,
+        Stage::Init,
+        Stage::Transform,
+    ];
+
+    /// Stable lowercase name (used in JSONL and metric labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Enqueued => "enqueued",
+            Stage::GateWait => "gate-wait",
+            Stage::Verify => "verify",
+            Stage::Compat => "compat",
+            Stage::Link => "link",
+            Stage::Bind => "bind",
+            Stage::Init => "init",
+            Stage::Transform => "transform",
+            Stage::Committed => "committed",
+            Stage::Aborted => "aborted",
+        }
+    }
+
+    /// Position in the canonical lifecycle order (for bracketing checks).
+    fn order(self) -> u8 {
+        match self {
+            Stage::Enqueued => 0,
+            Stage::GateWait => 1,
+            Stage::Verify => 2,
+            Stage::Compat => 3,
+            Stage::Link => 4,
+            Stage::Bind => 5,
+            Stage::Init => 6,
+            Stage::Transform => 7,
+            Stage::Committed => 8,
+            Stage::Aborted => 8,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global monotonic sequence number (unique within one journal).
+    pub seq: u64,
+    /// Offset from the journal's epoch when the event was recorded.
+    pub at: Duration,
+    /// The worker the event happened on (fleet runs), if tagged.
+    pub worker: Option<usize>,
+    /// The update lifecycle this event belongs to (one id per queued
+    /// patch instance).
+    pub update: u64,
+    /// Source version of the transition.
+    pub from_version: String,
+    /// Target version of the transition.
+    pub to_version: String,
+    /// Lifecycle step.
+    pub stage: Stage,
+    /// Duration of the step, for timed stages (phases, gate waits, and
+    /// `Committed`, which carries the whole-pipeline total).
+    pub dur: Option<Duration>,
+    /// Free-form context (abort cause, failing phase, queue depth).
+    pub detail: Option<String>,
+}
+
+impl Event {
+    /// One JSON object, no trailing newline (JSONL line).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"at_ns\":{},\"update\":{},\"from\":\"{}\",\"to\":\"{}\",\"stage\":\"{}\"",
+            self.seq,
+            self.at.as_nanos(),
+            self.update,
+            json::escape(&self.from_version),
+            json::escape(&self.to_version),
+            self.stage.name(),
+        );
+        if let Some(w) = self.worker {
+            s.push_str(&format!(",\"worker\":{w}"));
+        }
+        if let Some(d) = self.dur {
+            s.push_str(&format!(",\"dur_ns\":{}", d.as_nanos()));
+        }
+        if let Some(detail) = &self.detail {
+            s.push_str(&format!(",\"detail\":\"{}\"", json::escape(detail)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    seq: AtomicU64,
+    updates: AtomicU64,
+    events: Mutex<Vec<Event>>,
+}
+
+/// A shared, append-only event journal (cheap to clone; all clones
+/// observe the same stream).
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Inner>,
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::new()
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("events", &self.len())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Creates an empty journal; the epoch is now.
+    pub fn new() -> Journal {
+        Journal {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+                updates: AtomicU64::new(0),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Allocates a fresh update-lifecycle id (one per queued patch
+    /// instance; ids are unique journal-wide, so a fleet-wide rollout of
+    /// one patch yields one lifecycle per worker).
+    pub fn next_update_id(&self) -> u64 {
+        self.inner.updates.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Time elapsed since the journal epoch.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.epoch.elapsed()
+    }
+
+    /// Appends one event; `at` and `seq` are assigned here, so events are
+    /// globally ordered by both.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        worker: Option<usize>,
+        update: u64,
+        from_version: &str,
+        to_version: &str,
+        stage: Stage,
+        dur: Option<Duration>,
+        detail: Option<&str>,
+    ) {
+        let at = self.inner.epoch.elapsed();
+        let mut events = self.inner.events.lock().expect("poisoned");
+        // Seq assigned under the lock so event order and seq order agree.
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        events.push(Event {
+            seq,
+            at,
+            worker,
+            update,
+            from_version: from_version.to_string(),
+            to_version: to_version.to_string(),
+            stage,
+            dur,
+            detail: detail.map(str::to_string),
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().expect("poisoned").len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All events, in record order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.events.lock().expect("poisoned").clone()
+    }
+
+    /// Events of one update lifecycle, in record order.
+    pub fn events_for(&self, update: u64) -> Vec<Event> {
+        self.inner
+            .events
+            .lock()
+            .expect("poisoned")
+            .iter()
+            .filter(|e| e.update == update)
+            .cloned()
+            .collect()
+    }
+
+    /// Distinct update-lifecycle ids present, ascending.
+    pub fn update_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .inner
+            .events
+            .lock()
+            .expect("poisoned")
+            .iter()
+            .map(|e| e.update)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The whole journal as JSONL (one event object per line).
+    pub fn to_jsonl(&self) -> String {
+        let events = self.inner.events.lock().expect("poisoned");
+        let mut out = String::new();
+        for e in events.iter() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Checks the ordering invariants of one update's event slice (as
+/// returned by [`Journal::events_for`]): non-empty, opening with
+/// `Enqueued`, closing with `Committed` or `Aborted`, stages in
+/// lifecycle order, and `seq`/`at` monotonic.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn validate_lifecycle(events: &[Event]) -> Result<(), String> {
+    let first = events.first().ok_or("no events for update")?;
+    if first.stage != Stage::Enqueued {
+        return Err(format!(
+            "lifecycle opens with {}, not enqueued",
+            first.stage
+        ));
+    }
+    let last = events.last().expect("non-empty");
+    if !matches!(last.stage, Stage::Committed | Stage::Aborted) {
+        return Err(format!(
+            "lifecycle closes with {}, not committed/aborted",
+            last.stage
+        ));
+    }
+    for pair in events.windows(2) {
+        if pair[1].seq <= pair[0].seq {
+            return Err(format!(
+                "seq not monotonic: {} then {}",
+                pair[0].seq, pair[1].seq
+            ));
+        }
+        if pair[1].at < pair[0].at {
+            return Err(format!(
+                "timestamps not monotonic: {:?} then {:?}",
+                pair[0].at, pair[1].at
+            ));
+        }
+        if pair[1].stage.order() < pair[0].stage.order() {
+            return Err(format!(
+                "stage order violated: {} after {}",
+                pair[1].stage, pair[0].stage
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_lifecycle(j: &Journal, worker: Option<usize>) -> u64 {
+        let u = j.next_update_id();
+        j.record(worker, u, "v1", "v2", Stage::Enqueued, None, None);
+        for stage in Stage::PHASES {
+            j.record(
+                worker,
+                u,
+                "v1",
+                "v2",
+                stage,
+                Some(Duration::from_micros(10)),
+                None,
+            );
+        }
+        j.record(
+            worker,
+            u,
+            "v1",
+            "v2",
+            Stage::Committed,
+            Some(Duration::from_micros(60)),
+            None,
+        );
+        u
+    }
+
+    #[test]
+    fn events_are_globally_ordered() {
+        let j = Journal::new();
+        let a = full_lifecycle(&j, Some(0));
+        let b = full_lifecycle(&j, Some(1));
+        assert_ne!(a, b);
+        let events = j.events();
+        assert_eq!(events.len(), 16);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(j.update_ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn lifecycle_validation_accepts_well_formed() {
+        let j = Journal::new();
+        let u = full_lifecycle(&j, None);
+        validate_lifecycle(&j.events_for(u)).unwrap();
+    }
+
+    #[test]
+    fn lifecycle_validation_rejects_misordered() {
+        let j = Journal::new();
+        let u = j.next_update_id();
+        j.record(None, u, "v1", "v2", Stage::Enqueued, None, None);
+        j.record(None, u, "v1", "v2", Stage::Link, None, None);
+        j.record(None, u, "v1", "v2", Stage::Verify, None, None);
+        j.record(None, u, "v1", "v2", Stage::Committed, None, None);
+        let e = validate_lifecycle(&j.events_for(u)).unwrap_err();
+        assert!(e.contains("stage order"), "{e}");
+
+        // Missing terminal stage.
+        let u2 = j.next_update_id();
+        j.record(None, u2, "v1", "v2", Stage::Enqueued, None, None);
+        let e = validate_lifecycle(&j.events_for(u2)).unwrap_err();
+        assert!(e.contains("closes"), "{e}");
+    }
+
+    #[test]
+    fn jsonl_round_trips_the_essentials() {
+        let j = Journal::new();
+        let u = j.next_update_id();
+        j.record(
+            Some(3),
+            u,
+            "v1",
+            "v2",
+            Stage::Aborted,
+            None,
+            Some("state transformer \"x\" trapped"),
+        );
+        let jsonl = j.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        let line = jsonl.lines().next().unwrap();
+        assert!(line.contains("\"stage\":\"aborted\""), "{line}");
+        assert!(line.contains("\"worker\":3"), "{line}");
+        assert!(line.contains("\\\"x\\\""), "{line}");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+
+    #[test]
+    fn clones_share_the_stream() {
+        let j = Journal::new();
+        let j2 = j.clone();
+        full_lifecycle(&j, None);
+        assert_eq!(j2.len(), 8);
+        assert!(!j2.is_empty());
+    }
+}

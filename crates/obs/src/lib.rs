@@ -1,0 +1,30 @@
+//! # dsu-obs — unified telemetry for the DSU runtime
+//!
+//! The paper's whole argument rests on *measuring* the cost of
+//! updateability: dispatch overhead, per-phase patch-application pauses,
+//! served-traffic disruption. This crate is the substrate those
+//! measurements flow through, shared by every layer of the system:
+//!
+//! * [`Journal`] — a structured **event journal**: every patch traverses
+//!   an explicit lifecycle (`enqueued → gate-wait → verify → compat →
+//!   link → bind → init → transform → committed/aborted`) emitted as
+//!   timestamped, worker-tagged [`Event`]s with JSONL export;
+//! * [`Registry`] — a **metrics registry** of atomic [`Counter`]s,
+//!   [`Gauge`]s and bucketed [`Histogram`]s with Prometheus-style text
+//!   exposition and a JSON snapshot;
+//! * [`fleet`] — **fleet aggregation**: merge per-worker registries into
+//!   one exposition and reconstruct rollout timelines from the journal.
+//!
+//! Everything is dependency-free, lock-light (counters are relaxed
+//! atomics; the journal takes one short mutex per event) and cheap to
+//! clone: handles are `Arc`s, so a worker thread, its updater and a
+//! scraping coordinator can all share the same instruments.
+
+pub mod fleet;
+pub mod journal;
+pub mod json;
+pub mod metrics;
+
+pub use fleet::{aggregate_json, aggregate_text, RolloutRow};
+pub use journal::{Event, Journal, Stage};
+pub use metrics::{Counter, Gauge, Histogram, Registry};

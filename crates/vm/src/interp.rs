@@ -7,6 +7,7 @@
 //! updating active code.
 
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::ops::Op;
 use crate::process::{LinkedFunction, Process};
@@ -26,6 +27,52 @@ pub struct ExecStats {
     pub host_calls: u64,
     /// Update points executed (whether or not they suspended).
     pub update_points: u64,
+}
+
+/// A cross-thread mirror of one process's [`ExecStats`].
+///
+/// The interpreter's own counters stay plain `u64` fields on the
+/// (thread-local) [`Process`] — the hot path pays nothing for
+/// observability. An embedder that wants live telemetry *publishes* the
+/// counters into one of these at its natural quiescent boundaries
+/// (serve-loop iterations, update points): relaxed atomic stores, so a
+/// scraper on another thread reads a recent — not torn — snapshot.
+#[derive(Debug, Default)]
+pub struct ExecStatsShared {
+    instrs: AtomicU64,
+    calls: AtomicU64,
+    slot_calls: AtomicU64,
+    host_calls: AtomicU64,
+    update_points: AtomicU64,
+}
+
+impl ExecStatsShared {
+    /// Creates a zeroed mirror.
+    pub fn new() -> ExecStatsShared {
+        ExecStatsShared::default()
+    }
+
+    /// Publishes `stats` (relaxed stores; cheap enough for every
+    /// serve-loop iteration).
+    pub fn publish(&self, stats: &ExecStats) {
+        self.instrs.store(stats.instrs, Ordering::Relaxed);
+        self.calls.store(stats.calls, Ordering::Relaxed);
+        self.slot_calls.store(stats.slot_calls, Ordering::Relaxed);
+        self.host_calls.store(stats.host_calls, Ordering::Relaxed);
+        self.update_points
+            .store(stats.update_points, Ordering::Relaxed);
+    }
+
+    /// The most recently published counters (relaxed loads).
+    pub fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            instrs: self.instrs.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
+            slot_calls: self.slot_calls.load(Ordering::Relaxed),
+            host_calls: self.host_calls.load(Ordering::Relaxed),
+            update_points: self.update_points.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// One activation record.

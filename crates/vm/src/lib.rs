@@ -39,7 +39,7 @@ pub mod process;
 pub mod trap;
 pub mod value;
 
-pub use interp::{ExecState, ExecStats, Frame, Outcome};
+pub use interp::{ExecState, ExecStats, ExecStatsShared, Frame, Outcome};
 pub use ops::Op;
 pub use process::{
     BindingSnapshot, GlobalCell, HostFn, LinkMode, LinkOverrides, LinkedFunction, PlannedBindings,

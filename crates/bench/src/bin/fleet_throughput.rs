@@ -21,12 +21,27 @@
 //! exactly) and exported, with the merged Prometheus/JSON scrapes, under
 //! `target/telemetry/`.
 //!
+//! On top of the blocking fleet, two AMPED measurements (event-loop
+//! serve mode, helper pool + buffer cache per worker):
+//!
+//! 4. **AMPED vs blocking** — the same disk-bound workload at a 1 ms
+//!    device latency, blocking and event-loop fleets side by side; a
+//!    single AMPED worker must clear 1.5x a single blocking worker.
+//! 5. **AMPED rollout** — a rolling update over an event-loop fleet with
+//!    reads in flight: every worker drains its parked reads before
+//!    binding (the report's `drain` phase), and the journal still
+//!    reconciles with the report timings exactly.
+//!
 //! Run with: `cargo run --release -p dsu-bench --bin fleet_throughput`
+//! (pass `amped` to run only the AMPED sections, as CI's smoke job does)
 
 use std::time::{Duration, Instant};
 
 use dsu_bench::measure::{fmt_dur, row, rule};
-use flashed::{patch_stream, versions, Completion, Fleet, RolloutPolicy, SimFs, Workload};
+use flashed::{
+    patch_stream, versions, Completion, EventLoopConfig, Fleet, FleetConfig, RolloutPolicy,
+    ServeMode, ServerTelemetry, SimFs, Workload,
+};
 use vm::LinkMode;
 
 const REQUESTS: usize = 6000;
@@ -35,10 +50,21 @@ const DOC_SIZE: usize = 1024;
 const WORKERS: usize = 4;
 /// Simulated device latency per (uncached) read in the scaling runs.
 const READ_LATENCY: Duration = Duration::from_micros(150);
+/// Requests and device latency for the AMPED-vs-blocking comparison —
+/// slow enough that a blocking worker is clearly disk-bound.
+const AMPED_REQUESTS: usize = 2000;
+const AMPED_LATENCY: Duration = Duration::from_millis(1);
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    scaling()?;
-    rollouts()?;
+    let only_amped = std::env::args().any(|a| a == "amped");
+    if !only_amped {
+        scaling()?;
+    }
+    amped_scaling()?;
+    if !only_amped {
+        rollouts()?;
+    }
+    amped_rollout()?;
     Ok(())
 }
 
@@ -84,6 +110,156 @@ fn scaling() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
+    Ok(())
+}
+
+/// Blocking vs AMPED fleets over the same disk-bound workload: the
+/// event loop overlaps device waits within one worker, so it beats the
+/// blocking fleet at every size — acceptance requires >1.5x at a single
+/// worker.
+fn amped_scaling() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "AMPED vs blocking: {AMPED_REQUESTS} requests, {FILES} files x {DOC_SIZE} B, zipf(1.0), v1,\n\
+         {AMPED_LATENCY:?} simulated device latency per read\n"
+    );
+    let widths = [10, 9, 12, 12, 9, 11];
+    row(
+        &[
+            "mode",
+            "workers",
+            "elapsed",
+            "req/s",
+            "speedup",
+            "cache hit%",
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    let mut base = 0.0f64;
+    let mut single_blocking = 0.0f64;
+    let mut single_amped = 0.0f64;
+    let modes = [
+        ("blocking", ServeMode::Blocking),
+        ("amped", ServeMode::EventLoop(EventLoopConfig::default())),
+    ];
+    for (label, serve_mode) in modes {
+        for n in [1usize, 2, 4] {
+            let mut fs = SimFs::generate_fixed(FILES, DOC_SIZE, 3);
+            fs.set_read_latency(AMPED_LATENCY);
+            let mut wl = Workload::new(fs.paths(), 1.0, 17);
+            let cfg = FleetConfig::new(n).serve_mode(serve_mode).with_telemetry();
+            let fleet =
+                Fleet::start_cfg(&cfg, &versions::v1(), "v1", &fs).map_err(|e| e.to_string())?;
+            // Keep worker telemetry handles; shutdown consumes the fleet.
+            let tels: Vec<ServerTelemetry> = (0..n)
+                .map(|i| fleet.telemetry().expect("telemetry on").worker(i).clone())
+                .collect();
+
+            let t0 = Instant::now();
+            fleet.push_requests(wl.batch(AMPED_REQUESTS));
+            fleet.drain(AMPED_REQUESTS).map_err(|e| e.to_string())?;
+            let elapsed = t0.elapsed();
+            fleet.shutdown().map_err(|e| e.to_string())?;
+
+            let rps = AMPED_REQUESTS as f64 / elapsed.as_secs_f64();
+            if label == "blocking" && n == 1 {
+                base = rps;
+                single_blocking = rps;
+            }
+            if label == "amped" && n == 1 {
+                single_amped = rps;
+            }
+            let (hits, misses) = tels.iter().fold((0u64, 0u64), |(h, m), t| {
+                (h + t.cache_hits(), m + t.cache_misses())
+            });
+            let hit_pct = if hits + misses == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * hits as f64 / (hits + misses) as f64)
+            };
+            row(
+                &[
+                    label,
+                    &n.to_string(),
+                    &fmt_dur(elapsed),
+                    &format!("{rps:.0}"),
+                    &format!("{:.2}x", rps / base),
+                    &hit_pct,
+                ],
+                &widths,
+            );
+        }
+    }
+    let ratio = single_amped / single_blocking;
+    assert!(
+        ratio > 1.5,
+        "acceptance: one AMPED worker must clear 1.5x one blocking worker, got {ratio:.2}x"
+    );
+    println!("\n(single-worker AMPED speedup over blocking: {ratio:.2}x — the event\n loop overlaps device waits the blocking server serializes)\n");
+    Ok(())
+}
+
+/// A rolling update over an AMPED fleet with reads in flight: parked
+/// requests drain before each worker binds (the `drain` phase), the
+/// journal reconciles with the report exactly, and everything exports.
+fn amped_rollout() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Live update over an AMPED fleet (v3 -> v4, rolling, reads in flight)\n");
+    let mut fs = SimFs::generate_fixed(FILES, DOC_SIZE, 3);
+    fs.set_read_latency(Duration::from_micros(300));
+    let mut wl = Workload::new(fs.paths(), 1.0, 17);
+    let gen = &patch_stream()?[2]; // v3 -> v4 (cache representation change)
+
+    let cfg = FleetConfig::new(WORKERS)
+        .serve_mode(ServeMode::EventLoop(EventLoopConfig::default()))
+        .with_telemetry();
+    let fleet = Fleet::start_cfg(&cfg, &versions::v3(), "v3", &fs).map_err(|e| e.to_string())?;
+
+    fleet.push_requests(wl.batch(REQUESTS));
+    let report = fleet
+        .rollout(&gen.patch, RolloutPolicy::Rolling)
+        .map_err(|e| e.to_string())?;
+    fleet.drain(REQUESTS).map_err(|e| e.to_string())?;
+
+    let tel = fleet.telemetry().expect("fleet started with telemetry");
+    let timeline = tel.timeline();
+    for (worker, r) in &report.applied {
+        let row = timeline
+            .iter()
+            .find(|row| row.worker == Some(*worker) && row.committed)
+            .unwrap_or_else(|| panic!("no committed journal row for worker {worker}"));
+        assert_eq!(
+            row.phase_total,
+            r.timings.total(),
+            "worker {worker}: journal phase sum != report total"
+        );
+    }
+    for id in tel.journal().update_ids() {
+        dsu_obs::journal::validate_lifecycle(&tel.journal().events_for(id))?;
+    }
+
+    let dir = std::path::Path::new("target/telemetry");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("fleet_amped.jsonl"), tel.journal().to_jsonl())?;
+    std::fs::write(dir.join("fleet_amped.prom"), tel.scrape_text())?;
+    std::fs::write(dir.join("fleet_amped.json"), tel.scrape_json())?;
+
+    println!("  {report}");
+    let drains: Vec<String> = report
+        .applied
+        .iter()
+        .map(|(w, r)| format!("w{w}={}", fmt_dur(r.timings.drain)))
+        .collect();
+    println!(
+        "  drain (parked-read wait before bind) per worker: {}",
+        drains.join(" ")
+    );
+    println!(
+        "  journal: {} events, phase sums (drain included) match report timings exactly",
+        tel.journal().len()
+    );
+    println!("  exported target/telemetry/fleet_amped.{{jsonl,prom,json}}\n");
+    fleet.shutdown().map_err(|e| e.to_string())?;
     Ok(())
 }
 

@@ -170,6 +170,8 @@ impl PhaseSums {
             bind: self.bind / n,
             init: self.init / n,
             transform: self.transform / n,
+            // Direct applies never wait on in-flight host work.
+            ..PhaseTimings::default()
         }
     }
 }

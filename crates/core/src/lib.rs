@@ -64,7 +64,7 @@ pub use patchgen::{
     ALIAS_SUFFIX,
 };
 pub use report::{FailedUpdate, FleetUpdateReport, PhaseTimings, UpdateError, UpdateReport};
-pub use runtime::{Gate, PauseEvent, PauseLog, RunError, Updater, UpdaterRemote};
+pub use runtime::{DrainHook, Gate, PauseEvent, PauseLog, RunError, Updater, UpdaterRemote};
 pub use version::VersionManager;
 
 #[cfg(test)]

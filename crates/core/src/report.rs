@@ -8,6 +8,11 @@ use std::time::Duration;
 /// paper's patch-application experiment (Table 2) reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseTimings {
+    /// Quiescence drain: time spent waiting for in-flight host work
+    /// (e.g. parked event-loop reads) to complete before the patch
+    /// touched the process. Zero when the host had nothing in flight
+    /// (and always, for hosts without a drain hook installed).
+    pub drain: Duration,
     /// Bytecode re-verification of the patch module.
     pub verify: Duration,
     /// Interface-compatibility / update-safety analysis.
@@ -26,7 +31,7 @@ pub struct PhaseTimings {
 impl PhaseTimings {
     /// Total update pause.
     pub fn total(&self) -> Duration {
-        self.verify + self.compat + self.link + self.bind + self.init + self.transform
+        self.drain + self.verify + self.compat + self.link + self.bind + self.init + self.transform
     }
 }
 
@@ -61,11 +66,12 @@ impl fmt::Display for UpdateReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} -> {}: {:?} total (verify {:?}, compat {:?}, link {:?}, bind {:?}, init {:?}, xform {:?}); \
+            "{} -> {}: {:?} total (drain {:?}, verify {:?}, compat {:?}, link {:?}, bind {:?}, init {:?}, xform {:?}); \
              {} replaced, {} added, {} removed, {} types, {} transformed",
             self.from_version,
             self.to_version,
             self.timings.total(),
+            self.timings.drain,
             self.timings.verify,
             self.timings.compat,
             self.timings.link,
@@ -126,6 +132,7 @@ impl FleetUpdateReport {
     pub fn phase_totals(&self) -> PhaseTimings {
         let mut acc = PhaseTimings::default();
         for (_, r) in &self.applied {
+            acc.drain += r.timings.drain;
             acc.verify += r.timings.verify;
             acc.compat += r.timings.compat;
             acc.link += r.timings.link;
@@ -143,12 +150,13 @@ impl fmt::Display for FleetUpdateReport {
         write!(
             f,
             "fleet rollout: {}/{} applied, {} failed; pause max {:?} mean {:?}; \
-             phases (summed): verify {:?}, compat {:?}, link {:?}, bind {:?}, init {:?}, xform {:?}",
+             phases (summed): drain {:?}, verify {:?}, compat {:?}, link {:?}, bind {:?}, init {:?}, xform {:?}",
             self.applied.len(),
             self.workers,
             self.failed.len(),
             self.max_pause(),
             self.mean_pause(),
+            totals.drain,
             totals.verify,
             totals.compat,
             totals.link,
@@ -277,6 +285,7 @@ mod tests {
     #[test]
     fn totals_sum_phases() {
         let t = PhaseTimings {
+            drain: Duration::from_millis(7),
             verify: Duration::from_millis(1),
             compat: Duration::from_millis(2),
             link: Duration::from_millis(3),
@@ -284,7 +293,7 @@ mod tests {
             init: Duration::from_millis(6),
             transform: Duration::from_millis(5),
         };
-        assert_eq!(t.total(), Duration::from_millis(21));
+        assert_eq!(t.total(), Duration::from_millis(28));
     }
 
     #[test]

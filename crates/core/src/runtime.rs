@@ -45,6 +45,14 @@ pub type PauseLog = Arc<Mutex<Vec<PauseEvent>>>;
 /// their update points for a simultaneous rollout.
 pub type Gate = Box<dyn FnOnce() + Send>;
 
+/// A persistent quiescence hook run at the start of *every* update pause,
+/// before the gate and before any patch applies. Hosts with asynchronous
+/// in-flight work (e.g. the FlashEd event loop's parked reads) install one
+/// to drain that work to quiescence; the updater times the call and
+/// charges the wait to the pause's first applied patch as
+/// [`crate::PhaseTimings::drain`].
+pub type DrainHook = Box<dyn FnMut() + Send>;
+
 /// Where an updater's lifecycle events go: a shared journal plus the
 /// worker tag stamped onto every event this updater emits.
 #[derive(Clone)]
@@ -100,6 +108,8 @@ pub struct Updater {
     pauses: PauseLog,
     /// One-shot rendezvous for the next pause (coordinated rollouts).
     gate: Arc<Mutex<Option<Gate>>>,
+    /// Persistent quiescence hook run at the start of every pause.
+    drain_hook: Arc<Mutex<Option<DrainHook>>>,
     /// Lifecycle-event destination, shared with remotes (None = tracing
     /// off, the default — enqueues and applies cost nothing extra).
     trace: Arc<Mutex<Option<Trace>>>,
@@ -148,6 +158,14 @@ impl Updater {
     /// `worker` when given.
     pub fn set_journal(&self, journal: Journal, worker: Option<usize>) {
         *self.trace.lock().expect("poisoned") = Some(Trace { journal, worker });
+    }
+
+    /// Installs the quiescence hook run (and timed) at the start of every
+    /// update pause, before the rollout gate and before any patch applies.
+    /// The measured wait lands in the first applied patch's
+    /// [`crate::PhaseTimings::drain`] bucket.
+    pub fn set_drain_hook(&self, hook: DrainHook) {
+        *self.drain_hook.lock().expect("poisoned") = Some(hook);
     }
 
     /// The attached journal, if any.
@@ -223,6 +241,21 @@ impl Updater {
             return Ok(0);
         }
         let began = Instant::now();
+        // Drain own in-flight work to quiescence before the rendezvous:
+        // in a barriered fleet every worker finishes its parked work
+        // concurrently, then they line up. The wait is timed here so the
+        // report and the journal agree on it exactly.
+        let drain_dur = {
+            let mut hook = self.drain_hook.lock().expect("poisoned");
+            match hook.as_mut() {
+                Some(h) => {
+                    let t = Instant::now();
+                    h();
+                    t.elapsed()
+                }
+                None => Duration::ZERO,
+            }
+        };
         // Rendezvous before touching the process (one-shot); the wait is
         // part of the pause, not of any request's service time.
         let gate = self.gate.lock().expect("poisoned").take();
@@ -252,7 +285,7 @@ impl Updater {
                 }
             }
         }
-        let result = self.drain(proc);
+        let result = self.drain(proc, drain_dur);
         self.pauses.lock().expect("poisoned").push(PauseEvent {
             at: began,
             dur: began.elapsed(),
@@ -260,7 +293,7 @@ impl Updater {
         result
     }
 
-    fn drain(&mut self, proc: &mut Process) -> Result<usize, UpdateError> {
+    fn drain(&mut self, proc: &mut Process, mut drain_dur: Duration) -> Result<usize, UpdateError> {
         let mut applied = 0;
         let trace = self.trace.lock().expect("poisoned").clone();
         loop {
@@ -268,7 +301,10 @@ impl Updater {
             let Some(queued) = queued else { break };
             let patch = &queued.patch;
             match apply_patch(proc, patch, self.policy) {
-                Ok(report) => {
+                Ok(mut report) => {
+                    // The quiescence wait is charged once, to the first
+                    // patch this pause applies.
+                    report.timings.drain = std::mem::take(&mut drain_dur);
                     if let Some(t) = &trace {
                         emit_applied(t, &queued, &report);
                     }
@@ -356,12 +392,13 @@ fn enqueue_traced(
         .push_back(QueuedPatch { update, patch });
 }
 
-/// Emits the six phase events (durations copied verbatim from the
+/// Emits the seven phase events (durations copied verbatim from the
 /// report's [`crate::PhaseTimings`], so journal sums equal
 /// `timings.total()` exactly) followed by `Committed`.
 fn emit_applied(t: &Trace, queued: &QueuedPatch, report: &UpdateReport) {
     let ts = &report.timings;
     let phases = [
+        (Stage::Drain, ts.drain),
         (Stage::Verify, ts.verify),
         (Stage::Compat, ts.compat),
         (Stage::Link, ts.link),

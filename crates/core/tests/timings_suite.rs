@@ -60,12 +60,14 @@ fn phases_sum_exactly_to_total() {
     let report = apply_patch(&mut p, &gen.patch, UpdatePolicy::default()).unwrap();
     let t = report.timings;
 
-    // The breakdown is definitionally exact: total() is the sum of the six
+    // The breakdown is definitionally exact: total() is the sum of the
     // phase buckets, with no unattributed remainder.
     assert_eq!(
-        t.verify + t.compat + t.link + t.bind + t.init + t.transform,
+        t.drain + t.verify + t.compat + t.link + t.bind + t.init + t.transform,
         t.total(),
     );
+    // A direct apply has no in-flight host work to wait for.
+    assert_eq!(t.drain, Duration::ZERO);
     // Each phase actually ran and was measured into its own bucket.
     assert!(t.verify > Duration::ZERO, "verification was timed: {t:?}");
     assert!(
@@ -126,8 +128,8 @@ fn journal_durations_agree_with_phase_timings_exactly() {
 
     let report = &updater.log()[0];
     let events = journal.events();
-    // One lifecycle: enqueued, six phases, committed.
-    assert_eq!(events.len(), 8);
+    // One lifecycle: enqueued, seven phases, committed.
+    assert_eq!(events.len(), 9);
     assert!(events.iter().all(|e| e.worker == Some(7)));
     assert!(events.iter().all(|e| e.update == 1));
     validate_lifecycle(&events).unwrap();
@@ -140,6 +142,7 @@ fn journal_durations_agree_with_phase_timings_exactly() {
             .unwrap_or_else(|| panic!("missing {stage:?}"))
     };
     let t = report.timings;
+    assert_eq!(phase_dur(Stage::Drain), t.drain);
     assert_eq!(phase_dur(Stage::Verify), t.verify);
     assert_eq!(phase_dur(Stage::Compat), t.compat);
     assert_eq!(phase_dur(Stage::Link), t.link);
@@ -178,7 +181,7 @@ fn journal_events_are_monotonic_and_bracketed() {
     updater.apply_pending(&mut p).unwrap();
 
     let events = journal.events();
-    assert_eq!(events.len(), 16, "two full lifecycles");
+    assert_eq!(events.len(), 18, "two full lifecycles");
     for w in events.windows(2) {
         assert!(w[1].seq > w[0].seq, "seq must increase");
         assert!(w[1].at >= w[0].at, "timestamps must not go backwards");

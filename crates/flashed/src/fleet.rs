@@ -29,8 +29,90 @@ use dsu_core::{FleetUpdateReport, Patch, UpdaterRemote};
 use vm::LinkMode;
 
 use crate::fs::SimFs;
-use crate::server::{Completion, Server, ServerShared};
+use crate::server::{Completion, ServeMode, Server, ServerShared};
 use crate::telemetry::{FleetTelemetry, ServerTelemetry};
+
+/// Per-worker deviations from the fleet-wide configuration — a fleet
+/// whose workers sit on heterogeneous "hardware" (different device
+/// latencies, cache sizes, concurrency windows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerOverride {
+    /// Per-read device latency for this worker's filesystem copy.
+    pub read_latency: Option<Duration>,
+    /// Buffer-cache capacity (event-loop mode only).
+    pub cache_entries: Option<usize>,
+    /// In-flight request window (event-loop mode only).
+    pub max_in_flight: Option<usize>,
+}
+
+/// Fleet configuration: size, link mode, serve mode, telemetry, and
+/// optional per-worker overrides. Built fluently:
+///
+/// ```
+/// use flashed::{EventLoopConfig, FleetConfig, ServeMode};
+/// let cfg = FleetConfig::new(4)
+///     .serve_mode(ServeMode::EventLoop(EventLoopConfig::default()))
+///     .with_telemetry();
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Link mode every worker boots in.
+    pub link_mode: LinkMode,
+    /// Serve mode every worker runs (see [`WorkerOverride`] for per-worker
+    /// event-loop tuning).
+    pub serve_mode: ServeMode,
+    /// Whether to build a [`FleetTelemetry`] (journal + registries).
+    pub telemetry: bool,
+    /// Per-worker overrides, indexed by worker id; missing entries mean
+    /// "no override".
+    pub overrides: Vec<WorkerOverride>,
+}
+
+impl FleetConfig {
+    /// A `workers`-strong updateable, blocking, untelemetered fleet.
+    pub fn new(workers: usize) -> FleetConfig {
+        FleetConfig {
+            workers,
+            link_mode: LinkMode::Updateable,
+            serve_mode: ServeMode::Blocking,
+            telemetry: false,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Sets the link mode.
+    pub fn link_mode(mut self, mode: LinkMode) -> FleetConfig {
+        self.link_mode = mode;
+        self
+    }
+
+    /// Sets the serve mode.
+    pub fn serve_mode(mut self, mode: ServeMode) -> FleetConfig {
+        self.serve_mode = mode;
+        self
+    }
+
+    /// Enables fleet telemetry.
+    pub fn with_telemetry(mut self) -> FleetConfig {
+        self.telemetry = true;
+        self
+    }
+
+    /// Overrides worker `worker`'s configuration.
+    pub fn override_worker(mut self, worker: usize, ov: WorkerOverride) -> FleetConfig {
+        if self.overrides.len() <= worker {
+            self.overrides.resize(worker + 1, WorkerOverride::default());
+        }
+        self.overrides[worker] = ov;
+        self
+    }
+
+    fn override_for(&self, worker: usize) -> WorkerOverride {
+        self.overrides.get(worker).copied().unwrap_or_default()
+    }
+}
 
 /// What went wrong inside one worker.
 #[derive(Debug)]
@@ -170,7 +252,7 @@ impl Fleet {
         version: &str,
         fs: &SimFs,
     ) -> Result<Fleet, FleetError> {
-        Fleet::boot(n, mode, src, version, fs, None)
+        Fleet::boot(&FleetConfig::new(n).link_mode(mode), src, version, fs)
     }
 
     /// Like [`Fleet::start`], with telemetry: a fleet-wide lifecycle
@@ -189,24 +271,33 @@ impl Fleet {
         fs: &SimFs,
     ) -> Result<Fleet, FleetError> {
         Fleet::boot(
-            n,
-            mode,
+            &FleetConfig::new(n).link_mode(mode).with_telemetry(),
             src,
             version,
             fs,
-            Some(Arc::new(FleetTelemetry::new(n))),
         )
     }
 
-    fn boot(
-        n: usize,
-        mode: LinkMode,
+    /// Boots a fleet from a full [`FleetConfig`]: serve mode (blocking or
+    /// AMPED event loop), telemetry, and per-worker overrides for device
+    /// latency, cache size and concurrency window.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::start`].
+    pub fn start_cfg(
+        cfg: &FleetConfig,
         src: &str,
         version: &str,
         fs: &SimFs,
-        telemetry: Option<Arc<FleetTelemetry>>,
     ) -> Result<Fleet, FleetError> {
+        Fleet::boot(cfg, src, version, fs)
+    }
+
+    fn boot(cfg: &FleetConfig, src: &str, version: &str, fs: &SimFs) -> Result<Fleet, FleetError> {
+        let n = cfg.workers;
         assert!(n > 0, "a fleet needs at least one worker");
+        let telemetry = cfg.telemetry.then(|| Arc::new(FleetTelemetry::new(n)));
         let shared = ServerShared::new();
         let mut workers = Vec::with_capacity(n);
         let mut boot_err = None;
@@ -215,13 +306,32 @@ impl Fleet {
             let (boot_tx, boot_rx) = mpsc::channel();
             let src = src.to_string();
             let version = version.to_string();
-            let fs = fs.clone();
+            let ov = cfg.override_for(id);
+            let mut fs = fs.clone();
+            if let Some(latency) = ov.read_latency {
+                fs.set_read_latency(latency);
+            }
+            let serve_mode = match cfg.serve_mode {
+                ServeMode::Blocking => ServeMode::Blocking,
+                ServeMode::EventLoop(mut ec) => {
+                    if let Some(c) = ov.cache_entries {
+                        ec.cache_entries = c;
+                    }
+                    if let Some(m) = ov.max_in_flight {
+                        ec.max_in_flight = m;
+                    }
+                    ServeMode::EventLoop(ec)
+                }
+            };
+            let mode = cfg.link_mode;
             let shared_w = shared.clone();
             let tel_w = telemetry.as_ref().map(|t| t.worker(id).clone());
             let join = thread::Builder::new()
                 .name(format!("flashed-worker-{id}"))
                 .spawn(move || {
-                    worker_main(mode, src, version, fs, shared_w, tel_w, ctrl_rx, boot_tx)
+                    worker_main(
+                        mode, serve_mode, src, version, fs, shared_w, tel_w, ctrl_rx, boot_tx,
+                    )
                 })
                 .map_err(|e| FleetError::Worker {
                     worker: id,
@@ -494,6 +604,7 @@ impl Fleet {
 #[allow(clippy::too_many_arguments)]
 fn worker_main(
     mode: LinkMode,
+    serve_mode: ServeMode,
     src: String,
     version: String,
     fs: SimFs,
@@ -502,13 +613,14 @@ fn worker_main(
     ctrl: mpsc::Receiver<Ctrl>,
     boot_tx: mpsc::Sender<Result<UpdaterRemote, String>>,
 ) -> Result<i64, String> {
-    let mut server = match Server::start_with(mode, &src, &version, fs, shared, telemetry) {
-        Ok(s) => s,
-        Err(e) => {
-            let _ = boot_tx.send(Err(e.to_string()));
-            return Err(e.to_string());
-        }
-    };
+    let mut server =
+        match Server::start_full(mode, serve_mode, &src, &version, fs, shared, telemetry) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = boot_tx.send(Err(e.to_string()));
+                return Err(e.to_string());
+            }
+        };
     // Fleet workers keep serving their old version when a patch is
     // rejected; the coordinator reads the failure out of the shared log.
     server.updater.strict = false;

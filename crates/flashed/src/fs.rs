@@ -3,8 +3,21 @@
 //! The paper's testbed served real files to real clients; here a
 //! deterministic in-memory filesystem exercises the identical guest code
 //! path (lookup → read → respond) while keeping experiments reproducible.
+//!
+//! Two read paths exist, mirroring Flash's AMPED split:
+//!
+//! * [`SimFs::read`] — synchronous: the caller stalls for the simulated
+//!   device latency (the blocking thread-per-worker regime);
+//! * [`AsyncFs`] — readiness/completion: [`AsyncFs::submit`] returns a
+//!   [`ReadTicket`] immediately, a helper pool absorbs the device wait
+//!   off-loop and posts [`ReadCompletion`]s to a queue the event loop
+//!   polls, and an LRU [`BufferCache`] makes repeat reads complete
+//!   without touching the (simulated) device at all.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::rng::Rng;
@@ -40,10 +53,17 @@ impl SimFs {
         self.files.get(path).map(String::as_str)
     }
 
-    /// Sets the simulated per-read device latency.
+    /// Sets the simulated per-read device latency (builder form).
     pub fn with_read_latency(mut self, latency: Duration) -> SimFs {
         self.read_latency = latency;
         self
+    }
+
+    /// Sets the simulated per-read device latency in place — fleets use
+    /// this to vary latency per worker on clones of one filesystem,
+    /// which the by-value builder cannot express.
+    pub fn set_read_latency(&mut self, latency: Duration) {
+        self.read_latency = latency;
     }
 
     /// The configured per-read device latency.
@@ -94,6 +114,255 @@ impl SimFs {
     }
 }
 
+/// Identifies one in-flight [`AsyncFs`] read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadTicket(pub u64);
+
+/// One finished read, posted to the completion queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadCompletion {
+    /// The ticket [`AsyncFs::submit`] handed out for this read.
+    pub ticket: ReadTicket,
+    /// The path that was read.
+    pub path: String,
+    /// The content, or `None` when the file does not exist.
+    pub content: Option<String>,
+}
+
+/// An LRU cache over file contents with hit/miss counters — the buffer
+/// cache the AMPED helpers warm. Thread-safe; shared between the event
+/// loop (lookups) and the helper pool (inserts).
+#[derive(Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<String, String>,
+    /// Recency order, least-recently-used first.
+    order: VecDeque<String>,
+}
+
+impl BufferCache {
+    /// An empty cache holding at most `capacity` entries (at least one).
+    pub fn new(capacity: usize) -> BufferCache {
+        BufferCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Counting lookup: bumps the hit or miss counter and the entry's
+    /// recency. The admission path uses this; the serve path, which would
+    /// double-count, uses [`BufferCache::peek`].
+    pub fn lookup(&self, path: &str) -> Option<String> {
+        let got = self.peek(path);
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Non-counting lookup (still bumps recency).
+    pub fn peek(&self, path: &str) -> Option<String> {
+        let mut inner = self.inner.lock().expect("poisoned");
+        let got = inner.entries.get(path).cloned();
+        if got.is_some() {
+            inner.order.retain(|p| p != path);
+            inner.order.push_back(path.to_string());
+        }
+        got
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// one when full.
+    pub fn insert(&self, path: &str, content: String) {
+        let mut inner = self.inner.lock().expect("poisoned");
+        if inner.entries.insert(path.to_string(), content).is_none() {
+            while inner.entries.len() > self.capacity {
+                let Some(evict) = inner.order.pop_front() else {
+                    break;
+                };
+                inner.entries.remove(&evict);
+            }
+        } else {
+            inner.order.retain(|p| p != path);
+        }
+        inner.order.push_back(path.to_string());
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("poisoned").entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counting lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Counting lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+struct ReadJob {
+    ticket: ReadTicket,
+    path: String,
+}
+
+/// The readiness/completion face of a [`SimFs`]: submit a read, get a
+/// ticket back immediately, poll completions later. A pool of helper
+/// threads absorbs the simulated device latency (each helper is one
+/// outstanding "disk operation", so the pool size is the device queue
+/// depth), inserting what it read into the shared [`BufferCache`] before
+/// posting the completion. Cached paths complete without a helper trip.
+pub struct AsyncFs {
+    fs: Arc<SimFs>,
+    cache: Arc<BufferCache>,
+    jobs: Mutex<mpsc::Sender<ReadJob>>,
+    completions: Arc<Mutex<Vec<ReadCompletion>>>,
+    in_flight: Arc<AtomicUsize>,
+    next_ticket: AtomicU64,
+    helpers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for AsyncFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncFs")
+            .field("helpers", &self.helpers.len())
+            .field("in_flight", &self.in_flight())
+            .field("cached", &self.cache.len())
+            .finish()
+    }
+}
+
+impl AsyncFs {
+    /// Wraps `fs` with `helpers` helper threads and a buffer cache of
+    /// `cache_entries` entries.
+    pub fn new(fs: SimFs, helpers: usize, cache_entries: usize) -> AsyncFs {
+        let fs = Arc::new(fs);
+        let cache = Arc::new(BufferCache::new(cache_entries));
+        let completions: Arc<Mutex<Vec<ReadCompletion>>> = Arc::new(Mutex::new(Vec::new()));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel::<ReadJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..helpers.max(1))
+            .map(|i| {
+                let fs = Arc::clone(&fs);
+                let cache = Arc::clone(&cache);
+                let completions = Arc::clone(&completions);
+                let in_flight = Arc::clone(&in_flight);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("flashed-helper-{i}"))
+                    .spawn(move || loop {
+                        let job = { rx.lock().expect("poisoned").recv() };
+                        let Ok(job) = job else { return };
+                        // The device wait happens here, off the event
+                        // loop — this sleep is the helper's whole reason
+                        // to exist.
+                        let content = fs.read(&job.path).map(str::to_string);
+                        if let Some(c) = &content {
+                            cache.insert(&job.path, c.clone());
+                        }
+                        completions.lock().expect("poisoned").push(ReadCompletion {
+                            ticket: job.ticket,
+                            path: job.path,
+                            content,
+                        });
+                        in_flight.fetch_sub(1, Ordering::Release);
+                    })
+                    .expect("spawn helper")
+            })
+            .collect();
+        AsyncFs {
+            fs,
+            cache,
+            jobs: Mutex::new(tx),
+            completions,
+            in_flight,
+            next_ticket: AtomicU64::new(0),
+            helpers: handles,
+        }
+    }
+
+    /// Submits a read and returns its ticket immediately. A cached path
+    /// completes at once (its completion is already queued when this
+    /// returns); anything else goes to the helper pool. The cache lookup
+    /// counts as a hit or miss either way.
+    pub fn submit(&self, path: &str) -> ReadTicket {
+        let ticket = ReadTicket(self.next_ticket.fetch_add(1, Ordering::Relaxed) + 1);
+        if let Some(content) = self.cache.lookup(path) {
+            self.completions
+                .lock()
+                .expect("poisoned")
+                .push(ReadCompletion {
+                    ticket,
+                    path: path.to_string(),
+                    content: Some(content),
+                });
+            return ticket;
+        }
+        self.in_flight.fetch_add(1, Ordering::Acquire);
+        self.jobs
+            .lock()
+            .expect("poisoned")
+            .send(ReadJob {
+                ticket,
+                path: path.to_string(),
+            })
+            .expect("helper pool gone");
+        ticket
+    }
+
+    /// Drains every completion posted so far.
+    pub fn poll(&self) -> Vec<ReadCompletion> {
+        std::mem::take(&mut *self.completions.lock().expect("poisoned"))
+    }
+
+    /// Reads submitted but not yet posted as completions.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// The shared buffer cache (for stats and serve-path lookups).
+    pub fn cache(&self) -> &Arc<BufferCache> {
+        &self.cache
+    }
+
+    /// The wrapped filesystem (synchronous fallback path).
+    pub fn fs(&self) -> &SimFs {
+        &self.fs
+    }
+}
+
+impl Drop for AsyncFs {
+    fn drop(&mut self) {
+        // Replacing the sender closes the channel; helpers see the
+        // disconnect and exit.
+        let (dead, _) = mpsc::channel();
+        *self.jobs.lock().expect("poisoned") = dead;
+        for h in self.helpers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// Deterministic printable filler of exactly `size` bytes.
 fn synth_content(file_idx: usize, size: usize) -> String {
     let pattern = format!("<p>file {file_idx} lorem ipsum dolor sit amet</p>\n");
@@ -128,6 +397,63 @@ mod tests {
         for p in fs.paths() {
             assert_eq!(fs.read(&p).unwrap().len(), 256);
         }
+    }
+
+    #[test]
+    fn latency_can_be_set_in_place() {
+        let mut fs = SimFs::new().with_read_latency(Duration::from_micros(5));
+        assert_eq!(fs.read_latency(), Duration::from_micros(5));
+        fs.set_read_latency(Duration::from_micros(9));
+        assert_eq!(fs.read_latency(), Duration::from_micros(9));
+    }
+
+    #[test]
+    fn buffer_cache_counts_and_evicts_lru() {
+        let c = BufferCache::new(2);
+        assert!(c.lookup("/a").is_none());
+        c.insert("/a", "A".into());
+        c.insert("/b", "B".into());
+        assert_eq!(c.lookup("/a").as_deref(), Some("A"));
+        // /b is now least recently used; inserting /c evicts it.
+        c.insert("/c", "C".into());
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup("/b").is_none());
+        assert_eq!(c.lookup("/c").as_deref(), Some("C"));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        // peek finds entries without counting.
+        assert_eq!(c.peek("/a").as_deref(), Some("A"));
+        assert_eq!(c.hits() + c.misses(), 4);
+    }
+
+    #[test]
+    fn async_fs_completes_submitted_reads() {
+        let mut fs = SimFs::new();
+        fs.insert("/x", "hello");
+        let afs = AsyncFs::new(fs.with_read_latency(Duration::from_micros(200)), 2, 8);
+        let t1 = afs.submit("/x");
+        let t2 = afs.submit("/nope");
+        let mut done = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.len() < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "reads never completed"
+            );
+            done.extend(afs.poll());
+        }
+        assert_eq!(afs.in_flight(), 0);
+        let by_ticket = |t: ReadTicket| done.iter().find(|c| c.ticket == t).unwrap();
+        assert_eq!(by_ticket(t1).content.as_deref(), Some("hello"));
+        assert_eq!(by_ticket(t2).content, None);
+        // The helper warmed the cache: the repeat read completes at
+        // submit time, counted as a hit.
+        let hits0 = afs.cache().hits();
+        let t3 = afs.submit("/x");
+        let again = afs.poll();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].ticket, t3);
+        assert_eq!(afs.cache().hits(), hits0 + 1);
     }
 
     #[test]

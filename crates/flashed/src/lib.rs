@@ -47,12 +47,15 @@ pub mod telemetry;
 pub mod versions;
 pub mod workload;
 
-pub use fleet::{Fleet, FleetError, RolloutPolicy, WorkerFailure};
-pub use fs::SimFs;
+pub use fleet::{Fleet, FleetConfig, FleetError, RolloutPolicy, WorkerFailure, WorkerOverride};
+pub use fs::{AsyncFs, BufferCache, ReadCompletion, ReadTicket, SimFs};
 pub use http::{parse_response, Response};
 pub use patches::patch_stream;
 pub use rng::Rng;
-pub use server::{latency_stats, BootError, Completion, LatencyStats, Server, ServerShared};
+pub use server::{
+    latency_stats, BootError, Completion, EventLoopConfig, LatencyStats, ServeMode, Server,
+    ServerShared,
+};
 pub use telemetry::{FleetTelemetry, ServerTelemetry};
 pub use workload::{Workload, Zipf};
 

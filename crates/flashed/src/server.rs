@@ -11,9 +11,24 @@
 //! a [`ServerShared`]: that is the substrate of the multi-worker fleet in
 //! [`crate::fleet`], where each worker thread boots its own `Server`
 //! against a common queue.
+//!
+//! Two serve modes are supported (see [`ServeMode`]):
+//!
+//! * **Blocking** — the guest pulls one request at a time and every
+//!   `fs_read` stalls the loop for the device latency (thread-per-worker).
+//! * **Event loop** (AMPED, after the Flash server the paper updated) —
+//!   the host admits a window of requests, submits their reads to an
+//!   [`AsyncFs`] helper pool, parks each request on its read ticket, and
+//!   hands requests to the guest only once their content sits in the
+//!   buffer cache. The guest's `fs_read` then completes from cache without
+//!   sleeping, so one worker overlaps many device waits. Dynamic updates
+//!   remain safe: before a patch binds, the updater's drain hook waits for
+//!   every parked read, and that wait is charged to the report's (and
+//!   journal's) `drain` phase.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -21,8 +36,41 @@ use dsu_core::{Patch, PauseLog, RunError, Updater};
 use tal::{FnSig, Ty};
 use vm::{LinkMode, Process, Value};
 
-use crate::fs::SimFs;
+use crate::fs::{AsyncFs, ReadTicket, SimFs};
 use crate::telemetry::ServerTelemetry;
+
+/// How a server drives its guest `serve` loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Thread-per-request-at-a-time: the guest's `fs_read` sleeps the
+    /// device latency inline. Concurrency comes only from fleet workers.
+    Blocking,
+    /// AMPED: the host event loop multiplexes a window of in-flight
+    /// requests per worker; helper threads absorb device waits and warm
+    /// the buffer cache. Guest-visible behaviour is identical.
+    EventLoop(EventLoopConfig),
+}
+
+/// Tuning for [`ServeMode::EventLoop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLoopConfig {
+    /// Helper threads absorbing device waits (the disk queue depth).
+    pub helpers: usize,
+    /// Buffer-cache capacity, in entries.
+    pub cache_entries: usize,
+    /// Maximum requests parked on in-flight reads at once.
+    pub max_in_flight: usize,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> EventLoopConfig {
+        EventLoopConfig {
+            helpers: 8,
+            cache_entries: 256,
+            max_in_flight: 16,
+        }
+    }
+}
 
 /// One completed response with its completion time (relative to server
 /// start) — the raw material of the throughput-timeline figure.
@@ -45,6 +93,12 @@ pub struct Completion {
     /// `next_request`) carries no meaningful service time and is excluded
     /// from [`latency_stats`].
     pub pulled: bool,
+    /// The pull this response was matched to (ids are per-server, starting
+    /// at 1 in pull order). `None` exactly when `pulled` is false. Pulls
+    /// and responses are matched FIFO, so a guest that pulls several
+    /// requests before answering still gets each response timed from its
+    /// own pull.
+    pub request_id: Option<u64>,
     /// The raw response text.
     pub response: String,
 }
@@ -188,6 +242,67 @@ impl ServerShared {
     }
 }
 
+/// A request admitted by the event loop, either parked on an in-flight
+/// read or ready for the guest.
+#[derive(Debug, Clone)]
+struct Admitted {
+    /// Pull id (FIFO-matched to the response; see [`Completion::request_id`]).
+    id: u64,
+    /// The raw request text, exactly as queued.
+    request: String,
+    /// When the host pulled it off the shared queue — service time is
+    /// measured from here, so time parked on a read counts as service.
+    pulled_at: Instant,
+}
+
+/// Host-side state of one event-loop server: the async filesystem, the
+/// parked-request table, and the ready queue the guest drains.
+struct EventState {
+    afs: AsyncFs,
+    cfg: EventLoopConfig,
+    /// Requests parked on an in-flight read, keyed by its ticket.
+    parked: Mutex<HashMap<ReadTicket, Admitted>>,
+    /// Requests whose read (if any) completed, in admission order.
+    ready: Mutex<VecDeque<Admitted>>,
+}
+
+impl EventState {
+    /// Moves every completed read's request from `parked` to `ready`.
+    fn reap(&self) {
+        for c in self.afs.poll() {
+            if let Some(entry) = self.parked.lock().expect("poisoned").remove(&c.ticket) {
+                self.ready.lock().expect("poisoned").push_back(entry);
+            }
+        }
+    }
+
+    /// True when no admitted request is waiting anywhere in the loop.
+    fn is_idle(&self) -> bool {
+        self.parked.lock().expect("poisoned").is_empty()
+            && self.ready.lock().expect("poisoned").is_empty()
+    }
+}
+
+/// The path the guest's handler will read for `req`, if any: the request
+/// target when it exists, else its query-stripped form (v5 strips query
+/// strings before the lookup). `None` means no device read will happen
+/// (bad request, or a miss the guest answers 404 from `fs_exists` alone).
+fn prefetch_path(req: &str, fs: &SimFs) -> Option<String> {
+    let mut parts = req.split(' ');
+    let target = parts.nth(1)?;
+    if target.is_empty() {
+        return None;
+    }
+    if fs.exists(target) {
+        return Some(target.to_string());
+    }
+    let stripped = target.split('?').next().unwrap_or(target);
+    if stripped != target && fs.exists(stripped) {
+        return Some(stripped.to_string());
+    }
+    None
+}
+
 /// A running FlashEd server.
 pub struct Server {
     proc: Process,
@@ -197,6 +312,10 @@ pub struct Server {
     telemetry: Option<ServerTelemetry>,
     /// Pause-log entries already observed into the pause histogram.
     pauses_seen: usize,
+    /// Event-loop state; `None` in [`ServeMode::Blocking`].
+    event: Option<Arc<EventState>>,
+    /// Pull-id source shared with the `next_request` host closure.
+    pull_ids: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for Server {
@@ -252,6 +371,34 @@ impl Server {
         shared: ServerShared,
         telemetry: Option<ServerTelemetry>,
     ) -> Result<Server, BootError> {
+        Server::start_full(
+            mode,
+            ServeMode::Blocking,
+            src,
+            version,
+            fs,
+            shared,
+            telemetry,
+        )
+    }
+
+    /// The full constructor: like [`Server::start_with`], plus the serve
+    /// mode. [`ServeMode::EventLoop`] boots the AMPED machinery — helper
+    /// pool, buffer cache, drain hook — around the same guest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BootError`] when the source does not compile or link.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_full(
+        mode: LinkMode,
+        serve_mode: ServeMode,
+        src: &str,
+        version: &str,
+        fs: SimFs,
+        shared: ServerShared,
+        telemetry: Option<ServerTelemetry>,
+    ) -> Result<Server, BootError> {
         let module = popcorn::compile(src, "flashed", version, &popcorn::Interface::new())
             .map_err(BootError::Compile)?;
         let mut proc = Process::new(mode);
@@ -262,15 +409,55 @@ impl Server {
 
         let fs = Arc::new(fs);
         let started = shared.started;
+        let event = match serve_mode {
+            ServeMode::Blocking => None,
+            ServeMode::EventLoop(cfg) => Some(Arc::new(EventState {
+                afs: AsyncFs::new((*fs).clone(), cfg.helpers, cfg.cache_entries),
+                cfg,
+                parked: Mutex::new(HashMap::new()),
+                ready: Mutex::new(VecDeque::new()),
+            })),
+        };
+        if let Some(ev) = &event {
+            // Quiescence gate: before any patch binds, every parked read
+            // must complete. The updater times this wait into the
+            // report's (and journal's) `drain` phase. Drained requests
+            // land in `ready` and are served after the update, under the
+            // new version.
+            let ev = Arc::clone(ev);
+            updater.set_drain_hook(Box::new(move || loop {
+                ev.reap();
+                if ev.parked.lock().expect("poisoned").is_empty() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(20));
+            }));
+        }
 
         {
             let fs = Arc::clone(&fs);
+            let event = event.clone();
             proc.register_host(
                 "fs_read",
                 FnSig::new(vec![Ty::Str], Ty::Str),
                 Box::new(move |args| {
                     let path = args[0].as_str();
-                    Ok(Value::str(fs.read(&path).unwrap_or("")))
+                    match &event {
+                        // Event loop: the admission path prefetched this
+                        // file into the buffer cache, so the common case
+                        // completes without sleeping. A miss (request
+                        // never admitted through the loop) falls back to
+                        // the blocking read and warms the cache.
+                        Some(ev) => match ev.afs.cache().peek(&path) {
+                            Some(content) => Ok(Value::str(&content)),
+                            None => {
+                                let content = fs.read(&path).unwrap_or("").to_string();
+                                ev.afs.cache().insert(&path, content.clone());
+                                Ok(Value::str(&content))
+                            }
+                        },
+                        None => Ok(Value::str(fs.read(&path).unwrap_or(""))),
+                    }
                 }),
             );
         }
@@ -282,45 +469,75 @@ impl Server {
                 Box::new(move |args| Ok(Value::Bool(fs.exists(&args[0].as_str())))),
             );
         }
-        // When the guest pulled the request it is currently serving; None
-        // between requests. `send_response` takes it, so a response that
-        // was never preceded by a pull is detectable rather than silently
-        // timed from some stale (or boot-time) instant.
-        let request_pulled: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
+        // Outstanding pulls — (pull id, pull instant) in pull order.
+        // `send_response` pops the front, matching responses to pulls
+        // FIFO, so several concurrently pulled requests each get timed
+        // from their own pull, and a response that was never preceded by
+        // a pull is detectable rather than silently timed from some stale
+        // (or boot-time) instant.
+        let outstanding: Arc<Mutex<VecDeque<(u64, Instant)>>> =
+            Arc::new(Mutex::new(VecDeque::new()));
+        let pull_ids = Arc::new(AtomicU64::new(0));
         {
             let queue = Arc::clone(&shared.queue);
-            let request_pulled = Arc::clone(&request_pulled);
+            let outstanding = Arc::clone(&outstanding);
+            let pull_ids = Arc::clone(&pull_ids);
+            let event = event.clone();
             let tel = telemetry.clone();
             proc.register_host(
                 "next_request",
                 FnSig::new(vec![], Ty::Str),
                 Box::new(move |_| {
+                    if let Some(ev) = &event {
+                        // Event loop: the guest drains the ready queue;
+                        // the pull (id, instant) was assigned at host
+                        // admission so time parked on the read counts.
+                        let next = ev.ready.lock().expect("poisoned").pop_front();
+                        return match next {
+                            Some(r) => {
+                                outstanding
+                                    .lock()
+                                    .expect("poisoned")
+                                    .push_back((r.id, r.pulled_at));
+                                Ok(Value::str(&r.request))
+                            }
+                            // Batch drained: back to the host loop.
+                            None => Ok(Value::str("")),
+                        };
+                    }
                     let (req, remaining) = {
                         let mut q = queue.lock().expect("poisoned");
                         (q.pop_front(), q.len())
                     };
-                    if let Some(tel) = &tel {
-                        if req.is_some() {
-                            tel.record_pull(remaining);
+                    match req {
+                        Some(req) => {
+                            if let Some(tel) = &tel {
+                                tel.record_pull(remaining);
+                            }
+                            let id = pull_ids.fetch_add(1, Ordering::Relaxed) + 1;
+                            outstanding
+                                .lock()
+                                .expect("poisoned")
+                                .push_back((id, Instant::now()));
+                            Ok(Value::str(&req))
                         }
+                        None => Ok(Value::str("")),
                     }
-                    *request_pulled.lock().expect("poisoned") = Some(Instant::now());
-                    Ok(Value::str(req.unwrap_or_default()))
                 }),
             );
         }
         {
             let completions = Arc::clone(&shared.completions);
-            let request_pulled = Arc::clone(&request_pulled);
+            let outstanding = Arc::clone(&outstanding);
             let pauses: PauseLog = updater.pause_log();
             let tel = telemetry.clone();
             proc.register_host(
                 "send_response",
                 FnSig::new(vec![Ty::Str], Ty::Unit),
                 Box::new(move |args| {
-                    let pulled_at = request_pulled.lock().expect("poisoned").take();
-                    let (service, update_pause, pulled) = match pulled_at {
-                        Some(t0) => {
+                    let pulled_at = outstanding.lock().expect("poisoned").pop_front();
+                    let (service, update_pause, request_id) = match pulled_at {
+                        Some((id, t0)) => {
                             let raw = t0.elapsed();
                             // Suspensions at update points between this
                             // request's pull and its response are update
@@ -332,10 +549,11 @@ impl Server {
                                 .filter(|ev| ev.at >= t0)
                                 .map(|ev| ev.dur)
                                 .sum();
-                            (raw.saturating_sub(pause), pause, true)
+                            (raw.saturating_sub(pause), pause, Some(id))
                         }
-                        None => (Duration::ZERO, Duration::ZERO, false),
+                        None => (Duration::ZERO, Duration::ZERO, None),
                     };
+                    let pulled = request_id.is_some();
                     if let Some(tel) = &tel {
                         tel.record_response(pulled.then_some(service));
                     }
@@ -344,6 +562,7 @@ impl Server {
                         service,
                         update_pause,
                         pulled,
+                        request_id,
                         response: args[0].as_str().to_string(),
                     });
                     Ok(Value::Unit)
@@ -371,6 +590,8 @@ impl Server {
             shared,
             telemetry,
             pauses_seen: 0,
+            event,
+            pull_ids,
         })
     }
 
@@ -391,15 +612,99 @@ impl Server {
     /// Runs the guest `serve` loop until the request queue drains.
     /// Returns the number of requests the guest reports having served.
     ///
+    /// In [`ServeMode::EventLoop`] this drives the AMPED loop: admit a
+    /// window of requests, submit their reads, and hand the guest batches
+    /// of ready requests as completions arrive — until queue, parked set
+    /// and ready queue are all empty.
+    ///
     /// # Errors
     ///
     /// Returns [`RunError`] when the guest traps or a queued patch fails.
     pub fn serve(&mut self) -> Result<i64, RunError> {
+        if let Some(ev) = self.event.clone() {
+            return self.serve_event(&ev);
+        }
         let v = self.updater.run(&mut self.proc, "serve", vec![]);
         // Publish even when the run errored: the counters up to the trap
         // (and any pauses the failed update incurred) are still real.
         self.publish_telemetry();
         Ok(v?.as_int())
+    }
+
+    /// The AMPED host loop (see [`ServeMode::EventLoop`]).
+    fn serve_event(&mut self, ev: &Arc<EventState>) -> Result<i64, RunError> {
+        let mut served = 0i64;
+        loop {
+            self.admit(ev);
+            ev.reap();
+            let have_ready = !ev.ready.lock().expect("poisoned").is_empty();
+            if have_ready {
+                let v = self.updater.run(&mut self.proc, "serve", vec![]);
+                match v {
+                    Ok(v) => served += v.as_int(),
+                    Err(e) => {
+                        self.publish_telemetry();
+                        return Err(e);
+                    }
+                }
+            }
+            // Patches queued without an armed update signal apply here, at
+            // the quiescent loop boundary (the guest's own update points
+            // cover the mid-batch, signal-armed case). An `Err` can only
+            // surface in strict mode; non-strict failures are recorded in
+            // the updater's failure log and the loop keeps serving.
+            if self.updater.pending_count() > 0 {
+                if let Err(e) = self.updater.apply_pending(&mut self.proc) {
+                    self.publish_telemetry();
+                    return Err(RunError::Update(e));
+                }
+            }
+            if ev.is_idle() && self.shared.queue_len() == 0 {
+                break;
+            }
+            if !have_ready {
+                // Nothing ready yet: wait briefly for helper completions.
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+        self.publish_telemetry();
+        Ok(served)
+    }
+
+    /// Pulls requests off the shared queue into the event loop until the
+    /// in-flight window is full or the queue is empty. Requests needing a
+    /// device read are parked on their ticket; the rest go straight to
+    /// `ready`.
+    fn admit(&mut self, ev: &Arc<EventState>) {
+        loop {
+            if ev.parked.lock().expect("poisoned").len() >= ev.cfg.max_in_flight {
+                return;
+            }
+            let (req, remaining) = {
+                let mut q = self.shared.queue.lock().expect("poisoned");
+                (q.pop_front(), q.len())
+            };
+            let Some(req) = req else { return };
+            if let Some(tel) = &self.telemetry {
+                tel.record_pull(remaining);
+            }
+            let entry = Admitted {
+                id: self.pull_ids.fetch_add(1, Ordering::Relaxed) + 1,
+                request: req,
+                pulled_at: Instant::now(),
+            };
+            match prefetch_path(&entry.request, ev.afs.fs()) {
+                // No device read will happen (400/404): ready now.
+                None => ev.ready.lock().expect("poisoned").push_back(entry),
+                Some(path) => {
+                    // Park under the lock so a helper completing before
+                    // the insert cannot be reaped against an absent key.
+                    let mut parked = ev.parked.lock().expect("poisoned");
+                    let ticket = ev.afs.submit(&path);
+                    parked.insert(ticket, entry);
+                }
+            }
+        }
     }
 
     /// Applies queued patches immediately, without waiting for a guest
@@ -421,6 +726,21 @@ impl Server {
         self.telemetry.as_ref()
     }
 
+    /// How this server drives its guest (set at boot).
+    pub fn serve_mode(&self) -> ServeMode {
+        match &self.event {
+            Some(ev) => ServeMode::EventLoop(ev.cfg),
+            None => ServeMode::Blocking,
+        }
+    }
+
+    /// Buffer-cache `(hits, misses)` so far; `None` in blocking mode.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.event
+            .as_ref()
+            .map(|ev| (ev.afs.cache().hits(), ev.afs.cache().misses()))
+    }
+
     /// Publishes quiescent-boundary telemetry: mirrors the interpreter
     /// counters into the shared stats and feeds pause-log entries recorded
     /// since the last publish into the update-pause histogram. No-op
@@ -430,6 +750,10 @@ impl Server {
     pub fn publish_telemetry(&mut self) {
         let Some(tel) = &self.telemetry else { return };
         tel.publish_vm_stats(&self.proc.stats);
+        if let Some(ev) = &self.event {
+            let cache = ev.afs.cache();
+            tel.publish_cache(cache.hits(), cache.misses(), ev.afs.in_flight());
+        }
         let pauses = self.updater.pauses();
         for p in &pauses[self.pauses_seen..] {
             tel.record_update_pause(p.dur);

@@ -39,6 +39,12 @@ pub mod names {
     pub const VM_INSTRS: &str = "flashed_vm_instructions_total";
     /// Guest update points executed (counter).
     pub const VM_UPDATE_POINTS: &str = "flashed_vm_update_points_total";
+    /// Buffer-cache hits on the event-loop read path (counter).
+    pub const CACHE_HITS: &str = "flashed_cache_hits_total";
+    /// Buffer-cache misses — reads that went to a helper (counter).
+    pub const CACHE_MISSES: &str = "flashed_cache_misses_total";
+    /// Reads submitted to helpers and not yet completed (gauge).
+    pub const READS_IN_FLIGHT: &str = "flashed_reads_in_flight";
     /// Distinct versions live across the fleet, minus one (gauge).
     pub const VERSION_SKEW: &str = "fleet_version_skew";
     /// Rollouts started (counter).
@@ -62,6 +68,9 @@ pub struct ServerTelemetry {
     queue_depth: Gauge,
     vm_instrs: Counter,
     vm_update_points: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    reads_in_flight: Gauge,
 }
 
 impl std::fmt::Debug for ServerTelemetry {
@@ -122,6 +131,18 @@ impl ServerTelemetry {
             names::VM_UPDATE_POINTS,
             "guest update points executed (published at quiescent boundaries)",
         );
+        let cache_hits = registry.counter(
+            names::CACHE_HITS,
+            "buffer-cache hits on the event-loop read path",
+        );
+        let cache_misses = registry.counter(
+            names::CACHE_MISSES,
+            "buffer-cache misses (reads that went to a helper)",
+        );
+        let reads_in_flight = registry.gauge(
+            names::READS_IN_FLIGHT,
+            "reads submitted to helpers and not yet completed",
+        );
         ServerTelemetry {
             journal,
             registry,
@@ -134,6 +155,9 @@ impl ServerTelemetry {
             queue_depth,
             vm_instrs,
             vm_update_points,
+            cache_hits,
+            cache_misses,
+            reads_in_flight,
         }
     }
 
@@ -189,6 +213,24 @@ impl ServerTelemetry {
         self.vm_stats.publish(stats);
         self.vm_instrs.store(stats.instrs);
         self.vm_update_points.store(stats.update_points);
+    }
+
+    /// Publishes buffer-cache counters and the in-flight-reads gauge.
+    /// Called by event-loop servers at quiescent boundaries.
+    pub(crate) fn publish_cache(&self, hits: u64, misses: u64, in_flight: usize) {
+        self.cache_hits.store(hits);
+        self.cache_misses.store(misses);
+        self.reads_in_flight.set(in_flight as i64);
+    }
+
+    /// Buffer-cache hits published so far (zero in blocking mode).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Buffer-cache misses published so far (zero in blocking mode).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.get()
     }
 }
 

@@ -105,6 +105,17 @@ impl Workload {
     pub fn batch(&mut self, n: usize) -> Vec<String> {
         (0..n).map(|_| self.next_request()).collect()
     }
+
+    /// Produces `n` requests sweeping the paths round-robin — every
+    /// consecutive window of `paths.len()` requests touches every
+    /// document exactly once. The adversarial complement of the Zipf
+    /// batch: no path repeats until all have been visited, so a buffer
+    /// cache smaller than the document set misses on every read.
+    pub fn sweep(&self, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("GET {} HTTP/1.0", self.paths[i % self.paths.len()]))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,296 @@
+//! The AMPED serving core: event-loop multiplexing, buffer-cache
+//! behaviour, keyed pull/response matching, and — the paper's concern —
+//! dynamic updates arriving while requests are parked on in-flight reads.
+
+use std::time::{Duration, Instant};
+
+use dsu_obs::journal::validate_lifecycle;
+use flashed::{
+    versions, EventLoopConfig, Fleet, FleetConfig, RolloutPolicy, ServeMode, Server, ServerShared,
+    ServerTelemetry, SimFs, WorkerOverride, Workload,
+};
+use vm::LinkMode;
+
+fn event_mode(helpers: usize, max_in_flight: usize) -> ServeMode {
+    ServeMode::EventLoop(EventLoopConfig {
+        helpers,
+        cache_entries: 256,
+        max_in_flight,
+    })
+}
+
+/// The event loop is an implementation detail: for the same request
+/// stream, an AMPED server produces exactly the same multiset of
+/// responses as a blocking one (200s, 404s and 400s alike).
+#[test]
+fn event_loop_serves_identical_responses() {
+    let fs = SimFs::generate_fixed(16, 256, 11);
+    let mut wl = Workload::new(fs.paths(), 1.0, 23)
+        .with_miss_rate(0.1)
+        .with_bad_rate(0.1);
+    let requests = wl.batch(80);
+
+    let mut blocking =
+        Server::start(LinkMode::Updateable, &versions::v1(), "v1", fs.clone()).unwrap();
+    blocking.push_requests(requests.clone());
+    blocking.serve().unwrap();
+
+    let mut amped = Server::start_full(
+        LinkMode::Updateable,
+        event_mode(4, 8),
+        &versions::v1(),
+        "v1",
+        fs,
+        ServerShared::new(),
+        None,
+    )
+    .unwrap();
+    amped.push_requests(requests);
+    let served = amped.serve().unwrap();
+
+    let mut b: Vec<String> = blocking
+        .completions()
+        .iter()
+        .map(|c| c.response.clone())
+        .collect();
+    let mut a: Vec<String> = amped
+        .completions()
+        .iter()
+        .map(|c| c.response.clone())
+        .collect();
+    assert_eq!(a.len(), 80);
+    assert_eq!(served, 80);
+    b.sort();
+    a.sort();
+    assert_eq!(a, b);
+    // Every AMPED completion was matched to a pull with its own id.
+    let mut ids: Vec<u64> = amped
+        .completions()
+        .iter()
+        .map(|c| c.request_id.expect("matched to a pull"))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 80, "pull ids must be distinct");
+}
+
+/// One AMPED worker overlaps device waits: serving N distinct documents
+/// with a helper pool takes far less wall-clock than the blocking server,
+/// and the buffer cache turns the second pass into pure hits.
+#[test]
+fn event_loop_overlaps_reads_and_counts_cache_traffic() {
+    let mut fs = SimFs::generate_fixed(16, 256, 7);
+    fs.set_read_latency(Duration::from_millis(5));
+    let wl = Workload::new(fs.paths(), 1.0, 1);
+    let sweep = wl.sweep(16); // every document exactly once
+
+    let mut blocking =
+        Server::start(LinkMode::Updateable, &versions::v1(), "v1", fs.clone()).unwrap();
+    blocking.push_requests(sweep.clone());
+    let t0 = Instant::now();
+    blocking.serve().unwrap();
+    let blocking_elapsed = t0.elapsed();
+
+    let mut amped = Server::start_full(
+        LinkMode::Updateable,
+        event_mode(16, 16),
+        &versions::v1(),
+        "v1",
+        fs,
+        ServerShared::new(),
+        None,
+    )
+    .unwrap();
+    amped.push_requests(sweep.clone());
+    let t0 = Instant::now();
+    amped.serve().unwrap();
+    let amped_elapsed = t0.elapsed();
+
+    // Blocking pays 16 × 5ms serially; AMPED overlaps them all.
+    assert!(
+        amped_elapsed < blocking_elapsed,
+        "amped {amped_elapsed:?} should beat blocking {blocking_elapsed:?}"
+    );
+    assert_eq!(amped.cache_stats(), Some((0, 16)), "first pass all misses");
+
+    // Second pass over the same documents: the cache absorbs every read.
+    amped.push_requests(sweep);
+    let t0 = Instant::now();
+    amped.serve().unwrap();
+    let cached_elapsed = t0.elapsed();
+    assert_eq!(amped.cache_stats(), Some((16, 16)), "second pass all hits");
+    assert!(
+        cached_elapsed < blocking_elapsed,
+        "cached {cached_elapsed:?} should beat blocking {blocking_elapsed:?}"
+    );
+    assert_eq!(amped.completions().len(), 32);
+}
+
+/// The tentpole safety property: a patch arriving while requests are
+/// parked on in-flight reads must wait for them (quiescence). The wait is
+/// charged to the report's `drain` phase, and the journal's phase sum
+/// still equals the report total *exactly*.
+#[test]
+fn update_mid_loop_drains_parked_requests() {
+    let mut fs = SimFs::generate_fixed(8, 256, 3);
+    fs.set_read_latency(Duration::from_millis(3));
+    let wl = Workload::new(fs.paths(), 1.0, 1);
+
+    let tel = ServerTelemetry::new();
+    // One helper: reads complete serially, so when the guest hits its
+    // first update point most of the window is still parked.
+    let mut server = Server::start_full(
+        LinkMode::Updateable,
+        event_mode(1, 8),
+        &versions::v1(),
+        "v1",
+        fs,
+        ServerShared::new(),
+        Some(tel.clone()),
+    )
+    .unwrap();
+
+    let gen = dsu_core::PatchGen::new()
+        .generate(&versions::v1(), &versions::v2(), "v1", "v2")
+        .unwrap();
+    server.push_requests(wl.sweep(8));
+    server.queue_patch(gen.patch);
+    let served = server.serve().unwrap();
+    assert_eq!(served, 8);
+
+    let report = &server.updater.log()[0];
+    assert!(
+        report.timings.drain > Duration::ZERO,
+        "parked reads must be waited for: {:?}",
+        report.timings
+    );
+    // Journal agrees with the report to the nanosecond.
+    let events = tel.journal().events_for(1);
+    validate_lifecycle(&events).unwrap();
+    let phase_sum: Duration =
+        events.iter().filter_map(|e| e.dur).sum::<Duration>() - events.last().unwrap().dur.unwrap(); // committed carries the total
+    assert_eq!(phase_sum, report.timings.total());
+    assert_eq!(events.last().unwrap().dur, Some(report.timings.total()));
+
+    // Drained requests completed under the new version (v2 sends
+    // Content-Type; v1 does not).
+    let after_update = server
+        .completions()
+        .iter()
+        .filter(|c| c.response.contains("Content-Type"))
+        .count();
+    assert!(after_update > 0, "drained requests serve on v2");
+}
+
+/// Rolling and simultaneous rollouts over an AMPED fleet, mid-traffic:
+/// every worker drains its parked reads, every lifecycle validates, and
+/// the journal timeline's phase totals equal the reports' exactly.
+#[test]
+fn amped_fleet_rollouts_drain_and_reconcile() {
+    let mut fs = SimFs::generate_fixed(24, 512, 9);
+    fs.set_read_latency(Duration::from_micros(300));
+    let mut wl = Workload::new(fs.paths(), 1.0, 41);
+
+    let cfg = FleetConfig::new(2)
+        .serve_mode(event_mode(4, 8))
+        .with_telemetry();
+    let fleet = Fleet::start_cfg(&cfg, &versions::v1(), "v1", &fs).unwrap();
+    let stream = flashed::patch_stream().unwrap();
+
+    fleet.push_requests(wl.batch(300));
+    let rolling = fleet
+        .rollout(&stream[0].patch, RolloutPolicy::Rolling)
+        .unwrap();
+    fleet.push_requests(wl.batch(300));
+    let simultaneous = fleet
+        .rollout(&stream[1].patch, RolloutPolicy::Simultaneous)
+        .unwrap();
+    fleet.drain(600).unwrap();
+
+    assert_eq!(rolling.applied.len(), 2);
+    assert_eq!(simultaneous.applied.len(), 2);
+    assert!(rolling.failed.is_empty() && simultaneous.failed.is_empty());
+
+    let tel = fleet.telemetry().unwrap();
+    let journal = tel.journal().clone();
+    for id in journal.update_ids() {
+        validate_lifecycle(&journal.events_for(id)).unwrap();
+    }
+    // Timeline rows reconcile with the reports: match each applied report
+    // to its row by (worker, version transition) and compare totals.
+    let timeline = tel.timeline();
+    assert_eq!(timeline.len(), 4);
+    for (wid, r) in rolling.applied.iter().chain(&simultaneous.applied) {
+        let row = timeline
+            .iter()
+            .find(|row| {
+                row.worker == Some(*wid)
+                    && row.from_version == r.from_version
+                    && row.to_version == r.to_version
+            })
+            .expect("every applied patch has a timeline row");
+        assert!(row.committed);
+        assert_eq!(row.phase_total, r.timings.total(), "worker {wid}");
+    }
+
+    let served = fleet.shutdown().unwrap();
+    assert_eq!(served.iter().sum::<i64>(), 600);
+}
+
+/// Per-worker fleet overrides: a worker on a slow device completes fewer
+/// requests than its fast sibling under the same shared queue.
+#[test]
+fn worker_latency_override_shapes_throughput() {
+    let fs = SimFs::generate_fixed(16, 256, 5); // zero base latency
+    let mut wl = Workload::new(fs.paths(), 1.0, 17);
+
+    let cfg = FleetConfig::new(2).override_worker(
+        1,
+        WorkerOverride {
+            read_latency: Some(Duration::from_millis(2)),
+            ..WorkerOverride::default()
+        },
+    );
+    let fleet = Fleet::start_cfg(&cfg, &versions::v1(), "v1", &fs).unwrap();
+    fleet.push_requests(wl.batch(60));
+    fleet.drain(60).unwrap();
+    let served = fleet.shutdown().unwrap();
+    assert_eq!(served.iter().sum::<i64>(), 60);
+    assert!(
+        served[0] > served[1],
+        "fast worker should out-serve the slow one: {served:?}"
+    );
+}
+
+/// Satellite regression: concurrent pulls are matched to responses FIFO
+/// by id — a guest holding two requests open gets each response timed
+/// from its *own* pull, not a single shared slot.
+#[test]
+fn concurrent_pulls_are_keyed_not_overwritten() {
+    let src = r#"
+extern fun next_request(): string;
+extern fun send_response(r: string): unit;
+
+fun serve(): int {
+    var a: string = next_request();
+    var b: string = next_request();
+    var n: int = 0;
+    if (len(a) > 0) { send_response("first:" + a); n = n + 1; }
+    if (len(b) > 0) { send_response("second:" + b); n = n + 1; }
+    return n;
+}
+"#;
+    let fs = SimFs::generate_fixed(2, 64, 1);
+    let mut server = Server::start(LinkMode::Updateable, src, "v1", fs).unwrap();
+    server.push_requests(vec!["GET /a HTTP/1.0".into(), "GET /b HTTP/1.0".into()]);
+    assert_eq!(server.serve().unwrap(), 2);
+
+    let done = server.completions();
+    assert_eq!(done.len(), 2);
+    // Both responses matched to their own pull, in pull order.
+    assert!(done[0].pulled && done[1].pulled);
+    assert_eq!(done[0].request_id, Some(1));
+    assert_eq!(done[1].request_id, Some(2));
+    assert!(done[0].response.starts_with("first:"));
+    assert!(done[1].response.starts_with("second:"));
+}

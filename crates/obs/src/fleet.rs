@@ -49,7 +49,7 @@ pub struct RolloutRow {
     pub committed: bool,
     /// Gate (barrier) wait inside the pause, if any.
     pub gate_wait: Duration,
-    /// Sum of the six apply-phase durations.
+    /// Sum of the timed apply-phase durations (drain included).
     pub phase_total: Duration,
     /// Abort cause, when aborted.
     pub detail: Option<String>,
@@ -154,7 +154,7 @@ mod tests {
             "v1",
             "v2",
             Stage::Committed,
-            Some(Duration::from_micros(60)),
+            Some(Duration::from_micros(70)),
             None,
         );
         let b = j.next_update_id();
@@ -174,7 +174,7 @@ mod tests {
         assert!(rows[0].committed);
         assert_eq!(rows[0].worker, Some(0));
         assert_eq!(rows[0].gate_wait, Duration::from_micros(30));
-        assert_eq!(rows[0].phase_total, Duration::from_micros(60));
+        assert_eq!(rows[0].phase_total, Duration::from_micros(70));
         assert!(rows[0].resolved_at.is_some());
         assert!(!rows[1].committed);
         assert_eq!(rows[1].detail.as_deref(), Some("verification failed"));

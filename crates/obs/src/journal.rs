@@ -3,8 +3,8 @@
 //! Every dynamic patch traverses an explicit lifecycle:
 //!
 //! ```text
-//! enqueued -> gate-wait -> verify -> compat -> link -> bind -> init
-//!          -> transform -> committed | aborted
+//! enqueued -> gate-wait -> drain -> verify -> compat -> link -> bind
+//!          -> init -> transform -> committed | aborted
 //! ```
 //!
 //! Each step is recorded as a timestamped, worker-tagged [`Event`] in a
@@ -30,6 +30,9 @@ pub enum Stage {
     Enqueued,
     /// Rollout-gate rendezvous (barrier wait) at the start of a pause.
     GateWait,
+    /// Quiescence drain: in-flight host work (e.g. parked event-loop
+    /// reads) completing before the patch binds.
+    Drain,
     /// Bytecode re-verification.
     Verify,
     /// Update-safety (compatibility) analysis.
@@ -49,9 +52,10 @@ pub enum Stage {
 }
 
 impl Stage {
-    /// The six timed apply phases, in pipeline order (the breakdown of
+    /// The seven timed apply phases, in pipeline order (the breakdown of
     /// `PhaseTimings`).
-    pub const PHASES: [Stage; 6] = [
+    pub const PHASES: [Stage; 7] = [
+        Stage::Drain,
         Stage::Verify,
         Stage::Compat,
         Stage::Link,
@@ -65,6 +69,7 @@ impl Stage {
         match self {
             Stage::Enqueued => "enqueued",
             Stage::GateWait => "gate-wait",
+            Stage::Drain => "drain",
             Stage::Verify => "verify",
             Stage::Compat => "compat",
             Stage::Link => "link",
@@ -81,14 +86,15 @@ impl Stage {
         match self {
             Stage::Enqueued => 0,
             Stage::GateWait => 1,
-            Stage::Verify => 2,
-            Stage::Compat => 3,
-            Stage::Link => 4,
-            Stage::Bind => 5,
-            Stage::Init => 6,
-            Stage::Transform => 7,
-            Stage::Committed => 8,
-            Stage::Aborted => 8,
+            Stage::Drain => 2,
+            Stage::Verify => 3,
+            Stage::Compat => 4,
+            Stage::Link => 5,
+            Stage::Bind => 6,
+            Stage::Init => 7,
+            Stage::Transform => 8,
+            Stage::Committed => 9,
+            Stage::Aborted => 9,
         }
     }
 }
@@ -357,7 +363,7 @@ mod tests {
             "v1",
             "v2",
             Stage::Committed,
-            Some(Duration::from_micros(60)),
+            Some(Duration::from_micros(70)),
             None,
         );
         u
@@ -370,7 +376,7 @@ mod tests {
         let b = full_lifecycle(&j, Some(1));
         assert_ne!(a, b);
         let events = j.events();
-        assert_eq!(events.len(), 16);
+        assert_eq!(events.len(), 18);
         assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
         assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
         assert_eq!(j.update_ids(), vec![a, b]);
@@ -428,7 +434,7 @@ mod tests {
         let j = Journal::new();
         let j2 = j.clone();
         full_lifecycle(&j, None);
-        assert_eq!(j2.len(), 8);
+        assert_eq!(j2.len(), 9);
         assert!(!j2.is_empty());
     }
 }

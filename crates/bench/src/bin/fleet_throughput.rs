@@ -282,6 +282,7 @@ fn rollout_once(policy: RolloutPolicy) -> Result<(), Box<dyn std::error::Error>>
     let mut wl = Workload::new(fs.paths(), 1.0, 17);
     let gen = &patch_stream()?[2]; // v3 -> v4 (cache representation change)
 
+    let tag = format!("{policy:?}").to_lowercase();
     let fleet = Fleet::start_telemetry(WORKERS, LinkMode::Updateable, &versions::v3(), "v3", &fs)
         .map_err(|e| e.to_string())?;
     // Warm up, then discard pre-rollout history.
@@ -291,7 +292,7 @@ fn rollout_once(policy: RolloutPolicy) -> Result<(), Box<dyn std::error::Error>>
 
     fleet.push_requests(wl.batch(REQUESTS));
     let report = fleet
-        .rollout(&gen.patch, policy)
+        .rollout(&gen.patch, policy.clone())
         .map_err(|e| e.to_string())?;
     fleet.drain(REQUESTS).map_err(|e| e.to_string())?;
     let completions = fleet.completions();
@@ -327,7 +328,6 @@ fn rollout_once(policy: RolloutPolicy) -> Result<(), Box<dyn std::error::Error>>
     for id in tel.journal().update_ids() {
         dsu_obs::journal::validate_lifecycle(&tel.journal().events_for(id))?;
     }
-    let tag = format!("{policy:?}").to_lowercase();
     let dir = std::path::Path::new("target/telemetry");
     std::fs::create_dir_all(dir)?;
     let journal_path = dir.join(format!("fleet_{tag}.jsonl"));

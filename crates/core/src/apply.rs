@@ -126,6 +126,9 @@ pub fn apply_patch(
                 patch_bytes: patch.size_bytes(),
                 heap_before,
                 heap_after: proc.heap_size(),
+                // The runtime flips this for inverse patches; apply_patch
+                // itself is direction-agnostic (a downgrade is an apply).
+                rolled_back: false,
             })
         }
         Err(e) => {

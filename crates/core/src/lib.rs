@@ -19,6 +19,9 @@
 //! * [`PatchGen`] — the tooling: diff two source versions, carry in
 //!   everything safety requires, synthesise state transformers for
 //!   mechanical type changes;
+//! * [`SnapshotRing`] — first-class rollback: a bounded ring of
+//!   pre-update snapshots per process, driving both snapshot restores and
+//!   inverse-patch downgrades through the [`Updater`];
 //! * [`VersionManager`] — version history and best-effort rollback.
 //!
 //! ## Quick start
@@ -52,6 +55,7 @@ pub mod patch;
 pub mod patch_io;
 pub mod patchgen;
 pub mod report;
+pub mod rollback;
 pub mod runtime;
 pub mod version;
 
@@ -64,6 +68,7 @@ pub use patchgen::{
     ALIAS_SUFFIX,
 };
 pub use report::{FailedUpdate, FleetUpdateReport, PhaseTimings, UpdateError, UpdateReport};
+pub use rollback::{SnapshotEntry, SnapshotRing, DEFAULT_SNAPSHOT_DEPTH};
 pub use runtime::{DrainHook, Gate, PauseEvent, PauseLog, RunError, Updater, UpdaterRemote};
 pub use version::VersionManager;
 
@@ -589,6 +594,203 @@ mod tests {
         assert!(vm_.rollback_to(&mut p, "v1"));
         assert_eq!(p.call("f", vec![]).unwrap(), Value::Int(1));
         assert!(!vm_.rollback_to(&mut p, "v9"));
+    }
+
+    #[test]
+    fn snapshot_rollback_restores_prior_version() {
+        let mut p = boot(
+            r#"
+            global hits: int = 0;
+            fun tick(): int { return 1; }
+            fun work(): int { hits = hits + tick(); update; return hits; }
+            "#,
+        );
+        let journal = dsu_obs::Journal::new();
+        let mut up = Updater::new();
+        up.set_journal(journal.clone(), Some(0));
+        let patch = compile_patch(
+            "fun tick(): int { return 100; }",
+            "v1",
+            "v2",
+            &interface_of(&p),
+            Manifest {
+                replaces: vec!["tick".into()],
+                ..Manifest::default()
+            },
+        )
+        .unwrap();
+        up.enqueue(&mut p, patch);
+        // Applies at the update point; old tick already ran -> hits == 1.
+        assert_eq!(up.run(&mut p, "work", vec![]).unwrap(), Value::Int(1));
+        // The forward apply recorded its pre-update snapshot in the ring.
+        assert_eq!(
+            up.snapshot_transitions(),
+            vec![("v1".to_string(), "v2".to_string())]
+        );
+        // New code mutates state past the snapshot...
+        assert_eq!(up.run(&mut p, "work", vec![]).unwrap(), Value::Int(101));
+
+        // ...then the snapshot rollback restores bindings AND state as of
+        // the apply instant (best-effort semantics): the restore lands at
+        // this run's update point, so the post-point read sees hits == 1.
+        up.enqueue_snapshot_rollback(&mut p);
+        assert_eq!(up.run(&mut p, "work", vec![]).unwrap(), Value::Int(1));
+        assert!(up.snapshot_transitions().is_empty());
+        // Back on v1 code (tick -> 1) and v1 state.
+        assert_eq!(up.run(&mut p, "work", vec![]).unwrap(), Value::Int(2));
+
+        let log = up.log();
+        assert_eq!(log.len(), 2);
+        let rb = &log[1];
+        assert!(rb.rolled_back);
+        assert_eq!(rb.from_version, "v2");
+        assert_eq!(rb.to_version, "v1");
+        // The restore is pure rebinding: the whole pause sits in `bind`.
+        assert_eq!(rb.timings.total(), rb.timings.bind + rb.timings.drain);
+
+        // The reverse lifecycle validates and its phase sum equals the
+        // report total exactly.
+        let events = journal.events_for(2);
+        dsu_obs::journal::validate_lifecycle(&events).unwrap();
+        let last = events.last().unwrap();
+        assert_eq!(last.stage, dsu_obs::Stage::RolledBack);
+        let phase_sum: std::time::Duration = events
+            .iter()
+            .filter_map(|e| e.dur)
+            .sum::<std::time::Duration>()
+            - last.dur.unwrap();
+        assert_eq!(phase_sum, rb.timings.total());
+    }
+
+    #[test]
+    fn inverse_patch_downgrades_with_reverse_transformer() {
+        // Representation change: v2 grows `item` by a field. The inverse
+        // patch is generated by diffing the other way round; its reverse
+        // transformer mechanically shrinks the records while *preserving*
+        // state mutated since the upgrade — the property a snapshot
+        // restore cannot offer.
+        // The update point lives in `work`, which never touches `item` —
+        // compat (rightly) refuses type changes under frames that do.
+        let v1 = r#"
+            struct item { name: string, qty: int }
+            global inv: [item] = [item { name: "bolt", qty: 7 }];
+            fun add(n: int): int {
+                inv[0] = item { name: inv[0].name, qty: inv[0].qty + n };
+                return inv[0].qty;
+            }
+            fun work(n: int): int { var q: int = add(n); update; return q; }
+        "#;
+        let v2 = r#"
+            struct item { name: string, qty: int, reserved: int }
+            global inv: [item] = [item { name: "bolt", qty: 7, reserved: 0 }];
+            fun add(n: int): int {
+                inv[0] = item { name: inv[0].name, qty: inv[0].qty + n, reserved: 1 };
+                return inv[0].qty;
+            }
+            fun work(n: int): int { var q: int = add(n); update; return q; }
+        "#;
+        let forward = PatchGen::new().generate(v1, v2, "v1", "v2").unwrap();
+        let inverse = PatchGen::new().generate(v2, v1, "v2", "v1").unwrap();
+        assert_eq!(inverse.stats.transformers_auto, 1, "reverse transformer");
+
+        let mut p = boot(v1);
+        let journal = dsu_obs::Journal::new();
+        let mut up = Updater::new();
+        up.set_journal(journal.clone(), Some(0));
+        up.enqueue(&mut p, forward.patch);
+        // add runs under v1 (qty 10), then the upgrade lands at the point.
+        assert_eq!(
+            up.run(&mut p, "work", vec![Value::Int(3)]).unwrap(),
+            Value::Int(10)
+        );
+        // State mutated under v2: qty 15.
+        assert_eq!(
+            up.run(&mut p, "work", vec![Value::Int(5)]).unwrap(),
+            Value::Int(15)
+        );
+
+        up.enqueue_rollback(&mut p, inverse.patch);
+        // add runs under v2 (qty 21), then the downgrade lands; the
+        // reverse transformer shrinks the records, preserving qty.
+        assert_eq!(
+            up.run(&mut p, "work", vec![Value::Int(6)]).unwrap(),
+            Value::Int(21)
+        );
+        // Back under v1 code with state mutated since the upgrade intact.
+        assert_eq!(
+            up.run(&mut p, "work", vec![Value::Int(1)]).unwrap(),
+            Value::Int(22)
+        );
+
+        let log = up.log();
+        assert_eq!(log.len(), 2);
+        let rb = &log[1];
+        assert!(rb.rolled_back);
+        assert_eq!(
+            (rb.from_version.as_str(), rb.to_version.as_str()),
+            ("v2", "v1")
+        );
+        assert_eq!(rb.globals_transformed, 1);
+        // The undone transition's snapshot is retired from the ring: a
+        // later snapshot rollback cannot "restore" v2.
+        assert!(up.snapshot_transitions().is_empty());
+
+        let events = journal.events_for(2);
+        dsu_obs::journal::validate_lifecycle(&events).unwrap();
+        let last = events.last().unwrap();
+        assert_eq!(last.stage, dsu_obs::Stage::RolledBack);
+        let phase_sum: std::time::Duration = events
+            .iter()
+            .filter_map(|e| e.dur)
+            .sum::<std::time::Duration>()
+            - last.dur.unwrap();
+        assert_eq!(phase_sum, rb.timings.total());
+    }
+
+    #[test]
+    fn empty_ring_rollback_aborts_and_cancel_withdraws() {
+        let mut p = boot("fun work(): int { update; return 1; }");
+        let journal = dsu_obs::Journal::new();
+        let mut up = Updater::new();
+        up.set_journal(journal.clone(), Some(0));
+        up.strict = false;
+
+        // Rolling back a never-updated process aborts with NoSnapshot.
+        up.enqueue_snapshot_rollback(&mut p);
+        assert_eq!(up.run(&mut p, "work", vec![]).unwrap(), Value::Int(1));
+        let failures = up.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].phase, "rollback");
+        assert!(matches!(failures[0].error, UpdateError::NoSnapshot));
+        dsu_obs::journal::validate_lifecycle(&journal.events_for(1)).unwrap();
+
+        // A cancelled patch never applies, and its withdrawn lifecycle
+        // still validates (enqueued -> aborted).
+        let remote = up.remote(&p);
+        let patch = compile_patch(
+            "fun work(): int { update; return 2; }",
+            "v1",
+            "v2",
+            &interface_of(&p),
+            Manifest {
+                replaces: vec!["work".into()],
+                ..Manifest::default()
+            },
+        )
+        .unwrap();
+        remote.enqueue(patch);
+        assert_eq!(remote.cancel_pending("held rollout"), 1);
+        assert_eq!(remote.pending_count(), 0);
+        assert_eq!(up.run(&mut p, "work", vec![]).unwrap(), Value::Int(1));
+        let events = journal.events_for(2);
+        dsu_obs::journal::validate_lifecycle(&events).unwrap();
+        assert!(events
+            .last()
+            .unwrap()
+            .detail
+            .as_deref()
+            .unwrap()
+            .contains("cancelled: held rollout"));
     }
 
     #[test]

@@ -60,14 +60,20 @@ pub struct UpdateReport {
     pub heap_before: usize,
     /// Guest heap footprint (bytes) after the update.
     pub heap_after: usize,
+    /// Whether this apply was a *rollback* — an inverse patch (reverse
+    /// state transformers) or a snapshot restore taking the process back
+    /// to `to_version`, which it ran before. Rollback lifecycles close
+    /// with `rolled-back` in the journal instead of `committed`.
+    pub rolled_back: bool,
 }
 
 impl fmt::Display for UpdateReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} -> {}: {:?} total (drain {:?}, verify {:?}, compat {:?}, link {:?}, bind {:?}, init {:?}, xform {:?}); \
+            "{}{} -> {}: {:?} total (drain {:?}, verify {:?}, compat {:?}, link {:?}, bind {:?}, init {:?}, xform {:?}); \
              {} replaced, {} added, {} removed, {} types, {} transformed",
+            if self.rolled_back { "rollback " } else { "" },
             self.from_version,
             self.to_version,
             self.timings.total(),
@@ -186,6 +192,9 @@ pub enum UpdateError {
     },
     /// The policy refused to update code that is live on the guest stack.
     ActiveCode(Vec<String>),
+    /// A snapshot rollback was requested but the snapshot ring holds no
+    /// entry to restore (never updated, or the ring's bound evicted it).
+    NoSnapshot,
 }
 
 impl fmt::Display for UpdateError {
@@ -199,6 +208,9 @@ impl fmt::Display for UpdateError {
             }
             UpdateError::ActiveCode(fns) => {
                 write!(f, "refused: updated code is active on the stack: {fns:?}")
+            }
+            UpdateError::NoSnapshot => {
+                write!(f, "rollback refused: no snapshot available to restore")
             }
         }
     }
@@ -219,6 +231,7 @@ impl UpdateError {
             UpdateError::Transform { function, .. } if function.starts_with("<init") => "init",
             UpdateError::Transform { .. } => "transform",
             UpdateError::ActiveCode(_) => "policy",
+            UpdateError::NoSnapshot => "rollback",
         }
     }
 }

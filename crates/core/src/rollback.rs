@@ -1,0 +1,184 @@
+//! First-class rollback: a bounded ring of prior binding snapshots.
+//!
+//! Every successful forward update pushes the snapshot taken just before
+//! the apply into a [`SnapshotRing`]; a *downgrade* then has two routes
+//! back, mirroring the two directions the paper's machinery already has:
+//!
+//! * **Inverse patch** — diff the versions the other way round
+//!   ([`crate::PatchGen`] diffs both directions; reverse state
+//!   transformers are synthesised for mechanical type changes) and apply
+//!   it like any patch. Current guest state is *preserved* through the
+//!   reverse transformers — counters keep counting, caches stay warm.
+//! * **Snapshot restore** — pop the ring and restore the recorded
+//!   bindings, slots, type names and global values. Instant and
+//!   transformer-free, but best-effort about state in the same sense as
+//!   [`crate::VersionManager`]: guest mutations made *after* the forward
+//!   update are discarded with the restore.
+//!
+//! Either way the runtime marks the resulting report `rolled_back` and
+//! closes its journal lifecycle with `Stage::RolledBack` — a reverse
+//! lifecycle whose phase sum still equals `timings.total()` exactly.
+
+use std::collections::VecDeque;
+
+use vm::BindingSnapshot;
+
+/// Default number of prior versions a ring retains.
+pub const DEFAULT_SNAPSHOT_DEPTH: usize = 4;
+
+/// One retired version: the bindings recorded immediately before the
+/// forward update that superseded it.
+#[derive(Debug)]
+pub struct SnapshotEntry {
+    /// The version the snapshot captures (the update's source).
+    pub from_version: String,
+    /// The version that superseded it (the update's target).
+    pub to_version: String,
+    /// The process bindings at `from_version`.
+    pub snapshot: BindingSnapshot,
+}
+
+/// A bounded LIFO ring of [`SnapshotEntry`]s — newest on top, oldest
+/// evicted once the ring exceeds its depth.
+#[derive(Debug)]
+pub struct SnapshotRing {
+    depth: usize,
+    entries: VecDeque<SnapshotEntry>,
+}
+
+impl Default for SnapshotRing {
+    fn default() -> SnapshotRing {
+        SnapshotRing::new(DEFAULT_SNAPSHOT_DEPTH)
+    }
+}
+
+impl SnapshotRing {
+    /// Creates a ring retaining at most `depth` prior versions. A depth
+    /// of zero disables snapshot retention entirely.
+    pub fn new(depth: usize) -> SnapshotRing {
+        SnapshotRing {
+            depth,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// The ring's bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Records the pre-update snapshot of a `from -> to` transition,
+    /// evicting the oldest entry when the ring is full. No-op at depth 0.
+    pub fn push(&mut self, from: &str, to: &str, snapshot: BindingSnapshot) {
+        if self.depth == 0 {
+            return;
+        }
+        if self.entries.len() == self.depth {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(SnapshotEntry {
+            from_version: from.to_string(),
+            to_version: to.to_string(),
+            snapshot,
+        });
+    }
+
+    /// Removes and returns the newest entry.
+    pub fn pop(&mut self) -> Option<SnapshotEntry> {
+        self.entries.pop_back()
+    }
+
+    /// The newest entry's `(from_version, to_version)` transition — what
+    /// a snapshot rollback would undo.
+    pub fn top_transition(&self) -> Option<(String, String)> {
+        self.entries
+            .back()
+            .map(|e| (e.from_version.clone(), e.to_version.clone()))
+    }
+
+    /// Drops the newest entry if it records the transition an inverse
+    /// patch just undid (its `to_version` equals the downgrade's source):
+    /// the snapshot is superseded, holding it would let a later snapshot
+    /// rollback "restore" a version the process already left twice.
+    pub fn retire_undone(&mut self, undone_from: &str) {
+        if self
+            .entries
+            .back()
+            .is_some_and(|e| e.to_version == undone_from)
+        {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Retained transitions, oldest first, as `(from, to)` pairs.
+    pub fn transitions(&self) -> Vec<(String, String)> {
+        self.entries
+            .iter()
+            .map(|e| (e.from_version.clone(), e.to_version.clone()))
+            .collect()
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm::{LinkMode, Process};
+
+    fn snap() -> BindingSnapshot {
+        Process::new(LinkMode::Updateable).snapshot()
+    }
+
+    #[test]
+    fn ring_is_bounded_and_lifo() {
+        let mut ring = SnapshotRing::new(2);
+        ring.push("v1", "v2", snap());
+        ring.push("v2", "v3", snap());
+        ring.push("v3", "v4", snap());
+        assert_eq!(ring.len(), 2);
+        assert_eq!(
+            ring.transitions(),
+            vec![
+                ("v2".to_string(), "v3".to_string()),
+                ("v3".to_string(), "v4".to_string()),
+            ]
+        );
+        assert_eq!(
+            ring.top_transition(),
+            Some(("v3".to_string(), "v4".to_string()))
+        );
+        let top = ring.pop().unwrap();
+        assert_eq!(top.from_version, "v3");
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn depth_zero_retains_nothing() {
+        let mut ring = SnapshotRing::new(0);
+        ring.push("v1", "v2", snap());
+        assert!(ring.is_empty());
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn retire_undone_pops_only_the_matching_transition() {
+        let mut ring = SnapshotRing::new(4);
+        ring.push("v1", "v2", snap());
+        ring.push("v2", "v3", snap());
+        // An inverse patch v3 -> v2 retires the v2 -> v3 snapshot...
+        ring.retire_undone("v3");
+        assert_eq!(ring.len(), 1);
+        // ...but a mismatched downgrade leaves the ring alone.
+        ring.retire_undone("v9");
+        assert_eq!(ring.len(), 1);
+    }
+}

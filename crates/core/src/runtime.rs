@@ -22,7 +22,8 @@ use vm::{Outcome, Process, Trap, UpdateSignal, Value};
 
 use crate::apply::{apply_patch, UpdatePolicy};
 use crate::patch::Patch;
-use crate::report::{FailedUpdate, UpdateError, UpdateReport};
+use crate::report::{FailedUpdate, PhaseTimings, UpdateError, UpdateReport};
+use crate::rollback::SnapshotRing;
 
 /// One update pause: the guest suspended (or sat quiescent) while queued
 /// patches applied. Host instrumentation (e.g. the FlashEd server's
@@ -61,11 +62,41 @@ struct Trace {
     worker: Option<usize>,
 }
 
-/// A patch in the pending queue, tagged with its journal lifecycle id
+/// A queued update operation, tagged with its journal lifecycle id
 /// (0 when no journal is attached).
-struct QueuedPatch {
+struct QueuedOp {
     update: u64,
-    patch: Patch,
+    kind: OpKind,
+}
+
+/// What a queued operation does when the pause drains it.
+enum OpKind {
+    /// Apply `patch`. `rollback` marks an *inverse* patch — a downgrade
+    /// whose reverse state transformers take the process back to a prior
+    /// version while preserving current guest state; its lifecycle closes
+    /// with `RolledBack` instead of `Committed`.
+    Apply { patch: Box<Patch>, rollback: bool },
+    /// Pop the snapshot ring and restore its top entry (best-effort state,
+    /// like [`crate::VersionManager`]). The versions are resolved from the
+    /// ring at enqueue time for the journal's benefit; apply re-reads the
+    /// ring, so a raced ring is surfaced as an abort, not a wrong restore.
+    Restore { from: String, to: String },
+}
+
+impl QueuedOp {
+    fn version_from(&self) -> &str {
+        match &self.kind {
+            OpKind::Apply { patch, .. } => &patch.from_version,
+            OpKind::Restore { from, .. } => from,
+        }
+    }
+
+    fn version_to(&self) -> &str {
+        match &self.kind {
+            OpKind::Apply { patch, .. } => &patch.to_version,
+            OpKind::Restore { to, .. } => to,
+        }
+    }
 }
 
 /// Errors surfaced by the driver loop.
@@ -99,7 +130,7 @@ impl From<Trap> for RunError {
 #[derive(Default)]
 pub struct Updater {
     policy: UpdatePolicy,
-    pending: Arc<Mutex<VecDeque<QueuedPatch>>>,
+    pending: Arc<Mutex<VecDeque<QueuedOp>>>,
     log: Arc<Mutex<Vec<UpdateReport>>>,
     /// Failures of patches that did not apply (the run continues), with
     /// version-transition and failing-phase context attached.
@@ -110,6 +141,15 @@ pub struct Updater {
     gate: Arc<Mutex<Option<Gate>>>,
     /// Persistent quiescence hook run at the start of every pause.
     drain_hook: Arc<Mutex<Option<DrainHook>>>,
+    /// Bounded ring of pre-update snapshots, pushed on every successful
+    /// forward apply — the substrate of first-class rollback. Never
+    /// shared with remotes: snapshots hold `Rc` guest values and must
+    /// stay on the worker thread.
+    snapshots: Arc<Mutex<SnapshotRing>>,
+    /// Send-safe mirror of the ring's `(from, to)` transitions, kept in
+    /// sync on every ring mutation and shared with remotes so a
+    /// coordinator can see what a snapshot rollback would undo.
+    transitions: Arc<Mutex<Vec<(String, String)>>>,
     /// Lifecycle-event destination, shared with remotes (None = tracing
     /// off, the default — enqueues and applies cost nothing extra).
     trace: Arc<Mutex<Option<Trace>>>,
@@ -180,8 +220,56 @@ impl Updater {
     /// Queues a patch and arms the process's update request so the next
     /// executed update point suspends.
     pub fn enqueue(&mut self, proc: &mut Process, patch: Patch) {
-        enqueue_traced(&self.pending, &self.trace, patch);
+        enqueue_traced(
+            &self.pending,
+            &self.trace,
+            OpKind::Apply {
+                patch: Box::new(patch),
+                rollback: false,
+            },
+        );
         proc.request_update(true);
+    }
+
+    /// Queues an *inverse* patch — a downgrade generated by diffing the
+    /// versions the other way round (see [`crate::PatchGen`]) whose
+    /// reverse state transformers preserve current guest state. The
+    /// resulting report is marked [`UpdateReport::rolled_back`] and its
+    /// journal lifecycle closes with `RolledBack`.
+    pub fn enqueue_rollback(&mut self, proc: &mut Process, patch: Patch) {
+        enqueue_traced(
+            &self.pending,
+            &self.trace,
+            OpKind::Apply {
+                patch: Box::new(patch),
+                rollback: true,
+            },
+        );
+        proc.request_update(true);
+    }
+
+    /// Queues a snapshot rollback: at the next pause, pop the snapshot
+    /// ring and restore its top entry (best-effort state — guest
+    /// mutations since the forward update are discarded). Aborts with
+    /// [`UpdateError::NoSnapshot`] when the ring is empty at apply time.
+    pub fn enqueue_snapshot_rollback(&mut self, proc: &mut Process) {
+        let (from, to) = rollback_transition(&self.transitions);
+        enqueue_traced(&self.pending, &self.trace, OpKind::Restore { from, to });
+        proc.request_update(true);
+    }
+
+    /// Resizes the snapshot ring (discarding currently retained
+    /// snapshots). Depth 0 disables retention; the default is
+    /// [`crate::rollback::DEFAULT_SNAPSHOT_DEPTH`].
+    pub fn set_snapshot_depth(&self, depth: usize) {
+        *self.snapshots.lock().expect("poisoned") = SnapshotRing::new(depth);
+        self.transitions.lock().expect("poisoned").clear();
+    }
+
+    /// The `(from, to)` transitions whose pre-update snapshots the ring
+    /// currently retains, oldest first.
+    pub fn snapshot_transitions(&self) -> Vec<(String, String)> {
+        self.transitions.lock().expect("poisoned").clone()
     }
 
     /// Number of patches waiting to be applied.
@@ -221,6 +309,7 @@ impl Updater {
             pauses: Arc::clone(&self.pauses),
             gate: Arc::clone(&self.gate),
             trace: Arc::clone(&self.trace),
+            transitions: Arc::clone(&self.transitions),
             signal: proc.update_signal(),
         }
     }
@@ -268,8 +357,8 @@ impl Updater {
                 let head = self.pending.lock().expect("poisoned").front().map(|q| {
                     (
                         q.update,
-                        q.patch.from_version.clone(),
-                        q.patch.to_version.clone(),
+                        q.version_from().to_string(),
+                        q.version_to().to_string(),
                     )
                 });
                 if let Some((update, from, to)) = head {
@@ -299,14 +388,77 @@ impl Updater {
         loop {
             let queued = self.pending.lock().expect("poisoned").pop_front();
             let Some(queued) = queued else { break };
-            let patch = &queued.patch;
-            match apply_patch(proc, patch, self.policy) {
+            let result = match &queued.kind {
+                OpKind::Apply { patch, rollback } => {
+                    // The pre-update snapshot feeding the rollback ring.
+                    // Forward applies record it on success; rollbacks
+                    // retire the entry they undo instead.
+                    let ring_snap = if *rollback {
+                        None
+                    } else {
+                        let depth = self.snapshots.lock().expect("poisoned").depth();
+                        (depth > 0).then(|| proc.snapshot())
+                    };
+                    match apply_patch(proc, patch, self.policy) {
+                        Ok(mut report) => {
+                            report.rolled_back = *rollback;
+                            let mut ring = self.snapshots.lock().expect("poisoned");
+                            match ring_snap {
+                                Some(snap) => {
+                                    ring.push(&patch.from_version, &patch.to_version, snap);
+                                }
+                                None => ring.retire_undone(&patch.from_version),
+                            }
+                            *self.transitions.lock().expect("poisoned") = ring.transitions();
+                            Ok(report)
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                OpKind::Restore { .. } => {
+                    // A snapshot restore is pure rebinding: the whole
+                    // pause is charged to `bind`, the atomic-flip phase.
+                    let t = Instant::now();
+                    let entry = {
+                        let mut ring = self.snapshots.lock().expect("poisoned");
+                        let entry = ring.pop();
+                        *self.transitions.lock().expect("poisoned") = ring.transitions();
+                        entry
+                    };
+                    match entry {
+                        None => Err(UpdateError::NoSnapshot),
+                        Some(entry) => {
+                            let heap_before = proc.heap_size();
+                            proc.restore(entry.snapshot);
+                            let timings = PhaseTimings {
+                                bind: t.elapsed(),
+                                ..PhaseTimings::default()
+                            };
+                            Ok(UpdateReport {
+                                from_version: entry.to_version,
+                                to_version: entry.from_version,
+                                timings,
+                                functions_replaced: 0,
+                                functions_added: 0,
+                                functions_removed: 0,
+                                types_changed: 0,
+                                globals_transformed: 0,
+                                patch_bytes: 0,
+                                heap_before,
+                                heap_after: proc.heap_size(),
+                                rolled_back: true,
+                            })
+                        }
+                    }
+                }
+            };
+            match result {
                 Ok(mut report) => {
                     // The quiescence wait is charged once, to the first
                     // patch this pause applies.
-                    report.timings.drain = std::mem::take(&mut drain_dur);
+                    report.timings.drain += std::mem::take(&mut drain_dur);
                     if let Some(t) = &trace {
-                        emit_applied(t, &queued, &report);
+                        emit_applied(t, queued.update, &report);
                     }
                     self.log.lock().expect("poisoned").push(report);
                     applied += 1;
@@ -322,7 +474,11 @@ impl Updater {
                     self.failures
                         .lock()
                         .expect("poisoned")
-                        .push(FailedUpdate::new(&patch.from_version, &patch.to_version, e));
+                        .push(FailedUpdate::new(
+                            queued.version_from(),
+                            queued.version_to(),
+                            e,
+                        ));
                 }
             }
         }
@@ -362,40 +518,75 @@ impl Updater {
     }
 }
 
-/// Queues `patch`, assigning it a journal lifecycle id and emitting the
-/// `Enqueued` event when tracing is on (shared by [`Updater::enqueue`]
-/// and [`UpdaterRemote::enqueue`]).
-fn enqueue_traced(
-    pending: &Mutex<VecDeque<QueuedPatch>>,
-    trace: &Mutex<Option<Trace>>,
-    patch: Patch,
-) {
+/// Queues an operation, assigning it a journal lifecycle id and emitting
+/// the `Enqueued` event when tracing is on (shared by [`Updater::enqueue`]
+/// and [`UpdaterRemote::enqueue`] and their rollback variants).
+fn enqueue_traced(pending: &Mutex<VecDeque<QueuedOp>>, trace: &Mutex<Option<Trace>>, kind: OpKind) {
     let t = trace.lock().expect("poisoned").clone();
     let update = match &t {
         Some(t) => t.journal.next_update_id(),
         None => 0,
     };
+    let queued = QueuedOp { update, kind };
     if let Some(t) = &t {
         t.journal.record(
             t.worker,
             update,
-            &patch.from_version,
-            &patch.to_version,
+            queued.version_from(),
+            queued.version_to(),
             Stage::Enqueued,
             None,
             None,
         );
     }
-    pending
+    pending.lock().expect("poisoned").push_back(queued);
+}
+
+/// The `(from, to)` a snapshot rollback enqueued *now* would report: the
+/// ring's top transition reversed, read from the Send-safe mirror. Falls
+/// back to `"?"` when the ring is empty (the apply will abort with
+/// `NoSnapshot`).
+fn rollback_transition(transitions: &Mutex<Vec<(String, String)>>) -> (String, String) {
+    transitions
         .lock()
         .expect("poisoned")
-        .push_back(QueuedPatch { update, patch });
+        .last()
+        .map(|(from, to)| (to.clone(), from.clone()))
+        .unwrap_or_else(|| ("?".to_string(), "?".to_string()))
+}
+
+/// Drains every queued operation without applying it, emitting an
+/// `Aborted` lifecycle event per operation when tracing is on. Used by a
+/// coordinator to withdraw patches from a worker that must not proceed
+/// (a held rollout, a stalled gate). Returns how many were cancelled.
+fn cancel_traced(
+    pending: &Mutex<VecDeque<QueuedOp>>,
+    trace: &Mutex<Option<Trace>>,
+    reason: &str,
+) -> usize {
+    let drained: Vec<QueuedOp> = pending.lock().expect("poisoned").drain(..).collect();
+    if let Some(t) = trace.lock().expect("poisoned").clone() {
+        for q in &drained {
+            t.journal.record(
+                t.worker,
+                q.update,
+                q.version_from(),
+                q.version_to(),
+                Stage::Aborted,
+                None,
+                Some(&format!("cancelled: {reason}")),
+            );
+        }
+    }
+    drained.len()
 }
 
 /// Emits the seven phase events (durations copied verbatim from the
 /// report's [`crate::PhaseTimings`], so journal sums equal
-/// `timings.total()` exactly) followed by `Committed`.
-fn emit_applied(t: &Trace, queued: &QueuedPatch, report: &UpdateReport) {
+/// `timings.total()` exactly) followed by the terminal stage —
+/// `Committed`, or `RolledBack` for a downgrade, either way carrying the
+/// pipeline total.
+fn emit_applied(t: &Trace, update: u64, report: &UpdateReport) {
     let ts = &report.timings;
     let phases = [
         (Stage::Drain, ts.drain),
@@ -409,7 +600,7 @@ fn emit_applied(t: &Trace, queued: &QueuedPatch, report: &UpdateReport) {
     for (stage, dur) in phases {
         t.journal.record(
             t.worker,
-            queued.update,
+            update,
             &report.from_version,
             &report.to_version,
             stage,
@@ -417,24 +608,29 @@ fn emit_applied(t: &Trace, queued: &QueuedPatch, report: &UpdateReport) {
             None,
         );
     }
+    let terminal = if report.rolled_back {
+        Stage::RolledBack
+    } else {
+        Stage::Committed
+    };
     t.journal.record(
         t.worker,
-        queued.update,
+        update,
         &report.from_version,
         &report.to_version,
-        Stage::Committed,
+        terminal,
         Some(ts.total()),
         None,
     );
 }
 
 /// Emits `Aborted`, carrying the failing phase and cause.
-fn emit_aborted(t: &Trace, queued: &QueuedPatch, error: &UpdateError) {
+fn emit_aborted(t: &Trace, queued: &QueuedOp, error: &UpdateError) {
     t.journal.record(
         t.worker,
         queued.update,
-        &queued.patch.from_version,
-        &queued.patch.to_version,
+        queued.version_from(),
+        queued.version_to(),
         Stage::Aborted,
         None,
         Some(&format!("{}: {error}", error.phase())),
@@ -448,12 +644,13 @@ fn emit_aborted(t: &Trace, queued: &QueuedPatch, error: &UpdateError) {
 /// the shared logs as the worker applies.
 #[derive(Clone)]
 pub struct UpdaterRemote {
-    pending: Arc<Mutex<VecDeque<QueuedPatch>>>,
+    pending: Arc<Mutex<VecDeque<QueuedOp>>>,
     log: Arc<Mutex<Vec<UpdateReport>>>,
     failures: Arc<Mutex<Vec<FailedUpdate>>>,
     pauses: PauseLog,
     gate: Arc<Mutex<Option<Gate>>>,
     trace: Arc<Mutex<Option<Trace>>>,
+    transitions: Arc<Mutex<Vec<(String, String)>>>,
     signal: UpdateSignal,
 }
 
@@ -472,8 +669,56 @@ impl UpdaterRemote {
     /// suspends and applies at its next executed update point (or the
     /// worker applies at its next quiescent boundary).
     pub fn enqueue(&self, patch: Patch) {
-        enqueue_traced(&self.pending, &self.trace, patch);
+        enqueue_traced(
+            &self.pending,
+            &self.trace,
+            OpKind::Apply {
+                patch: Box::new(patch),
+                rollback: false,
+            },
+        );
         self.signal.arm();
+    }
+
+    /// Queues an *inverse* patch on the worker: a downgrade whose reverse
+    /// state transformers preserve current guest state. The report comes
+    /// back marked [`UpdateReport::rolled_back`] and the lifecycle closes
+    /// with `RolledBack` (see [`Updater::enqueue_rollback`]).
+    pub fn enqueue_rollback(&self, patch: Patch) {
+        enqueue_traced(
+            &self.pending,
+            &self.trace,
+            OpKind::Apply {
+                patch: Box::new(patch),
+                rollback: true,
+            },
+        );
+        self.signal.arm();
+    }
+
+    /// Queues a snapshot rollback on the worker: pop its snapshot ring
+    /// and restore the top entry at the next pause (see
+    /// [`Updater::enqueue_snapshot_rollback`]).
+    pub fn enqueue_snapshot_rollback(&self) {
+        let (from, to) = rollback_transition(&self.transitions);
+        enqueue_traced(&self.pending, &self.trace, OpKind::Restore { from, to });
+        self.signal.arm();
+    }
+
+    /// Withdraws every queued operation before it applies, emitting an
+    /// `Aborted` journal event per operation (`cancelled: {reason}`).
+    /// Returns how many were cancelled. The worker's next pause then
+    /// finds an empty queue and resumes untouched — this is how a
+    /// coordinator holds a rollout or defuses a stalled worker without
+    /// letting the withdrawn patch land later.
+    pub fn cancel_pending(&self, reason: &str) -> usize {
+        cancel_traced(&self.pending, &self.trace, reason)
+    }
+
+    /// The `(from, to)` transitions whose pre-update snapshots the
+    /// worker's ring retains, oldest first.
+    pub fn snapshot_transitions(&self) -> Vec<(String, String)> {
+        self.transitions.lock().expect("poisoned").clone()
     }
 
     /// Installs a one-shot gate run at the start of the next pause, before

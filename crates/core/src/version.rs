@@ -7,6 +7,11 @@
 //! Rollback is best-effort in the same sense the paper discusses undoing
 //! updates: state mutated in place by guest code after the update (not by
 //! transformers, which are staged) is not reconstructed.
+//!
+//! This is the *manual* history tool. The [`crate::runtime::Updater`]
+//! carries its own bounded [`crate::rollback::SnapshotRing`], recorded
+//! automatically on every forward apply, plus an inverse-patch downgrade
+//! path that preserves live state — see [`crate::rollback`].
 
 use vm::{BindingSnapshot, Process};
 

@@ -14,10 +14,17 @@
 //! * [`RolloutPolicy::Rolling`] — workers apply one at a time; while one
 //!   pauses the rest keep serving, so the fleet never stops completing
 //!   requests. Transient version skew; no fleet-wide gap.
+//! * [`RolloutPolicy::Guarded`] — a canary worker updates first and a
+//!   [`crate::guard::HealthGate`] judges every step (pause-SLO budget,
+//!   error counters, completion liveness) before the patch advances; a
+//!   breach holds the line or rolls every updated worker back, and the
+//!   whole run leaves a [`crate::guard::RolloutReportCard`] behind.
 //!
 //! Workers run their updaters non-strict: a worker whose apply is rejected
 //! keeps serving its old version and the failure lands in the rollout's
 //! [`FleetUpdateReport`] — the rest of the fleet still rolls forward.
+//! Deliberate misbehaviour for hardening tests is threaded in per worker
+//! through [`WorkerOverride::fault`] (see [`crate::fault::FaultPlan`]).
 
 use std::fmt;
 use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
@@ -25,10 +32,14 @@ use std::sync::{Arc, Barrier};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use dsu_core::{FleetUpdateReport, Patch, UpdaterRemote};
+use dsu_core::{FleetUpdateReport, Patch, UpdateReport, UpdaterRemote};
 use vm::LinkMode;
 
+use crate::fault::FaultPlan;
 use crate::fs::SimFs;
+use crate::guard::{
+    BreachAction, HealthBreach, HealthGate, PauseSlo, RolloutOutcome, RolloutReportCard, StepHealth,
+};
 use crate::server::{Completion, ServeMode, Server, ServerShared};
 use crate::telemetry::{FleetTelemetry, ServerTelemetry};
 
@@ -43,6 +54,9 @@ pub struct WorkerOverride {
     pub cache_entries: Option<usize>,
     /// In-flight request window (event-loop mode only).
     pub max_in_flight: Option<usize>,
+    /// Injected misbehaviour for hardening tests: pause/gate delays take
+    /// effect at this worker's update pauses, read errors at its boot.
+    pub fault: FaultPlan,
 }
 
 /// Fleet configuration: size, link mode, serve mode, telemetry, and
@@ -68,6 +82,10 @@ pub struct FleetConfig {
     /// Per-worker overrides, indexed by worker id; missing entries mean
     /// "no override".
     pub overrides: Vec<WorkerOverride>,
+    /// How long rollouts (and [`Fleet::drain`]) wait for a worker before
+    /// giving up. Hardening tests shrink this so an injected gate stall
+    /// surfaces in milliseconds instead of [`ROLLOUT_DEADLINE`].
+    pub rollout_deadline: Duration,
 }
 
 impl FleetConfig {
@@ -79,7 +97,14 @@ impl FleetConfig {
             serve_mode: ServeMode::Blocking,
             telemetry: false,
             overrides: Vec::new(),
+            rollout_deadline: ROLLOUT_DEADLINE,
         }
+    }
+
+    /// Sets the rollout/drain deadline.
+    pub fn rollout_deadline(mut self, deadline: Duration) -> FleetConfig {
+        self.rollout_deadline = deadline;
+        self
     }
 
     /// Sets the link mode.
@@ -166,6 +191,17 @@ pub enum FleetError {
         /// The worker that never resolved its patch.
         worker: usize,
     },
+    /// A rolling rollout stalled mid-fleet: some workers already serve the
+    /// new version, the rest never will (the stalled worker's pending
+    /// patch was withdrawn) — the fleet is left version-skewed and the
+    /// caller must decide whether to retry forward or roll the updated
+    /// workers back.
+    PartialRollout {
+        /// Workers now serving the new version.
+        updated: Vec<usize>,
+        /// Workers still on the old version (stalled or never reached).
+        remaining: Vec<usize>,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -183,6 +219,10 @@ impl fmt::Display for FleetError {
             FleetError::RolloutStalled { worker } => {
                 write!(f, "worker {worker} did not reach an update boundary")
             }
+            FleetError::PartialRollout { updated, remaining } => write!(
+                f,
+                "rolling rollout stalled mid-fleet: {updated:?} updated, {remaining:?} remaining"
+            ),
         }
     }
 }
@@ -190,13 +230,28 @@ impl fmt::Display for FleetError {
 impl std::error::Error for FleetError {}
 
 /// How a patch is rolled out across the fleet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RolloutPolicy {
     /// Pause every worker at its next update point, apply everywhere at
     /// once (barrier rendezvous), resume everywhere.
     Simultaneous,
     /// Apply to one worker at a time; the rest keep serving throughout.
     Rolling,
+    /// Self-healing rolling rollout: update the `canary` worker first,
+    /// judge its post-step health (pause SLO, error counters, completion
+    /// liveness) through a [`HealthGate`], then advance worker by worker
+    /// re-checking after every step; on a breach, execute `on_breach` —
+    /// hold, or roll every already-updated worker back. Use
+    /// [`Fleet::rollout_guarded`] to also get the
+    /// [`RolloutReportCard`].
+    Guarded {
+        /// The worker updated (and judged) first.
+        canary: usize,
+        /// The update-pause budget each step is held against.
+        pause_slo: PauseSlo,
+        /// What to do when a step breaches.
+        on_breach: BreachAction,
+    },
 }
 
 /// How long an idle worker waits for control traffic before rechecking
@@ -225,6 +280,9 @@ pub struct Fleet {
     /// The version every worker booted on (the skew baseline).
     boot_version: String,
     telemetry: Option<Arc<FleetTelemetry>>,
+    /// How long rollouts and drains wait for a worker (see
+    /// [`FleetConfig::rollout_deadline`]).
+    rollout_deadline: Duration,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -311,6 +369,11 @@ impl Fleet {
             if let Some(latency) = ov.read_latency {
                 fs.set_read_latency(latency);
             }
+            // Read-error faults apply to the worker's own filesystem
+            // handle, before boot — content stays shared, failures don't.
+            if ov.fault.read_errors {
+                fs.set_read_failures(true);
+            }
             let serve_mode = match cfg.serve_mode {
                 ServeMode::Blocking => ServeMode::Blocking,
                 ServeMode::EventLoop(mut ec) => {
@@ -324,13 +387,15 @@ impl Fleet {
                 }
             };
             let mode = cfg.link_mode;
+            let fault = ov.fault;
             let shared_w = shared.clone();
             let tel_w = telemetry.as_ref().map(|t| t.worker(id).clone());
             let join = thread::Builder::new()
                 .name(format!("flashed-worker-{id}"))
                 .spawn(move || {
                     worker_main(
-                        mode, serve_mode, src, version, fs, shared_w, tel_w, ctrl_rx, boot_tx,
+                        mode, serve_mode, src, version, fs, fault, shared_w, tel_w, ctrl_rx,
+                        boot_tx,
                     )
                 })
                 .map_err(|e| FleetError::Worker {
@@ -377,6 +442,7 @@ impl Fleet {
             workers,
             boot_version: version.to_string(),
             telemetry,
+            rollout_deadline: cfg.rollout_deadline,
         })
     }
 
@@ -396,16 +462,19 @@ impl Fleet {
             .unwrap_or_else(|| self.boot_version.clone())
     }
 
+    /// The version each worker currently serves, in worker order.
+    pub fn live_versions(&self) -> Vec<String> {
+        self.workers
+            .iter()
+            .map(|w| self.worker_version(w))
+            .collect()
+    }
+
     /// Recomputes the version-skew gauge from the workers' current
     /// versions (no-op without telemetry).
     fn refresh_skew(&self) {
         if let Some(t) = &self.telemetry {
-            let versions: Vec<String> = self
-                .workers
-                .iter()
-                .map(|w| self.worker_version(w))
-                .collect();
-            t.set_live_versions(&versions);
+            t.set_live_versions(&self.live_versions());
         }
     }
 
@@ -446,7 +515,7 @@ impl Fleet {
     ///
     /// Errors if the fleet does not drain within the deadline.
     pub fn drain(&self, expected: usize) -> Result<(), FleetError> {
-        let deadline = Instant::now() + ROLLOUT_DEADLINE;
+        let deadline = Instant::now() + self.rollout_deadline;
         loop {
             if self.shared.queue_len() == 0 && self.shared.completions_len() >= expected {
                 return Ok(());
@@ -466,13 +535,37 @@ impl Fleet {
     /// each worker has either applied it or had it rejected. Serving
     /// continues throughout (for [`RolloutPolicy::Rolling`], completions
     /// never stop fleet-wide; for [`RolloutPolicy::Simultaneous`], the
-    /// whole fleet pauses once, together).
+    /// whole fleet pauses once, together). For
+    /// [`RolloutPolicy::Guarded`] this delegates to
+    /// [`Fleet::rollout_guarded`] and drops the report card.
     ///
     /// # Errors
     ///
     /// Errors if a worker fails to reach an update boundary within the
-    /// rollout deadline (e.g. its thread died).
+    /// rollout deadline (e.g. its thread died). A rolling rollout that
+    /// stalls after at least one worker updated returns
+    /// [`FleetError::PartialRollout`] (the stalled worker's pending patch
+    /// is withdrawn first, so it cannot land later).
     pub fn rollout(
+        &self,
+        patch: &Patch,
+        policy: RolloutPolicy,
+    ) -> Result<FleetUpdateReport, FleetError> {
+        match policy {
+            RolloutPolicy::Guarded {
+                canary,
+                pause_slo,
+                on_breach,
+            } => self
+                .rollout_guarded(patch, canary, pause_slo, on_breach)
+                .map(|(report, _)| report),
+            policy => self.rollout_unguarded(patch, policy),
+        }
+    }
+
+    /// The [`RolloutPolicy::Simultaneous`] / [`RolloutPolicy::Rolling`]
+    /// driver (see [`Fleet::rollout`]).
+    fn rollout_unguarded(
         &self,
         patch: &Patch,
         policy: RolloutPolicy,
@@ -480,21 +573,7 @@ impl Fleet {
         if let Some(t) = &self.telemetry {
             t.record_rollout_start();
         }
-        let mut report = FleetUpdateReport {
-            workers: self.workers.len(),
-            ..FleetUpdateReport::default()
-        };
-        let baselines: Vec<(usize, usize, usize)> = self
-            .workers
-            .iter()
-            .map(|w| {
-                (
-                    w.remote.applied_count(),
-                    w.remote.failure_count(),
-                    w.remote.pauses().len(),
-                )
-            })
-            .collect();
+        let baselines = self.baselines();
 
         match policy {
             RolloutPolicy::Simultaneous => {
@@ -518,15 +597,42 @@ impl Fleet {
             RolloutPolicy::Rolling => {
                 for (w, base) in self.workers.iter().zip(&baselines) {
                     w.remote.enqueue(patch.clone());
-                    self.await_worker(w, *base)?;
+                    if let Err(stall) = self.await_worker(w, *base) {
+                        return Err(self.rolling_stall(w, &baselines, stall));
+                    }
                     // Per-step skew: the gauge's peak over a rolling
                     // rollout is the transient mixed-version window.
                     self.refresh_skew();
                 }
             }
+            RolloutPolicy::Guarded { .. } => unreachable!("handled by rollout()"),
         }
 
-        for (w, (applied0, failed0, pauses0)) in self.workers.iter().zip(&baselines) {
+        Ok(self.collect_report(&baselines))
+    }
+
+    /// Per-worker `(applied, failed, pauses)` counts before a rollout.
+    fn baselines(&self) -> Vec<(usize, usize, usize)> {
+        self.workers
+            .iter()
+            .map(|w| {
+                (
+                    w.remote.applied_count(),
+                    w.remote.failure_count(),
+                    w.remote.pauses().len(),
+                )
+            })
+            .collect()
+    }
+
+    /// Gathers everything each worker applied/failed/paused since
+    /// `baselines` into a [`FleetUpdateReport`].
+    fn collect_report(&self, baselines: &[(usize, usize, usize)]) -> FleetUpdateReport {
+        let mut report = FleetUpdateReport {
+            workers: self.workers.len(),
+            ..FleetUpdateReport::default()
+        };
+        for (w, (applied0, failed0, pauses0)) in self.workers.iter().zip(baselines) {
             for r in w.remote.reports().drain(*applied0..) {
                 report.applied.push((w.id, r));
             }
@@ -536,7 +642,187 @@ impl Fleet {
             let pause: Duration = w.remote.pauses().iter().skip(*pauses0).map(|p| p.dur).sum();
             report.pauses.push(pause);
         }
-        Ok(report)
+        report
+    }
+
+    /// A rolling rollout stalled at `stalled`: withdraw its pending patch
+    /// (it must not land after the coordinator gave up) and classify —
+    /// nothing updated yet keeps the plain stall error, a mid-fleet stall
+    /// becomes [`FleetError::PartialRollout`].
+    fn rolling_stall(
+        &self,
+        stalled: &Worker,
+        baselines: &[(usize, usize, usize)],
+        stall: FleetError,
+    ) -> FleetError {
+        stalled.remote.cancel_pending("rolling rollout stalled");
+        self.refresh_skew();
+        let updated: Vec<usize> = self
+            .workers
+            .iter()
+            .zip(baselines)
+            .filter(|(w, (applied0, _, _))| w.remote.applied_count() > *applied0)
+            .map(|(w, _)| w.id)
+            .collect();
+        if updated.is_empty() {
+            return stall;
+        }
+        let remaining = self
+            .workers
+            .iter()
+            .map(|w| w.id)
+            .filter(|id| !updated.contains(id))
+            .collect();
+        FleetError::PartialRollout { updated, remaining }
+    }
+
+    /// The [`RolloutPolicy::Guarded`] driver: canary first, then worker
+    /// by worker, each step judged by a [`HealthGate`] before the next
+    /// begins. On a breach the rollout holds or rolls every updated
+    /// worker back (reverse step order) per `on_breach`. Returns the
+    /// fleet report plus the run's [`RolloutReportCard`].
+    ///
+    /// # Errors
+    ///
+    /// Errors only when a *rollback* stalls (a worker that must undo
+    /// cannot be reached) — forward stalls are health breaches, handled
+    /// by the gate, not errors.
+    pub fn rollout_guarded(
+        &self,
+        patch: &Patch,
+        canary: usize,
+        pause_slo: PauseSlo,
+        on_breach: BreachAction,
+    ) -> Result<(FleetUpdateReport, RolloutReportCard), FleetError> {
+        assert!(canary < self.workers.len(), "canary out of range");
+        if let Some(t) = &self.telemetry {
+            t.record_rollout_start();
+        }
+        let baselines = self.baselines();
+        let read_error_base: Vec<u64> = self.read_error_counts();
+        let gate = HealthGate::new(pause_slo);
+
+        // Canary first, then the rest in worker order.
+        let order: Vec<usize> = std::iter::once(canary)
+            .chain((0..self.workers.len()).filter(|&i| i != canary))
+            .collect();
+
+        let mut steps: Vec<StepHealth> = Vec::new();
+        let mut forward: Vec<(usize, UpdateReport)> = Vec::new();
+        let mut outcome = RolloutOutcome::Completed;
+        let mut rollbacks: Vec<(usize, UpdateReport)> = Vec::new();
+
+        for &i in &order {
+            let w = &self.workers[i];
+            let (applied0, failed0, pauses0) = baselines[i];
+            let step_completions = self.shared.completions_len();
+            w.remote.enqueue(patch.clone());
+            let stalled = self.await_worker(w, baselines[i]).is_err();
+            if stalled {
+                // The worker never reached its boundary: defuse it so the
+                // withdrawn patch cannot land after the rollout moved on.
+                w.remote.cancel_pending("guarded rollout: step stalled");
+            } else {
+                // The apply is visible before its pause event (the worker
+                // pushes the pause after the op drains); wait for the
+                // event so the gate never judges a step pauseless.
+                let deadline = Instant::now() + self.rollout_deadline;
+                while w.remote.pauses().len() <= pauses0 && Instant::now() < deadline {
+                    thread::sleep(Duration::from_micros(50));
+                }
+            }
+            let pauses: Vec<Duration> = w
+                .remote
+                .pauses()
+                .iter()
+                .skip(pauses0)
+                .map(|p| p.dur)
+                .collect();
+            let health = StepHealth {
+                worker: w.id,
+                pause_at_quantile: pause_slo.observe(&pauses),
+                new_failures: w.remote.failure_count() - failed0,
+                new_read_errors: self.read_error_counts()[i] - read_error_base[i],
+                new_completions: self.shared.completions_len() - step_completions,
+                queued: self.shared.queue_len(),
+            };
+            let verdict = if stalled {
+                Err(HealthBreach::Stalled { worker: w.id })
+            } else {
+                gate.check(&health)
+            };
+            steps.push(health);
+            for r in w.remote.reports().drain(applied0..) {
+                forward.push((w.id, r));
+            }
+            self.refresh_skew();
+
+            if let Err(breach) = verdict {
+                outcome = match on_breach {
+                    BreachAction::Hold => RolloutOutcome::Held(breach),
+                    BreachAction::RollBack { ref inverse } => {
+                        rollbacks = self.roll_back_workers(&forward, inverse.as_deref())?;
+                        RolloutOutcome::RolledBack(breach)
+                    }
+                };
+                break;
+            }
+        }
+
+        let report = self.collect_report(&baselines);
+        let card = RolloutReportCard {
+            transition: (patch.from_version.clone(), patch.to_version.clone()),
+            canary,
+            slo: pause_slo,
+            steps,
+            outcome,
+            forward,
+            rollbacks,
+            final_versions: self.live_versions(),
+        };
+        Ok((report, card))
+    }
+
+    /// Rolls every worker in `forward` back to the patch's source
+    /// version, newest step first: through `inverse` when supplied
+    /// (state-preserving reverse transformers), through each worker's
+    /// snapshot ring otherwise. Returns the per-worker rollback reports.
+    fn roll_back_workers(
+        &self,
+        forward: &[(usize, UpdateReport)],
+        inverse: Option<&Patch>,
+    ) -> Result<Vec<(usize, UpdateReport)>, FleetError> {
+        let mut rollbacks = Vec::new();
+        for (id, _) in forward.iter().rev() {
+            let w = &self.workers[*id];
+            let base = (
+                w.remote.applied_count(),
+                w.remote.failure_count(),
+                w.remote.pauses().len(),
+            );
+            match inverse {
+                Some(p) => w.remote.enqueue_rollback(p.clone()),
+                None => w.remote.enqueue_snapshot_rollback(),
+            }
+            self.await_worker(w, base)?;
+            if let Some(r) = w.remote.reports().last() {
+                if r.rolled_back {
+                    rollbacks.push((w.id, r.clone()));
+                }
+            }
+            self.refresh_skew();
+        }
+        Ok(rollbacks)
+    }
+
+    /// Per-worker device-read-error counts (zeros untelemetered).
+    fn read_error_counts(&self) -> Vec<u64> {
+        match &self.telemetry {
+            Some(t) => (0..self.workers.len())
+                .map(|i| t.worker(i).read_errors())
+                .collect(),
+            None => vec![0; self.workers.len()],
+        }
     }
 
     /// Waits until `worker` has resolved one more patch than its baseline.
@@ -545,7 +831,7 @@ impl Fleet {
         worker: &Worker,
         (applied0, failed0, _): (usize, usize, usize),
     ) -> Result<(), FleetError> {
-        let deadline = Instant::now() + ROLLOUT_DEADLINE;
+        let deadline = Instant::now() + self.rollout_deadline;
         loop {
             let done =
                 worker.remote.applied_count() + worker.remote.failure_count() > applied0 + failed0;
@@ -608,6 +894,7 @@ fn worker_main(
     src: String,
     version: String,
     fs: SimFs,
+    fault: FaultPlan,
     shared: ServerShared,
     telemetry: Option<ServerTelemetry>,
     ctrl: mpsc::Receiver<Ctrl>,
@@ -624,6 +911,9 @@ fn worker_main(
     // Fleet workers keep serving their old version when a patch is
     // rejected; the coordinator reads the failure out of the shared log.
     server.updater.strict = false;
+    if fault.delays_pauses() {
+        server.inject_fault(fault);
+    }
     if boot_tx.send(Ok(server.remote())).is_err() {
         return Ok(0); // coordinator went away before boot finished
     }

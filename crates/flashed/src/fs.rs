@@ -16,21 +16,31 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::rng::Rng;
 
 /// An in-memory filesystem: path → content.
+///
+/// Clones share the *content* (the same shared "disk", so a write through
+/// one handle is visible to every clone — what lets a fleet coordinator
+/// mutate files a worker serves) while keeping per-clone device
+/// character: read latency and injected read failures stay private to
+/// each handle, so one worker's fault plan never slows its siblings.
 #[derive(Debug, Clone, Default)]
 pub struct SimFs {
-    files: BTreeMap<String, String>,
+    files: Arc<RwLock<BTreeMap<String, String>>>,
     /// Simulated per-read device latency (zero by default). Flash — and
     /// hence the paper's testbed — is disk-bound; modelling the read wait
     /// lets multi-worker experiments overlap I/O the way the real server
     /// overlapped disk requests.
     read_latency: Duration,
+    /// Fault injection: when set, every read pays its latency and then
+    /// fails (returns `None`) even though the file exists — a dying
+    /// device, not a missing document.
+    fail_reads: bool,
 }
 
 impl SimFs {
@@ -39,18 +49,45 @@ impl SimFs {
         SimFs::default()
     }
 
-    /// Adds (or replaces) a file.
-    pub fn insert(&mut self, path: impl Into<String>, content: impl Into<String>) {
-        self.files.insert(path.into(), content.into());
+    /// Adds (or replaces) a file. Visible to every clone sharing this
+    /// filesystem's content.
+    pub fn insert(&self, path: impl Into<String>, content: impl Into<String>) {
+        self.files
+            .write()
+            .expect("poisoned")
+            .insert(path.into(), content.into());
+    }
+
+    /// Mutates a file in place — [`SimFs::insert`] under the name the
+    /// write-through cache-invalidation path uses (see [`AsyncFs::write`],
+    /// which pairs the content change with a [`BufferCache::invalidate`]).
+    pub fn write(&self, path: impl Into<String>, content: impl Into<String>) {
+        self.insert(path, content);
     }
 
     /// Reads a file's content, stalling for the simulated device latency
-    /// (if one is configured).
-    pub fn read(&self, path: &str) -> Option<&str> {
+    /// (if one is configured). Returns `None` for missing files — and,
+    /// with [`SimFs::set_read_failures`] armed, for every read.
+    pub fn read(&self, path: &str) -> Option<String> {
         if !self.read_latency.is_zero() {
             std::thread::sleep(self.read_latency);
         }
-        self.files.get(path).map(String::as_str)
+        if self.fail_reads {
+            return None;
+        }
+        self.files.read().expect("poisoned").get(path).cloned()
+    }
+
+    /// Arms (or disarms) injected read failures on *this handle only*:
+    /// reads pay their latency and fail, while [`SimFs::exists`] still
+    /// answers — a failing device, not an empty one.
+    pub fn set_read_failures(&mut self, fail: bool) {
+        self.fail_reads = fail;
+    }
+
+    /// Whether this handle's reads are set to fail.
+    pub fn read_failures(&self) -> bool {
+        self.fail_reads
     }
 
     /// Sets the simulated per-read device latency (builder form).
@@ -71,24 +108,29 @@ impl SimFs {
         self.read_latency
     }
 
-    /// Whether a file exists.
+    /// Whether a file exists (metadata survives injected read failures).
     pub fn exists(&self, path: &str) -> bool {
-        self.files.contains_key(path)
+        self.files.read().expect("poisoned").contains_key(path)
     }
 
     /// Number of files.
     pub fn len(&self) -> usize {
-        self.files.len()
+        self.files.read().expect("poisoned").len()
     }
 
     /// Whether the filesystem is empty.
     pub fn is_empty(&self) -> bool {
-        self.files.is_empty()
+        self.len() == 0
     }
 
     /// All paths, sorted.
     pub fn paths(&self) -> Vec<String> {
-        self.files.keys().cloned().collect()
+        self.files
+            .read()
+            .expect("poisoned")
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Generates `n` files named `/fNNN.html` with sizes drawn uniformly
@@ -96,7 +138,7 @@ impl SimFs {
     /// the static-document corpora of web-server benchmarks.
     pub fn generate(n: usize, size_range: (usize, usize), seed: u64) -> SimFs {
         let mut rng = Rng::seed_from_u64(seed);
-        let mut fs = SimFs::new();
+        let fs = SimFs::new();
         for i in 0..n {
             let size = if size_range.0 >= size_range.1 {
                 size_range.0
@@ -138,6 +180,9 @@ pub struct BufferCache {
     inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Entries dropped from the cache: LRU pressure plus explicit
+    /// invalidations (the write-through path).
+    evictions: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -155,6 +200,7 @@ impl BufferCache {
             inner: Mutex::new(CacheInner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -192,11 +238,25 @@ impl BufferCache {
                     break;
                 };
                 inner.entries.remove(&evict);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         } else {
             inner.order.retain(|p| p != path);
         }
         inner.order.push_back(path.to_string());
+    }
+
+    /// Drops `path` from the cache, counting it as an eviction. Returns
+    /// whether an entry was present. The write-through invalidation path:
+    /// a mutated file must not keep serving its stale cached bytes.
+    pub fn invalidate(&self, path: &str) -> bool {
+        let mut inner = self.inner.lock().expect("poisoned");
+        let present = inner.entries.remove(path).is_some();
+        if present {
+            inner.order.retain(|p| p != path);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        present
     }
 
     /// Entries currently cached.
@@ -217,6 +277,11 @@ impl BufferCache {
     /// Counting lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped so far (LRU pressure + invalidations).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -276,7 +341,7 @@ impl AsyncFs {
                         // The device wait happens here, off the event
                         // loop — this sleep is the helper's whole reason
                         // to exist.
-                        let content = fs.read(&job.path).map(str::to_string);
+                        let content = fs.read(&job.path);
                         if let Some(c) = &content {
                             cache.insert(&job.path, c.clone());
                         }
@@ -338,6 +403,14 @@ impl AsyncFs {
     /// Reads submitted but not yet posted as completions.
     pub fn in_flight(&self) -> usize {
         self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Write-through mutation: updates the file's content and drops any
+    /// cached copy, so the next read — event loop or helper — serves the
+    /// new bytes instead of the stale cache entry.
+    pub fn write(&self, path: &str, content: impl Into<String>) {
+        self.fs.write(path, content);
+        self.cache.invalidate(path);
     }
 
     /// The shared buffer cache (for stats and serve-path lookups).
@@ -428,7 +501,7 @@ mod tests {
 
     #[test]
     fn async_fs_completes_submitted_reads() {
-        let mut fs = SimFs::new();
+        let fs = SimFs::new();
         fs.insert("/x", "hello");
         let afs = AsyncFs::new(fs.with_read_latency(Duration::from_micros(200)), 2, 8);
         let t1 = afs.submit("/x");
@@ -458,12 +531,69 @@ mod tests {
 
     #[test]
     fn lookup_semantics() {
-        let mut fs = SimFs::new();
+        let fs = SimFs::new();
         assert!(fs.is_empty());
         fs.insert("/a", "hello");
         assert!(fs.exists("/a"));
         assert!(!fs.exists("/b"));
-        assert_eq!(fs.read("/a"), Some("hello"));
+        assert_eq!(fs.read("/a").as_deref(), Some("hello"));
         assert_eq!(fs.read("/b"), None);
+    }
+
+    #[test]
+    fn clones_share_content_but_not_faults() {
+        let a = SimFs::new();
+        a.insert("/f", "one");
+        let mut b = a.clone();
+        // Shared disk: a write through either handle is seen by both.
+        b.write("/f", "two");
+        assert_eq!(a.read("/f").as_deref(), Some("two"));
+        // Private faults: only the armed handle fails.
+        b.set_read_failures(true);
+        assert_eq!(b.read("/f"), None);
+        assert!(b.exists("/f"), "metadata survives read failures");
+        assert_eq!(a.read("/f").as_deref(), Some("two"));
+    }
+
+    #[test]
+    fn invalidation_counts_as_eviction_and_write_through_works() {
+        let c = BufferCache::new(4);
+        c.insert("/a", "stale".into());
+        assert!(c.invalidate("/a"));
+        assert!(!c.invalidate("/a"), "second invalidation finds nothing");
+        assert_eq!(c.evictions(), 1);
+        assert!(c.peek("/a").is_none());
+
+        // LRU pressure counts into the same counter.
+        let small = BufferCache::new(1);
+        small.insert("/x", "X".into());
+        small.insert("/y", "Y".into());
+        assert_eq!(small.evictions(), 1);
+
+        // End to end through AsyncFs: a cached read, then a write, then
+        // the fresh bytes — never the stale cache entry.
+        let fs = SimFs::new();
+        fs.insert("/doc", "old bytes");
+        let afs = AsyncFs::new(fs, 1, 8);
+        afs.submit("/doc");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while afs.in_flight() > 0 {
+            assert!(std::time::Instant::now() < deadline, "read never completed");
+        }
+        afs.poll();
+        assert_eq!(afs.cache().peek("/doc").as_deref(), Some("old bytes"));
+        afs.write("/doc", "new bytes");
+        assert!(afs.cache().peek("/doc").is_none(), "stale entry dropped");
+        let t = afs.submit("/doc");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let done = loop {
+            assert!(std::time::Instant::now() < deadline, "read never completed");
+            let done = afs.poll();
+            if !done.is_empty() {
+                break done;
+            }
+        };
+        assert_eq!(done[0].ticket, t);
+        assert_eq!(done[0].content.as_deref(), Some("new bytes"));
     }
 }

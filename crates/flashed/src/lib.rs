@@ -18,7 +18,9 @@
 //!   update points;
 //! * a multi-worker [fleet](fleet) that shards one request queue across N
 //!   worker threads and rolls patches out fleet-wide, simultaneously
-//!   (barrier-coordinated) or rolling (one worker at a time);
+//!   (barrier-coordinated), rolling (one worker at a time), or guarded
+//!   (canary + health gate + automatic rollback — see [guard]), with a
+//!   [fault]-injection layer to prove the self-healing paths work;
 //! * a [telemetry] layer: per-server request/pause instruments, a
 //!   fleet-wide update-lifecycle journal, and merged Prometheus/JSON
 //!   scrapes with a live version-skew gauge.
@@ -37,8 +39,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod fault;
 pub mod fleet;
 pub mod fs;
+pub mod guard;
 pub mod http;
 pub mod patches;
 pub mod rng;
@@ -47,8 +51,12 @@ pub mod telemetry;
 pub mod versions;
 pub mod workload;
 
+pub use fault::FaultPlan;
 pub use fleet::{Fleet, FleetConfig, FleetError, RolloutPolicy, WorkerFailure, WorkerOverride};
 pub use fs::{AsyncFs, BufferCache, ReadCompletion, ReadTicket, SimFs};
+pub use guard::{
+    BreachAction, HealthBreach, HealthGate, PauseSlo, RolloutOutcome, RolloutReportCard, StepHealth,
+};
 pub use http::{parse_response, Response};
 pub use patches::patch_stream;
 pub use rng::Rng;

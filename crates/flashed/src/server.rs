@@ -36,6 +36,7 @@ use dsu_core::{Patch, PauseLog, RunError, Updater};
 use tal::{FnSig, Ty};
 use vm::{LinkMode, Process, Value};
 
+use crate::fault::FaultPlan;
 use crate::fs::{AsyncFs, ReadTicket, SimFs};
 use crate::telemetry::ServerTelemetry;
 
@@ -316,6 +317,11 @@ pub struct Server {
     event: Option<Arc<EventState>>,
     /// Pull-id source shared with the `next_request` host closure.
     pull_ids: Arc<AtomicU64>,
+    /// The filesystem handle the guest serves from (shared with the host
+    /// closures; content is shared with every clone of the same disk).
+    fs: Arc<SimFs>,
+    /// Injected misbehaviour, shared with the updater's drain hook.
+    fault: Arc<Mutex<FaultPlan>>,
 }
 
 impl fmt::Debug for Server {
@@ -418,25 +424,52 @@ impl Server {
                 ready: Mutex::new(VecDeque::new()),
             })),
         };
-        if let Some(ev) = &event {
-            // Quiescence gate: before any patch binds, every parked read
-            // must complete. The updater times this wait into the
-            // report's (and journal's) `drain` phase. Drained requests
-            // land in `ready` and are served after the update, under the
-            // new version.
-            let ev = Arc::clone(ev);
-            updater.set_drain_hook(Box::new(move || loop {
-                ev.reap();
-                if ev.parked.lock().expect("poisoned").is_empty() {
-                    break;
+        // Quiescence hook, run and timed at the start of every pause. In
+        // event-loop mode it first drains the parked reads (before any
+        // patch binds, every in-flight read must complete; the wait lands
+        // in the report's and journal's `drain` phase). In both modes it
+        // then sleeps any injected pause faults, so an injected stall is
+        // charged exactly where a genuine quiescence stall would be.
+        let fault = Arc::new(Mutex::new(FaultPlan::default()));
+        {
+            let fault = Arc::clone(&fault);
+            let ev = event.clone();
+            updater.set_drain_hook(Box::new(move || {
+                if let Some(ev) = &ev {
+                    loop {
+                        ev.reap();
+                        if ev.parked.lock().expect("poisoned").is_empty() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(20));
+                    }
                 }
-                std::thread::sleep(Duration::from_micros(20));
+                let plan = *fault.lock().expect("poisoned");
+                plan.sleep();
             }));
         }
 
         {
             let fs = Arc::clone(&fs);
             let event = event.clone();
+            let tel = telemetry.clone();
+            // A read that comes back empty for a file that *exists* is a
+            // device error (e.g. an injected `SimFs` read failure); the
+            // guest is served an empty body and the error is counted
+            // immediately so a mid-rollout health gate sees it.
+            let read_or_count = move |fs: &SimFs, path: &str| -> String {
+                match fs.read(path) {
+                    Some(content) => content,
+                    None => {
+                        if fs.exists(path) {
+                            if let Some(tel) = &tel {
+                                tel.record_read_error();
+                            }
+                        }
+                        String::new()
+                    }
+                }
+            };
             proc.register_host(
                 "fs_read",
                 FnSig::new(vec![Ty::Str], Ty::Str),
@@ -451,12 +484,12 @@ impl Server {
                         Some(ev) => match ev.afs.cache().peek(&path) {
                             Some(content) => Ok(Value::str(&content)),
                             None => {
-                                let content = fs.read(&path).unwrap_or("").to_string();
+                                let content = read_or_count(&fs, &path);
                                 ev.afs.cache().insert(&path, content.clone());
                                 Ok(Value::str(&content))
                             }
                         },
-                        None => Ok(Value::str(fs.read(&path).unwrap_or(""))),
+                        None => Ok(Value::str(read_or_count(&fs, &path))),
                     }
                 }),
             );
@@ -592,6 +625,8 @@ impl Server {
             pauses_seen: 0,
             event,
             pull_ids,
+            fs,
+            fault,
         })
     }
 
@@ -741,6 +776,31 @@ impl Server {
             .map(|ev| (ev.afs.cache().hits(), ev.afs.cache().misses()))
     }
 
+    /// Writes `content` to `path` on this server's disk. In event-loop
+    /// mode the write goes through the async filesystem so the buffer
+    /// cache drops any stale copy (see [`AsyncFs::write`]); clones of the
+    /// same disk (other fleet workers) see the new content on their next
+    /// device read.
+    pub fn write_file(&self, path: &str, content: &str) {
+        match &self.event {
+            Some(ev) => ev.afs.write(path, content),
+            None => self.fs.write(path, content),
+        }
+    }
+
+    /// Installs (or replaces) this server's injected fault plan. Pause
+    /// faults take effect at the next update pause; read-error faults
+    /// cannot be injected here — the filesystem handle is fixed at boot
+    /// (see [`FaultPlan::read_errors`]).
+    pub fn inject_fault(&self, plan: FaultPlan) {
+        *self.fault.lock().expect("poisoned") = plan;
+    }
+
+    /// The currently injected fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        *self.fault.lock().expect("poisoned")
+    }
+
     /// Publishes quiescent-boundary telemetry: mirrors the interpreter
     /// counters into the shared stats and feeds pause-log entries recorded
     /// since the last publish into the update-pause histogram. No-op
@@ -752,7 +812,12 @@ impl Server {
         tel.publish_vm_stats(&self.proc.stats);
         if let Some(ev) = &self.event {
             let cache = ev.afs.cache();
-            tel.publish_cache(cache.hits(), cache.misses(), ev.afs.in_flight());
+            tel.publish_cache(
+                cache.hits(),
+                cache.misses(),
+                cache.evictions(),
+                ev.afs.in_flight(),
+            );
         }
         let pauses = self.updater.pauses();
         for p in &pauses[self.pauses_seen..] {

@@ -43,6 +43,12 @@ pub mod names {
     pub const CACHE_HITS: &str = "flashed_cache_hits_total";
     /// Buffer-cache misses — reads that went to a helper (counter).
     pub const CACHE_MISSES: &str = "flashed_cache_misses_total";
+    /// Buffer-cache entries dropped: LRU pressure plus write-through
+    /// invalidations (counter).
+    pub const CACHE_EVICTIONS: &str = "flashed_cache_evictions_total";
+    /// Device reads that failed on an existing file (counter) — the
+    /// error signal guarded rollouts watch.
+    pub const READ_ERRORS: &str = "flashed_read_errors_total";
     /// Reads submitted to helpers and not yet completed (gauge).
     pub const READS_IN_FLIGHT: &str = "flashed_reads_in_flight";
     /// Distinct versions live across the fleet, minus one (gauge).
@@ -70,6 +76,8 @@ pub struct ServerTelemetry {
     vm_update_points: Counter,
     cache_hits: Counter,
     cache_misses: Counter,
+    cache_evictions: Counter,
+    read_errors: Counter,
     reads_in_flight: Gauge,
 }
 
@@ -139,6 +147,14 @@ impl ServerTelemetry {
             names::CACHE_MISSES,
             "buffer-cache misses (reads that went to a helper)",
         );
+        let cache_evictions = registry.counter(
+            names::CACHE_EVICTIONS,
+            "buffer-cache entries dropped (LRU pressure + invalidations)",
+        );
+        let read_errors = registry.counter(
+            names::READ_ERRORS,
+            "device reads that failed on an existing file",
+        );
         let reads_in_flight = registry.gauge(
             names::READS_IN_FLIGHT,
             "reads submitted to helpers and not yet completed",
@@ -157,6 +173,8 @@ impl ServerTelemetry {
             vm_update_points,
             cache_hits,
             cache_misses,
+            cache_evictions,
+            read_errors,
             reads_in_flight,
         }
     }
@@ -217,10 +235,18 @@ impl ServerTelemetry {
 
     /// Publishes buffer-cache counters and the in-flight-reads gauge.
     /// Called by event-loop servers at quiescent boundaries.
-    pub(crate) fn publish_cache(&self, hits: u64, misses: u64, in_flight: usize) {
+    pub(crate) fn publish_cache(&self, hits: u64, misses: u64, evictions: u64, in_flight: usize) {
         self.cache_hits.store(hits);
         self.cache_misses.store(misses);
+        self.cache_evictions.store(evictions);
         self.reads_in_flight.set(in_flight as i64);
+    }
+
+    /// Counts one failed device read on an existing file. Recorded
+    /// immediately (not at publish boundaries): a health gate polling
+    /// mid-rollout must see the error before the worker next quiesces.
+    pub(crate) fn record_read_error(&self) {
+        self.read_errors.inc();
     }
 
     /// Buffer-cache hits published so far (zero in blocking mode).
@@ -231,6 +257,16 @@ impl ServerTelemetry {
     /// Buffer-cache misses published so far (zero in blocking mode).
     pub fn cache_misses(&self) -> u64 {
         self.cache_misses.get()
+    }
+
+    /// Buffer-cache entries dropped so far (LRU + invalidations).
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions.get()
+    }
+
+    /// Failed device reads on existing files so far.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.get()
     }
 }
 

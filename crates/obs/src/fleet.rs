@@ -47,6 +47,9 @@ pub struct RolloutRow {
     pub resolved_at: Option<Duration>,
     /// Whether the patch committed (`false` = aborted or unresolved).
     pub committed: bool,
+    /// Whether this lifecycle was a rollback (closed with `RolledBack`):
+    /// the worker runs the *prior* version again.
+    pub rolled_back: bool,
     /// Gate (barrier) wait inside the pause, if any.
     pub gate_wait: Duration,
     /// Sum of the timed apply-phase durations (drain included).
@@ -75,6 +78,7 @@ pub fn rollout_timeline(events: &[Event]) -> Vec<RolloutRow> {
                 enqueued_at: enq.at,
                 resolved_at: None,
                 committed: false,
+                rolled_back: false,
                 gate_wait: Duration::ZERO,
                 phase_total: Duration::ZERO,
                 detail: None,
@@ -90,6 +94,11 @@ pub fn rollout_timeline(events: &[Event]) -> Vec<RolloutRow> {
                         row.resolved_at = Some(e.at);
                     }
                     Stage::Aborted => {
+                        row.resolved_at = Some(e.at);
+                        row.detail = e.detail.clone();
+                    }
+                    Stage::RolledBack => {
+                        row.rolled_back = true;
                         row.resolved_at = Some(e.at);
                         row.detail = e.detail.clone();
                     }

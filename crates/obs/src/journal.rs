@@ -4,8 +4,14 @@
 //!
 //! ```text
 //! enqueued -> gate-wait -> drain -> verify -> compat -> link -> bind
-//!          -> init -> transform -> committed | aborted
+//!          -> init -> transform -> committed | aborted | rolled-back
 //! ```
+//!
+//! A *reverse* lifecycle — an inverse patch or snapshot restore undoing a
+//! prior update — traverses the same stages and closes with
+//! [`Stage::RolledBack`] instead of `Committed`; its phase events carry
+//! the rollback's own `PhaseTimings`, so the phase-sum invariant holds
+//! for downgrades exactly as it does for upgrades.
 //!
 //! Each step is recorded as a timestamped, worker-tagged [`Event`] in a
 //! shared [`Journal`]. Events carry the *same* phase durations that land
@@ -49,6 +55,11 @@ pub enum Stage {
     Committed,
     /// The patch was rejected or rolled back.
     Aborted,
+    /// A rollback applied: the process runs the *prior* version again
+    /// (inverse patch with reverse state transformers, or a snapshot
+    /// restore). Terminal, like `Committed`, and carries the rollback's
+    /// whole-pipeline total the same way.
+    RolledBack,
 }
 
 impl Stage {
@@ -78,6 +89,7 @@ impl Stage {
             Stage::Transform => "transform",
             Stage::Committed => "committed",
             Stage::Aborted => "aborted",
+            Stage::RolledBack => "rolled-back",
         }
     }
 
@@ -95,6 +107,7 @@ impl Stage {
             Stage::Transform => 8,
             Stage::Committed => 9,
             Stage::Aborted => 9,
+            Stage::RolledBack => 9,
         }
     }
 }
@@ -295,8 +308,11 @@ impl Journal {
 
 /// Checks the ordering invariants of one update's event slice (as
 /// returned by [`Journal::events_for`]): non-empty, opening with
-/// `Enqueued`, closing with `Committed` or `Aborted`, stages in
-/// lifecycle order, and `seq`/`at` monotonic.
+/// `Enqueued`, closing with `Committed`, `Aborted` or `RolledBack`,
+/// stages in lifecycle order, and `seq`/`at` monotonic. Abort and
+/// rollback orderings are accepted alike: an aborted lifecycle may close
+/// straight from `Enqueued`, and a reverse (rollback) lifecycle runs the
+/// same phase sequence as a forward one.
 ///
 /// # Errors
 ///
@@ -310,9 +326,12 @@ pub fn validate_lifecycle(events: &[Event]) -> Result<(), String> {
         ));
     }
     let last = events.last().expect("non-empty");
-    if !matches!(last.stage, Stage::Committed | Stage::Aborted) {
+    if !matches!(
+        last.stage,
+        Stage::Committed | Stage::Aborted | Stage::RolledBack
+    ) {
         return Err(format!(
-            "lifecycle closes with {}, not committed/aborted",
+            "lifecycle closes with {}, not committed/aborted/rolled-back",
             last.stage
         ));
     }
@@ -405,6 +424,50 @@ mod tests {
         j.record(None, u2, "v1", "v2", Stage::Enqueued, None, None);
         let e = validate_lifecycle(&j.events_for(u2)).unwrap_err();
         assert!(e.contains("closes"), "{e}");
+    }
+
+    #[test]
+    fn lifecycle_validation_accepts_rollbacks() {
+        // A reverse lifecycle runs the same stages and closes with
+        // `RolledBack`; the validator treats it like any terminal stage.
+        let j = Journal::new();
+        let u = j.next_update_id();
+        j.record(Some(2), u, "v2", "v1", Stage::Enqueued, None, None);
+        for stage in Stage::PHASES {
+            j.record(
+                Some(2),
+                u,
+                "v2",
+                "v1",
+                stage,
+                Some(Duration::from_micros(5)),
+                None,
+            );
+        }
+        j.record(
+            Some(2),
+            u,
+            "v2",
+            "v1",
+            Stage::RolledBack,
+            Some(Duration::from_micros(35)),
+            None,
+        );
+        validate_lifecycle(&j.events_for(u)).unwrap();
+
+        // An aborted rollback is still a valid (abort-ordered) lifecycle.
+        let u2 = j.next_update_id();
+        j.record(Some(2), u2, "v2", "v1", Stage::Enqueued, None, None);
+        j.record(
+            Some(2),
+            u2,
+            "v2",
+            "v1",
+            Stage::Aborted,
+            None,
+            Some("no snapshot available"),
+        );
+        validate_lifecycle(&j.events_for(u2)).unwrap();
     }
 
     #[test]

@@ -1,75 +1,170 @@
 //! Table 3 — overhead of updateable compilation (indirection) on compute
 //! kernels.
 //!
-//! Each kernel runs under static linking (direct call targets) and
-//! updateable linking (every call through a Global Indirection Table
-//! slot). The overhead should track call density: call-dense kernels
+//! Each kernel runs in three variants: static linking (direct call
+//! targets), updateable linking with inline caching disabled ("cold":
+//! every call pays the Global Indirection Table lookup, the pre-cache
+//! behaviour), and updateable linking with per-site inline caches
+//! ("cached": table traffic only on the first call after a rebind).
+//! The overhead should track call density: call-dense kernels
 //! (`pingpong`, `fib`) pay the most, loop/array kernels the least.
 //!
 //! Run with: `cargo run --release -p dsu-bench --bin table3_indirection`
+//!
+//! Flags: `--quick` (CI-sized sampling), `--json <path>` (write the
+//! measurements), `--max-cached-overhead <pct>` (exit non-zero when the
+//! mean cached overhead across kernels exceeds the bound — the CI
+//! regression gate).
+
+use std::io::Write as _;
+use std::time::Duration;
 
 use dsu_bench::kernels::{boot_kernel, kernels, run_kernel};
-use dsu_bench::measure::{fmt_dur, overhead_percent, row, rule, time_interleaved_iters};
+use dsu_bench::measure::{fmt_dur, overhead_percent, row, rule, time_interleaved3};
 use vm::LinkMode;
 
-const SAMPLES: usize = 25;
-const ITERS: usize = 8;
+struct Measurement {
+    name: &'static str,
+    t_static: Duration,
+    t_cold: Duration,
+    t_cached: Duration,
+    calls: u64,
+    instrs: u64,
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let max_cached: Option<f64> = args
+        .iter()
+        .position(|a| a == "--max-cached-overhead")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--max-cached-overhead takes a percent"));
+    let (samples, iters) = if quick { (6, 2) } else { (25, 8) };
+
     println!(
         "Table 3: updateable-compilation overhead \
-         (min of {SAMPLES} interleaved samples x {ITERS} runs)\n"
+         (min of {samples} interleaved samples x {iters} runs)\n"
     );
-    let widths = [9, 11, 11, 9, 10, 11, 13];
+    let widths = [9, 11, 11, 9, 11, 9, 10, 11];
     row(
         &[
             "kernel",
             "static",
-            "updateable",
+            "upd-cold",
+            "overhead",
+            "upd-cached",
             "overhead",
             "calls",
             "instrs",
-            "calls/kinstr",
         ],
         &widths,
     );
     rule(&widths);
 
+    let mut results = Vec::new();
     for k in kernels() {
         let mut ps = boot_kernel(&k, LinkMode::Static);
+        let mut pc = boot_kernel(&k, LinkMode::Updateable);
+        pc.set_inline_caching(false);
         let mut pu = boot_kernel(&k, LinkMode::Updateable);
-        let (t_static, t_upd) = time_interleaved_iters(
-            SAMPLES,
-            ITERS,
+        let (t_static, t_cold, t_cached) = time_interleaved3(
+            samples,
+            iters,
             || run_kernel(&mut ps, &k),
+            || run_kernel(&mut pc, &k),
             || run_kernel(&mut pu, &k),
         );
 
         // Per-run instruction/call profile (from one clean run).
         let mut probe = boot_kernel(&k, LinkMode::Static);
         run_kernel(&mut probe, &k);
-        let calls = probe.stats.calls;
-        let instrs = probe.stats.instrs;
-        let density = calls as f64 / instrs as f64 * 1000.0;
 
+        let m = Measurement {
+            name: k.name,
+            t_static,
+            t_cold,
+            t_cached,
+            calls: probe.stats.calls,
+            instrs: probe.stats.instrs,
+        };
         row(
             &[
-                k.name,
-                &fmt_dur(t_static),
-                &fmt_dur(t_upd),
-                &format!("{:+.1}%", overhead_percent(t_static, t_upd)),
-                &calls.to_string(),
-                &instrs.to_string(),
-                &format!("{density:.1}"),
+                m.name,
+                &fmt_dur(m.t_static),
+                &fmt_dur(m.t_cold),
+                &format!("{:+.1}%", overhead_percent(m.t_static, m.t_cold)),
+                &fmt_dur(m.t_cached),
+                &format!("{:+.1}%", overhead_percent(m.t_static, m.t_cached)),
+                &m.calls.to_string(),
+                &m.instrs.to_string(),
             ],
             &widths,
         );
+        results.push(m);
     }
+
+    let mean = |f: &dyn Fn(&Measurement) -> f64| {
+        results.iter().map(f).sum::<f64>() / results.len() as f64
+    };
+    let mean_cold = mean(&|m| overhead_percent(m.t_static, m.t_cold));
+    let mean_cached = mean(&|m| overhead_percent(m.t_static, m.t_cached));
     println!(
-        "\n(expected shape: small single-digit-percent overhead, concentrated in\n\
-         call-dense kernels — one extra dependent load per call through the\n\
-         rebindable slot. On this interpreter substrate the per-call dispatch\n\
-         cost is a few ns against ~200ns of interpretation, so call-sparse\n\
-         kernels sit at the measurement noise floor.)"
+        "\nmean overhead vs static: cold {mean_cold:+.2}%, cached {mean_cached:+.2}%\n\
+         (cold = every call re-resolves through the indirection table; cached =\n\
+         per-site inline caches validated against the bind generation, so a warm\n\
+         site skips the rebindable slot entirely — one generation compare, then\n\
+         a direct code-store fetch. The paper's Table 3 predicts overhead\n\
+         concentrated in call-dense kernels; on this substrate both updateable\n\
+         variants sit within ~1-3% of static because the GIT is a flat dense\n\
+         table and the decoded dispatch loop dominates.)"
     );
+
+    if let Some(path) = json_path {
+        let entries: Vec<String> = results
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"kernel\":\"{}\",\"static_ns\":{},\"cold_ns\":{},\"cached_ns\":{},\
+                     \"cold_overhead_pct\":{},\"cached_overhead_pct\":{},\
+                     \"calls\":{},\"instrs\":{}}}",
+                    dsu_obs::json::escape(m.name),
+                    m.t_static.as_nanos(),
+                    m.t_cold.as_nanos(),
+                    m.t_cached.as_nanos(),
+                    dsu_obs::json::num(overhead_percent(m.t_static, m.t_cold)),
+                    dsu_obs::json::num(overhead_percent(m.t_static, m.t_cached)),
+                    m.calls,
+                    m.instrs,
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\"bench\":\"table3_indirection\",\"quick\":{quick},\
+             \"mean_cold_overhead_pct\":{},\"mean_cached_overhead_pct\":{},\
+             \"kernels\":[{}]}}\n",
+            dsu_obs::json::num(mean_cold),
+            dsu_obs::json::num(mean_cached),
+            entries.join(",")
+        );
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create json dir");
+        }
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        f.write_all(doc.as_bytes()).expect("write json");
+        println!("wrote {path}");
+    }
+
+    if let Some(bound) = max_cached {
+        if mean_cached > bound {
+            eprintln!("FAIL: mean cached overhead {mean_cached:+.2}% exceeds bound {bound:+.2}%");
+            std::process::exit(1);
+        }
+        println!("gate: mean cached overhead {mean_cached:+.2}% within bound {bound:+.2}%");
+    }
 }

@@ -70,6 +70,48 @@ where
     (ta / iters as u32, tb / iters as u32)
 }
 
+/// Three-way variant of [`time_interleaved_iters`]: workloads A, B and C
+/// run round-robin (A, B, C, A, B, C, …), each timed sample covering
+/// `iters` iterations; returns per-iteration minimum durations. Used for
+/// static vs updateable-cold vs updateable-cached dispatch comparisons,
+/// where all three must see the same thermal/frequency conditions.
+pub fn time_interleaved3<A, B, C>(
+    samples: usize,
+    iters: usize,
+    mut a: A,
+    mut b: B,
+    mut c: C,
+) -> (Duration, Duration, Duration)
+where
+    A: FnMut(),
+    B: FnMut(),
+    C: FnMut(),
+{
+    a();
+    b();
+    c(); // warmup
+    let mut best = [Duration::MAX; 3];
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        best[0] = best[0].min(t.elapsed());
+        let t = Instant::now();
+        for _ in 0..iters {
+            b();
+        }
+        best[1] = best[1].min(t.elapsed());
+        let t = Instant::now();
+        for _ in 0..iters {
+            c();
+        }
+        best[2] = best[2].min(t.elapsed());
+    }
+    let n = iters.max(1) as u32;
+    (best[0] / n, best[1] / n, best[2] / n)
+}
+
 /// Relative overhead of `test` over `base`, in percent.
 pub fn overhead_percent(base: Duration, test: Duration) -> f64 {
     if base.is_zero() {

@@ -38,7 +38,13 @@ pub fn parse_response(raw: &str) -> Option<Response> {
     let mut headers = Vec::new();
     for line in lines {
         let (name, value) = line.split_once(':')?;
-        headers.push((name.trim().to_string(), value.trim().to_string()));
+        let name = name.trim();
+        // A line like ": value" has no header name; that's a server bug,
+        // not an empty-named header.
+        if name.is_empty() {
+            return None;
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
     }
     Some(Response {
         status,
@@ -69,6 +75,13 @@ mod tests {
         assert!(parse_response("NOPE 200 OK\r\n\r\n").is_none());
         assert!(parse_response("HTTP/1.0 abc OK\r\n\r\n").is_none());
         assert!(parse_response("HTTP/1.0 200 OK\r\nbadheader\r\n\r\nx").is_none());
+        // Empty header names are malformed, whether bare or padded.
+        assert!(parse_response("HTTP/1.0 200 OK\r\n: value\r\n\r\nx").is_none());
+        assert!(parse_response("HTTP/1.0 200 OK\r\n  : value\r\n\r\nx").is_none());
+        // A status code fused with the reason phrase is rejected like any
+        // other non-numeric code field.
+        assert!(parse_response("HTTP/1.0 200OK\r\n\r\nx").is_none());
+        assert!(parse_response("HTTP/1.0\r\n\r\nx").is_none());
     }
 
     #[test]

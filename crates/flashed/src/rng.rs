@@ -44,8 +44,13 @@ impl Rng {
     /// Panics when `lo > hi`.
     pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi, "empty range {lo}..={hi}");
-        let span = (hi - lo) as u64 + 1;
-        lo + (self.next_u64() % span) as usize
+        // Span arithmetic stays in u64: `hi - lo + 1` wraps to 0 for the
+        // full-width range, in which case any output is in range.
+        let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+        if span == 0 {
+            return self.next_u64() as usize;
+        }
+        lo.wrapping_add((self.next_u64() % span) as usize)
     }
 
     /// Uniform `i64` in `lo..=hi`.
@@ -54,8 +59,14 @@ impl Rng {
     /// Panics when `lo > hi`.
     pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo <= hi, "empty range {lo}..={hi}");
-        let span = (hi - lo) as u64 + 1;
-        lo + (self.next_u64() % span) as i64
+        // The span of e.g. `i64::MIN..=i64::MAX` overflows i64 (and `+ 1`
+        // wraps even u64), so compute it wrapping in u64 and treat a wrap
+        // to 0 as "full range".
+        let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+        if span == 0 {
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add((self.next_u64() % span) as i64)
     }
 
     /// A uniformly chosen element of `items`.
@@ -107,5 +118,38 @@ mod tests {
         }
         assert!(seen.iter().all(|&s| s));
         assert_eq!(r.gen_range_usize(3, 3), 3);
+    }
+
+    #[test]
+    fn extreme_i64_ranges_do_not_overflow() {
+        let mut r = Rng::seed_from_u64(11);
+        // Full-width range: span wraps to 0 in u64; any i64 is valid.
+        for _ in 0..100 {
+            let _ = r.gen_range_i64(i64::MIN, i64::MAX);
+        }
+        // Wider-than-i64 spans starting at i64::MIN (the `hi - lo` that
+        // panics in debug builds before the wrapping fix).
+        for _ in 0..100 {
+            let v = r.gen_range_i64(i64::MIN, 0);
+            assert!(v <= 0);
+            let v = r.gen_range_i64(i64::MIN, i64::MAX - 1);
+            assert!(v < i64::MAX);
+            let v = r.gen_range_i64(-1, i64::MAX);
+            assert!(v >= -1);
+        }
+        // Degenerate extremes.
+        assert_eq!(r.gen_range_i64(i64::MIN, i64::MIN), i64::MIN);
+        assert_eq!(r.gen_range_i64(i64::MAX, i64::MAX), i64::MAX);
+    }
+
+    #[test]
+    fn extreme_usize_ranges_do_not_overflow() {
+        let mut r = Rng::seed_from_u64(12);
+        for _ in 0..100 {
+            let _ = r.gen_range_usize(0, usize::MAX);
+            let v = r.gen_range_usize(1, usize::MAX);
+            assert!(v >= 1);
+        }
+        assert_eq!(r.gen_range_usize(usize::MAX, usize::MAX), usize::MAX);
     }
 }

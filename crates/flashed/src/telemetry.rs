@@ -429,6 +429,8 @@ mod tests {
             instrs: 100,
             calls: 10,
             slot_calls: 5,
+            ic_hits: 4,
+            ic_misses: 1,
             host_calls: 3,
             update_points: 2,
         };

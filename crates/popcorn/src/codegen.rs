@@ -165,6 +165,22 @@ impl Gen<'_, '_> {
                 self.fb.emit(Instr::Not);
             }
             TExprKind::IntBin(op, l, r) => {
+                // Canonicalize a constant *left* operand to the right
+                // (swapping commutative ops, flipping comparisons) so the
+                // VM's decoder sees its `... PushInt k; binop` shape and can
+                // fuse the pair into a superinstruction. A literal is pure,
+                // so evaluation order cannot be observed.
+                let (op, l, r) = match (op, &l.kind, &r.kind) {
+                    (op, TExprKind::Int(_), k) if !matches!(k, TExprKind::Int(_)) => match op {
+                        IntBin::Add | IntBin::Mul | IntBin::Eq | IntBin::Ne => (*op, r, l),
+                        IntBin::Lt => (IntBin::Gt, r, l),
+                        IntBin::Le => (IntBin::Ge, r, l),
+                        IntBin::Gt => (IntBin::Lt, r, l),
+                        IntBin::Ge => (IntBin::Le, r, l),
+                        IntBin::Sub | IntBin::Div | IntBin::Rem => (*op, l, r),
+                    },
+                    (op, _, _) => (*op, l, r),
+                };
                 self.expr(l);
                 self.expr(r);
                 self.fb.emit(match op {

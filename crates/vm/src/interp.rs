@@ -5,11 +5,18 @@
 //! hold an `Rc` to their code: a frame that was executing a function when
 //! it got replaced finishes under the old code — the paper's semantics for
 //! updating active code.
+//!
+//! The loop dispatches over each function's **pre-decoded** form (see
+//! [`crate::decode`]): operands are pre-extracted, hot pairs are fused
+//! into superinstructions, and updateable calls go through per-site
+//! inline caches validated against the process's bind generation — so a
+//! warm call pays no indirection-table traffic at all, while any rebind
+//! is observed by the very next call through every site.
 
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::ops::Op;
+use crate::decode::{DOp, InlineCache};
 use crate::process::{LinkedFunction, Process};
 use crate::trap::Trap;
 use crate::value::{FnRef, Value};
@@ -17,12 +24,16 @@ use crate::value::{FnRef, Value};
 /// Cumulative execution counters, used by the benchmark harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Instructions executed.
+    /// Decoded instructions executed (a fused superinstruction counts 1).
     pub instrs: u64,
     /// Guest-to-guest calls.
     pub calls: u64,
     /// Calls that went through an indirection-table slot.
     pub slot_calls: u64,
+    /// Slot calls answered by a warm inline cache (no table traffic).
+    pub ic_hits: u64,
+    /// Slot calls that (re-)resolved through the indirection table.
+    pub ic_misses: u64,
     /// Host calls.
     pub host_calls: u64,
     /// Update points executed (whether or not they suspended).
@@ -42,6 +53,8 @@ pub struct ExecStatsShared {
     instrs: AtomicU64,
     calls: AtomicU64,
     slot_calls: AtomicU64,
+    ic_hits: AtomicU64,
+    ic_misses: AtomicU64,
     host_calls: AtomicU64,
     update_points: AtomicU64,
 }
@@ -58,6 +71,8 @@ impl ExecStatsShared {
         self.instrs.store(stats.instrs, Ordering::Relaxed);
         self.calls.store(stats.calls, Ordering::Relaxed);
         self.slot_calls.store(stats.slot_calls, Ordering::Relaxed);
+        self.ic_hits.store(stats.ic_hits, Ordering::Relaxed);
+        self.ic_misses.store(stats.ic_misses, Ordering::Relaxed);
         self.host_calls.store(stats.host_calls, Ordering::Relaxed);
         self.update_points
             .store(stats.update_points, Ordering::Relaxed);
@@ -69,6 +84,8 @@ impl ExecStatsShared {
             instrs: self.instrs.load(Ordering::Relaxed),
             calls: self.calls.load(Ordering::Relaxed),
             slot_calls: self.slot_calls.load(Ordering::Relaxed),
+            ic_hits: self.ic_hits.load(Ordering::Relaxed),
+            ic_misses: self.ic_misses.load(Ordering::Relaxed),
             host_calls: self.host_calls.load(Ordering::Relaxed),
             update_points: self.update_points.load(Ordering::Relaxed),
         }
@@ -80,7 +97,7 @@ impl ExecStatsShared {
 pub struct Frame {
     /// The code this frame executes (pinned: survives rebinding).
     pub func: Rc<LinkedFunction>,
-    /// Next instruction index.
+    /// Next instruction index (into the function's *decoded* code).
     pub pc: usize,
     /// Local slots (parameters first).
     pub locals: Vec<Value>,
@@ -110,11 +127,14 @@ impl Frame {
 /// Finished frames donate their `locals`/`stack` buffers to a small pool
 /// so the hot call path does not allocate — keeping per-call cost low
 /// enough that the *dispatch* difference between static and updateable
-/// linking (the paper's overhead experiment) is what dominates.
+/// linking (the paper's overhead experiment) is what dominates. Host
+/// calls marshal their arguments through a reusable scratch buffer for
+/// the same reason.
 #[derive(Debug)]
 pub struct ExecState {
     frames: Vec<Frame>,
     pool: Vec<(Vec<Value>, Vec<Value>)>,
+    host_args: Vec<Value>,
 }
 
 impl ExecState {
@@ -123,6 +143,7 @@ impl ExecState {
         ExecState {
             frames: vec![frame],
             pool: Vec::new(),
+            host_args: Vec::new(),
         }
     }
 
@@ -155,21 +176,64 @@ pub enum Outcome {
     Suspended,
 }
 
+/// Resolves a slot-call site through its inline cache.
+///
+/// A warm cache whose generation matches the process's current bind
+/// generation answers with no indirection-table traffic — one compare,
+/// then a direct code-store fetch. Otherwise the slot is consulted and
+/// the cache refilled at the current generation (so the next rebind —
+/// which bumps the generation — invalidates it again).
+#[inline]
+fn resolve_slot_call(
+    proc: &mut Process,
+    ic: &InlineCache,
+    generation: u64,
+) -> Result<Rc<LinkedFunction>, Trap> {
+    proc.stats.slot_calls += 1;
+    if generation != 0 {
+        if let Some(id) = ic.lookup(generation) {
+            proc.stats.ic_hits += 1;
+            return Ok(Rc::clone(proc.function(id)));
+        }
+        proc.stats.ic_misses += 1;
+        let id = proc
+            .slot_target(ic.slot)
+            .ok_or_else(|| Trap::UnboundSlot(proc.slot_name(ic.slot).to_string()))?;
+        ic.fill(generation, id);
+        return Ok(Rc::clone(proc.function(id)));
+    }
+    let id = proc
+        .slot_target(ic.slot)
+        .ok_or_else(|| Trap::UnboundSlot(proc.slot_name(ic.slot).to_string()))?;
+    Ok(Rc::clone(proc.function(id)))
+}
+
 /// Runs `st` to completion (or suspension) against `proc`.
 ///
 /// `honor_updates` gates whether `update.point` instructions can suspend;
 /// state transformers and host-driven helper calls run with it off.
+#[allow(clippy::too_many_lines)]
 pub(crate) fn exec(
     proc: &mut Process,
     st: &mut ExecState,
     honor_updates: bool,
 ) -> Result<Outcome, Trap> {
+    // The top frame's code, mirrored into a local so instruction fetch
+    // borrows neither the frame stack nor the process. Re-synced on every
+    // call and return.
+    let mut func = Rc::clone(&st.frames.last().expect("at least one frame").func);
+    // Nothing can rebind while `&mut Process` is held by this loop, so the
+    // bind generation is a loop invariant; hoist it (0 = caching disabled,
+    // which no real generation ever equals).
+    let generation = if proc.inline_caching() {
+        proc.bind_generation()
+    } else {
+        0
+    };
     loop {
-        // Fetch. The clone is cheap: most ops are plain enum data, strings
-        // are reference-counted.
         let op = {
-            let frame = st.frames.last().expect("at least one frame");
-            frame.func.code[frame.pc].clone()
+            let frame = st.frames.last().expect("frame");
+            &func.decoded[frame.pc]
         };
         proc.stats.instrs += 1;
         if proc.stats.instrs >= proc.fuel_limit() {
@@ -179,25 +243,41 @@ pub(crate) fn exec(
         // Call/return manipulate the frame stack; everything else operates
         // on the current frame only.
         match op {
-            Op::CallDirect(id) => {
-                let frame = st.frames.last_mut().expect("frame");
-                frame.pc += 1;
-                let callee = Rc::clone(proc.function(id));
+            DOp::CallDirect(id) => {
+                let callee = Rc::clone(proc.function(*id));
+                st.frames.last_mut().expect("frame").pc += 1;
+                func = Rc::clone(&callee);
                 push_call(proc, st, callee)?;
                 continue;
             }
-            Op::CallSlot(slot) => {
-                let id = proc
-                    .slot_target(slot)
-                    .ok_or_else(|| Trap::UnboundSlot(proc.slot_name(slot).to_string()))?;
-                let frame = st.frames.last_mut().expect("frame");
-                frame.pc += 1;
-                let callee = Rc::clone(proc.function(id));
-                proc.stats.slot_calls += 1;
+            DOp::CallSlot(ic) => {
+                let callee = resolve_slot_call(proc, ic, generation)?;
+                st.frames.last_mut().expect("frame").pc += 1;
+                func = Rc::clone(&callee);
                 push_call(proc, st, callee)?;
                 continue;
             }
-            Op::CallIndirect => {
+            DOp::LoadLocalCallDirect(n, id) => {
+                let callee = Rc::clone(proc.function(*id));
+                let frame = st.frames.last_mut().expect("frame");
+                let v = frame.locals[*n as usize].clone();
+                frame.stack.push(v);
+                frame.pc += 1;
+                func = Rc::clone(&callee);
+                push_call(proc, st, callee)?;
+                continue;
+            }
+            DOp::LoadLocalCallSlot(n, ic) => {
+                let callee = resolve_slot_call(proc, ic, generation)?;
+                let frame = st.frames.last_mut().expect("frame");
+                let v = frame.locals[*n as usize].clone();
+                frame.stack.push(v);
+                frame.pc += 1;
+                func = Rc::clone(&callee);
+                push_call(proc, st, callee)?;
+                continue;
+            }
+            DOp::CallIndirect => {
                 let fnref = {
                     let frame = st.frames.last_mut().expect("frame");
                     frame.pc += 1;
@@ -211,10 +291,11 @@ pub(crate) fn exec(
                     proc.stats.slot_calls += 1;
                 }
                 let callee = Rc::clone(proc.function(id));
+                func = Rc::clone(&callee);
                 push_call(proc, st, callee)?;
                 continue;
             }
-            Op::Ret => {
+            DOp::Ret => {
                 let mut frame = st.frames.pop().expect("frame");
                 let ret = frame.stack.pop().expect("verified: return value");
                 // Recycle the frame's buffers for future calls.
@@ -224,30 +305,38 @@ pub(crate) fn exec(
                     st.pool.push((frame.locals, frame.stack));
                 }
                 match st.frames.last_mut() {
-                    Some(caller) => caller.stack.push(ret),
+                    Some(caller) => {
+                        caller.stack.push(ret);
+                        func = Rc::clone(&caller.func);
+                    }
                     None => return Ok(Outcome::Done(ret)),
                 }
                 continue;
             }
-            Op::UpdatePoint => {
+            DOp::UpdatePoint => {
                 proc.stats.update_points += 1;
-                let frame = st.frames.last_mut().expect("frame");
-                frame.pc += 1;
+                st.frames.last_mut().expect("frame").pc += 1;
                 if honor_updates && proc.update_requested() {
                     return Ok(Outcome::Suspended);
                 }
                 continue;
             }
-            Op::CallHost(id, argc) => {
-                let args = {
-                    let frame = st.frames.last_mut().expect("frame");
-                    frame.pc += 1;
-                    let at = frame.stack.len() - argc as usize;
-                    frame.stack.split_off(at)
-                };
+            DOp::CallHost(id, argc) => {
+                // Host arguments marshal through a reusable scratch
+                // buffer: the host-call path allocates no more than the
+                // frame-pooled guest-call path does.
+                let ExecState {
+                    frames, host_args, ..
+                } = st;
+                let frame = frames.last_mut().expect("frame");
+                frame.pc += 1;
+                let at = frame.stack.len() - *argc as usize;
+                host_args.clear();
+                host_args.extend(frame.stack.drain(at..));
                 proc.stats.host_calls += 1;
-                let ret = (proc.hosts[id.0 as usize].func)(&args)?;
-                st.frames.last_mut().expect("frame").stack.push(ret);
+                let ret = (proc.hosts[id.0 as usize].func)(host_args)?;
+                host_args.clear();
+                frame.stack.push(ret);
                 continue;
             }
             _ => {}
@@ -286,7 +375,7 @@ fn push_call(
 /// Executes an instruction that touches only the current frame (and the
 /// process's globals). `proc.stats` is already incremented.
 #[allow(clippy::too_many_lines)]
-fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap> {
+fn step_local(proc: &mut Process, frame: &mut Frame, op: &DOp) -> Result<(), Trap> {
     let stack = &mut frame.stack;
     macro_rules! int_binop {
         ($f:expr) => {{
@@ -296,57 +385,97 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
         }};
     }
     match op {
-        Op::PushUnit => stack.push(Value::Unit),
-        Op::PushInt(n) => stack.push(Value::Int(n)),
-        Op::PushBool(b) => stack.push(Value::Bool(b)),
-        Op::PushStr(s) => stack.push(Value::Str(s)),
-        Op::PushNull => stack.push(Value::Null),
-        Op::PushFnDirect(id) => stack.push(Value::Fn(FnRef::Direct(id))),
-        Op::PushFnSlot(slot) => stack.push(Value::Fn(FnRef::Slot(slot))),
-        Op::LoadLocal(n) => {
-            let v = frame.locals[n as usize].clone();
+        // ---------------------------------------------- superinstructions
+        DOp::CmpConstBranch(c, k, t) => {
+            let a = stack.pop().expect("verified").as_int();
+            if !c.eval(a, *k) {
+                frame.pc = *t as usize;
+                return Ok(());
+            }
+        }
+        DOp::CmpBranch(c, t) => {
+            let b = stack.pop().expect("verified").as_int();
+            let a = stack.pop().expect("verified").as_int();
+            if !c.eval(a, b) {
+                frame.pc = *t as usize;
+                return Ok(());
+            }
+        }
+        DOp::AddConst(k) => {
+            let a = stack.pop().expect("verified").as_int();
+            stack.push(Value::Int(a.wrapping_add(*k)));
+        }
+        DOp::SubConst(k) => {
+            let a = stack.pop().expect("verified").as_int();
+            stack.push(Value::Int(a.wrapping_sub(*k)));
+        }
+        DOp::MulConst(k) => {
+            let a = stack.pop().expect("verified").as_int();
+            stack.push(Value::Int(a.wrapping_mul(*k)));
+        }
+        DOp::CmpConst(c, k) => {
+            let a = stack.pop().expect("verified").as_int();
+            stack.push(Value::Bool(c.eval(a, *k)));
+        }
+        DOp::LoadLocal2(n, m) => {
+            let a = frame.locals[*n as usize].clone();
+            let b = frame.locals[*m as usize].clone();
+            stack.push(a);
+            stack.push(b);
+        }
+
+        // ------------------------------------------------------ the rest
+        DOp::PushUnit => stack.push(Value::Unit),
+        DOp::PushInt(n) => stack.push(Value::Int(*n)),
+        DOp::PushBool(b) => stack.push(Value::Bool(*b)),
+        DOp::PushStr(s) => stack.push(Value::Str(Rc::clone(s))),
+        DOp::PushNull => stack.push(Value::Null),
+        DOp::PushFnDirect(id) => stack.push(Value::Fn(FnRef::Direct(*id))),
+        DOp::PushFnSlot(slot) => stack.push(Value::Fn(FnRef::Slot(*slot))),
+        DOp::LoadLocal(n) => {
+            let v = frame.locals[*n as usize].clone();
             stack.push(v);
         }
-        Op::StoreLocal(n) => {
-            frame.locals[n as usize] = stack.pop().expect("verified");
+        DOp::StoreLocal(n) => {
+            frame.locals[*n as usize] = stack.pop().expect("verified");
         }
-        Op::LoadGlobal(id) => {
+        DOp::LoadGlobal(id) => {
             // Lazy state transformation: a pending transformer runs on
             // first read (the flag clears first, so the transformer may
             // itself read this global and see the old value).
-            if let Some(fid) = proc.global_cell(id).pending_transform {
-                let cell = proc.global_cell_mut(id);
+            if let Some(fid) = proc.global_cell(*id).pending_transform {
+                let cell = proc.global_cell_mut(*id);
                 cell.pending_transform = None;
                 let old = cell.value.clone();
                 let new = proc.call_fid(fid, vec![old])?;
-                proc.global_cell_mut(id).value = new;
+                proc.global_cell_mut(*id).value = new;
             }
-            let v = proc.global_cell(id).value.clone();
+            let v = proc.global_cell(*id).value.clone();
             stack.push(v);
         }
-        Op::StoreGlobal(id) => {
+        DOp::StoreGlobal(id) => {
             let v = stack.pop().expect("verified");
-            let cell = proc.global_cell_mut(id);
+            let cell = proc.global_cell_mut(*id);
             // A whole-value overwrite by (necessarily new) code supersedes
             // any pending lazy transform.
             cell.pending_transform = None;
             cell.value = v;
         }
-        Op::Dup => {
+        DOp::Dup => {
             let v = stack.last().expect("verified").clone();
             stack.push(v);
         }
-        Op::Pop => {
+        DOp::Pop => {
             stack.pop().expect("verified");
         }
-        Op::Swap => {
+        DOp::Swap => {
             let n = stack.len();
             stack.swap(n - 1, n - 2);
         }
-        Op::Add => int_binop!(|a: i64, b: i64| Value::Int(a.wrapping_add(b))),
-        Op::Sub => int_binop!(|a: i64, b: i64| Value::Int(a.wrapping_sub(b))),
-        Op::Mul => int_binop!(|a: i64, b: i64| Value::Int(a.wrapping_mul(b))),
-        Op::Div => {
+        DOp::Add => int_binop!(|a: i64, b: i64| Value::Int(a.wrapping_add(b))),
+        DOp::Sub => int_binop!(|a: i64, b: i64| Value::Int(a.wrapping_sub(b))),
+        DOp::Mul => int_binop!(|a: i64, b: i64| Value::Int(a.wrapping_mul(b))),
+        DOp::Div => {
             let b = stack.pop().expect("verified").as_int();
             let a = stack.pop().expect("verified").as_int();
             if b == 0 {
@@ -354,7 +483,7 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             }
             stack.push(Value::Int(a.wrapping_div(b)));
         }
-        Op::Rem => {
+        DOp::Rem => {
             let b = stack.pop().expect("verified").as_int();
             let a = stack.pop().expect("verified").as_int();
             if b == 0 {
@@ -362,31 +491,26 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             }
             stack.push(Value::Int(a.wrapping_rem(b)));
         }
-        Op::Neg => {
+        DOp::Neg => {
             let a = stack.pop().expect("verified").as_int();
             stack.push(Value::Int(a.wrapping_neg()));
         }
-        Op::Eq => int_binop!(|a, b| Value::Bool(a == b)),
-        Op::Ne => int_binop!(|a, b| Value::Bool(a != b)),
-        Op::Lt => int_binop!(|a, b| Value::Bool(a < b)),
-        Op::Le => int_binop!(|a, b| Value::Bool(a <= b)),
-        Op::Gt => int_binop!(|a, b| Value::Bool(a > b)),
-        Op::Ge => int_binop!(|a, b| Value::Bool(a >= b)),
-        Op::And => {
+        DOp::IntCmp(c) => int_binop!(|a, b| Value::Bool(c.eval(a, b))),
+        DOp::And => {
             let b = stack.pop().expect("verified").as_bool();
             let a = stack.pop().expect("verified").as_bool();
             stack.push(Value::Bool(a && b));
         }
-        Op::Or => {
+        DOp::Or => {
             let b = stack.pop().expect("verified").as_bool();
             let a = stack.pop().expect("verified").as_bool();
             stack.push(Value::Bool(a || b));
         }
-        Op::Not => {
+        DOp::Not => {
             let a = stack.pop().expect("verified").as_bool();
             stack.push(Value::Bool(!a));
         }
-        Op::Concat => {
+        DOp::Concat => {
             let b = stack.pop().expect("verified").as_str();
             let a = stack.pop().expect("verified").as_str();
             let mut s = String::with_capacity(a.len() + b.len());
@@ -394,11 +518,11 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             s.push_str(&b);
             stack.push(Value::str(s));
         }
-        Op::StrLen => {
+        DOp::StrLen => {
             let s = stack.pop().expect("verified").as_str();
             stack.push(Value::Int(s.len() as i64));
         }
-        Op::Substr => {
+        DOp::Substr => {
             let len = stack.pop().expect("verified").as_int();
             let start = stack.pop().expect("verified").as_int();
             let s = stack.pop().expect("verified").as_str();
@@ -409,7 +533,7 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             let end = floor_char_boundary(&s, end);
             stack.push(Value::str(&s[start..end]));
         }
-        Op::CharAt => {
+        DOp::CharAt => {
             let i = stack.pop().expect("verified").as_int();
             let s = stack.pop().expect("verified").as_str();
             if i < 0 || i as usize >= s.len() {
@@ -420,67 +544,67 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             }
             stack.push(Value::Int(i64::from(s.as_bytes()[i as usize])));
         }
-        Op::StrEq => {
+        DOp::StrEq => {
             let b = stack.pop().expect("verified").as_str();
             let a = stack.pop().expect("verified").as_str();
             stack.push(Value::Bool(a == b));
         }
-        Op::StrFind => {
+        DOp::StrFind => {
             let needle = stack.pop().expect("verified").as_str();
             let hay = stack.pop().expect("verified").as_str();
             let pos = hay.find(&*needle).map_or(-1, |p| p as i64);
             stack.push(Value::Int(pos));
         }
-        Op::IntToStr => {
+        DOp::IntToStr => {
             let n = stack.pop().expect("verified").as_int();
             stack.push(Value::str(n.to_string()));
         }
-        Op::StrToInt => {
+        DOp::StrToInt => {
             let s = stack.pop().expect("verified").as_str();
             stack.push(Value::Int(atoi(&s)));
         }
-        Op::Jump(t) => {
-            frame.pc = t as usize;
+        DOp::Jump(t) => {
+            frame.pc = *t as usize;
             return Ok(());
         }
-        Op::JumpIfFalse(t) => {
+        DOp::JumpIfFalse(t) => {
             let c = stack.pop().expect("verified").as_bool();
             if !c {
-                frame.pc = t as usize;
+                frame.pc = *t as usize;
                 return Ok(());
             }
         }
-        Op::NewRecord(sid, n) => {
-            let at = stack.len() - n as usize;
+        DOp::NewRecord(sid, n) => {
+            let at = stack.len() - *n as usize;
             let fields = stack.split_off(at);
-            stack.push(Value::record(sid, fields));
+            stack.push(Value::record(*sid, fields));
         }
-        Op::GetField(i) => {
+        DOp::GetField(i) => {
             let r = stack.pop().expect("verified");
             match r {
                 Value::Record(rec) => {
-                    let v = rec.fields.borrow()[i as usize].clone();
+                    let v = rec.fields.borrow()[*i as usize].clone();
                     stack.push(v);
                 }
                 Value::Null => return Err(Trap::NullDeref),
                 v => panic!("verified code read field of {v:?}"),
             }
         }
-        Op::SetField(i) => {
+        DOp::SetField(i) => {
             let v = stack.pop().expect("verified");
             let r = stack.pop().expect("verified");
             match r {
-                Value::Record(rec) => rec.fields.borrow_mut()[i as usize] = v,
+                Value::Record(rec) => rec.fields.borrow_mut()[*i as usize] = v,
                 Value::Null => return Err(Trap::NullDeref),
                 other => panic!("verified code wrote field of {other:?}"),
             }
         }
-        Op::IsNull => {
+        DOp::IsNull => {
             let r = stack.pop().expect("verified");
             stack.push(Value::Bool(matches!(r, Value::Null)));
         }
-        Op::NewArray => stack.push(Value::empty_array()),
-        Op::ArrayGet => {
+        DOp::NewArray => stack.push(Value::empty_array()),
+        DOp::ArrayGet => {
             let i = stack.pop().expect("verified").as_int();
             let a = stack.pop().expect("verified");
             let Value::Array(a) = a else {
@@ -495,7 +619,7 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             }
             stack.push(a[i as usize].clone());
         }
-        Op::ArraySet => {
+        DOp::ArraySet => {
             let v = stack.pop().expect("verified");
             let i = stack.pop().expect("verified").as_int();
             let a = stack.pop().expect("verified");
@@ -511,7 +635,7 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             }
             a[i as usize] = v;
         }
-        Op::ArrayLen => {
+        DOp::ArrayLen => {
             let a = stack.pop().expect("verified");
             let Value::Array(a) = a else {
                 panic!("verified code measured {a:?}")
@@ -519,7 +643,7 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             let n = a.borrow().len();
             stack.push(Value::Int(n as i64));
         }
-        Op::ArrayPush => {
+        DOp::ArrayPush => {
             let v = stack.pop().expect("verified");
             let a = stack.pop().expect("verified");
             let Value::Array(a) = a else {
@@ -527,16 +651,18 @@ fn step_local(proc: &mut Process, frame: &mut Frame, op: Op) -> Result<(), Trap>
             };
             a.borrow_mut().push(v);
         }
-        Op::Nop => {}
-        Op::Unreachable => {
+        DOp::Nop => {}
+        DOp::Unreachable => {
             return Err(Trap::Host("garbage-collected code executed".to_string()));
         }
-        Op::CallDirect(_)
-        | Op::CallSlot(_)
-        | Op::CallIndirect
-        | Op::CallHost(_, _)
-        | Op::Ret
-        | Op::UpdatePoint => unreachable!("handled by the outer loop"),
+        DOp::CallDirect(_)
+        | DOp::CallSlot(_)
+        | DOp::LoadLocalCallDirect(_, _)
+        | DOp::LoadLocalCallSlot(_, _)
+        | DOp::CallIndirect
+        | DOp::CallHost(_, _)
+        | DOp::Ret
+        | DOp::UpdatePoint => unreachable!("handled by the outer loop"),
     }
     frame.pc += 1;
     Ok(())

@@ -33,12 +33,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod decode;
 pub mod interp;
 pub mod ops;
 pub mod process;
 pub mod trap;
 pub mod value;
 
+pub use decode::{Cmp, DOp, InlineCache};
 pub use interp::{ExecState, ExecStats, ExecStatsShared, Frame, Outcome};
 pub use ops::Op;
 pub use process::{

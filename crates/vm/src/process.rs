@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use tal::{FnSig, GlobalDef, Instr, Module, SymbolKind, Ty, TypeDef, TypeProvider};
 
+use crate::decode::{self, DOp};
 use crate::interp::{exec, ExecState, ExecStats, Frame, Outcome};
 use crate::ops::Op;
 use crate::trap::{LinkError, Trap};
@@ -56,8 +57,12 @@ pub struct LinkedFunction {
     pub param_count: usize,
     /// All local slot types (parameters first).
     pub locals: Vec<Ty>,
-    /// Resolved code.
+    /// Resolved code (linker output; also what the code GC scans).
     pub code: Vec<Op>,
+    /// Pre-decoded threaded form of `code` — operands extracted, hot
+    /// pairs fused into superinstructions, slot-call sites carrying
+    /// inline caches. This is what the interpreter dispatches over.
+    pub decoded: Vec<DOp>,
     /// Names of symbols this function references (for update-safety
     /// analysis: "who calls f", "who touches type T").
     pub sym_refs: Vec<String>,
@@ -153,6 +158,14 @@ pub struct Process {
     host_by_name: HashMap<String, HostId>,
     update_requested: Arc<AtomicBool>,
     suspended: Option<ExecState>,
+    /// Monotonically increasing generation bumped by every bind, unbind
+    /// and rollback; inline caches validate against it, so one bump
+    /// invalidates every warm call site in the program at once.
+    bind_generation: u64,
+    /// Whether slot-call sites may answer from their inline caches.
+    /// Disabled by the benchmark harness to measure the cold per-call
+    /// table-lookup path.
+    icache: bool,
     /// Cumulative execution statistics.
     pub stats: ExecStats,
     /// Maximum guest call-stack depth before a [`Trap::StackOverflow`].
@@ -180,6 +193,8 @@ impl Process {
             host_by_name: HashMap::new(),
             update_requested: Arc::new(AtomicBool::new(false)),
             suspended: None,
+            bind_generation: 1,
+            icache: true,
             stats: ExecStats::default(),
             max_stack_depth: 10_000,
             fuel_limit: u64::MAX,
@@ -427,6 +442,7 @@ impl Process {
     /// `id`. Under updateable linking this re-points the GIT slot, which is
     /// the atomic switch of a dynamic update.
     pub fn bind_function(&mut self, name: &str, id: FuncId) {
+        self.bind_generation += 1;
         self.fn_by_name.insert(name.to_string(), id);
         if let Some(&slot) = self.slot_by_name.get(name) {
             self.slots[slot.0 as usize] = Some(id);
@@ -441,6 +457,7 @@ impl Process {
     /// itself stays in the store for frames still executing it; the GIT
     /// slot, if any, becomes unbound and future calls through it trap.
     pub fn unbind_function(&mut self, name: &str) {
+        self.bind_generation += 1;
         self.fn_by_name.remove(name);
         if let Some(&slot) = self.slot_by_name.get(name) {
             self.slots[slot.0 as usize] = None;
@@ -469,6 +486,29 @@ impl Process {
     /// Number of indirection-table slots (updateable mode metadata size).
     pub fn slot_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Current bind generation. Bumped by every [`Process::bind_function`],
+    /// [`Process::unbind_function`] and [`Process::restore`] — including
+    /// those performed inside the seven-phase update pipeline — so an
+    /// inline cache stamped with an older generation is stale by
+    /// definition.
+    pub fn bind_generation(&self) -> u64 {
+        self.bind_generation
+    }
+
+    /// Enables or disables inline caching at slot-call sites. Disabling
+    /// forces every updateable call back through the indirection table —
+    /// the benchmarks' "updateable-cold" variant, equivalent to the
+    /// pre-cache dispatch cost. Toggling bumps the generation so stale
+    /// entries cannot be resurrected.
+    pub fn set_inline_caching(&mut self, on: bool) {
+        self.icache = on;
+        self.bind_generation += 1;
+    }
+
+    pub(crate) fn inline_caching(&self) -> bool {
+        self.icache
     }
 
     // ----------------------------------------------------------- code GC
@@ -540,6 +580,16 @@ impl Process {
                 }
             }
         }
+        // A warm cache whose target is about to be tombstoned must
+        // re-resolve rather than dispatch into the tombstone; flush every
+        // cache and bump the generation (belt and braces — a reachable
+        // target cannot be collected, but snapshots restored across a
+        // collection can resurrect stale bindings). Live sites simply
+        // re-resolve (one miss).
+        self.bind_generation += 1;
+        for f in &self.functions {
+            decode::flush_caches(&f.decoded);
+        }
         let mut collected = 0;
         for (idx, is_live) in live.iter().enumerate() {
             if *is_live
@@ -550,13 +600,16 @@ impl Process {
             {
                 continue;
             }
+            let code = vec![crate::ops::Op::Unreachable];
+            let decoded = decode::lower(&code);
             self.functions[idx] = Rc::new(LinkedFunction {
                 name: format!("<collected {}>", self.functions[idx].name),
                 version: self.functions[idx].version.clone(),
                 sig: self.functions[idx].sig.clone(),
                 param_count: self.functions[idx].param_count,
                 locals: Vec::new(),
-                code: vec![crate::ops::Op::Unreachable],
+                code,
+                decoded,
                 sym_refs: Vec::new(),
                 type_names: Vec::new(),
             });
@@ -586,6 +639,7 @@ impl Process {
     /// snapshot is restored onto a process whose tables shrank, which cannot
     /// happen through the public API.
     pub fn restore(&mut self, snap: BindingSnapshot) {
+        self.bind_generation += 1;
         self.fn_by_name = snap.fn_by_name;
         for (i, v) in snap.slots.iter().enumerate() {
             self.slots[i] = *v;
@@ -684,6 +738,7 @@ impl Process {
                 .map(str::to_string)
                 .collect();
             let type_names = f.referenced_types(m).into_iter().collect();
+            let decoded = decode::lower(&code);
             self.functions.push(Rc::new(LinkedFunction {
                 name: f.name.clone(),
                 version: m.version.clone(),
@@ -691,6 +746,7 @@ impl Process {
                 param_count: f.sig.params.len(),
                 locals: f.locals.clone(),
                 code,
+                decoded,
                 sym_refs,
                 type_names,
             }));
@@ -712,6 +768,7 @@ impl Process {
         let code = self
             .resolve_code(m, &g.init, overrides, &strings)
             .map_err(|e| Trap::Host(e.to_string()))?;
+        let decoded = decode::lower(&code);
         let f = Rc::new(LinkedFunction {
             name: format!("<init {}>", g.name),
             version: m.version.clone(),
@@ -719,6 +776,7 @@ impl Process {
             param_count: 0,
             locals: Vec::new(),
             code,
+            decoded,
             sym_refs: Vec::new(),
             type_names: Vec::new(),
         });

@@ -404,3 +404,119 @@ fn fuel_limits_runaway_loops() {
     p2.set_fuel(None);
     assert_eq!(p2.call("f", vec![]).unwrap(), Value::Int(1));
 }
+
+// --------------------------- inline caches ---------------------------
+//
+// Updateable calls resolve through per-site inline caches validated
+// against the process bind generation. These tests pin the contract:
+// warm sites pay no table traffic, and *any* rebind — patch, deletion,
+// rollback — is observed by the very next call through every site,
+// including frames suspended at an update point across the change.
+
+fn patch(p: &mut Process, src: &str) {
+    let m = popcorn::compile(src, "patch", "v2", &Interface::new()).expect("patch compiles");
+    let planned = p
+        .link_functions(&m, &vm::LinkOverrides::default())
+        .expect("patch links");
+    for (name, id) in planned {
+        p.bind_function(&name, id);
+    }
+}
+
+const WORK: &str = r#"
+    fun helper(x: int): int { return x + 1; }
+    fun work(x: int): int { return helper(helper(x)); }
+"#;
+
+#[test]
+fn warm_call_sites_hit_the_inline_cache() {
+    let mut p = boot(WORK);
+    assert_eq!(p.call("work", vec![Value::Int(0)]).unwrap(), Value::Int(2));
+    let first_misses = p.stats.ic_misses;
+    assert!(first_misses >= 1, "first run must fill the caches");
+    let first_hits = p.stats.ic_hits;
+    assert_eq!(p.call("work", vec![Value::Int(5)]).unwrap(), Value::Int(7));
+    assert_eq!(p.stats.ic_misses, first_misses, "warm run re-resolved");
+    assert!(p.stats.ic_hits > first_hits, "warm run did not hit");
+    // Every slot call is accounted as exactly one hit or one miss.
+    assert_eq!(p.stats.slot_calls, p.stats.ic_hits + p.stats.ic_misses);
+}
+
+#[test]
+fn rebinding_invalidates_every_warm_cache() {
+    let mut p = boot(WORK);
+    assert_eq!(p.call("work", vec![Value::Int(0)]).unwrap(), Value::Int(2));
+    let misses = p.stats.ic_misses;
+    patch(&mut p, "fun helper(x: int): int { return x + 10; }");
+    // The next call through the (warm) sites re-resolves and sees v2.
+    assert_eq!(p.call("work", vec![Value::Int(0)]).unwrap(), Value::Int(20));
+    assert!(p.stats.ic_misses > misses, "rebind was not observed");
+    // And the refilled caches hit again afterwards.
+    let misses = p.stats.ic_misses;
+    assert_eq!(p.call("work", vec![Value::Int(0)]).unwrap(), Value::Int(20));
+    assert_eq!(p.stats.ic_misses, misses);
+}
+
+#[test]
+fn unbinding_traps_even_through_a_warm_cache() {
+    let mut p = boot(WORK);
+    assert_eq!(p.call("work", vec![Value::Int(0)]).unwrap(), Value::Int(2));
+    p.unbind_function("helper");
+    assert_eq!(
+        p.call("work", vec![Value::Int(0)]).unwrap_err(),
+        Trap::UnboundSlot("helper".to_string())
+    );
+}
+
+#[test]
+fn suspended_frames_observe_patch_and_rollback() {
+    let src = r#"
+        fun helper(): int { return 1; }
+        fun work(): int {
+            var a: int = helper();
+            update;
+            return a * 100 + helper();
+        }
+    "#;
+    let mut p = boot(src);
+    // Warm every cache under v1.
+    assert_eq!(
+        p.run("work", vec![]).unwrap(),
+        Outcome::Done(Value::Int(101))
+    );
+    let snap = p.snapshot();
+
+    // Patch while suspended: the frame's first `helper` call happened
+    // under v1 (a = 1); the call after the update point must see v2.
+    p.request_update(true);
+    assert_eq!(p.run("work", vec![]).unwrap(), Outcome::Suspended);
+    p.request_update(false);
+    patch(&mut p, "fun helper(): int { return 2; }");
+    assert_eq!(p.resume().unwrap(), Outcome::Done(Value::Int(102)));
+
+    // Roll back while suspended: a = 2 came from v2 before the update
+    // point; the restore re-binds v1, and the resumed call must see it
+    // even though every cache is warm with v2.
+    p.request_update(true);
+    assert_eq!(p.run("work", vec![]).unwrap(), Outcome::Suspended);
+    p.request_update(false);
+    p.restore(snap);
+    assert_eq!(p.resume().unwrap(), Outcome::Done(Value::Int(201)));
+}
+
+#[test]
+fn disabling_inline_caching_falls_back_to_table_lookups() {
+    let mut p = boot(WORK);
+    p.set_inline_caching(false);
+    assert_eq!(p.call("work", vec![Value::Int(0)]).unwrap(), Value::Int(2));
+    assert_eq!(p.call("work", vec![Value::Int(0)]).unwrap(), Value::Int(2));
+    assert_eq!(p.stats.ic_hits + p.stats.ic_misses, 0);
+    assert!(
+        p.stats.slot_calls >= 4,
+        "slot calls still go through the GIT"
+    );
+    // Re-enabling resumes caching (and still resolves correctly).
+    p.set_inline_caching(true);
+    assert_eq!(p.call("work", vec![Value::Int(0)]).unwrap(), Value::Int(2));
+    assert!(p.stats.ic_misses >= 1);
+}

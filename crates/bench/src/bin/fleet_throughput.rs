@@ -33,7 +33,10 @@
 //!    reconciles with the report timings exactly.
 //!
 //! Run with: `cargo run --release -p dsu-bench --bin fleet_throughput`
-//! (pass `amped` to run only the AMPED sections, as CI's smoke job does)
+//! (pass `amped` to run only the AMPED sections, as CI's smoke job does;
+//! pass `--trace-out <path>` to run the AMPED rollout with causal
+//! tracing on and write the Chrome trace — loadable in Perfetto /
+//! `chrome://tracing` — to `<path>`)
 
 use std::time::{Duration, Instant};
 
@@ -56,7 +59,12 @@ const AMPED_REQUESTS: usize = 2000;
 const AMPED_LATENCY: Duration = Duration::from_millis(1);
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let only_amped = std::env::args().any(|a| a == "amped");
+    let args: Vec<String> = std::env::args().collect();
+    let only_amped = args.iter().any(|a| a == "amped");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
     if !only_amped {
         scaling()?;
     }
@@ -64,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if !only_amped {
         rollouts()?;
     }
-    amped_rollout()?;
+    amped_rollout(trace_out.as_deref())?;
     Ok(())
 }
 
@@ -203,16 +211,19 @@ fn amped_scaling() -> Result<(), Box<dyn std::error::Error>> {
 /// A rolling update over an AMPED fleet with reads in flight: parked
 /// requests drain before each worker binds (the `drain` phase), the
 /// journal reconciles with the report exactly, and everything exports.
-fn amped_rollout() -> Result<(), Box<dyn std::error::Error>> {
+fn amped_rollout(trace_out: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
     println!("Live update over an AMPED fleet (v3 -> v4, rolling, reads in flight)\n");
     let mut fs = SimFs::generate_fixed(FILES, DOC_SIZE, 3);
     fs.set_read_latency(Duration::from_micros(300));
     let mut wl = Workload::new(fs.paths(), 1.0, 17);
     let gen = &patch_stream()?[2]; // v3 -> v4 (cache representation change)
 
-    let cfg = FleetConfig::new(WORKERS)
+    let mut cfg = FleetConfig::new(WORKERS)
         .serve_mode(ServeMode::EventLoop(EventLoopConfig::default()))
         .with_telemetry();
+    if trace_out.is_some() {
+        cfg = cfg.with_tracing();
+    }
     let fleet = Fleet::start_cfg(&cfg, &versions::v3(), "v3", &fs).map_err(|e| e.to_string())?;
 
     fleet.push_requests(wl.batch(REQUESTS));
@@ -243,6 +254,16 @@ fn amped_rollout() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(dir.join("fleet_amped.jsonl"), tel.journal().to_jsonl())?;
     std::fs::write(dir.join("fleet_amped.prom"), tel.scrape_text())?;
     std::fs::write(dir.join("fleet_amped.json"), tel.scrape_json())?;
+    if let Some(path) = trace_out {
+        let spans = tel.tracer().expect("tracing on").spans();
+        dsu_obs::validate_spans(&spans).map_err(|e| format!("trace invariants: {e}"))?;
+        std::fs::write(path, dsu_obs::to_chrome_trace(&spans))?;
+        println!(
+            "  wrote {} ({} spans; load it in Perfetto or chrome://tracing)",
+            path,
+            spans.len()
+        );
+    }
 
     println!("  {report}");
     let drains: Vec<String> = report

@@ -109,9 +109,8 @@ fn main() {
         results.push(m);
     }
 
-    let mean = |f: &dyn Fn(&Measurement) -> f64| {
-        results.iter().map(f).sum::<f64>() / results.len() as f64
-    };
+    let mean =
+        |f: &dyn Fn(&Measurement) -> f64| results.iter().map(f).sum::<f64>() / results.len() as f64;
     let mean_cold = mean(&|m| overhead_percent(m.t_static, m.t_cold));
     let mean_cached = mean(&|m| overhead_percent(m.t_static, m.t_cached));
     println!(

@@ -112,6 +112,24 @@ where
     (best[0] / n, best[1] / n, best[2] / n)
 }
 
+/// N-way variant of [`time_interleaved`]: the workloads run round-robin
+/// (side 0, side 1, …, side 0, …) so every side sees the same
+/// thermal/frequency conditions; returns the per-side minimum durations.
+pub fn time_interleaved_n(samples: usize, sides: &mut [&mut dyn FnMut()]) -> Vec<Duration> {
+    for f in sides.iter_mut() {
+        f(); // warmup
+    }
+    let mut best = vec![Duration::MAX; sides.len()];
+    for _ in 0..samples.max(1) {
+        for (i, f) in sides.iter_mut().enumerate() {
+            let t = Instant::now();
+            f();
+            best[i] = best[i].min(t.elapsed());
+        }
+    }
+    best
+}
+
 /// Relative overhead of `test` over `base`, in percent.
 pub fn overhead_percent(base: Duration, test: Duration) -> f64 {
     if base.is_zero() {

@@ -67,6 +67,26 @@ impl Default for UpdatePolicy {
     }
 }
 
+/// Real per-phase intervals, filled by [`apply_patch_spanned`] when the
+/// caller wants trace spans: each entry is `(phase name, start instant,
+/// duration)` where the duration is byte-identical to the value stored
+/// into [`PhaseTimings`] — so spans, timings and journal events all
+/// carry the same numbers.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseSpanLog {
+    /// `(phase, started, dur)` in pipeline order.
+    pub phases: Vec<(&'static str, Instant, Duration)>,
+}
+
+impl PhaseSpanLog {
+    /// Records one phase interval. Public so drivers can synthesize
+    /// phases that never pass through `apply_patch` (e.g. a snapshot
+    /// restore's `bind`).
+    pub fn push(&mut self, name: &'static str, started: Instant, dur: Duration) {
+        self.phases.push((name, started, dur));
+    }
+}
+
 /// Applies `patch` to `proc` under `policy`.
 ///
 /// The caller is responsible for quiescence: either the process is
@@ -80,6 +100,22 @@ pub fn apply_patch(
     proc: &mut Process,
     patch: &Patch,
     policy: UpdatePolicy,
+) -> Result<UpdateReport, UpdateError> {
+    apply_patch_spanned(proc, patch, policy, None)
+}
+
+/// [`apply_patch`], additionally recording one real `(start, dur)`
+/// interval per pipeline phase into `spans` — the update-side feed of
+/// the tracing layer.
+///
+/// # Errors
+///
+/// Returns an [`UpdateError`]; the process is left exactly as it was.
+pub fn apply_patch_spanned(
+    proc: &mut Process,
+    patch: &Patch,
+    policy: UpdatePolicy,
+    mut spans: Option<&mut PhaseSpanLog>,
 ) -> Result<UpdateReport, UpdateError> {
     let mut timings = PhaseTimings::default();
     let heap_before = proc.heap_size();
@@ -103,15 +139,21 @@ pub fn apply_patch(
         tal::verify_module(&patch.module, &ProcessTypes(proc))?;
     }
     timings.verify = t.elapsed();
+    if let Some(s) = spans.as_deref_mut() {
+        s.push("verify", t, timings.verify);
+    }
 
     // Phase 2: compatibility.
     let t = Instant::now();
     compat::check(proc, patch)?;
     timings.compat = t.elapsed();
+    if let Some(s) = spans.as_deref_mut() {
+        s.push("compat", t, timings.compat);
+    }
 
     // Everything past this point mutates the process; roll back on error.
     let snapshot = proc.snapshot();
-    match apply_linked(proc, patch, policy, &mut timings) {
+    match apply_linked(proc, patch, policy, &mut timings, spans) {
         Ok(report_core) => {
             let m = &patch.manifest;
             Ok(UpdateReport {
@@ -145,6 +187,7 @@ fn apply_linked(
     patch: &Patch,
     policy: UpdatePolicy,
     timings: &mut PhaseTimings,
+    mut spans: Option<&mut PhaseSpanLog>,
 ) -> Result<usize, UpdateError> {
     let m = &patch.manifest;
 
@@ -176,6 +219,9 @@ fn apply_linked(
     let planned_ids: HashMap<&str, vm::FuncId> =
         planned.iter().map(|(n, id)| (n.as_str(), *id)).collect();
     timings.link = t.elapsed();
+    if let Some(s) = spans.as_deref_mut() {
+        s.push("link", t, timings.link);
+    }
 
     // Phase 4: bind — the atomic flip.
     let t = Instant::now();
@@ -189,6 +235,9 @@ fn apply_linked(
         proc.bind_type_name(name.clone(), *sid);
     }
     timings.bind = t.elapsed();
+    if let Some(s) = spans.as_deref_mut() {
+        s.push("bind", t, timings.bind);
+    }
 
     // Phase 4b: new-global initialisers run in the new code world. They
     // get their own timing bucket so Table 2's pause breakdown does not
@@ -210,6 +259,9 @@ fn apply_linked(
     } else {
         t.elapsed()
     };
+    if let Some(s) = spans.as_deref_mut() {
+        s.push("init", t, timings.init);
+    }
 
     // Phase 5: transform.
     let t = Instant::now();
@@ -255,6 +307,9 @@ fn apply_linked(
     } else {
         t.elapsed()
     };
+    if let Some(s) = spans {
+        s.push("transform", t, timings.transform);
+    }
 
     proc.request_update(false);
     Ok(transformed)

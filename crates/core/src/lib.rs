@@ -59,7 +59,7 @@ pub mod rollback;
 pub mod runtime;
 pub mod version;
 
-pub use apply::{apply_patch, TransformTiming, UpdatePolicy};
+pub use apply::{apply_patch, apply_patch_spanned, PhaseSpanLog, TransformTiming, UpdatePolicy};
 pub use iface::interface_of;
 pub use patch::{compile_patch, Manifest, Patch, Transformer, TypeAlias};
 pub use patch_io::{load_patch, save_patch, PatchIoError};

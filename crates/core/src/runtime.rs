@@ -17,10 +17,11 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use dsu_obs::{Journal, Stage};
+use dsu_obs::trace::{Span, SpanKind};
+use dsu_obs::{Journal, Stage, Tracer};
 use vm::{Outcome, Process, Trap, UpdateSignal, Value};
 
-use crate::apply::{apply_patch, UpdatePolicy};
+use crate::apply::{apply_patch_spanned, PhaseSpanLog, UpdatePolicy};
 use crate::patch::Patch;
 use crate::report::{FailedUpdate, PhaseTimings, UpdateError, UpdateReport};
 use crate::rollback::SnapshotRing;
@@ -55,11 +56,30 @@ pub type Gate = Box<dyn FnOnce() + Send>;
 pub type DrainHook = Box<dyn FnMut() + Send>;
 
 /// Where an updater's lifecycle events go: a shared journal plus the
-/// worker tag stamped onto every event this updater emits.
+/// worker tag stamped onto every event this updater emits, and — when
+/// span tracing is on — the shared [`Tracer`] update spans land in.
 #[derive(Clone)]
 struct Trace {
     journal: Journal,
     worker: Option<usize>,
+    tracer: Option<Tracer>,
+}
+
+/// Span bookkeeping for one update pause: ids are allocated before the
+/// gate runs so the `GateWait` journal event can cross-link to the root
+/// span the pause's first applied patch will record.
+struct SpanCtx {
+    tracer: Tracer,
+    worker: Option<usize>,
+    /// Trace the pause joins: the propagated rollout trace when a
+    /// coordinator set one, else a fresh trace per pause.
+    trace_id: u64,
+    /// Rollout root span to parent under, when propagated.
+    parent: Option<u64>,
+    /// Pre-allocated root span id for the pause's first applied patch.
+    head_root: u64,
+    /// Whether `head_root` has been claimed yet.
+    head_used: bool,
 }
 
 /// A queued update operation, tagged with its journal lifecycle id
@@ -153,6 +173,11 @@ pub struct Updater {
     /// Lifecycle-event destination, shared with remotes (None = tracing
     /// off, the default — enqueues and applies cost nothing extra).
     trace: Arc<Mutex<Option<Trace>>>,
+    /// Propagated rollout span context `(trace, span)`: when set (by a
+    /// fleet coordinator through the remote), update spans this worker
+    /// records parent under that rollout span instead of opening fresh
+    /// traces. Persists until overwritten by the next rollout.
+    span_parent: Arc<Mutex<Option<(u64, u64)>>>,
     /// When `true` (default), a patch failure during a run aborts the run
     /// with [`RunError::Update`] instead of continuing on the old version.
     pub strict: bool,
@@ -197,7 +222,22 @@ impl Updater {
     /// waits, the six apply phases, committed/aborted — tagged with
     /// `worker` when given.
     pub fn set_journal(&self, journal: Journal, worker: Option<usize>) {
-        *self.trace.lock().expect("poisoned") = Some(Trace { journal, worker });
+        *self.trace.lock().expect("poisoned") = Some(Trace {
+            journal,
+            worker,
+            tracer: None,
+        });
+    }
+
+    /// Attaches a span tracer on top of an attached journal: every
+    /// applied patch then records an update span (phases as children,
+    /// durations identical to `PhaseTimings`) and journal events carry
+    /// the `(trace, span)` cross-link. No-op until a journal is attached
+    /// — the journal supplies the lifecycle ids spans are tagged with.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        if let Some(t) = self.trace.lock().expect("poisoned").as_mut() {
+            t.tracer = Some(tracer);
+        }
     }
 
     /// Installs the quiescence hook run (and timed) at the start of every
@@ -309,6 +349,7 @@ impl Updater {
             pauses: Arc::clone(&self.pauses),
             gate: Arc::clone(&self.gate),
             trace: Arc::clone(&self.trace),
+            span_parent: Arc::clone(&self.span_parent),
             transitions: Arc::clone(&self.transitions),
             signal: proc.update_signal(),
         }
@@ -330,6 +371,28 @@ impl Updater {
             return Ok(0);
         }
         let began = Instant::now();
+        let trace = self.trace.lock().expect("poisoned").clone();
+        // Span ids are allocated up front so the gate-wait journal event
+        // below can cross-link to the root span the pause's first applied
+        // patch will record.
+        let mut span_ctx = trace
+            .as_ref()
+            .and_then(|t| t.tracer.clone().map(|tr| (tr, t.worker)))
+            .map(|(tracer, worker)| {
+                let (trace_id, parent) = match *self.span_parent.lock().expect("poisoned") {
+                    Some((t, p)) => (t, Some(p)),
+                    None => (tracer.next_trace_id(), None),
+                };
+                let head_root = tracer.next_span_id();
+                SpanCtx {
+                    tracer,
+                    worker,
+                    trace_id,
+                    parent,
+                    head_root,
+                    head_used: false,
+                }
+            });
         // Drain own in-flight work to quiescence before the rendezvous:
         // in a barriered fleet every worker finishes its parked work
         // concurrently, then they line up. The wait is timed here so the
@@ -348,10 +411,13 @@ impl Updater {
         // Rendezvous before touching the process (one-shot); the wait is
         // part of the pause, not of any request's service time.
         let gate = self.gate.lock().expect("poisoned").take();
+        let mut gate_span: Option<(Instant, Duration)> = None;
         if let Some(gate) = gate {
             let gate_began = Instant::now();
             gate();
-            if let Some(t) = self.trace.lock().expect("poisoned").clone() {
+            let gate_dur = gate_began.elapsed();
+            gate_span = Some((gate_began, gate_dur));
+            if let Some(t) = &trace {
                 // The wait is charged to the patch at the head of the
                 // queue — the one the rendezvous was lining up for.
                 let head = self.pending.lock().expect("poisoned").front().map(|q| {
@@ -362,19 +428,20 @@ impl Updater {
                     )
                 });
                 if let Some((update, from, to)) = head {
-                    t.journal.record(
+                    t.journal.record_spanned(
                         t.worker,
                         update,
                         &from,
                         &to,
                         Stage::GateWait,
-                        Some(gate_began.elapsed()),
+                        Some(gate_dur),
                         None,
+                        span_ctx.as_ref().map(|c| (c.trace_id, c.head_root)),
                     );
                 }
             }
         }
-        let result = self.drain(proc, drain_dur);
+        let result = self.drain(proc, drain_dur, began, gate_span, &mut span_ctx);
         self.pauses.lock().expect("poisoned").push(PauseEvent {
             at: began,
             dur: began.elapsed(),
@@ -382,12 +449,21 @@ impl Updater {
         result
     }
 
-    fn drain(&mut self, proc: &mut Process, mut drain_dur: Duration) -> Result<usize, UpdateError> {
+    fn drain(
+        &mut self,
+        proc: &mut Process,
+        mut drain_dur: Duration,
+        pause_began: Instant,
+        gate_span: Option<(Instant, Duration)>,
+        span_ctx: &mut Option<SpanCtx>,
+    ) -> Result<usize, UpdateError> {
         let mut applied = 0;
         let trace = self.trace.lock().expect("poisoned").clone();
         loop {
             let queued = self.pending.lock().expect("poisoned").pop_front();
             let Some(queued) = queued else { break };
+            let op_began = Instant::now();
+            let mut phase_log = span_ctx.as_ref().map(|_| PhaseSpanLog::default());
             let result = match &queued.kind {
                 OpKind::Apply { patch, rollback } => {
                     // The pre-update snapshot feeding the rollback ring.
@@ -399,7 +475,7 @@ impl Updater {
                         let depth = self.snapshots.lock().expect("poisoned").depth();
                         (depth > 0).then(|| proc.snapshot())
                     };
-                    match apply_patch(proc, patch, self.policy) {
+                    match apply_patch_spanned(proc, patch, self.policy, phase_log.as_mut()) {
                         Ok(mut report) => {
                             report.rolled_back = *rollback;
                             let mut ring = self.snapshots.lock().expect("poisoned");
@@ -434,6 +510,9 @@ impl Updater {
                                 bind: t.elapsed(),
                                 ..PhaseTimings::default()
                             };
+                            if let Some(log) = phase_log.as_mut() {
+                                log.push("bind", t, timings.bind);
+                            }
                             Ok(UpdateReport {
                                 from_version: entry.to_version,
                                 to_version: entry.from_version,
@@ -457,8 +536,19 @@ impl Updater {
                     // The quiescence wait is charged once, to the first
                     // patch this pause applies.
                     report.timings.drain += std::mem::take(&mut drain_dur);
+                    let link = span_ctx.as_mut().map(|ctx| {
+                        record_update_spans(
+                            ctx,
+                            queued.update,
+                            &report,
+                            pause_began,
+                            op_began,
+                            gate_span,
+                            phase_log.as_ref().expect("span ctx implies phase log"),
+                        )
+                    });
                     if let Some(t) = &trace {
-                        emit_applied(t, queued.update, &report);
+                        emit_applied(t, queued.update, &report, link);
                     }
                     self.log.lock().expect("poisoned").push(report);
                     applied += 1;
@@ -581,12 +671,97 @@ fn cancel_traced(
     drained.len()
 }
 
+/// Records the span tree of one applied update: a root `Update` span
+/// covering the whole pause share of this op (the pause's first applied
+/// patch owns the pre-apply interval — drain hook and gate included)
+/// with one `UpdatePhase` child per non-empty phase, carrying the exact
+/// durations stored in `PhaseTimings`. Returns the `(trace, span)`
+/// cross-link for the journal. Child intervals are clamped into the
+/// root's so the nesting invariant holds by construction.
+fn record_update_spans(
+    ctx: &mut SpanCtx,
+    update: u64,
+    report: &UpdateReport,
+    pause_began: Instant,
+    op_began: Instant,
+    gate_span: Option<(Instant, Duration)>,
+    phase_log: &PhaseSpanLog,
+) -> (u64, u64) {
+    let first = !ctx.head_used;
+    let root_id = if first {
+        ctx.head_used = true;
+        ctx.head_root
+    } else {
+        ctx.tracer.next_span_id()
+    };
+    let start = if first { pause_began } else { op_began };
+    let root_start = ctx.tracer.since_epoch(start);
+    let root_end = ctx.tracer.now().max(root_start);
+    let name = if report.rolled_back {
+        "rollback"
+    } else {
+        "update"
+    };
+
+    let mut children: Vec<(&'static str, Duration, Duration)> = Vec::new();
+    if first {
+        if report.timings.drain > Duration::ZERO {
+            children.push(("drain", root_start, report.timings.drain));
+        }
+        if let Some((gate_began, gate_dur)) = gate_span {
+            if gate_dur > Duration::ZERO {
+                children.push(("gate-wait", ctx.tracer.since_epoch(gate_began), gate_dur));
+            }
+        }
+    }
+    for (phase, began, dur) in &phase_log.phases {
+        if *dur > Duration::ZERO {
+            children.push((phase, ctx.tracer.since_epoch(*began), *dur));
+        }
+    }
+
+    let mut batch = Vec::with_capacity(children.len() + 1);
+    batch.push(Span {
+        trace: ctx.trace_id,
+        id: root_id,
+        parent: ctx.parent,
+        kind: SpanKind::Update,
+        name,
+        worker: ctx.worker,
+        start: root_start,
+        dur: root_end - root_start,
+        update: Some(update),
+        request: None,
+        detail: Some(format!("{}->{}", report.from_version, report.to_version)),
+    });
+    for (phase, begin, dur) in children {
+        let s = begin.clamp(root_start, root_end);
+        let e = (begin + dur).clamp(s, root_end);
+        batch.push(Span {
+            trace: ctx.trace_id,
+            id: ctx.tracer.next_span_id(),
+            parent: Some(root_id),
+            kind: SpanKind::UpdatePhase,
+            name: phase,
+            worker: ctx.worker,
+            start: s,
+            dur: e - s,
+            update: Some(update),
+            request: None,
+            detail: None,
+        });
+    }
+    ctx.tracer.record_many(batch);
+    (ctx.trace_id, root_id)
+}
+
 /// Emits the seven phase events (durations copied verbatim from the
 /// report's [`crate::PhaseTimings`], so journal sums equal
 /// `timings.total()` exactly) followed by the terminal stage —
 /// `Committed`, or `RolledBack` for a downgrade, either way carrying the
-/// pipeline total.
-fn emit_applied(t: &Trace, update: u64, report: &UpdateReport) {
+/// pipeline total. `link` is the update root span's `(trace, span)`,
+/// attached to every event when span tracing is on.
+fn emit_applied(t: &Trace, update: u64, report: &UpdateReport, link: Option<(u64, u64)>) {
     let ts = &report.timings;
     let phases = [
         (Stage::Drain, ts.drain),
@@ -598,7 +773,7 @@ fn emit_applied(t: &Trace, update: u64, report: &UpdateReport) {
         (Stage::Transform, ts.transform),
     ];
     for (stage, dur) in phases {
-        t.journal.record(
+        t.journal.record_spanned(
             t.worker,
             update,
             &report.from_version,
@@ -606,6 +781,7 @@ fn emit_applied(t: &Trace, update: u64, report: &UpdateReport) {
             stage,
             Some(dur),
             None,
+            link,
         );
     }
     let terminal = if report.rolled_back {
@@ -613,7 +789,7 @@ fn emit_applied(t: &Trace, update: u64, report: &UpdateReport) {
     } else {
         Stage::Committed
     };
-    t.journal.record(
+    t.journal.record_spanned(
         t.worker,
         update,
         &report.from_version,
@@ -621,6 +797,7 @@ fn emit_applied(t: &Trace, update: u64, report: &UpdateReport) {
         terminal,
         Some(ts.total()),
         None,
+        link,
     );
 }
 
@@ -650,6 +827,7 @@ pub struct UpdaterRemote {
     pauses: PauseLog,
     gate: Arc<Mutex<Option<Gate>>>,
     trace: Arc<Mutex<Option<Trace>>>,
+    span_parent: Arc<Mutex<Option<(u64, u64)>>>,
     transitions: Arc<Mutex<Vec<(String, String)>>>,
     signal: UpdateSignal,
 }
@@ -726,6 +904,22 @@ impl UpdaterRemote {
     /// simultaneous rollout.
     pub fn set_gate(&self, gate: Gate) {
         *self.gate.lock().expect("poisoned") = Some(gate);
+    }
+
+    /// Propagates a rollout span context: update spans this worker
+    /// records from now on join trace `trace` and parent under span
+    /// `span` (the coordinator's rollout root span), until the next
+    /// rollout overwrites the context. No-op for the journal; spans only.
+    pub fn set_span_parent(&self, trace: u64, span: u64) {
+        *self.span_parent.lock().expect("poisoned") = Some((trace, span));
+    }
+
+    /// Clears a propagated rollout span context: subsequent update spans
+    /// open fresh traces again. Coordinators call this when their rollout
+    /// root span closes, so a later direct update cannot parent under a
+    /// span that has already ended.
+    pub fn clear_span_parent(&self) {
+        *self.span_parent.lock().expect("poisoned") = None;
     }
 
     /// Patches still waiting to be applied.

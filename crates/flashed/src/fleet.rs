@@ -33,6 +33,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use dsu_core::{FleetUpdateReport, Patch, UpdateReport, UpdaterRemote};
+use dsu_obs::trace::{Span, SpanKind};
 use vm::LinkMode;
 
 use crate::fault::FaultPlan;
@@ -79,6 +80,13 @@ pub struct FleetConfig {
     pub serve_mode: ServeMode,
     /// Whether to build a [`FleetTelemetry`] (journal + registries).
     pub telemetry: bool,
+    /// Whether to build a fleet-shared span [`dsu_obs::Tracer`] (implies
+    /// `telemetry`): request, update and rollout spans land in one
+    /// collector, ready for latency attribution.
+    pub tracing: bool,
+    /// Whether each worker arms its VM's hot-path profiler at boot and
+    /// publishes the collapsed-stack profile at shutdown.
+    pub vm_profile: bool,
     /// Per-worker overrides, indexed by worker id; missing entries mean
     /// "no override".
     pub overrides: Vec<WorkerOverride>,
@@ -96,6 +104,8 @@ impl FleetConfig {
             link_mode: LinkMode::Updateable,
             serve_mode: ServeMode::Blocking,
             telemetry: false,
+            tracing: false,
+            vm_profile: false,
             overrides: Vec::new(),
             rollout_deadline: ROLLOUT_DEADLINE,
         }
@@ -122,6 +132,23 @@ impl FleetConfig {
     /// Enables fleet telemetry.
     pub fn with_telemetry(mut self) -> FleetConfig {
         self.telemetry = true;
+        self
+    }
+
+    /// Enables causal tracing (and, with it, telemetry): every worker's
+    /// server emits request spans, every updater emits update/phase
+    /// spans, and rollouts stamp a fleet-wide root span — all into one
+    /// shared [`dsu_obs::Tracer`].
+    pub fn with_tracing(mut self) -> FleetConfig {
+        self.telemetry = true;
+        self.tracing = true;
+        self
+    }
+
+    /// Arms each worker's VM hot-path profiler at boot; the collapsed
+    /// profile is published into the worker's telemetry at shutdown.
+    pub fn with_vm_profile(mut self) -> FleetConfig {
+        self.vm_profile = true;
         self
     }
 
@@ -273,6 +300,14 @@ struct Worker {
     join: JoinHandle<Result<i64, String>>,
 }
 
+/// An open fleet-wide rollout trace: the `(trace, root span)` ids every
+/// worker's update spans parent under, plus when coordination began.
+struct RolloutTrace {
+    trace: u64,
+    span: u64,
+    began: Instant,
+}
+
 /// A running fleet of FlashEd workers over one shared request queue.
 pub struct Fleet {
     shared: ServerShared,
@@ -355,7 +390,13 @@ impl Fleet {
     fn boot(cfg: &FleetConfig, src: &str, version: &str, fs: &SimFs) -> Result<Fleet, FleetError> {
         let n = cfg.workers;
         assert!(n > 0, "a fleet needs at least one worker");
-        let telemetry = cfg.telemetry.then(|| Arc::new(FleetTelemetry::new(n)));
+        let telemetry = cfg.telemetry.then(|| {
+            Arc::new(if cfg.tracing {
+                FleetTelemetry::with_tracing(n)
+            } else {
+                FleetTelemetry::new(n)
+            })
+        });
         let shared = ServerShared::new();
         let mut workers = Vec::with_capacity(n);
         let mut boot_err = None;
@@ -388,14 +429,15 @@ impl Fleet {
             };
             let mode = cfg.link_mode;
             let fault = ov.fault;
+            let vm_profile = cfg.vm_profile;
             let shared_w = shared.clone();
             let tel_w = telemetry.as_ref().map(|t| t.worker(id).clone());
             let join = thread::Builder::new()
                 .name(format!("flashed-worker-{id}"))
                 .spawn(move || {
                     worker_main(
-                        mode, serve_mode, src, version, fs, fault, shared_w, tel_w, ctrl_rx,
-                        boot_tx,
+                        mode, serve_mode, src, version, fs, fault, vm_profile, shared_w, tel_w,
+                        ctrl_rx, boot_tx,
                     )
                 })
                 .map_err(|e| FleetError::Worker {
@@ -573,42 +615,98 @@ impl Fleet {
         if let Some(t) = &self.telemetry {
             t.record_rollout_start();
         }
+        let rollout_trace = self.begin_rollout_trace();
         let baselines = self.baselines();
 
-        match policy {
-            RolloutPolicy::Simultaneous => {
-                // Gates first, then patches: a fast worker must find its
-                // barrier already installed when it reaches the pause.
-                let barrier = Arc::new(Barrier::new(self.workers.len()));
-                for w in &self.workers {
-                    let b = Arc::clone(&barrier);
-                    w.remote.set_gate(Box::new(move || {
-                        b.wait();
-                    }));
-                }
-                for w in &self.workers {
-                    w.remote.enqueue(patch.clone());
-                }
-                for (w, base) in self.workers.iter().zip(&baselines) {
-                    self.await_worker(w, *base)?;
-                }
-                self.refresh_skew();
-            }
-            RolloutPolicy::Rolling => {
-                for (w, base) in self.workers.iter().zip(&baselines) {
-                    w.remote.enqueue(patch.clone());
-                    if let Err(stall) = self.await_worker(w, *base) {
-                        return Err(self.rolling_stall(w, &baselines, stall));
+        let run = || -> Result<(), FleetError> {
+            match policy {
+                RolloutPolicy::Simultaneous => {
+                    // Gates first, then patches: a fast worker must find its
+                    // barrier already installed when it reaches the pause.
+                    let barrier = Arc::new(Barrier::new(self.workers.len()));
+                    for w in &self.workers {
+                        let b = Arc::clone(&barrier);
+                        w.remote.set_gate(Box::new(move || {
+                            b.wait();
+                        }));
                     }
-                    // Per-step skew: the gauge's peak over a rolling
-                    // rollout is the transient mixed-version window.
+                    for w in &self.workers {
+                        w.remote.enqueue(patch.clone());
+                    }
+                    for (w, base) in self.workers.iter().zip(&baselines) {
+                        self.await_worker(w, *base)?;
+                    }
                     self.refresh_skew();
                 }
+                RolloutPolicy::Rolling => {
+                    for (w, base) in self.workers.iter().zip(&baselines) {
+                        w.remote.enqueue(patch.clone());
+                        if let Err(stall) = self.await_worker(w, *base) {
+                            return Err(self.rolling_stall(w, &baselines, stall));
+                        }
+                        // Per-step skew: the gauge's peak over a rolling
+                        // rollout is the transient mixed-version window.
+                        self.refresh_skew();
+                    }
+                }
+                RolloutPolicy::Guarded { .. } => unreachable!("handled by rollout()"),
             }
-            RolloutPolicy::Guarded { .. } => unreachable!("handled by rollout()"),
-        }
+            Ok(())
+        };
+        // The root span closes on every exit path — a stalled rollout
+        // still leaves a complete trace behind.
+        let result = run();
+        self.end_rollout_trace(rollout_trace, patch);
+        result?;
 
         Ok(self.collect_report(&baselines))
+    }
+
+    /// Opens a rollout trace: allocates `(trace, root span)` ids on the
+    /// fleet tracer and propagates them to every worker, so the update
+    /// spans each worker records during this rollout parent under one
+    /// fleet-wide root. Returns `None` when tracing is off.
+    fn begin_rollout_trace(&self) -> Option<RolloutTrace> {
+        let tracer = self.telemetry.as_deref()?.tracer()?;
+        let trace = tracer.next_trace_id();
+        let span = tracer.next_span_id();
+        for w in &self.workers {
+            w.remote.set_span_parent(trace, span);
+        }
+        Some(RolloutTrace {
+            trace,
+            span,
+            began: Instant::now(),
+        })
+    }
+
+    /// Closes a rollout trace: records the root `Rollout` span (covering
+    /// the whole coordination window, so every worker's update spans nest
+    /// inside it) and clears the propagated context — later direct
+    /// updates must not parent under a span that has ended.
+    fn end_rollout_trace(&self, rt: Option<RolloutTrace>, patch: &Patch) {
+        let Some(rt) = rt else { return };
+        let Some(tracer) = self.telemetry.as_deref().and_then(FleetTelemetry::tracer) else {
+            return;
+        };
+        for w in &self.workers {
+            w.remote.clear_span_parent();
+        }
+        let start = tracer.since_epoch(rt.began);
+        let end = tracer.now().max(start);
+        tracer.record(Span {
+            trace: rt.trace,
+            id: rt.span,
+            parent: None,
+            kind: SpanKind::Rollout,
+            name: "rollout",
+            worker: None,
+            start,
+            dur: end.saturating_sub(start),
+            update: None,
+            request: None,
+            detail: Some(format!("{}->{}", patch.from_version, patch.to_version)),
+        });
     }
 
     /// Per-worker `(applied, failed, pauses)` counts before a rollout.
@@ -698,6 +796,7 @@ impl Fleet {
         if let Some(t) = &self.telemetry {
             t.record_rollout_start();
         }
+        let rollout_trace = self.begin_rollout_trace();
         let baselines = self.baselines();
         let read_error_base: Vec<u64> = self.read_error_counts();
         let gate = HealthGate::new(pause_slo);
@@ -761,13 +860,23 @@ impl Fleet {
                 outcome = match on_breach {
                     BreachAction::Hold => RolloutOutcome::Held(breach),
                     BreachAction::RollBack { ref inverse } => {
-                        rollbacks = self.roll_back_workers(&forward, inverse.as_deref())?;
+                        match self.roll_back_workers(&forward, inverse.as_deref()) {
+                            Ok(r) => rollbacks = r,
+                            Err(e) => {
+                                self.end_rollout_trace(rollout_trace, patch);
+                                return Err(e);
+                            }
+                        }
                         RolloutOutcome::RolledBack(breach)
                     }
                 };
                 break;
             }
         }
+
+        // Rollback update spans were recorded by the workers above, so
+        // closing here keeps them nested inside the rollout root.
+        self.end_rollout_trace(rollout_trace, patch);
 
         let report = self.collect_report(&baselines);
         let card = RolloutReportCard {
@@ -895,6 +1004,7 @@ fn worker_main(
     version: String,
     fs: SimFs,
     fault: FaultPlan,
+    vm_profile: bool,
     shared: ServerShared,
     telemetry: Option<ServerTelemetry>,
     ctrl: mpsc::Receiver<Ctrl>,
@@ -911,6 +1021,9 @@ fn worker_main(
     // Fleet workers keep serving their old version when a patch is
     // rejected; the coordinator reads the failure out of the shared log.
     server.updater.strict = false;
+    if vm_profile {
+        server.set_vm_profiling(true);
+    }
     if fault.delays_pauses() {
         server.inject_fault(fault);
     }
@@ -918,10 +1031,18 @@ fn worker_main(
         return Ok(0); // coordinator went away before boot finished
     }
 
+    // Lands the collapsed-stack VM profile (when armed) in the worker's
+    // telemetry slot on the way out, success or failure.
+    let finish = |server: &Server, r: Result<i64, String>| {
+        server.publish_vm_profile();
+        r
+    };
     let mut total = 0i64;
     loop {
         match ctrl.try_recv() {
-            Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => return Ok(total),
+            Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
+                return finish(&server, Ok(total))
+            }
             Err(TryRecvError::Empty) => {}
         }
         // A patch that arrived while the queue was empty never meets an
@@ -929,15 +1050,19 @@ fn worker_main(
         // one); apply it here, at the quiescent boundary. Non-strict, so
         // rejections are recorded, not returned.
         if server.updater.pending_count() > 0 {
-            server.apply_pending_now().map_err(|e| e.to_string())?;
+            if let Err(e) = server.apply_pending_now() {
+                return finish(&server, Err(e.to_string()));
+            }
         }
         match server.serve() {
             Ok(0) => match ctrl.recv_timeout(IDLE_WAIT) {
-                Ok(Ctrl::Shutdown) | Err(RecvTimeoutError::Disconnected) => return Ok(total),
+                Ok(Ctrl::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                    return finish(&server, Ok(total))
+                }
                 Err(RecvTimeoutError::Timeout) => {}
             },
             Ok(n) => total += n,
-            Err(e) => return Err(e.to_string()),
+            Err(e) => return finish(&server, Err(e.to_string())),
         }
     }
 }

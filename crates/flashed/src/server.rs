@@ -33,6 +33,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dsu_core::{Patch, PauseLog, RunError, Updater};
+use dsu_obs::trace::{Span, SpanKind};
 use tal::{FnSig, Ty};
 use vm::{LinkMode, Process, Value};
 
@@ -254,6 +255,25 @@ struct Admitted {
     /// When the host pulled it off the shared queue — service time is
     /// measured from here, so time parked on a read counts as service.
     pulled_at: Instant,
+    /// When the prefetch read was submitted to a helper (event loop only).
+    submitted: Option<Instant>,
+    /// When the read completed and the request left the parked table.
+    reaped: Option<Instant>,
+}
+
+/// One outstanding pull awaiting its response, with the lifecycle
+/// instants the request span is cut from. FIFO-matched to responses.
+#[derive(Debug, Clone)]
+struct PullRec {
+    id: u64,
+    /// Pull instant — service time and the request span start here.
+    t0: Instant,
+    /// Read submission / completion instants (the `park` phase), when the
+    /// request went through the event loop and needed a device read.
+    submitted: Option<Instant>,
+    reaped: Option<Instant>,
+    /// When the guest picked the request up (`next_request` returning it).
+    guest_at: Instant,
 }
 
 /// Host-side state of one event-loop server: the async filesystem, the
@@ -271,7 +291,8 @@ impl EventState {
     /// Moves every completed read's request from `parked` to `ready`.
     fn reap(&self) {
         for c in self.afs.poll() {
-            if let Some(entry) = self.parked.lock().expect("poisoned").remove(&c.ticket) {
+            if let Some(mut entry) = self.parked.lock().expect("poisoned").remove(&c.ticket) {
+                entry.reaped = Some(Instant::now());
                 self.ready.lock().expect("poisoned").push_back(entry);
             }
         }
@@ -302,6 +323,56 @@ fn prefetch_path(req: &str, fs: &SimFs) -> Option<String> {
         return Some(stripped.to_string());
     }
     None
+}
+
+/// Emits one sampled request's span tree: a root `Request` span covering
+/// pull → response, with `RequestPhase` children for the AMPED lifecycle
+/// — `admit` (instantaneous, at the pull), `park` (read submitted →
+/// reaped, when the request waited on a device read), `guest-exec`
+/// (guest pickup → response) and `respond` (instantaneous, at the end).
+/// Children are clamped into the root, so span invariants hold even when
+/// clocks are read across lock boundaries.
+fn record_request_spans(tracer: &dsu_obs::Tracer, worker: Option<usize>, rec: &PullRec) {
+    let trace = tracer.next_trace_id();
+    let root_id = tracer.next_span_id();
+    let start = tracer.since_epoch(rec.t0);
+    let end = tracer.now().max(start);
+    let child = |name: &'static str, s: Duration, e: Duration| Span {
+        trace,
+        id: tracer.next_span_id(),
+        parent: Some(root_id),
+        kind: SpanKind::RequestPhase,
+        name,
+        worker,
+        start: s,
+        dur: e.saturating_sub(s),
+        update: None,
+        request: Some(rec.id),
+        detail: None,
+    };
+    let mut spans = vec![Span {
+        trace,
+        id: root_id,
+        parent: None,
+        kind: SpanKind::Request,
+        name: "request",
+        worker,
+        start,
+        dur: end.saturating_sub(start),
+        update: None,
+        request: Some(rec.id),
+        detail: None,
+    }];
+    spans.push(child("admit", start, start));
+    if let (Some(sub), Some(reap)) = (rec.submitted, rec.reaped) {
+        let s = tracer.since_epoch(sub).clamp(start, end);
+        let e = tracer.since_epoch(reap).clamp(s, end);
+        spans.push(child("park", s, e));
+    }
+    let g = tracer.since_epoch(rec.guest_at).clamp(start, end);
+    spans.push(child("guest-exec", g, end));
+    spans.push(child("respond", end, end));
+    tracer.record_many(spans);
 }
 
 /// A running FlashEd server.
@@ -411,6 +482,9 @@ impl Server {
         let updater = Updater::new();
         if let Some(tel) = &telemetry {
             updater.set_journal(tel.journal().clone(), tel.worker());
+            if let Some(tr) = tel.tracer() {
+                updater.set_tracer(tr.clone());
+            }
         }
 
         let fs = Arc::new(fs);
@@ -502,14 +576,13 @@ impl Server {
                 Box::new(move |args| Ok(Value::Bool(fs.exists(&args[0].as_str())))),
             );
         }
-        // Outstanding pulls — (pull id, pull instant) in pull order.
-        // `send_response` pops the front, matching responses to pulls
-        // FIFO, so several concurrently pulled requests each get timed
-        // from their own pull, and a response that was never preceded by
-        // a pull is detectable rather than silently timed from some stale
-        // (or boot-time) instant.
-        let outstanding: Arc<Mutex<VecDeque<(u64, Instant)>>> =
-            Arc::new(Mutex::new(VecDeque::new()));
+        // Outstanding pulls in pull order. `send_response` pops the
+        // front, matching responses to pulls FIFO, so several
+        // concurrently pulled requests each get timed from their own
+        // pull, and a response that was never preceded by a pull is
+        // detectable rather than silently timed from some stale (or
+        // boot-time) instant.
+        let outstanding: Arc<Mutex<VecDeque<PullRec>>> = Arc::new(Mutex::new(VecDeque::new()));
         let pull_ids = Arc::new(AtomicU64::new(0));
         {
             let queue = Arc::clone(&shared.queue);
@@ -528,10 +601,13 @@ impl Server {
                         let next = ev.ready.lock().expect("poisoned").pop_front();
                         return match next {
                             Some(r) => {
-                                outstanding
-                                    .lock()
-                                    .expect("poisoned")
-                                    .push_back((r.id, r.pulled_at));
+                                outstanding.lock().expect("poisoned").push_back(PullRec {
+                                    id: r.id,
+                                    t0: r.pulled_at,
+                                    submitted: r.submitted,
+                                    reaped: r.reaped,
+                                    guest_at: Instant::now(),
+                                });
                                 Ok(Value::str(&r.request))
                             }
                             // Batch drained: back to the host loop.
@@ -548,10 +624,14 @@ impl Server {
                                 tel.record_pull(remaining);
                             }
                             let id = pull_ids.fetch_add(1, Ordering::Relaxed) + 1;
-                            outstanding
-                                .lock()
-                                .expect("poisoned")
-                                .push_back((id, Instant::now()));
+                            let now = Instant::now();
+                            outstanding.lock().expect("poisoned").push_back(PullRec {
+                                id,
+                                t0: now,
+                                submitted: None,
+                                reaped: None,
+                                guest_at: now,
+                            });
                             Ok(Value::str(&req))
                         }
                         None => Ok(Value::str("")),
@@ -568,10 +648,10 @@ impl Server {
                 "send_response",
                 FnSig::new(vec![Ty::Str], Ty::Unit),
                 Box::new(move |args| {
-                    let pulled_at = outstanding.lock().expect("poisoned").pop_front();
-                    let (service, update_pause, request_id) = match pulled_at {
-                        Some((id, t0)) => {
-                            let raw = t0.elapsed();
+                    let rec = outstanding.lock().expect("poisoned").pop_front();
+                    let (service, update_pause, request_id) = match &rec {
+                        Some(r) => {
+                            let raw = r.t0.elapsed();
                             // Suspensions at update points between this
                             // request's pull and its response are update
                             // pause, not service time.
@@ -579,16 +659,21 @@ impl Server {
                                 .lock()
                                 .expect("poisoned")
                                 .iter()
-                                .filter(|ev| ev.at >= t0)
+                                .filter(|ev| ev.at >= r.t0)
                                 .map(|ev| ev.dur)
                                 .sum();
-                            (raw.saturating_sub(pause), pause, Some(id))
+                            (raw.saturating_sub(pause), pause, Some(r.id))
                         }
                         None => (Duration::ZERO, Duration::ZERO, None),
                     };
                     let pulled = request_id.is_some();
                     if let Some(tel) = &tel {
                         tel.record_response(pulled.then_some(service));
+                        if let (Some(r), Some(tracer)) = (&rec, tel.tracer()) {
+                            if tracer.sample() {
+                                record_request_spans(tracer, tel.worker(), r);
+                            }
+                        }
                     }
                     completions.lock().expect("poisoned").push(Completion {
                         at: started.elapsed(),
@@ -723,10 +808,12 @@ impl Server {
             if let Some(tel) = &self.telemetry {
                 tel.record_pull(remaining);
             }
-            let entry = Admitted {
+            let mut entry = Admitted {
                 id: self.pull_ids.fetch_add(1, Ordering::Relaxed) + 1,
                 request: req,
                 pulled_at: Instant::now(),
+                submitted: None,
+                reaped: None,
             };
             match prefetch_path(&entry.request, ev.afs.fs()) {
                 // No device read will happen (400/404): ready now.
@@ -734,6 +821,7 @@ impl Server {
                 Some(path) => {
                     // Park under the lock so a helper completing before
                     // the insert cannot be reaped against an absent key.
+                    entry.submitted = Some(Instant::now());
                     let mut parked = ev.parked.lock().expect("poisoned");
                     let ticket = ev.afs.submit(&path);
                     parked.insert(ticket, entry);
@@ -759,6 +847,23 @@ impl Server {
     /// The telemetry bundle this server records into, if any.
     pub fn telemetry(&self) -> Option<&ServerTelemetry> {
         self.telemetry.as_ref()
+    }
+
+    /// Arms (or disarms) the guest VM's hot-path profiler (see
+    /// [`vm::Profiler`]). Off by default — profiling is opt-in so the
+    /// serving hot path stays unobserved unless asked.
+    pub fn set_vm_profiling(&mut self, on: bool) {
+        self.proc.set_profiling(on);
+    }
+
+    /// Collapsed-stack export of the VM profile, and publishes it into
+    /// the telemetry bundle's profile slot. `None` when profiling is off.
+    pub fn publish_vm_profile(&self) -> Option<String> {
+        let collapsed = self.proc.profile_collapsed()?;
+        if let Some(tel) = &self.telemetry {
+            tel.set_vm_profile(collapsed.clone());
+        }
+        Some(collapsed)
     }
 
     /// How this server drives its guest (set at boot).

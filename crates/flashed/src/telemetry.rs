@@ -14,11 +14,13 @@
 //! versions serving at once — and merged Prometheus/JSON scrapes, the
 //! same document a Prometheus server scraping N targets would assemble.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use dsu_obs::metrics::LATENCY_BOUNDS_US;
-use dsu_obs::{aggregate_json, aggregate_text, Counter, Gauge, Histogram, Journal, Registry};
+use dsu_obs::{
+    aggregate_json, aggregate_text, Counter, Gauge, Histogram, Journal, Registry, Tracer,
+};
 use vm::{ExecStats, ExecStatsShared};
 
 /// Metric names exposed by every FlashEd server. Public so tests and
@@ -39,6 +41,17 @@ pub mod names {
     pub const VM_INSTRS: &str = "flashed_vm_instructions_total";
     /// Guest update points executed (counter).
     pub const VM_UPDATE_POINTS: &str = "flashed_vm_update_points_total";
+    /// Slot calls answered by a warm inline cache (counter, published at
+    /// quiescent boundaries).
+    pub const VM_IC_HITS: &str = "flashed_vm_ic_hits_total";
+    /// Slot calls that (re-)resolved through the indirection table
+    /// (counter).
+    pub const VM_IC_MISSES: &str = "flashed_vm_ic_misses_total";
+    /// Guest calls whose frame buffers came from the recycling pool
+    /// (counter).
+    pub const VM_POOL_HITS: &str = "flashed_vm_frame_pool_hits_total";
+    /// Guest calls that allocated fresh frame buffers (counter).
+    pub const VM_POOL_MISSES: &str = "flashed_vm_frame_pool_misses_total";
     /// Buffer-cache hits on the event-loop read path (counter).
     pub const CACHE_HITS: &str = "flashed_cache_hits_total";
     /// Buffer-cache misses — reads that went to a helper (counter).
@@ -74,6 +87,12 @@ pub struct ServerTelemetry {
     queue_depth: Gauge,
     vm_instrs: Counter,
     vm_update_points: Counter,
+    vm_ic_hits: Counter,
+    vm_ic_misses: Counter,
+    vm_pool_hits: Counter,
+    vm_pool_misses: Counter,
+    tracer: Option<Tracer>,
+    vm_profile: Arc<Mutex<Option<String>>>,
     cache_hits: Counter,
     cache_misses: Counter,
     cache_evictions: Counter,
@@ -139,6 +158,22 @@ impl ServerTelemetry {
             names::VM_UPDATE_POINTS,
             "guest update points executed (published at quiescent boundaries)",
         );
+        let vm_ic_hits = registry.counter(
+            names::VM_IC_HITS,
+            "slot calls answered by a warm inline cache",
+        );
+        let vm_ic_misses = registry.counter(
+            names::VM_IC_MISSES,
+            "slot calls that (re-)resolved through the indirection table",
+        );
+        let vm_pool_hits = registry.counter(
+            names::VM_POOL_HITS,
+            "guest calls whose frame buffers came from the recycling pool",
+        );
+        let vm_pool_misses = registry.counter(
+            names::VM_POOL_MISSES,
+            "guest calls that allocated fresh frame buffers",
+        );
         let cache_hits = registry.counter(
             names::CACHE_HITS,
             "buffer-cache hits on the event-loop read path",
@@ -171,12 +206,43 @@ impl ServerTelemetry {
             queue_depth,
             vm_instrs,
             vm_update_points,
+            vm_ic_hits,
+            vm_ic_misses,
+            vm_pool_hits,
+            vm_pool_misses,
+            tracer: None,
+            vm_profile: Arc::new(Mutex::new(None)),
             cache_hits,
             cache_misses,
             cache_evictions,
             read_errors,
             reads_in_flight,
         }
+    }
+
+    /// Attaches a span [`Tracer`]: the server emits request spans, its
+    /// updater emits update/phase spans, all into this collector. Fleet
+    /// workers share one tracer so intervals are comparable fleet-wide.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> ServerTelemetry {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached span tracer, if tracing is on.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Stores the worker's collapsed-stack VM profile (published at
+    /// clean shutdown when profiling is on).
+    pub fn set_vm_profile(&self, collapsed: String) {
+        *self.vm_profile.lock().expect("profile lock") = Some(collapsed);
+    }
+
+    /// The last published collapsed-stack VM profile, if any.
+    pub fn vm_profile(&self) -> Option<String> {
+        self.vm_profile.lock().expect("profile lock").clone()
     }
 
     /// The lifecycle journal (shared fleet-wide for fleet workers).
@@ -231,6 +297,10 @@ impl ServerTelemetry {
         self.vm_stats.publish(stats);
         self.vm_instrs.store(stats.instrs);
         self.vm_update_points.store(stats.update_points);
+        self.vm_ic_hits.store(stats.ic_hits);
+        self.vm_ic_misses.store(stats.ic_misses);
+        self.vm_pool_hits.store(stats.pool_hits);
+        self.vm_pool_misses.store(stats.pool_misses);
     }
 
     /// Publishes buffer-cache counters and the in-flight-reads gauge.
@@ -278,6 +348,7 @@ pub struct FleetTelemetry {
     workers: Vec<ServerTelemetry>,
     version_skew: Gauge,
     rollouts: Counter,
+    tracer: Option<Tracer>,
 }
 
 impl std::fmt::Debug for FleetTelemetry {
@@ -294,6 +365,18 @@ impl FleetTelemetry {
     /// labelled [`ServerTelemetry`] per worker, a coordinator registry
     /// with the version-skew gauge and rollout counter.
     pub fn new(n: usize) -> FleetTelemetry {
+        FleetTelemetry::build(n, None)
+    }
+
+    /// [`FleetTelemetry::new`] plus one fleet-shared span [`Tracer`]:
+    /// every worker's [`ServerTelemetry`] carries a clone, so request,
+    /// update and rollout spans land in one collector on one epoch —
+    /// the precondition for cross-worker latency attribution.
+    pub fn with_tracing(n: usize) -> FleetTelemetry {
+        FleetTelemetry::build(n, Some(Tracer::new()))
+    }
+
+    fn build(n: usize, tracer: Option<Tracer>) -> FleetTelemetry {
         let journal = Journal::new();
         let coordinator = Registry::new();
         let version_skew = coordinator.gauge(
@@ -305,7 +388,13 @@ impl FleetTelemetry {
             .gauge(names::WORKERS, "fleet size")
             .set(n as i64);
         let workers = (0..n)
-            .map(|i| ServerTelemetry::for_worker(journal.clone(), i))
+            .map(|i| {
+                let t = ServerTelemetry::for_worker(journal.clone(), i);
+                match &tracer {
+                    Some(tr) => t.with_tracer(tr.clone()),
+                    None => t,
+                }
+            })
             .collect();
         FleetTelemetry {
             journal,
@@ -313,7 +402,13 @@ impl FleetTelemetry {
             workers,
             version_skew,
             rollouts,
+            tracer,
         }
+    }
+
+    /// The fleet-shared span tracer, if tracing is on.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// The fleet-wide lifecycle journal (events worker-tagged).
@@ -433,11 +528,36 @@ mod tests {
             ic_misses: 1,
             host_calls: 3,
             update_points: 2,
+            pool_hits: 9,
+            pool_misses: 1,
         };
         t.publish_vm_stats(&stats);
         assert_eq!(t.vm_stats().snapshot().instrs, 100);
         let text = t.registry().prometheus_text();
         assert!(text.contains("flashed_vm_instructions_total 100"), "{text}");
         assert!(text.contains("flashed_vm_update_points_total 2"), "{text}");
+        assert!(text.contains("flashed_vm_ic_hits_total 4"), "{text}");
+        assert!(text.contains("flashed_vm_ic_misses_total 1"), "{text}");
+        assert!(
+            text.contains("flashed_vm_frame_pool_hits_total 9"),
+            "{text}"
+        );
+        assert!(
+            text.contains("flashed_vm_frame_pool_misses_total 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn tracing_fleet_shares_one_tracer() {
+        let t = FleetTelemetry::with_tracing(2);
+        let tr = t.tracer().expect("tracing on");
+        assert!(t.worker(0).tracer().is_some());
+        assert!(t.worker(1).tracer().is_some());
+        // Shared, not per-worker: ids allocated through one worker's
+        // handle are visible to the fleet handle.
+        let id = t.worker(0).tracer().unwrap().next_trace_id();
+        assert!(tr.next_trace_id() > id);
+        assert!(FleetTelemetry::new(2).tracer().is_none());
     }
 }

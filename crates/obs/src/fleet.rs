@@ -112,6 +112,49 @@ pub fn rollout_timeline(events: &[Event]) -> Vec<RolloutRow> {
     rows
 }
 
+/// Renders a rollout timeline as a fixed-width table. Rollback rows are
+/// rendered distinctly: reversed transition arrow (`v2 <- v1` reads "the
+/// worker runs v1 again") and a `ROLLBACK` status, so a healed rollout
+/// is visibly different from a clean forward one at a glance.
+pub fn render_timeline(rows: &[RolloutRow]) -> String {
+    fn ms(d: Duration) -> f64 {
+        d.as_secs_f64() * 1e3
+    }
+    let mut out = format!(
+        "{:<8} {:<8} {:<14} {:<10} {:>12} {:>12} {:>12}  detail\n",
+        "update", "worker", "transition", "status", "enqueued ms", "gate ms", "phases ms"
+    );
+    for r in rows {
+        let (transition, status) = if r.rolled_back {
+            (
+                format!("{} <- {}", r.to_version, r.from_version),
+                "ROLLBACK",
+            )
+        } else if r.committed {
+            (
+                format!("{} -> {}", r.from_version, r.to_version),
+                "committed",
+            )
+        } else if r.resolved_at.is_some() {
+            (format!("{} -> {}", r.from_version, r.to_version), "aborted")
+        } else {
+            (format!("{} -> {}", r.from_version, r.to_version), "pending")
+        };
+        out.push_str(&format!(
+            "{:<8} {:<8} {:<14} {:<10} {:>12.3} {:>12.3} {:>12.3}  {}\n",
+            r.update,
+            r.worker.map_or("-".to_string(), |w| w.to_string()),
+            transition,
+            status,
+            ms(r.enqueued_at),
+            ms(r.gate_wait),
+            ms(r.phase_total),
+            r.detail.as_deref().unwrap_or(""),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +230,37 @@ mod tests {
         assert!(rows[0].resolved_at.is_some());
         assert!(!rows[1].committed);
         assert_eq!(rows[1].detail.as_deref(), Some("verification failed"));
+    }
+
+    #[test]
+    fn timeline_render_marks_rollbacks_distinctly() {
+        let j = Journal::new();
+        let a = j.next_update_id();
+        j.record(Some(0), a, "v1", "v2", Stage::Enqueued, None, None);
+        j.record(Some(0), a, "v1", "v2", Stage::Committed, None, None);
+        let b = j.next_update_id();
+        j.record(Some(0), b, "v2", "v1", Stage::Enqueued, None, None);
+        j.record(
+            Some(0),
+            b,
+            "v2",
+            "v1",
+            Stage::RolledBack,
+            None,
+            Some("pause SLO breach"),
+        );
+        let text = render_timeline(&rollout_timeline(&j.events()));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(
+            lines[1].contains("v1 -> v2") && lines[1].contains("committed"),
+            "{text}"
+        );
+        // The rollback row reads right-to-left and is shouted.
+        assert!(
+            lines[2].contains("v1 <- v2") && lines[2].contains("ROLLBACK"),
+            "{text}"
+        );
+        assert!(lines[2].contains("pause SLO breach"), "{text}");
     }
 }

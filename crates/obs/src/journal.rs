@@ -141,6 +141,11 @@ pub struct Event {
     pub dur: Option<Duration>,
     /// Free-form context (abort cause, failing phase, queue depth).
     pub detail: Option<String>,
+    /// Trace id of the update's root span, when tracing was on — the
+    /// journal↔trace cross-link.
+    pub trace: Option<u64>,
+    /// Span id of the update's root span, when tracing was on.
+    pub span: Option<u64>,
 }
 
 impl Event {
@@ -163,6 +168,12 @@ impl Event {
         }
         if let Some(detail) = &self.detail {
             s.push_str(&format!(",\"detail\":\"{}\"", json::escape(detail)));
+        }
+        if let Some(t) = self.trace {
+            s.push_str(&format!(",\"trace\":{t}"));
+        }
+        if let Some(sp) = self.span {
+            s.push_str(&format!(",\"span\":{sp}"));
         }
         s.push('}');
         s
@@ -235,6 +246,34 @@ impl Journal {
         dur: Option<Duration>,
         detail: Option<&str>,
     ) {
+        self.record_spanned(
+            worker,
+            update,
+            from_version,
+            to_version,
+            stage,
+            dur,
+            detail,
+            None,
+        );
+    }
+
+    /// [`Journal::record`] plus the trace cross-link: `link` is the
+    /// `(trace, span)` of the update's root span in the tracer, attached
+    /// to every lifecycle event so journal rows resolve into the trace
+    /// and back.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_spanned(
+        &self,
+        worker: Option<usize>,
+        update: u64,
+        from_version: &str,
+        to_version: &str,
+        stage: Stage,
+        dur: Option<Duration>,
+        detail: Option<&str>,
+        link: Option<(u64, u64)>,
+    ) {
         let at = self.inner.epoch.elapsed();
         let mut events = self.inner.events.lock().expect("poisoned");
         // Seq assigned under the lock so event order and seq order agree.
@@ -249,6 +288,8 @@ impl Journal {
             stage,
             dur,
             detail: detail.map(str::to_string),
+            trace: link.map(|(t, _)| t),
+            span: link.map(|(_, s)| s),
         });
     }
 
@@ -312,7 +353,17 @@ impl Journal {
 /// stages in lifecycle order, and `seq`/`at` monotonic. Abort and
 /// rollback orderings are accepted alike: an aborted lifecycle may close
 /// straight from `Enqueued`, and a reverse (rollback) lifecycle runs the
-/// same phase sequence as a forward one.
+/// same phase sequence as a forward one (same checks, closing with
+/// `RolledBack`).
+///
+/// Beyond ordering, it enforces the accounting invariants the rest of
+/// the stack relies on: the terminal stage appears exactly once (at the
+/// end), each timed pipeline phase at most once (so `Drain` precedes
+/// every other phase of the same pause, gate waits precede the drain),
+/// every event agrees on the version transition, and a `Committed` or
+/// `RolledBack` total equals the sum of the phase durations exactly —
+/// the phase-sum law that makes journal and `PhaseTimings` (and the
+/// trace's phase spans) interchangeable.
 ///
 /// # Errors
 ///
@@ -353,6 +404,50 @@ pub fn validate_lifecycle(events: &[Event]) -> Result<(), String> {
                 "stage order violated: {} after {}",
                 pair[1].stage, pair[0].stage
             ));
+        }
+    }
+    // One terminal, and only at the end (two order-9 stages would slip
+    // past the monotonic check above).
+    for e in &events[..events.len() - 1] {
+        if matches!(
+            e.stage,
+            Stage::Committed | Stage::Aborted | Stage::RolledBack
+        ) {
+            return Err(format!("terminal {} before the last event", e.stage));
+        }
+    }
+    // Each pipeline phase at most once per lifecycle: a second Drain (or
+    // a repeated Bind) means two pauses were folded into one id.
+    for phase in Stage::PHASES {
+        if events.iter().filter(|e| e.stage == phase).count() > 1 {
+            return Err(format!("phase {phase} recorded more than once"));
+        }
+    }
+    // A lifecycle is one version transition; every event must agree.
+    for e in events {
+        if e.from_version != first.from_version || e.to_version != first.to_version {
+            return Err(format!(
+                "version transition drifts: {}->{} then {}->{}",
+                first.from_version, first.to_version, e.from_version, e.to_version
+            ));
+        }
+    }
+    // Phase-sum law: a committed/rolled-back total is exactly the sum of
+    // its phase events (gate waits are pause overhead, not pipeline
+    // time, and are excluded — same as `PhaseTimings::total`).
+    if matches!(last.stage, Stage::Committed | Stage::RolledBack) {
+        if let Some(total) = last.dur {
+            let phase_sum: Duration = events
+                .iter()
+                .filter(|e| Stage::PHASES.contains(&e.stage))
+                .filter_map(|e| e.dur)
+                .sum();
+            if phase_sum != total {
+                return Err(format!(
+                    "terminal {} total {total:?} != phase sum {phase_sum:?}",
+                    last.stage
+                ));
+            }
         }
     }
     Ok(())
@@ -468,6 +563,80 @@ mod tests {
             Some("no snapshot available"),
         );
         validate_lifecycle(&j.events_for(u2)).unwrap();
+    }
+
+    #[test]
+    fn lifecycle_validation_enforces_accounting_laws() {
+        // Terminal total must equal the phase sum exactly.
+        let j = Journal::new();
+        let u = j.next_update_id();
+        j.record(None, u, "v1", "v2", Stage::Enqueued, None, None);
+        j.record(
+            None,
+            u,
+            "v1",
+            "v2",
+            Stage::Bind,
+            Some(Duration::from_micros(10)),
+            None,
+        );
+        j.record(
+            None,
+            u,
+            "v1",
+            "v2",
+            Stage::Committed,
+            Some(Duration::from_micros(11)),
+            None,
+        );
+        let e = validate_lifecycle(&j.events_for(u)).unwrap_err();
+        assert!(e.contains("phase sum"), "{e}");
+
+        // A repeated phase means two pauses were folded into one id.
+        let u2 = j.next_update_id();
+        j.record(None, u2, "v2", "v1", Stage::Enqueued, None, None);
+        j.record(None, u2, "v2", "v1", Stage::Drain, None, None);
+        j.record(None, u2, "v2", "v1", Stage::Drain, None, None);
+        j.record(None, u2, "v2", "v1", Stage::RolledBack, None, None);
+        let e = validate_lifecycle(&j.events_for(u2)).unwrap_err();
+        assert!(e.contains("more than once"), "{e}");
+
+        // The version transition may not drift mid-lifecycle.
+        let u3 = j.next_update_id();
+        j.record(None, u3, "v1", "v2", Stage::Enqueued, None, None);
+        j.record(None, u3, "v1", "v3", Stage::Committed, None, None);
+        let e = validate_lifecycle(&j.events_for(u3)).unwrap_err();
+        assert!(e.contains("drifts"), "{e}");
+
+        // A terminal stage anywhere but last is rejected.
+        let u4 = j.next_update_id();
+        j.record(None, u4, "v1", "v2", Stage::Enqueued, None, None);
+        j.record(None, u4, "v1", "v2", Stage::Committed, None, None);
+        j.record(None, u4, "v1", "v2", Stage::RolledBack, None, None);
+        let e = validate_lifecycle(&j.events_for(u4)).unwrap_err();
+        assert!(e.contains("before the last"), "{e}");
+    }
+
+    #[test]
+    fn spanned_events_carry_the_cross_link() {
+        let j = Journal::new();
+        let u = j.next_update_id();
+        j.record_spanned(
+            Some(1),
+            u,
+            "v1",
+            "v2",
+            Stage::Enqueued,
+            None,
+            None,
+            Some((7, 42)),
+        );
+        let e = &j.events_for(u)[0];
+        assert_eq!(e.trace, Some(7));
+        assert_eq!(e.span, Some(42));
+        let line = j.to_jsonl();
+        assert!(line.contains("\"trace\":7"), "{line}");
+        assert!(line.contains("\"span\":42"), "{line}");
     }
 
     #[test]

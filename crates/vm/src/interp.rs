@@ -38,6 +38,10 @@ pub struct ExecStats {
     pub host_calls: u64,
     /// Update points executed (whether or not they suspended).
     pub update_points: u64,
+    /// Guest calls whose frame buffers came from the recycling pool.
+    pub pool_hits: u64,
+    /// Guest calls that had to allocate fresh frame buffers.
+    pub pool_misses: u64,
 }
 
 /// A cross-thread mirror of one process's [`ExecStats`].
@@ -57,6 +61,8 @@ pub struct ExecStatsShared {
     ic_misses: AtomicU64,
     host_calls: AtomicU64,
     update_points: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 impl ExecStatsShared {
@@ -76,6 +82,8 @@ impl ExecStatsShared {
         self.host_calls.store(stats.host_calls, Ordering::Relaxed);
         self.update_points
             .store(stats.update_points, Ordering::Relaxed);
+        self.pool_hits.store(stats.pool_hits, Ordering::Relaxed);
+        self.pool_misses.store(stats.pool_misses, Ordering::Relaxed);
     }
 
     /// The most recently published counters (relaxed loads).
@@ -88,6 +96,8 @@ impl ExecStatsShared {
             ic_misses: self.ic_misses.load(Ordering::Relaxed),
             host_calls: self.host_calls.load(Ordering::Relaxed),
             update_points: self.update_points.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -230,6 +240,16 @@ pub(crate) fn exec(
     } else {
         0
     };
+    // An armed profiler mirrors the guest stack; re-entering execution
+    // (fresh call, resume, host-driven helper) re-seeds the mirror from
+    // the real frames so charged stacks stay truthful.
+    if proc.profiler.is_some() {
+        let names = st.frame_functions();
+        let instrs = proc.stats.instrs;
+        if let Some(p) = proc.profiler.as_deref_mut() {
+            p.resync(&names, instrs);
+        }
+    }
     loop {
         let op = {
             let frame = st.frames.last().expect("frame");
@@ -251,7 +271,15 @@ pub(crate) fn exec(
                 continue;
             }
             DOp::CallSlot(ic) => {
+                let (h0, m0) = (proc.stats.ic_hits, proc.stats.ic_misses);
                 let callee = resolve_slot_call(proc, ic, generation)?;
+                if proc.profiler.is_some() {
+                    let pc = st.frames.last().expect("frame").pc;
+                    let (h, m) = (proc.stats.ic_hits - h0, proc.stats.ic_misses - m0);
+                    if let Some(p) = proc.profiler.as_deref_mut() {
+                        p.record_site(&func.name, pc, h, m);
+                    }
+                }
                 st.frames.last_mut().expect("frame").pc += 1;
                 func = Rc::clone(&callee);
                 push_call(proc, st, callee)?;
@@ -268,7 +296,15 @@ pub(crate) fn exec(
                 continue;
             }
             DOp::LoadLocalCallSlot(n, ic) => {
+                let (h0, m0) = (proc.stats.ic_hits, proc.stats.ic_misses);
                 let callee = resolve_slot_call(proc, ic, generation)?;
+                if proc.profiler.is_some() {
+                    let pc = st.frames.last().expect("frame").pc;
+                    let (h, m) = (proc.stats.ic_hits - h0, proc.stats.ic_misses - m0);
+                    if let Some(p) = proc.profiler.as_deref_mut() {
+                        p.record_site(&func.name, pc, h, m);
+                    }
+                }
                 let frame = st.frames.last_mut().expect("frame");
                 let v = frame.locals[*n as usize].clone();
                 frame.stack.push(v);
@@ -298,6 +334,12 @@ pub(crate) fn exec(
             DOp::Ret => {
                 let mut frame = st.frames.pop().expect("frame");
                 let ret = frame.stack.pop().expect("verified: return value");
+                if proc.profiler.is_some() {
+                    let instrs = proc.stats.instrs;
+                    if let Some(p) = proc.profiler.as_deref_mut() {
+                        p.on_ret(instrs);
+                    }
+                }
                 // Recycle the frame's buffers for future calls.
                 if st.pool.len() < 64 {
                     frame.locals.clear();
@@ -317,6 +359,12 @@ pub(crate) fn exec(
                 proc.stats.update_points += 1;
                 st.frames.last_mut().expect("frame").pc += 1;
                 if honor_updates && proc.update_requested() {
+                    if proc.profiler.is_some() {
+                        let instrs = proc.stats.instrs;
+                        if let Some(p) = proc.profiler.as_deref_mut() {
+                            p.on_suspend(instrs);
+                        }
+                    }
                     return Ok(Outcome::Suspended);
                 }
                 continue;
@@ -356,7 +404,22 @@ fn push_call(
         return Err(Trap::StackOverflow);
     }
     proc.stats.calls += 1;
-    let (mut locals, stack) = st.pool.pop().unwrap_or_default();
+    let (mut locals, stack) = match st.pool.pop() {
+        Some(buffers) => {
+            proc.stats.pool_hits += 1;
+            buffers
+        }
+        None => {
+            proc.stats.pool_misses += 1;
+            <(Vec<Value>, Vec<Value>)>::default()
+        }
+    };
+    if proc.profiler.is_some() {
+        let instrs = proc.stats.instrs;
+        if let Some(p) = proc.profiler.as_deref_mut() {
+            p.on_call(instrs, &callee.name);
+        }
+    }
     let caller = st.frames.last_mut().expect("frame");
     let at = caller.stack.len() - callee.param_count;
     locals.extend(caller.stack.drain(at..));

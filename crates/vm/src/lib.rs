@@ -37,6 +37,7 @@ pub mod decode;
 pub mod interp;
 pub mod ops;
 pub mod process;
+pub mod profile;
 pub mod trap;
 pub mod value;
 
@@ -47,6 +48,7 @@ pub use process::{
     BindingSnapshot, GlobalCell, HostFn, LinkMode, LinkOverrides, LinkedFunction, PlannedBindings,
     Process, ProcessTypes, UpdateSignal,
 };
+pub use profile::{Profiler, SiteStats};
 pub use trap::{LinkError, Trap};
 pub use value::{FnRef, FuncId, GlobalId, HostId, RecordObj, SlotId, StructId, Value};
 
@@ -83,6 +85,43 @@ mod tests {
             let v = p.call("triple_add", vec![Value::Int(7)]).unwrap();
             assert_eq!(v, Value::Int(21), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn profiler_collects_stacks_and_ic_sites() {
+        let mut p = Process::new(LinkMode::Updateable);
+        p.set_profiling(true);
+        p.load_module(&arith_module()).unwrap();
+        p.call("triple_add", vec![Value::Int(7)]).unwrap();
+        p.call("triple_add", vec![Value::Int(9)]).unwrap();
+
+        let profile = p.profile().expect("armed");
+        let collapsed = p.profile_collapsed().unwrap();
+        assert!(
+            collapsed.contains("triple_add;add "),
+            "callee stacks nest under the caller: {collapsed}"
+        );
+        let dispatches = profile.dispatch_counts();
+        let add = dispatches.iter().find(|d| d.0 == "add").expect("add seen");
+        assert_eq!(add.1, 4, "two calls x two add dispatches each");
+
+        // Both slot-call sites in triple_add show up, and after the first
+        // (cold) resolution every call is an inline-cache hit.
+        let sites = profile.site_stats();
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        let (hits, misses): (u64, u64) = sites
+            .iter()
+            .fold((0, 0), |(h, m), (_, s)| (h + s.hits, m + s.misses));
+        assert_eq!(misses, 2, "one cold miss per site");
+        assert_eq!(hits, 2, "warm calls answer from the cache");
+        assert!(p.profile_report().unwrap().contains("triple_add"));
+
+        // Frame-pool counters: first call-chain allocates, later ones reuse.
+        assert!(p.stats.pool_misses >= 1);
+        assert!(p.stats.pool_hits >= 1, "{:?}", p.stats);
+
+        p.set_profiling(false);
+        assert!(p.profile_collapsed().is_none());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use tal::{FnSig, GlobalDef, Instr, Module, SymbolKind, Ty, TypeDef, TypeProvider
 use crate::decode::{self, DOp};
 use crate::interp::{exec, ExecState, ExecStats, Frame, Outcome};
 use crate::ops::Op;
+use crate::profile::Profiler;
 use crate::trap::{LinkError, Trap};
 use crate::value::{FnRef, FuncId, GlobalId, HostId, SlotId, StructId, Value};
 
@@ -173,6 +174,9 @@ pub struct Process {
     /// Cumulative instruction count at which execution traps with
     /// [`Trap::OutOfFuel`]; `u64::MAX` = unlimited.
     fuel_limit: u64,
+    /// Opt-in hot-path profiler (`None` = disarmed, the default; the
+    /// interpreter pays one pointer-null check per call/return edge).
+    pub(crate) profiler: Option<Box<Profiler>>,
 }
 
 impl Process {
@@ -198,7 +202,37 @@ impl Process {
             stats: ExecStats::default(),
             max_stack_depth: 10_000,
             fuel_limit: u64::MAX,
+            profiler: None,
         }
+    }
+
+    /// Arms (or disarms) the per-function hot-path profiler. Arming
+    /// starts a fresh profile; disarming discards it. See
+    /// [`crate::profile::Profiler`] for what is collected.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler = on.then(|| Box::new(Profiler::new()));
+    }
+
+    /// Whether the hot-path profiler is armed.
+    pub fn profiling(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The armed profiler's accumulated state, if any.
+    pub fn profile(&self) -> Option<&Profiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Collapsed-stack export of the armed profiler (`a;b;c <ops>` lines;
+    /// see [`Profiler::collapsed`]). `None` when profiling is off.
+    pub fn profile_collapsed(&self) -> Option<String> {
+        self.profiler.as_deref().map(Profiler::collapsed)
+    }
+
+    /// Human-readable profile report ([`Profiler::report`]). `None` when
+    /// profiling is off.
+    pub fn profile_report(&self) -> Option<String> {
+        self.profiler.as_deref().map(Profiler::report)
     }
 
     /// The link mode this process was created with.

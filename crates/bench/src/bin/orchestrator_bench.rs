@@ -1,0 +1,246 @@
+//! Staged-cohort orchestration across shard fleets: cohort pauses, skew
+//! exposure, and chain rollback under breach.
+//!
+//! Drives a 3-fleet × 4-worker topology (12 workers, one shared
+//! write-ahead journal) through [`RolloutPlan::staged`] twice:
+//!
+//! 1. **Healthy staged rollout** — v1 -> v2 through 1 worker -> 25% ->
+//!    100% cohorts with a soak window between them. Measures each
+//!    cohort's pooled pause at the p99 SLO quantile, its wall-clock, and
+//!    the cross-fleet mixed-version exposure window.
+//! 2. **Breach -> chain rollback** — the fleet first takes v1 -> v2
+//!    ungated, then a staged v2 -> v3 rollout meets an 8 ms injected
+//!    pause fault in the 25% cohort against a 2 ms p99 budget. The
+//!    reaction is [`BreachAction::ChainRollBack`] to v1: the three v3
+//!    workers walk two snapshot hops each, the nine v2 workers one —
+//!    fifteen restores converging the whole topology on v1 under a
+//!    cross-fleet skew bound of 2.
+//!
+//! Both runs validate every journal lifecycle; the second recovers the
+//! write-ahead journal from disk afterwards, proving the persisted
+//! stream reconstructs the run (EXPERIMENTS R2).
+//!
+//! Artifacts (CI's orchestrator-smoke job uploads these):
+//! `target/telemetry/orchestrator_report.json` — the breach run's merged
+//! report; `target/telemetry/orchestrator_journal.jsonl` — its journal,
+//! re-serialized after a `Journal::recover` round trip from the WAL.
+//!
+//! Run with: `cargo run --release -p dsu-bench --bin orchestrator_bench`
+
+use std::time::Duration;
+
+use dsu_bench::measure::fmt_dur;
+use dsu_obs::Journal;
+use flashed::{
+    patch_stream, versions, BreachAction, FaultPlan, Fleet, FleetConfig, HealthBreach,
+    Orchestrator, PauseSlo, RolloutOutcome, RolloutPlan, SimFs, WorkerOverride, Workload,
+};
+
+const SHARDS: usize = 3;
+const PER_SHARD: usize = 4;
+const REQUESTS: usize = 200; // per shard, per rollout
+const FILES: usize = 16;
+const DOC_SIZE: usize = 256;
+
+fn fixture() -> (SimFs, Workload) {
+    let fs = SimFs::generate_fixed(FILES, DOC_SIZE, 7);
+    let wl = Workload::new(fs.paths(), 1.0, 53);
+    (fs, wl)
+}
+
+/// Boots the shard fleets over one shared journal, global worker ids.
+fn topology(
+    fs: &SimFs,
+    journal: &Journal,
+    fault: Option<(usize, usize)>, // (shard, local worker): 8 ms pause fault
+) -> Result<Vec<Fleet>, String> {
+    (0..SHARDS)
+        .map(|s| {
+            let mut cfg = FleetConfig::new(PER_SHARD)
+                .with_journal(journal.clone())
+                .worker_base(s * PER_SHARD);
+            if fault == Some((s, 1)) {
+                cfg = cfg.override_worker(
+                    1,
+                    WorkerOverride {
+                        fault: FaultPlan {
+                            pause_delay: Some(Duration::from_millis(8)),
+                            ..FaultPlan::default()
+                        },
+                        ..WorkerOverride::default()
+                    },
+                );
+            }
+            Fleet::start_cfg(&cfg, &versions::v1(), "v1", fs).map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+fn validate_journal(journal: &Journal) -> Result<(), Box<dyn std::error::Error>> {
+    for id in journal.update_ids() {
+        dsu_obs::journal::validate_lifecycle(&journal.events_for(id))?;
+    }
+    Ok(())
+}
+
+fn print_cohorts(report: &flashed::OrchestratorReport) {
+    println!("  cohort  workers                       pause@p99   wall-clock");
+    for c in &report.cohorts {
+        let workers = c
+            .workers
+            .iter()
+            .map(|w| format!("w{w}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "  {:>6}  {:<28}  {:>9}  {:>10}{}",
+            c.index,
+            workers,
+            c.pause_at_quantile
+                .map(fmt_dur)
+                .unwrap_or_else(|| "-".into()),
+            fmt_dur(c.dur),
+            if c.soaked { "  +soak" } else { "" },
+        );
+    }
+    println!(
+        "  skew: peak {}, mixed-version window {}",
+        report.max_skew,
+        fmt_dur(report.skew_window)
+    );
+}
+
+/// A clean staged rollout: three cohorts, every step gated and passing.
+fn staged_healthy() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "Staged rollout, healthy topology ({SHARDS} fleets x {PER_SHARD} workers, \
+         v1 -> v2, 1 -> 25% -> 100%)\n"
+    );
+    let (fs, mut wl) = fixture();
+    let journal = Journal::new();
+    let fleets = topology(&fs, &journal, None)?;
+    for f in &fleets {
+        f.push_requests(wl.batch(REQUESTS));
+    }
+
+    let plan = RolloutPlan::staged(
+        0,
+        PauseSlo::p99(Duration::from_millis(50)),
+        BreachAction::Hold,
+    )
+    .with_soak(Duration::from_millis(5));
+    let orch = Orchestrator::new(&fleets).skew_bound(1);
+    let report = orch
+        .rollout(&patch_stream()?[0].patch, &plan)
+        .map_err(|e| e.to_string())?;
+    for f in &fleets {
+        f.drain(REQUESTS).map_err(|e| e.to_string())?;
+    }
+
+    assert!(matches!(report.card.outcome, RolloutOutcome::Completed));
+    assert!(report.card.final_versions.iter().all(|v| v == "v2"));
+    validate_journal(&journal)?;
+    print_cohorts(&report);
+    println!();
+    for f in fleets {
+        f.shutdown().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// The self-healing path at orchestrator scale: a 25%-cohort breach
+/// walks the whole topology's rollback chains down to v1.
+fn breach_chain_rollback() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "Staged rollout, faulted 25% cohort ({SHARDS} fleets x {PER_SHARD} workers, \
+         v2 -> v3, 8 ms injected pause vs 2 ms p99 budget, chain rollback to v1)\n"
+    );
+    let dir = std::path::Path::new("target/telemetry");
+    std::fs::create_dir_all(dir)?;
+    let wal = dir.join("orchestrator_wal.jsonl");
+
+    let (fs, mut wl) = fixture();
+    let journal = Journal::with_wal(&wal)?;
+    let fleets = topology(&fs, &journal, Some((0, 1)))?;
+    let stream = patch_stream()?;
+    let orch = Orchestrator::new(&fleets).skew_bound(2);
+
+    // Seed every snapshot ring with one hop: v1 -> v2, ungated.
+    for f in &fleets {
+        f.push_requests(wl.batch(REQUESTS));
+    }
+    orch.rollout(&stream[0].patch, &RolloutPlan::simultaneous())
+        .map_err(|e| e.to_string())?;
+
+    // Staged v2 -> v3: canary passes, global worker 1 breaches the gate.
+    for f in &fleets {
+        f.push_requests(wl.batch(REQUESTS));
+    }
+    let report = orch
+        .rollout(
+            &stream[1].patch,
+            &RolloutPlan::staged(
+                0,
+                PauseSlo::p99(Duration::from_millis(2)),
+                BreachAction::ChainRollBack {
+                    to_version: "v1".to_string(),
+                },
+            ),
+        )
+        .map_err(|e| e.to_string())?;
+    for f in &fleets {
+        f.drain(2 * REQUESTS).map_err(|e| e.to_string())?;
+    }
+
+    assert!(
+        matches!(
+            report.card.outcome,
+            RolloutOutcome::RolledBack(HealthBreach::PauseSlo { worker: 1, .. })
+        ),
+        "expected a pause-SLO chain rollback, got {:?}",
+        report.card.outcome
+    );
+    assert_eq!(report.card.rollbacks.len(), 15, "3×2 + 9×1 restore hops");
+    assert!(report.card.final_versions.iter().all(|v| v == "v1"));
+    assert!(report.max_skew <= 2);
+    print!("{}", report.render());
+
+    // R2: what the rollback chain cost, per hop and end to end.
+    let hop_total: Duration = report
+        .card
+        .rollbacks
+        .iter()
+        .map(|(_, r)| r.timings.total())
+        .sum();
+    println!("\n  R2: chain rollback (15 restore hops across 3 fleets)");
+    print_cohorts(&report);
+    println!(
+        "  restores: {} hops, pipeline total {}, mean {}/hop",
+        report.card.rollbacks.len(),
+        fmt_dur(hop_total),
+        fmt_dur(hop_total / report.card.rollbacks.len() as u32),
+    );
+
+    // The WAL round trip: everything the run journaled survives recovery.
+    let recovered = Journal::recover(&wal).map_err(|e| e.to_string())?;
+    assert_eq!(recovered.len(), journal.len(), "WAL lost events");
+    validate_journal(&recovered)?;
+
+    std::fs::write(dir.join("orchestrator_report.json"), report.to_json())?;
+    std::fs::write(dir.join("orchestrator_journal.jsonl"), recovered.to_jsonl())?;
+    println!(
+        "\n  exported target/telemetry/orchestrator_report.json and \
+         orchestrator_journal.jsonl ({} events, recovered from the WAL)\n",
+        recovered.len()
+    );
+    for f in fleets {
+        f.shutdown().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    staged_healthy()?;
+    breach_chain_rollback()?;
+    Ok(())
+}

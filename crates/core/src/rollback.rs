@@ -127,6 +127,65 @@ impl SnapshotRing {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Serializes the ring — depth, order and every snapshot — as a
+    /// line-oriented text block (the crash-durable form an orchestrator
+    /// persists alongside its journal).
+    pub fn save(&self) -> String {
+        let mut out = format!("dsu-snapshot-ring 1\ndepth {}\n", self.depth);
+        for e in &self.entries {
+            out.push_str(&format!("entry\t{}\t{}\n", e.from_version, e.to_version));
+            out.push_str(&vm::encode_snapshot(&e.snapshot));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Reconstructs a ring from [`SnapshotRing::save`] output, preserving
+    /// the configured depth even when it exceeds the number of retained
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn load(text: &str) -> Result<SnapshotRing, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("dsu-snapshot-ring 1") => {}
+            other => return Err(format!("bad header: {other:?}")),
+        }
+        let depth = lines
+            .next()
+            .and_then(|l| l.strip_prefix("depth "))
+            .ok_or("missing depth line")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad depth: {e}"))?;
+        let mut entries = VecDeque::new();
+        while let Some(line) = lines.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            match parts.next() {
+                Some("entry") => {}
+                other => return Err(format!("expected entry line, got {other:?}")),
+            }
+            let from = parts.next().ok_or("entry missing from-version")?;
+            let to = parts.next().ok_or("entry missing to-version")?;
+            let snap_line = lines.next().ok_or("entry missing snapshot line")?;
+            let snapshot =
+                vm::decode_snapshot(snap_line).map_err(|e| format!("entry {from}->{to}: {e}"))?;
+            entries.push_back(SnapshotEntry {
+                from_version: from.to_string(),
+                to_version: to.to_string(),
+                snapshot,
+            });
+        }
+        if entries.len() > depth {
+            return Err(format!("{} entries exceed depth {depth}", entries.len()));
+        }
+        Ok(SnapshotRing { depth, entries })
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +226,52 @@ mod tests {
         ring.push("v1", "v2", snap());
         assert!(ring.is_empty());
         assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_depth_and_order() {
+        // A non-trivial snapshot: bindings plus a live global value.
+        let mut b = tal::ModuleBuilder::new("m", "v1");
+        b.global(
+            "hits",
+            tal::Ty::Int,
+            vec![tal::Instr::PushInt(33), tal::Instr::Ret],
+        );
+        b.function("serve", tal::FnSig::new(vec![], tal::Ty::Int), |f| {
+            f.emit(tal::Instr::PushInt(1));
+            f.emit(tal::Instr::Ret);
+        });
+        let mut p = Process::new(LinkMode::Updateable);
+        p.load_module(&b.finish()).unwrap();
+
+        let mut ring = SnapshotRing::new(4);
+        ring.push("v1", "v2", p.snapshot());
+        ring.push("v2", "v3", p.snapshot());
+
+        let text = ring.save();
+        let back = SnapshotRing::load(&text).unwrap();
+        // Depth survives even though only 2 of 4 slots are filled.
+        assert_eq!(back.depth(), 4);
+        assert_eq!(back.transitions(), ring.transitions());
+        assert_eq!(back.len(), 2);
+        // Entry payloads survive byte-for-byte (codec is deterministic).
+        for (a, b) in back.entries.iter().zip(&ring.entries) {
+            assert_eq!(
+                vm::encode_snapshot(&a.snapshot),
+                vm::encode_snapshot(&b.snapshot)
+            );
+        }
+        // And the save of the load reproduces the text exactly.
+        assert_eq!(back.save(), text);
+
+        // Malformed input errors instead of panicking.
+        assert!(SnapshotRing::load("").is_err());
+        assert!(SnapshotRing::load("dsu-snapshot-ring 1\n").is_err());
+        assert!(SnapshotRing::load("dsu-snapshot-ring 1\ndepth 1\nentry\tv1\tv2\n{bad\n").is_err());
+        assert!(
+            SnapshotRing::load("dsu-snapshot-ring 9\ndepth 1\n").is_err(),
+            "unknown version rejected"
+        );
     }
 
     #[test]

@@ -298,6 +298,19 @@ impl Updater {
         proc.request_update(true);
     }
 
+    /// Queues a rollback *chain*: up to `hops` snapshot restores, newest
+    /// transition first, so one call walks the process back several
+    /// versions (v3 → v2 → v1) through the ordinary pipeline — each hop
+    /// is its own journal lifecycle closing with `RolledBack`. Clamped to
+    /// the ring's current length; returns how many hops were queued.
+    pub fn enqueue_rollback_chain(&mut self, proc: &mut Process, hops: usize) -> usize {
+        let n = enqueue_chain(&self.pending, &self.trace, &self.transitions, hops);
+        if n > 0 {
+            proc.request_update(true);
+        }
+        n
+    }
+
     /// Resizes the snapshot ring (discarding currently retained
     /// snapshots). Depth 0 disables retention; the default is
     /// [`crate::rollback::DEFAULT_SNAPSHOT_DEPTH`].
@@ -315,6 +328,115 @@ impl Updater {
     /// Number of patches waiting to be applied.
     pub fn pending_count(&self) -> usize {
         self.pending.lock().expect("poisoned").len()
+    }
+
+    /// Serializes the updater's crash-durable state — the snapshot ring
+    /// and every still-pending operation — as a text block. Together with
+    /// a write-ahead journal this lets a restarted worker resume exactly
+    /// where the old one stopped: restore the ring, re-queue the ops.
+    pub fn save_state(&self) -> String {
+        let mut out = String::from("dsu-updater-state 1\n");
+        let ring_text = self.snapshots.lock().expect("poisoned").save();
+        out.push_str(&format!("ring {}\n", ring_text.len()));
+        out.push_str(&ring_text);
+        for q in self.pending.lock().expect("poisoned").iter() {
+            match &q.kind {
+                OpKind::Restore { from, to } => {
+                    out.push_str(&format!("op-restore\t{from}\t{to}\n"));
+                }
+                OpKind::Apply { patch, rollback } => {
+                    let text = crate::patch_io::save_patch(patch);
+                    out.push_str(&format!(
+                        "op-apply {} {}\n",
+                        u8::from(*rollback),
+                        text.len()
+                    ));
+                    out.push_str(&text);
+                    if !text.ends_with('\n') {
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores state saved by [`Updater::save_state`]: replaces the
+    /// snapshot ring and re-queues the pending operations (each gets a
+    /// fresh journal lifecycle — the old incarnation's lifecycles belong
+    /// to the old journal stream). Arms the process's update request when
+    /// any operation was re-queued. Returns the number of re-queued ops.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed section; on error the
+    /// updater is left unchanged.
+    pub fn load_state(&mut self, proc: &mut Process, text: &str) -> Result<usize, String> {
+        let rest = text
+            .strip_prefix("dsu-updater-state 1\n")
+            .ok_or("bad header")?;
+        let (ring_line, rest) = rest.split_once('\n').ok_or("missing ring section")?;
+        let ring_len: usize = ring_line
+            .strip_prefix("ring ")
+            .ok_or("missing ring section")?
+            .parse()
+            .map_err(|e| format!("bad ring length: {e}"))?;
+        if rest.len() < ring_len {
+            return Err("truncated ring section".to_string());
+        }
+        let ring = SnapshotRing::load(&rest[..ring_len])?;
+        let mut rest = &rest[ring_len..];
+
+        // Parse every op before touching the updater, so a malformed tail
+        // cannot leave it half-restored.
+        let mut ops = Vec::new();
+        while !rest.is_empty() {
+            let (line, next) = rest.split_once('\n').ok_or("truncated op line")?;
+            rest = next;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(body) = line.strip_prefix("op-restore\t") {
+                let mut parts = body.split('\t');
+                let from = parts.next().ok_or("op-restore missing from")?;
+                let to = parts.next().ok_or("op-restore missing to")?;
+                ops.push(OpKind::Restore {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                });
+            } else if let Some(body) = line.strip_prefix("op-apply ") {
+                let (flag, len) = body.split_once(' ').ok_or("malformed op-apply line")?;
+                let rollback = match flag {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("bad rollback flag `{other}`")),
+                };
+                let len: usize = len.parse().map_err(|e| format!("bad patch length: {e}"))?;
+                if rest.len() < len {
+                    return Err("truncated patch section".to_string());
+                }
+                let patch = crate::patch_io::load_patch(&rest[..len]).map_err(|e| e.to_string())?;
+                rest = &rest[len..];
+                rest = rest.strip_prefix('\n').unwrap_or(rest);
+                ops.push(OpKind::Apply {
+                    patch: Box::new(patch),
+                    rollback,
+                });
+            } else {
+                return Err(format!("unknown state line `{line}`"));
+            }
+        }
+
+        *self.transitions.lock().expect("poisoned") = ring.transitions();
+        *self.snapshots.lock().expect("poisoned") = ring;
+        let n = ops.len();
+        for kind in ops {
+            enqueue_traced(&self.pending, &self.trace, kind);
+        }
+        if n > 0 {
+            proc.request_update(true);
+        }
+        Ok(n)
     }
 
     /// Reports of every successfully applied update, oldest first.
@@ -645,6 +767,33 @@ fn rollback_transition(transitions: &Mutex<Vec<(String, String)>>) -> (String, S
         .unwrap_or_else(|| ("?".to_string(), "?".to_string()))
 }
 
+/// Queues up to `hops` snapshot restores walking the ring's retained
+/// transitions backwards (newest first). Each hop's versions are resolved
+/// now from the Send-safe mirror so every journal lifecycle names its own
+/// leg of the chain; apply pops the real ring sequentially, so the hops
+/// line up as long as nothing else races the ring. Returns the number of
+/// hops actually queued (clamped to the mirror's length).
+fn enqueue_chain(
+    pending: &Mutex<VecDeque<QueuedOp>>,
+    trace: &Mutex<Option<Trace>>,
+    transitions: &Mutex<Vec<(String, String)>>,
+    hops: usize,
+) -> usize {
+    let trans = transitions.lock().expect("poisoned").clone();
+    let n = hops.min(trans.len());
+    for (from, to) in trans.iter().rev().take(n) {
+        enqueue_traced(
+            pending,
+            trace,
+            OpKind::Restore {
+                from: to.clone(),
+                to: from.clone(),
+            },
+        );
+    }
+    n
+}
+
 /// Drains every queued operation without applying it, emitting an
 /// `Aborted` lifecycle event per operation when tracing is on. Used by a
 /// coordinator to withdraw patches from a worker that must not proceed
@@ -881,6 +1030,18 @@ impl UpdaterRemote {
         let (from, to) = rollback_transition(&self.transitions);
         enqueue_traced(&self.pending, &self.trace, OpKind::Restore { from, to });
         self.signal.arm();
+    }
+
+    /// Queues a rollback *chain* on the worker: up to `hops` snapshot
+    /// restores, newest transition first, each its own `RolledBack`
+    /// lifecycle (see [`Updater::enqueue_rollback_chain`]). Clamped to
+    /// the ring's current length; returns how many hops were queued.
+    pub fn enqueue_rollback_chain(&self, hops: usize) -> usize {
+        let n = enqueue_chain(&self.pending, &self.trace, &self.transitions, hops);
+        if n > 0 {
+            self.signal.arm();
+        }
+        n
     }
 
     /// Withdraws every queued operation before it applies, emitting an

@@ -28,19 +28,19 @@
 
 use std::fmt;
 use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use dsu_core::{FleetUpdateReport, Patch, UpdateReport, UpdaterRemote};
+use dsu_core::{FleetUpdateReport, Patch, UpdaterRemote};
 use dsu_obs::trace::{Span, SpanKind};
+use dsu_obs::{Journal, Tracer};
 use vm::LinkMode;
 
 use crate::fault::FaultPlan;
 use crate::fs::SimFs;
-use crate::guard::{
-    BreachAction, HealthBreach, HealthGate, PauseSlo, RolloutOutcome, RolloutReportCard, StepHealth,
-};
+use crate::guard::{BreachAction, PauseSlo, RolloutReportCard};
+use crate::rollout::{Orchestrator, OrchestratorReport, RolloutPlan};
 use crate::server::{Completion, ServeMode, Server, ServerShared};
 use crate::telemetry::{FleetTelemetry, ServerTelemetry};
 
@@ -94,6 +94,15 @@ pub struct FleetConfig {
     /// giving up. Hardening tests shrink this so an injected gate stall
     /// surfaces in milliseconds instead of [`ROLLOUT_DEADLINE`].
     pub rollout_deadline: Duration,
+    /// Journal the workers' lifecycle events land in. `None` builds a
+    /// fresh in-memory one; an [`Orchestrator`] hands every shard fleet
+    /// one shared (possibly write-ahead-backed) journal so the whole
+    /// staged rollout is one recoverable stream. Implies `telemetry`.
+    pub journal: Option<Journal>,
+    /// First worker id used for journal tags and metric labels. Shard
+    /// fleets under one orchestrator get disjoint ranges so worker ids
+    /// stay globally unambiguous in the shared journal.
+    pub worker_base: usize,
 }
 
 impl FleetConfig {
@@ -108,7 +117,26 @@ impl FleetConfig {
             vm_profile: false,
             overrides: Vec::new(),
             rollout_deadline: ROLLOUT_DEADLINE,
+            journal: None,
+            worker_base: 0,
         }
+    }
+
+    /// Routes lifecycle events into a caller-supplied `journal` (shared
+    /// across fleets, possibly write-ahead-backed) instead of a fresh
+    /// in-memory one. Implies [`FleetConfig::with_telemetry`].
+    pub fn with_journal(mut self, journal: Journal) -> FleetConfig {
+        self.telemetry = true;
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Offsets this fleet's worker ids (journal tags, metric labels) by
+    /// `base`, so shard fleets in one orchestrator keep globally unique
+    /// worker ids.
+    pub fn worker_base(mut self, base: usize) -> FleetConfig {
+        self.worker_base = base;
+        self
     }
 
     /// Sets the rollout/drain deadline.
@@ -229,6 +257,18 @@ pub enum FleetError {
         /// Workers still on the old version (stalled or never reached).
         remaining: Vec<usize>,
     },
+    /// A [`RolloutPolicy::Guarded`] value reached the unguarded driver —
+    /// an internal dispatch bug, surfaced as a typed error instead of a
+    /// panic inside a live fleet.
+    MisroutedPolicy,
+    /// A staged rollout pushed the cross-fleet version skew (distinct
+    /// live versions minus one) past the orchestrator's configured bound.
+    SkewExceeded {
+        /// The skew observed at the violation.
+        observed: usize,
+        /// The configured bound.
+        bound: usize,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -250,6 +290,15 @@ impl fmt::Display for FleetError {
                 f,
                 "rolling rollout stalled mid-fleet: {updated:?} updated, {remaining:?} remaining"
             ),
+            FleetError::MisroutedPolicy => {
+                write!(f, "guarded policy routed to the unguarded rollout driver")
+            }
+            FleetError::SkewExceeded { observed, bound } => {
+                write!(
+                    f,
+                    "version skew {observed} exceeded the configured bound {bound}"
+                )
+            }
         }
     }
 }
@@ -293,16 +342,16 @@ enum Ctrl {
     Shutdown,
 }
 
-struct Worker {
-    id: usize,
+pub(crate) struct Worker {
+    pub(crate) id: usize,
     ctrl: mpsc::Sender<Ctrl>,
-    remote: UpdaterRemote,
+    pub(crate) remote: UpdaterRemote,
     join: JoinHandle<Result<i64, String>>,
 }
 
 /// An open fleet-wide rollout trace: the `(trace, root span)` ids every
 /// worker's update spans parent under, plus when coordination began.
-struct RolloutTrace {
+pub(crate) struct RolloutTrace {
     trace: u64,
     span: u64,
     began: Instant,
@@ -391,11 +440,9 @@ impl Fleet {
         let n = cfg.workers;
         assert!(n > 0, "a fleet needs at least one worker");
         let telemetry = cfg.telemetry.then(|| {
-            Arc::new(if cfg.tracing {
-                FleetTelemetry::with_tracing(n)
-            } else {
-                FleetTelemetry::new(n)
-            })
+            let journal = cfg.journal.clone().unwrap_or_default();
+            let tracer = cfg.tracing.then(Tracer::new);
+            Arc::new(FleetTelemetry::shared(n, cfg.worker_base, journal, tracer))
         });
         let shared = ServerShared::new();
         let mut workers = Vec::with_capacity(n);
@@ -494,9 +541,19 @@ impl Fleet {
         self.telemetry.as_deref()
     }
 
+    /// The workers, in id order (for the rollout orchestrator).
+    pub(crate) fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// The rollout/drain deadline this fleet was configured with.
+    pub(crate) fn deadline(&self) -> Duration {
+        self.rollout_deadline
+    }
+
     /// The version worker `w` is currently serving: its last successful
     /// update's target version, or the boot version.
-    fn worker_version(&self, w: &Worker) -> String {
+    pub(crate) fn worker_version(&self, w: &Worker) -> String {
         w.remote
             .reports()
             .last()
@@ -514,7 +571,7 @@ impl Fleet {
 
     /// Recomputes the version-skew gauge from the workers' current
     /// versions (no-op without telemetry).
-    fn refresh_skew(&self) {
+    pub(crate) fn refresh_skew(&self) {
         if let Some(t) = &self.telemetry {
             t.set_live_versions(&self.live_versions());
         }
@@ -606,67 +663,43 @@ impl Fleet {
     }
 
     /// The [`RolloutPolicy::Simultaneous`] / [`RolloutPolicy::Rolling`]
-    /// driver (see [`Fleet::rollout`]).
+    /// entry point: each policy is a degenerate [`RolloutPlan`] (one
+    /// all-worker barrier cohort; one cohort per worker), driven by the
+    /// [`crate::rollout`] orchestrator.
     fn rollout_unguarded(
         &self,
         patch: &Patch,
         policy: RolloutPolicy,
     ) -> Result<FleetUpdateReport, FleetError> {
-        if let Some(t) = &self.telemetry {
-            t.record_rollout_start();
-        }
-        let rollout_trace = self.begin_rollout_trace();
-        let baselines = self.baselines();
-
-        let run = || -> Result<(), FleetError> {
-            match policy {
-                RolloutPolicy::Simultaneous => {
-                    // Gates first, then patches: a fast worker must find its
-                    // barrier already installed when it reaches the pause.
-                    let barrier = Arc::new(Barrier::new(self.workers.len()));
-                    for w in &self.workers {
-                        let b = Arc::clone(&barrier);
-                        w.remote.set_gate(Box::new(move || {
-                            b.wait();
-                        }));
-                    }
-                    for w in &self.workers {
-                        w.remote.enqueue(patch.clone());
-                    }
-                    for (w, base) in self.workers.iter().zip(&baselines) {
-                        self.await_worker(w, *base)?;
-                    }
-                    self.refresh_skew();
-                }
-                RolloutPolicy::Rolling => {
-                    for (w, base) in self.workers.iter().zip(&baselines) {
-                        w.remote.enqueue(patch.clone());
-                        if let Err(stall) = self.await_worker(w, *base) {
-                            return Err(self.rolling_stall(w, &baselines, stall));
-                        }
-                        // Per-step skew: the gauge's peak over a rolling
-                        // rollout is the transient mixed-version window.
-                        self.refresh_skew();
-                    }
-                }
-                RolloutPolicy::Guarded { .. } => unreachable!("handled by rollout()"),
-            }
-            Ok(())
+        let plan = match policy {
+            RolloutPolicy::Simultaneous => RolloutPlan::simultaneous(),
+            RolloutPolicy::Rolling => RolloutPlan::rolling(),
+            // A guarded policy here is a dispatch bug in the caller; a
+            // typed error beats a panic inside a live fleet.
+            RolloutPolicy::Guarded { .. } => return Err(FleetError::MisroutedPolicy),
         };
-        // The root span closes on every exit path — a stalled rollout
-        // still leaves a complete trace behind.
-        let result = run();
-        self.end_rollout_trace(rollout_trace, patch);
-        result?;
+        self.rollout_plan(patch, &plan).map(|r| r.fleet_report)
+    }
 
-        Ok(self.collect_report(&baselines))
+    /// Drives this fleet alone through an arbitrary [`RolloutPlan`] — a
+    /// one-shard [`Orchestrator`] run with no skew bound.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::rollout`].
+    pub fn rollout_plan(
+        &self,
+        patch: &Patch,
+        plan: &RolloutPlan,
+    ) -> Result<OrchestratorReport, FleetError> {
+        Orchestrator::new(std::slice::from_ref(self)).rollout(patch, plan)
     }
 
     /// Opens a rollout trace: allocates `(trace, root span)` ids on the
     /// fleet tracer and propagates them to every worker, so the update
     /// spans each worker records during this rollout parent under one
     /// fleet-wide root. Returns `None` when tracing is off.
-    fn begin_rollout_trace(&self) -> Option<RolloutTrace> {
+    pub(crate) fn begin_rollout_trace(&self) -> Option<RolloutTrace> {
         let tracer = self.telemetry.as_deref()?.tracer()?;
         let trace = tracer.next_trace_id();
         let span = tracer.next_span_id();
@@ -684,7 +717,7 @@ impl Fleet {
     /// the whole coordination window, so every worker's update spans nest
     /// inside it) and clears the propagated context — later direct
     /// updates must not parent under a span that has ended.
-    fn end_rollout_trace(&self, rt: Option<RolloutTrace>, patch: &Patch) {
+    pub(crate) fn end_rollout_trace(&self, rt: Option<RolloutTrace>, patch: &Patch) {
         let Some(rt) = rt else { return };
         let Some(tracer) = self.telemetry.as_deref().and_then(FleetTelemetry::tracer) else {
             return;
@@ -710,7 +743,7 @@ impl Fleet {
     }
 
     /// Per-worker `(applied, failed, pauses)` counts before a rollout.
-    fn baselines(&self) -> Vec<(usize, usize, usize)> {
+    pub(crate) fn baselines(&self) -> Vec<(usize, usize, usize)> {
         self.workers
             .iter()
             .map(|w| {
@@ -725,7 +758,7 @@ impl Fleet {
 
     /// Gathers everything each worker applied/failed/paused since
     /// `baselines` into a [`FleetUpdateReport`].
-    fn collect_report(&self, baselines: &[(usize, usize, usize)]) -> FleetUpdateReport {
+    pub(crate) fn collect_report(&self, baselines: &[(usize, usize, usize)]) -> FleetUpdateReport {
         let mut report = FleetUpdateReport {
             workers: self.workers.len(),
             ..FleetUpdateReport::default()
@@ -743,42 +776,12 @@ impl Fleet {
         report
     }
 
-    /// A rolling rollout stalled at `stalled`: withdraw its pending patch
-    /// (it must not land after the coordinator gave up) and classify —
-    /// nothing updated yet keeps the plain stall error, a mid-fleet stall
-    /// becomes [`FleetError::PartialRollout`].
-    fn rolling_stall(
-        &self,
-        stalled: &Worker,
-        baselines: &[(usize, usize, usize)],
-        stall: FleetError,
-    ) -> FleetError {
-        stalled.remote.cancel_pending("rolling rollout stalled");
-        self.refresh_skew();
-        let updated: Vec<usize> = self
-            .workers
-            .iter()
-            .zip(baselines)
-            .filter(|(w, (applied0, _, _))| w.remote.applied_count() > *applied0)
-            .map(|(w, _)| w.id)
-            .collect();
-        if updated.is_empty() {
-            return stall;
-        }
-        let remaining = self
-            .workers
-            .iter()
-            .map(|w| w.id)
-            .filter(|id| !updated.contains(id))
-            .collect();
-        FleetError::PartialRollout { updated, remaining }
-    }
-
     /// The [`RolloutPolicy::Guarded`] driver: canary first, then worker
-    /// by worker, each step judged by a [`HealthGate`] before the next
+    /// by worker (a guarded [`RolloutPlan`] of singleton cohorts), each
+    /// step judged by a [`crate::guard::HealthGate`] before the next
     /// begins. On a breach the rollout holds or rolls every updated
-    /// worker back (reverse step order) per `on_breach`. Returns the
-    /// fleet report plus the run's [`RolloutReportCard`].
+    /// worker back per `on_breach`. Returns the fleet report plus the
+    /// run's [`RolloutReportCard`].
     ///
     /// # Errors
     ///
@@ -793,139 +796,13 @@ impl Fleet {
         on_breach: BreachAction,
     ) -> Result<(FleetUpdateReport, RolloutReportCard), FleetError> {
         assert!(canary < self.workers.len(), "canary out of range");
-        if let Some(t) = &self.telemetry {
-            t.record_rollout_start();
-        }
-        let rollout_trace = self.begin_rollout_trace();
-        let baselines = self.baselines();
-        let read_error_base: Vec<u64> = self.read_error_counts();
-        let gate = HealthGate::new(pause_slo);
-
-        // Canary first, then the rest in worker order.
-        let order: Vec<usize> = std::iter::once(canary)
-            .chain((0..self.workers.len()).filter(|&i| i != canary))
-            .collect();
-
-        let mut steps: Vec<StepHealth> = Vec::new();
-        let mut forward: Vec<(usize, UpdateReport)> = Vec::new();
-        let mut outcome = RolloutOutcome::Completed;
-        let mut rollbacks: Vec<(usize, UpdateReport)> = Vec::new();
-
-        for &i in &order {
-            let w = &self.workers[i];
-            let (applied0, failed0, pauses0) = baselines[i];
-            let step_completions = self.shared.completions_len();
-            w.remote.enqueue(patch.clone());
-            let stalled = self.await_worker(w, baselines[i]).is_err();
-            if stalled {
-                // The worker never reached its boundary: defuse it so the
-                // withdrawn patch cannot land after the rollout moved on.
-                w.remote.cancel_pending("guarded rollout: step stalled");
-            } else {
-                // The apply is visible before its pause event (the worker
-                // pushes the pause after the op drains); wait for the
-                // event so the gate never judges a step pauseless.
-                let deadline = Instant::now() + self.rollout_deadline;
-                while w.remote.pauses().len() <= pauses0 && Instant::now() < deadline {
-                    thread::sleep(Duration::from_micros(50));
-                }
-            }
-            let pauses: Vec<Duration> = w
-                .remote
-                .pauses()
-                .iter()
-                .skip(pauses0)
-                .map(|p| p.dur)
-                .collect();
-            let health = StepHealth {
-                worker: w.id,
-                pause_at_quantile: pause_slo.observe(&pauses),
-                new_failures: w.remote.failure_count() - failed0,
-                new_read_errors: self.read_error_counts()[i] - read_error_base[i],
-                new_completions: self.shared.completions_len() - step_completions,
-                queued: self.shared.queue_len(),
-            };
-            let verdict = if stalled {
-                Err(HealthBreach::Stalled { worker: w.id })
-            } else {
-                gate.check(&health)
-            };
-            steps.push(health);
-            for r in w.remote.reports().drain(applied0..) {
-                forward.push((w.id, r));
-            }
-            self.refresh_skew();
-
-            if let Err(breach) = verdict {
-                outcome = match on_breach {
-                    BreachAction::Hold => RolloutOutcome::Held(breach),
-                    BreachAction::RollBack { ref inverse } => {
-                        match self.roll_back_workers(&forward, inverse.as_deref()) {
-                            Ok(r) => rollbacks = r,
-                            Err(e) => {
-                                self.end_rollout_trace(rollout_trace, patch);
-                                return Err(e);
-                            }
-                        }
-                        RolloutOutcome::RolledBack(breach)
-                    }
-                };
-                break;
-            }
-        }
-
-        // Rollback update spans were recorded by the workers above, so
-        // closing here keeps them nested inside the rollout root.
-        self.end_rollout_trace(rollout_trace, patch);
-
-        let report = self.collect_report(&baselines);
-        let card = RolloutReportCard {
-            transition: (patch.from_version.clone(), patch.to_version.clone()),
-            canary,
-            slo: pause_slo,
-            steps,
-            outcome,
-            forward,
-            rollbacks,
-            final_versions: self.live_versions(),
-        };
-        Ok((report, card))
-    }
-
-    /// Rolls every worker in `forward` back to the patch's source
-    /// version, newest step first: through `inverse` when supplied
-    /// (state-preserving reverse transformers), through each worker's
-    /// snapshot ring otherwise. Returns the per-worker rollback reports.
-    fn roll_back_workers(
-        &self,
-        forward: &[(usize, UpdateReport)],
-        inverse: Option<&Patch>,
-    ) -> Result<Vec<(usize, UpdateReport)>, FleetError> {
-        let mut rollbacks = Vec::new();
-        for (id, _) in forward.iter().rev() {
-            let w = &self.workers[*id];
-            let base = (
-                w.remote.applied_count(),
-                w.remote.failure_count(),
-                w.remote.pauses().len(),
-            );
-            match inverse {
-                Some(p) => w.remote.enqueue_rollback(p.clone()),
-                None => w.remote.enqueue_snapshot_rollback(),
-            }
-            self.await_worker(w, base)?;
-            if let Some(r) = w.remote.reports().last() {
-                if r.rolled_back {
-                    rollbacks.push((w.id, r.clone()));
-                }
-            }
-            self.refresh_skew();
-        }
-        Ok(rollbacks)
+        let plan = RolloutPlan::guarded(canary, pause_slo, on_breach);
+        self.rollout_plan(patch, &plan)
+            .map(|r| (r.fleet_report, r.card))
     }
 
     /// Per-worker device-read-error counts (zeros untelemetered).
-    fn read_error_counts(&self) -> Vec<u64> {
+    pub(crate) fn read_error_counts(&self) -> Vec<u64> {
         match &self.telemetry {
             Some(t) => (0..self.workers.len())
                 .map(|i| t.worker(i).read_errors())
@@ -935,16 +812,26 @@ impl Fleet {
     }
 
     /// Waits until `worker` has resolved one more patch than its baseline.
-    fn await_worker(
+    pub(crate) fn await_worker(
+        &self,
+        worker: &Worker,
+        base: (usize, usize, usize),
+    ) -> Result<(), FleetError> {
+        self.await_worker_n(worker, base, 1)
+    }
+
+    /// Waits until `worker` has resolved `n` more patches than its
+    /// baseline (a rollback *chain* resolves several in one pause).
+    pub(crate) fn await_worker_n(
         &self,
         worker: &Worker,
         (applied0, failed0, _): (usize, usize, usize),
+        n: usize,
     ) -> Result<(), FleetError> {
         let deadline = Instant::now() + self.rollout_deadline;
         loop {
-            let done =
-                worker.remote.applied_count() + worker.remote.failure_count() > applied0 + failed0;
-            if done && worker.remote.pending_count() == 0 {
+            let resolved = worker.remote.applied_count() + worker.remote.failure_count();
+            if resolved >= applied0 + failed0 + n && worker.remote.pending_count() == 0 {
                 return Ok(());
             }
             if Instant::now() > deadline {

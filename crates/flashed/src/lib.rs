@@ -46,6 +46,7 @@ pub mod guard;
 pub mod http;
 pub mod patches;
 pub mod rng;
+pub mod rollout;
 pub mod server;
 pub mod telemetry;
 pub mod versions;
@@ -60,6 +61,7 @@ pub use guard::{
 pub use http::{parse_response, Response};
 pub use patches::patch_stream;
 pub use rng::Rng;
+pub use rollout::{CohortReport, CohortSpec, Orchestrator, OrchestratorReport, RolloutPlan};
 pub use server::{
     latency_stats, BootError, Completion, EventLoopConfig, LatencyStats, ServeMode, Server,
     ServerShared,

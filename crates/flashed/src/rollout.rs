@@ -1,0 +1,979 @@
+//! Staged-cohort rollout orchestration with rollback chains.
+//!
+//! The [`fleet`](crate::fleet) module owns worker lifecycle and
+//! queueing; *driving* a patch across workers lives here. The unit of
+//! driving is a [`RolloutPlan`]: an ordered list of [`CohortSpec`]s
+//! (cumulative targets — e.g. 1 worker, then 25%, then 100%), an
+//! optional [`PauseSlo`] health gate judging every worker after its
+//! cohort applies, a soak window between cohorts, and a
+//! [`BreachAction`] for when a gate trips. Every classic policy is a
+//! degenerate plan:
+//!
+//! * [`RolloutPolicy::Simultaneous`](crate::RolloutPolicy) — one
+//!   all-worker cohort, barrier-coordinated, no gate;
+//! * [`RolloutPolicy::Rolling`](crate::RolloutPolicy) — one cohort per
+//!   worker, no gate;
+//! * [`RolloutPolicy::Guarded`](crate::RolloutPolicy) — one cohort per
+//!   worker, canary first, gated.
+//!
+//! An [`Orchestrator`] drives one plan across *several* shard
+//! [`Fleet`]s at once: cohorts are resolved over the global worker set,
+//! cross-fleet cohort members rendezvous on one shared barrier, and a
+//! configurable **version-skew bound** caps how many distinct versions
+//! may serve simultaneously fleet-of-fleets-wide. On a breach, a
+//! [`BreachAction::ChainRollBack`] walks every worker's snapshot-ring
+//! rollback *chain* (v3 → v2 → v1) down to a target version — undoing
+//! earlier rollouts too, not just the breached one. The whole run is
+//! summarised in one [`OrchestratorReport`] (merged
+//! [`RolloutReportCard`], per-cohort timings, skew peak and window).
+//!
+//! When the shard fleets share a write-ahead
+//! [`Journal`] (see [`FleetConfig::with_journal`](crate::FleetConfig)),
+//! an orchestrator killed mid-rollout can be rebuilt and
+//! [`Orchestrator::resume`]d: completed cohorts are reconstructed from
+//! the persisted `Committed` events and driving restarts at the first
+//! incomplete cohort.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dsu_core::{FleetUpdateReport, Patch, UpdateReport};
+use dsu_obs::{Journal, Stage};
+
+use crate::fleet::{Fleet, FleetError};
+use crate::guard::{
+    BreachAction, HealthBreach, HealthGate, PauseSlo, RolloutOutcome, RolloutReportCard, StepHealth,
+};
+
+/// One stage of a [`RolloutPlan`], as a *cumulative* coverage target
+/// over the global worker set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CohortSpec {
+    /// Grow coverage to `n` workers total.
+    Count(usize),
+    /// Grow coverage to `⌈fraction · workers⌉` total.
+    Fraction(f64),
+    /// Expand every not-yet-covered worker into its own singleton
+    /// cohort (the classic rolling/guarded shape).
+    EachRemaining,
+}
+
+/// An ordered staged-rollout plan: which workers update together, in
+/// what order, judged how, with what reaction to a health breach.
+#[derive(Debug, Clone)]
+pub struct RolloutPlan {
+    /// The worker (global id) updated first — cohort order starts here.
+    pub canary: usize,
+    /// Cumulative cohort targets, in driving order. Targets that add no
+    /// new workers resolve to nothing and are skipped.
+    pub cohorts: Vec<CohortSpec>,
+    /// How long the orchestrator soaks (keeps serving, watching) between
+    /// cohorts.
+    pub soak: Duration,
+    /// The pause budget each worker is judged against after its cohort
+    /// applies; `None` drives ungated (stalls become errors, nothing
+    /// else is judged).
+    pub gate: Option<PauseSlo>,
+    /// What to do when a gated step breaches.
+    pub on_breach: BreachAction,
+}
+
+impl RolloutPlan {
+    /// One all-worker cohort, barrier-coordinated, ungated — the
+    /// [`RolloutPolicy::Simultaneous`](crate::RolloutPolicy) shape.
+    pub fn simultaneous() -> RolloutPlan {
+        RolloutPlan {
+            canary: 0,
+            cohorts: vec![CohortSpec::Fraction(1.0)],
+            soak: Duration::ZERO,
+            gate: None,
+            on_breach: BreachAction::Hold,
+        }
+    }
+
+    /// One cohort per worker, ungated — the
+    /// [`RolloutPolicy::Rolling`](crate::RolloutPolicy) shape.
+    pub fn rolling() -> RolloutPlan {
+        RolloutPlan {
+            canary: 0,
+            cohorts: vec![CohortSpec::EachRemaining],
+            soak: Duration::ZERO,
+            gate: None,
+            on_breach: BreachAction::Hold,
+        }
+    }
+
+    /// One cohort per worker, canary first, every step gated — the
+    /// [`RolloutPolicy::Guarded`](crate::RolloutPolicy) shape.
+    pub fn guarded(canary: usize, slo: PauseSlo, on_breach: BreachAction) -> RolloutPlan {
+        RolloutPlan {
+            canary,
+            cohorts: vec![CohortSpec::EachRemaining],
+            soak: Duration::ZERO,
+            gate: Some(slo),
+            on_breach,
+        }
+    }
+
+    /// The canonical staged shape: 1 worker → 25% → 100%, gated.
+    pub fn staged(canary: usize, slo: PauseSlo, on_breach: BreachAction) -> RolloutPlan {
+        RolloutPlan {
+            canary,
+            cohorts: vec![
+                CohortSpec::Count(1),
+                CohortSpec::Fraction(0.25),
+                CohortSpec::Fraction(1.0),
+            ],
+            soak: Duration::ZERO,
+            gate: Some(slo),
+            on_breach,
+        }
+    }
+
+    /// Sets the between-cohort soak window.
+    #[must_use]
+    pub fn with_soak(mut self, soak: Duration) -> RolloutPlan {
+        self.soak = soak;
+        self
+    }
+
+    /// Resolves the plan against an `n`-worker global set into concrete
+    /// cohorts of global worker ids: canary first, then id order, each
+    /// spec claiming workers up to its cumulative target. Cohorts that
+    /// claim nothing are dropped; workers beyond the last target are
+    /// never updated (the plan's choice).
+    pub fn resolve(&self, n: usize) -> Vec<Vec<usize>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let canary = self.canary.min(n - 1);
+        let order: Vec<usize> = std::iter::once(canary)
+            .chain((0..n).filter(|&i| i != canary))
+            .collect();
+        let mut cohorts = Vec::new();
+        let mut taken = 0usize;
+        for spec in &self.cohorts {
+            match spec {
+                CohortSpec::EachRemaining => {
+                    while taken < n {
+                        cohorts.push(vec![order[taken]]);
+                        taken += 1;
+                    }
+                }
+                CohortSpec::Count(k) => {
+                    let target = (*k).min(n);
+                    if target > taken {
+                        cohorts.push(order[taken..target].to_vec());
+                        taken = target;
+                    }
+                }
+                CohortSpec::Fraction(f) => {
+                    let target = ((f * n as f64).ceil() as usize).min(n);
+                    if target > taken {
+                        cohorts.push(order[taken..target].to_vec());
+                        taken = target;
+                    }
+                }
+            }
+        }
+        cohorts
+    }
+}
+
+/// One driven cohort's summary inside an [`OrchestratorReport`].
+#[derive(Debug, Clone)]
+pub struct CohortReport {
+    /// Position in the resolved plan (0-based; stable across resume).
+    pub index: usize,
+    /// Global worker ids the cohort covered.
+    pub workers: Vec<usize>,
+    /// The cohort's pooled update pause at the plan's SLO quantile
+    /// (maximum pause for ungated plans); `None` when no pause was seen.
+    pub pause_at_quantile: Option<Duration>,
+    /// Wall-clock from first enqueue to last verdict (soak excluded).
+    pub dur: Duration,
+    /// Whether the orchestrator soaked after this cohort.
+    pub soaked: bool,
+}
+
+/// Everything one orchestrated rollout left behind.
+#[derive(Debug)]
+pub struct OrchestratorReport {
+    /// The merged per-worker apply/failure/pause report (worker ids are
+    /// global across fleets).
+    pub fleet_report: FleetUpdateReport,
+    /// The guarded-rollout report card (steps, outcome, rollbacks,
+    /// final versions — global ids throughout).
+    pub card: RolloutReportCard,
+    /// Per-cohort summaries, in driving order.
+    pub cohorts: Vec<CohortReport>,
+    /// How many shard fleets the orchestrator drove.
+    pub fleets: usize,
+    /// The configured skew bound (`usize::MAX` when unbounded).
+    pub skew_bound: usize,
+    /// Peak cross-fleet version skew observed (distinct versions − 1).
+    pub max_skew: usize,
+    /// Total wall-clock during which skew was non-zero (the
+    /// mixed-version exposure window).
+    pub skew_window: Duration,
+    /// The cohort index this run started from (non-zero after
+    /// [`Orchestrator::resume`]).
+    pub resumed_from: usize,
+}
+
+impl OrchestratorReport {
+    /// One JSON object (single line) summarising the run; the embedded
+    /// `card` is [`RolloutReportCard::to_json`].
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"fleets\":{},\"workers\":{},\"skew_bound\":{},\"max_skew\":{},\
+             \"skew_window_us\":{},\"resumed_from\":{},\"cohorts\":[",
+            self.fleets,
+            self.fleet_report.workers,
+            if self.skew_bound == usize::MAX {
+                -1i64
+            } else {
+                self.skew_bound as i64
+            },
+            self.max_skew,
+            self.skew_window.as_micros(),
+            self.resumed_from,
+        );
+        for (i, c) in self.cohorts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"index\":{},\"workers\":{:?},\"pause_at_quantile_us\":{},\
+                 \"dur_us\":{},\"soaked\":{}}}",
+                c.index,
+                c.workers,
+                c.pause_at_quantile
+                    .map(|d| d.as_micros() as i128)
+                    .unwrap_or(-1),
+                c.dur.as_micros(),
+                c.soaked,
+            ));
+        }
+        s.push_str("],\"card\":");
+        s.push_str(&self.card.to_json());
+        s.push('}');
+        s
+    }
+
+    /// A human-readable multi-cohort timeline of the run.
+    pub fn render(&self) -> String {
+        let (from, to) = &self.card.transition;
+        let mut out = format!(
+            "staged rollout {from} -> {to}: {} fleets / {} workers",
+            self.fleets, self.fleet_report.workers
+        );
+        if self.skew_bound != usize::MAX {
+            out.push_str(&format!(" (skew bound {})", self.skew_bound));
+        }
+        if self.resumed_from > 0 {
+            out.push_str(&format!("  [resumed at cohort {}]", self.resumed_from));
+        }
+        out.push('\n');
+        for c in &self.cohorts {
+            let workers = c
+                .workers
+                .iter()
+                .map(|w| format!("w{w}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let pause = match c.pause_at_quantile {
+                Some(d) => format!("{:.1?}", d),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "  cohort {:>2}  [{workers}]  pause@q {pause}  {:.1?}{}\n",
+                c.index,
+                c.dur,
+                if c.soaked { "  soak" } else { "" },
+            ));
+        }
+        match &self.card.outcome {
+            RolloutOutcome::Completed => out.push_str("  outcome: completed\n"),
+            RolloutOutcome::Held(b) => out.push_str(&format!("  outcome: HELD — {b}\n")),
+            RolloutOutcome::RolledBack(b) => {
+                out.push_str(&format!("  outcome: ROLLED BACK — {b}\n"));
+                for (w, r) in &self.card.rollbacks {
+                    out.push_str(&format!(
+                        "    w{w}: {} -> {} undone\n",
+                        r.to_version, r.from_version
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "  skew: peak {}, mixed-version window {:.1?}; final versions {:?}\n",
+            self.max_skew, self.skew_window, self.card.final_versions
+        ));
+        out
+    }
+}
+
+/// Mutable skew bookkeeping for one orchestrated run.
+struct SkewWatch {
+    bound: usize,
+    max: usize,
+    window: Duration,
+    open: Option<Instant>,
+}
+
+impl SkewWatch {
+    fn new(bound: usize) -> SkewWatch {
+        SkewWatch {
+            bound,
+            max: 0,
+            window: Duration::ZERO,
+            open: None,
+        }
+    }
+
+    /// Folds one skew sample in; errors when the bound is crossed.
+    fn sample(&mut self, skew: usize) -> Result<(), FleetError> {
+        self.max = self.max.max(skew);
+        if skew > 0 && self.open.is_none() {
+            self.open = Some(Instant::now());
+        }
+        if skew == 0 {
+            if let Some(t0) = self.open.take() {
+                self.window += t0.elapsed();
+            }
+        }
+        if skew > self.bound {
+            return Err(FleetError::SkewExceeded {
+                observed: skew,
+                bound: self.bound,
+            });
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        if let Some(t0) = self.open.take() {
+            self.window += t0.elapsed();
+        }
+    }
+}
+
+/// Drives several shard [`Fleet`]s through one [`RolloutPlan`].
+///
+/// Worker addressing is *global*: fleet 0's workers come first, then
+/// fleet 1's, and so on; plan canaries, cohort members, report cards
+/// and health verdicts all speak global ids. For the shared journal to
+/// agree, boot each shard with
+/// [`FleetConfig::worker_base`](crate::FleetConfig) set to its offset.
+pub struct Orchestrator<'a> {
+    fleets: &'a [Fleet],
+    skew_bound: usize,
+}
+
+impl<'a> Orchestrator<'a> {
+    /// An orchestrator over `fleets`, with no skew bound.
+    pub fn new(fleets: &'a [Fleet]) -> Orchestrator<'a> {
+        assert!(
+            !fleets.is_empty(),
+            "an orchestrator needs at least one fleet"
+        );
+        Orchestrator {
+            fleets,
+            skew_bound: usize::MAX,
+        }
+    }
+
+    /// Caps the cross-fleet version skew (distinct live versions minus
+    /// one); a rollout observing more fails with
+    /// [`FleetError::SkewExceeded`].
+    #[must_use]
+    pub fn skew_bound(mut self, bound: usize) -> Orchestrator<'a> {
+        self.skew_bound = bound;
+        self
+    }
+
+    /// Total workers across all shard fleets.
+    pub fn worker_count(&self) -> usize {
+        self.fleets.iter().map(Fleet::worker_count).sum()
+    }
+
+    /// `(fleet index, local worker index)` for a global worker id.
+    fn locate(&self, gid: usize) -> (usize, usize) {
+        let mut offset = 0;
+        for (fi, f) in self.fleets.iter().enumerate() {
+            if gid < offset + f.worker_count() {
+                return (fi, gid - offset);
+            }
+            offset += f.worker_count();
+        }
+        panic!("worker {gid} out of range ({} total)", offset);
+    }
+
+    /// Global id offsets per fleet.
+    fn offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.fleets.len());
+        let mut off = 0;
+        for f in self.fleets {
+            offsets.push(off);
+            off += f.worker_count();
+        }
+        offsets
+    }
+
+    /// Every worker's live version, in global id order.
+    pub fn live_versions(&self) -> Vec<String> {
+        self.fleets.iter().flat_map(Fleet::live_versions).collect()
+    }
+
+    /// Distinct live versions minus one, across every fleet.
+    pub fn global_skew(&self) -> usize {
+        let mut versions = self.live_versions();
+        versions.sort();
+        versions.dedup();
+        versions.len().saturating_sub(1)
+    }
+
+    /// Drives `patch` through the whole `plan`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::SkewExceeded`] when the skew bound is crossed; an
+    /// ungated stall surfaces as [`FleetError::RolloutStalled`] (nothing
+    /// updated) or [`FleetError::PartialRollout`]; a stalled *rollback*
+    /// is [`FleetError::RolloutStalled`]. Gated forward stalls are
+    /// health breaches, not errors.
+    pub fn rollout(
+        &self,
+        patch: &Patch,
+        plan: &RolloutPlan,
+    ) -> Result<OrchestratorReport, FleetError> {
+        self.rollout_span(patch, plan, 0, None)
+    }
+
+    /// Drives `count` cohorts of `plan` starting at resolved-cohort
+    /// index `start` (`None` = all remaining). The crash-test seam:
+    /// a prefix run, a kill, then [`Orchestrator::resume`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Orchestrator::rollout`].
+    pub fn rollout_span(
+        &self,
+        patch: &Patch,
+        plan: &RolloutPlan,
+        start: usize,
+        count: Option<usize>,
+    ) -> Result<OrchestratorReport, FleetError> {
+        let n = self.worker_count();
+        assert!(n > 0, "an orchestrator needs at least one worker");
+        let cohorts = plan.resolve(n);
+        let end = match count {
+            Some(c) => (start + c).min(cohorts.len()),
+            None => cohorts.len(),
+        };
+
+        for f in self.fleets {
+            if let Some(t) = f.telemetry() {
+                t.record_rollout_start();
+            }
+        }
+        let traces: Vec<_> = self.fleets.iter().map(Fleet::begin_rollout_trace).collect();
+        let baselines: Vec<Vec<(usize, usize, usize)>> =
+            self.fleets.iter().map(Fleet::baselines).collect();
+
+        let mut run = Run {
+            orch: self,
+            patch,
+            plan,
+            gate: plan.gate.map(HealthGate::new),
+            baselines: &baselines,
+            read_error_base: self.fleets.iter().map(Fleet::read_error_counts).collect(),
+            steps: Vec::new(),
+            forward: Vec::new(),
+            rollbacks: Vec::new(),
+            outcome: RolloutOutcome::Completed,
+            cohort_reports: Vec::new(),
+            skew: SkewWatch::new(self.skew_bound),
+        };
+        let result = run.drive(&cohorts, start, end);
+        run.skew.close();
+        // Root spans close on every exit path — a stalled or skew-bounded
+        // rollout still leaves complete traces behind.
+        for (f, rt) in self.fleets.iter().zip(traces) {
+            f.end_rollout_trace(rt, patch);
+        }
+        let Run {
+            steps,
+            forward,
+            rollbacks,
+            outcome,
+            cohort_reports,
+            skew,
+            ..
+        } = run;
+        result?;
+
+        let offsets = self.offsets();
+        let mut fleet_report = FleetUpdateReport {
+            workers: n,
+            ..FleetUpdateReport::default()
+        };
+        for ((f, base), off) in self.fleets.iter().zip(&baselines).zip(&offsets) {
+            let r = f.collect_report(base);
+            fleet_report
+                .applied
+                .extend(r.applied.into_iter().map(|(i, rep)| (off + i, rep)));
+            fleet_report
+                .failed
+                .extend(r.failed.into_iter().map(|(i, e)| (off + i, e)));
+            fleet_report.pauses.extend(r.pauses);
+        }
+
+        let card = RolloutReportCard {
+            transition: (patch.from_version.clone(), patch.to_version.clone()),
+            canary: plan.canary.min(n - 1),
+            slo: plan.gate.unwrap_or(PauseSlo {
+                quantile: 1.0,
+                max: Duration::MAX,
+            }),
+            steps,
+            outcome,
+            forward,
+            rollbacks,
+            final_versions: self.live_versions(),
+        };
+        Ok(OrchestratorReport {
+            fleet_report,
+            card,
+            cohorts: cohort_reports,
+            fleets: self.fleets.len(),
+            skew_bound: self.skew_bound,
+            max_skew: skew.max,
+            skew_window: skew.window,
+            resumed_from: start,
+        })
+    }
+
+    /// Resumes a rollout from the cohort progress persisted in
+    /// `journal`: cohorts whose every member already committed
+    /// `patch`'s transition are skipped, driving restarts at the first
+    /// incomplete one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Orchestrator::rollout`].
+    pub fn resume(
+        &self,
+        patch: &Patch,
+        plan: &RolloutPlan,
+        journal: &Journal,
+    ) -> Result<OrchestratorReport, FleetError> {
+        let done = Orchestrator::completed_cohorts(journal, patch, plan, self.worker_count());
+        self.rollout_span(patch, plan, done, None)
+    }
+
+    /// How many leading resolved cohorts of `plan` are fully committed
+    /// in `journal` for `patch`'s transition — the resume point after a
+    /// crash. Counts stop at the first cohort with any uncommitted
+    /// member.
+    pub fn completed_cohorts(
+        journal: &Journal,
+        patch: &Patch,
+        plan: &RolloutPlan,
+        workers: usize,
+    ) -> usize {
+        let committed: HashSet<usize> = journal
+            .events()
+            .iter()
+            .filter(|e| {
+                e.stage == Stage::Committed
+                    && e.from_version == patch.from_version
+                    && e.to_version == patch.to_version
+            })
+            .filter_map(|e| e.worker)
+            .collect();
+        plan.resolve(workers)
+            .iter()
+            .take_while(|cohort| cohort.iter().all(|gid| committed.contains(gid)))
+            .count()
+    }
+}
+
+/// One in-flight orchestrated rollout's mutable state.
+struct Run<'o, 'a> {
+    orch: &'o Orchestrator<'a>,
+    patch: &'o Patch,
+    plan: &'o RolloutPlan,
+    gate: Option<HealthGate>,
+    baselines: &'o [Vec<(usize, usize, usize)>],
+    read_error_base: Vec<Vec<u64>>,
+    steps: Vec<StepHealth>,
+    forward: Vec<(usize, UpdateReport)>,
+    rollbacks: Vec<(usize, UpdateReport)>,
+    outcome: RolloutOutcome,
+    cohort_reports: Vec<CohortReport>,
+    skew: SkewWatch,
+}
+
+impl Run<'_, '_> {
+    /// Drives cohorts `start..end`, judging, soaking and reacting to
+    /// breaches along the way.
+    fn drive(
+        &mut self,
+        cohorts: &[Vec<usize>],
+        start: usize,
+        end: usize,
+    ) -> Result<(), FleetError> {
+        let orch = self.orch;
+        for ci in start..end {
+            let members = &cohorts[ci];
+            let began = Instant::now();
+            let breach = self.drive_cohort(members)?;
+            let pooled: Vec<Duration> = members
+                .iter()
+                .flat_map(|&gid| {
+                    let (fi, li) = orch.locate(gid);
+                    let pauses0 = self.baselines[fi][li].2;
+                    orch.fleets[fi].workers()[li]
+                        .remote
+                        .pauses()
+                        .into_iter()
+                        .skip(pauses0)
+                        .map(|p| p.dur)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let slo = self.plan.gate.unwrap_or(PauseSlo {
+                quantile: 1.0,
+                max: Duration::MAX,
+            });
+            let breached = breach.is_some();
+            let last = ci + 1 == cohorts.len();
+            let soaked = !breached && !last && self.plan.soak > Duration::ZERO;
+            self.cohort_reports.push(CohortReport {
+                index: ci,
+                workers: members.clone(),
+                pause_at_quantile: slo.observe(&pooled),
+                dur: began.elapsed(),
+                soaked,
+            });
+            if let Some(b) = breach {
+                self.outcome = match self.plan.on_breach.clone() {
+                    BreachAction::Hold => RolloutOutcome::Held(b),
+                    BreachAction::RollBack { inverse } => {
+                        self.roll_back_forward(inverse.as_deref())?;
+                        RolloutOutcome::RolledBack(b)
+                    }
+                    BreachAction::ChainRollBack { to_version } => {
+                        self.chain_roll_back(&to_version)?;
+                        RolloutOutcome::RolledBack(b)
+                    }
+                };
+                break;
+            }
+            if soaked {
+                thread::sleep(self.plan.soak);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives one cohort: barrier gates first (a fast worker must find
+    /// its rendezvous installed when it pauses), then every member's
+    /// patch enqueued, then each awaited and judged in cohort order.
+    /// Returns the first health breach, if any.
+    fn drive_cohort(&mut self, members: &[usize]) -> Result<Option<HealthBreach>, FleetError> {
+        let orch = self.orch;
+        if members.len() > 1 {
+            let barrier = Arc::new(Barrier::new(members.len()));
+            for &gid in members {
+                let (fi, li) = orch.locate(gid);
+                let b = Arc::clone(&barrier);
+                orch.fleets[fi].workers()[li]
+                    .remote
+                    .set_gate(Box::new(move || {
+                        b.wait();
+                    }));
+            }
+        }
+        for &gid in members {
+            let (fi, li) = orch.locate(gid);
+            orch.fleets[fi].workers()[li]
+                .remote
+                .enqueue(self.patch.clone());
+        }
+        let comp_base: Vec<usize> = orch
+            .fleets
+            .iter()
+            .map(|f| f.shared().completions_len())
+            .collect();
+        let mut breach: Option<HealthBreach> = None;
+        for &gid in members {
+            let (fi, li) = orch.locate(gid);
+            let fleet = &orch.fleets[fi];
+            let w = &fleet.workers()[li];
+            let base = self.baselines[fi][li];
+            let stalled = fleet.await_worker(w, base).is_err();
+            if stalled {
+                // The worker never reached its boundary: defuse it so the
+                // withdrawn patch cannot land after the rollout moved on.
+                w.remote.cancel_pending(if self.gate.is_some() {
+                    "guarded rollout: step stalled"
+                } else {
+                    "rolling rollout stalled"
+                });
+            } else if self.gate.is_some() {
+                // The apply is visible before its pause event (the worker
+                // pushes the pause after the op drains); wait for the
+                // event so the gate never judges a step pauseless.
+                let deadline = Instant::now() + fleet.deadline();
+                while w.remote.pauses().len() <= base.2 && Instant::now() < deadline {
+                    thread::sleep(Duration::from_micros(50));
+                }
+            }
+            let pauses: Vec<Duration> = w
+                .remote
+                .pauses()
+                .iter()
+                .skip(base.2)
+                .map(|p| p.dur)
+                .collect();
+            let slo = self.plan.gate.unwrap_or(PauseSlo {
+                quantile: 1.0,
+                max: Duration::MAX,
+            });
+            let health = StepHealth {
+                worker: gid,
+                pause_at_quantile: slo.observe(&pauses),
+                new_failures: w.remote.failure_count() - base.1,
+                new_read_errors: fleet.read_error_counts()[li] - self.read_error_base[fi][li],
+                new_completions: fleet.shared().completions_len() - comp_base[fi],
+                queued: fleet.shared().queue_len(),
+            };
+            let verdict = if stalled {
+                Err(HealthBreach::Stalled { worker: gid })
+            } else {
+                match &self.gate {
+                    Some(g) => g.check(&health),
+                    None => Ok(()),
+                }
+            };
+            self.steps.push(health);
+            for r in w.remote.reports().drain(base.0..) {
+                self.forward.push((gid, r));
+            }
+            fleet.refresh_skew();
+            self.skew.sample(orch.global_skew())?;
+            if self.gate.is_none() && stalled {
+                return Err(self.stall_fallout(gid));
+            }
+            if let Err(b) = verdict {
+                breach.get_or_insert(b);
+            }
+        }
+        Ok(breach)
+    }
+
+    /// An ungated stall at global worker `stalled`: withdraw every
+    /// still-pending patch (none may land after the coordinator gave
+    /// up), then classify — nothing updated keeps the plain stall
+    /// error, a mid-rollout stall becomes
+    /// [`FleetError::PartialRollout`] (global ids).
+    fn stall_fallout(&self, stalled: usize) -> FleetError {
+        let offsets = self.orch.offsets();
+        let mut updated = Vec::new();
+        let mut all = Vec::new();
+        for ((f, base), off) in self.orch.fleets.iter().zip(self.baselines).zip(&offsets) {
+            for (w, (applied0, _, _)) in f.workers().iter().zip(base) {
+                let gid = off + w.id;
+                all.push(gid);
+                if w.remote.pending_count() > 0 {
+                    w.remote.cancel_pending("rolling rollout stalled");
+                }
+                if w.remote.applied_count() > *applied0 {
+                    updated.push(gid);
+                }
+            }
+            f.refresh_skew();
+        }
+        if updated.is_empty() {
+            return FleetError::RolloutStalled { worker: stalled };
+        }
+        let remaining = all.into_iter().filter(|g| !updated.contains(g)).collect();
+        FleetError::PartialRollout { updated, remaining }
+    }
+
+    /// Rolls every worker updated *by this rollout* back one hop,
+    /// newest first: through `inverse` when supplied (state-preserving
+    /// reverse transformers), through each worker's snapshot ring
+    /// otherwise.
+    fn roll_back_forward(&mut self, inverse: Option<&Patch>) -> Result<(), FleetError> {
+        let orch = self.orch;
+        let order: Vec<usize> = self.forward.iter().rev().map(|(gid, _)| *gid).collect();
+        for gid in order {
+            let (fi, li) = orch.locate(gid);
+            let fleet = &orch.fleets[fi];
+            let w = &fleet.workers()[li];
+            let base = (
+                w.remote.applied_count(),
+                w.remote.failure_count(),
+                w.remote.pauses().len(),
+            );
+            match inverse {
+                Some(p) => w.remote.enqueue_rollback(p.clone()),
+                None => w.remote.enqueue_snapshot_rollback(),
+            }
+            fleet
+                .await_worker(w, base)
+                .map_err(|e| self.globalize_stall(e, fi))?;
+            if let Some(r) = w.remote.reports().last() {
+                if r.rolled_back {
+                    self.rollbacks.push((gid, r.clone()));
+                }
+            }
+            fleet.refresh_skew();
+            self.skew.sample(orch.global_skew())?;
+        }
+        Ok(())
+    }
+
+    /// Walks every worker's rollback chain down to `to_version`, newest
+    /// global id first — across fleets, and across *earlier* rollouts,
+    /// not just the breached one. Workers already at the target are
+    /// skipped; workers whose rings don't reach it are left where their
+    /// chain ends.
+    fn chain_roll_back(&mut self, to_version: &str) -> Result<(), FleetError> {
+        let orch = self.orch;
+        let offsets = orch.offsets();
+        let mut targets: Vec<(usize, usize, usize)> = Vec::new(); // (gid, fi, li)
+        for (fi, (f, off)) in orch.fleets.iter().zip(&offsets).enumerate() {
+            for w in f.workers() {
+                targets.push((off + w.id, fi, w.id));
+            }
+        }
+        targets.sort_by_key(|t| std::cmp::Reverse(t.0));
+        for (gid, fi, li) in targets {
+            let fleet = &orch.fleets[fi];
+            let w = &fleet.workers()[li];
+            if fleet.worker_version(w) == to_version {
+                continue;
+            }
+            // Hop count: walk the retained transitions newest-first until
+            // one *starts* at the target (that hop lands on it).
+            let transitions = w.remote.snapshot_transitions();
+            let mut hops = 0usize;
+            let mut reachable = false;
+            for (from, _to) in transitions.iter().rev() {
+                hops += 1;
+                if from == to_version {
+                    reachable = true;
+                    break;
+                }
+            }
+            if !reachable {
+                continue;
+            }
+            let base = (
+                w.remote.applied_count(),
+                w.remote.failure_count(),
+                w.remote.pauses().len(),
+            );
+            let queued = w.remote.enqueue_rollback_chain(hops);
+            let applied0 = base.0;
+            fleet
+                .await_worker_n(w, base, queued)
+                .map_err(|e| self.globalize_stall(e, fi))?;
+            for r in w.remote.reports().drain(applied0..) {
+                if r.rolled_back {
+                    self.rollbacks.push((gid, r));
+                }
+            }
+            fleet.refresh_skew();
+            self.skew.sample(orch.global_skew())?;
+        }
+        Ok(())
+    }
+
+    /// Remaps a fleet-local stall error to global worker ids.
+    fn globalize_stall(&self, e: FleetError, fleet_idx: usize) -> FleetError {
+        match e {
+            FleetError::RolloutStalled { worker } => FleetError::RolloutStalled {
+                worker: self.orch.offsets()[fleet_idx] + worker,
+            },
+            e => e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_resolve_to_cumulative_cohorts() {
+        let staged = RolloutPlan::staged(
+            0,
+            PauseSlo::p99(Duration::from_millis(2)),
+            BreachAction::Hold,
+        );
+        assert_eq!(
+            staged.resolve(12),
+            vec![vec![0], vec![1, 2], vec![3, 4, 5, 6, 7, 8, 9, 10, 11],]
+        );
+        // Canary-first ordering threads through every cohort.
+        assert_eq!(
+            RolloutPlan::staged(
+                5,
+                PauseSlo::p99(Duration::from_millis(2)),
+                BreachAction::Hold
+            )
+            .resolve(8),
+            vec![vec![5], vec![0], vec![1, 2, 3, 4, 6, 7]]
+        );
+        assert_eq!(
+            RolloutPlan::simultaneous().resolve(4),
+            vec![vec![0, 1, 2, 3]]
+        );
+        assert_eq!(
+            RolloutPlan::rolling().resolve(3),
+            vec![vec![0], vec![1], vec![2]]
+        );
+        // Degenerate sizes: empty set resolves to nothing; targets that
+        // add no workers are dropped.
+        assert_eq!(
+            RolloutPlan::simultaneous().resolve(0),
+            Vec::<Vec<usize>>::new()
+        );
+        assert_eq!(
+            RolloutPlan::staged(
+                0,
+                PauseSlo::p99(Duration::from_millis(2)),
+                BreachAction::Hold
+            )
+            .resolve(1),
+            vec![vec![0]]
+        );
+    }
+
+    #[test]
+    fn skew_watch_tracks_peak_and_bound() {
+        let mut w = SkewWatch::new(1);
+        w.sample(0).unwrap();
+        w.sample(1).unwrap();
+        assert_eq!(w.max, 1);
+        let err = w.sample(2).unwrap_err();
+        assert!(matches!(
+            err,
+            FleetError::SkewExceeded {
+                observed: 2,
+                bound: 1
+            }
+        ));
+        w.sample(0).unwrap();
+        w.close();
+        assert!(w.window > Duration::ZERO);
+    }
+}

@@ -365,7 +365,7 @@ impl FleetTelemetry {
     /// labelled [`ServerTelemetry`] per worker, a coordinator registry
     /// with the version-skew gauge and rollout counter.
     pub fn new(n: usize) -> FleetTelemetry {
-        FleetTelemetry::build(n, None)
+        FleetTelemetry::build(n, 0, Journal::new(), None)
     }
 
     /// [`FleetTelemetry::new`] plus one fleet-shared span [`Tracer`]:
@@ -373,11 +373,29 @@ impl FleetTelemetry {
     /// update and rollout spans land in one collector on one epoch —
     /// the precondition for cross-worker latency attribution.
     pub fn with_tracing(n: usize) -> FleetTelemetry {
-        FleetTelemetry::build(n, Some(Tracer::new()))
+        FleetTelemetry::build(n, 0, Journal::new(), Some(Tracer::new()))
     }
 
-    fn build(n: usize, tracer: Option<Tracer>) -> FleetTelemetry {
-        let journal = Journal::new();
+    /// Builds telemetry whose events land in a caller-supplied `journal`
+    /// (possibly write-ahead-backed, possibly shared with other fleets)
+    /// and whose worker tags start at `worker_base` — the constructor an
+    /// orchestrator uses to give every shard fleet globally unique worker
+    /// ids in one stream.
+    pub fn shared(
+        n: usize,
+        worker_base: usize,
+        journal: Journal,
+        tracer: Option<Tracer>,
+    ) -> FleetTelemetry {
+        FleetTelemetry::build(n, worker_base, journal, tracer)
+    }
+
+    fn build(
+        n: usize,
+        worker_base: usize,
+        journal: Journal,
+        tracer: Option<Tracer>,
+    ) -> FleetTelemetry {
         let coordinator = Registry::new();
         let version_skew = coordinator.gauge(
             names::VERSION_SKEW,
@@ -389,7 +407,7 @@ impl FleetTelemetry {
             .set(n as i64);
         let workers = (0..n)
             .map(|i| {
-                let t = ServerTelemetry::for_worker(journal.clone(), i);
+                let t = ServerTelemetry::for_worker(journal.clone(), worker_base + i);
                 match &tracer {
                     Some(tr) => t.with_tracer(tr.clone()),
                     None => t,

@@ -191,9 +191,13 @@ fn amped_fleet_rollouts_drain_and_reconcile() {
     fs.set_read_latency(Duration::from_micros(300));
     let mut wl = Workload::new(fs.paths(), 1.0, 41);
 
+    // 600 requests at 300us simulated latency normally clear in well
+    // under a second, but a loaded single-core runner can starve the
+    // event loops past the default 30s deadline — give it headroom.
     let cfg = FleetConfig::new(2)
         .serve_mode(event_mode(4, 8))
-        .with_telemetry();
+        .with_telemetry()
+        .rollout_deadline(Duration::from_secs(120));
     let fleet = Fleet::start_cfg(&cfg, &versions::v1(), "v1", &fs).unwrap();
     let stream = flashed::patch_stream().unwrap();
 

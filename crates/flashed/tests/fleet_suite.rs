@@ -30,7 +30,11 @@ fn pause_windows_overlap(fleet: &Fleet) -> bool {
 
 #[test]
 fn fleet_shards_one_queue_across_workers() {
-    let (fs, mut wl) = fixture();
+    let (mut fs, mut wl) = fixture();
+    // A little device latency per read: serving 400 requests then takes
+    // long enough that no single worker can drain the queue alone while
+    // the others are still inside their idle wait.
+    fs.set_read_latency(Duration::from_micros(20));
     let fleet = Fleet::start(4, LinkMode::Updateable, &versions::v1(), "v1", &fs).unwrap();
     assert_eq!(fleet.worker_count(), 4);
     fleet.push_requests(wl.batch(400));

@@ -1,6 +1,7 @@
-//! Minimal JSON emission helpers (the crate is dependency-free; the
-//! exported shapes are simple enough that hand-rolled escaping beats
-//! pulling a serialisation framework into every layer of the system).
+//! Minimal JSON emission and parsing helpers (the crate is
+//! dependency-free; the exported shapes are simple enough that
+//! hand-rolled escaping and a flat-object reader beat pulling a
+//! serialisation framework into every layer of the system).
 
 /// Escapes `s` for inclusion inside a JSON string literal (quotes not
 /// included).
@@ -29,6 +30,169 @@ pub fn num(v: f64) -> String {
     }
 }
 
+/// One field value of a flat JSON object (journal events nest nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scalar {
+    Null,
+    Bool(bool),
+    /// Integer — the only numeric shape the journal emits (`at_ns`,
+    /// `dur_ns`, ids). Wide enough for `Duration::as_nanos` values.
+    Int(i128),
+    Str(String),
+}
+
+impl Scalar {
+    /// The integer value, if this scalar is one.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Scalar::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this scalar is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object — `{"key": scalar, ...}` with string,
+/// integer, boolean and null values only — into its fields in source
+/// order. The inverse of the emission side of this module, for reading
+/// back write-ahead journal lines.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error (nested values are a
+/// syntax error here: the journal never writes them).
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {pos}", b as char))
+        }
+    }
+
+    fn string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn scalar(bytes: &[u8], pos: &mut usize) -> Result<Scalar, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'"') => Ok(Scalar::Str(string(bytes, pos)?)),
+            Some(b't') if bytes[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Scalar::Bool(true))
+            }
+            Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Scalar::Bool(false))
+            }
+            Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Scalar::Null)
+            }
+            Some(&c) if c == b'-' || c.is_ascii_digit() => {
+                let start = *pos;
+                if c == b'-' {
+                    *pos += 1;
+                }
+                while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+                    *pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits");
+                text.parse::<i128>()
+                    .map(Scalar::Int)
+                    .map_err(|e| format!("bad number `{text}`: {e}"))
+            }
+            _ => Err(format!("expected a scalar at byte {pos}")),
+        }
+    }
+
+    expect(bytes, &mut pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        pos += 1;
+    } else {
+        loop {
+            let key = string(bytes, &mut pos)?;
+            expect(bytes, &mut pos, b':')?;
+            fields.push((key, scalar(bytes, &mut pos)?));
+            skip_ws(bytes, &mut pos);
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+            }
+        }
+    }
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +209,33 @@ mod tests {
         assert_eq!(num(1.5), "1.5");
         assert_eq!(num(f64::NAN), "null");
         assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn flat_objects_parse_back() {
+        let fields = parse_flat_object(
+            "{\"seq\":3,\"from\":\"v1\",\"ok\":true,\"none\":null,\"neg\":-7,\"esc\":\"a\\\"b\\nc\"}",
+        )
+        .unwrap();
+        assert_eq!(fields[0], ("seq".to_string(), Scalar::Int(3)));
+        assert_eq!(
+            fields[1],
+            ("from".to_string(), Scalar::Str("v1".to_string()))
+        );
+        assert_eq!(fields[2], ("ok".to_string(), Scalar::Bool(true)));
+        assert_eq!(fields[3], ("none".to_string(), Scalar::Null));
+        assert_eq!(fields[4], ("neg".to_string(), Scalar::Int(-7)));
+        assert_eq!(
+            fields[5],
+            ("esc".to_string(), Scalar::Str("a\"b\nc".to_string()))
+        );
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn flat_object_errors() {
+        for bad in ["", "{", "{\"a\":}", "{\"a\":1} extra", "[1]", "{\"a\":{}}"] {
+            assert!(parse_flat_object(bad).is_err(), "{bad}");
+        }
     }
 }

@@ -184,7 +184,11 @@ impl Tracer {
         match self.inner.sample_every.load(Ordering::Relaxed) {
             0 => false,
             1 => true,
-            n => self.inner.sample_seq.fetch_add(1, Ordering::Relaxed).is_multiple_of(n),
+            n => self
+                .inner
+                .sample_seq
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n),
         }
     }
 

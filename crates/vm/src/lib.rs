@@ -38,6 +38,7 @@ pub mod interp;
 pub mod ops;
 pub mod process;
 pub mod profile;
+pub mod snapshot_io;
 pub mod trap;
 pub mod value;
 
@@ -49,6 +50,7 @@ pub use process::{
     Process, ProcessTypes, UpdateSignal,
 };
 pub use profile::{Profiler, SiteStats};
+pub use snapshot_io::{decode_snapshot, encode_snapshot, SnapshotCodecError};
 pub use trap::{LinkError, Trap};
 pub use value::{FnRef, FuncId, GlobalId, HostId, RecordObj, SlotId, StructId, Value};
 

@@ -135,10 +135,10 @@ pub(crate) struct StructInfo {
 /// A snapshot of all mutable bindings, sufficient to roll back an update.
 #[derive(Debug, Clone)]
 pub struct BindingSnapshot {
-    fn_by_name: HashMap<String, FuncId>,
-    slots: Vec<Option<FuncId>>,
-    struct_by_name: HashMap<String, StructId>,
-    globals: Vec<GlobalCell>,
+    pub(crate) fn_by_name: HashMap<String, FuncId>,
+    pub(crate) slots: Vec<Option<FuncId>>,
+    pub(crate) struct_by_name: HashMap<String, StructId>,
+    pub(crate) globals: Vec<GlobalCell>,
 }
 
 /// A running guest process. Single-threaded (guest values are `Rc`-based);

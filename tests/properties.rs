@@ -16,6 +16,9 @@
 //! * **Text-format round trip** — `parse(emit(m)) == m` for arbitrary
 //!   modules.
 //! * **Update soak** — long random patch sequences preserve state exactly.
+//! * **Rollback chains** — random version chains applied at update points
+//!   under traffic walk back any number of hops, restoring each hop's
+//!   snapshot state with every journal lifecycle obeying the phase laws.
 //!
 //! Every test derives each case's generator from a fixed base seed, so
 //! failures reproduce by case index.
@@ -639,5 +642,138 @@ fn soak_many_sequential_patches() {
         // And old code versions can be garbage collected without harm.
         proc.collect_code();
         assert_eq!(proc.call("sum", vec![]).unwrap(), Value::Int(expected_sum));
+    }
+}
+
+// ========================== rollback chains ==========================
+
+/// Random version chains, forward then backward: apply `k` generated
+/// updates (multiplier tweaks, struct growth) at update points while
+/// traffic keeps mutating state, then walk the snapshot-ring rollback
+/// chain back `j ≤ k` hops — still under traffic. After every hop the
+/// guest answers with the restored version's semantics and the expected
+/// state: snapshots share untransformed guest values (`Rc` cells), so a
+/// code-only hop's restore keeps all traffic served since, while a hop
+/// whose forward transformer rebuilt a global rewinds it to its
+/// apply-instant contents. Every journal lifecycle (forward and
+/// backward) passes the phase-sum validator at every hop.
+#[test]
+fn rollback_chains_restore_every_version_under_traffic() {
+    use dsu_obs::journal::validate_lifecycle;
+    use dsu_obs::Journal;
+
+    let mk_src = |mult: i64, fields: usize| -> String {
+        let extra_decl: Vec<String> = (0..fields).map(|i| format!("x{i}: int")).collect();
+        let extra_init: Vec<String> = (0..fields).map(|i| format!("x{i}: {i}")).collect();
+        let comma = if fields > 0 { ", " } else { "" };
+        format!(
+            r#"
+            struct rec {{ id: int{comma}{decls} }}
+            global data: [rec] = new [rec];
+            fun add(n: int): unit {{ push(data, rec {{ id: n * {mult}{comma}{inits} }}); }}
+            fun mult_tag(): int {{ return {mult}; }}
+            fun sum(): int {{
+                var s: int = 0;
+                var i: int = 0;
+                while (i < len(data)) {{ s = s + data[i].id; i = i + 1; }}
+                return s;
+            }}
+            fun pump(k: int): int {{
+                var i: int = 0;
+                while (i < k) {{ add(i + 1); update; i = i + 1; }}
+                return sum();
+            }}
+            "#,
+            decls = extra_decl.join(", "),
+            inits = extra_init.join(", "),
+        )
+    };
+
+    for case in 0..10u64 {
+        let mut rng = Rng::seed_from_u64(0xC4A1 ^ case);
+        let k = rng.gen_range_usize(2, 4); // forward hops (ring depth is 4)
+        let mults: Vec<i64> = std::iter::once(1)
+            .chain((0..k).map(|_| rng.gen_range_i64(2, 49)))
+            .collect();
+        let mut fields = vec![0usize];
+        for _ in 0..k {
+            fields.push(fields.last().unwrap() + usize::from(rng.gen_bool()));
+        }
+
+        let journal = Journal::new();
+        let src = mk_src(mults[0], fields[0]);
+        let m = popcorn::compile(&src, "chain", "v1", &popcorn::Interface::new()).unwrap();
+        let mut p = Process::new(LinkMode::Updateable);
+        p.load_module(&m).unwrap();
+        let mut up = dsu_core::Updater::new();
+        up.set_journal(journal.clone(), Some(case as usize));
+
+        // Forward: k updates, each landing at the first update point of a
+        // pump run, with more traffic after it in the same run. The
+        // snapshot each hop restores is the state at its apply instant.
+        let mut sum = 0i64;
+        let mut prev_src = src;
+        let mut snap_sums = vec![0i64]; // snap_sums[i]: state the hop onto v(i+2) restores
+        for step in 0..k {
+            let t = rng.gen_range_usize(2, 4) as i64;
+            let gen = dsu_core::PatchGen::new()
+                .generate(
+                    &prev_src,
+                    &mk_src(mults[step + 1], fields[step + 1]),
+                    &format!("v{}", step + 1),
+                    &format!("v{}", step + 2),
+                )
+                .unwrap();
+            up.enqueue(&mut p, gen.patch);
+            let got = up.run(&mut p, "pump", vec![Value::Int(t)]).unwrap();
+            // First iteration runs the old version's add, then the patch
+            // applies at the update point; the rest run the new version.
+            sum += mults[step];
+            snap_sums.push(sum);
+            for r in 2..=t {
+                sum += r * mults[step + 1];
+            }
+            assert_eq!(got, Value::Int(sum), "case {case} forward step {step}");
+            prev_src = mk_src(mults[step + 1], fields[step + 1]);
+        }
+        assert_eq!(up.snapshot_transitions().len(), k);
+
+        // Backward: j ≤ k single hops, each applied at an update point of
+        // a pump run that serves one more request first.
+        let j = rng.gen_range_usize(1, k);
+        for hop in 0..j {
+            let at = k - hop; // walking v(at+1) -> v(at)
+            assert_eq!(up.enqueue_rollback_chain(&mut p, 1), 1);
+            let got = up.run(&mut p, "pump", vec![Value::Int(1)]).unwrap();
+            // The pump's own add lands before the restore, on the
+            // not-yet-rolled-back version.
+            sum += mults[at];
+            if fields[at] > fields[at - 1] {
+                // The forward transformer rebuilt `data`; this restore
+                // rewinds it to its contents at that apply instant.
+                sum = snap_sums[at];
+            }
+            let expect = sum;
+            assert_eq!(got, Value::Int(expect), "case {case} hop {hop}");
+            assert_eq!(p.call("sum", vec![]).unwrap(), Value::Int(expect));
+            // The guest answers with the restored version's semantics.
+            assert_eq!(
+                p.call("mult_tag", vec![]).unwrap(),
+                Value::Int(mults[at - 1])
+            );
+            assert_eq!(up.snapshot_transitions().len(), at - 1);
+            // Phase-sum laws hold for every lifecycle at every hop.
+            for id in journal.update_ids() {
+                validate_lifecycle(&journal.events_for(id)).unwrap();
+            }
+        }
+
+        // The process keeps serving traffic on whatever version it landed.
+        let t = 3i64;
+        let got = up.run(&mut p, "pump", vec![Value::Int(t)]).unwrap();
+        for r in 1..=t {
+            sum += r * mults[k - j];
+        }
+        assert_eq!(got, Value::Int(sum));
     }
 }

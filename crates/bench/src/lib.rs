@@ -18,6 +18,8 @@
 //! application and end-to-end serving.
 
 pub mod kernels;
+pub mod loadgen;
 pub mod measure;
 
 pub use kernels::{boot_kernel, kernels, run_kernel, Kernel};
+pub use loadgen::{observe_sojourns, sojourn_stats, ClosedLoop, GenReport, OpenLoop, SojournStats};

@@ -37,6 +37,7 @@ use dsu_obs::trace::{Span, SpanKind};
 use dsu_obs::{Journal, Tracer};
 use vm::LinkMode;
 
+use crate::edge::{AcceptorHandle, Edge, EdgeConfig, Inbox};
 use crate::fault::FaultPlan;
 use crate::fs::SimFs;
 use crate::guard::{BreachAction, PauseSlo, RolloutReportCard};
@@ -103,6 +104,11 @@ pub struct FleetConfig {
     /// fleets under one orchestrator get disjoint ranges so worker ids
     /// stay globally unambiguous in the shared journal.
     pub worker_base: usize,
+    /// Fronts the fleet with a routed [`Edge`]: per-worker bounded
+    /// inboxes fed by an acceptor thread, instead of every worker
+    /// contending on the shared ingress queue. `None` keeps the legacy
+    /// shared-queue pull path.
+    pub edge: Option<EdgeConfig>,
 }
 
 impl FleetConfig {
@@ -119,7 +125,16 @@ impl FleetConfig {
             rollout_deadline: ROLLOUT_DEADLINE,
             journal: None,
             worker_base: 0,
+            edge: None,
         }
+    }
+
+    /// Fronts the fleet with a routed edge (see [`EdgeConfig`]): workers
+    /// pull from per-worker bounded inboxes, an acceptor routes the
+    /// shared ingress queue, and overflow sheds with a typed error.
+    pub fn with_edge(mut self, edge: EdgeConfig) -> FleetConfig {
+        self.edge = Some(edge);
+        self
     }
 
     /// Routes lifecycle events into a caller-supplied `journal` (shared
@@ -232,10 +247,16 @@ pub enum FleetError {
         /// What happened to it.
         cause: WorkerFailure,
     },
-    /// [`Fleet::drain`] timed out with requests still outstanding.
-    DrainTimeout {
-        /// Requests still queued at the deadline.
-        queued: usize,
+    /// [`Fleet::drain`] timed out with requests still outstanding. Now
+    /// that queues are sharded, the stall is attributed per queue: the
+    /// shared ingress count plus each worker inbox's depth, so a single
+    /// wedged worker is identifiable from the error alone.
+    QueueStall {
+        /// Requests still in the shared ingress queue at the deadline.
+        ingress: usize,
+        /// Requests still queued in each worker's edge inbox, in worker
+        /// order. Empty for a shared-queue fleet (no per-worker queues).
+        per_worker: Vec<usize>,
         /// Completions observed at the deadline.
         completed: usize,
         /// Completions the caller expected.
@@ -275,14 +296,18 @@ impl fmt::Display for FleetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FleetError::Worker { worker, cause } => write!(f, "worker {worker}: {cause}"),
-            FleetError::DrainTimeout {
-                queued,
+            FleetError::QueueStall {
+                ingress,
+                per_worker,
                 completed,
                 expected,
-            } => write!(
-                f,
-                "fleet did not drain: {queued} queued, {completed}/{expected} completed"
-            ),
+            } => {
+                write!(f, "fleet did not drain: {ingress} ingress")?;
+                if !per_worker.is_empty() {
+                    write!(f, " + {per_worker:?} per-worker queued")?;
+                }
+                write!(f, ", {completed}/{expected} completed")
+            }
             FleetError::RolloutStalled { worker } => {
                 write!(f, "worker {worker} did not reach an update boundary")
             }
@@ -364,6 +389,11 @@ pub struct Fleet {
     /// The version every worker booted on (the skew baseline).
     boot_version: String,
     telemetry: Option<Arc<FleetTelemetry>>,
+    /// The routed front door, when configured (see [`FleetConfig::with_edge`]).
+    edge: Option<Arc<Edge>>,
+    /// The acceptor thread routing ingress into the edge; stopped at
+    /// shutdown.
+    acceptor: Option<AcceptorHandle>,
     /// How long rollouts and drains wait for a worker (see
     /// [`FleetConfig::rollout_deadline`]).
     rollout_deadline: Duration,
@@ -445,6 +475,10 @@ impl Fleet {
             Arc::new(FleetTelemetry::shared(n, cfg.worker_base, journal, tracer))
         });
         let shared = ServerShared::new();
+        let edge = cfg
+            .edge
+            .as_ref()
+            .map(|ec| Arc::new(Edge::new(n, ec, shared.clone(), telemetry.clone())));
         let mut workers = Vec::with_capacity(n);
         let mut boot_err = None;
         for id in 0..n {
@@ -479,12 +513,13 @@ impl Fleet {
             let vm_profile = cfg.vm_profile;
             let shared_w = shared.clone();
             let tel_w = telemetry.as_ref().map(|t| t.worker(id).clone());
+            let inbox_w = edge.as_ref().map(|e| Arc::clone(e.inbox(id)));
             let join = thread::Builder::new()
                 .name(format!("flashed-worker-{id}"))
                 .spawn(move || {
                     worker_main(
                         mode, serve_mode, src, version, fs, fault, vm_profile, shared_w, tel_w,
-                        ctrl_rx, boot_tx,
+                        inbox_w, ctrl_rx, boot_tx,
                     )
                 })
                 .map_err(|e| FleetError::Worker {
@@ -526,13 +561,24 @@ impl Fleet {
         if let Some(t) = &telemetry {
             t.set_live_versions(&vec![version.to_string(); n]);
         }
+        let acceptor = edge.as_ref().map(Edge::start_acceptor);
         Ok(Fleet {
             shared,
             workers,
             boot_version: version.to_string(),
             telemetry,
+            edge,
+            acceptor,
             rollout_deadline: cfg.rollout_deadline,
         })
+    }
+
+    /// The routed front door, when this fleet was booted with
+    /// [`FleetConfig::with_edge`]. Load generators submit through it
+    /// directly (bypassing the acceptor) to stamp admission instants at
+    /// the source.
+    pub fn edge(&self) -> Option<&Arc<Edge>> {
+        self.edge.as_ref()
     }
 
     /// The fleet's telemetry (journal, registries, skew gauge), when
@@ -616,12 +662,17 @@ impl Fleet {
     pub fn drain(&self, expected: usize) -> Result<(), FleetError> {
         let deadline = Instant::now() + self.rollout_deadline;
         loop {
-            if self.shared.queue_len() == 0 && self.shared.completions_len() >= expected {
+            let edge_queued = self.edge.as_ref().map_or(0, |e| e.queued());
+            if self.shared.queue_len() == 0
+                && edge_queued == 0
+                && self.shared.completions_len() >= expected
+            {
                 return Ok(());
             }
             if Instant::now() > deadline {
-                return Err(FleetError::DrainTimeout {
-                    queued: self.shared.queue_len(),
+                return Err(FleetError::QueueStall {
+                    ingress: self.shared.queue_len(),
+                    per_worker: self.edge.as_ref().map_or_else(Vec::new, |e| e.depths()),
                     completed: self.shared.completions_len(),
                     expected,
                 });
@@ -848,7 +899,13 @@ impl Fleet {
     ///
     /// Returns the first worker error (guest trap or panic), after all
     /// workers have been joined.
-    pub fn shutdown(self) -> Result<Vec<i64>, FleetError> {
+    pub fn shutdown(mut self) -> Result<Vec<i64>, FleetError> {
+        // Stop the acceptor first: it finishes routing whatever is still
+        // in the ingress queue, so workers see those requests before
+        // their shutdown signal lands.
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.stop();
+        }
         for w in &self.workers {
             let _ = w.ctrl.send(Ctrl::Shutdown);
         }
@@ -894,17 +951,19 @@ fn worker_main(
     vm_profile: bool,
     shared: ServerShared,
     telemetry: Option<ServerTelemetry>,
+    inbox: Option<Arc<Inbox>>,
     ctrl: mpsc::Receiver<Ctrl>,
     boot_tx: mpsc::Sender<Result<UpdaterRemote, String>>,
 ) -> Result<i64, String> {
-    let mut server =
-        match Server::start_full(mode, serve_mode, &src, &version, fs, shared, telemetry) {
-            Ok(s) => s,
-            Err(e) => {
-                let _ = boot_tx.send(Err(e.to_string()));
-                return Err(e.to_string());
-            }
-        };
+    let mut server = match Server::start_routed(
+        mode, serve_mode, &src, &version, fs, shared, telemetry, inbox,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = boot_tx.send(Err(e.to_string()));
+            return Err(e.to_string());
+        }
+    };
     // Fleet workers keep serving their old version when a patch is
     // rejected; the coordinator reads the failure out of the shared log.
     server.updater.strict = false;

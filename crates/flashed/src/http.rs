@@ -1,4 +1,10 @@
-//! Minimal HTTP/1.0 response parsing, used to validate guest output.
+//! Minimal HTTP/1.0 parsing and rendering, both directions.
+//!
+//! Responses are parsed to validate guest output; requests are parsed by
+//! the [`crate::edge`] front door (routing keys come from the request
+//! target) and rendered by load generators. Both parsers reject an empty
+//! header name the same way — a line like `: value` is a peer bug, not
+//! an empty-named header.
 
 /// A parsed response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +25,121 @@ impl Response {
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+
+    /// Renders the response in wire form (status line, headers, blank
+    /// line, body). The reason phrase is derived from the status code.
+    pub fn render(&self) -> String {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        };
+        let mut out = format!("HTTP/1.0 {} {reason}\r\n", self.status);
+        for (name, value) in &self.headers {
+            out.push_str(&format!("{name}: {value}\r\n"));
+        }
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        out
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (e.g. `GET`).
+    pub method: String,
+    /// Request target, query string included (e.g. `/index.html?q=1`).
+    pub target: String,
+    /// Header lines (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (as text).
+    pub body: String,
+}
+
+impl Request {
+    /// A bare `GET` request for `target` (no headers, no body) — the
+    /// shape the workload generator produces.
+    pub fn get(target: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: String::new(),
+        }
+    }
+
+    /// First value of the named header (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target with any query string stripped — the routing key the
+    /// edge's consistent-hash policy feeds, so `/doc?q=1` and `/doc?q=2`
+    /// land on the same worker (cache affinity).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Renders the request in wire form (request line, headers, blank
+    /// line, body). A header-less, body-less request renders as the bare
+    /// request line the guest's parser expects.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} {} HTTP/1.0", self.method, self.target);
+        if !self.headers.is_empty() || !self.body.is_empty() {
+            out.push_str("\r\n");
+            for (name, value) in &self.headers {
+                out.push_str(&format!("{name}: {value}\r\n"));
+            }
+            out.push_str("\r\n");
+            out.push_str(&self.body);
+        }
+        out
+    }
+}
+
+/// Parses a client request string — the mirror of [`parse_response`].
+///
+/// Accepts both a full message (request line, header block, blank line,
+/// body) and the bare request line the workload generator emits.
+/// Returns `None` when the request line or a header is malformed (empty
+/// header names rejected exactly as in [`parse_response`]).
+pub fn parse_request(raw: &str) -> Option<Request> {
+    let (head, body) = match raw.split_once("\r\n\r\n") {
+        Some((head, body)) => (head, body),
+        None => (raw, ""),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.splitn(3, ' ');
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let proto = parts.next()?;
+    if method.is_empty() || target.is_empty() || !proto.starts_with("HTTP/") {
+        return None;
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':')?;
+        let name = name.trim();
+        // A line like ": value" has no header name; that's a client bug,
+        // not an empty-named header.
+        if name.is_empty() {
+            return None;
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Some(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: body.to_string(),
+    })
 }
 
 /// Parses a guest-produced response string.
@@ -88,5 +209,67 @@ mod tests {
     fn body_may_contain_blank_lines() {
         let r = parse_response("HTTP/1.0 200 OK\r\n\r\na\r\n\r\nb").unwrap();
         assert_eq!(r.body, "a\r\n\r\nb");
+    }
+
+    #[test]
+    fn parses_bare_and_full_requests() {
+        // The workload generator's bare request line.
+        let r = parse_request("GET /doc3.html HTTP/1.0").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.target, "/doc3.html");
+        assert_eq!(r.path(), "/doc3.html");
+        assert!(r.headers.is_empty() && r.body.is_empty());
+        // Query strings stay in the target but leave the routing path.
+        let r = parse_request("GET /doc3.html?q=1 HTTP/1.0").unwrap();
+        assert_eq!(r.target, "/doc3.html?q=1");
+        assert_eq!(r.path(), "/doc3.html");
+        // A full message with headers and a body.
+        let r = parse_request("POST /submit HTTP/1.0\r\nHost: a\r\nX-N: 2\r\n\r\npayload").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.header("host"), Some("a"));
+        assert_eq!(r.body, "payload");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("BOGUS").is_none());
+        assert!(parse_request("GET /x").is_none());
+        assert!(parse_request("GET /x NOTHTTP").is_none());
+        assert!(parse_request("GET  HTTP/1.0").is_none());
+        assert!(parse_request("GET /x HTTP/1.0\r\nbadheader\r\n\r\n").is_none());
+        // Empty header names rejected exactly as in parse_response.
+        assert!(parse_request("GET /x HTTP/1.0\r\n: value\r\n\r\n").is_none());
+        assert!(parse_request("GET /x HTTP/1.0\r\n  : value\r\n\r\n").is_none());
+    }
+
+    #[test]
+    fn request_render_round_trips() {
+        let bare = Request::get("/doc.html?q=1");
+        assert_eq!(bare.render(), "GET /doc.html?q=1 HTTP/1.0");
+        assert_eq!(parse_request(&bare.render()).unwrap(), bare);
+        let full = Request {
+            method: "POST".to_string(),
+            target: "/submit".to_string(),
+            headers: vec![("Host".to_string(), "a".to_string())],
+            body: "payload".to_string(),
+        };
+        assert_eq!(parse_request(&full.render()).unwrap(), full);
+    }
+
+    #[test]
+    fn response_render_round_trips() {
+        let resp = Response {
+            status: 503,
+            headers: vec![
+                ("Retry-After".to_string(), "0".to_string()),
+                ("Content-Length".to_string(), "10".to_string()),
+            ],
+            body: "overloaded".to_string(),
+        };
+        let parsed = parse_response(&resp.render()).unwrap();
+        assert_eq!(parsed, resp);
+        assert!(resp
+            .render()
+            .starts_with("HTTP/1.0 503 Service Unavailable"));
     }
 }

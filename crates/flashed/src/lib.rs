@@ -39,6 +39,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod edge;
 pub mod fault;
 pub mod fleet;
 pub mod fs;
@@ -52,13 +53,17 @@ pub mod telemetry;
 pub mod versions;
 pub mod workload;
 
+pub use edge::{
+    AcceptorHandle, Edge, EdgeAdmission, EdgeConfig, EdgeError, HashRing, Inbox, RoutePolicy,
+    Routed,
+};
 pub use fault::FaultPlan;
 pub use fleet::{Fleet, FleetConfig, FleetError, RolloutPolicy, WorkerFailure, WorkerOverride};
 pub use fs::{AsyncFs, BufferCache, ReadCompletion, ReadTicket, SimFs};
 pub use guard::{
     BreachAction, HealthBreach, HealthGate, PauseSlo, RolloutOutcome, RolloutReportCard, StepHealth,
 };
-pub use http::{parse_response, Response};
+pub use http::{parse_request, parse_response, Request, Response};
 pub use patches::patch_stream;
 pub use rng::Rng;
 pub use rollout::{CohortReport, CohortSpec, Orchestrator, OrchestratorReport, RolloutPlan};

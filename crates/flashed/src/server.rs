@@ -37,6 +37,7 @@ use dsu_obs::trace::{Span, SpanKind};
 use tal::{FnSig, Ty};
 use vm::{LinkMode, Process, Value};
 
+use crate::edge::Inbox;
 use crate::fault::FaultPlan;
 use crate::fs::{AsyncFs, ReadTicket, SimFs};
 use crate::telemetry::ServerTelemetry;
@@ -90,6 +91,12 @@ pub struct Completion {
     /// and its response). Zero for the overwhelming majority of requests;
     /// non-zero exactly for requests in flight across an update point.
     pub update_pause: Duration,
+    /// Time the request waited in a routed edge inbox before a worker
+    /// pulled it. Zero when the request arrived through the legacy shared
+    /// queue (arrival instants are only stamped at the edge). End-to-end
+    /// sojourn — what a client of the edge observes — is
+    /// `queue_wait + service`.
+    pub queue_wait: Duration,
     /// Whether this response was matched to a queue pull. A response
     /// without a matching pull (guest answered without calling
     /// `next_request`) carries no meaningful service time and is excluded
@@ -242,6 +249,19 @@ impl ServerShared {
     pub fn elapsed(&self) -> Duration {
         self.started.elapsed()
     }
+
+    /// Pops one request off the ingress queue — the edge acceptor's pull
+    /// side (workers routed through an edge never touch this queue).
+    pub(crate) fn pop_request(&self) -> Option<String> {
+        self.queue.lock().expect("poisoned").pop_front()
+    }
+
+    /// Appends a host-synthesized completion (the edge's 503 shed
+    /// responses). Recorded with `pulled: false` so latency stats skip it
+    /// while drain accounting still counts it.
+    pub(crate) fn push_completion(&self, completion: Completion) {
+        self.completions.lock().expect("poisoned").push(completion);
+    }
 }
 
 /// A request admitted by the event loop, either parked on an in-flight
@@ -259,6 +279,9 @@ struct Admitted {
     submitted: Option<Instant>,
     /// When the read completed and the request left the parked table.
     reaped: Option<Instant>,
+    /// Time the request sat in a routed edge inbox before admission
+    /// (zero for shared-queue arrivals).
+    queue_wait: Duration,
 }
 
 /// One outstanding pull awaiting its response, with the lifecycle
@@ -274,6 +297,9 @@ struct PullRec {
     reaped: Option<Instant>,
     /// When the guest picked the request up (`next_request` returning it).
     guest_at: Instant,
+    /// Time the request sat in a routed edge inbox before its pull
+    /// (zero for shared-queue arrivals).
+    queue_wait: Duration,
 }
 
 /// Host-side state of one event-loop server: the async filesystem, the
@@ -388,6 +414,10 @@ pub struct Server {
     event: Option<Arc<EventState>>,
     /// Pull-id source shared with the `next_request` host closure.
     pull_ids: Arc<AtomicU64>,
+    /// The routed edge inbox this worker pulls from, if fronted by an
+    /// [`Edge`](crate::Edge). A routed worker never touches the shared
+    /// ingress queue — the acceptor is its only producer.
+    inbox: Option<Arc<Inbox>>,
     /// The filesystem handle the guest serves from (shared with the host
     /// closures; content is shared with every clone of the same disk).
     fs: Arc<SimFs>,
@@ -475,6 +505,29 @@ impl Server {
         fs: SimFs,
         shared: ServerShared,
         telemetry: Option<ServerTelemetry>,
+    ) -> Result<Server, BootError> {
+        Server::start_routed(mode, serve_mode, src, version, fs, shared, telemetry, None)
+    }
+
+    /// Like [`Server::start_full`], but pulling from a routed edge
+    /// `inbox` instead of the shared ingress queue. The worker's
+    /// `next_request` path (and the event loop's admission path) drains
+    /// the inbox exclusively; completion timestamps stay on the shared
+    /// clock so routed and shared-queue completion streams merge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BootError`] when the source does not compile or link.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_routed(
+        mode: LinkMode,
+        serve_mode: ServeMode,
+        src: &str,
+        version: &str,
+        fs: SimFs,
+        shared: ServerShared,
+        telemetry: Option<ServerTelemetry>,
+        inbox: Option<Arc<Inbox>>,
     ) -> Result<Server, BootError> {
         let module = popcorn::compile(src, "flashed", version, &popcorn::Interface::new())
             .map_err(BootError::Compile)?;
@@ -590,6 +643,7 @@ impl Server {
             let pull_ids = Arc::clone(&pull_ids);
             let event = event.clone();
             let tel = telemetry.clone();
+            let inbox = inbox.clone();
             proc.register_host(
                 "next_request",
                 FnSig::new(vec![], Ty::Str),
@@ -607,6 +661,7 @@ impl Server {
                                     submitted: r.submitted,
                                     reaped: r.reaped,
                                     guest_at: Instant::now(),
+                                    queue_wait: r.queue_wait,
                                 });
                                 Ok(Value::str(&r.request))
                             }
@@ -614,14 +669,31 @@ impl Server {
                             None => Ok(Value::str("")),
                         };
                     }
-                    let (req, remaining) = {
-                        let mut q = queue.lock().expect("poisoned");
-                        (q.pop_front(), q.len())
+                    // Routed worker: the inbox is the only request
+                    // source — the acceptor owns the shared ingress
+                    // queue, so the per-worker pull path never contends
+                    // on the fleet-wide lock.
+                    let (req, remaining, queue_wait) = match &inbox {
+                        Some(inbox) => match inbox.pop() {
+                            Some(routed) => (
+                                Some(routed.request),
+                                inbox.depth(),
+                                routed.accepted_at.elapsed(),
+                            ),
+                            None => (None, 0, Duration::ZERO),
+                        },
+                        None => {
+                            let mut q = queue.lock().expect("poisoned");
+                            (q.pop_front(), q.len(), Duration::ZERO)
+                        }
                     };
                     match req {
                         Some(req) => {
                             if let Some(tel) = &tel {
                                 tel.record_pull(remaining);
+                                if inbox.is_some() {
+                                    tel.set_edge_depth(remaining);
+                                }
                             }
                             let id = pull_ids.fetch_add(1, Ordering::Relaxed) + 1;
                             let now = Instant::now();
@@ -631,6 +703,7 @@ impl Server {
                                 submitted: None,
                                 reaped: None,
                                 guest_at: now,
+                                queue_wait,
                             });
                             Ok(Value::str(&req))
                         }
@@ -649,7 +722,7 @@ impl Server {
                 FnSig::new(vec![Ty::Str], Ty::Unit),
                 Box::new(move |args| {
                     let rec = outstanding.lock().expect("poisoned").pop_front();
-                    let (service, update_pause, request_id) = match &rec {
+                    let (service, update_pause, queue_wait, request_id) = match &rec {
                         Some(r) => {
                             let raw = r.t0.elapsed();
                             // Suspensions at update points between this
@@ -662,13 +735,16 @@ impl Server {
                                 .filter(|ev| ev.at >= r.t0)
                                 .map(|ev| ev.dur)
                                 .sum();
-                            (raw.saturating_sub(pause), pause, Some(r.id))
+                            (raw.saturating_sub(pause), pause, r.queue_wait, Some(r.id))
                         }
-                        None => (Duration::ZERO, Duration::ZERO, None),
+                        None => (Duration::ZERO, Duration::ZERO, Duration::ZERO, None),
                     };
                     let pulled = request_id.is_some();
                     if let Some(tel) = &tel {
                         tel.record_response(pulled.then_some(service));
+                        if pulled {
+                            tel.record_sojourn(queue_wait + service);
+                        }
                         if let (Some(r), Some(tracer)) = (&rec, tel.tracer()) {
                             if tracer.sample() {
                                 record_request_spans(tracer, tel.worker(), r);
@@ -679,6 +755,7 @@ impl Server {
                         at: started.elapsed(),
                         service,
                         update_pause,
+                        queue_wait,
                         pulled,
                         request_id,
                         response: args[0].as_str().to_string(),
@@ -710,6 +787,7 @@ impl Server {
             pauses_seen: 0,
             event,
             pull_ids,
+            inbox,
             fs,
             fault,
         })
@@ -779,7 +857,11 @@ impl Server {
                     return Err(RunError::Update(e));
                 }
             }
-            if ev.is_idle() && self.shared.queue_len() == 0 {
+            let ingress_empty = match &self.inbox {
+                Some(inbox) => inbox.depth() == 0,
+                None => self.shared.queue_len() == 0,
+            };
+            if ev.is_idle() && ingress_empty {
                 break;
             }
             if !have_ready {
@@ -800,13 +882,28 @@ impl Server {
             if ev.parked.lock().expect("poisoned").len() >= ev.cfg.max_in_flight {
                 return;
             }
-            let (req, remaining) = {
-                let mut q = self.shared.queue.lock().expect("poisoned");
-                (q.pop_front(), q.len())
+            // Routed workers admit from their edge inbox; the shared
+            // ingress queue belongs to the acceptor.
+            let (req, remaining, queue_wait) = match &self.inbox {
+                Some(inbox) => match inbox.pop() {
+                    Some(routed) => (
+                        Some(routed.request),
+                        inbox.depth(),
+                        routed.accepted_at.elapsed(),
+                    ),
+                    None => (None, 0, Duration::ZERO),
+                },
+                None => {
+                    let mut q = self.shared.queue.lock().expect("poisoned");
+                    (q.pop_front(), q.len(), Duration::ZERO)
+                }
             };
             let Some(req) = req else { return };
             if let Some(tel) = &self.telemetry {
                 tel.record_pull(remaining);
+                if self.inbox.is_some() {
+                    tel.set_edge_depth(remaining);
+                }
             }
             let mut entry = Admitted {
                 id: self.pull_ids.fetch_add(1, Ordering::Relaxed) + 1,
@@ -814,6 +911,7 @@ impl Server {
                 pulled_at: Instant::now(),
                 submitted: None,
                 reaped: None,
+                queue_wait,
             };
             match prefetch_path(&entry.request, ev.afs.fs()) {
                 // No device read will happen (400/404): ready now.

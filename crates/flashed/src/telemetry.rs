@@ -36,6 +36,22 @@ pub mod names {
     pub const UPDATE_PAUSE_SECONDS: &str = "flashed_update_pause_seconds";
     /// Requests waiting in the shared queue (gauge, sampled at pulls).
     pub const QUEUE_DEPTH: &str = "flashed_queue_depth";
+    /// Requests waiting in this worker's edge inbox (gauge, written by
+    /// the edge at routing time and by the worker at pulls — the same
+    /// number [`RoutePolicy::LeastLoaded`](crate::RoutePolicy) reads
+    /// live).
+    pub const EDGE_QUEUE_DEPTH: &str = "flashed_edge_queue_depth";
+    /// Requests shed at admission because this worker's inbox was full
+    /// (counter).
+    pub const EDGE_SHED: &str = "flashed_edge_shed_total";
+    /// End-to-end request sojourn: edge admission → response sent, queue
+    /// wait included, update pauses excluded (histogram).
+    pub const SOJOURN_SECONDS: &str = "flashed_request_sojourn_seconds";
+    /// Requests the edge admitted into some worker inbox (coordinator
+    /// counter).
+    pub const EDGE_ADMITTED: &str = "edge_requests_admitted_total";
+    /// Requests the edge shed across all workers (coordinator counter).
+    pub const EDGE_SHED_TOTAL: &str = "edge_requests_shed_total";
     /// Interpreter instructions executed (counter, published at
     /// quiescent boundaries).
     pub const VM_INSTRS: &str = "flashed_vm_instructions_total";
@@ -83,8 +99,11 @@ pub struct ServerTelemetry {
     requests_pulled: Counter,
     responses: Counter,
     service: Histogram,
+    sojourn: Histogram,
     update_pause: Histogram,
     queue_depth: Gauge,
+    edge_depth: Gauge,
+    edge_shed: Counter,
     vm_instrs: Counter,
     vm_update_points: Counter,
     vm_ic_hits: Counter,
@@ -146,10 +165,21 @@ impl ServerTelemetry {
             "update-pause durations (gate wait + apply)",
             &LATENCY_BOUNDS_US,
         );
+        let sojourn = registry.histogram(
+            names::SOJOURN_SECONDS,
+            "end-to-end sojourn: edge admission to response (queue wait included)",
+            &LATENCY_BOUNDS_US,
+        );
         let queue_depth = registry.gauge(
             names::QUEUE_DEPTH,
             "requests waiting in the shared queue (sampled at pulls)",
         );
+        let edge_depth = registry.gauge(
+            names::EDGE_QUEUE_DEPTH,
+            "requests waiting in this worker's edge inbox",
+        );
+        let edge_shed =
+            registry.counter(names::EDGE_SHED, "requests shed at admission (inbox full)");
         let vm_instrs = registry.counter(
             names::VM_INSTRS,
             "interpreter instructions executed (published at quiescent boundaries)",
@@ -202,8 +232,11 @@ impl ServerTelemetry {
             requests_pulled,
             responses,
             service,
+            sojourn,
             update_pause,
             queue_depth,
+            edge_depth,
+            edge_shed,
             vm_instrs,
             vm_update_points,
             vm_ic_hits,
@@ -275,9 +308,42 @@ impl ServerTelemetry {
         &self.update_pause
     }
 
+    /// The end-to-end sojourn histogram (edge admission → response).
+    pub fn sojourn_histogram(&self) -> &Histogram {
+        &self.sojourn
+    }
+
     pub(crate) fn record_pull(&self, queue_remaining: usize) {
         self.requests_pulled.inc();
         self.queue_depth.set(queue_remaining as i64);
+    }
+
+    /// Publishes this worker's live edge-inbox depth. Written by the
+    /// edge at routing time and by the worker at pulls, so the gauge
+    /// tracks the same number LeastLoaded routing reads.
+    pub(crate) fn set_edge_depth(&self, depth: usize) {
+        self.edge_depth.set(depth as i64);
+    }
+
+    /// Counts one request shed at admission because this worker's inbox
+    /// was full. Recorded immediately — a load generator polling the
+    /// scrape mid-run must see sheds as they happen.
+    pub(crate) fn record_edge_shed(&self) {
+        self.edge_shed.inc();
+    }
+
+    pub(crate) fn record_sojourn(&self, dur: Duration) {
+        self.sojourn.observe(dur);
+    }
+
+    /// Requests shed at this worker's inbox so far.
+    pub fn edge_sheds(&self) -> u64 {
+        self.edge_shed.get()
+    }
+
+    /// Last published edge-inbox depth for this worker.
+    pub fn edge_depth(&self) -> i64 {
+        self.edge_depth.get()
     }
 
     pub(crate) fn record_response(&self, service: Option<Duration>) {
@@ -348,6 +414,8 @@ pub struct FleetTelemetry {
     workers: Vec<ServerTelemetry>,
     version_skew: Gauge,
     rollouts: Counter,
+    edge_admitted: Counter,
+    edge_shed: Counter,
     tracer: Option<Tracer>,
 }
 
@@ -402,6 +470,14 @@ impl FleetTelemetry {
             "distinct versions live across the fleet, minus one",
         );
         let rollouts = coordinator.counter(names::ROLLOUTS, "rollouts started");
+        let edge_admitted = coordinator.counter(
+            names::EDGE_ADMITTED,
+            "requests the edge admitted into a worker inbox",
+        );
+        let edge_shed = coordinator.counter(
+            names::EDGE_SHED_TOTAL,
+            "requests the edge shed across all workers",
+        );
         coordinator
             .gauge(names::WORKERS, "fleet size")
             .set(n as i64);
@@ -420,6 +496,8 @@ impl FleetTelemetry {
             workers,
             version_skew,
             rollouts,
+            edge_admitted,
+            edge_shed,
             tracer,
         }
     }
@@ -491,6 +569,24 @@ impl FleetTelemetry {
 
     pub(crate) fn record_rollout_start(&self) {
         self.rollouts.inc();
+    }
+
+    pub(crate) fn record_edge_admitted(&self) {
+        self.edge_admitted.inc();
+    }
+
+    pub(crate) fn record_edge_shed_total(&self) {
+        self.edge_shed.inc();
+    }
+
+    /// Requests the edge admitted into some worker inbox so far.
+    pub fn edge_admitted(&self) -> u64 {
+        self.edge_admitted.get()
+    }
+
+    /// Requests the edge shed (all workers) so far.
+    pub fn edge_shed(&self) -> u64 {
+        self.edge_shed.get()
     }
 }
 

@@ -196,15 +196,28 @@ fn fleet_errors_are_typed_and_displayed() {
     }
     assert!(err.to_string().starts_with("worker 0:"), "{err}");
 
-    // The other variants render their context.
-    let e = FleetError::DrainTimeout {
-        queued: 3,
+    // The other variants render their context. A sharded-queue stall
+    // attributes its backlog per worker; a shared-queue stall reports
+    // ingress alone.
+    let e = FleetError::QueueStall {
+        ingress: 3,
+        per_worker: vec![0, 4, 1],
         completed: 7,
         expected: 10,
     };
     assert_eq!(
         e.to_string(),
-        "fleet did not drain: 3 queued, 7/10 completed"
+        "fleet did not drain: 3 ingress + [0, 4, 1] per-worker queued, 7/10 completed"
+    );
+    let e = FleetError::QueueStall {
+        ingress: 3,
+        per_worker: Vec::new(),
+        completed: 7,
+        expected: 10,
+    };
+    assert_eq!(
+        e.to_string(),
+        "fleet did not drain: 3 ingress, 7/10 completed"
     );
     let e = FleetError::RolloutStalled { worker: 2 };
     assert_eq!(e.to_string(), "worker 2 did not reach an update boundary");

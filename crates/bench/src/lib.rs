@@ -22,4 +22,7 @@ pub mod loadgen;
 pub mod measure;
 
 pub use kernels::{boot_kernel, kernels, run_kernel, Kernel};
-pub use loadgen::{observe_sojourns, sojourn_stats, ClosedLoop, GenReport, OpenLoop, SojournStats};
+pub use loadgen::{
+    decorrelated_backoff, observe_sojourns, sojourn_stats, ClosedLoop, GenReport, OpenLoop,
+    SojournStats,
+};

@@ -158,12 +158,35 @@ impl OpenLoop {
             report.offered += 1;
             match edge.submit(next_req()) {
                 Ok(_) => report.admitted += 1,
-                Err(EdgeError::Overloaded { .. }) => report.shed += 1,
+                Err(EdgeError::Overloaded { .. } | EdgeError::Unavailable) => report.shed += 1,
             }
         }
         report.elapsed = t0.elapsed();
         report
     }
+}
+
+/// One decorrelated-jitter backoff draw (the AWS "decorrelated jitter"
+/// schedule): uniform in `[base, prev * 3]`, clamped to `cap`. Feeding
+/// each draw back as the next `prev` grows the *expected* delay
+/// geometrically while keeping every draw randomized — two clients shed
+/// by the same 503 wave spread out instead of retrying in lockstep.
+pub fn decorrelated_backoff(
+    rng: &mut Rng,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+) -> Duration {
+    let cap = cap.max(base);
+    let lo = base.as_nanos().min(u64::MAX as u128) as u64;
+    let hi = prev
+        .saturating_mul(3)
+        .min(cap)
+        .max(base)
+        .as_nanos()
+        .min(u64::MAX as u128) as u64;
+    let span = hi.saturating_sub(lo);
+    Duration::from_nanos(lo + (rng.gen_f64() * span as f64) as u64)
 }
 
 /// A closed-loop (concurrency-driven) generator: at most `clients`
@@ -174,21 +197,42 @@ pub struct ClosedLoop {
     pub clients: usize,
     /// Total requests to complete.
     pub requests: usize,
-    /// How long a client backs off after a shed before retrying.
+    /// Minimum backoff after a shed. The *effective* floor is this
+    /// value or the edge's `Retry-After` hint, whichever is larger;
+    /// actual delays are decorrelated-jitter draws from there up to
+    /// [`ClosedLoop::backoff_cap`].
     pub backoff: Duration,
+    /// Ceiling the jittered backoff saturates at (clamped up to the
+    /// floor when configured smaller).
+    pub backoff_cap: Duration,
+    /// Seed for the jitter draws — distinct clients should use distinct
+    /// seeds so their retries decorrelate.
+    pub seed: u64,
 }
 
 impl ClosedLoop {
+    /// The backoff floor this generator would actually use against
+    /// `edge`: the configured base, floored at the edge's synthesized
+    /// `Retry-After` hint.
+    pub fn backoff_floor(&self, edge: &Edge) -> Duration {
+        self.backoff.max(edge.retry_after_hint())
+    }
+
     /// Drives the window: submit while fewer than `clients` requests are
     /// outstanding, poll `shared` for completions, back off and retry on
-    /// a shed. Returns once every request has been admitted and its
-    /// completion observed.
+    /// a shed — honoring the edge's 503 `Retry-After` hint as the floor
+    /// and spreading retries with decorrelated jitter. Returns once
+    /// every request has been admitted and its completion observed.
     pub fn run<F>(&self, edge: &Edge, shared: &ServerShared, mut next_req: F) -> GenReport
     where
         F: FnMut() -> String,
     {
         assert!(self.clients > 0, "closed loop needs at least one client");
         let base = shared.completions_len();
+        let floor = self.backoff_floor(edge);
+        let cap = self.backoff_cap.max(floor);
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let mut prev = floor;
         let mut report = GenReport::default();
         let t0 = Instant::now();
         // Completions expected so far: every admission produces exactly
@@ -209,12 +253,15 @@ impl ClosedLoop {
                 Ok(_) => {
                     report.admitted += 1;
                     report.offered += 1;
+                    prev = floor;
                 }
-                Err(EdgeError::Overloaded { .. }) => {
-                    // Backpressure: hold the request, yield, try again.
+                Err(EdgeError::Overloaded { .. } | EdgeError::Unavailable) => {
+                    // Backpressure: hold the request, back off (jittered,
+                    // Retry-After-floored), try again.
                     report.shed += 1;
                     pending = Some(req);
-                    std::thread::sleep(self.backoff);
+                    prev = decorrelated_backoff(&mut rng, floor, cap, prev);
+                    std::thread::sleep(prev);
                 }
             }
         }
@@ -282,6 +329,73 @@ mod tests {
         // The schedule is seeded: a second identical run offers at the
         // same pace (same total gap, within scheduling noise).
         assert!(report.offered_rps() > 0.0);
+    }
+
+    #[test]
+    fn decorrelated_backoff_stays_bounded_and_grows() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(50);
+        let mut rng = Rng::seed_from_u64(3);
+        let mut prev = base;
+        for _ in 0..64 {
+            prev = decorrelated_backoff(&mut rng, base, cap, prev);
+            assert!(prev >= base, "draw {prev:?} under the floor");
+            assert!(prev <= cap, "draw {prev:?} over the cap");
+        }
+        // A cap below the base clamps up, never panics.
+        let d = decorrelated_backoff(&mut rng, base, Duration::ZERO, base);
+        assert_eq!(d, base);
+    }
+
+    #[test]
+    fn backoff_draws_decorrelate_across_seeds() {
+        // Two clients shed by the same wave must not retry in lockstep:
+        // distinct seeds produce distinct backoff schedules.
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(50);
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut prev = base;
+            (0..16)
+                .map(|_| {
+                    prev = decorrelated_backoff(&mut rng, base, cap, prev);
+                    prev
+                })
+                .collect()
+        };
+        let a = schedule(1);
+        let b = schedule(2);
+        assert_ne!(a, b, "seeds 1 and 2 drew identical backoff schedules");
+        // Deterministic per seed (reproducible benches).
+        assert_eq!(a, schedule(1));
+        // And not a constant schedule — the jitter actually jitters.
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "schedule never varied");
+    }
+
+    #[test]
+    fn closed_loop_floors_backoff_at_the_retry_after_hint() {
+        let edge = Edge::new(
+            1,
+            &EdgeConfig::new(RoutePolicy::RoundRobin)
+                .queue_capacity(1)
+                .retry_after_hint(Duration::from_millis(5)),
+            ServerShared::new(),
+            None,
+        );
+        let gen = ClosedLoop {
+            clients: 1,
+            requests: 1,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            seed: 9,
+        };
+        assert_eq!(gen.backoff_floor(&edge), Duration::from_millis(5));
+        // A base above the hint wins instead.
+        let gen = ClosedLoop {
+            backoff: Duration::from_millis(8),
+            ..gen
+        };
+        assert_eq!(gen.backoff_floor(&edge), Duration::from_millis(8));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! Any failure rolls the process back to its pre-update bindings via a
 //! snapshot; a rejected update is a no-op.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -25,6 +26,36 @@ use vm::{LinkOverrides, Process, ProcessTypes, Value};
 use crate::compat;
 use crate::patch::Patch;
 use crate::report::{PhaseTimings, UpdateError, UpdateReport};
+
+/// A per-thread apply-phase observer; see [`set_phase_probe`].
+type PhaseProbe = Box<dyn FnMut(&'static str)>;
+
+thread_local! {
+    /// Per-thread observer fired at the start of each apply phase; see
+    /// [`set_phase_probe`].
+    static PHASE_PROBE: RefCell<Option<PhaseProbe>> = const { RefCell::new(None) };
+}
+
+/// Installs (or clears, with `None`) a thread-local probe invoked with the
+/// phase name at the *start* of each apply-pipeline phase (`verify`,
+/// `compat`, `link`, `bind`, `init`, `transform`) on this thread.
+///
+/// The probe exists for fault injection and fine-grained instrumentation:
+/// a harness can stall or panic at an exact point inside the update pause
+/// (e.g. mid-transform) without the pipeline carrying test-only hooks.
+/// Probes are per-thread, so a fleet can arm one worker while its siblings
+/// apply patches unperturbed.
+pub fn set_phase_probe(probe: Option<PhaseProbe>) {
+    PHASE_PROBE.with(|p| *p.borrow_mut() = probe);
+}
+
+fn probe_phase(name: &'static str) {
+    PHASE_PROBE.with(|p| {
+        if let Some(f) = p.borrow_mut().as_mut() {
+            f(name);
+        }
+    });
+}
 
 /// When state transformers run relative to the update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,6 +165,7 @@ pub fn apply_patch_spanned(
     }
 
     // Phase 1: verify.
+    probe_phase("verify");
     let t = Instant::now();
     if policy.verify {
         tal::verify_module(&patch.module, &ProcessTypes(proc))?;
@@ -144,6 +176,7 @@ pub fn apply_patch_spanned(
     }
 
     // Phase 2: compatibility.
+    probe_phase("compat");
     let t = Instant::now();
     compat::check(proc, patch)?;
     timings.compat = t.elapsed();
@@ -192,6 +225,7 @@ fn apply_linked(
     let m = &patch.manifest;
 
     // Phase 3: link.
+    probe_phase("link");
     let t = Instant::now();
     let mut ov = LinkOverrides::default();
     // Aliases resolve to the old registrations.
@@ -224,6 +258,7 @@ fn apply_linked(
     }
 
     // Phase 4: bind — the atomic flip.
+    probe_phase("bind");
     let t = Instant::now();
     for (name, id) in &planned {
         proc.bind_function(name, *id);
@@ -242,6 +277,7 @@ fn apply_linked(
     // Phase 4b: new-global initialisers run in the new code world. They
     // get their own timing bucket so Table 2's pause breakdown does not
     // charge initialisation to state transformation.
+    probe_phase("init");
     let t = Instant::now();
     for gname in &m.new_globals {
         let gdef = patch.module.global(gname).expect("compat checked");
@@ -264,6 +300,7 @@ fn apply_linked(
     }
 
     // Phase 5: transform.
+    probe_phase("transform");
     let t = Instant::now();
     let transformed = match policy.transform {
         TransformTiming::Eager => {

@@ -59,7 +59,9 @@ pub mod rollback;
 pub mod runtime;
 pub mod version;
 
-pub use apply::{apply_patch, apply_patch_spanned, PhaseSpanLog, TransformTiming, UpdatePolicy};
+pub use apply::{
+    apply_patch, apply_patch_spanned, set_phase_probe, PhaseSpanLog, TransformTiming, UpdatePolicy,
+};
 pub use iface::interface_of;
 pub use patch::{compile_patch, Manifest, Patch, Transformer, TypeAlias};
 pub use patch_io::{load_patch, save_patch, PatchIoError};
@@ -69,7 +71,9 @@ pub use patchgen::{
 };
 pub use report::{FailedUpdate, FleetUpdateReport, PhaseTimings, UpdateError, UpdateReport};
 pub use rollback::{SnapshotEntry, SnapshotRing, DEFAULT_SNAPSHOT_DEPTH};
-pub use runtime::{DrainHook, Gate, PauseEvent, PauseLog, RunError, Updater, UpdaterRemote};
+pub use runtime::{
+    decode_worker_state, DrainHook, Gate, PauseEvent, PauseLog, RunError, Updater, UpdaterRemote,
+};
 pub use version::VersionManager;
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! multi-worker rollouts.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -151,6 +152,12 @@ impl From<Trap> for RunError {
 pub struct Updater {
     policy: UpdatePolicy,
     pending: Arc<Mutex<VecDeque<QueuedOp>>>,
+    /// Ops popped off `pending` whose outcome (report or failure) is not
+    /// published yet — i.e. mid-apply. Shared with remotes and counted
+    /// into [`Updater::pending_count`], so a coordinator polling
+    /// "pending == 0 and the counts moved" can never observe the window
+    /// where an op is out of the queue but its result is invisible.
+    in_flight: Arc<AtomicUsize>,
     log: Arc<Mutex<Vec<UpdateReport>>>,
     /// Failures of patches that did not apply (the run continues), with
     /// version-transition and failing-phase context attached.
@@ -170,6 +177,13 @@ pub struct Updater {
     /// sync on every ring mutation and shared with remotes so a
     /// coordinator can see what a snapshot rollback would undo.
     transitions: Arc<Mutex<Vec<(String, String)>>>,
+    /// Net forward patch path from the boot version to the current
+    /// version: every successful forward apply pushes its patch, every
+    /// successful rollback (inverse patch or snapshot restore) pops the
+    /// hop it undoes. Unlike the bounded snapshot ring this is the whole
+    /// path, so a supervisor can rebuild a crashed worker from source by
+    /// replaying it (see [`Updater::save_worker_state`]).
+    chain: Vec<Patch>,
     /// Lifecycle-event destination, shared with remotes (None = tracing
     /// off, the default — enqueues and applies cost nothing extra).
     trace: Arc<Mutex<Option<Trace>>>,
@@ -325,9 +339,11 @@ impl Updater {
         self.transitions.lock().expect("poisoned").clone()
     }
 
-    /// Number of patches waiting to be applied.
+    /// Number of operations not yet fully applied: queued patches plus
+    /// the op currently mid-apply, if any. Zero means every submitted
+    /// op's outcome is visible in [`Updater::log`] / [`Updater::failures`].
     pub fn pending_count(&self) -> usize {
-        self.pending.lock().expect("poisoned").len()
+        self.pending.lock().expect("poisoned").len() + self.in_flight.load(Ordering::SeqCst)
     }
 
     /// Serializes the updater's crash-durable state — the snapshot ring
@@ -439,6 +455,40 @@ impl Updater {
         Ok(n)
     }
 
+    /// The `(from, to)` hops of the replay chain (boot version → current
+    /// version), oldest first. Empty when the process still runs the
+    /// version it booted with.
+    pub fn chain_transitions(&self) -> Vec<(String, String)> {
+        self.chain
+            .iter()
+            .map(|p| (p.from_version.clone(), p.to_version.clone()))
+            .collect()
+    }
+
+    /// Serializes everything a supervisor needs to rebuild this worker
+    /// after a crash: the replay chain (patches from the boot version to
+    /// the current version) plus [`Updater::save_state`]'s crash-durable
+    /// block (snapshot ring + still-pending ops). A restarted worker
+    /// re-applies the chain to get back to its pre-crash version, then
+    /// installs the saved ring/pending state over the replayed updater
+    /// (see [`decode_worker_state`]).
+    pub fn save_worker_state(&self) -> String {
+        let mut out = String::from("dsu-worker-state 1\n");
+        out.push_str(&format!("chain {}\n", self.chain.len()));
+        for p in &self.chain {
+            let text = crate::patch_io::save_patch(p);
+            out.push_str(&format!("patch {}\n", text.len()));
+            out.push_str(&text);
+            if !text.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        let inner = self.save_state();
+        out.push_str(&format!("state {}\n", inner.len()));
+        out.push_str(&inner);
+        out
+    }
+
     /// Reports of every successfully applied update, oldest first.
     pub fn log(&self) -> Vec<UpdateReport> {
         self.log.lock().expect("poisoned").clone()
@@ -466,6 +516,7 @@ impl Updater {
     pub fn remote(&self, proc: &Process) -> UpdaterRemote {
         UpdaterRemote {
             pending: Arc::clone(&self.pending),
+            in_flight: Arc::clone(&self.in_flight),
             log: Arc::clone(&self.log),
             failures: Arc::clone(&self.failures),
             pauses: Arc::clone(&self.pauses),
@@ -584,73 +635,104 @@ impl Updater {
         loop {
             let queued = self.pending.lock().expect("poisoned").pop_front();
             let Some(queued) = queued else { break };
+            // The op is out of the queue but its outcome is not published
+            // yet: keep it counted in `pending_count` until the end of
+            // this iteration, after the report or failure lands. The
+            // guard also covers the panic path — the count drops during
+            // unwind, after the `Aborted` lifecycle is recorded.
+            let _in_flight = InFlightGuard::arm(&self.in_flight);
             let op_began = Instant::now();
             let mut phase_log = span_ctx.as_ref().map(|_| PhaseSpanLog::default());
-            let result = match &queued.kind {
-                OpKind::Apply { patch, rollback } => {
-                    // The pre-update snapshot feeding the rollback ring.
-                    // Forward applies record it on success; rollbacks
-                    // retire the entry they undo instead.
-                    let ring_snap = if *rollback {
-                        None
-                    } else {
-                        let depth = self.snapshots.lock().expect("poisoned").depth();
-                        (depth > 0).then(|| proc.snapshot())
-                    };
-                    match apply_patch_spanned(proc, patch, self.policy, phase_log.as_mut()) {
-                        Ok(mut report) => {
-                            report.rolled_back = *rollback;
-                            let mut ring = self.snapshots.lock().expect("poisoned");
-                            match ring_snap {
-                                Some(snap) => {
-                                    ring.push(&patch.from_version, &patch.to_version, snap);
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &queued.kind {
+                    OpKind::Apply { patch, rollback } => {
+                        // The pre-update snapshot feeding the rollback ring.
+                        // Forward applies record it on success; rollbacks
+                        // retire the entry they undo instead.
+                        let ring_snap = if *rollback {
+                            None
+                        } else {
+                            let depth = self.snapshots.lock().expect("poisoned").depth();
+                            (depth > 0).then(|| proc.snapshot())
+                        };
+                        match apply_patch_spanned(proc, patch, self.policy, phase_log.as_mut()) {
+                            Ok(mut report) => {
+                                report.rolled_back = *rollback;
+                                let mut ring = self.snapshots.lock().expect("poisoned");
+                                match ring_snap {
+                                    Some(snap) => {
+                                        ring.push(&patch.from_version, &patch.to_version, snap);
+                                    }
+                                    None => ring.retire_undone(&patch.from_version),
                                 }
-                                None => ring.retire_undone(&patch.from_version),
+                                *self.transitions.lock().expect("poisoned") = ring.transitions();
+                                Ok(report)
                             }
+                            Err(e) => Err(e),
+                        }
+                    }
+                    OpKind::Restore { .. } => {
+                        // A snapshot restore is pure rebinding: the whole
+                        // pause is charged to `bind`, the atomic-flip phase.
+                        let t = Instant::now();
+                        let entry = {
+                            let mut ring = self.snapshots.lock().expect("poisoned");
+                            let entry = ring.pop();
                             *self.transitions.lock().expect("poisoned") = ring.transitions();
-                            Ok(report)
-                        }
-                        Err(e) => Err(e),
-                    }
-                }
-                OpKind::Restore { .. } => {
-                    // A snapshot restore is pure rebinding: the whole
-                    // pause is charged to `bind`, the atomic-flip phase.
-                    let t = Instant::now();
-                    let entry = {
-                        let mut ring = self.snapshots.lock().expect("poisoned");
-                        let entry = ring.pop();
-                        *self.transitions.lock().expect("poisoned") = ring.transitions();
-                        entry
-                    };
-                    match entry {
-                        None => Err(UpdateError::NoSnapshot),
-                        Some(entry) => {
-                            let heap_before = proc.heap_size();
-                            proc.restore(entry.snapshot);
-                            let timings = PhaseTimings {
-                                bind: t.elapsed(),
-                                ..PhaseTimings::default()
-                            };
-                            if let Some(log) = phase_log.as_mut() {
-                                log.push("bind", t, timings.bind);
+                            entry
+                        };
+                        match entry {
+                            None => Err(UpdateError::NoSnapshot),
+                            Some(entry) => {
+                                let heap_before = proc.heap_size();
+                                proc.restore(entry.snapshot);
+                                let timings = PhaseTimings {
+                                    bind: t.elapsed(),
+                                    ..PhaseTimings::default()
+                                };
+                                if let Some(log) = phase_log.as_mut() {
+                                    log.push("bind", t, timings.bind);
+                                }
+                                Ok(UpdateReport {
+                                    from_version: entry.to_version,
+                                    to_version: entry.from_version,
+                                    timings,
+                                    functions_replaced: 0,
+                                    functions_added: 0,
+                                    functions_removed: 0,
+                                    types_changed: 0,
+                                    globals_transformed: 0,
+                                    patch_bytes: 0,
+                                    heap_before,
+                                    heap_after: proc.heap_size(),
+                                    rolled_back: true,
+                                })
                             }
-                            Ok(UpdateReport {
-                                from_version: entry.to_version,
-                                to_version: entry.from_version,
-                                timings,
-                                functions_replaced: 0,
-                                functions_added: 0,
-                                functions_removed: 0,
-                                types_changed: 0,
-                                globals_transformed: 0,
-                                patch_bytes: 0,
-                                heap_before,
-                                heap_after: proc.heap_size(),
-                                rolled_back: true,
-                            })
                         }
                     }
+                }));
+            let result = match outcome {
+                Ok(r) => r,
+                Err(payload) => {
+                    // A panic mid-apply (crash injection, or a genuine
+                    // bug) is about to kill this thread. The journal must
+                    // not be left with a dangling open lifecycle, so
+                    // close the in-flight op with `Aborted` first, then
+                    // let the panic keep unwinding to the worker
+                    // boundary — the supervisor sees a dead thread, the
+                    // journal sees a closed lifecycle.
+                    if let Some(t) = &trace {
+                        t.journal.record(
+                            t.worker,
+                            queued.update,
+                            queued.version_from(),
+                            queued.version_to(),
+                            Stage::Aborted,
+                            None,
+                            Some(&format!("crashed: {}", panic_detail(payload.as_ref()))),
+                        );
+                    }
+                    std::panic::resume_unwind(payload);
                 }
             };
             match result {
@@ -658,6 +740,7 @@ impl Updater {
                     // The quiescence wait is charged once, to the first
                     // patch this pause applies.
                     report.timings.drain += std::mem::take(&mut drain_dur);
+                    self.record_chain_hop(&queued.kind, &report);
                     let link = span_ctx.as_mut().map(|ctx| {
                         record_update_spans(
                             ctx,
@@ -698,6 +781,22 @@ impl Updater {
         Ok(applied)
     }
 
+    /// Mirrors a successful op into the replay chain: forward applies
+    /// push their patch; rollbacks (inverse patch or snapshot restore)
+    /// pop the hop they undo when it is the chain tip.
+    fn record_chain_hop(&mut self, kind: &OpKind, report: &UpdateReport) {
+        if report.rolled_back {
+            let undoes_tip = self.chain.last().is_some_and(|p| {
+                p.to_version == report.from_version && p.from_version == report.to_version
+            });
+            if undoes_tip {
+                self.chain.pop();
+            }
+        } else if let OpKind::Apply { patch, .. } = kind {
+            self.chain.push((**patch).clone());
+        }
+    }
+
     /// Runs `entry(args)` to completion, applying queued patches whenever
     /// the guest suspends at an update point.
     ///
@@ -728,6 +827,84 @@ impl Updater {
             }
         }
     }
+}
+
+/// Holds one mid-apply op inside [`Updater::pending_count`] from its pop
+/// off the queue until its outcome is published (normally, on an early
+/// strict-mode return, or during a panic unwind alike).
+struct InFlightGuard(Arc<AtomicUsize>);
+
+impl InFlightGuard {
+    fn arm(count: &Arc<AtomicUsize>) -> InFlightGuard {
+        count.fetch_add(1, Ordering::SeqCst);
+        InFlightGuard(Arc::clone(count))
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Best human-readable rendering of a panic payload (`&str` and `String`
+/// payloads verbatim; anything else a generic note).
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked mid-apply".to_string()
+    }
+}
+
+/// Splits a [`Updater::save_worker_state`] blob into the replay chain
+/// (patches, oldest first) and the inner [`Updater::save_state`] block.
+/// The caller replays the chain through the ordinary pipeline (each hop a
+/// normal journaled lifecycle) and then feeds the inner block to
+/// [`Updater::load_state`], which installs the *pre-crash* snapshot ring
+/// over the replay's and re-queues any ops the crash interrupted.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed section.
+pub fn decode_worker_state(text: &str) -> Result<(Vec<Patch>, String), String> {
+    let rest = text
+        .strip_prefix("dsu-worker-state 1\n")
+        .ok_or("bad worker-state header")?;
+    let (line, mut rest) = rest.split_once('\n').ok_or("missing chain section")?;
+    let n: usize = line
+        .strip_prefix("chain ")
+        .ok_or("missing chain section")?
+        .parse()
+        .map_err(|e| format!("bad chain count: {e}"))?;
+    let mut chain = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (pline, body) = rest.split_once('\n').ok_or("truncated patch line")?;
+        let len: usize = pline
+            .strip_prefix("patch ")
+            .ok_or("missing patch line")?
+            .parse()
+            .map_err(|e| format!("bad patch length: {e}"))?;
+        if body.len() < len {
+            return Err("truncated patch body".to_string());
+        }
+        let patch = crate::patch_io::load_patch(&body[..len]).map_err(|e| e.to_string())?;
+        let tail = &body[len..];
+        rest = tail.strip_prefix('\n').unwrap_or(tail);
+        chain.push(patch);
+    }
+    let (sline, rest) = rest.split_once('\n').ok_or("missing state section")?;
+    let len: usize = sline
+        .strip_prefix("state ")
+        .ok_or("missing state section")?
+        .parse()
+        .map_err(|e| format!("bad state length: {e}"))?;
+    if rest.len() < len {
+        return Err("truncated state section".to_string());
+    }
+    Ok((chain, rest[..len].to_string()))
 }
 
 /// Queues an operation, assigning it a journal lifecycle id and emitting
@@ -971,6 +1148,7 @@ fn emit_aborted(t: &Trace, queued: &QueuedOp, error: &UpdateError) {
 #[derive(Clone)]
 pub struct UpdaterRemote {
     pending: Arc<Mutex<VecDeque<QueuedOp>>>,
+    in_flight: Arc<AtomicUsize>,
     log: Arc<Mutex<Vec<UpdateReport>>>,
     failures: Arc<Mutex<Vec<FailedUpdate>>>,
     pauses: PauseLog,
@@ -1083,9 +1261,13 @@ impl UpdaterRemote {
         *self.span_parent.lock().expect("poisoned") = None;
     }
 
-    /// Patches still waiting to be applied.
+    /// Operations not yet fully applied: queued patches plus the op
+    /// currently mid-apply, if any. Zero means every submitted op's
+    /// outcome is visible through [`UpdaterRemote::reports`] /
+    /// [`UpdaterRemote::failures`] — the invariant coordinators lean on
+    /// when they poll "counts moved and nothing pending".
     pub fn pending_count(&self) -> usize {
-        self.pending.lock().expect("poisoned").len()
+        self.pending.lock().expect("poisoned").len() + self.in_flight.load(Ordering::SeqCst)
     }
 
     /// Successful applies so far.

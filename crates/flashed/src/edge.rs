@@ -78,6 +78,9 @@ pub enum EdgeError {
         /// The inbox capacity.
         capacity: usize,
     },
+    /// Every worker was down (see [`Edge::mark_down`]); no inbox could
+    /// accept the request. Shed like an overflow.
+    Unavailable,
 }
 
 impl fmt::Display for EdgeError {
@@ -88,6 +91,7 @@ impl fmt::Display for EdgeError {
                 depth,
                 capacity,
             } => write!(f, "worker {worker} overloaded: inbox at {depth}/{capacity}"),
+            EdgeError::Unavailable => write!(f, "every worker is down"),
         }
     }
 }
@@ -110,6 +114,10 @@ pub struct EdgeConfig {
     /// smooth the key distribution; 64 keeps the worst worker within a
     /// few percent of fair share.
     pub vnodes: usize,
+    /// The `Retry-After` hint rendered (in milliseconds) on synthesized
+    /// 503s — how long the edge suggests a shed client wait before
+    /// retrying. Closed-loop generators floor their backoff at it.
+    pub retry_after_hint: Duration,
 }
 
 impl Default for EdgeConfig {
@@ -119,6 +127,7 @@ impl Default for EdgeConfig {
             queue_capacity: 1024,
             shed_responses: true,
             vnodes: 64,
+            retry_after_hint: Duration::ZERO,
         }
     }
 }
@@ -145,6 +154,12 @@ impl EdgeConfig {
     /// Enables or disables synthesized 503 responses on shed.
     pub fn shed_responses(mut self, on: bool) -> EdgeConfig {
         self.shed_responses = on;
+        self
+    }
+
+    /// Sets the `Retry-After` hint synthesized 503s carry.
+    pub fn retry_after_hint(mut self, hint: Duration) -> EdgeConfig {
+        self.retry_after_hint = hint;
         self
     }
 }
@@ -294,6 +309,26 @@ impl HashRing {
         let idx = self.points.partition_point(|(p, _)| *p < h);
         self.points[idx % self.points.len()].1
     }
+
+    /// The first worker at or after `key`'s hash for which `alive` holds
+    /// — consistent-hash failover. While a worker is down its keys land
+    /// on their ring *successors* (each vnode fails over independently,
+    /// so the dead worker's load spreads rather than piling onto one
+    /// neighbour); because the ring itself never changes, recovery
+    /// restores the original ownership exactly. `None` when nothing is
+    /// alive.
+    pub fn pick_with<F: Fn(usize) -> bool>(&self, key: &str, alive: F) -> Option<usize> {
+        let h = hash_key(key);
+        let start = self.points.partition_point(|(p, _)| *p < h);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, w) = self.points[(start + i) % n];
+            if alive(w) {
+                return Some(w);
+            }
+        }
+        None
+    }
 }
 
 /// The routing key for a raw request: its query-stripped path (the same
@@ -326,8 +361,16 @@ pub struct Edge {
     rr: AtomicUsize,
     shared: ServerShared,
     shed_responses: bool,
+    retry_after: Duration,
     admitted: AtomicU64,
     shed: AtomicU64,
+    /// Per-worker liveness, flipped by the fleet supervisor: routing
+    /// skips dead workers (consistent-hash keys fail over to their ring
+    /// successors) until [`Edge::mark_up`] restores them.
+    alive: Vec<AtomicBool>,
+    /// Down transitions handled (each drains the dead worker's inbox
+    /// back through the router).
+    failovers: AtomicU64,
     telemetry: Option<Arc<FleetTelemetry>>,
 }
 
@@ -362,8 +405,11 @@ impl Edge {
             rr: AtomicUsize::new(0),
             shared,
             shed_responses: cfg.shed_responses,
+            retry_after: cfg.retry_after_hint,
             admitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            alive: (0..workers).map(|_| AtomicBool::new(true)).collect(),
+            failovers: AtomicU64::new(0),
             telemetry,
         }
     }
@@ -383,20 +429,40 @@ impl Edge {
         self.policy
     }
 
-    /// The worker `request` would route to right now (no enqueue). For
-    /// LeastLoaded this reads the live depths, so the answer can change
-    /// between calls.
+    /// The worker `request` would route to right now (no enqueue),
+    /// skipping dead workers. For LeastLoaded this reads the live
+    /// depths, so the answer can change between calls. When every worker
+    /// is down this falls back to the liveness-blind pick (a preview
+    /// must still answer something).
     pub fn route(&self, request: &str) -> usize {
+        self.route_live(request)
+            .unwrap_or_else(|| match self.policy {
+                RoutePolicy::ConsistentHash => self.ring.pick(route_key(request)),
+                RoutePolicy::LeastLoaded | RoutePolicy::RoundRobin => 0,
+            })
+    }
+
+    /// The live routing decision: dead workers are skipped — a
+    /// consistent-hash key walks to its ring successor, LeastLoaded
+    /// ignores dead inboxes, RoundRobin rotates past them. `None` when
+    /// every worker is down.
+    fn route_live(&self, request: &str) -> Option<usize> {
+        let alive = |w: usize| self.alive[w].load(Ordering::SeqCst);
         match self.policy {
-            RoutePolicy::ConsistentHash => self.ring.pick(route_key(request)),
+            RoutePolicy::ConsistentHash => self.ring.pick_with(route_key(request), alive),
             RoutePolicy::LeastLoaded => self
                 .inboxes
                 .iter()
                 .enumerate()
+                .filter(|(i, _)| alive(*i))
                 .min_by_key(|(i, b)| (b.depth(), *i))
-                .map(|(i, _)| i)
-                .expect("non-empty"),
-            RoutePolicy::RoundRobin => self.rr.fetch_add(1, Ordering::Relaxed) % self.inboxes.len(),
+                .map(|(i, _)| i),
+            RoutePolicy::RoundRobin => {
+                let n = self.inboxes.len();
+                (0..n)
+                    .map(|_| self.rr.fetch_add(1, Ordering::Relaxed) % n)
+                    .find(|w| alive(*w))
+            }
         }
     }
 
@@ -411,7 +477,10 @@ impl Edge {
     /// backpressure signal — an open-loop generator counts it, a
     /// closed-loop one backs off.
     pub fn submit(&self, request: String) -> Result<usize, EdgeError> {
-        let worker = self.route(&request);
+        let Some(worker) = self.route_live(&request) else {
+            self.record_shed(None);
+            return Err(EdgeError::Unavailable);
+        };
         let routed = Routed {
             request,
             accepted_at: Instant::now(),
@@ -426,9 +495,113 @@ impl Edge {
                 Ok(worker)
             }
             Err(capacity) => {
-                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.record_shed(Some(worker));
+                Err(EdgeError::Overloaded {
+                    worker,
+                    depth: capacity,
+                    capacity,
+                })
+            }
+        }
+    }
+
+    /// Shed bookkeeping: counters, telemetry, and (when configured) the
+    /// client-visible 503. `worker` is the inbox that rejected, when one
+    /// was even reachable.
+    fn record_shed(&self, worker: Option<usize>) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.record_edge_shed_total();
+            if let Some(w) = worker {
+                t.worker(w).record_edge_shed();
+            }
+        }
+        if self.shed_responses {
+            self.shared.push_completion(self.shed_completion());
+        }
+    }
+
+    /// Submits a batch, tallying admissions and sheds.
+    pub fn submit_all<I>(&self, requests: I) -> EdgeAdmission
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut report = EdgeAdmission::default();
+        for r in requests {
+            match self.submit(r) {
+                Ok(_) => report.admitted += 1,
+                Err(_) => report.shed += 1,
+            }
+        }
+        report
+    }
+
+    /// Takes worker `w` out of rotation (idempotent; the fleet
+    /// supervisor calls this the moment it notices the worker died).
+    /// Routing immediately skips it — consistent-hash keys fail over to
+    /// their ring successors — and whatever its inbox still queued is
+    /// drained back through the router to live workers, preserving each
+    /// request's original admission stamp (sojourn keeps counting the
+    /// failover delay). Requests no live inbox can hold are shed with a
+    /// 503. Returns how many requests were rerouted.
+    pub fn mark_down(&self, w: usize) -> usize {
+        if !self.alive[w].swap(false, Ordering::SeqCst) {
+            return 0; // already down; a supervisor retry sweep
+        }
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.record_edge_failover();
+        }
+        let mut rerouted = 0;
+        while let Some(routed) = self.inboxes[w].pop() {
+            if self.reroute(routed).is_ok() {
+                rerouted += 1;
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            t.worker(w).set_edge_depth(0);
+        }
+        rerouted
+    }
+
+    /// Puts worker `w` back in rotation. The ring never changed, so its
+    /// keys return to exactly their original vnode ownership.
+    pub fn mark_up(&self, w: usize) {
+        self.alive[w].store(true, Ordering::SeqCst);
+    }
+
+    /// Whether worker `w` is in rotation.
+    pub fn is_alive(&self, w: usize) -> bool {
+        self.alive[w].load(Ordering::SeqCst)
+    }
+
+    /// Down transitions handled so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Re-admits an already-admitted request during failover. It is not
+    /// a fresh admission, so the edge-wide admitted/shed totals stay
+    /// balanced (one eventual completion per admission): a reject here
+    /// synthesizes the request's 503 answer and bumps only the rejecting
+    /// worker's counters — the request is answered, never silently
+    /// dropped.
+    fn reroute(&self, routed: Routed) -> Result<usize, EdgeError> {
+        let Some(worker) = self.route_live(&routed.request) else {
+            if self.shed_responses {
+                self.shared.push_completion(self.shed_completion());
+            }
+            return Err(EdgeError::Unavailable);
+        };
+        match self.inboxes[worker].try_push(routed) {
+            Ok(depth) => {
                 if let Some(t) = &self.telemetry {
-                    t.record_edge_shed_total();
+                    t.worker(worker).set_edge_depth(depth);
+                }
+                Ok(worker)
+            }
+            Err(capacity) => {
+                if let Some(t) = &self.telemetry {
                     t.worker(worker).record_edge_shed();
                 }
                 if self.shed_responses {
@@ -443,21 +616,6 @@ impl Edge {
         }
     }
 
-    /// Submits a batch, tallying admissions and sheds.
-    pub fn submit_all<I>(&self, requests: I) -> EdgeAdmission
-    where
-        I: IntoIterator<Item = String>,
-    {
-        let mut report = EdgeAdmission::default();
-        for r in requests {
-            match self.submit(r) {
-                Ok(_) => report.admitted += 1,
-                Err(EdgeError::Overloaded { .. }) => report.shed += 1,
-            }
-        }
-        report
-    }
-
     /// The client-visible face of a shed: HTTP 503, `pulled: false` (no
     /// pull to time service from), zero service — latency stats skip it,
     /// drain accounting counts it.
@@ -466,7 +624,10 @@ impl Edge {
         let response = Response {
             status: 503,
             headers: vec![
-                ("Retry-After".to_string(), "0".to_string()),
+                (
+                    "Retry-After".to_string(),
+                    self.retry_after.as_millis().to_string(),
+                ),
                 ("Content-Length".to_string(), body.len().to_string()),
             ],
             body: body.to_string(),
@@ -512,6 +673,11 @@ impl Edge {
     /// Requests shed so far (all workers).
     pub fn shed(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// The `Retry-After` hint synthesized 503s carry.
+    pub fn retry_after_hint(&self) -> Duration {
+        self.retry_after
     }
 
     /// Spawns the acceptor: a thread draining the shared ingress queue
@@ -709,6 +875,107 @@ mod tests {
         let resp = crate::http::parse_response(&completions[0].response).unwrap();
         assert_eq!(resp.status, 503);
         assert_eq!(resp.header("retry-after"), Some("0"));
+    }
+
+    #[test]
+    fn failover_reroutes_queued_requests_and_recovery_restores_ownership() {
+        let edge = Edge::new(
+            4,
+            &EdgeConfig::default().queue_capacity(64),
+            ServerShared::new(),
+            None,
+        );
+        // Find a path owned by worker 2 and queue a few requests on it.
+        let req = (0..200)
+            .map(|i| format!("GET /doc{i}.html HTTP/1.0"))
+            .find(|r| edge.route(r) == 2)
+            .expect("some key lands on worker 2");
+        for _ in 0..3 {
+            edge.submit(req.clone()).unwrap();
+        }
+        assert_eq!(edge.inbox(2).depth(), 3);
+
+        let rerouted = edge.mark_down(2);
+        assert_eq!(
+            rerouted, 3,
+            "queued requests drained back through the router"
+        );
+        assert_eq!(edge.inbox(2).depth(), 0);
+        assert!(!edge.is_alive(2));
+        assert_eq!(edge.failovers(), 1);
+        // Idempotent: a second mark_down is a no-op.
+        assert_eq!(edge.mark_down(2), 0);
+        assert_eq!(edge.failovers(), 1);
+
+        // While down, the key routes to a live successor — deterministically.
+        let failover = edge.route(&req);
+        assert_ne!(failover, 2);
+        assert_eq!(edge.route(&req), failover);
+        assert_eq!(edge.submit(req.clone()).unwrap(), failover);
+
+        // Recovery restores the original vnode ownership exactly.
+        edge.mark_up(2);
+        assert!(edge.is_alive(2));
+        assert_eq!(edge.route(&req), 2);
+    }
+
+    #[test]
+    fn all_workers_down_sheds_with_unavailable() {
+        let shared = ServerShared::new();
+        let edge = Edge::new(2, &EdgeConfig::default(), shared.clone(), None);
+        edge.mark_down(0);
+        edge.mark_down(1);
+        let err = edge.submit("GET /a HTTP/1.0".to_string()).unwrap_err();
+        assert_eq!(err, EdgeError::Unavailable);
+        assert_eq!(edge.shed(), 1);
+        // The client still gets an answer: a synthesized 503.
+        let completions = shared.completions();
+        assert_eq!(completions.len(), 1);
+        assert!(!completions[0].pulled);
+    }
+
+    #[test]
+    fn least_loaded_and_round_robin_skip_dead_workers() {
+        let edge = Edge::new(
+            3,
+            &EdgeConfig::new(RoutePolicy::LeastLoaded).queue_capacity(8),
+            ServerShared::new(),
+            None,
+        );
+        edge.mark_down(0);
+        for _ in 0..4 {
+            let w = edge.submit("GET /x HTTP/1.0".to_string()).unwrap();
+            assert_ne!(w, 0, "least-loaded routed to a dead worker");
+        }
+        let rr = Edge::new(
+            3,
+            &EdgeConfig::new(RoutePolicy::RoundRobin),
+            ServerShared::new(),
+            None,
+        );
+        rr.mark_down(1);
+        let picks: Vec<usize> = (0..4)
+            .map(|_| rr.submit("GET /x HTTP/1.0".to_string()).unwrap())
+            .collect();
+        assert!(!picks.contains(&1), "round-robin routed to a dead worker");
+    }
+
+    #[test]
+    fn retry_after_hint_renders_in_millis() {
+        let shared = ServerShared::new();
+        let edge = Edge::new(
+            1,
+            &EdgeConfig::new(RoutePolicy::RoundRobin)
+                .queue_capacity(1)
+                .retry_after_hint(Duration::from_millis(7)),
+            shared.clone(),
+            None,
+        );
+        edge.submit("GET /a HTTP/1.0".to_string()).unwrap();
+        edge.submit("GET /b HTTP/1.0".to_string()).unwrap_err();
+        let completions = shared.completions();
+        let resp = crate::http::parse_response(&completions[0].response).unwrap();
+        assert_eq!(resp.header("retry-after"), Some("7"));
     }
 
     #[test]

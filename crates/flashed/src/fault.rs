@@ -14,19 +14,80 @@
 //!   the coordinator's rollout deadline expires while the worker sits at
 //!   its quiescence gate.
 //! * **Read errors** ([`FaultPlan::read_errors`]) — the worker's
-//!   filesystem handle fails every device read (applied at worker boot;
-//!   see [`crate::fs::SimFs::set_read_failures`]).
+//!   filesystem handle fails every device read. The flag is a shared
+//!   atomic, so [`crate::fs::SimFs::set_read_failures`] can also start
+//!   (and stop) the failures on a *live* worker mid-run.
+//! * **Crashes** ([`FaultPlan::crash_at`]) — kill the worker thread for
+//!   real at a chosen [`CrashPoint`], by panicking with a typed payload
+//!   that the fleet boundary maps to
+//!   [`crate::fleet::WorkerFailure::Crashed`]. This is what the
+//!   supervisor's restart-from-persisted-ring path is tested against.
 //!
 //! Guest-side faults ride in as *patches* instead: [`trapping_patch`]
 //! builds one whose state transformer traps mid-apply, and
 //! [`spinning_patch`] one whose transformer burns guest instructions so
 //! the transform phase (and therefore the pause) balloons.
 
+use std::sync::Mutex;
 use std::time::Duration;
 
 use dsu_core::{Patch, PatchGen, Transformer};
 
 use crate::versions;
+
+/// Where an injected crash kills the worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Inside the update pause's quiescence drain, before any patch
+    /// applies — queued ops are still `Enqueued` when the thread dies.
+    MidPause,
+    /// At the start of the apply pipeline's `transform` phase — the worst
+    /// spot: bindings already flipped, state transformation interrupted.
+    MidTransform,
+    /// In the serve loop right after an update landed, while the cohort
+    /// is soaking on the new version.
+    MidSoak,
+    /// In the steady-state serve loop, between requests.
+    Serving,
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            CrashPoint::MidPause => "mid-pause",
+            CrashPoint::MidTransform => "mid-transform",
+            CrashPoint::MidSoak => "mid-soak",
+            CrashPoint::Serving => "serving",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The panic payload of an injected crash. The fleet's worker boundary
+/// downcasts join errors to this to tell a deliberate kill
+/// ([`crate::fleet::WorkerFailure::Crashed`]) apart from an accidental
+/// panic.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedCrash(pub CrashPoint);
+
+/// Atomically consumes a pending crash at `point` from the live plan
+/// (one-shot: the point is cleared before the panic so a restarted or
+/// retried path cannot re-fire it) and, if one was armed, kills the
+/// current thread by panicking with [`InjectedCrash`].
+pub(crate) fn crash_if_armed(plan: &Mutex<FaultPlan>, point: CrashPoint) {
+    let armed = {
+        let mut p = plan.lock().expect("poisoned");
+        if p.crash_at == Some(point) {
+            p.crash_at = None;
+            true
+        } else {
+            false
+        }
+    };
+    if armed {
+        std::panic::panic_any(InjectedCrash(point));
+    }
+}
 
 /// Deliberate per-worker misbehaviour, injected so tests can prove the
 /// guarded-rollout machinery notices and reacts. `Default` injects
@@ -42,9 +103,14 @@ pub struct FaultPlan {
     /// mid-rollout.
     pub gate_stall: Option<Duration>,
     /// Fail every device read on this worker's filesystem handle.
-    /// Applied when the worker boots; a running server's handle is
-    /// immutable.
+    /// Armed at worker boot, and — because the flag is shared — also
+    /// flippable on a live worker via
+    /// [`crate::fs::SimFs::set_read_failures`] (or
+    /// [`crate::Fleet::set_worker_read_failures`]).
     pub read_errors: bool,
+    /// Kill the worker thread for real at the given point (one-shot; the
+    /// supervisor restarts the worker with the crash disarmed).
+    pub crash_at: Option<CrashPoint>,
 }
 
 impl FaultPlan {

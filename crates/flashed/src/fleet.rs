@@ -27,8 +27,9 @@
 //! through [`WorkerOverride::fault`] (see [`crate::fault::FaultPlan`]).
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -38,7 +39,7 @@ use dsu_obs::{Journal, Tracer};
 use vm::LinkMode;
 
 use crate::edge::{AcceptorHandle, Edge, EdgeConfig, Inbox};
-use crate::fault::FaultPlan;
+use crate::fault::{crash_if_armed, CrashPoint, FaultPlan, InjectedCrash};
 use crate::fs::SimFs;
 use crate::guard::{BreachAction, PauseSlo, RolloutReportCard};
 use crate::rollout::{Orchestrator, OrchestratorReport, RolloutPlan};
@@ -109,6 +110,12 @@ pub struct FleetConfig {
     /// contending on the shared ingress queue. `None` keeps the legacy
     /// shared-queue pull path.
     pub edge: Option<EdgeConfig>,
+    /// Runs a [`Supervisor`] thread over the fleet: dead workers are
+    /// detected, failed over at the edge, and rebooted from their
+    /// persisted snapshot rings (see [`FleetConfig::supervised`]).
+    /// `None` (the default) keeps the pre-supervision behaviour — a dead
+    /// worker stays dead until shutdown reports it.
+    pub supervision: Option<SupervisorConfig>,
 }
 
 impl FleetConfig {
@@ -126,7 +133,21 @@ impl FleetConfig {
             journal: None,
             worker_base: 0,
             edge: None,
+            supervision: None,
         }
+    }
+
+    /// Supervises the fleet with default knobs: dead workers are failed
+    /// over at the edge and rebooted from their persisted snapshot rings,
+    /// with exponential backoff and a bounded restart budget.
+    pub fn supervised(self) -> FleetConfig {
+        self.with_supervision(SupervisorConfig::default())
+    }
+
+    /// Supervises the fleet with explicit knobs.
+    pub fn with_supervision(mut self, cfg: SupervisorConfig) -> FleetConfig {
+        self.supervision = Some(cfg);
+        self
     }
 
     /// Fronts the fleet with a routed edge (see [`EdgeConfig`]): workers
@@ -222,6 +243,18 @@ pub enum WorkerFailure {
     Guest(String),
     /// The worker thread panicked.
     Panic,
+    /// The worker thread was killed by injected crash fault at the given
+    /// point (see [`crate::fault::FaultPlan::crash_at`]) — told apart
+    /// from an accidental [`WorkerFailure::Panic`] by the typed panic
+    /// payload.
+    Crashed(CrashPoint),
+    /// The supervisor exhausted its restart budget for this worker and
+    /// degraded the fleet instead of restart-looping; the worker stays
+    /// down and the edge routes around it.
+    GaveUp {
+        /// Restarts attempted before giving up.
+        restarts: u64,
+    },
 }
 
 impl fmt::Display for WorkerFailure {
@@ -232,6 +265,10 @@ impl fmt::Display for WorkerFailure {
             WorkerFailure::BootChannel => write!(f, "died during boot"),
             WorkerFailure::Guest(e) => write!(f, "{e}"),
             WorkerFailure::Panic => write!(f, "panicked"),
+            WorkerFailure::Crashed(point) => write!(f, "crashed ({point})"),
+            WorkerFailure::GaveUp { restarts } => {
+                write!(f, "supervisor gave up after {restarts} restarts")
+            }
         }
     }
 }
@@ -265,6 +302,23 @@ pub enum FleetError {
     /// A rollout gave up waiting for a worker to reach an update boundary.
     RolloutStalled {
         /// The worker that never resolved its patch.
+        worker: usize,
+    },
+    /// The awaited worker died and its supervisor rebooted it mid-wait:
+    /// the patch that was in flight was withdrawn (`Aborted`) and the
+    /// worker now runs a fresh incarnation at its pre-crash version. The
+    /// rollout driver catches this and re-drives the cohort patch on the
+    /// new incarnation.
+    WorkerRestarted {
+        /// The restarted worker's index.
+        worker: usize,
+    },
+    /// The awaited worker is down for good: it died and either no
+    /// supervisor is running or the supervisor exhausted its restart
+    /// budget. The rollout treats this like a stall (breach or partial
+    /// rollout) while the rest of the fleet keeps serving.
+    WorkerDown {
+        /// The dead worker's index.
         worker: usize,
     },
     /// A rolling rollout stalled mid-fleet: some workers already serve the
@@ -310,6 +364,15 @@ impl fmt::Display for FleetError {
             }
             FleetError::RolloutStalled { worker } => {
                 write!(f, "worker {worker} did not reach an update boundary")
+            }
+            FleetError::WorkerRestarted { worker } => {
+                write!(
+                    f,
+                    "worker {worker} was restarted by its supervisor mid-wait"
+                )
+            }
+            FleetError::WorkerDown { worker } => {
+                write!(f, "worker {worker} is down and will not be restarted")
             }
             FleetError::PartialRollout { updated, remaining } => write!(
                 f,
@@ -367,11 +430,199 @@ enum Ctrl {
     Shutdown,
 }
 
+/// Supervision knobs: how fast death is noticed and how patiently (and
+/// how often) a dead worker is rebooted before the fleet degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// How often the supervisor sweeps the fleet for dead workers —
+    /// bounds detection latency.
+    pub poll: Duration,
+    /// Backoff before the first restart of a worker; doubles on each
+    /// consecutive restart of the same worker.
+    pub backoff_base: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub backoff_cap: Duration,
+    /// Restarts per worker before the supervisor gives up on it. The
+    /// fleet then degrades gracefully: the worker stays down, the edge
+    /// keeps routing around it, and shutdown reports
+    /// [`WorkerFailure::GaveUp`].
+    pub max_restarts: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            poll: Duration::from_micros(500),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            max_restarts: 3,
+        }
+    }
+}
+
+/// One supervised restart, timed phase by phase: how long death went
+/// unnoticed plus reaping/failover (`detect`), booting the fresh server
+/// (`reboot`), and replaying the persisted chain + installing the saved
+/// snapshot ring (`replay`). `total` is detection → serving again.
+#[derive(Debug, Clone)]
+pub struct RestartReport {
+    /// The restarted worker.
+    pub worker: usize,
+    /// What killed the previous incarnation.
+    pub failure: String,
+    /// Death noticed → old thread reaped, edge failed over, pending
+    /// patches withdrawn.
+    pub detect: Duration,
+    /// Backoff + spawn + server boot (compile/link), excluding replay.
+    pub reboot: Duration,
+    /// Replaying the persisted patch chain and installing the saved
+    /// snapshot ring.
+    pub replay: Duration,
+    /// The version the replay brought the fresh incarnation back to.
+    pub replayed_to: String,
+    /// Requests drained from the dead worker's inbox at failover and
+    /// pushed back through the router (zero without an edge).
+    pub rerouted: usize,
+    /// Death noticed → rejoined and serving.
+    pub total: Duration,
+}
+
+/// What a worker thread hands back at boot: the updater remote plus the
+/// live handles a supervisor needs to observe and fault the running
+/// worker from outside.
+#[derive(Clone)]
+struct WorkerLinks {
+    remote: UpdaterRemote,
+    /// The server's live fault-plan cell — crash points and pause delays
+    /// can be armed mid-run.
+    fault: Arc<Mutex<FaultPlan>>,
+    /// Bumped by the worker every loop iteration; feeds the liveness
+    /// gauge and survives restarts (the same cell is re-armed into each
+    /// incarnation).
+    heartbeat: Arc<AtomicU64>,
+    /// The worker's persisted crash-durable state (replay chain +
+    /// snapshot ring + pending ops), refreshed at quiescent boundaries.
+    state: Arc<Mutex<Option<String>>>,
+    /// How long this incarnation spent replaying persisted state at boot
+    /// (zero for a first boot).
+    replayed: Duration,
+    /// The version the replay reached (the boot version for a first
+    /// boot).
+    replayed_to: String,
+}
+
+/// What a worker thread reports over its boot channel once serving.
+struct BootInfo {
+    remote: UpdaterRemote,
+    fault: Arc<Mutex<FaultPlan>>,
+    /// Time spent replaying persisted state (zero for a first boot).
+    replayed: Duration,
+    /// The version the replay reached (the boot version otherwise).
+    replayed_to: String,
+}
+
+/// One incarnation of a worker: control channel, live links, and the
+/// thread to reap. Swapped wholesale by the supervisor on restart.
+struct Seat {
+    ctrl: mpsc::Sender<Ctrl>,
+    links: WorkerLinks,
+    /// `None` after the supervisor reaped a dead incarnation (and before
+    /// a successful respawn).
+    join: Option<JoinHandle<Result<i64, String>>>,
+}
+
 pub(crate) struct Worker {
     pub(crate) id: usize,
-    ctrl: mpsc::Sender<Ctrl>,
-    pub(crate) remote: UpdaterRemote,
-    join: JoinHandle<Result<i64, String>>,
+    /// The current incarnation, swapped by the supervisor on restart.
+    seat: Mutex<Seat>,
+    /// Bumped on every successful respawn; rollout waits watch it to
+    /// tell "restarted, re-drive the patch" apart from "stalled".
+    epoch: AtomicU64,
+    /// Whether the current incarnation is believed alive.
+    up: AtomicBool,
+    /// Set when the supervisor exhausted its restart budget.
+    failed: AtomicBool,
+    /// Successful supervised restarts of this worker.
+    restarts: AtomicU64,
+}
+
+impl Worker {
+    /// The current incarnation's updater remote. Cloned out (not
+    /// borrowed) because the supervisor may swap the seat mid-use; an
+    /// old clone stays safe — its Arcs just belong to a dead updater.
+    pub(crate) fn remote(&self) -> UpdaterRemote {
+        self.seat.lock().expect("poisoned").links.remote.clone()
+    }
+
+    /// Restart epoch: bumped once per successful supervised respawn.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Whether the current incarnation is believed alive.
+    pub(crate) fn is_up(&self) -> bool {
+        self.up.load(Ordering::SeqCst)
+    }
+
+    /// Whether the supervisor has given up on this worker.
+    pub(crate) fn has_failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    fn fault_handle(&self) -> Arc<Mutex<FaultPlan>> {
+        Arc::clone(&self.seat.lock().expect("poisoned").links.fault)
+    }
+}
+
+/// Everything needed to (re)spawn any worker — the fleet's boot-time
+/// configuration flattened per worker, kept alive for the supervisor.
+struct RespawnSpec {
+    mode: LinkMode,
+    serve_modes: Vec<ServeMode>,
+    src: String,
+    version: String,
+    /// Per-worker filesystem handles, one forked fault domain each —
+    /// retained so read failures can be flipped on a live worker.
+    fs: Vec<SimFs>,
+    vm_profile: bool,
+    shared: ServerShared,
+    telemetry: Option<Arc<FleetTelemetry>>,
+    edge: Option<Arc<Edge>>,
+}
+
+/// The supervisor-shared heart of a [`Fleet`]: the worker table plus the
+/// respawn spec and the restart log.
+struct FleetState {
+    workers: Vec<Worker>,
+    spec: RespawnSpec,
+    restart_log: Mutex<Vec<RestartReport>>,
+}
+
+/// The supervisor thread: stopped (and joined) before workers at
+/// shutdown so a restart never races the teardown.
+struct SupervisorHandle {
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<()>,
+}
+
+impl SupervisorHandle {
+    fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.join.join();
+    }
+}
+
+/// Maps a joined worker thread's outcome to a typed failure; a clean
+/// exit reports `None`.
+fn classify_join(res: std::thread::Result<Result<i64, String>>) -> Option<WorkerFailure> {
+    match res {
+        Ok(Ok(_)) => None,
+        Ok(Err(e)) => Some(WorkerFailure::Guest(e)),
+        Err(payload) => Some(match payload.downcast_ref::<InjectedCrash>() {
+            Some(c) => WorkerFailure::Crashed(c.0),
+            None => WorkerFailure::Panic,
+        }),
+    }
 }
 
 /// An open fleet-wide rollout trace: the `(trace, root span)` ids every
@@ -385,7 +636,9 @@ pub(crate) struct RolloutTrace {
 /// A running fleet of FlashEd workers over one shared request queue.
 pub struct Fleet {
     shared: ServerShared,
-    workers: Vec<Worker>,
+    /// Worker table + respawn spec + restart log, shared with the
+    /// supervisor thread.
+    state: Arc<FleetState>,
     /// The version every worker booted on (the skew baseline).
     boot_version: String,
     telemetry: Option<Arc<FleetTelemetry>>,
@@ -394,6 +647,9 @@ pub struct Fleet {
     /// The acceptor thread routing ingress into the edge; stopped at
     /// shutdown.
     acceptor: Option<AcceptorHandle>,
+    /// The supervisor thread, when configured (see
+    /// [`FleetConfig::supervised`]); stopped before workers at shutdown.
+    supervisor: Option<SupervisorHandle>,
     /// How long rollouts and drains wait for a worker (see
     /// [`FleetConfig::rollout_deadline`]).
     rollout_deadline: Duration,
@@ -402,7 +658,7 @@ pub struct Fleet {
 impl std::fmt::Debug for Fleet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Fleet")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.state.workers.len())
             .field("shared", &self.shared)
             .finish()
     }
@@ -479,24 +735,24 @@ impl Fleet {
             .edge
             .as_ref()
             .map(|ec| Arc::new(Edge::new(n, ec, shared.clone(), telemetry.clone())));
-        let mut workers = Vec::with_capacity(n);
-        let mut boot_err = None;
+        // Flatten the per-worker configuration into the respawn spec: the
+        // supervisor reboots workers from exactly what they booted with
+        // (minus the one-shot crash faults, disarmed on respawn).
+        let mut serve_modes = Vec::with_capacity(n);
+        let mut worker_fs = Vec::with_capacity(n);
         for id in 0..n {
-            let (ctrl_tx, ctrl_rx) = mpsc::channel();
-            let (boot_tx, boot_rx) = mpsc::channel();
-            let src = src.to_string();
-            let version = version.to_string();
             let ov = cfg.override_for(id);
-            let mut fs = fs.clone();
+            // Each worker gets its own fault domain over the shared
+            // content: read failures are per worker, flippable live.
+            let mut wfs = fs.fork_faults();
             if let Some(latency) = ov.read_latency {
-                fs.set_read_latency(latency);
+                wfs.set_read_latency(latency);
             }
-            // Read-error faults apply to the worker's own filesystem
-            // handle, before boot — content stays shared, failures don't.
             if ov.fault.read_errors {
-                fs.set_read_failures(true);
+                wfs.set_read_failures(true);
             }
-            let serve_mode = match cfg.serve_mode {
+            worker_fs.push(wfs);
+            serve_modes.push(match cfg.serve_mode {
                 ServeMode::Blocking => ServeMode::Blocking,
                 ServeMode::EventLoop(mut ec) => {
                     if let Some(c) = ov.cache_entries {
@@ -507,54 +763,47 @@ impl Fleet {
                     }
                     ServeMode::EventLoop(ec)
                 }
-            };
-            let mode = cfg.link_mode;
-            let fault = ov.fault;
-            let vm_profile = cfg.vm_profile;
-            let shared_w = shared.clone();
-            let tel_w = telemetry.as_ref().map(|t| t.worker(id).clone());
-            let inbox_w = edge.as_ref().map(|e| Arc::clone(e.inbox(id)));
-            let join = thread::Builder::new()
-                .name(format!("flashed-worker-{id}"))
-                .spawn(move || {
-                    worker_main(
-                        mode, serve_mode, src, version, fs, fault, vm_profile, shared_w, tel_w,
-                        inbox_w, ctrl_rx, boot_tx,
-                    )
-                })
-                .map_err(|e| FleetError::Worker {
-                    worker: id,
-                    cause: WorkerFailure::Spawn(e.to_string()),
-                })?;
-            match boot_rx.recv() {
-                Ok(Ok(remote)) => workers.push(Worker {
+            });
+        }
+        let spec = RespawnSpec {
+            mode: cfg.link_mode,
+            serve_modes,
+            src: src.to_string(),
+            version: version.to_string(),
+            fs: worker_fs,
+            vm_profile: cfg.vm_profile,
+            shared: shared.clone(),
+            telemetry: telemetry.clone(),
+            edge: edge.clone(),
+        };
+        let mut workers = Vec::with_capacity(n);
+        let mut boot_err = None;
+        for id in 0..n {
+            let ov = cfg.override_for(id);
+            let heartbeat = Arc::new(AtomicU64::new(0));
+            let state_slot = Arc::new(Mutex::new(None));
+            match spawn_worker(&spec, id, ov.fault, None, heartbeat, state_slot) {
+                Ok(seat) => workers.push(Worker {
                     id,
-                    ctrl: ctrl_tx,
-                    remote,
-                    join,
+                    seat: Mutex::new(seat),
+                    epoch: AtomicU64::new(0),
+                    up: AtomicBool::new(true),
+                    failed: AtomicBool::new(false),
+                    restarts: AtomicU64::new(0),
                 }),
-                Ok(Err(e)) => {
-                    boot_err = Some(FleetError::Worker {
-                        worker: id,
-                        cause: WorkerFailure::Boot(e),
-                    });
-                    let _ = join.join();
-                    break;
-                }
-                Err(_) => {
-                    boot_err = Some(FleetError::Worker {
-                        worker: id,
-                        cause: WorkerFailure::BootChannel,
-                    });
-                    let _ = join.join();
+                Err(cause) => {
+                    boot_err = Some(FleetError::Worker { worker: id, cause });
                     break;
                 }
             }
         }
         if let Some(e) = boot_err {
             for w in workers {
-                let _ = w.ctrl.send(Ctrl::Shutdown);
-                let _ = w.join.join();
+                let seat = w.seat.into_inner().expect("poisoned");
+                let _ = seat.ctrl.send(Ctrl::Shutdown);
+                if let Some(join) = seat.join {
+                    let _ = join.join();
+                }
             }
             return Err(e);
         }
@@ -562,13 +811,22 @@ impl Fleet {
             t.set_live_versions(&vec![version.to_string(); n]);
         }
         let acceptor = edge.as_ref().map(Edge::start_acceptor);
+        let state = Arc::new(FleetState {
+            workers,
+            spec,
+            restart_log: Mutex::new(Vec::new()),
+        });
+        let supervisor = cfg
+            .supervision
+            .map(|sc| start_supervisor(Arc::clone(&state), sc));
         Ok(Fleet {
             shared,
-            workers,
+            state,
             boot_version: version.to_string(),
             telemetry,
             edge,
             acceptor,
+            supervisor,
             rollout_deadline: cfg.rollout_deadline,
         })
     }
@@ -589,7 +847,7 @@ impl Fleet {
 
     /// The workers, in id order (for the rollout orchestrator).
     pub(crate) fn workers(&self) -> &[Worker] {
-        &self.workers
+        &self.state.workers
     }
 
     /// The rollout/drain deadline this fleet was configured with.
@@ -600,7 +858,7 @@ impl Fleet {
     /// The version worker `w` is currently serving: its last successful
     /// update's target version, or the boot version.
     pub(crate) fn worker_version(&self, w: &Worker) -> String {
-        w.remote
+        w.remote()
             .reports()
             .last()
             .map(|r| r.to_version.clone())
@@ -609,7 +867,8 @@ impl Fleet {
 
     /// The version each worker currently serves, in worker order.
     pub fn live_versions(&self) -> Vec<String> {
-        self.workers
+        self.state
+            .workers
             .iter()
             .map(|w| self.worker_version(w))
             .collect()
@@ -625,13 +884,57 @@ impl Fleet {
 
     /// Fleet size.
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.state.workers.len()
     }
 
     /// Control handle for one worker — canary a patch on a single worker,
     /// or inspect its apply history, without a fleet-wide rollout.
+    ///
+    /// The handle belongs to the worker's *current incarnation*: after a
+    /// supervised restart an old handle keeps working but addresses the
+    /// dead updater; re-fetch after [`Fleet::worker_epoch`] changes.
     pub fn remote(&self, worker: usize) -> UpdaterRemote {
-        self.workers[worker].remote.clone()
+        self.state.workers[worker].remote()
+    }
+
+    /// Arms a fault plan on a *live* worker: crash points and pause
+    /// delays take effect at the worker's next pass through the matching
+    /// seam, no reboot needed.
+    pub fn inject_worker_fault(&self, worker: usize, plan: FaultPlan) {
+        *self.state.workers[worker]
+            .fault_handle()
+            .lock()
+            .expect("poisoned") = plan;
+    }
+
+    /// Starts (or stops) failing every device read on a *live* worker —
+    /// the flag is shared with the worker's filesystem handle, so the
+    /// flip is visible on its very next read.
+    pub fn set_worker_read_failures(&self, worker: usize, fail: bool) {
+        self.state.spec.fs[worker].set_read_failures(fail);
+    }
+
+    /// Every supervised restart so far, in completion order.
+    pub fn restart_reports(&self) -> Vec<RestartReport> {
+        self.state.restart_log.lock().expect("poisoned").clone()
+    }
+
+    /// Whether `worker`'s current incarnation is believed alive.
+    pub fn worker_up(&self, worker: usize) -> bool {
+        self.state.workers[worker].is_up()
+    }
+
+    /// `worker`'s restart epoch: 0 for the boot incarnation, bumped once
+    /// per successful supervised restart.
+    pub fn worker_epoch(&self, worker: usize) -> u64 {
+        self.state.workers[worker].epoch()
+    }
+
+    /// `worker`'s liveness heartbeat: bumped by the worker every serve
+    /// loop iteration, preserved across supervised restarts.
+    pub fn worker_heartbeat(&self, worker: usize) -> u64 {
+        let seat = self.state.workers[worker].seat.lock().expect("poisoned");
+        seat.links.heartbeat.load(Ordering::Relaxed)
     }
 
     /// The shared queue/completion state (clone to feed or observe the
@@ -754,8 +1057,8 @@ impl Fleet {
         let tracer = self.telemetry.as_deref()?.tracer()?;
         let trace = tracer.next_trace_id();
         let span = tracer.next_span_id();
-        for w in &self.workers {
-            w.remote.set_span_parent(trace, span);
+        for w in &self.state.workers {
+            w.remote().set_span_parent(trace, span);
         }
         Some(RolloutTrace {
             trace,
@@ -773,8 +1076,8 @@ impl Fleet {
         let Some(tracer) = self.telemetry.as_deref().and_then(FleetTelemetry::tracer) else {
             return;
         };
-        for w in &self.workers {
-            w.remote.clear_span_parent();
+        for w in &self.state.workers {
+            w.remote().clear_span_parent();
         }
         let start = tracer.since_epoch(rt.began);
         let end = tracer.now().max(start);
@@ -795,13 +1098,15 @@ impl Fleet {
 
     /// Per-worker `(applied, failed, pauses)` counts before a rollout.
     pub(crate) fn baselines(&self) -> Vec<(usize, usize, usize)> {
-        self.workers
+        self.state
+            .workers
             .iter()
             .map(|w| {
+                let remote = w.remote();
                 (
-                    w.remote.applied_count(),
-                    w.remote.failure_count(),
-                    w.remote.pauses().len(),
+                    remote.applied_count(),
+                    remote.failure_count(),
+                    remote.pauses().len(),
                 )
             })
             .collect()
@@ -811,17 +1116,21 @@ impl Fleet {
     /// `baselines` into a [`FleetUpdateReport`].
     pub(crate) fn collect_report(&self, baselines: &[(usize, usize, usize)]) -> FleetUpdateReport {
         let mut report = FleetUpdateReport {
-            workers: self.workers.len(),
+            workers: self.state.workers.len(),
             ..FleetUpdateReport::default()
         };
-        for (w, (applied0, failed0, pauses0)) in self.workers.iter().zip(baselines) {
-            for r in w.remote.reports().drain(*applied0..) {
+        for (w, (applied0, failed0, pauses0)) in self.state.workers.iter().zip(baselines) {
+            // `skip` instead of range-drain: a supervised restart resets
+            // the worker's history to its replay hops, which can be
+            // shorter than a baseline captured pre-crash.
+            let remote = w.remote();
+            for r in remote.reports().into_iter().skip(*applied0) {
                 report.applied.push((w.id, r));
             }
-            for e in w.remote.failures().drain(*failed0..) {
+            for e in remote.failures().into_iter().skip(*failed0) {
                 report.failed.push((w.id, e));
             }
-            let pause: Duration = w.remote.pauses().iter().skip(*pauses0).map(|p| p.dur).sum();
+            let pause: Duration = remote.pauses().iter().skip(*pauses0).map(|p| p.dur).sum();
             report.pauses.push(pause);
         }
         report
@@ -846,7 +1155,7 @@ impl Fleet {
         pause_slo: PauseSlo,
         on_breach: BreachAction,
     ) -> Result<(FleetUpdateReport, RolloutReportCard), FleetError> {
-        assert!(canary < self.workers.len(), "canary out of range");
+        assert!(canary < self.state.workers.len(), "canary out of range");
         let plan = RolloutPlan::guarded(canary, pause_slo, on_breach);
         self.rollout_plan(patch, &plan)
             .map(|r| (r.fleet_report, r.card))
@@ -855,20 +1164,25 @@ impl Fleet {
     /// Per-worker device-read-error counts (zeros untelemetered).
     pub(crate) fn read_error_counts(&self) -> Vec<u64> {
         match &self.telemetry {
-            Some(t) => (0..self.workers.len())
+            Some(t) => (0..self.state.workers.len())
                 .map(|i| t.worker(i).read_errors())
                 .collect(),
-            None => vec![0; self.workers.len()],
+            None => vec![0; self.state.workers.len()],
         }
     }
 
     /// Waits until `worker` has resolved one more patch than its baseline.
+    /// `epoch0` is the worker's restart epoch at enqueue time: a bump
+    /// mid-wait means a supervisor rebooted the worker (the in-flight
+    /// patch was withdrawn) and surfaces as
+    /// [`FleetError::WorkerRestarted`] for the caller to re-drive.
     pub(crate) fn await_worker(
         &self,
         worker: &Worker,
         base: (usize, usize, usize),
+        epoch0: u64,
     ) -> Result<(), FleetError> {
-        self.await_worker_n(worker, base, 1)
+        self.await_worker_n(worker, base, 1, epoch0)
     }
 
     /// Waits until `worker` has resolved `n` more patches than its
@@ -878,11 +1192,19 @@ impl Fleet {
         worker: &Worker,
         (applied0, failed0, _): (usize, usize, usize),
         n: usize,
+        epoch0: u64,
     ) -> Result<(), FleetError> {
         let deadline = Instant::now() + self.rollout_deadline;
         loop {
-            let resolved = worker.remote.applied_count() + worker.remote.failure_count();
-            if resolved >= applied0 + failed0 + n && worker.remote.pending_count() == 0 {
+            if worker.has_failed() {
+                return Err(FleetError::WorkerDown { worker: worker.id });
+            }
+            if worker.epoch() != epoch0 {
+                return Err(FleetError::WorkerRestarted { worker: worker.id });
+            }
+            let remote = worker.remote();
+            let resolved = remote.applied_count() + remote.failure_count();
+            if resolved >= applied0 + failed0 + n && remote.pending_count() == 0 {
                 return Ok(());
             }
             if Instant::now() > deadline {
@@ -897,34 +1219,50 @@ impl Fleet {
     ///
     /// # Errors
     ///
-    /// Returns the first worker error (guest trap or panic), after all
-    /// workers have been joined.
+    /// Returns the first worker error (guest trap, crash, or panic),
+    /// after all workers have been joined. A worker the supervisor gave
+    /// up on reports [`WorkerFailure::GaveUp`].
     pub fn shutdown(mut self) -> Result<Vec<i64>, FleetError> {
-        // Stop the acceptor first: it finishes routing whatever is still
+        // Stop the supervisor before anything else: a restart racing the
+        // teardown would resurrect a worker we are about to join.
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.stop();
+        }
+        // Stop the acceptor next: it finishes routing whatever is still
         // in the ingress queue, so workers see those requests before
         // their shutdown signal lands.
         if let Some(acceptor) = self.acceptor.take() {
             acceptor.stop();
         }
-        for w in &self.workers {
-            let _ = w.ctrl.send(Ctrl::Shutdown);
+        for w in &self.state.workers {
+            let _ = w.seat.lock().expect("poisoned").ctrl.send(Ctrl::Shutdown);
         }
-        let mut served = Vec::with_capacity(self.workers.len());
+        let mut served = Vec::with_capacity(self.state.workers.len());
         let mut first_err: Option<FleetError> = None;
-        for w in self.workers {
-            match w.join.join() {
-                Ok(Ok(n)) => served.push(n),
-                Ok(Err(e)) => {
+        for w in &self.state.workers {
+            let join = w.seat.lock().expect("poisoned").join.take();
+            match join {
+                Some(join) => match join.join() {
+                    Ok(Ok(n)) => served.push(n),
+                    res => {
+                        let cause =
+                            classify_join(res).unwrap_or(WorkerFailure::Guest(String::new()));
+                        first_err.get_or_insert(FleetError::Worker {
+                            worker: w.id,
+                            cause,
+                        });
+                        served.push(0);
+                    }
+                },
+                // The supervisor reaped this incarnation and gave up (or
+                // its last respawn failed): nothing to join, the failure
+                // is the report.
+                None => {
                     first_err.get_or_insert(FleetError::Worker {
                         worker: w.id,
-                        cause: WorkerFailure::Guest(e),
-                    });
-                    served.push(0);
-                }
-                Err(_) => {
-                    first_err.get_or_insert(FleetError::Worker {
-                        worker: w.id,
-                        cause: WorkerFailure::Panic,
+                        cause: WorkerFailure::GaveUp {
+                            restarts: w.restarts.load(Ordering::SeqCst),
+                        },
                     });
                     served.push(0);
                 }
@@ -937,11 +1275,9 @@ impl Fleet {
     }
 }
 
-/// One worker: boots its own server against the shared state, then serves
-/// until told to shut down, applying patches fed through its remote at
-/// update points (busy) or quiescent boundaries (idle).
-#[allow(clippy::too_many_arguments)]
-fn worker_main(
+/// Everything one worker thread needs, bundled (the spawn site builds it
+/// from the [`RespawnSpec`]).
+struct WorkerCtx {
     mode: LinkMode,
     serve_mode: ServeMode,
     src: String,
@@ -952,11 +1288,258 @@ fn worker_main(
     shared: ServerShared,
     telemetry: Option<ServerTelemetry>,
     inbox: Option<Arc<Inbox>>,
+    /// Persisted crash-durable state to replay at boot (the respawn
+    /// path); `None` boots fresh.
+    restore: Option<String>,
+    heartbeat: Arc<AtomicU64>,
+    state_slot: Arc<Mutex<Option<String>>>,
+}
+
+/// Spawns (or respawns) worker `id` from the fleet's respawn spec,
+/// blocking until the worker reports its boot outcome.
+fn spawn_worker(
+    spec: &RespawnSpec,
+    id: usize,
+    fault: FaultPlan,
+    restore: Option<String>,
+    heartbeat: Arc<AtomicU64>,
+    state_slot: Arc<Mutex<Option<String>>>,
+) -> Result<Seat, WorkerFailure> {
+    let (ctrl_tx, ctrl_rx) = mpsc::channel();
+    let (boot_tx, boot_rx) = mpsc::channel();
+    let ctx = WorkerCtx {
+        mode: spec.mode,
+        serve_mode: spec.serve_modes[id],
+        src: spec.src.clone(),
+        version: spec.version.clone(),
+        fs: spec.fs[id].clone(),
+        fault,
+        vm_profile: spec.vm_profile,
+        shared: spec.shared.clone(),
+        telemetry: spec.telemetry.as_ref().map(|t| t.worker(id).clone()),
+        inbox: spec.edge.as_ref().map(|e| Arc::clone(e.inbox(id))),
+        restore,
+        heartbeat: Arc::clone(&heartbeat),
+        state_slot: Arc::clone(&state_slot),
+    };
+    let join = thread::Builder::new()
+        .name(format!("flashed-worker-{id}"))
+        .spawn(move || worker_main(ctx, ctrl_rx, boot_tx))
+        .map_err(|e| WorkerFailure::Spawn(e.to_string()))?;
+    match boot_rx.recv() {
+        Ok(Ok(info)) => Ok(Seat {
+            ctrl: ctrl_tx,
+            links: WorkerLinks {
+                remote: info.remote,
+                fault: info.fault,
+                heartbeat,
+                state: state_slot,
+                replayed: info.replayed,
+                replayed_to: info.replayed_to,
+            },
+            join: Some(join),
+        }),
+        Ok(Err(e)) => {
+            let _ = join.join();
+            Err(WorkerFailure::Boot(e))
+        }
+        Err(_) => {
+            let _ = join.join();
+            Err(WorkerFailure::BootChannel)
+        }
+    }
+}
+
+/// Starts the supervisor thread sweeping `state` for dead workers.
+fn start_supervisor(state: Arc<FleetState>, cfg: SupervisorConfig) -> SupervisorHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_t = Arc::clone(&stop);
+    let join = thread::Builder::new()
+        .name("flashed-supervisor".to_string())
+        .spawn(move || supervisor_main(&state, cfg, &stop_t))
+        .expect("supervisor thread spawns");
+    SupervisorHandle { stop, join }
+}
+
+/// The supervisor loop: detect a dead worker (its thread finished without
+/// being asked to), fail its traffic over at the edge, withdraw its
+/// in-flight patches, and — within the restart budget, after a capped
+/// exponential backoff — reboot it from its persisted crash-durable
+/// state, restore its vnode ownership, and log a [`RestartReport`].
+fn supervisor_main(state: &FleetState, cfg: SupervisorConfig, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        for w in &state.workers {
+            if w.has_failed() {
+                continue;
+            }
+            let dead = {
+                let seat = w.seat.lock().expect("poisoned");
+                seat.join.as_ref().is_none_or(JoinHandle::is_finished)
+            };
+            if !dead {
+                continue;
+            }
+            let detect_began = Instant::now();
+            w.up.store(false, Ordering::SeqCst);
+            if let Some(t) = &state.spec.telemetry {
+                t.set_worker_up(w.id, false);
+            }
+            // Fail the dead worker's traffic over: its vnodes route to
+            // ring successors, its queued requests drain back through the
+            // router. Idempotent — a retry sweep won't double-count.
+            let rerouted = state.spec.edge.as_ref().map_or(0, |e| e.mark_down(w.id));
+            // Reap the dead incarnation; `join` already `None` means a
+            // previous respawn attempt failed and this is a retry.
+            let (failure, old_links) = {
+                let mut seat = w.seat.lock().expect("poisoned");
+                let links = seat.links.clone();
+                let failure = match seat.join.take() {
+                    Some(join) => classify_join(join.join())
+                        .unwrap_or_else(|| WorkerFailure::Guest("worker exited".to_string())),
+                    None => WorkerFailure::Guest("previous respawn failed".to_string()),
+                };
+                (failure, links)
+            };
+            // The dead worker's remote Arcs outlive its thread: withdraw
+            // whatever was still enqueued so those lifecycles close
+            // (`Aborted`) instead of dangling `Enqueued` in the journal.
+            old_links
+                .remote
+                .cancel_pending("worker crashed; withdrawn for re-drive");
+            let attempts = w.restarts.load(Ordering::SeqCst);
+            if attempts >= cfg.max_restarts {
+                // Budget exhausted: degrade gracefully. The worker stays
+                // down, the edge keeps routing around it, shutdown
+                // reports `GaveUp`.
+                w.failed.store(true, Ordering::SeqCst);
+                continue;
+            }
+            let detect = detect_began.elapsed();
+            let shift = u32::try_from(attempts.min(20)).expect("bounded");
+            let backoff = cfg
+                .backoff_base
+                .saturating_mul(1u32 << shift)
+                .min(cfg.backoff_cap);
+            thread::sleep(backoff);
+            let blob = old_links.state.lock().expect("poisoned").clone();
+            let spawn_began = Instant::now();
+            // Respawn with crash faults disarmed: they are one-shot by
+            // design (a crash loop would just burn the restart budget).
+            match spawn_worker(
+                &state.spec,
+                w.id,
+                FaultPlan::none(),
+                blob,
+                Arc::clone(&old_links.heartbeat),
+                Arc::clone(&old_links.state),
+            ) {
+                Ok(seat) => {
+                    let spawn_dur = spawn_began.elapsed();
+                    let replay = seat.links.replayed;
+                    let replayed_to = seat.links.replayed_to.clone();
+                    *w.seat.lock().expect("poisoned") = seat;
+                    w.restarts.fetch_add(1, Ordering::SeqCst);
+                    w.up.store(true, Ordering::SeqCst);
+                    // Epoch bump last: an await that sees the new epoch
+                    // must also see the new seat.
+                    w.epoch.fetch_add(1, Ordering::SeqCst);
+                    if let Some(t) = &state.spec.telemetry {
+                        t.set_worker_up(w.id, true);
+                        t.record_worker_restart();
+                    }
+                    if let Some(e) = &state.spec.edge {
+                        e.mark_up(w.id);
+                    }
+                    // Second withdrawal sweep: an op enqueued onto the
+                    // dead incarnation *during* the reboot window (after
+                    // the first cancel, before the seat swap) would
+                    // dangle `Enqueued` forever; close it now that no new
+                    // enqueue can reach the old seat.
+                    old_links
+                        .remote
+                        .cancel_pending("worker crashed; withdrawn for re-drive");
+                    state
+                        .restart_log
+                        .lock()
+                        .expect("poisoned")
+                        .push(RestartReport {
+                            worker: w.id,
+                            failure: failure.to_string(),
+                            detect,
+                            reboot: spawn_dur.saturating_sub(replay),
+                            replay,
+                            replayed_to,
+                            rerouted,
+                            total: detect_began.elapsed(),
+                        });
+                }
+                Err(_) => {
+                    // Seat stays reaped (`join` is `None`); the next sweep
+                    // retries until the budget runs out.
+                    w.restarts.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        thread::sleep(cfg.poll);
+    }
+}
+
+/// Rebuilds a respawned worker to its pre-crash version: re-applies the
+/// persisted net patch chain (strict — a replay failure is a boot
+/// failure), then installs the persisted snapshot ring and re-queues
+/// whatever ops the crash interrupted (for a crashed rollback chain,
+/// its remaining hops). Returns the version the replay reached.
+fn restore_worker(server: &mut Server, blob: &str, boot_version: &str) -> Result<String, String> {
+    let (chain, inner) = dsu_core::decode_worker_state(blob)?;
+    server.updater.strict = true;
+    let mut version = boot_version.to_string();
+    for patch in chain {
+        let to = patch.to_version.clone();
+        server.queue_patch(patch);
+        server
+            .apply_pending_now()
+            .map_err(|e| format!("replay failed applying to {to}: {e}"))?;
+        version = to;
+    }
+    server
+        .load_updater_state(&inner)
+        .map_err(|e| format!("replay failed installing state: {e}"))?;
+    server.updater.strict = false;
+    Ok(version)
+}
+
+/// How far a worker's apply history has moved — the trigger for
+/// re-persisting its crash-durable state.
+fn history_mark(server: &Server) -> (usize, usize) {
+    (server.updater.log().len(), server.updater.failures().len())
+}
+
+/// Persists the worker's crash-durable state (net patch chain + snapshot
+/// ring + pending ops) into the supervisor-visible slot.
+fn persist_state(server: &Server, slot: &Mutex<Option<String>>) {
+    *slot.lock().expect("poisoned") = Some(server.updater.save_worker_state());
+}
+
+/// One worker: boots its own server against the shared state, then serves
+/// until told to shut down, applying patches fed through its remote at
+/// update points (busy) or quiescent boundaries (idle). A respawned
+/// worker first replays its persisted state back to its pre-crash
+/// version. Each loop iteration bumps the heartbeat, re-persists state
+/// when the apply history moved, and passes the injectable crash seams.
+fn worker_main(
+    ctx: WorkerCtx,
     ctrl: mpsc::Receiver<Ctrl>,
-    boot_tx: mpsc::Sender<Result<UpdaterRemote, String>>,
+    boot_tx: mpsc::Sender<Result<BootInfo, String>>,
 ) -> Result<i64, String> {
     let mut server = match Server::start_routed(
-        mode, serve_mode, &src, &version, fs, shared, telemetry, inbox,
+        ctx.mode,
+        ctx.serve_mode,
+        &ctx.src,
+        &ctx.version,
+        ctx.fs,
+        ctx.shared,
+        ctx.telemetry,
+        ctx.inbox,
     ) {
         Ok(s) => s,
         Err(e) => {
@@ -967,15 +1550,47 @@ fn worker_main(
     // Fleet workers keep serving their old version when a patch is
     // rejected; the coordinator reads the failure out of the shared log.
     server.updater.strict = false;
-    if vm_profile {
+    if ctx.vm_profile {
         server.set_vm_profiling(true);
     }
-    if fault.delays_pauses() {
-        server.inject_fault(fault);
+    server.inject_fault(ctx.fault);
+    let fault = server.fault_handle();
+    // The mid-transform crash point fires from inside the apply pipeline
+    // itself, via the core's thread-local phase probe — bindings already
+    // flipped, state transformation interrupted.
+    {
+        let fault = Arc::clone(&fault);
+        dsu_core::set_phase_probe(Some(Box::new(move |phase| {
+            if phase == "transform" {
+                crash_if_armed(&fault, CrashPoint::MidTransform);
+            }
+        })));
     }
-    if boot_tx.send(Ok(server.remote())).is_err() {
+    let replay_began = Instant::now();
+    let (replayed, replayed_to) = match &ctx.restore {
+        Some(blob) => match restore_worker(&mut server, blob, &ctx.version) {
+            Ok(v) => (replay_began.elapsed(), v),
+            Err(e) => {
+                let _ = boot_tx.send(Err(e.clone()));
+                return Err(e);
+            }
+        },
+        None => (Duration::ZERO, ctx.version.clone()),
+    };
+    // "Mid-soak" means an update landed in *this* incarnation — replay
+    // hops don't count, or a restart after a crash would re-crash.
+    let soak_base = server.updater.log().len();
+    let info = BootInfo {
+        remote: server.remote(),
+        fault: Arc::clone(&fault),
+        replayed,
+        replayed_to,
+    };
+    if boot_tx.send(Ok(info)).is_err() {
         return Ok(0); // coordinator went away before boot finished
     }
+    persist_state(&server, &ctx.state_slot);
+    let mut persisted = history_mark(&server);
 
     // Lands the collapsed-stack VM profile (when armed) in the worker's
     // telemetry slot on the way out, success or failure.
@@ -985,6 +1600,18 @@ fn worker_main(
     };
     let mut total = 0i64;
     loop {
+        ctx.heartbeat.fetch_add(1, Ordering::Relaxed);
+        // Quiescent boundary: re-persist crash-durable state whenever the
+        // apply history moved since the last persist.
+        let mark = history_mark(&server);
+        if mark != persisted {
+            persist_state(&server, &ctx.state_slot);
+            persisted = mark;
+        }
+        if server.updater.log().len() > soak_base {
+            crash_if_armed(&fault, CrashPoint::MidSoak);
+        }
+        crash_if_armed(&fault, CrashPoint::Serving);
         match ctrl.try_recv() {
             Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
                 return finish(&server, Ok(total))

@@ -15,7 +15,7 @@
 //!   without touching the (simulated) device at all.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -26,9 +26,12 @@ use crate::rng::Rng;
 ///
 /// Clones share the *content* (the same shared "disk", so a write through
 /// one handle is visible to every clone — what lets a fleet coordinator
-/// mutate files a worker serves) while keeping per-clone device
-/// character: read latency and injected read failures stay private to
-/// each handle, so one worker's fault plan never slows its siblings.
+/// mutate files a worker serves). Read latency stays per-handle. The
+/// read-failure flag is shared between clones of one handle lineage, so a
+/// coordinator that kept a clone can start (and stop) a live worker's
+/// read failures mid-run; [`SimFs::fork_faults`] severs the sharing —
+/// fleets fork one fault domain per worker so one worker's dying device
+/// never fails its siblings.
 #[derive(Debug, Clone, Default)]
 pub struct SimFs {
     files: Arc<RwLock<BTreeMap<String, String>>>,
@@ -39,8 +42,9 @@ pub struct SimFs {
     read_latency: Duration,
     /// Fault injection: when set, every read pays its latency and then
     /// fails (returns `None`) even though the file exists — a dying
-    /// device, not a missing document.
-    fail_reads: bool,
+    /// device, not a missing document. Shared between clones (live
+    /// injection); [`SimFs::fork_faults`] gives a handle its own flag.
+    fail_reads: Arc<AtomicBool>,
 }
 
 impl SimFs {
@@ -72,22 +76,38 @@ impl SimFs {
         if !self.read_latency.is_zero() {
             std::thread::sleep(self.read_latency);
         }
-        if self.fail_reads {
+        if self.fail_reads.load(Ordering::Relaxed) {
             return None;
         }
         self.files.read().expect("poisoned").get(path).cloned()
     }
 
-    /// Arms (or disarms) injected read failures on *this handle only*:
-    /// reads pay their latency and fail, while [`SimFs::exists`] still
-    /// answers — a failing device, not an empty one.
-    pub fn set_read_failures(&mut self, fail: bool) {
-        self.fail_reads = fail;
+    /// Arms (or disarms) injected read failures: reads pay their latency
+    /// and fail, while [`SimFs::exists`] still answers — a failing
+    /// device, not an empty one. The flag is shared with every clone of
+    /// this handle, so flipping it here makes a *live* worker's reads
+    /// start (or stop) failing mid-run; isolate with
+    /// [`SimFs::fork_faults`] first when that sharing is unwanted.
+    pub fn set_read_failures(&self, fail: bool) {
+        self.fail_reads.store(fail, Ordering::Relaxed);
     }
 
     /// Whether this handle's reads are set to fail.
     pub fn read_failures(&self) -> bool {
-        self.fail_reads
+        self.fail_reads.load(Ordering::Relaxed)
+    }
+
+    /// A clone in a fresh fault domain: same shared content and latency,
+    /// but its own read-failure flag (initialised to this handle's
+    /// current value). Fleets fork one domain per worker so per-worker
+    /// fault plans — and live flips through the retained handle — stay
+    /// scoped to that worker.
+    pub fn fork_faults(&self) -> SimFs {
+        SimFs {
+            files: Arc::clone(&self.files),
+            read_latency: self.read_latency,
+            fail_reads: Arc::new(AtomicBool::new(self.read_failures())),
+        }
     }
 
     /// Sets the simulated per-read device latency (builder form).
@@ -541,18 +561,27 @@ mod tests {
     }
 
     #[test]
-    fn clones_share_content_but_not_faults() {
+    fn fault_flags_are_shared_between_clones_until_forked() {
         let a = SimFs::new();
         a.insert("/f", "one");
-        let mut b = a.clone();
+        let b = a.clone();
         // Shared disk: a write through either handle is seen by both.
         b.write("/f", "two");
         assert_eq!(a.read("/f").as_deref(), Some("two"));
-        // Private faults: only the armed handle fails.
+        // Shared faults: arming either clone fails both — this is how a
+        // coordinator's retained handle makes a live worker's reads
+        // start failing mid-run.
         b.set_read_failures(true);
         assert_eq!(b.read("/f"), None);
         assert!(b.exists("/f"), "metadata survives read failures");
-        assert_eq!(a.read("/f").as_deref(), Some("two"));
+        assert_eq!(a.read("/f"), None, "clones share the fault flag");
+        a.set_read_failures(false);
+        assert_eq!(b.read("/f").as_deref(), Some("two"), "and the disarm");
+        // Forked fault domain: content still shared, faults private.
+        let c = b.fork_faults();
+        c.set_read_failures(true);
+        assert_eq!(c.read("/f"), None);
+        assert_eq!(b.read("/f").as_deref(), Some("two"), "fork isolates");
     }
 
     #[test]

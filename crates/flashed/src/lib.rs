@@ -57,11 +57,15 @@ pub use edge::{
     AcceptorHandle, Edge, EdgeAdmission, EdgeConfig, EdgeError, HashRing, Inbox, RoutePolicy,
     Routed,
 };
-pub use fault::FaultPlan;
-pub use fleet::{Fleet, FleetConfig, FleetError, RolloutPolicy, WorkerFailure, WorkerOverride};
+pub use fault::{CrashPoint, FaultPlan, InjectedCrash};
+pub use fleet::{
+    Fleet, FleetConfig, FleetError, RestartReport, RolloutPolicy, SupervisorConfig, WorkerFailure,
+    WorkerOverride,
+};
 pub use fs::{AsyncFs, BufferCache, ReadCompletion, ReadTicket, SimFs};
 pub use guard::{
-    BreachAction, HealthBreach, HealthGate, PauseSlo, RolloutOutcome, RolloutReportCard, StepHealth,
+    windowed_quantile, BreachAction, ErrorRateWindow, HealthBreach, HealthGate, PauseSlo,
+    RolloutOutcome, RolloutReportCard, StepHealth,
 };
 pub use http::{parse_request, parse_response, Request, Response};
 pub use patches::patch_stream;

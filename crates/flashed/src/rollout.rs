@@ -44,8 +44,17 @@ use dsu_obs::{Journal, Stage};
 
 use crate::fleet::{Fleet, FleetError};
 use crate::guard::{
-    BreachAction, HealthBreach, HealthGate, PauseSlo, RolloutOutcome, RolloutReportCard, StepHealth,
+    windowed_quantile, BreachAction, ErrorRateWindow, HealthBreach, HealthGate, PauseSlo,
+    RolloutOutcome, RolloutReportCard, StepHealth,
 };
+
+/// How many times a cohort worker's patch is re-driven after a
+/// supervised restart withdrew it mid-wait.
+const MAX_REDRIVES: usize = 2;
+
+/// How many extra soak windows a marginal step can earn before the
+/// rollout advances anyway.
+const MAX_SOAK_EXTENDS: usize = 3;
 
 /// One stage of a [`RolloutPlan`], as a *cumulative* coverage target
 /// over the global worker set.
@@ -76,6 +85,15 @@ pub struct RolloutPlan {
     /// applies; `None` drives ungated (stalls become errors, nothing
     /// else is judged).
     pub gate: Option<PauseSlo>,
+    /// Optional end-to-end request-latency SLO, judged over the window
+    /// of each stepped worker's sojourn histogram that filled during the
+    /// step. Only effective when `gate` is set.
+    pub latency_slo: Option<PauseSlo>,
+    /// Optional error-rate window (read errors plus sheds, over
+    /// completions plus sheds). When set, raw read errors are judged by
+    /// ratio instead of tripping on the first one. Only effective when
+    /// `gate` is set.
+    pub error_budget: Option<ErrorRateWindow>,
     /// What to do when a gated step breaches.
     pub on_breach: BreachAction,
 }
@@ -89,6 +107,8 @@ impl RolloutPlan {
             cohorts: vec![CohortSpec::Fraction(1.0)],
             soak: Duration::ZERO,
             gate: None,
+            latency_slo: None,
+            error_budget: None,
             on_breach: BreachAction::Hold,
         }
     }
@@ -101,6 +121,8 @@ impl RolloutPlan {
             cohorts: vec![CohortSpec::EachRemaining],
             soak: Duration::ZERO,
             gate: None,
+            latency_slo: None,
+            error_budget: None,
             on_breach: BreachAction::Hold,
         }
     }
@@ -113,6 +135,8 @@ impl RolloutPlan {
             cohorts: vec![CohortSpec::EachRemaining],
             soak: Duration::ZERO,
             gate: Some(slo),
+            latency_slo: None,
+            error_budget: None,
             on_breach,
         }
     }
@@ -128,6 +152,8 @@ impl RolloutPlan {
             ],
             soak: Duration::ZERO,
             gate: Some(slo),
+            latency_slo: None,
+            error_budget: None,
             on_breach,
         }
     }
@@ -136,6 +162,22 @@ impl RolloutPlan {
     #[must_use]
     pub fn with_soak(mut self, soak: Duration) -> RolloutPlan {
         self.soak = soak;
+        self
+    }
+
+    /// Adds an end-to-end request-latency SLO: each gated step's
+    /// windowed sojourn quantile must stay within `slo.max`.
+    #[must_use]
+    pub fn with_latency_slo(mut self, slo: PauseSlo) -> RolloutPlan {
+        self.latency_slo = Some(slo);
+        self
+    }
+
+    /// Adds an error-rate window verdict over each gated step's read
+    /// errors and sheds.
+    #[must_use]
+    pub fn with_error_budget(mut self, window: ErrorRateWindow) -> RolloutPlan {
+        self.error_budget = Some(window);
         self
     }
 
@@ -196,6 +238,9 @@ pub struct CohortReport {
     pub dur: Duration,
     /// Whether the orchestrator soaked after this cohort.
     pub soaked: bool,
+    /// Extra soak windows this cohort earned because its latest health
+    /// reading was marginal (0 when the soak ended on schedule).
+    pub soak_extends: usize,
 }
 
 /// Everything one orchestrated rollout left behind.
@@ -247,7 +292,7 @@ impl OrchestratorReport {
             }
             s.push_str(&format!(
                 "{{\"index\":{},\"workers\":{:?},\"pause_at_quantile_us\":{},\
-                 \"dur_us\":{},\"soaked\":{}}}",
+                 \"dur_us\":{},\"soaked\":{},\"soak_extends\":{}}}",
                 c.index,
                 c.workers,
                 c.pause_at_quantile
@@ -255,6 +300,7 @@ impl OrchestratorReport {
                     .unwrap_or(-1),
                 c.dur.as_micros(),
                 c.soaked,
+                c.soak_extends,
             ));
         }
         s.push_str("],\"card\":");
@@ -292,7 +338,11 @@ impl OrchestratorReport {
                 "  cohort {:>2}  [{workers}]  pause@q {pause}  {:.1?}{}\n",
                 c.index,
                 c.dur,
-                if c.soaked { "  soak" } else { "" },
+                match (c.soaked, c.soak_extends) {
+                    (false, _) => String::new(),
+                    (true, 0) => "  soak".to_string(),
+                    (true, n) => format!("  soak (+{n} extends)"),
+                },
             ));
         }
         match &self.card.outcome {
@@ -481,16 +531,22 @@ impl<'a> Orchestrator<'a> {
             }
         }
         let traces: Vec<_> = self.fleets.iter().map(Fleet::begin_rollout_trace).collect();
-        let baselines: Vec<Vec<(usize, usize, usize)>> =
-            self.fleets.iter().map(Fleet::baselines).collect();
 
         let mut run = Run {
             orch: self,
             patch,
             plan,
-            gate: plan.gate.map(HealthGate::new),
-            baselines: &baselines,
-            read_error_base: self.fleets.iter().map(Fleet::read_error_counts).collect(),
+            gate: plan.gate.map(|slo| {
+                let mut g = HealthGate::new(slo);
+                if let Some(l) = plan.latency_slo {
+                    g = g.with_latency_slo(l);
+                }
+                if let Some(w) = plan.error_budget {
+                    g = g.with_error_rate(w);
+                }
+                g
+            }),
+            baselines: self.fleets.iter().map(Fleet::baselines).collect(),
             steps: Vec::new(),
             forward: Vec::new(),
             rollbacks: Vec::new(),
@@ -506,6 +562,7 @@ impl<'a> Orchestrator<'a> {
             f.end_rollout_trace(rt, patch);
         }
         let Run {
+            baselines,
             steps,
             forward,
             rollbacks,
@@ -602,20 +659,32 @@ impl<'a> Orchestrator<'a> {
     }
 }
 
-/// One in-flight orchestrated rollout's mutable state.
+/// One in-flight orchestrated rollout's mutable state. Baselines are
+/// owned and mutable: a supervised restart resets a worker's history,
+/// so its baseline is re-captured before the patch is re-driven.
 struct Run<'o, 'a> {
     orch: &'o Orchestrator<'a>,
     patch: &'o Patch,
     plan: &'o RolloutPlan,
     gate: Option<HealthGate>,
-    baselines: &'o [Vec<(usize, usize, usize)>],
-    read_error_base: Vec<Vec<u64>>,
+    baselines: Vec<Vec<(usize, usize, usize)>>,
     steps: Vec<StepHealth>,
     forward: Vec<(usize, UpdateReport)>,
     rollbacks: Vec<(usize, UpdateReport)>,
     outcome: RolloutOutcome,
     cohort_reports: Vec<CohortReport>,
     skew: SkewWatch,
+}
+
+/// Point-in-time counters opening one health window over a worker:
+/// readings taken at step (or soak) start, judged against the current
+/// values when the window closes.
+struct StepMarks {
+    failures: usize,
+    read_errors: u64,
+    completions: usize,
+    sheds: u64,
+    sojourn_buckets: Option<Vec<u64>>,
 }
 
 impl Run<'_, '_> {
@@ -638,7 +707,7 @@ impl Run<'_, '_> {
                     let (fi, li) = orch.locate(gid);
                     let pauses0 = self.baselines[fi][li].2;
                     orch.fleets[fi].workers()[li]
-                        .remote
+                        .remote()
                         .pauses()
                         .into_iter()
                         .skip(pauses0)
@@ -659,6 +728,7 @@ impl Run<'_, '_> {
                 pause_at_quantile: slo.observe(&pooled),
                 dur: began.elapsed(),
                 soaked,
+                soak_extends: 0,
             });
             if let Some(b) = breach {
                 self.outcome = match self.plan.on_breach.clone() {
@@ -676,15 +746,96 @@ impl Run<'_, '_> {
             }
             if soaked {
                 thread::sleep(self.plan.soak);
+                let extends = self.extend_soak_while_marginal(members);
+                if let Some(report) = self.cohort_reports.last_mut() {
+                    report.soak_extends = extends;
+                }
             }
         }
         Ok(())
     }
 
+    /// Auto-extends a soak window: while the latest health reading for
+    /// the cohort's last-stepped worker is *marginal* (passing, but at
+    /// 80%+ of some budget), sleep another soak window and re-measure —
+    /// up to [`MAX_SOAK_EXTENDS`] times. Returns the extensions taken.
+    fn extend_soak_while_marginal(&mut self, members: &[usize]) -> usize {
+        let (Some(gate), Some(&gid)) = (self.gate, members.last()) else {
+            return 0;
+        };
+        let mut marginal = self.steps.last().is_some_and(|h| gate.marginal(h));
+        let mut extends = 0;
+        while marginal && extends < MAX_SOAK_EXTENDS {
+            extends += 1;
+            let marks = self.step_marks(gid);
+            thread::sleep(self.plan.soak);
+            let health = self.window_health(gid, &marks, None);
+            marginal = gate.marginal(&health);
+        }
+        extends
+    }
+
+    /// Opens a health window over global worker `gid`: the counter
+    /// readings later deltas are taken against.
+    fn step_marks(&self, gid: usize) -> StepMarks {
+        let (fi, li) = self.orch.locate(gid);
+        let fleet = &self.orch.fleets[fi];
+        let worker_t = fleet.telemetry().map(|t| t.worker(li));
+        StepMarks {
+            failures: fleet.workers()[li].remote().failure_count(),
+            read_errors: fleet.read_error_counts()[li],
+            completions: fleet.shared().completions_len(),
+            sheds: worker_t.map_or(0, |t| t.edge_sheds()),
+            sojourn_buckets: worker_t.map(|t| t.sojourn_histogram().bucket_counts()),
+        }
+    }
+
+    /// Closes the window `marks` opened over `gid` into a
+    /// [`StepHealth`]. Saturating deltas: a supervised restart can
+    /// shrink a worker's history below its marks.
+    fn window_health(&self, gid: usize, marks: &StepMarks, pause: Option<Duration>) -> StepHealth {
+        let (fi, li) = self.orch.locate(gid);
+        let fleet = &self.orch.fleets[fi];
+        let worker_t = fleet.telemetry().map(|t| t.worker(li));
+        let sojourn_at_quantile = self.gate.and_then(|g| g.latency).and_then(|slo| {
+            let t = worker_t?;
+            let before = marks.sojourn_buckets.as_ref()?;
+            let hist = t.sojourn_histogram();
+            windowed_quantile(
+                hist.bounds_us(),
+                before,
+                &hist.bucket_counts(),
+                slo.quantile,
+            )
+        });
+        StepHealth {
+            worker: gid,
+            pause_at_quantile: pause,
+            new_failures: fleet.workers()[li]
+                .remote()
+                .failure_count()
+                .saturating_sub(marks.failures),
+            new_read_errors: fleet.read_error_counts()[li].saturating_sub(marks.read_errors),
+            new_completions: fleet
+                .shared()
+                .completions_len()
+                .saturating_sub(marks.completions),
+            queued: fleet.shared().queue_len(),
+            sojourn_at_quantile,
+            new_sheds: worker_t.map_or(0, |t| t.edge_sheds().saturating_sub(marks.sheds)),
+        }
+    }
+
     /// Drives one cohort: barrier gates first (a fast worker must find
     /// its rendezvous installed when it pauses), then every member's
     /// patch enqueued, then each awaited and judged in cohort order.
-    /// Returns the first health breach, if any.
+    ///
+    /// A member whose supervisor restarts it mid-wait (the in-flight
+    /// patch was withdrawn at death) is *re-driven*: its baseline is
+    /// re-captured from the rebooted history and the patch re-enqueued,
+    /// up to [`MAX_REDRIVES`] times. A member whose supervisor gave up
+    /// on it reads as a stall — a breach under a gate, an error without
+    /// one. Returns the first health breach, if any.
     fn drive_cohort(&mut self, members: &[usize]) -> Result<Option<HealthBreach>, FleetError> {
         let orch = self.orch;
         if members.len() > 1 {
@@ -693,34 +844,79 @@ impl Run<'_, '_> {
                 let (fi, li) = orch.locate(gid);
                 let b = Arc::clone(&barrier);
                 orch.fleets[fi].workers()[li]
-                    .remote
+                    .remote()
                     .set_gate(Box::new(move || {
                         b.wait();
                     }));
             }
         }
+        let mut marks = Vec::with_capacity(members.len());
+        let mut epochs = Vec::with_capacity(members.len());
+        let mut remotes = Vec::with_capacity(members.len());
         for &gid in members {
             let (fi, li) = orch.locate(gid);
-            orch.fleets[fi].workers()[li]
-                .remote
-                .enqueue(self.patch.clone());
+            marks.push(self.step_marks(gid));
+            // Epoch before enqueue: a restart between the two counts as a
+            // withdrawal of this patch, never goes unnoticed. The handle
+            // we enqueue on is kept: if the seat is swapped mid-wait, the
+            // defuse must land on *this* incarnation's queue, not the
+            // replacement's.
+            epochs.push(orch.fleets[fi].workers()[li].epoch());
+            let remote = orch.fleets[fi].workers()[li].remote();
+            remote.enqueue(self.patch.clone());
+            remotes.push(remote);
         }
-        let comp_base: Vec<usize> = orch
-            .fleets
-            .iter()
-            .map(|f| f.shared().completions_len())
-            .collect();
         let mut breach: Option<HealthBreach> = None;
-        for &gid in members {
+        for (mi, &gid) in members.iter().enumerate() {
             let (fi, li) = orch.locate(gid);
             let fleet = &orch.fleets[fi];
             let w = &fleet.workers()[li];
-            let base = self.baselines[fi][li];
-            let stalled = fleet.await_worker(w, base).is_err();
+            let mut base = self.baselines[fi][li];
+            let mut epoch0 = epochs[mi];
+            let mut redrives = 0usize;
+            let mut down = false;
+            let stalled = loop {
+                match fleet.await_worker(w, base, epoch0) {
+                    Ok(()) => break false,
+                    Err(FleetError::WorkerRestarted { .. }) if redrives < MAX_REDRIVES => {
+                        redrives += 1;
+                        // Defuse the handle we enqueued on: if the enqueue
+                        // raced past the supervisor's withdrawal onto the
+                        // dead incarnation's queue, this closes that
+                        // lifecycle (`Aborted`) instead of leaving it
+                        // dangling `Enqueued`. On the live replacement
+                        // it is a no-op (applied) or an explicit
+                        // withdrawal ahead of the re-drive below.
+                        remotes[mi].cancel_pending("withdrawn after supervised restart");
+                        let remote = w.remote();
+                        base = (
+                            remote.applied_count(),
+                            remote.failure_count(),
+                            remote.pauses().len(),
+                        );
+                        self.baselines[fi][li] = base;
+                        marks[mi] = self.step_marks(gid);
+                        epoch0 = w.epoch();
+                        if fleet.worker_version(w) == self.patch.to_version {
+                            // The reboot replayed past this transition
+                            // already — nothing left to drive.
+                            break false;
+                        }
+                        remote.enqueue(self.patch.clone());
+                        remotes[mi] = remote;
+                    }
+                    Err(FleetError::WorkerDown { .. }) => {
+                        down = true;
+                        break true;
+                    }
+                    Err(_) => break true,
+                }
+            };
             if stalled {
-                // The worker never reached its boundary: defuse it so the
-                // withdrawn patch cannot land after the rollout moved on.
-                w.remote.cancel_pending(if self.gate.is_some() {
+                // The worker never reached its boundary: defuse the
+                // handle the patch was enqueued on so it cannot land
+                // after the rollout moved on.
+                remotes[mi].cancel_pending(if self.gate.is_some() {
                     "guarded rollout: step stalled"
                 } else {
                     "rolling rollout stalled"
@@ -730,12 +926,12 @@ impl Run<'_, '_> {
                 // pushes the pause after the op drains); wait for the
                 // event so the gate never judges a step pauseless.
                 let deadline = Instant::now() + fleet.deadline();
-                while w.remote.pauses().len() <= base.2 && Instant::now() < deadline {
+                while w.remote().pauses().len() <= base.2 && Instant::now() < deadline {
                     thread::sleep(Duration::from_micros(50));
                 }
             }
             let pauses: Vec<Duration> = w
-                .remote
+                .remote()
                 .pauses()
                 .iter()
                 .skip(base.2)
@@ -745,14 +941,7 @@ impl Run<'_, '_> {
                 quantile: 1.0,
                 max: Duration::MAX,
             });
-            let health = StepHealth {
-                worker: gid,
-                pause_at_quantile: slo.observe(&pauses),
-                new_failures: w.remote.failure_count() - base.1,
-                new_read_errors: fleet.read_error_counts()[li] - self.read_error_base[fi][li],
-                new_completions: fleet.shared().completions_len() - comp_base[fi],
-                queued: fleet.shared().queue_len(),
-            };
+            let health = self.window_health(gid, &marks[mi], slo.observe(&pauses));
             let verdict = if stalled {
                 Err(HealthBreach::Stalled { worker: gid })
             } else {
@@ -762,12 +951,15 @@ impl Run<'_, '_> {
                 }
             };
             self.steps.push(health);
-            for r in w.remote.reports().drain(base.0..) {
+            for r in w.remote().reports().into_iter().skip(base.0) {
                 self.forward.push((gid, r));
             }
             fleet.refresh_skew();
             self.skew.sample(orch.global_skew())?;
             if self.gate.is_none() && stalled {
+                if down {
+                    return Err(FleetError::WorkerDown { worker: gid });
+                }
                 return Err(self.stall_fallout(gid));
             }
             if let Err(b) = verdict {
@@ -786,14 +978,15 @@ impl Run<'_, '_> {
         let offsets = self.orch.offsets();
         let mut updated = Vec::new();
         let mut all = Vec::new();
-        for ((f, base), off) in self.orch.fleets.iter().zip(self.baselines).zip(&offsets) {
+        for ((f, base), off) in self.orch.fleets.iter().zip(&self.baselines).zip(&offsets) {
             for (w, (applied0, _, _)) in f.workers().iter().zip(base) {
                 let gid = off + w.id;
                 all.push(gid);
-                if w.remote.pending_count() > 0 {
-                    w.remote.cancel_pending("rolling rollout stalled");
+                let remote = w.remote();
+                if remote.pending_count() > 0 {
+                    remote.cancel_pending("rolling rollout stalled");
                 }
-                if w.remote.applied_count() > *applied0 {
+                if remote.applied_count() > *applied0 {
                     updated.push(gid);
                 }
             }
@@ -817,19 +1010,25 @@ impl Run<'_, '_> {
             let (fi, li) = orch.locate(gid);
             let fleet = &orch.fleets[fi];
             let w = &fleet.workers()[li];
+            let remote = w.remote();
             let base = (
-                w.remote.applied_count(),
-                w.remote.failure_count(),
-                w.remote.pauses().len(),
+                remote.applied_count(),
+                remote.failure_count(),
+                remote.pauses().len(),
             );
+            let epoch0 = w.epoch();
             match inverse {
-                Some(p) => w.remote.enqueue_rollback(p.clone()),
-                None => w.remote.enqueue_snapshot_rollback(),
+                Some(p) => remote.enqueue_rollback(p.clone()),
+                None => remote.enqueue_snapshot_rollback(),
             }
-            fleet
-                .await_worker(w, base)
-                .map_err(|e| self.globalize_stall(e, fi))?;
-            if let Some(r) = w.remote.reports().last() {
+            if let Err(e) = fleet.await_worker(w, base, epoch0) {
+                // Close the hop's lifecycle on the handle it was enqueued
+                // on (the seat may have been swapped under us) before
+                // surfacing the failure.
+                remote.cancel_pending("rollback interrupted");
+                return Err(self.globalize_stall(e, fi));
+            }
+            if let Some(r) = remote.reports().last() {
                 if r.rolled_back {
                     self.rollbacks.push((gid, r.clone()));
                 }
@@ -863,7 +1062,8 @@ impl Run<'_, '_> {
             }
             // Hop count: walk the retained transitions newest-first until
             // one *starts* at the target (that hop lands on it).
-            let transitions = w.remote.snapshot_transitions();
+            let remote = w.remote();
+            let transitions = remote.snapshot_transitions();
             let mut hops = 0usize;
             let mut reachable = false;
             for (from, _to) in transitions.iter().rev() {
@@ -877,16 +1077,20 @@ impl Run<'_, '_> {
                 continue;
             }
             let base = (
-                w.remote.applied_count(),
-                w.remote.failure_count(),
-                w.remote.pauses().len(),
+                remote.applied_count(),
+                remote.failure_count(),
+                remote.pauses().len(),
             );
-            let queued = w.remote.enqueue_rollback_chain(hops);
+            let epoch0 = w.epoch();
+            let queued = remote.enqueue_rollback_chain(hops);
             let applied0 = base.0;
-            fleet
-                .await_worker_n(w, base, queued)
-                .map_err(|e| self.globalize_stall(e, fi))?;
-            for r in w.remote.reports().drain(applied0..) {
+            if let Err(e) = fleet.await_worker_n(w, base, queued, epoch0) {
+                // As in `roll_back_forward`: defuse the enqueued hops on
+                // the handle that holds them before surfacing the error.
+                remote.cancel_pending("rollback chain interrupted");
+                return Err(self.globalize_stall(e, fi));
+            }
+            for r in remote.reports().into_iter().skip(applied0) {
                 if r.rolled_back {
                     self.rollbacks.push((gid, r));
                 }

@@ -573,6 +573,11 @@ impl Server {
                 }
                 let plan = *fault.lock().expect("poisoned");
                 plan.sleep();
+                // The mid-pause crash point lives here: the pause has
+                // begun, queued ops are still Enqueued, and the thread
+                // dies exactly where a real quiescence-stall watchdog
+                // kill would land.
+                crate::fault::crash_if_armed(&fault, crate::fault::CrashPoint::MidPause);
             }));
         }
 
@@ -1002,6 +1007,28 @@ impl Server {
     /// The currently injected fault plan.
     pub fn fault_plan(&self) -> FaultPlan {
         *self.fault.lock().expect("poisoned")
+    }
+
+    /// The live fault-plan cell itself. A supervisor keeps this so faults
+    /// — including one-shot crash points — can be armed on a *running*
+    /// worker from another thread, and so a consumed crash point is
+    /// observable as cleared.
+    pub fn fault_handle(&self) -> Arc<Mutex<FaultPlan>> {
+        Arc::clone(&self.fault)
+    }
+
+    /// Restores crash-durable updater state saved by
+    /// [`dsu_core::Updater::save_state`] (snapshot ring + pending ops)
+    /// into this server's updater — the last step of a supervised
+    /// restart, after the replay chain has re-applied the worker to its
+    /// pre-crash version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed section; the updater
+    /// is left unchanged on error.
+    pub fn load_updater_state(&mut self, text: &str) -> Result<usize, String> {
+        self.updater.load_state(&mut self.proc, text)
     }
 
     /// Publishes quiescent-boundary telemetry: mirrors the interpreter

@@ -86,6 +86,14 @@ pub mod names {
     pub const ROLLOUTS: &str = "fleet_rollouts_total";
     /// Fleet size (gauge).
     pub const WORKERS: &str = "fleet_workers";
+    /// Whether this worker's current incarnation is alive (per-worker
+    /// liveness gauge, flipped by the fleet supervisor).
+    pub const WORKER_UP: &str = "flashed_worker_up";
+    /// Supervised worker restarts completed (coordinator counter).
+    pub const WORKER_RESTARTS: &str = "flashed_worker_restarts_total";
+    /// Edge failovers handled — down transitions that rerouted a dead
+    /// worker's traffic (coordinator counter).
+    pub const EDGE_FAILOVER: &str = "flashed_edge_failover_total";
 }
 
 /// One server's telemetry bundle. Cheap to clone; clones share every
@@ -117,6 +125,7 @@ pub struct ServerTelemetry {
     cache_evictions: Counter,
     read_errors: Counter,
     reads_in_flight: Gauge,
+    worker_up: Gauge,
 }
 
 impl std::fmt::Debug for ServerTelemetry {
@@ -224,6 +233,11 @@ impl ServerTelemetry {
             names::READS_IN_FLIGHT,
             "reads submitted to helpers and not yet completed",
         );
+        let worker_up = registry.gauge(
+            names::WORKER_UP,
+            "whether this worker's current incarnation is alive",
+        );
+        worker_up.set(1);
         ServerTelemetry {
             journal,
             registry,
@@ -250,6 +264,7 @@ impl ServerTelemetry {
             cache_evictions,
             read_errors,
             reads_in_flight,
+            worker_up,
         }
     }
 
@@ -404,6 +419,11 @@ impl ServerTelemetry {
     pub fn read_errors(&self) -> u64 {
         self.read_errors.get()
     }
+
+    /// Current liveness reading (1 up, 0 down).
+    pub fn worker_up(&self) -> i64 {
+        self.worker_up.get()
+    }
 }
 
 /// The coordinator's telemetry over a whole fleet: shared journal,
@@ -416,6 +436,8 @@ pub struct FleetTelemetry {
     rollouts: Counter,
     edge_admitted: Counter,
     edge_shed: Counter,
+    worker_restarts: Counter,
+    edge_failovers: Counter,
     tracer: Option<Tracer>,
 }
 
@@ -478,6 +500,14 @@ impl FleetTelemetry {
             names::EDGE_SHED_TOTAL,
             "requests the edge shed across all workers",
         );
+        let worker_restarts = coordinator.counter(
+            names::WORKER_RESTARTS,
+            "supervised worker restarts completed",
+        );
+        let edge_failovers = coordinator.counter(
+            names::EDGE_FAILOVER,
+            "edge failovers handled (dead-worker down transitions rerouted)",
+        );
         coordinator
             .gauge(names::WORKERS, "fleet size")
             .set(n as i64);
@@ -498,6 +528,8 @@ impl FleetTelemetry {
             rollouts,
             edge_admitted,
             edge_shed,
+            worker_restarts,
+            edge_failovers,
             tracer,
         }
     }
@@ -587,6 +619,37 @@ impl FleetTelemetry {
     /// Requests the edge shed (all workers) so far.
     pub fn edge_shed(&self) -> u64 {
         self.edge_shed.get()
+    }
+
+    /// Flips worker `i`'s liveness gauge (the supervisor's detection and
+    /// rejoin both land here).
+    pub(crate) fn set_worker_up(&self, i: usize, up: bool) {
+        self.workers[i].worker_up.set(i64::from(up));
+    }
+
+    /// Counts one completed supervised restart.
+    pub(crate) fn record_worker_restart(&self) {
+        self.worker_restarts.inc();
+    }
+
+    /// Counts one edge failover (a down transition rerouted).
+    pub(crate) fn record_edge_failover(&self) {
+        self.edge_failovers.inc();
+    }
+
+    /// Supervised restarts completed so far.
+    pub fn worker_restarts(&self) -> u64 {
+        self.worker_restarts.get()
+    }
+
+    /// Edge failovers handled so far.
+    pub fn edge_failovers(&self) -> u64 {
+        self.edge_failovers.get()
+    }
+
+    /// Worker `i`'s liveness reading (1 up, 0 down).
+    pub fn worker_up(&self, i: usize) -> i64 {
+        self.workers[i].worker_up()
     }
 }
 

@@ -62,6 +62,7 @@ fn overflow_sheds_typed_errors_503s_and_counters() {
             assert_eq!(depth, 2);
             assert_eq!(capacity, 2);
         }
+        EdgeError::Unavailable => panic!("the worker is up; expected an overflow shed"),
     }
     assert_eq!(
         edge.submit("GET /later.html HTTP/1.0".to_string()).ok(),

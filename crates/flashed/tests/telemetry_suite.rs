@@ -7,8 +7,9 @@ use std::time::Duration;
 use dsu_obs::journal::validate_lifecycle;
 use flashed::telemetry::names;
 use flashed::{
-    patch_stream, versions, Fleet, FleetError, RolloutPolicy, Server, ServerShared,
-    ServerTelemetry, SimFs, WorkerFailure, Workload,
+    patch_stream, versions, CrashPoint, EdgeConfig, FaultPlan, Fleet, FleetConfig, FleetError,
+    RolloutPolicy, RoutePolicy, Server, ServerShared, ServerTelemetry, SimFs, WorkerFailure,
+    Workload,
 };
 use vm::LinkMode;
 
@@ -176,6 +177,82 @@ fn failed_worker_keeps_context_in_report_and_journal() {
     );
 
     fleet.drain(100).unwrap();
+    fleet.shutdown().unwrap();
+}
+
+#[test]
+fn supervision_metrics_cover_restart_and_failover() {
+    let (fs, mut wl) = fixture();
+    let cfg = FleetConfig::new(2).supervised().with_telemetry().with_edge(
+        EdgeConfig::new(RoutePolicy::ConsistentHash)
+            .queue_capacity(4096)
+            .shed_responses(true),
+    );
+    let fleet = Fleet::start_cfg(&cfg, &versions::v1(), "v1", &fs).unwrap();
+    let tel = fleet.telemetry().unwrap();
+    let edge = fleet.edge().unwrap().clone();
+
+    // Boot state: both liveness gauges up, no restarts, no failovers.
+    let text = tel.scrape_text();
+    for w in 0..2 {
+        assert!(
+            text.contains(&format!("{}{{worker=\"{w}\"}} 1", names::WORKER_UP)),
+            "{text}"
+        );
+    }
+    assert!(
+        text.contains(&format!("{} 0", names::WORKER_RESTARTS)),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("{} 0", names::EDGE_FAILOVER)),
+        "{text}"
+    );
+
+    let warm = edge.submit_all(wl.batch(60));
+    assert_eq!(warm.shed, 0);
+    fleet.drain(60).unwrap();
+
+    // Kill worker 1 and let the supervisor bring it back: the death is
+    // one edge failover (down transition rerouted) and one restart.
+    fleet.inject_worker_fault(
+        1,
+        FaultPlan {
+            crash_at: Some(CrashPoint::Serving),
+            ..FaultPlan::default()
+        },
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while fleet.worker_epoch(1) == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervised restart never completed"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert_eq!(tel.worker_restarts(), 1);
+    assert_eq!(tel.edge_failovers(), 1);
+    assert_eq!(tel.worker_up(1), 1, "rejoin must restore the gauge");
+
+    // The scrape carries the whole story: counters moved, gauge restored.
+    let text = tel.scrape_text();
+    assert!(
+        text.contains(&format!("{} 1", names::WORKER_RESTARTS)),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("{} 1", names::EDGE_FAILOVER)),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("{}{{worker=\"1\"}} 1", names::WORKER_UP)),
+        "{text}"
+    );
+
+    // The restarted incarnation serves through the edge like any other.
+    let before = fleet.completions().len();
+    let tail = edge.submit_all(wl.batch(40));
+    fleet.drain(before + tail.admitted).unwrap();
     fleet.shutdown().unwrap();
 }
 

@@ -777,3 +777,182 @@ fn rollback_chains_restore_every_version_under_traffic() {
         assert_eq!(got, Value::Int(sum));
     }
 }
+
+// ====================== supervised faulted walks ======================
+
+/// Random k-forward / j-back walks of the FlashEd patch stream on a
+/// supervised fleet, with crash and read-error faults injected at random
+/// points: a rolling rollout per forward hop (crashes kill the victim's
+/// thread for real — the supervisor reboots it from its persisted ring
+/// and the driver re-drives the hop), then per-worker rollback-chain
+/// hops back, re-driven across any restarts. Surviving workers must
+/// converge on the scheduled version after every hop, every pushed
+/// request must complete, and every journal lifecycle — forward,
+/// backward, aborted-by-crash, re-driven — must obey the phase laws.
+#[test]
+fn faulted_walks_converge_under_supervision() {
+    use dsu_obs::journal::validate_lifecycle;
+    use dsu_obs::Journal;
+    use flashed::{
+        patch_stream, versions, CrashPoint, FaultPlan, Fleet, FleetConfig, RolloutPolicy, SimFs,
+        SupervisorConfig, Workload,
+    };
+    use std::time::{Duration, Instant};
+
+    const WORKERS: usize = 3;
+    let fs = SimFs::generate_fixed(16, 256, 7);
+    let stream = patch_stream().unwrap();
+    let crash_points = [
+        CrashPoint::MidPause,
+        CrashPoint::MidTransform,
+        CrashPoint::MidSoak,
+        CrashPoint::Serving,
+    ];
+
+    for case in 0..4u64 {
+        let mut rng = Rng::seed_from_u64(0xFA17 ^ case);
+        let mut wl = Workload::new(fs.paths(), 1.0, 61 + case);
+        let journal = Journal::new();
+        // A generous restart budget: this test proves convergence under
+        // repeated injury, not the give-up path.
+        let cfg = FleetConfig::new(WORKERS)
+            .with_journal(journal.clone())
+            .with_supervision(SupervisorConfig {
+                max_restarts: 32,
+                ..SupervisorConfig::default()
+            });
+        let fleet = Fleet::start_cfg(&cfg, &versions::v1(), "v1", &fs).unwrap();
+        let mut pushed = 0usize;
+
+        // Forward: k hops of the real patch stream, each a rolling
+        // rollout, with a coin-flipped crash and/or read-error fault
+        // armed on a random worker beforehand.
+        let k = rng.gen_range_usize(2, stream.len());
+        for (step, entry) in stream.iter().enumerate().take(k) {
+            if rng.gen_bool() {
+                let victim = rng.gen_range_usize(0, WORKERS - 1);
+                fleet.inject_worker_fault(
+                    victim,
+                    FaultPlan {
+                        crash_at: Some(*rng.choose(&crash_points)),
+                        ..FaultPlan::default()
+                    },
+                );
+            }
+            let reader = rng.gen_bool().then(|| {
+                let victim = rng.gen_range_usize(0, WORKERS - 1);
+                fleet.set_worker_read_failures(victim, true);
+                victim
+            });
+            fleet.push_requests(wl.batch(30));
+            pushed += 30;
+            fleet
+                .rollout(&entry.patch, RolloutPolicy::Rolling)
+                .unwrap();
+            if let Some(victim) = reader {
+                fleet.set_worker_read_failures(victim, false);
+            }
+            let target = format!("v{}", step + 2);
+            assert!(
+                fleet.live_versions().iter().all(|v| *v == target),
+                "case {case} forward step {step}: {:?}\nrestarts: {:?}\nstate: {:?}",
+                fleet.live_versions(),
+                fleet.restart_reports(),
+                (0..WORKERS)
+                    .map(|w| {
+                        let r = fleet.remote(w);
+                        (
+                            w,
+                            fleet.worker_epoch(w),
+                            r.applied_count(),
+                            r.failure_count(),
+                            r.pending_count(),
+                            r.reports().last().map(|x| x.to_version.clone()),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            );
+        }
+
+        // Backward: j ≤ k hops per worker through its snapshot-ring
+        // rollback chain, one hop at a time, re-driven until it lands.
+        // A hop interrupted by a crash (armed above but fired late, or a
+        // replayed incarnation's own pause) is withdrawn by the
+        // supervisor; the loop re-checks the live version and enqueues
+        // again, exactly like the forward driver's re-drive.
+        let j = rng.gen_range_usize(1, k);
+        let target = format!("v{}", k + 1 - j);
+        fleet.push_requests(wl.batch(30));
+        pushed += 30;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for w in 0..WORKERS {
+            loop {
+                let cur = fleet.live_versions()[w].clone();
+                if cur == target {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "case {case}: worker {w} never reached {target}: {:?}",
+                    fleet.live_versions()
+                );
+                let epoch0 = fleet.worker_epoch(w);
+                let remote = fleet.remote(w);
+                if remote.pending_count() == 0 && remote.enqueue_rollback_chain(1) == 1 {
+                    // The worker pops an op off its queue before applying
+                    // it, so a zero pending count does not mean the last
+                    // hop's report is visible yet. Wait for this hop to
+                    // publish (the version moves) — or for a seat swap to
+                    // eat it — before considering another; enqueueing off
+                    // a stale version reading walks the ring past the
+                    // target.
+                    while fleet.live_versions()[w] == cur
+                        && fleet.worker_epoch(w) == epoch0
+                        && Instant::now() < deadline
+                    {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    if fleet.worker_epoch(w) != epoch0 {
+                        // The seat was swapped under the enqueue: defuse
+                        // the handle we used so the hop cannot dangle on a
+                        // dead incarnation, then re-drive on the fresh
+                        // seat.
+                        remote.cancel_pending("rollback re-driven after restart");
+                    }
+                } else {
+                    // Ring momentarily empty (a restarted incarnation
+                    // mid-restore) or a hop still in flight — retry.
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+        }
+
+        // Quiesce: disarm any fault that never fired, wait for every
+        // worker to be up with nothing pending, then judge the walk.
+        for w in 0..WORKERS {
+            fleet.inject_worker_fault(w, FaultPlan::none());
+        }
+        let settle = Instant::now() + Duration::from_secs(30);
+        while !(0..WORKERS).all(|w| fleet.worker_up(w) && fleet.remote(w).pending_count() == 0) {
+            assert!(Instant::now() < settle, "case {case}: fleet never settled");
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        assert!(
+            fleet.live_versions().iter().all(|v| *v == target),
+            "case {case}: {:?} != {target}",
+            fleet.live_versions()
+        );
+
+        // Every pushed request completes — served, error-answered, or
+        // picked up by a restarted incarnation — never lost.
+        fleet.drain(pushed).unwrap();
+        assert_eq!(fleet.completions().len(), pushed);
+
+        // Zero lifecycle gaps across the whole faulted walk.
+        assert!(!journal.update_ids().is_empty());
+        for id in journal.update_ids() {
+            validate_lifecycle(&journal.events_for(id)).unwrap();
+        }
+        fleet.shutdown().unwrap();
+    }
+}
